@@ -1,0 +1,32 @@
+"""Benchmark-harness helpers.
+
+Every per-figure bench runs the experiment once (``pedantic`` with a
+single round — these are minutes-scale at full fidelity, seconds at
+quick scale), prints the regenerated table, and writes it under
+``benchmarks/output/`` so the artifact survives pytest's capture.
+"""
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Write a report's table to benchmarks/output/<name>.txt and echo it."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def sink(name: str, report) -> None:
+        text = report.table()
+        (OUTPUT_DIR / f"{name}.txt").write_text(text)
+        print()
+        print(text)
+
+    return sink
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

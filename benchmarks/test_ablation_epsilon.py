@@ -1,0 +1,47 @@
+"""Ablation: the epsilon grid step of CALCULATEWAIT (Pseudocode 2).
+
+"By keeping the value of epsilon to be small, we can reduce the
+discretization error" (§4.3.3) — at the price of optimization latency.
+This bench sweeps the grid resolution and reports both the wait-duration
+drift relative to the finest grid and the per-call latency.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import Stage, WaitOptimizer
+from repro.distributions import LogNormal
+
+X1 = LogNormal(6.0, 0.84)
+X2 = LogNormal(4.7, 0.5)
+DEADLINE = 1000.0
+K1, K2 = 50, 50
+GRIDS = (64, 128, 256, 512, 1024, 4096)
+
+
+@pytest.fixture(scope="module")
+def reference_wait():
+    opt = WaitOptimizer([Stage(X2, K2)], DEADLINE, grid_points=GRIDS[-1])
+    return opt.optimize(X1, K1)
+
+
+@pytest.mark.parametrize("grid_points", GRIDS)
+def test_epsilon_ablation(benchmark, grid_points, reference_wait):
+    opt = WaitOptimizer([Stage(X2, K2)], DEADLINE, grid_points=grid_points)
+    wait = benchmark(lambda: opt.optimize(X1, K1))
+    drift = abs(wait - reference_wait)
+    if grid_points == GRIDS[-1]:
+        print()
+        rows = []
+        for g in GRIDS:
+            o = WaitOptimizer([Stage(X2, K2)], DEADLINE, grid_points=g)
+            rows.append((g, round(DEADLINE / g, 2), round(o.optimize(X1, K1), 1)))
+        print(
+            format_table(
+                ("grid_points", "epsilon_s", "chosen_wait_s"),
+                rows,
+                title="CALCULATEWAIT discretization ablation",
+            )
+        )
+    # even a coarse grid lands within a few epsilon of the fine answer
+    assert drift <= 4.0 * (DEADLINE / grid_points) + 1e-9

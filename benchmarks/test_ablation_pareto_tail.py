@@ -1,0 +1,108 @@
+"""Ablation: robustness to Pareto extreme tails (§4.2.1).
+
+"One concern is that log-normal fit does seem to falter near the extreme
+tail (say upwards of 99.5 percentile); the tail being generally better
+modeled by distributions like Pareto. Such high percentiles, however,
+would consist of processes whose outputs will not be aggregated
+irrespective of any optimization of wait-duration. Thus Cedar's
+performance doesn't suffer due to this and remains near-optimal."
+
+We test the claim directly: the *true* process durations follow a
+log-normal body with a Pareto tail; Cedar still fits a log-normal online.
+If the paper is right, Cedar stays glued to the Ideal scheme (which knows
+the exact mixture) across tail weights.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core import (
+    CedarPolicy,
+    IdealPolicy,
+    ProportionalSplitPolicy,
+    Stage,
+    TreeSpec,
+)
+from repro.distributions import LogNormal, lognormal_with_pareto_tail
+from repro.rng import resolve_rng
+from repro.simulation import run_experiment
+
+DEADLINE = 1000.0
+#: (tail probability, tail alpha): heavier rightward
+TAILS = ((0.0, None), (0.005, 1.5), (0.02, 1.2))
+
+
+class _TailedWorkload:
+    """Facebook-like mu drift; true durations carry a Pareto tail."""
+
+    def __init__(self, tail_prob, tail_alpha):
+        self.tail_prob = tail_prob
+        self.tail_alpha = tail_alpha
+
+    def offline_tree(self) -> TreeSpec:
+        return TreeSpec.two_level(
+            LogNormal(6.0, 2.0), 50, LogNormal(4.7, 0.5), 50
+        )
+
+    def sample_query(self, rng: np.random.Generator) -> TreeSpec:
+        mu = 6.0 + rng.normal(0.0, 1.5)
+        if self.tail_prob:
+            bottom = lognormal_with_pareto_tail(
+                mu, 0.84, tail_prob=self.tail_prob, tail_alpha=self.tail_alpha
+            )
+        else:
+            bottom = LogNormal(mu, 0.84)
+        return TreeSpec.two_level(bottom, 50, LogNormal(4.7, 0.5), 50)
+
+
+@pytest.fixture(scope="module")
+def table():
+    rows = []
+    for tail_prob, alpha in TAILS:
+        workload = _TailedWorkload(tail_prob, alpha)
+        policies = [
+            ProportionalSplitPolicy(),
+            CedarPolicy(grid_points=192),
+            IdealPolicy(grid_points=192),
+        ]
+        res = run_experiment(
+            workload, policies, DEADLINE, n_queries=20, seed=13, agg_sample=10
+        )
+        cedar = res.mean_quality("cedar")
+        ideal = res.mean_quality("ideal")
+        rows.append(
+            (
+                f"{tail_prob:.3f}" + (f"/a={alpha}" if alpha else " (none)"),
+                round(res.mean_quality("proportional-split"), 3),
+                round(cedar, 3),
+                round(ideal, 3),
+                round(ideal - cedar, 3),
+            )
+        )
+    return rows
+
+
+def test_pareto_tail_robustness(benchmark, table):
+    workload = _TailedWorkload(0.02, 1.2)
+    policies = [CedarPolicy(grid_points=192)]
+    benchmark.pedantic(
+        lambda: run_experiment(
+            workload, policies, DEADLINE, n_queries=3, seed=1, agg_sample=5
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ("tail", "proportional_split", "cedar", "ideal", "ideal_minus_cedar"),
+            table,
+            title="Pareto extreme-tail robustness (lognormal fit vs mixture truth)",
+        )
+    )
+    # the paper's claim: Cedar stays near-optimal despite fitting the
+    # wrong (tail-free) family
+    for _, base, cedar, ideal, gap in table:
+        assert gap < 0.05
+        assert cedar > base

@@ -1,0 +1,85 @@
+"""Bench: the dual problem (§6) — minimum deadline for a quality target.
+
+Regenerates the "same quality threshold at a lower deadline" comparison:
+Cedar's optimal waits vs the Proportional-split baseline's quality curve.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import (
+    ProportionalSplitPolicy,
+    QueryContext,
+    TreeSpec,
+    deadline_savings,
+    max_quality,
+)
+from repro.distributions import LogNormal
+from repro.simulation import simulate_query
+
+TREE = TreeSpec.two_level(LogNormal(6.0, 0.84), 50, LogNormal(4.7, 0.5), 50)
+TARGETS = (0.5, 0.7, 0.85)
+
+
+def _baseline_quality(deadline: float) -> float:
+    # analytic proportional-split quality: wait = alpha * D, success
+    # requires the upper stage to fit in the remainder
+    x1, x2 = TREE.distributions
+    alpha = x1.mean() / (x1.mean() + x2.mean())
+    w = alpha * deadline
+    return float(x1.cdf(w)) * float(x2.cdf(deadline - w))
+
+
+@pytest.fixture(scope="module")
+def rows():
+    out = []
+    for target in TARGETS:
+        cedar, base_deadline = deadline_savings(
+            TREE, target, _baseline_quality, grid_points=256
+        )
+        saving = (
+            100.0 * (base_deadline - cedar.deadline) / base_deadline
+            if base_deadline > 0 and base_deadline != float("inf")
+            else float("nan")
+        )
+        out.append(
+            (
+                target,
+                round(cedar.deadline, 1),
+                round(base_deadline, 1),
+                round(saving, 1),
+            )
+        )
+    return out
+
+
+def test_dual_problem(benchmark, rows):
+    benchmark.pedantic(
+        lambda: deadline_savings(TREE, 0.7, _baseline_quality, grid_points=256),
+        rounds=3,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ("quality_target", "cedar_min_deadline_s", "baseline_min_deadline_s", "saving_%"),
+            rows,
+            title="Dual problem: response-time saving at a fixed quality target",
+        )
+    )
+    for _, cedar_d, base_d, _ in rows:
+        assert cedar_d <= base_d + 1e-6
+
+
+def test_dual_consistency(benchmark):
+    """min_deadline_for_quality(q(D)) ~ D round trip."""
+    from repro.core import min_deadline_for_quality
+
+    deadline = 1200.0
+    q = max_quality(TREE, deadline, grid_points=256)
+    res = benchmark.pedantic(
+        lambda: min_deadline_for_quality(TREE, q * 0.999, grid_points=256),
+        rounds=1,
+        iterations=1,
+    )
+    assert res.deadline <= deadline * 1.05

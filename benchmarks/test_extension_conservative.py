@@ -1,0 +1,77 @@
+"""Extension bench: confidence-aware (conservative) estimation.
+
+Shades Cedar's early estimates by their own standard error before the
+wait optimizer sees them. Under per-arrival re-planning the shading
+matters little (consistent with the Figure 10 analysis); under early
+single-shot decisions it trades collected fraction against deadline risk.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import CedarPolicy, ProportionalSplitPolicy
+from repro.estimation import ConservativeEstimator, OrderStatisticEstimator
+from repro.simulation import run_experiment
+from repro.traces import facebook_workload
+
+DEADLINE = 1000.0
+Z_VALUES = (-2.0, -1.0, 0.0, 1.0, 2.0)
+
+
+def _policy(z, single_shot):
+    kwargs = (
+        dict(min_samples=5, reoptimize_every=10**9) if single_shot else dict()
+    )
+    policy = CedarPolicy(
+        lambda z=z: ConservativeEstimator(
+            OrderStatisticEstimator("lognormal"), z_mu=z
+        ),
+        grid_points=192,
+        **kwargs,
+    )
+    mode = "1shot" if single_shot else "replan"
+    policy.name = f"cedar-z{z:+g}-{mode}"
+    return policy
+
+
+@pytest.fixture(scope="module")
+def qualities():
+    policies = [ProportionalSplitPolicy()]
+    for z in Z_VALUES:
+        policies.append(_policy(z, single_shot=True))
+    res = run_experiment(
+        facebook_workload(), policies, DEADLINE, n_queries=20, seed=8, agg_sample=10
+    )
+    return {p.name: res.mean_quality(p.name) for p in policies}
+
+
+def test_conservative_extension(benchmark, qualities):
+    from repro.core import QueryContext
+    from repro.simulation import simulate_query
+    import numpy as np
+
+    wl = facebook_workload()
+    tree = wl.sample_query(np.random.default_rng(2))
+    ctx = QueryContext(
+        deadline=DEADLINE, offline_tree=wl.offline_tree(), true_tree=tree
+    )
+    policy = _policy(-1.0, single_shot=True)
+    benchmark.pedantic(
+        lambda: simulate_query(ctx, policy, seed=1, agg_sample=5),
+        rounds=3,
+        iterations=1,
+    )
+    rows = [(name, round(q, 3)) for name, q in qualities.items()]
+    print()
+    print(
+        format_table(
+            ("policy", "mean_quality"),
+            rows,
+            title=f"Conservative-estimate ablation (single-shot, D={DEADLINE:.0f}s)",
+        )
+    )
+    # every shaded variant still beats the baseline decisively
+    base = qualities["proportional-split"]
+    for name, q in qualities.items():
+        if name != "proportional-split":
+            assert q > base

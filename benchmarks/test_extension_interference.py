@@ -1,0 +1,70 @@
+"""Extension bench: overlapping queries on a shared cluster.
+
+Inter-query slot contention is a variation source the paper's
+single-query runs never exercise. A Poisson stream of queries shares the
+miniature cluster; Cedar learns each query's (interference-inflated)
+duration distribution online and keeps its edge as load rises.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.cluster import Deployment, DeploymentConfig, run_concurrent_queries
+from repro.core import CedarPolicy, ProportionalSplitPolicy
+
+DEADLINE = 1500.0
+CFG = DeploymentConfig(
+    n_machines=20,
+    slots_per_machine=4,
+    k1=10,
+    k2=8,
+    profile_queries=6,
+    work_mu=5.2,
+    work_jitter=1.0,
+)
+#: mean interarrival gaps, from near-idle to heavily overlapped
+LOADS = (("light", 2000.0), ("moderate", 300.0), ("heavy", 60.0))
+
+
+@pytest.fixture(scope="module")
+def table():
+    dep = Deployment(CFG, seed=41)
+    rows = []
+    for label, gap in LOADS:
+        base = run_concurrent_queries(
+            dep, ProportionalSplitPolicy(), 8, gap, DEADLINE, seed=6
+        )
+        cedar = run_concurrent_queries(
+            dep, CedarPolicy(grid_points=192), 8, gap, DEADLINE, seed=6
+        )
+        rows.append(
+            (
+                label,
+                round(base.mean_quality, 3),
+                round(cedar.mean_quality, 3),
+                cedar.peak_outstanding_tasks,
+            )
+        )
+    return rows
+
+
+def test_interference_extension(benchmark, table):
+    dep = Deployment(CFG, seed=41)
+    dep.offline_tree()
+    benchmark.pedantic(
+        lambda: run_concurrent_queries(
+            dep, CedarPolicy(grid_points=192), 6, 300.0, DEADLINE, seed=3
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ("load", "proportional_split", "cedar", "peak_outstanding_tasks"),
+            table,
+            title=f"Inter-query interference (shared cluster, D={DEADLINE:.0f}s)",
+        )
+    )
+    for _, base, cedar, _ in table:
+        assert cedar >= base - 0.05

@@ -1,0 +1,78 @@
+"""Extension bench: Cedar-guided request reissue (§6 / Kwiken).
+
+Measures the quality delta from reissuing learned-straggler requests
+under Cedar, across within-query tail heaviness — the "reissue budget
+across stages" idea the paper sketches against Kwiken.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core import CedarPolicy, QueryContext, TreeSpec
+from repro.distributions import LogNormal
+from repro.simulation import (
+    ReissueConfig,
+    simulate_query,
+    simulate_query_with_reissue,
+)
+
+DEADLINE = 40.0
+SIGMAS = (0.8, 1.4, 2.0)
+
+
+def _tree(sigma1):
+    return TreeSpec.two_level(LogNormal(1.2, sigma1), 20, LogNormal(0.5, 0.4), 10)
+
+
+@pytest.fixture(scope="module")
+def table():
+    rows = []
+    config = ReissueConfig(reissue_percentile=0.85, budget_fraction=0.2)
+    for sigma1 in SIGMAS:
+        tree = _tree(sigma1)
+        ctx = QueryContext(deadline=DEADLINE, offline_tree=tree, true_tree=tree)
+        plain, reissued, wins = [], [], 0
+        for s in range(10):
+            plain.append(
+                simulate_query(ctx, CedarPolicy(grid_points=160), seed=s).quality
+            )
+            res = simulate_query_with_reissue(
+                ctx, config, policy=CedarPolicy(grid_points=160), seed=s
+            )
+            reissued.append(res.quality)
+            wins += res.reissue_wins
+        rows.append(
+            (
+                sigma1,
+                round(float(np.mean(plain)), 3),
+                round(float(np.mean(reissued)), 3),
+                wins,
+            )
+        )
+    return rows
+
+
+def test_reissue_extension(benchmark, table):
+    tree = _tree(1.4)
+    ctx = QueryContext(deadline=DEADLINE, offline_tree=tree, true_tree=tree)
+    config = ReissueConfig(reissue_percentile=0.85, budget_fraction=0.2)
+    policy = CedarPolicy(grid_points=160)
+    benchmark.pedantic(
+        lambda: simulate_query_with_reissue(ctx, config, policy=policy, seed=1),
+        rounds=3,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ("sigma1", "cedar", "cedar+reissue", "reissue_wins"),
+            table,
+            title=f"Cedar-guided reissue (D={DEADLINE:.0f}, k=20x10)",
+        )
+    )
+    # reissue should never hurt materially, and the heavier the tail the
+    # more duplicate requests win
+    for _, plain, with_reissue, _ in table:
+        assert with_reissue >= plain - 0.03
+    assert table[-1][3] >= table[0][3]

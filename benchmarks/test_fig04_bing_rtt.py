@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 4 (Bing RTT distribution + family fit)."""
+
+from repro.experiments import fig04_bing_rtt
+
+from .conftest import run_once
+
+
+def test_fig04_bing_rtt(benchmark, report_sink):
+    report = run_once(benchmark, lambda: fig04_bing_rtt.run("quick", seed=0))
+    report_sink("fig04", report)
+    assert report.summary["best_fit_is_lognormal"] == 1.0

@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 6 (Ideal vs straw-man wait selection)."""
+
+from repro.experiments import fig06_potential
+
+from .conftest import run_once
+
+
+def test_fig06_potential(benchmark, report_sink):
+    report = run_once(benchmark, lambda: fig06_potential.run("quick", seed=0))
+    report_sink("fig06", report)
+    # the paper's headline: picking the right wait can improve average
+    # response quality by over 100% at tight deadlines
+    assert report.summary["improvement_at_tightest_deadline_%"] > 50.0

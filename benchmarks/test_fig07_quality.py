@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 7 (deployment + simulation quality)."""
+
+from repro.experiments import fig07_quality
+
+from .conftest import run_once
+
+
+def test_fig07a_deployment(benchmark, report_sink):
+    report = run_once(
+        benchmark, lambda: fig07_quality.run_deployment("quick", seed=0)
+    )
+    report_sink("fig07a", report)
+    assert report.summary["improvement_at_tightest_deadline_%"] > 20.0
+
+
+def test_fig07b_simulation(benchmark, report_sink):
+    report = run_once(
+        benchmark, lambda: fig07_quality.run_simulation("quick", seed=0)
+    )
+    report_sink("fig07b", report)
+    assert report.summary["improvement_at_tightest_deadline_%"] > 30.0
+    assert abs(report.summary["cedar_vs_ideal_gap"]) < 0.08

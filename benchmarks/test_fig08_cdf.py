@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 8 (CDF of per-query improvement)."""
+
+from repro.experiments import fig08_cdf
+
+from .conftest import run_once
+
+
+def test_fig08_cdf(benchmark, report_sink):
+    report = run_once(benchmark, lambda: fig08_cdf.run("quick", seed=0))
+    report_sink("fig08", report)
+    # paper: ~40% of queries improve by >50%, bottom fifth sees little
+    assert 0.15 <= report.summary["fraction_over_50pct"] <= 0.85
+    assert report.summary["bottom_fifth_improvement_%"] < 25.0

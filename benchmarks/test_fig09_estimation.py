@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 9 (estimation error vs completed processes)."""
+
+from repro.experiments import fig09_estimation
+
+from .conftest import run_once
+
+
+def test_fig09_estimation(benchmark, report_sink):
+    report = run_once(benchmark, lambda: fig09_estimation.run("quick", seed=0))
+    report_sink("fig09", report)
+    # paper: Cedar's mu error < ~5% after 10 completions; empirical stays
+    # heavily biased
+    assert report.summary["cedar_mu_error_at_10_%"] < 15.0
+    assert report.summary["empirical_mu_error_at_10_%"] > 25.0

@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 11 (online learning under load fluctuation)."""
+
+from repro.experiments import fig11_online
+
+from .conftest import run_once
+
+
+def test_fig11_online(benchmark, report_sink):
+    report = run_once(benchmark, lambda: fig11_online.run("quick", seed=0))
+    report_sink("fig11", report)
+    assert report.summary["low-load_online"] > 0.85
+    assert (
+        report.summary["high-load_online"]
+        > report.summary["high-load_offline"]
+    )

@@ -1,0 +1,24 @@
+"""Bench: regenerate Figure 12 (fan-out sensitivity, both halves)."""
+
+from repro.experiments import fig12_fanout
+
+from .conftest import run_once
+
+
+def test_fig12a_equal_fanout(benchmark, report_sink):
+    report = run_once(
+        benchmark, lambda: fig12_fanout.run_equal_fanout("quick", seed=0)
+    )
+    report_sink("fig12a", report)
+    assert (
+        report.summary["improvement_at_largest_fanout_%"]
+        > report.summary["improvement_at_smallest_fanout_%"]
+    )
+
+
+def test_fig12b_fanout_ratio(benchmark, report_sink):
+    report = run_once(
+        benchmark, lambda: fig12_fanout.run_fanout_ratio("quick", seed=0)
+    )
+    report_sink("fig12b", report)
+    assert report.summary["improvement_at_ratio_1_%"] > 20.0

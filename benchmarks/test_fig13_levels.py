@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 13 (2-level vs 3-level trees)."""
+
+from repro.experiments import fig13_levels
+
+from .conftest import run_once
+
+
+def test_fig13_levels(benchmark, report_sink):
+    report = run_once(benchmark, lambda: fig13_levels.run("quick", seed=0))
+    report_sink("fig13", report)
+    assert report.summary["2-level_improvement_at_first_deadline_%"] > 20.0
+    assert report.summary["3-level_improvement_at_first_deadline_%"] > 20.0

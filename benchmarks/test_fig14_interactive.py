@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 14 (interactive FB+Google workload)."""
+
+from repro.experiments import fig14_interactive
+
+from .conftest import run_once
+
+
+def test_fig14_interactive(benchmark, report_sink):
+    report = run_once(benchmark, lambda: fig14_interactive.run("quick", seed=0))
+    report_sink("fig14", report)
+    # paper: 36-72% improvements over D in [140, 170] ms, decaying
+    assert report.summary["improvement_at_tightest_deadline_%"] > 25.0
+    assert (
+        report.summary["improvement_at_longest_deadline_%"]
+        <= report.summary["improvement_at_tightest_deadline_%"]
+    )

@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 15 (Cosmos workload, offline Cedar)."""
+
+from repro.experiments import fig15_cosmos
+
+from .conftest import run_once
+
+
+def test_fig15_cosmos(benchmark, report_sink):
+    report = run_once(benchmark, lambda: fig15_cosmos.run("quick", seed=0))
+    report_sink("fig15", report)
+    # paper: 9-79% improvements without online learning
+    assert report.summary["offline_improvement_at_tightest_%"] > 20.0

@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 16 (sigma sweeps; Bing/Google/Facebook)."""
+
+import pytest
+
+from repro.experiments import fig16_sigma
+
+from .conftest import run_once
+
+
+@pytest.mark.parametrize("variant", ["bing", "google", "facebook"])
+def test_fig16_sigma(benchmark, report_sink, variant):
+    report = run_once(
+        benchmark, lambda: fig16_sigma.run_variant(variant, "quick", seed=0)
+    )
+    report_sink(f"fig16-{variant}", report)
+    cedar = report.summary["cedar_improvement_at_max_sigma_%"]
+    ideal = report.summary["ideal_improvement_at_max_sigma_%"]
+    assert cedar > 5.0
+    # Cedar must track the ideal scheme across the sweep
+    assert abs(cedar - ideal) < max(15.0, 0.35 * abs(ideal))

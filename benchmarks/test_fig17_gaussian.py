@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 17 (Gaussian workload)."""
+
+from repro.experiments import fig17_gaussian
+
+from .conftest import run_once
+
+
+def test_fig17_gaussian(benchmark, report_sink):
+    report = run_once(benchmark, lambda: fig17_gaussian.run("quick", seed=0))
+    report_sink("fig17", report)
+    # paper: modest (~12-14%) gains, high absolute quality
+    assert report.summary["max_improvement_%"] > 3.0

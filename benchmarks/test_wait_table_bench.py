@@ -1,0 +1,65 @@
+"""Bench: precomputed wait tables vs the live sweep (§4.3.3).
+
+"One can simply precompute these wait-durations for recorded
+distributions" — the table answers a lookup in ~1 µs vs ~40 µs for the
+vectorized sweep, at negligible quality cost (see
+tests/core/test_wait_table.py for the policy-level parity check).
+"""
+
+import pytest
+
+from repro.core import Stage, WaitOptimizer, WaitTable
+from repro.distributions import LogNormal
+
+TAIL = [Stage(LogNormal(4.7, 0.5), 50)]
+DEADLINE = 1000.0
+K = 50
+
+
+@pytest.fixture(scope="module")
+def table():
+    return WaitTable.build(
+        TAIL,
+        DEADLINE,
+        K,
+        mu_range=(3.0, 9.0),
+        sigma_range=(0.3, 2.0),
+        n_mu=48,
+        n_sigma=16,
+        grid_points=512,
+    )
+
+
+@pytest.fixture(scope="module")
+def optimizer():
+    return WaitOptimizer(TAIL, DEADLINE, grid_points=512)
+
+
+def test_table_build_cost(benchmark):
+    benchmark.pedantic(
+        lambda: WaitTable.build(
+            TAIL,
+            DEADLINE,
+            K,
+            mu_range=(3.0, 9.0),
+            sigma_range=(0.3, 2.0),
+            n_mu=24,
+            n_sigma=8,
+            grid_points=256,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_table_lookup_latency(benchmark, table, optimizer):
+    wait = benchmark(lambda: table.lookup(6.1, 0.9))
+    assert 0.0 <= wait <= DEADLINE
+    # lookup agrees with the live sweep within a small fraction of D
+    err = table.max_abs_error_vs(optimizer, probe_points=32)
+    assert err <= 0.05 * DEADLINE
+
+
+def test_live_sweep_latency(benchmark, optimizer):
+    dist = LogNormal(6.1, 0.9)
+    benchmark(lambda: optimizer.optimize(dist, K))

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Endhost deployment demo: Cedar on real asyncio timers.
+
+The paper's deployability claim — "Cedar can be implemented entirely at
+the endhosts" (§1) — made concrete: process workers, aggregator services
+re-arming real wall-clock timeouts after every arrival (Pseudocode 1),
+and a root enforcing the deadline in real time. ``time_scale``
+compresses the workload's seconds into milliseconds so the demo runs in
+a few wall-clock seconds.
+
+Run:  python examples/realtime_service.py
+"""
+
+import time
+
+from repro.core import (
+    CedarPolicy,
+    IdealPolicy,
+    ProportionalSplitPolicy,
+    QueryContext,
+    TreeSpec,
+)
+from repro.distributions import LogNormal
+from repro.service import run_realtime_query
+
+#: 1 workload second = 1.5 ms of wall time.
+TIME_SCALE = 0.0015
+
+
+def main() -> None:
+    # the pooled history is heavier than today's query, so the fixed
+    # proportional split over-waits and its aggregators miss the root
+    # deadline; Cedar learns today's distribution from early arrivals
+    offline = TreeSpec.two_level(
+        LogNormal(3.6, 1.3), 12, LogNormal(2.2, 0.5), 8
+    )
+    true = offline.with_bottom(LogNormal(3.2, 1.2))
+    deadline = 90.0
+    ctx = QueryContext(deadline=deadline, offline_tree=offline, true_tree=true)
+
+    print(
+        f"real-time query: {12 * 8} workers -> 8 aggregators -> root, "
+        f"deadline {deadline:.0f}s (virtual) at {TIME_SCALE * 1000:.1f} ms/s"
+    )
+    print("\npolicy               quality  shipments  wall_time")
+    for policy in (
+        ProportionalSplitPolicy(),
+        CedarPolicy(grid_points=192),
+        IdealPolicy(grid_points=192),
+    ):
+        start = time.perf_counter()
+        res = run_realtime_query(ctx, policy, time_scale=TIME_SCALE, seed=11)
+        wall = time.perf_counter() - start
+        print(
+            f"{policy.name:<20} {res.quality:7.3f}  {res.shipments_received:9d}"
+            f"  {wall:7.2f}s"
+        )
+    print(
+        "\nCedar re-armed its timeout after every arrival using the "
+        "order-statistic fit of *this* query's durations — on live "
+        "asyncio timers, not simulated time."
+    )
+
+
+if __name__ == "__main__":
+    main()

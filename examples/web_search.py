@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Web-search scenario: heterogeneous functional silos under a tight SLA.
+
+Models the paper's Figure 2 directly: the super-root aggregates across
+*silos* (news / web / video) that differ in size, process behaviour, and
+aggregator cost. Each silo needs its own wait duration — the flexibility
+a single pooled split cannot express — and Cedar learns each silo's
+per-query process distribution online.
+
+Run:  python examples/web_search.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    CedarPolicy,
+    HeteroQuery,
+    IdealPolicy,
+    ProportionalSplitPolicy,
+    Silo,
+    TreeSpec,
+    hetero_max_quality,
+    hetero_wait_schedules,
+)
+from repro.distributions import LogNormal
+from repro.rng import resolve_rng
+from repro.simulation import simulate_hetero_query
+from repro.traces.google import GOOGLE_MU, GOOGLE_SIGMA
+
+#: silo shapes (ms): (name, mu1, sigma1, k1, mu2, sigma2, k2, per-query drift)
+SILO_SHAPES = (
+    ("news", GOOGLE_MU - 0.7, 0.45, 20, 1.9, 0.4, 6, 0.5),
+    ("web", GOOGLE_MU, GOOGLE_SIGMA, 40, 2.3, 0.45, 12, 0.8),
+    ("video", GOOGLE_MU + 0.6, 0.9, 25, 2.6, 0.5, 8, 1.1),
+)
+
+
+def _offline_tree(mu1, sigma1, k1, mu2, sigma2, k2, drift):
+    # pooled history folds the per-query drift into sigma
+    pooled = float(np.hypot(sigma1, drift))
+    return TreeSpec.two_level(
+        LogNormal(mu1, pooled), k1, LogNormal(mu2, sigma2), k2
+    )
+
+
+def _sample_query(rng, deadline):
+    silos = []
+    for name, mu1, sigma1, k1, mu2, sigma2, k2, drift in SILO_SHAPES:
+        true = TreeSpec.two_level(
+            LogNormal(mu1 + rng.normal(0.0, drift), sigma1),
+            k1,
+            LogNormal(mu2, sigma2),
+            k2,
+        )
+        silos.append(
+            Silo(
+                name,
+                _offline_tree(mu1, sigma1, k1, mu2, sigma2, k2, drift),
+                true_tree=true,
+            )
+        )
+    return HeteroQuery(deadline, silos)
+
+
+def main() -> None:
+    deadline = 80.0
+    example = _sample_query(resolve_rng(0), deadline)
+    total = example.total_processes
+    silo_desc = ", ".join(
+        f"{s.name} ({s.total_processes} lookups)" for s in example.silos
+    )
+    print(f"topology: {total} index lookups across silos: {silo_desc}")
+    print(f"SLA: {deadline:.0f} ms; achievable quality "
+          f"{hetero_max_quality(example, grid_points=256):.3f}")
+
+    # each silo gets its own optimal stop time — a single split cannot
+    schedules = hetero_wait_schedules(example, grid_points=256)
+    print("\nper-silo optimal stop times (ms):")
+    for name, sched in schedules.items():
+        print(f"  {name:<6} {sched.stops[0]:6.1f}  (expected quality "
+              f"{sched.expected_quality:.3f})")
+
+    policies = [
+        ProportionalSplitPolicy(),
+        CedarPolicy(grid_points=256),
+        IdealPolicy(grid_points=256),
+    ]
+    rng = resolve_rng(7)
+    totals = {p.name: [] for p in policies}
+    per_silo: dict[str, dict[str, list[float]]] = {
+        p.name: {s[0]: [] for s in SILO_SHAPES} for p in policies
+    }
+    for q in range(20):
+        query = _sample_query(rng, deadline)
+        for policy in policies:
+            res = simulate_hetero_query(query, policy, seed=q)
+            totals[policy.name].append(res.quality)
+            for silo_name, silo_res in res.per_silo.items():
+                per_silo[policy.name][silo_name].append(silo_res.quality)
+
+    print("\npolicy               overall  " + "  ".join(
+        f"{s[0]:>6}" for s in SILO_SHAPES
+    ))
+    for policy in policies:
+        name = policy.name
+        silo_cols = "  ".join(
+            f"{np.mean(per_silo[name][s[0]]):6.3f}" for s in SILO_SHAPES
+        )
+        print(f"{name:<20} {np.mean(totals[name]):7.3f}  {silo_cols}")
+    base = float(np.mean(totals["proportional-split"]))
+    cedar = float(np.mean(totals["cedar"]))
+    print(f"\nCedar improvement over proportional-split: "
+          f"{100.0 * (cedar - base) / base:+.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Analysis helpers: summary statistics, bootstrap CIs, paired
+significance tests, text tables, and terminal charts."""
+
+from .ascii_plots import bar_chart, cdf_chart, line_chart
+from .significance import PairedComparison, paired_bootstrap_test, sign_flip_test
+from .stats import bootstrap_ci, cdf_points, percentile_table, relative_error
+from .tables import format_csv, format_table
+
+__all__ = [
+    "percentile_table",
+    "bootstrap_ci",
+    "relative_error",
+    "cdf_points",
+    "format_table",
+    "format_csv",
+    "line_chart",
+    "bar_chart",
+    "cdf_chart",
+    "PairedComparison",
+    "paired_bootstrap_test",
+    "sign_flip_test",
+]

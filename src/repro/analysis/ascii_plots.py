@@ -1,0 +1,147 @@
+"""Terminal plotting: render experiment series as unicode charts.
+
+The reproduction is terminal-first (no matplotlib dependency), so the
+figures render as text: line charts for deadline sweeps, bar charts for
+policy comparisons, and CDF staircases for Figure-8-style distributions.
+Used by ``cedar-repro run --plot`` and freely by user code.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["line_chart", "bar_chart", "cdf_chart"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _check_series(xs, ys) -> tuple[np.ndarray, np.ndarray]:
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.size != ys.size:
+        raise ConfigError(f"{xs.size} x-values but {ys.size} y-values")
+    if xs.size < 2:
+        raise ConfigError("need at least 2 points to plot")
+    if not (np.all(np.isfinite(xs)) and np.all(np.isfinite(ys))):
+        raise ConfigError("plot values must be finite")
+    return xs, ys
+
+
+def line_chart(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+    title: Optional[str] = None,
+    y_label: str = "",
+) -> str:
+    """Multi-series line chart on a character grid.
+
+    Each series gets a distinct marker; x positions are mapped linearly
+    into ``width`` columns, y into ``height`` rows.
+    """
+    if not series:
+        raise ConfigError("need at least one series")
+    if width < 10 or height < 4:
+        raise ConfigError("chart too small to be legible")
+    markers = "*o+x#@%&"
+    arrs = {}
+    y_min, y_max = math.inf, -math.inf
+    xs_arr = None
+    for name, ys in series.items():
+        xs_arr, ys_arr = _check_series(xs, ys)
+        arrs[name] = ys_arr
+        y_min = min(y_min, float(ys_arr.min()))
+        y_max = max(y_max, float(ys_arr.max()))
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(xs_arr.min()), float(xs_arr.max())
+    if x_max == x_min:
+        raise ConfigError("x range is degenerate")
+
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, (name, ys_arr) in enumerate(arrs.items()):
+        mark = markers[s_idx % len(markers)]
+        for x, y in zip(xs_arr, ys_arr):
+            col = int(round((x - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(round((y - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.3g}"
+    bottom_label = f"{y_min:.3g}"
+    pad = max(len(top_label), len(bottom_label), len(y_label))
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = top_label
+        elif r == height - 1:
+            label = bottom_label
+        elif r == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label:>{pad}} |" + "".join(row))
+    lines.append(" " * pad + " +" + "-" * width)
+    lines.append(
+        " " * pad + f"  {x_min:<.4g}" + " " * max(1, width - 16) + f"{x_max:>.4g}"
+    )
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(arrs)
+    )
+    lines.append(" " * pad + "  " + legend)
+    return "\n".join(lines) + "\n"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal bar chart."""
+    if len(labels) != len(values):
+        raise ConfigError(f"{len(labels)} labels but {len(values)} values")
+    if not labels:
+        raise ConfigError("need at least one bar")
+    vals = np.asarray(values, dtype=float)
+    if not np.all(np.isfinite(vals)):
+        raise ConfigError("bar values must be finite")
+    if np.any(vals < 0.0):
+        raise ConfigError("bar chart expects nonnegative values")
+    v_max = float(vals.max()) or 1.0
+    label_w = max(len(str(l)) for l in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, vals):
+        filled = value / v_max * width
+        whole = int(filled)
+        frac = filled - whole
+        bar = "█" * whole
+        if frac > 1e-9 and whole < width:
+            bar += _BLOCKS[max(1, int(frac * (len(_BLOCKS) - 1)))]
+        lines.append(f"{str(label):>{label_w}} |{bar:<{width + 1}} {value:.3g}")
+    return "\n".join(lines) + "\n"
+
+
+def cdf_chart(
+    values: Sequence[float],
+    width: int = 60,
+    height: int = 12,
+    title: Optional[str] = None,
+) -> str:
+    """Empirical-CDF staircase of a sample."""
+    arr = np.sort(np.asarray(values, dtype=float))
+    if arr.size < 2:
+        raise ConfigError("need at least 2 values for a CDF")
+    probs = np.arange(1, arr.size + 1) / arr.size
+    return line_chart(
+        arr, {"CDF": probs}, width=width, height=height, title=title, y_label="P"
+    )

@@ -1,0 +1,92 @@
+"""Statistical significance of quality improvements.
+
+The experiment runner replays every query under each policy with
+identical duration draws (paired design), so the right test for "is
+Cedar's improvement real?" is a *paired* one: bootstrap the mean of the
+per-query quality differences, or run a sign-flip permutation test.
+Experiments with small quick-scale sample sizes use these to distinguish
+signal from seed noise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..rng import SeedLike, resolve_rng
+
+__all__ = ["PairedComparison", "paired_bootstrap_test", "sign_flip_test"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PairedComparison:
+    """Result of a paired policy comparison."""
+
+    mean_difference: float
+    ci_low: float
+    ci_high: float
+    p_value: float
+    n: int
+
+    @property
+    def significant(self) -> bool:
+        """True when the CI excludes zero and p < 0.05."""
+        return self.p_value < 0.05 and (self.ci_low > 0.0 or self.ci_high < 0.0)
+
+
+def _paired_diffs(a: Sequence[float], b: Sequence[float]) -> np.ndarray:
+    a_arr = np.asarray(a, dtype=float)
+    b_arr = np.asarray(b, dtype=float)
+    if a_arr.size != b_arr.size:
+        raise ConfigError(f"paired samples differ in size: {a_arr.size} vs {b_arr.size}")
+    if a_arr.size < 3:
+        raise ConfigError("need at least 3 pairs")
+    return a_arr - b_arr
+
+
+def paired_bootstrap_test(
+    treatment: Sequence[float],
+    baseline: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 4000,
+    seed: SeedLike = None,
+) -> PairedComparison:
+    """Bootstrap CI for mean(treatment - baseline) + sign-flip p-value."""
+    diffs = _paired_diffs(treatment, baseline)
+    rng = resolve_rng(seed)
+    idx = rng.integers(0, diffs.size, size=(n_resamples, diffs.size))
+    means = diffs[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    ci = (float(np.quantile(means, alpha)), float(np.quantile(means, 1.0 - alpha)))
+    p = sign_flip_test(treatment, baseline, n_permutations=n_resamples, seed=rng)
+    return PairedComparison(
+        mean_difference=float(diffs.mean()),
+        ci_low=ci[0],
+        ci_high=ci[1],
+        p_value=p,
+        n=diffs.size,
+    )
+
+
+def sign_flip_test(
+    treatment: Sequence[float],
+    baseline: Sequence[float],
+    n_permutations: int = 4000,
+    seed: SeedLike = None,
+) -> float:
+    """Two-sided sign-flip permutation p-value for paired differences.
+
+    Under the null (no policy effect), each per-query difference is
+    symmetric around zero; flipping signs uniformly generates the null
+    distribution of the mean difference.
+    """
+    diffs = _paired_diffs(treatment, baseline)
+    rng = resolve_rng(seed)
+    observed = abs(float(diffs.mean()))
+    signs = rng.choice([-1.0, 1.0], size=(n_permutations, diffs.size))
+    null_means = np.abs((signs * diffs).mean(axis=1))
+    # add-one smoothing keeps p > 0 with finite permutations
+    return float((np.sum(null_means >= observed - 1e-15) + 1) / (n_permutations + 1))

@@ -1,0 +1,62 @@
+"""Statistical helpers for experiment reporting."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..rng import SeedLike, resolve_rng
+
+__all__ = [
+    "percentile_table",
+    "bootstrap_ci",
+    "relative_error",
+    "cdf_points",
+]
+
+
+def percentile_table(
+    values: Sequence[float], probs: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+) -> dict[float, float]:
+    """Return ``{p: percentile}`` for the given probabilities."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ConfigError("no values to summarize")
+    return {float(p): float(np.quantile(arr, p)) for p in probs}
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    stat=np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: SeedLike = None,
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval for ``stat`` of ``values``."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size < 2:
+        raise ConfigError("need >= 2 values for a bootstrap CI")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigError(f"confidence must be in (0,1), got {confidence}")
+    rng = resolve_rng(seed)
+    idx = rng.integers(0, arr.size, size=(n_resamples, arr.size))
+    stats = np.apply_along_axis(stat, 1, arr[idx])
+    alpha = (1.0 - confidence) / 2.0
+    return (float(np.quantile(stats, alpha)), float(np.quantile(stats, 1.0 - alpha)))
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """``|estimate - truth| / |truth|`` as a percentage."""
+    if truth == 0.0:
+        raise ConfigError("relative error undefined for zero truth")
+    return 100.0 * abs(estimate - truth) / abs(truth)
+
+
+def cdf_points(values: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted values and their empirical CDF levels."""
+    arr = np.sort(np.asarray(values, dtype=float))
+    if arr.size == 0:
+        return arr, arr
+    return arr, np.arange(1, arr.size + 1) / arr.size

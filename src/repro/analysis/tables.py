@@ -1,0 +1,63 @@
+"""Plain-text tables and CSV emission for experiment reports.
+
+The benchmark harness regenerates the paper's tables/figures as rows of
+text — the same numbers the paper plots — so everything renders in a
+terminal and diffs cleanly.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Mapping, Sequence
+
+from ..errors import ConfigError
+
+__all__ = ["format_table", "format_csv"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str | None = None
+) -> str:
+    """Render an aligned monospace table."""
+    if not headers:
+        raise ConfigError("table needs headers")
+    str_rows = [[_format_cell(c) for c in row] for row in rows]
+    for idx, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ConfigError(
+                f"row {idx} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    out.write(header_line + "\n")
+    out.write("-" * len(header_line) + "\n")
+    for row in str_rows:
+        out.write("  ".join(c.ljust(w) for c, w in zip(row, widths)) + "\n")
+    return out.getvalue()
+
+
+def format_csv(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render rows as CSV text."""
+    out = io.StringIO()
+    out.write(",".join(headers) + "\n")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigError("CSV row width mismatch")
+        out.write(",".join(_format_cell(c) for c in row) + "\n")
+    return out.getvalue()

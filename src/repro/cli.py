@@ -1,0 +1,281 @@
+"""Command-line interface: regenerate paper figures and use Cedar's math
+from the terminal.
+
+Examples::
+
+    cedar-repro list
+    cedar-repro run fig7b
+    cedar-repro run fig16 --scale full --seed 7
+    cedar-repro run all --csv out_dir/
+    cedar-repro wait --deadline 1000 --mu1 6.0 --sigma1 0.84 \
+        --mu2 4.7 --sigma2 0.5 --k1 50 --k2 50
+    cedar-repro dual --target 0.85 --mu1 6.0 --sigma1 0.84 \
+        --mu2 4.7 --sigma2 0.5 --k1 50 --k2 50
+    cedar-repro trace record facebook /tmp/fb.json --jobs 50
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from .experiments import ALL
+
+
+def _add_tree_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--mu1", type=float, required=True, help="ln-mean of X1")
+    parser.add_argument("--sigma1", type=float, required=True, help="ln-std of X1")
+    parser.add_argument("--mu2", type=float, required=True, help="ln-mean of X2")
+    parser.add_argument("--sigma2", type=float, required=True, help="ln-std of X2")
+    parser.add_argument("--k1", type=int, default=50, help="lower fan-out")
+    parser.add_argument("--k2", type=int, default=50, help="upper fan-out")
+    parser.add_argument(
+        "--grid-points", type=int, default=512, help="epsilon-sweep resolution"
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cedar-repro",
+        description="Cedar (EuroSys'16) reproduction: regenerate paper figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument("experiment", help="experiment id (see 'list') or 'all'")
+    run_p.add_argument(
+        "--scale",
+        choices=("quick", "full"),
+        default="quick",
+        help="preset size: quick (seconds) or full (minutes)",
+    )
+    run_p.add_argument("--seed", type=int, default=None, help="random seed")
+    run_p.add_argument(
+        "--csv",
+        type=pathlib.Path,
+        default=None,
+        help="also write <experiment>.csv into this directory",
+    )
+    run_p.add_argument(
+        "--plot",
+        action="store_true",
+        help="render a terminal line chart of the report series",
+    )
+
+    wait_p = sub.add_parser(
+        "wait", help="optimal wait + achievable quality for a 2-level tree"
+    )
+    wait_p.add_argument("--deadline", type=float, required=True)
+    _add_tree_args(wait_p)
+
+    explain_p = sub.add_parser(
+        "explain", help="decompose a wait decision with a terminal chart"
+    )
+    explain_p.add_argument("--deadline", type=float, required=True)
+    _add_tree_args(explain_p)
+
+    dual_p = sub.add_parser(
+        "dual", help="minimum deadline reaching a quality target"
+    )
+    dual_p.add_argument("--target", type=float, required=True)
+    _add_tree_args(dual_p)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run a user-defined sweep from a JSON spec file"
+    )
+    sweep_p.add_argument("spec", type=pathlib.Path, help="sweep spec (JSON)")
+    sweep_p.add_argument("--plot", action="store_true")
+    sweep_p.add_argument(
+        "--csv", type=pathlib.Path, default=None, help="write <name>.csv here"
+    )
+
+    trace_p = sub.add_parser("trace", help="trace-file tooling")
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+    rec_p = trace_sub.add_parser(
+        "record", help="record a named workload into a replayable trace file"
+    )
+    rec_p.add_argument("workload", help="workload name (see repro.traces.WORKLOADS)")
+    rec_p.add_argument("path", type=pathlib.Path, help="output JSON path")
+    rec_p.add_argument("--jobs", type=int, default=30)
+    rec_p.add_argument("--samples", type=int, default=60)
+    rec_p.add_argument("--seed", type=int, default=None)
+    return parser
+
+
+def _plot_report(report) -> None:
+    """Best-effort terminal chart: numeric first column as x, every
+    numeric column as a series."""
+    from .analysis import line_chart
+
+    def numeric(col):
+        try:
+            return [float(v) for v in col]
+        except (TypeError, ValueError):
+            return None
+
+    xs = numeric(report.column(report.headers[0]))
+    if xs is None or len(xs) < 2 or len(set(xs)) < 2:
+        print("(no plottable numeric x-axis; skipping chart)")
+        return
+    series = {}
+    pct_series = {}
+    for header in report.headers[1:]:
+        ys = numeric(report.column(header))
+        if ys is None:
+            continue
+        # percent columns live on a different scale; chart them apart
+        (pct_series if header.endswith("_%") else series)[header] = ys
+    if not series and not pct_series:
+        print("(no numeric series; skipping chart)")
+        return
+    if series:
+        print(line_chart(xs, series, title=report.title))
+    if pct_series:
+        print(line_chart(xs, pct_series, title="improvement (%)"))
+
+
+def _run_one(name: str, args) -> None:
+    runner = ALL[name]
+    start = time.perf_counter()
+    report = runner(scale=args.scale, seed=args.seed)
+    elapsed = time.perf_counter() - start
+    print(report.table())
+    if getattr(args, "plot", False):
+        _plot_report(report)
+    print(f"[{name} completed in {elapsed:.1f}s]\n")
+    if args.csv is not None:
+        args.csv.mkdir(parents=True, exist_ok=True)
+        out = args.csv / f"{name}.csv"
+        out.write_text(report.to_csv())
+        print(f"wrote {out}")
+
+
+def _tree_from_args(args):
+    from .core import TreeSpec
+    from .distributions import LogNormal
+
+    return TreeSpec.two_level(
+        LogNormal(args.mu1, args.sigma1),
+        args.k1,
+        LogNormal(args.mu2, args.sigma2),
+        args.k2,
+    )
+
+
+def _cmd_sweep(args) -> int:
+    from .errors import ConfigError
+    from .experiments import run_sweep_file
+
+    try:
+        report = run_sweep_file(args.spec)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(report.table())
+    if args.plot:
+        _plot_report(report)
+    if args.csv is not None:
+        args.csv.mkdir(parents=True, exist_ok=True)
+        out = args.csv / f"{report.experiment}.csv"
+        out.write_text(report.to_csv())
+        print(f"wrote {out}")
+    return 0
+
+
+def _cmd_wait(args) -> int:
+    from .core import calculate_wait, max_quality
+
+    tree = _tree_from_args(args)
+    wait = calculate_wait(tree, args.deadline, epsilon=args.deadline / args.grid_points)
+    quality = max_quality(tree, args.deadline, grid_points=args.grid_points)
+    print(f"optimal wait:        {wait:.4g}")
+    print(f"achievable quality:  {quality:.4f}")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from .core import explain_wait
+
+    tree = _tree_from_args(args)
+    explanation = explain_wait(tree, args.deadline, grid_points=args.grid_points)
+    print(explanation.render())
+    return 0
+
+
+def _cmd_dual(args) -> int:
+    from .core import min_deadline_for_quality
+    from .errors import ConfigError
+
+    tree = _tree_from_args(args)
+    try:
+        res = min_deadline_for_quality(
+            tree, args.target, grid_points=args.grid_points
+        )
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"minimum deadline:    {res.deadline:.4g}")
+    print(f"achieved quality:    {res.achieved_quality:.4f}")
+    print(f"solver iterations:   {res.iterations}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .errors import TraceError
+    from .traces import make_workload, record_trace, save_trace
+
+    try:
+        workload = make_workload(args.workload)
+        jobs, fanouts = record_trace(
+            workload, n_jobs=args.jobs, samples_per_stage=args.samples, seed=args.seed
+        )
+        save_trace(args.path, name=args.workload, fanouts=fanouts, jobs=jobs)
+    except TraceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"recorded {len(jobs)} jobs of {args.workload!r} -> {args.path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(ALL):
+            print(name)
+        return 0
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "wait":
+        return _cmd_wait(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
+    if args.command == "dual":
+        return _cmd_dual(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.experiment == "all":
+        # skip the aggregate aliases; run each concrete panel once
+        skip = {"fig7", "fig12", "fig16"}
+        for name in sorted(ALL):
+            if name in skip:
+                continue
+            _run_one(name, args)
+        return 0
+    if args.experiment not in ALL:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"choose from {', '.join(sorted(ALL))}",
+            file=sys.stderr,
+        )
+        return 2
+    _run_one(args.experiment, args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

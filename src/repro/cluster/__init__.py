@@ -1,0 +1,47 @@
+"""Miniature partition-aggregate execution engine (the paper's Spark/EC2
+deployment analogue): machines, contention, scheduler, partial
+aggregation, and the deployment harness."""
+
+from .concurrent import ConcurrentRunResult, run_concurrent_queries
+from .contention import (
+    BurstyContention,
+    CompositeContention,
+    ContentionModel,
+    MultiplicativeNoise,
+    UtilizationSlowdown,
+)
+from .deployment import (
+    ClusterQueryResult,
+    Deployment,
+    DeploymentConfig,
+    run_cluster_experiment,
+)
+from .machine import Cluster, Machine
+from .partial_agg import PartialAggregator
+from .scheduler import Scheduler
+from .speculation import Blacklist, SpeculationConfig, SpeculativeScheduler
+from .task import Job, Task, TaskState
+
+__all__ = [
+    "ContentionModel",
+    "MultiplicativeNoise",
+    "BurstyContention",
+    "UtilizationSlowdown",
+    "CompositeContention",
+    "Machine",
+    "Cluster",
+    "Task",
+    "TaskState",
+    "Job",
+    "Scheduler",
+    "SpeculationConfig",
+    "Blacklist",
+    "SpeculativeScheduler",
+    "PartialAggregator",
+    "DeploymentConfig",
+    "Deployment",
+    "ClusterQueryResult",
+    "run_cluster_experiment",
+    "ConcurrentRunResult",
+    "run_concurrent_queries",
+]

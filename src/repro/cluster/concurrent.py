@@ -1,0 +1,149 @@
+"""Concurrent queries sharing one cluster.
+
+Every experiment so far runs queries back-to-back on an idle cluster; in
+production, queries *overlap*, and slot contention between them is
+itself a source of duration variation (§2.2's "contention for resources
+on individual machines"). This module runs a Poisson stream of queries
+over one shared cluster: tasks of concurrent queries queue for the same
+slots, so a query arriving under load genuinely runs slower — exactly
+the per-query variation Cedar's online learning is built to absorb
+without being told the cause.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core import QueryContext, TreeSpec, WaitPolicy
+from ..errors import ConfigError
+from ..rng import SeedLike, resolve_rng
+from ..simulation.events import EventLoop
+from .deployment import Deployment
+from .partial_agg import PartialAggregator
+from .scheduler import Scheduler
+from .task import Job, Task
+
+__all__ = ["ConcurrentRunResult", "run_concurrent_queries"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ConcurrentRunResult:
+    """Outcome of one concurrent stream under one policy."""
+
+    qualities: np.ndarray  # per query, arrival order
+    arrival_times: np.ndarray
+    mean_quality: float
+    peak_outstanding_tasks: int
+
+
+def run_concurrent_queries(
+    deployment: Deployment,
+    policy: WaitPolicy,
+    n_queries: int,
+    mean_interarrival: float,
+    deadline: float,
+    seed: SeedLike = None,
+) -> ConcurrentRunResult:
+    """Run a Poisson stream of ``n_queries`` on one shared cluster.
+
+    Each query gets its own aggregators and per-query deadline
+    (``arrival + deadline``); all tasks share the cluster's slots through
+    one scheduler, so overlapping queries slow each other down through
+    queueing, on top of machine-level contention.
+    """
+    if n_queries < 1:
+        raise ConfigError(f"n_queries must be >= 1, got {n_queries}")
+    if mean_interarrival <= 0.0:
+        raise ConfigError(
+            f"mean_interarrival must be positive, got {mean_interarrival}"
+        )
+    cfg = deployment.config
+    rng = resolve_rng(seed)
+    offline = deployment.offline_tree()
+
+    loop = EventLoop()
+    cluster = deployment._build_cluster()
+    scheduler_sink: dict[int, PartialAggregator] = {}
+
+    def on_finish(task: Task) -> None:
+        scheduler_sink[id(task)].on_task_output(loop.now)
+
+    scheduler = Scheduler(cluster, loop, rng, on_finish)
+
+    arrivals = np.cumsum(rng.exponential(mean_interarrival, size=n_queries))
+    root_hits: list[list[tuple[int, float]]] = [[] for _ in range(n_queries)]
+    peak = {"outstanding": 0, "current": 0}
+
+    def launch(q_idx: int) -> None:
+        start = loop.now
+        ctx = QueryContext(deadline=deadline, offline_tree=offline)
+        policy.begin_query(ctx)
+        job = deployment._make_job(deadline, rng)
+
+        def deliver(agg_id: int, payload: int, arrival: float) -> None:
+            root_hits[q_idx].append((payload, arrival - start))
+
+        def ship_duration(collected: int, ship_rng: np.random.Generator) -> float:
+            return deployment._ship_duration(collected, ship_rng)
+
+        class _OffsetController:
+            """Shift a controller's clock to the query's start time."""
+
+            def __init__(self, inner):
+                self.inner = inner
+
+            @property
+            def stop_time(self):
+                return start + self.inner.stop_time
+
+            @property
+            def n_received(self):
+                return self.inner.n_received
+
+            def on_arrival(self, t: float) -> None:
+                self.inner.on_arrival(max(0.0, t - start))
+
+        aggregators = [
+            PartialAggregator(
+                agg_id=a,
+                fanout=cfg.k1,
+                controller=_OffsetController(policy.controller(ctx, 1)),
+                loop=loop,
+                ship_duration=ship_duration,
+                deliver=deliver,
+                rng=rng,
+            )
+            for a in range(cfg.k2)
+        ]
+        for task in job.tasks:
+            scheduler_sink[id(task)] = aggregators[task.aggregator_id]
+        peak["current"] += len(job.tasks)
+        peak["outstanding"] = max(peak["outstanding"], peak["current"])
+        scheduler.submit(job.tasks)
+
+        def query_done() -> None:
+            peak["current"] -= len(job.tasks)
+
+        # account outstanding work off once the query's deadline passes
+        loop.schedule(deadline, query_done)
+
+    for q_idx, at in enumerate(arrivals):
+        loop.schedule_at(float(at), lambda q=q_idx: launch(q))
+    loop.run()
+
+    total = cfg.k1 * cfg.k2
+    qualities = np.array(
+        [
+            sum(p for p, rel_arrival in hits if rel_arrival <= deadline) / total
+            for hits in root_hits
+        ]
+    )
+    return ConcurrentRunResult(
+        qualities=qualities,
+        arrival_times=arrivals,
+        mean_quality=float(np.mean(qualities)),
+        peak_outstanding_tasks=peak["outstanding"],
+    )

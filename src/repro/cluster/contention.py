@@ -1,0 +1,142 @@
+"""Machine contention models.
+
+The deployment experiments need duration variation that *emerges* from
+the execution environment rather than being sampled from a handed-down
+distribution — that is what distinguishes the paper's EC2/Spark results
+(Figures 7a, 10, 11) from its simulator results. A
+:class:`ContentionModel` turns a task's base work into a wall-clock
+duration by applying machine-local slowdown factors: multiplicative noise
+(CPU/scheduler jitter) plus occasional heavy interference bursts (the
+stragglers of §2.2, caused by "contention for memory, CPU and disk IO").
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = [
+    "ContentionModel",
+    "MultiplicativeNoise",
+    "BurstyContention",
+    "UtilizationSlowdown",
+    "CompositeContention",
+]
+
+
+class ContentionModel(abc.ABC):
+    """Maps base work to observed duration on one machine."""
+
+    @abc.abstractmethod
+    def slowdown(self, rng: np.random.Generator) -> float:
+        """Sample a multiplicative slowdown (>= small positive)."""
+
+    def duration(self, base_work: float, rng: np.random.Generator) -> float:
+        """Wall-clock duration for ``base_work`` under current contention."""
+        if base_work < 0.0:
+            raise ConfigError(f"base work must be >= 0, got {base_work}")
+        return base_work * self.slowdown(rng)
+
+
+class MultiplicativeNoise(ContentionModel):
+    """Log-normal multiplicative noise around 1 (systemic jitter).
+
+    ``sigma`` controls spread; the median slowdown is exactly 1 so base
+    work is calibrated in median-wall-clock units.
+    """
+
+    def __init__(self, sigma: float = 0.3):
+        if sigma <= 0.0:
+            raise ConfigError(f"sigma must be positive, got {sigma}")
+        self.sigma = float(sigma)
+
+    def slowdown(self, rng: np.random.Generator) -> float:
+        return float(math.exp(rng.normal(0.0, self.sigma)))
+
+
+class BurstyContention(ContentionModel):
+    """Occasional heavy interference: with probability ``p_burst`` the
+    task lands on a machine moment suffering a large slowdown (straggler),
+    otherwise it runs near full speed.
+
+    ``load`` scales both the burst probability and magnitude — the knob
+    the load-fluctuation experiment (Figure 11) turns.
+    """
+
+    def __init__(
+        self,
+        p_burst: float = 0.08,
+        burst_mean: float = 6.0,
+        load: float = 1.0,
+    ):
+        if not 0.0 <= p_burst <= 1.0:
+            raise ConfigError(f"p_burst must be in [0,1], got {p_burst}")
+        if burst_mean < 1.0:
+            raise ConfigError(f"burst_mean must be >= 1, got {burst_mean}")
+        if load <= 0.0:
+            raise ConfigError(f"load must be positive, got {load}")
+        self.p_burst = float(p_burst)
+        self.burst_mean = float(burst_mean)
+        self.load = float(load)
+
+    def slowdown(self, rng: np.random.Generator) -> float:
+        p = min(1.0, self.p_burst * self.load)
+        if rng.random() < p:
+            # exponential burst magnitude on top of a doubled floor
+            return 2.0 + rng.exponential(self.burst_mean * self.load)
+        return 1.0
+
+    def with_load(self, load: float) -> "BurstyContention":
+        """Copy of this model at a different background load."""
+        return BurstyContention(
+            p_burst=self.p_burst, burst_mean=self.burst_mean, load=load
+        )
+
+
+class UtilizationSlowdown(ContentionModel):
+    """Queueing-style slowdown from background utilization.
+
+    Above nominal load the whole machine slows as ``1 / (1 - rho)`` with
+    ``rho = rho_per_excess_load * (load - 1)`` (clamped below 1) — the
+    classic M/M/1 inflation. At ``load <= 1`` the factor is exactly 1, so
+    enabling this model does not perturb nominal-load calibrations.
+    """
+
+    def __init__(self, load: float = 1.0, rho_per_excess_load: float = 0.3):
+        if load <= 0.0:
+            raise ConfigError(f"load must be positive, got {load}")
+        if not 0.0 < rho_per_excess_load < 1.0:
+            raise ConfigError(
+                f"rho_per_excess_load must be in (0,1), got {rho_per_excess_load}"
+            )
+        self.load = float(load)
+        self.rho_per_excess_load = float(rho_per_excess_load)
+
+    def slowdown(self, rng: np.random.Generator) -> float:
+        rho = min(0.9, self.rho_per_excess_load * max(0.0, self.load - 1.0))
+        return 1.0 / (1.0 - rho)
+
+    def with_load(self, load: float) -> "UtilizationSlowdown":
+        """Copy of this model at a different background load."""
+        return UtilizationSlowdown(
+            load=load, rho_per_excess_load=self.rho_per_excess_load
+        )
+
+
+class CompositeContention(ContentionModel):
+    """Product of independent contention sources (CPU x disk x network)."""
+
+    def __init__(self, components: list[ContentionModel]):
+        if not components:
+            raise ConfigError("need at least one contention component")
+        self.components = list(components)
+
+    def slowdown(self, rng: np.random.Generator) -> float:
+        out = 1.0
+        for comp in self.components:
+            out *= comp.slowdown(rng)
+        return out

@@ -1,0 +1,298 @@
+"""The deployment harness: a full partition-aggregate query on the
+miniature cluster.
+
+This plays the role of the paper's Spark-on-EC2 prototype (§5.1): 80
+quad-core machines (320 slots), fan-out 20 at the lower layer and 16 at
+the upper (320 processes), with a partial-aggregation operator whose
+timeout is driven by a wait policy. Durations are *endogenous*: each task
+carries base work (per-query scale x per-task noise) and its wall-clock
+time emerges from the machine it lands on (contention bursts = the
+stragglers of §2.2) plus slot queueing; aggregator shipping costs include
+combine time and network latency.
+
+The "offline" stage model Cedar and the baselines consume is *measured*,
+not assumed: profiling queries run with a hold-everything policy and the
+observed durations are fitted, exactly how a history-based production
+system would bootstrap itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..core import FixedStopPolicy, QueryContext, Stage, TreeSpec, WaitPolicy
+from ..distributions import LogNormal
+from ..errors import ConfigError
+from ..rng import SeedLike, resolve_rng, spawn
+from ..simulation.events import EventLoop
+from ..simulation.metrics import PolicyStats
+from ..simulation.runner import RunResult
+from .contention import (
+    BurstyContention,
+    CompositeContention,
+    MultiplicativeNoise,
+    UtilizationSlowdown,
+)
+from .machine import Cluster
+from .partial_agg import PartialAggregator
+from .scheduler import Scheduler
+from .task import Job, Task
+
+__all__ = ["DeploymentConfig", "ClusterQueryResult", "Deployment", "run_cluster_experiment"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DeploymentConfig:
+    """Knobs of the miniature deployment (defaults mirror §5.1)."""
+
+    n_machines: int = 80
+    slots_per_machine: int = 4
+    k1: int = 20  # processes per aggregator (lower-layer fan-out)
+    k2: int = 16  # aggregators (upper-layer fan-out)
+    #: per-query work scale: ln(scale) ~ Normal(work_mu, work_jitter).
+    #: Calibrated so deadline sweeps over [500, 3000] s reproduce the
+    #: Figure 7a improvement ladder (~200% down to ~2%).
+    work_mu: float = 6.9
+    work_jitter: float = 2.2
+    #: per-task work noise: ln factor ~ Normal(0, task_sigma)
+    task_sigma: float = 0.6
+    #: aggregator combine cost: base + per collected output
+    agg_base_cost: float = 60.0
+    agg_per_item_cost: float = 2.0
+    #: network shipping latency ~ LogNormal(net_mu, net_sigma)
+    net_mu: float = 3.0
+    net_sigma: float = 0.6
+    #: machine contention environment
+    noise_sigma: float = 0.4
+    p_burst: float = 0.04
+    burst_mean: float = 5.0
+    load: float = 1.0
+    #: profiling queries used to fit the offline stage model
+    profile_queries: int = 30
+
+    def __post_init__(self) -> None:
+        if self.k1 < 1 or self.k2 < 1:
+            raise ConfigError("fan-outs must be >= 1")
+        if self.task_sigma <= 0.0 or self.work_jitter < 0.0:
+            raise ConfigError("work spread parameters must be positive")
+        if self.profile_queries < 2:
+            raise ConfigError("need >= 2 profiling queries")
+
+    def with_load(self, load: float) -> "DeploymentConfig":
+        """Copy at a different background load (Figure 11's knob)."""
+        return dataclasses.replace(self, load=load)
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterQueryResult:
+    """Outcome of one deployed query."""
+
+    quality: float
+    included_outputs: int
+    total_outputs: int
+    task_finish_times: np.ndarray
+    ship_durations: np.ndarray
+    makespan: float
+
+
+class Deployment:
+    """A reusable miniature-cluster deployment.
+
+    Pass a :class:`~repro.cluster.speculation.SpeculationConfig` to run
+    queries under straggler mitigation (speculative copies +
+    blacklisting) — the §7 future-work combination; Cedar's wait
+    optimization composes with it unchanged.
+    """
+
+    def __init__(
+        self,
+        config: DeploymentConfig = DeploymentConfig(),
+        seed: SeedLike = None,
+        speculation=None,
+    ):
+        self.config = config
+        self.speculation = speculation
+        self._root_rng = resolve_rng(seed)
+        self._offline: Optional[TreeSpec] = None
+
+    # ------------------------------------------------------------------
+    def _build_cluster(self) -> Cluster:
+        cfg = self.config
+
+        def contention(machine_id: int):
+            return CompositeContention(
+                [
+                    MultiplicativeNoise(sigma=cfg.noise_sigma),
+                    BurstyContention(
+                        p_burst=cfg.p_burst,
+                        burst_mean=cfg.burst_mean,
+                        load=cfg.load,
+                    ),
+                    # queueing inflation above nominal load; identity at
+                    # load <= 1 so calibrations at load 1 are unchanged.
+                    UtilizationSlowdown(load=cfg.load),
+                ]
+            )
+
+        return Cluster.build(
+            n_machines=cfg.n_machines,
+            slots_per_machine=cfg.slots_per_machine,
+            contention_factory=contention,
+        )
+
+    def _make_job(self, deadline: float, rng: np.random.Generator) -> Job:
+        cfg = self.config
+        scale = math.exp(rng.normal(cfg.work_mu, cfg.work_jitter))
+        n_tasks = cfg.k1 * cfg.k2
+        works = scale * np.exp(rng.normal(0.0, cfg.task_sigma, size=n_tasks))
+        tasks = [
+            Task(task_id=i, aggregator_id=i % cfg.k2, base_work=float(works[i]))
+            for i in range(n_tasks)
+        ]
+        return Job(job_id=0, tasks=tasks, n_aggregators=cfg.k2, deadline=deadline)
+
+    def _ship_duration(self, collected: int, rng: np.random.Generator) -> float:
+        cfg = self.config
+        combine = cfg.agg_base_cost + cfg.agg_per_item_cost * collected
+        # combine work suffers the same kind of contention as tasks
+        noise = math.exp(rng.normal(0.0, cfg.noise_sigma))
+        latency = float(LogNormal(cfg.net_mu, cfg.net_sigma).sample(1, seed=rng)[0])
+        return combine * noise + latency
+
+    # ------------------------------------------------------------------
+    def offline_tree(self) -> TreeSpec:
+        """Measured population model: profile, then fit log-normals."""
+        if self._offline is None:
+            self._offline = self._profile()
+        return self._offline
+
+    def _profile(self) -> TreeSpec:
+        cfg = self.config
+        finish_pool: list[np.ndarray] = []
+        ship_pool: list[np.ndarray] = []
+        hold = FixedStopPolicy(stops=(float("1e18"),))
+        # placeholder context: the hold-everything policy ignores the
+        # offline model, and building the real one is what we're doing.
+        placeholder = TreeSpec(
+            [Stage(LogNormal(0.0, 1.0), cfg.k1), Stage(LogNormal(0.0, 1.0), cfg.k2)]
+        )
+        rng = resolve_rng(self._root_rng.integers(0, 2**63 - 1))
+        for q_rng in spawn(rng, cfg.profile_queries):
+            ctx = QueryContext(deadline=float("1e18"), offline_tree=placeholder)
+            res = self.run_query(hold, deadline=float("1e18"), rng=q_rng, ctx=ctx)
+            finish_pool.append(res.task_finish_times)
+            ship_pool.append(res.ship_durations)
+        x1 = LogNormal.from_samples(np.concatenate(finish_pool))
+        x2 = LogNormal.from_samples(np.concatenate(ship_pool))
+        return TreeSpec([Stage(x1, cfg.k1), Stage(x2, cfg.k2)])
+
+    def invalidate_offline(self) -> None:
+        """Drop the cached offline model (e.g. after a load change)."""
+        self._offline = None
+
+    # ------------------------------------------------------------------
+    def run_query(
+        self,
+        policy: WaitPolicy,
+        deadline: float,
+        rng: SeedLike = None,
+        ctx: Optional[QueryContext] = None,
+    ) -> ClusterQueryResult:
+        """Execute one query end-to-end on the event loop."""
+        cfg = self.config
+        q_rng = resolve_rng(rng) if rng is not None else resolve_rng(
+            self._root_rng.integers(0, 2**63 - 1)
+        )
+        if ctx is None:
+            ctx = QueryContext(deadline=deadline, offline_tree=self.offline_tree())
+        policy.begin_query(ctx)
+
+        cluster = self._build_cluster()
+        loop = EventLoop()
+        job = self._make_job(deadline, q_rng)
+
+        arrivals: list[tuple[int, float]] = []  # (payload, arrival_time)
+        ship_durations: list[float] = []
+
+        def deliver(agg_id: int, payload: int, arrival: float) -> None:
+            arrivals.append((payload, arrival))
+
+        def ship_duration(collected: int, ship_rng: np.random.Generator) -> float:
+            cost = self._ship_duration(collected, ship_rng)
+            ship_durations.append(cost)
+            return cost
+
+        aggregators = [
+            PartialAggregator(
+                agg_id=a,
+                fanout=cfg.k1,
+                controller=policy.controller(ctx, 1),
+                loop=loop,
+                ship_duration=ship_duration,
+                deliver=deliver,
+                rng=q_rng,
+            )
+            for a in range(cfg.k2)
+        ]
+
+        def on_finish(task: Task) -> None:
+            aggregators[task.aggregator_id].on_task_output(loop.now)
+
+        if self.speculation is not None:
+            from .speculation import SpeculativeScheduler
+
+            scheduler = SpeculativeScheduler(
+                cluster, loop, q_rng, on_finish, config=self.speculation
+            )
+        else:
+            scheduler = Scheduler(cluster, loop, q_rng, on_finish)
+        scheduler.submit(job.tasks)
+        makespan = loop.run()
+
+        included = sum(p for p, t in arrivals if t <= deadline)
+        total = cfg.k1 * cfg.k2
+        finish_times = np.array(
+            [t.finish_time for t in job.tasks if t.finish_time is not None]
+        )
+        return ClusterQueryResult(
+            quality=included / total,
+            included_outputs=included,
+            total_outputs=total,
+            task_finish_times=finish_times,
+            ship_durations=np.asarray(ship_durations),
+            makespan=makespan,
+        )
+
+
+def run_cluster_experiment(
+    deployment: Deployment,
+    policies: list[WaitPolicy],
+    deadline: float,
+    n_queries: int,
+    seed: SeedLike = None,
+) -> RunResult:
+    """Deployment counterpart of :func:`repro.simulation.run_experiment`."""
+    if n_queries < 1:
+        raise ConfigError(f"n_queries must be >= 1, got {n_queries}")
+    names = [p.name for p in policies]
+    if len(set(names)) != len(names):
+        raise ConfigError(f"duplicate policy names: {names}")
+    root = resolve_rng(seed)
+    offline = deployment.offline_tree()
+    qualities = {name: np.empty(n_queries) for name in names}
+    results: dict[str, list] = {name: [] for name in names}
+    for q_idx, q_rng in enumerate(spawn(root, n_queries)):
+        (duration_seed,) = q_rng.integers(0, 2**63 - 1, size=1)
+        ctx = QueryContext(deadline=deadline, offline_tree=offline)
+        for policy in policies:
+            p_rng = np.random.default_rng(int(duration_seed))
+            res = deployment.run_query(policy, deadline, rng=p_rng, ctx=ctx)
+            qualities[policy.name][q_idx] = res.quality
+            results[policy.name].append(res)
+    return RunResult(
+        deadline=deadline, n_queries=n_queries, qualities=qualities, results=results
+    )

@@ -1,0 +1,105 @@
+"""Machines and slots for the miniature cluster.
+
+Mirrors the paper's deployment: 80 quad-core EC2 machines = 320 process
+slots (§5.1). A machine owns a contention model (its local interference
+environment) and a fixed number of slots; the scheduler acquires and
+releases slots as tasks run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..errors import SchedulerError
+from .contention import ContentionModel, MultiplicativeNoise
+
+__all__ = ["Machine", "Cluster"]
+
+
+class Machine:
+    """One machine: slots plus a local contention environment."""
+
+    def __init__(
+        self, machine_id: int, n_slots: int, contention: ContentionModel
+    ):
+        if n_slots < 1:
+            raise SchedulerError(f"machine needs >= 1 slot, got {n_slots}")
+        self.machine_id = int(machine_id)
+        self.n_slots = int(n_slots)
+        self.contention = contention
+        self._busy = 0
+
+    @property
+    def free_slots(self) -> int:
+        """Slots currently available."""
+        return self.n_slots - self._busy
+
+    def acquire(self) -> None:
+        """Claim one slot for a task."""
+        if self._busy >= self.n_slots:
+            raise SchedulerError(
+                f"machine {self.machine_id} has no free slots"
+            )
+        self._busy += 1
+
+    def release(self) -> None:
+        """Return one slot."""
+        if self._busy <= 0:
+            raise SchedulerError(
+                f"machine {self.machine_id} released more slots than acquired"
+            )
+        self._busy -= 1
+
+    def run_duration(self, base_work: float, rng: np.random.Generator) -> float:
+        """Wall-clock duration of ``base_work`` under this machine's
+        contention environment."""
+        return self.contention.duration(base_work, rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Machine {self.machine_id} slots={self.n_slots} "
+            f"busy={self._busy}>"
+        )
+
+
+@dataclasses.dataclass
+class Cluster:
+    """A set of machines (the paper's 80 x 4-slot EC2 cluster by default)."""
+
+    machines: list[Machine]
+
+    @classmethod
+    def build(
+        cls,
+        n_machines: int = 80,
+        slots_per_machine: int = 4,
+        contention_factory=None,
+    ) -> "Cluster":
+        """Construct a cluster; ``contention_factory(machine_id)`` lets each
+        machine get its own environment (default: mild log-normal noise)."""
+        if n_machines < 1 or slots_per_machine < 1:
+            raise SchedulerError("cluster needs >= 1 machine and >= 1 slot")
+        if contention_factory is None:
+            contention_factory = lambda mid: MultiplicativeNoise(sigma=0.3)
+        machines = [
+            Machine(mid, slots_per_machine, contention_factory(mid))
+            for mid in range(n_machines)
+        ]
+        return cls(machines=machines)
+
+    @property
+    def total_slots(self) -> int:
+        """Total process slots in the cluster."""
+        return sum(m.n_slots for m in self.machines)
+
+    @property
+    def free_slots(self) -> int:
+        """Currently available slots across all machines."""
+        return sum(m.free_slots for m in self.machines)
+
+    def reset(self) -> None:
+        """Release all slots (between queries)."""
+        for machine in self.machines:
+            machine._busy = 0

@@ -1,0 +1,101 @@
+"""Event-driven partial aggregator.
+
+The piece the paper added to Spark: "an aggregator that can do partial
+aggregation, i.e., send results upstream after some timeout even when a
+subset of the lower level tasks have completed" (§5.1). Drives any
+:class:`~repro.core.AggregatorController` (Cedar's adaptive controller or
+a static baseline) on the cluster's event loop: arrivals re-arm the
+timeout, expiry triggers combine-and-ship.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core import AggregatorController
+from ..errors import SimulationError
+from ..simulation.events import Event, EventLoop
+
+__all__ = ["PartialAggregator"]
+
+
+class PartialAggregator:
+    """Collects task outputs until its controller's stop time, then ships."""
+
+    def __init__(
+        self,
+        agg_id: int,
+        fanout: int,
+        controller: AggregatorController,
+        loop: EventLoop,
+        ship_duration: Callable[[int, np.random.Generator], float],
+        deliver: Callable[[int, int, float], None],
+        rng: np.random.Generator,
+    ):
+        """``ship_duration(n_collected, rng)`` models the combine+send cost
+        (the deployment's X2); ``deliver(agg_id, payload, arrival_time)``
+        hands the shipment to the root."""
+        self.agg_id = int(agg_id)
+        self.fanout = int(fanout)
+        self.controller = controller
+        self.loop = loop
+        self._ship_duration = ship_duration
+        self._deliver = deliver
+        self._rng = rng
+        self._collected = 0
+        self._shipped = False
+        self._timer: Optional[Event] = None
+        self._arm_timer()
+
+    # ------------------------------------------------------------------
+    @property
+    def collected(self) -> int:
+        """Process outputs gathered so far."""
+        return self._collected
+
+    @property
+    def shipped(self) -> bool:
+        """Whether the upstream shipment has been sent."""
+        return self._shipped
+
+    # ------------------------------------------------------------------
+    def _arm_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+        stop = max(self.controller.stop_time, self.loop.now)
+        self._timer = self.loop.schedule_at(stop, self._expire)
+
+    def on_task_output(self, now: float) -> None:
+        """One downstream task finished; re-plan the timeout."""
+        if self._shipped:
+            return  # output arrived after we gave up waiting: dropped
+        if self._collected >= self.fanout:
+            raise SimulationError(
+                f"aggregator {self.agg_id} received more than fanout outputs"
+            )
+        self._collected += 1
+        self.controller.on_arrival(now)
+        if self._collected == self.fanout:
+            self._ship()
+            return
+        self._arm_timer()
+
+    def _expire(self) -> None:
+        if not self._shipped:
+            self._ship()
+
+    def _ship(self) -> None:
+        self._shipped = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        cost = self._ship_duration(self._collected, self._rng)
+        payload = self._collected
+        arrival = self.loop.now + cost
+
+        def arrive() -> None:
+            self._deliver(self.agg_id, payload, arrival)
+
+        self.loop.schedule(cost, arrive)

@@ -1,0 +1,257 @@
+"""Speculative execution and machine blacklisting (paper §7 future work).
+
+"Going forward, we plan to extend Cedar's algorithm to work tightly with
+straggler mitigation techniques by leveraging and contributing to
+speculation of processes and blacklisting of problematic machines."
+
+This module provides both mitigation mechanisms on the miniature cluster,
+in the style of the production systems the paper cites ([6, 32]):
+
+* :class:`SpeculativeScheduler` — a task still running when its age
+  exceeds ``threshold x`` the median duration of *completed* tasks gets a
+  backup copy on a different machine; whichever copy finishes first wins
+  and the loser is cancelled ("when the earlier of the original or
+  speculative copies finish, the unfinished task is killed", §2.2).
+* :class:`Blacklist` — machines whose completed tasks are repeatedly
+  much slower than the fleet median stop receiving new work.
+
+Cedar is complementary to both (§6: "stragglers still occur despite
+them") — the speculation ablation bench measures the combination.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..errors import SchedulerError
+from ..simulation.events import Event, EventLoop
+from .machine import Cluster, Machine
+from .task import Task, TaskState
+
+__all__ = ["SpeculationConfig", "Blacklist", "SpeculativeScheduler"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SpeculationConfig:
+    """Knobs for straggler mitigation."""
+
+    #: launch a backup once a task's age exceeds this multiple of the
+    #: median completed-task duration (Mantri/LATE-style trigger).
+    slow_task_threshold: float = 2.0
+    #: completed tasks required before speculation arms.
+    min_completed: int = 5
+    #: at most this fraction of original tasks may get backups.
+    max_speculative_fraction: float = 0.25
+    #: how often (in median-duration units) to rescan for stragglers.
+    scan_interval_medians: float = 0.5
+    #: blacklist a machine after this many of its tasks ran slower than
+    #: ``blacklist_slowdown`` x the fleet median (0 disables).
+    blacklist_strikes: int = 3
+    blacklist_slowdown: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.slow_task_threshold <= 1.0:
+            raise SchedulerError("slow_task_threshold must exceed 1")
+        if self.min_completed < 1:
+            raise SchedulerError("min_completed must be >= 1")
+        if not 0.0 < self.max_speculative_fraction <= 1.0:
+            raise SchedulerError("max_speculative_fraction must be in (0,1]")
+        if self.scan_interval_medians <= 0.0:
+            raise SchedulerError("scan_interval_medians must be positive")
+        if self.blacklist_strikes < 0:
+            raise SchedulerError("blacklist_strikes must be >= 0")
+        if self.blacklist_slowdown <= 1.0:
+            raise SchedulerError("blacklist_slowdown must exceed 1")
+
+
+class Blacklist:
+    """Strike-based machine blacklisting."""
+
+    def __init__(self, strikes: int, slowdown: float):
+        self.strikes = int(strikes)
+        self.slowdown = float(slowdown)
+        self._strikes: dict[int, int] = defaultdict(int)
+        self._banned: set[int] = set()
+
+    @property
+    def banned(self) -> frozenset[int]:
+        """Machine ids currently excluded from placement."""
+        return frozenset(self._banned)
+
+    def record(self, machine_id: int, duration: float, fleet_median: float) -> None:
+        """Account one completed task; ban the machine on enough strikes."""
+        if self.strikes == 0 or fleet_median <= 0.0:
+            return
+        if duration > self.slowdown * fleet_median:
+            self._strikes[machine_id] += 1
+            if self._strikes[machine_id] >= self.strikes:
+                self._banned.add(machine_id)
+
+    def allows(self, machine_id: int) -> bool:
+        """Whether the machine may receive new work."""
+        return machine_id not in self._banned
+
+
+class SpeculativeScheduler:
+    """FIFO scheduler with straggler speculation and blacklisting.
+
+    API mirrors :class:`~repro.cluster.scheduler.Scheduler`: ``submit``
+    queues tasks, ``on_finish`` fires exactly once per *logical* task
+    (whichever copy completes first).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        loop: EventLoop,
+        rng: np.random.Generator,
+        on_finish: Callable[[Task], None],
+        config: SpeculationConfig = SpeculationConfig(),
+    ):
+        self.cluster = cluster
+        self.loop = loop
+        self.rng = rng
+        self.on_finish = on_finish
+        self.config = config
+        self.blacklist = Blacklist(
+            config.blacklist_strikes, config.blacklist_slowdown
+        )
+        self._pending: list[Task] = []
+        self._running: dict[int, list[tuple[Task, Event, Machine]]] = {}
+        self._done: set[int] = set()
+        self._durations: list[float] = []
+        self._speculated: set[int] = set()
+        self._submitted = 0
+        self._scan_timer: Optional[Event] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def speculative_launched(self) -> int:
+        """Number of backup copies launched so far."""
+        return len(self._speculated)
+
+    @property
+    def finished_count(self) -> int:
+        """Logical tasks completed."""
+        return len(self._done)
+
+    def _median(self) -> float:
+        return float(np.median(self._durations)) if self._durations else 0.0
+
+    # ------------------------------------------------------------------
+    def submit(self, tasks: list[Task]) -> None:
+        """Queue tasks and start dispatching."""
+        for task in tasks:
+            if task.state is not TaskState.PENDING:
+                raise SchedulerError(
+                    f"task {task.task_id} submitted in state {task.state}"
+                )
+            self._pending.append(task)
+            self._submitted += 1
+        self._dispatch()
+        self._arm_scan()
+
+    def _free_machine(self, avoid: Optional[set[int]] = None) -> Optional[Machine]:
+        best: Optional[Machine] = None
+        for machine in self.cluster.machines:
+            if machine.free_slots <= 0:
+                continue
+            if not self.blacklist.allows(machine.machine_id):
+                continue
+            if avoid and machine.machine_id in avoid:
+                continue
+            if best is None or machine.free_slots > best.free_slots:
+                best = machine
+        return best
+
+    def _dispatch(self) -> None:
+        while self._pending:
+            machine = self._free_machine()
+            if machine is None:
+                return
+            task = self._pending.pop(0)
+            if task.task_id in self._done:
+                continue  # a backup already finished this logical task
+            self._start_copy(task, machine)
+
+    def _start_copy(self, task: Task, machine: Machine) -> None:
+        machine.acquire()
+        now = self.loop.now
+        if task.state is TaskState.PENDING:
+            task.start(machine.machine_id, now)
+        duration = machine.run_duration(task.base_work, self.rng)
+
+        def finish(task=task, machine=machine, started=now) -> None:
+            machine.release()
+            self._complete(task, machine, self.loop.now - started)
+
+        event = self.loop.schedule(duration, finish)
+        self._running.setdefault(task.task_id, []).append(
+            (task, event, machine, now)
+        )
+
+    def _complete(self, task: Task, machine: Machine, duration: float) -> None:
+        if task.task_id in self._done:
+            return  # a sibling copy won earlier (event raced with cancel)
+        self._done.add(task.task_id)
+        self._durations.append(duration)
+        fleet_median = self._median()
+        # cancel the losing copies, free their slots, and charge their
+        # machines with the slow evidence: the loser *would have* taken
+        # event.time - started, which is exactly why it was outrun.
+        for _, event, other, started in self._running.pop(task.task_id, []):
+            if not event.cancelled and event.time > self.loop.now:
+                event.cancel()
+                other.release()
+                self.blacklist.record(
+                    other.machine_id, event.time - started, fleet_median
+                )
+        if task.state is TaskState.RUNNING:
+            task.finish(self.loop.now)
+        task.machine_id = machine.machine_id
+        self.blacklist.record(machine.machine_id, duration, fleet_median)
+        self.on_finish(task)
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    def _arm_scan(self) -> None:
+        if self._scan_timer is not None and not self._scan_timer.cancelled:
+            return
+        median = self._median()
+        interval = max(
+            self.config.scan_interval_medians * median, 1e-6
+        ) if median > 0.0 else 1.0
+        self._scan_timer = self.loop.schedule(interval, self._scan)
+
+    def _scan(self) -> None:
+        self._scan_timer = None
+        self._speculate_stragglers()
+        if len(self._done) < self._submitted:
+            self._arm_scan()
+
+    def _speculate_stragglers(self) -> None:
+        cfg = self.config
+        if len(self._durations) < cfg.min_completed:
+            return
+        budget = int(cfg.max_speculative_fraction * self._submitted)
+        median = self._median()
+        threshold = cfg.slow_task_threshold * median
+        now = self.loop.now
+        for task_id, copies in list(self._running.items()):
+            if len(self._speculated) >= budget:
+                return
+            if task_id in self._speculated or task_id in self._done:
+                continue
+            task = copies[0][0]
+            if task.start_time is None or now - task.start_time < threshold:
+                continue
+            avoid = {m.machine_id for _, _, m, _ in copies}
+            machine = self._free_machine(avoid=avoid)
+            if machine is None:
+                return
+            self._speculated.add(task_id)
+            self._start_copy(task, machine)

@@ -1,0 +1,98 @@
+"""Tasks and jobs for the miniature partition-aggregate engine.
+
+A query compiles into one :class:`Job`: a process stage of
+``k1 * k2`` tasks feeding ``k2`` aggregators, which feed the root
+(matching the paper's Spark workflow: map tasks -> partial aggregation ->
+final result). Task base work is drawn per query (queries differ in how
+expensive their computation is — the "Britney Spears" vs "Britney Spears
+Grammy Toxic" example of §4.1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+from ..errors import SchedulerError
+
+__all__ = ["TaskState", "Task", "Job"]
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a task."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    FINISHED = "finished"
+
+
+@dataclasses.dataclass
+class Task:
+    """One process task: base work plus runtime bookkeeping."""
+
+    task_id: int
+    aggregator_id: int
+    base_work: float
+    state: TaskState = TaskState.PENDING
+    machine_id: Optional[int] = None
+    start_time: Optional[float] = None
+    finish_time: Optional[float] = None
+
+    def start(self, machine_id: int, now: float) -> None:
+        """Transition PENDING -> RUNNING on ``machine_id``."""
+        if self.state is not TaskState.PENDING:
+            raise SchedulerError(
+                f"task {self.task_id} started twice (state={self.state})"
+            )
+        self.state = TaskState.RUNNING
+        self.machine_id = machine_id
+        self.start_time = now
+
+    def finish(self, now: float) -> None:
+        """Transition RUNNING -> FINISHED."""
+        if self.state is not TaskState.RUNNING:
+            raise SchedulerError(
+                f"task {self.task_id} finished while {self.state}"
+            )
+        self.state = TaskState.FINISHED
+        self.finish_time = now
+
+    @property
+    def duration(self) -> float:
+        """Observed wall-clock duration (valid once finished)."""
+        if self.start_time is None or self.finish_time is None:
+            raise SchedulerError(f"task {self.task_id} has not run")
+        return self.finish_time - self.start_time
+
+
+@dataclasses.dataclass
+class Job:
+    """One query's task graph: tasks grouped by aggregator."""
+
+    job_id: int
+    tasks: list[Task]
+    n_aggregators: int
+    deadline: float
+
+    def __post_init__(self) -> None:
+        if self.n_aggregators < 1:
+            raise SchedulerError("job needs >= 1 aggregator")
+        if len(self.tasks) % self.n_aggregators != 0:
+            raise SchedulerError(
+                f"{len(self.tasks)} tasks not divisible by "
+                f"{self.n_aggregators} aggregators"
+            )
+        if self.deadline <= 0.0:
+            raise SchedulerError(f"deadline must be positive, got {self.deadline}")
+
+    @property
+    def fanout(self) -> int:
+        """Processes per aggregator (k1)."""
+        return len(self.tasks) // self.n_aggregators
+
+    def tasks_for(self, aggregator_id: int) -> list[Task]:
+        """Tasks feeding one aggregator."""
+        if not 0 <= aggregator_id < self.n_aggregators:
+            raise SchedulerError(f"no aggregator {aggregator_id}")
+        return [t for t in self.tasks if t.aggregator_id == aggregator_id]

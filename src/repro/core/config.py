@@ -1,0 +1,141 @@
+"""Aggregation-tree configuration (the paper's Table 1 notation).
+
+A query runs over an ``n``-stage tree, bottom-up:
+
+* stage 1 — the parallel *processes*; ``X1`` is their duration
+  distribution and ``k1`` the number of processes feeding each bottom
+  aggregator;
+* stage ``i`` (2 <= i <= n) — the *aggregators* at level ``i-1``; ``Xi``
+  is the time a level-(i-1) aggregator takes to combine results and ship
+  them upstream, and ``ki`` the number of stage-``i`` inputs combined by
+  each node one level up (``kn`` is the root's fan-in).
+
+The total number of processes is ``k1 * k2 * ... * kn`` and response
+quality is the fraction of them whose outputs are aggregated into the
+final response by the deadline ``D``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterable, Sequence
+
+from ..distributions import Distribution
+from ..errors import ConfigError
+
+__all__ = ["Stage", "TreeSpec"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Stage:
+    """One stage of the aggregation tree: duration distribution + fan-out."""
+
+    duration: Distribution
+    fanout: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.duration, Distribution):
+            raise ConfigError(
+                f"stage duration must be a Distribution, got {type(self.duration).__name__}"
+            )
+        if not isinstance(self.fanout, int) or isinstance(self.fanout, bool):
+            raise ConfigError(f"fanout must be an int, got {self.fanout!r}")
+        if self.fanout < 1:
+            raise ConfigError(f"fanout must be >= 1, got {self.fanout}")
+
+
+@dataclasses.dataclass(frozen=True)
+class TreeSpec:
+    """A full aggregation tree: stages bottom-up, as in Figure 5."""
+
+    stages: tuple[Stage, ...]
+
+    def __init__(self, stages: Iterable[Stage]):
+        stages_tuple = tuple(stages)
+        if len(stages_tuple) < 2:
+            raise ConfigError(
+                f"a tree needs >= 2 stages (processes + >= 1 aggregator level), "
+                f"got {len(stages_tuple)}"
+            )
+        for idx, stage in enumerate(stages_tuple):
+            if not isinstance(stage, Stage):
+                raise ConfigError(f"stages[{idx}] is not a Stage: {stage!r}")
+        object.__setattr__(self, "stages", stages_tuple)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_stages(self) -> int:
+        """``n`` in the paper's notation."""
+        return len(self.stages)
+
+    @property
+    def n_aggregator_levels(self) -> int:
+        """Number of aggregator levels (stages above the processes)."""
+        return self.n_stages - 1
+
+    @property
+    def fanouts(self) -> tuple[int, ...]:
+        """``(k1, ..., kn)``."""
+        return tuple(stage.fanout for stage in self.stages)
+
+    @property
+    def distributions(self) -> tuple[Distribution, ...]:
+        """``(X1, ..., Xn)``."""
+        return tuple(stage.duration for stage in self.stages)
+
+    @property
+    def total_processes(self) -> int:
+        """``k1 * k2 * ... * kn`` — the denominator of response quality."""
+        return math.prod(self.fanouts)
+
+    def aggregators_at_level(self, level: int) -> int:
+        """Number of aggregators at ``level`` (1 = bottom-most)."""
+        if not 1 <= level <= self.n_aggregator_levels:
+            raise ConfigError(
+                f"level must be in [1, {self.n_aggregator_levels}], got {level}"
+            )
+        return math.prod(self.fanouts[level:])
+
+    # ------------------------------------------------------------------
+    def subtree(self, from_stage: int) -> "TreeSpec":
+        """The subtree whose bottom stage is ``from_stage`` (1-indexed).
+
+        Used by the recursive quality formulation: the gain term of an
+        ``n``-level tree evaluates ``q_{n-1}`` on ``subtree(2)``.
+        """
+        if not 1 <= from_stage <= self.n_stages - 1:
+            raise ConfigError(
+                f"from_stage must be in [1, {self.n_stages - 1}], got {from_stage}"
+            )
+        return TreeSpec(self.stages[from_stage - 1 :])
+
+    def with_bottom(self, duration: Distribution, fanout: int | None = None) -> "TreeSpec":
+        """Replace the bottom stage's distribution (and optionally fan-out).
+
+        This is what Cedar effectively does each time it refreshes its
+        online estimate of ``X1``.
+        """
+        bottom = self.stages[0]
+        new_bottom = Stage(duration, bottom.fanout if fanout is None else fanout)
+        return TreeSpec((new_bottom,) + self.stages[1:])
+
+    @classmethod
+    def two_level(
+        cls, x1: Distribution, k1: int, x2: Distribution, k2: int
+    ) -> "TreeSpec":
+        """Convenience constructor for the Figure 5 two-level tree."""
+        return cls([Stage(x1, k1), Stage(x2, k2)])
+
+    @classmethod
+    def uniform(
+        cls, dists: Sequence[Distribution], fanout: int
+    ) -> "TreeSpec":
+        """Tree with the same fan-out at every stage."""
+        return cls([Stage(d, fanout) for d in dists])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(
+            f"({stage.duration!r}, k={stage.fanout})" for stage in self.stages
+        )
+        return f"TreeSpec[{parts}]"

@@ -1,0 +1,144 @@
+"""The dual problem (paper §6): minimum deadline for a quality target.
+
+"Consider the alternate system model ... where the deadline is set such
+that x% of the process outputs are collected at the root. Since Cedar's
+algorithm is solving the dual problem, it can be applied to such systems
+as well, i.e., Cedar can provide the same quality threshold at a lower
+deadline value thereby improving query response time."
+
+``q_n(D)`` is nondecreasing in ``D``, so the minimal deadline achieving a
+target quality is found by exponential bracketing plus bisection on the
+analytic quality model; :func:`deadline_savings` quantifies how much
+response time Cedar's optimal waits save over a baseline policy at the
+same quality threshold.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, Optional
+
+from ..errors import ConfigError
+from .config import TreeSpec
+from .quality import DEFAULT_GRID_POINTS, max_quality
+
+__all__ = ["min_deadline_for_quality", "deadline_savings", "DualResult"]
+
+#: quality above this is treated as unreachable (heavy tails mean exact
+#: 1.0 requires an unbounded deadline).
+_MAX_TARGET = 0.999
+
+
+@dataclasses.dataclass(frozen=True)
+class DualResult:
+    """Outcome of a dual-problem solve."""
+
+    target_quality: float
+    deadline: float
+    achieved_quality: float
+    iterations: int
+
+
+def min_deadline_for_quality(
+    tree: TreeSpec,
+    target: float,
+    initial_deadline: Optional[float] = None,
+    rel_tol: float = 1e-3,
+    grid_points: int = DEFAULT_GRID_POINTS,
+    max_iterations: int = 200,
+) -> DualResult:
+    """Smallest deadline at which ``q_n(D) >= target`` (optimal waits).
+
+    ``initial_deadline`` seeds the exponential bracketing; by default the
+    sum of stage means is used. Raises :class:`ConfigError` if the target
+    is out of range or cannot be bracketed within ``max_iterations``
+    doublings (pathologically heavy tails).
+    """
+    if not 0.0 < target <= _MAX_TARGET:
+        raise ConfigError(
+            f"target quality must be in (0, {_MAX_TARGET}], got {target}"
+        )
+    if initial_deadline is None:
+        initial_deadline = sum(s.duration.mean() for s in tree.stages)
+    if initial_deadline <= 0.0 or not math.isfinite(initial_deadline):
+        raise ConfigError(
+            f"initial_deadline must be positive and finite, got {initial_deadline}"
+        )
+
+    def q(d: float) -> float:
+        return max_quality(tree, d, grid_points=grid_points)
+
+    iterations = 0
+    lo, hi = 0.0, initial_deadline
+    while q(hi) < target:
+        lo = hi
+        hi *= 2.0
+        iterations += 1
+        if iterations > max_iterations:
+            raise ConfigError(
+                f"could not reach quality {target} within "
+                f"{max_iterations} deadline doublings"
+            )
+
+    # bisect (q is nondecreasing in D)
+    while hi - lo > rel_tol * hi:
+        mid = 0.5 * (lo + hi)
+        iterations += 1
+        if iterations > max_iterations:
+            break
+        if q(mid) >= target:
+            hi = mid
+        else:
+            lo = mid
+    return DualResult(
+        target_quality=target,
+        deadline=hi,
+        achieved_quality=q(hi),
+        iterations=iterations,
+    )
+
+
+def deadline_savings(
+    tree: TreeSpec,
+    target: float,
+    baseline_quality_at: Callable[[float], float],
+    initial_deadline: Optional[float] = None,
+    rel_tol: float = 1e-3,
+    grid_points: int = DEFAULT_GRID_POINTS,
+    max_iterations: int = 200,
+) -> tuple[DualResult, float]:
+    """Compare Cedar's minimal deadline against a baseline's.
+
+    ``baseline_quality_at(D)`` must be a nondecreasing quality curve for
+    the baseline policy (measured or analytic). Returns Cedar's
+    :class:`DualResult` and the baseline's minimal deadline for the same
+    target (``inf`` if the baseline never reaches it within the
+    bracketing budget).
+    """
+    cedar = min_deadline_for_quality(
+        tree,
+        target,
+        initial_deadline=initial_deadline,
+        rel_tol=rel_tol,
+        grid_points=grid_points,
+        max_iterations=max_iterations,
+    )
+    lo, hi = 0.0, cedar.deadline
+    iterations = 0
+    while baseline_quality_at(hi) < target:
+        lo = hi
+        hi *= 2.0
+        iterations += 1
+        if iterations > max_iterations:
+            return cedar, math.inf
+    while hi - lo > rel_tol * hi:
+        mid = 0.5 * (lo + hi)
+        iterations += 1
+        if iterations > max_iterations:
+            break
+        if baseline_quality_at(mid) >= target:
+            hi = mid
+        else:
+            lo = mid
+    return cedar, hi

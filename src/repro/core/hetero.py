@@ -1,0 +1,103 @@
+"""Heterogeneous silo trees (the Figure 2 topology).
+
+The paper's web-search figure shows the root aggregating across
+*functional silos* (news, web, video, ...) that differ in size and in
+stage behaviour. A :class:`Silo` is one such subtree with its own stage
+distributions and fan-outs; a :class:`HeteroQuery` is a deadline shared
+across silos. Because silos are independent below the root, the
+achievable quality decomposes as the process-count-weighted average of
+per-silo qualities, and each silo's wait optimization runs separately —
+the recursive model applies unchanged per silo.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Optional, Sequence
+
+from ..errors import ConfigError
+from .config import TreeSpec
+from .quality import DEFAULT_GRID_POINTS, max_quality
+from .wait import WaitSchedule, wait_schedule
+
+__all__ = ["Silo", "HeteroQuery", "hetero_max_quality", "hetero_wait_schedules"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Silo:
+    """One functional silo: a named subtree feeding the root."""
+
+    name: str
+    offline_tree: TreeSpec
+    true_tree: Optional[TreeSpec] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("silo needs a nonempty name")
+        if self.true_tree is not None and (
+            self.true_tree.n_stages != self.offline_tree.n_stages
+        ):
+            raise ConfigError(
+                f"silo {self.name!r}: true/offline stage counts differ"
+            )
+
+    @property
+    def tree(self) -> TreeSpec:
+        """The tree to evaluate (true if known, else offline)."""
+        return self.true_tree if self.true_tree is not None else self.offline_tree
+
+    @property
+    def total_processes(self) -> int:
+        """Processes inside this silo."""
+        return self.offline_tree.total_processes
+
+
+@dataclasses.dataclass(frozen=True)
+class HeteroQuery:
+    """A deadline shared by several independent silos."""
+
+    deadline: float
+    silos: tuple[Silo, ...]
+
+    def __init__(self, deadline: float, silos: Sequence[Silo]):
+        if deadline <= 0.0:
+            raise ConfigError(f"deadline must be positive, got {deadline}")
+        silos_tuple = tuple(silos)
+        if not silos_tuple:
+            raise ConfigError("need at least one silo")
+        names = [s.name for s in silos_tuple]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate silo names: {names}")
+        object.__setattr__(self, "deadline", float(deadline))
+        object.__setattr__(self, "silos", silos_tuple)
+
+    @property
+    def total_processes(self) -> int:
+        """Processes across all silos (the quality denominator)."""
+        return sum(s.total_processes for s in self.silos)
+
+
+def hetero_max_quality(
+    query: HeteroQuery, grid_points: int = DEFAULT_GRID_POINTS
+) -> float:
+    """Process-weighted maximum quality across silos."""
+    total = query.total_processes
+    acc = 0.0
+    for silo in query.silos:
+        q = max_quality(silo.tree, query.deadline, grid_points=grid_points)
+        acc += q * silo.total_processes
+    return acc / total
+
+
+def hetero_wait_schedules(
+    query: HeteroQuery, grid_points: int = DEFAULT_GRID_POINTS
+) -> Mapping[str, WaitSchedule]:
+    """Per-silo optimal wait schedules under the shared deadline.
+
+    The schedules differ across silos — exactly the flexibility a single
+    global wait (or proportional split over pooled means) cannot express.
+    """
+    return {
+        silo.name: wait_schedule(silo.tree, query.deadline, grid_points)
+        for silo in query.silos
+    }

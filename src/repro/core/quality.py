@@ -1,0 +1,255 @@
+"""The recursive response-quality model (paper §4.3, Equations 1-4).
+
+For an aggregator that has waited ``t`` and waits ``∆t`` longer:
+
+* expected **gain** in quality (Eqn 3):
+  ``(F1(t+∆t) - F1(t)) · q_{n-1}(D - (t+∆t))``
+* expected **loss** in quality (Eqn 4):
+  ``(F1(t) - F1(t)^k1) · (q_{n-1}(D-t) - q_{n-1}(D-(t+∆t)))``
+
+with the base case ``q_1(d) = F_{X_top}(d)``. The maximum achievable
+quality ``q_n(D)`` is the running maximum of accumulated net gain over the
+wait sweep (Pseudocode 2), and the argmax is the optimal wait duration.
+
+Everything here is computed on a uniform grid of step ``ε`` so the
+recursion composes by index arithmetic, and the per-query hot path
+(re-optimizing the bottom stage after each arrival) is a single
+vectorized sweep over a precomputed tail.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..distributions import Distribution
+from ..errors import ConfigError
+from .config import Stage, TreeSpec
+
+__all__ = [
+    "QualityGrid",
+    "WaitCurve",
+    "quality_gain",
+    "quality_loss",
+    "sweep_wait",
+    "tail_quality_grid",
+    "max_quality",
+    "optimal_wait",
+]
+
+#: default number of grid intervals for the ε-sweep.
+DEFAULT_GRID_POINTS = 512
+
+
+# ----------------------------------------------------------------------
+# scalar forms of Equations 3 and 4 (the readable reference; the grid
+# sweep below is the vectorized equivalent used everywhere hot).
+# ----------------------------------------------------------------------
+def quality_gain(
+    x1: Distribution, t: float, dt: float, tail_quality_at: float
+) -> float:
+    """Equation 3: expected quality gained by waiting ``(t, t+dt]``.
+
+    ``tail_quality_at`` is ``q_{n-1}(D - (t+dt))`` supplied by the caller.
+    """
+    if dt < 0.0:
+        raise ConfigError(f"dt must be >= 0, got {dt}")
+    return float((x1.cdf(t + dt) - x1.cdf(t)) * tail_quality_at)
+
+
+def quality_loss(
+    x1: Distribution,
+    k1: int,
+    t: float,
+    dt: float,
+    tail_quality_now: float,
+    tail_quality_later: float,
+) -> float:
+    """Equation 4: expected quality lost by waiting ``(t, t+dt]``.
+
+    ``tail_quality_now``/``tail_quality_later`` are ``q_{n-1}(D-t)`` and
+    ``q_{n-1}(D-(t+dt))``.
+    """
+    if dt < 0.0:
+        raise ConfigError(f"dt must be >= 0, got {dt}")
+    if k1 < 1:
+        raise ConfigError(f"k1 must be >= 1, got {k1}")
+    f_t = float(x1.cdf(t))
+    held = f_t - f_t**k1
+    return held * (tail_quality_now - tail_quality_later)
+
+
+# ----------------------------------------------------------------------
+# grid machinery
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class QualityGrid:
+    """``q(d)`` for a (sub)tree evaluated on a uniform deadline grid.
+
+    ``values[j]`` is the maximum expected quality of the subtree when its
+    deadline is ``j * epsilon``; ``values[0] == 0`` unless the bottom
+    distribution has an atom at zero.
+    """
+
+    epsilon: float
+    values: np.ndarray  # shape (m+1,)
+
+    @property
+    def deadline(self) -> float:
+        """The largest deadline representable on this grid."""
+        return self.epsilon * (len(self.values) - 1)
+
+    def at(self, d: float) -> float:
+        """Linear interpolation of q at deadline ``d`` (clamped to grid)."""
+        if d <= 0.0:
+            return float(self.values[0])
+        x = d / self.epsilon
+        j = min(int(x), len(self.values) - 1)
+        if j >= len(self.values) - 1:
+            return float(self.values[-1])
+        frac = x - j
+        return float((1.0 - frac) * self.values[j] + frac * self.values[j + 1])
+
+
+@dataclasses.dataclass(frozen=True)
+class WaitCurve:
+    """Accumulated net quality as a function of the wait duration.
+
+    ``quality[w]`` is the expected quality if the aggregator commits to
+    waiting exactly ``w * epsilon``; Pseudocode 2's answer is the argmax.
+    """
+
+    epsilon: float
+    quality: np.ndarray  # shape (m+1,)
+
+    @property
+    def optimal_index(self) -> int:
+        """Index of the optimal wait; ties broken toward the longer wait,
+        matching Pseudocode 2's ``q >= bestQ`` update rule."""
+        q = self.quality
+        return int(len(q) - 1 - np.argmax(q[::-1]))
+
+    @property
+    def optimal_wait(self) -> float:
+        """The wait duration maximizing expected quality."""
+        return self.optimal_index * self.epsilon
+
+    @property
+    def max_quality(self) -> float:
+        """Expected quality at the optimal wait."""
+        return float(self.quality[self.optimal_index])
+
+    def wait_grid(self) -> np.ndarray:
+        """The wait values corresponding to ``quality`` entries."""
+        return np.arange(len(self.quality)) * self.epsilon
+
+
+def sweep_wait(
+    x1: Distribution, k1: int, tail: QualityGrid
+) -> WaitCurve:
+    """Vectorized Pseudocode 2 for the bottom stage of a tree.
+
+    Sweeps wait ``c`` from 0 to the tail grid's deadline in steps of
+    ``tail.epsilon``, accumulating Equation-3 gains minus Equation-4
+    losses against the precomputed tail quality ``q_{n-1}``.
+    """
+    if k1 < 1:
+        raise ConfigError(f"k1 must be >= 1, got {k1}")
+    q_tail = tail.values
+    m = len(q_tail) - 1
+    eps = tail.epsilon
+    grid = np.arange(m + 1) * eps
+    f = np.clip(np.asarray(x1.cdf(grid), dtype=float), 0.0, 1.0)
+    held = f - f**k1  # (F - F^k), the loss-exposure factor
+    # step i covers (i*eps, (i+1)*eps]; arrays indexed i = 0..m-1
+    gains = np.diff(f) * q_tail[::-1][1:]  # (F[i+1]-F[i]) * q_tail[m-(i+1)]
+    q_rev = q_tail[::-1]  # q_rev[i] = q_tail[m-i]
+    losses = held[:-1] * (q_rev[:-1] - q_rev[1:])  # held[i]*(q[m-i]-q[m-i-1])
+    net = np.concatenate(([0.0], np.cumsum(gains - losses)))
+    return WaitCurve(epsilon=eps, quality=net)
+
+
+def _base_grid(top: Distribution, m: int, eps: float) -> QualityGrid:
+    """``q_1`` on the grid: probability the top stage finishes by ``d``."""
+    grid = np.arange(m + 1) * eps
+    vals = np.clip(np.asarray(top.cdf(grid), dtype=float), 0.0, 1.0)
+    return QualityGrid(epsilon=eps, values=vals)
+
+
+def tail_quality_grid(
+    stages: Sequence[Stage], deadline: float, grid_points: int = DEFAULT_GRID_POINTS
+) -> QualityGrid:
+    """Compute ``q`` for the subtree formed by ``stages`` on a grid.
+
+    ``stages`` is bottom-up; for the full-tree optimizer pass
+    ``tree.stages[1:]`` here and sweep the bottom stage separately (that is
+    what :class:`~repro.core.wait.WaitOptimizer` does).
+
+    The recursion costs ``O(levels * grid_points^2)`` once; per-query
+    re-optimizations reuse the result.
+    """
+    if deadline <= 0.0:
+        raise ConfigError(f"deadline must be positive, got {deadline}")
+    if grid_points < 2:
+        raise ConfigError(f"grid_points must be >= 2, got {grid_points}")
+    if len(stages) == 0:
+        raise ConfigError("need at least one stage")
+    m = int(grid_points)
+    eps = deadline / m
+    q = _base_grid(stages[-1].duration, m, eps)
+    # fold in lower stages one at a time, bottom-most last
+    for stage in reversed(list(stages)[:-1]):
+        q = _fold_stage(stage, q)
+    return q
+
+
+def _fold_stage(stage: Stage, tail: QualityGrid) -> QualityGrid:
+    """Given q for the upper subtree, compute q with ``stage`` below it.
+
+    ``q_new[j] = max_w sum of (gain - loss) steps`` for deadline ``j*eps``;
+    computed for every grid deadline so the result can serve as the tail of
+    the next level down.
+    """
+    eps = tail.epsilon
+    q_tail = tail.values
+    m = len(q_tail) - 1
+    grid = np.arange(m + 1) * eps
+    f = np.clip(np.asarray(stage.duration.cdf(grid), dtype=float), 0.0, 1.0)
+    held = f - f**stage.fanout
+    df = np.diff(f)
+    out = np.empty(m + 1)
+    out[0] = float(f[0] * q_tail[0])
+    for j in range(1, m + 1):
+        # steps i = 0..j-1; arrival bucket (i*eps,(i+1)*eps], remaining
+        # deadline after the bucket is (j-i-1)*eps.
+        qt = q_tail[j::-1]  # qt[i] = q_tail[j-i], length j+1
+        gains = df[:j] * qt[1 : j + 1]
+        losses = held[:j] * (qt[:j] - qt[1 : j + 1])
+        net = np.cumsum(gains - losses)
+        best = float(net.max(initial=0.0))
+        out[j] = best
+    return QualityGrid(epsilon=eps, values=out)
+
+
+# ----------------------------------------------------------------------
+# top-level conveniences
+# ----------------------------------------------------------------------
+def max_quality(
+    tree: TreeSpec, deadline: float, grid_points: int = DEFAULT_GRID_POINTS
+) -> float:
+    """``q_n(D)`` — maximum expected quality of ``tree`` under ``deadline``."""
+    tail = tail_quality_grid(tree.stages[1:], deadline, grid_points)
+    curve = sweep_wait(tree.stages[0].duration, tree.stages[0].fanout, tail)
+    return curve.max_quality
+
+
+def optimal_wait(
+    tree: TreeSpec, deadline: float, grid_points: int = DEFAULT_GRID_POINTS
+) -> float:
+    """Optimal bottom-aggregator wait duration for ``tree`` under ``deadline``."""
+    tail = tail_quality_grid(tree.stages[1:], deadline, grid_points)
+    curve = sweep_wait(tree.stages[0].duration, tree.stages[0].fanout, tail)
+    return curve.optimal_wait

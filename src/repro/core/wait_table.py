@@ -1,0 +1,230 @@
+"""Precomputed wait-duration tables (paper §4.3.3).
+
+"Further, one can simply precompute these wait-durations for recorded
+distributions." A :class:`WaitTable` tabulates the optimal wait over a
+``(mu, sigma)`` grid of log-normal bottom-stage parameters for one
+(upper-tree, deadline, fan-out) configuration, then answers lookups by
+bilinear interpolation — trading a one-time build for nanosecond-class
+per-arrival decisions, the deployment-friendly variant of the optimizer.
+
+:class:`TabulatedController` plugs a table into the Pseudocode 1 runtime,
+and :class:`CedarTabulatedPolicy` is the drop-in policy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..distributions import Distribution, LogNormal
+from ..errors import ConfigError
+from ..estimation import Estimator, OrderStatisticEstimator, StreamingEstimator
+from .aggregator import AggregatorController
+from .config import Stage
+from .policies import CedarPolicy, QueryContext, WaitPolicy, _check_level
+from .quality import DEFAULT_GRID_POINTS
+from .wait import WaitOptimizer
+
+__all__ = ["WaitTable", "TabulatedController", "CedarTabulatedPolicy"]
+
+
+@dataclasses.dataclass(frozen=True)
+class WaitTable:
+    """Bilinear-interpolated table of optimal waits over (mu, sigma)."""
+
+    mus: np.ndarray  # shape (M,), ascending
+    sigmas: np.ndarray  # shape (S,), ascending
+    waits: np.ndarray  # shape (M, S)
+    deadline: float
+    k: int
+
+    @classmethod
+    def build(
+        cls,
+        tail_stages: Sequence[Stage],
+        deadline: float,
+        k: int,
+        mu_range: tuple[float, float],
+        sigma_range: tuple[float, float],
+        n_mu: int = 32,
+        n_sigma: int = 16,
+        grid_points: int = DEFAULT_GRID_POINTS,
+    ) -> "WaitTable":
+        """Sweep the parameter grid once with the exact optimizer."""
+        if n_mu < 2 or n_sigma < 2:
+            raise ConfigError("need at least a 2x2 parameter grid")
+        if not mu_range[0] < mu_range[1]:
+            raise ConfigError(f"bad mu_range {mu_range}")
+        if not 0.0 < sigma_range[0] < sigma_range[1]:
+            raise ConfigError(f"bad sigma_range {sigma_range}")
+        if k < 1:
+            raise ConfigError(f"fan-out k must be >= 1, got {k}")
+        optimizer = WaitOptimizer(tail_stages, deadline, grid_points)
+        mus = np.linspace(mu_range[0], mu_range[1], n_mu)
+        sigmas = np.linspace(sigma_range[0], sigma_range[1], n_sigma)
+        waits = np.empty((n_mu, n_sigma))
+        for i, mu in enumerate(mus):
+            for j, sigma in enumerate(sigmas):
+                waits[i, j] = optimizer.optimize(LogNormal(mu, sigma), k)
+        return cls(mus=mus, sigmas=sigmas, waits=waits, deadline=deadline, k=k)
+
+    # ------------------------------------------------------------------
+    def lookup(self, mu: float, sigma: float) -> float:
+        """Bilinear interpolation; parameters are clamped to the grid."""
+        mu = float(np.clip(mu, self.mus[0], self.mus[-1]))
+        sigma = float(np.clip(sigma, self.sigmas[0], self.sigmas[-1]))
+        i = int(np.clip(np.searchsorted(self.mus, mu) - 1, 0, len(self.mus) - 2))
+        j = int(
+            np.clip(np.searchsorted(self.sigmas, sigma) - 1, 0, len(self.sigmas) - 2)
+        )
+        fmu = (mu - self.mus[i]) / (self.mus[i + 1] - self.mus[i])
+        fsg = (sigma - self.sigmas[j]) / (self.sigmas[j + 1] - self.sigmas[j])
+        w = self.waits
+        top = w[i, j] * (1 - fmu) + w[i + 1, j] * fmu
+        bot = w[i, j + 1] * (1 - fmu) + w[i + 1, j + 1] * fmu
+        return float(top * (1 - fsg) + bot * fsg)
+
+    def lookup_distribution(self, dist: Distribution) -> float:
+        """Lookup for a fitted LogNormal (the estimator's output)."""
+        if not isinstance(dist, LogNormal):
+            raise ConfigError(
+                f"wait table is parameterized over LogNormal, got {dist.family}"
+            )
+        return self.lookup(dist.mu, dist.sigma)
+
+    def max_abs_error_vs(
+        self, optimizer: WaitOptimizer, probe_points: int = 64, seed: int = 0
+    ) -> float:
+        """Max |table - exact| over random in-range probes (diagnostics)."""
+        rng = np.random.default_rng(seed)
+        mus = rng.uniform(self.mus[0], self.mus[-1], probe_points)
+        sigmas = rng.uniform(self.sigmas[0], self.sigmas[-1], probe_points)
+        worst = 0.0
+        for mu, sigma in zip(mus, sigmas):
+            exact = optimizer.optimize(LogNormal(mu, sigma), self.k)
+            worst = max(worst, abs(exact - self.lookup(mu, sigma)))
+        return worst
+
+
+class TabulatedController(AggregatorController):
+    """Pseudocode 1 with table lookups instead of per-arrival sweeps."""
+
+    def __init__(
+        self,
+        estimator: Estimator,
+        table: WaitTable,
+        k: int,
+        deadline: float,
+        min_samples: int = 2,
+    ):
+        if deadline <= 0.0:
+            raise ConfigError(f"deadline must be positive, got {deadline}")
+        if min_samples < estimator.min_samples:
+            raise ConfigError(
+                f"min_samples {min_samples} below estimator requirement "
+                f"{estimator.min_samples}"
+            )
+        self._stream = StreamingEstimator(estimator, k)
+        self._table = table
+        self._k = int(k)
+        self._deadline = float(deadline)
+        self._min_samples = int(min_samples)
+        self._stop = float(deadline)
+
+    @property
+    def stop_time(self) -> float:
+        return self._stop
+
+    @property
+    def n_received(self) -> int:
+        return self._stream.n_observed
+
+    def on_arrival(self, t: float) -> None:
+        self._stream.observe(t)
+        n = self._stream.n_observed
+        if n == self._k:
+            self._stop = t
+            return
+        if n < self._min_samples:
+            return
+        est = self._stream.estimate()
+        wait = self._table.lookup(est.mu, est.sigma)
+        self._stop = min(max(wait, t), self._deadline)
+
+
+class CedarTabulatedPolicy(WaitPolicy):
+    """Cedar with precomputed wait tables at the bottom level.
+
+    Tables are built lazily per (offline tail, deadline) and span a
+    parameter box around the offline fit: ``mu`` within
+    ``+-mu_halfwidth`` of the offline ``mu`` and ``sigma`` in
+    ``sigma_box`` times the offline ``sigma``.
+    """
+
+    name = "cedar-tabulated"
+
+    def __init__(
+        self,
+        estimator_factory: Callable[[], Estimator] | None = None,
+        grid_points: int = DEFAULT_GRID_POINTS,
+        mu_halfwidth: float = 4.0,
+        sigma_box: tuple[float, float] = (0.3, 2.5),
+        n_mu: int = 48,
+        n_sigma: int = 16,
+        min_samples: int = 2,
+    ):
+        self._estimator_factory = estimator_factory or (
+            lambda: OrderStatisticEstimator(family="lognormal")
+        )
+        self.grid_points = int(grid_points)
+        self.mu_halfwidth = float(mu_halfwidth)
+        self.sigma_box = sigma_box
+        self.n_mu = int(n_mu)
+        self.n_sigma = int(n_sigma)
+        self.min_samples = int(min_samples)
+        self._tables: dict[tuple, WaitTable] = {}
+        self._upper = CedarPolicy(grid_points=grid_points)
+
+    def _table(self, ctx: QueryContext) -> WaitTable:
+        key = (ctx.offline_tree.stages, round(ctx.deadline, 12))
+        found = self._tables.get(key)
+        if found is None:
+            bottom = ctx.offline_tree.stages[0]
+            offline = bottom.duration
+            if not isinstance(offline, LogNormal):
+                raise ConfigError(
+                    "CedarTabulatedPolicy needs a LogNormal offline bottom "
+                    f"stage, got {offline.family}"
+                )
+            found = WaitTable.build(
+                ctx.offline_tree.stages[1:],
+                ctx.deadline,
+                k=bottom.fanout,
+                mu_range=(
+                    offline.mu - self.mu_halfwidth,
+                    offline.mu + self.mu_halfwidth,
+                ),
+                sigma_range=(
+                    offline.sigma * self.sigma_box[0],
+                    offline.sigma * self.sigma_box[1],
+                ),
+                n_mu=self.n_mu,
+                n_sigma=self.n_sigma,
+                grid_points=self.grid_points,
+            )
+            self._tables[key] = found
+        return found
+
+    def controller(self, ctx: QueryContext, level: int) -> AggregatorController:
+        _check_level(ctx, level)
+        if level == 1:
+            return TabulatedController(
+                estimator=self._estimator_factory(),
+                table=self._table(ctx),
+                k=ctx.offline_tree.stages[0].fanout,
+                deadline=ctx.deadline,
+                min_samples=self.min_samples,
+            )
+        return self._upper.controller(ctx, level)

@@ -1,0 +1,51 @@
+"""Duration-distribution substrate.
+
+Provides the distribution families the paper works with (log-normal above
+all — the best fit for every production trace in §4.2.1), empirical trace
+replay, affine/truncation transforms, mixtures, and percentile-based
+family fitting (the rriskDistributions equivalent).
+"""
+
+from .base import Distribution
+from .empirical import Empirical
+from .exponential import Exponential
+from .fitting import (
+    CANDIDATE_FAMILIES,
+    DEFAULT_PROBS,
+    FitResult,
+    fit_distribution_type,
+    fit_family,
+    fit_samples,
+)
+from .gamma import Gamma
+from .lognormal import LogNormal
+from .mixture import Mixture, lognormal_with_pareto_tail
+from .normal import Normal, TruncatedNormal
+from .pareto import Pareto
+from .transforms import Scaled, Shifted, Truncated
+from .uniform import Uniform
+from .weibull import Weibull
+
+__all__ = [
+    "Distribution",
+    "LogNormal",
+    "Normal",
+    "TruncatedNormal",
+    "Exponential",
+    "Pareto",
+    "Weibull",
+    "Gamma",
+    "Uniform",
+    "Empirical",
+    "Mixture",
+    "lognormal_with_pareto_tail",
+    "Scaled",
+    "Shifted",
+    "Truncated",
+    "FitResult",
+    "fit_family",
+    "fit_distribution_type",
+    "fit_samples",
+    "DEFAULT_PROBS",
+    "CANDIDATE_FAMILIES",
+]

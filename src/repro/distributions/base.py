@@ -1,0 +1,190 @@
+"""Abstract base class for duration distributions.
+
+The Cedar algorithm only ever needs four operations from a stage-duration
+distribution: the CDF (for the quality model), the quantile function (for
+percentile fitting and ideal baselines), sampling (for the simulator), and
+moments (for the Proportional-split baseline). :class:`Distribution`
+declares those, provides numerically robust fallbacks where a closed form
+is missing, and adds conveniences (percentile tables, histogram support)
+shared by every family.
+
+Durations are nonnegative real numbers; the unit (seconds, milliseconds,
+microseconds) is the caller's business — the math is unit-agnostic.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+from scipy import integrate, optimize
+
+from ..errors import DistributionError
+from ..rng import SeedLike, resolve_rng
+
+__all__ = ["Distribution"]
+
+_QUANTILE_TOL = 1e-10
+
+
+class Distribution(abc.ABC):
+    """A univariate duration distribution.
+
+    Subclasses must implement :meth:`cdf` and :meth:`params`; everything
+    else has a default implementation, though most families override
+    :meth:`pdf`, :meth:`quantile`, :meth:`sample`, :meth:`mean`, and
+    :meth:`std` with closed forms.
+    """
+
+    #: short family name, e.g. ``"lognormal"``; set by subclasses.
+    family: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # core interface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def cdf(self, x):
+        """P(X <= x). Accepts scalars or arrays; vectorized."""
+
+    @abc.abstractmethod
+    def params(self) -> Mapping[str, float]:
+        """Return the distribution parameters as an ordered mapping."""
+
+    def pdf(self, x):
+        """Density at ``x``; default is a central difference of the CDF."""
+        x = np.asarray(x, dtype=float)
+        h = np.maximum(1e-6, np.abs(x) * 1e-6)
+        return (self.cdf(x + h) - self.cdf(x - h)) / (2.0 * h)
+
+    def quantile(self, p):
+        """Inverse CDF. Default: bracketed bisection on the CDF."""
+        p_arr = np.asarray(p, dtype=float)
+        if np.any((p_arr < 0.0) | (p_arr > 1.0)):
+            raise DistributionError(f"quantile probability out of [0,1]: {p!r}")
+        scalar = p_arr.ndim == 0
+        flat = np.atleast_1d(p_arr)
+        out = np.array([self._quantile_scalar(float(q)) for q in flat])
+        return float(out[0]) if scalar else out.reshape(p_arr.shape)
+
+    def _quantile_scalar(self, p: float) -> float:
+        if p <= 0.0:
+            return float(self.support()[0])
+        if p >= 1.0:
+            return float(self.support()[1])
+        lo, hi = self._quantile_bracket(p)
+        return float(
+            optimize.brentq(lambda x: self.cdf(x) - p, lo, hi, xtol=_QUANTILE_TOL)
+        )
+
+    def _quantile_bracket(self, p: float) -> tuple[float, float]:
+        lo, hi = self.support()
+        if not math.isfinite(lo):
+            lo = -1.0
+            while self.cdf(lo) > p:
+                lo *= 2.0
+        if not math.isfinite(hi):
+            hi = max(1.0, lo + 1.0)
+            while self.cdf(hi) < p:
+                hi *= 2.0
+        return lo, hi
+
+    def sample(self, size: int | tuple[int, ...] = 1, seed: SeedLike = None):
+        """Draw samples via inverse-transform; subclasses override."""
+        rng = resolve_rng(seed)
+        u = rng.random(size)
+        return self.quantile(u)
+
+    def support(self) -> tuple[float, float]:
+        """Return (lower, upper) bounds of the support."""
+        return (0.0, math.inf)
+
+    # ------------------------------------------------------------------
+    # moments
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        """E[X]; default numeric integration of the survival function."""
+        lo, hi = self.support()
+        if lo < 0:
+            raise DistributionError(
+                f"{self.family}: default mean() requires nonnegative support"
+            )
+        val, _ = integrate.quad(
+            lambda x: 1.0 - float(self.cdf(x)), lo, hi, limit=200
+        )
+        return float(lo + val)
+
+    def var(self) -> float:
+        """Var[X]; default numeric integration."""
+        m = self.mean()
+        lo, hi = self.support()
+        val, _ = integrate.quad(
+            lambda x: (x - m) ** 2 * float(self.pdf(x)), lo, hi, limit=200
+        )
+        return float(val)
+
+    def std(self) -> float:
+        """Standard deviation of X."""
+        return math.sqrt(self.var())
+
+    def median(self) -> float:
+        """The 50th percentile."""
+        return float(self.quantile(0.5))
+
+    def percentiles(self, probs: Sequence[float]) -> dict[float, float]:
+        """Return ``{p: quantile(p)}`` for each probability in ``probs``."""
+        return {float(p): float(self.quantile(p)) for p in probs}
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    def sf(self, x):
+        """Survival function P(X > x)."""
+        return 1.0 - self.cdf(x)
+
+    def prob_in(self, a: float, b: float) -> float:
+        """P(a < X <= b)."""
+        if b < a:
+            raise DistributionError(f"empty interval ({a}, {b}]")
+        return float(self.cdf(b) - self.cdf(a))
+
+    def scaled(self, factor: float) -> "Distribution":
+        """Return the distribution of ``factor * X`` (unit conversion)."""
+        from .transforms import Scaled
+
+        return Scaled(self, factor)
+
+    def shifted(self, offset: float) -> "Distribution":
+        """Return the distribution of ``X + offset``."""
+        from .transforms import Shifted
+
+        return Shifted(self, offset)
+
+    def truncated(
+        self, lower: Optional[float] = None, upper: Optional[float] = None
+    ) -> "Distribution":
+        """Return this distribution truncated to ``[lower, upper]``."""
+        from .transforms import Truncated
+
+        return Truncated(self, lower=lower, upper=upper)
+
+    # ------------------------------------------------------------------
+    # dunder plumbing
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{k}={v:.6g}" for k, v in self.params().items())
+        return f"{type(self).__name__}({inner})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Distribution):
+            return NotImplemented
+        if self.family != other.family:
+            return False
+        mine, theirs = self.params(), other.params()
+        if set(mine) != set(theirs):
+            return False
+        return all(math.isclose(mine[k], theirs[k], rel_tol=1e-12) for k in mine)
+
+    def __hash__(self) -> int:
+        return hash((self.family, tuple(sorted(self.params().items()))))

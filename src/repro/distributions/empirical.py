@@ -1,0 +1,109 @@
+"""Empirical distribution built from trace samples.
+
+The simulator can replay production-style traces directly: an
+:class:`Empirical` wraps a sorted array of observed durations and exposes
+the step-function CDF, linear-interpolated quantiles, and bootstrap-style
+sampling (draw with replacement). This is how "replaying individual jobs"
+from the Facebook trace (§5.1) is realized.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import DistributionError
+from ..rng import SeedLike, resolve_rng
+from .base import Distribution
+
+__all__ = ["Empirical"]
+
+
+class Empirical(Distribution):
+    """Distribution defined by an observed sample."""
+
+    family = "empirical"
+
+    def __init__(self, samples: Sequence[float]):
+        arr = np.sort(np.asarray(samples, dtype=float))
+        if arr.size == 0:
+            raise DistributionError("empirical distribution needs >= 1 sample")
+        if not np.all(np.isfinite(arr)):
+            raise DistributionError("empirical samples must be finite")
+        self._xs = arr
+        self._n = arr.size
+
+    # ------------------------------------------------------------------
+    @property
+    def samples(self) -> np.ndarray:
+        """The sorted underlying sample (read-only view)."""
+        view = self._xs.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def n(self) -> int:
+        """Number of underlying observations."""
+        return self._n
+
+    def params(self) -> Mapping[str, float]:
+        return {"n": float(self._n), "min": float(self._xs[0]), "max": float(self._xs[-1])}
+
+    # ------------------------------------------------------------------
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.searchsorted(self._xs, x, side="right") / self._n
+        return float(out) if out.ndim == 0 else out.astype(float)
+
+    def pdf(self, x):
+        raise DistributionError("empirical distribution has no density")
+
+    def quantile(self, p):
+        p = np.asarray(p, dtype=float)
+        if np.any((p < 0.0) | (p > 1.0)):
+            raise DistributionError("quantile probability out of [0,1]")
+        out = np.quantile(self._xs, p, method="linear")
+        return float(out) if np.ndim(out) == 0 else np.asarray(out)
+
+    def sample(self, size=1, seed: SeedLike = None):
+        rng = resolve_rng(seed)
+        return rng.choice(self._xs, size=size, replace=True)
+
+    def sample_without_replacement(self, size: int, seed: SeedLike = None):
+        """Draw ``size`` distinct observations (trace replay of one job)."""
+        if size > self._n:
+            raise DistributionError(
+                f"cannot draw {size} without replacement from {self._n} samples"
+            )
+        rng = resolve_rng(seed)
+        return rng.choice(self._xs, size=size, replace=False)
+
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        return float(np.mean(self._xs))
+
+    def var(self) -> float:
+        if self._n < 2:
+            return 0.0
+        return float(np.var(self._xs, ddof=1))
+
+    def std(self) -> float:
+        return math.sqrt(self.var())
+
+    def median(self) -> float:
+        return float(np.median(self._xs))
+
+    def support(self) -> tuple[float, float]:
+        return (float(self._xs[0]), float(self._xs[-1]))
+
+    # ------------------------------------------------------------------
+    def log_sample(self) -> np.ndarray:
+        """Return ``ln(samples)``; raises if any sample is nonpositive."""
+        if self._xs[0] <= 0.0:
+            raise DistributionError("log_sample requires positive samples")
+        return np.log(self._xs)
+
+    def __len__(self) -> int:
+        return self._n

@@ -1,0 +1,80 @@
+"""Exponential distribution.
+
+Mentioned in §4.2.2 as one of the parameter families the order-statistic
+estimator supports (rate ``lambda``); also a candidate family for the
+offline distribution-type fit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import DistributionError
+from ..rng import SeedLike, resolve_rng
+from .base import Distribution
+
+__all__ = ["Exponential"]
+
+
+class Exponential(Distribution):
+    """Exponential distribution with rate ``lam`` (mean ``1/lam``)."""
+
+    family = "exponential"
+
+    def __init__(self, lam: float):
+        if not (lam > 0.0 and math.isfinite(lam)):
+            raise DistributionError(f"exponential rate must be > 0, got {lam}")
+        self.lam = float(lam)
+
+    def params(self) -> Mapping[str, float]:
+        return {"lam": self.lam}
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.where(x > 0.0, -np.expm1(-self.lam * np.maximum(x, 0.0)), 0.0)
+        return float(out) if out.ndim == 0 else out
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.where(x >= 0.0, self.lam * np.exp(-self.lam * np.maximum(x, 0.0)), 0.0)
+        return float(out) if out.ndim == 0 else out
+
+    def quantile(self, p):
+        p = np.asarray(p, dtype=float)
+        if np.any((p < 0.0) | (p > 1.0)):
+            raise DistributionError("quantile probability out of [0,1]")
+        with np.errstate(divide="ignore"):
+            out = -np.log1p(-p) / self.lam
+        return float(out) if out.ndim == 0 else out
+
+    def sample(self, size=1, seed: SeedLike = None):
+        rng = resolve_rng(seed)
+        return rng.exponential(scale=1.0 / self.lam, size=size)
+
+    def mean(self) -> float:
+        return 1.0 / self.lam
+
+    def var(self) -> float:
+        return 1.0 / self.lam**2
+
+    def median(self) -> float:
+        return math.log(2.0) / self.lam
+
+    @classmethod
+    def from_samples(cls, samples) -> "Exponential":
+        arr = np.asarray(samples, dtype=float)
+        if arr.size < 1:
+            raise DistributionError("need at least 1 sample to fit exponential")
+        m = float(np.mean(arr))
+        if m <= 0.0:
+            raise DistributionError("exponential samples must have positive mean")
+        return cls(lam=1.0 / m)
+
+    @classmethod
+    def from_mean(cls, mean: float) -> "Exponential":
+        if mean <= 0.0:
+            raise DistributionError("mean must be positive")
+        return cls(lam=1.0 / mean)

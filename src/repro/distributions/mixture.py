@@ -1,0 +1,107 @@
+"""Finite mixture of distributions.
+
+Used to build tail-swapped workloads (log-normal body + Pareto tail, per
+the §4.2.1 discussion of extreme tails) and bimodal contention models in
+the cluster substrate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import DistributionError
+from ..rng import SeedLike, resolve_rng
+from .base import Distribution
+
+__all__ = ["Mixture", "lognormal_with_pareto_tail"]
+
+
+class Mixture(Distribution):
+    """Weighted finite mixture of component distributions."""
+
+    family = "mixture"
+
+    def __init__(self, components: Sequence[Distribution], weights: Sequence[float]):
+        if len(components) == 0:
+            raise DistributionError("mixture needs >= 1 component")
+        if len(components) != len(weights):
+            raise DistributionError(
+                f"{len(components)} components but {len(weights)} weights"
+            )
+        w = np.asarray(weights, dtype=float)
+        if np.any(w < 0.0):
+            raise DistributionError("mixture weights must be nonnegative")
+        total = float(np.sum(w))
+        if total <= 0.0:
+            raise DistributionError("mixture weights must not all be zero")
+        self.components = list(components)
+        self.weights = w / total
+
+    def params(self) -> Mapping[str, float]:
+        return {f"w{i}": float(w) for i, w in enumerate(self.weights)}
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        acc = np.zeros_like(x, dtype=float)
+        for comp, w in zip(self.components, self.weights):
+            acc = acc + w * np.asarray(comp.cdf(x), dtype=float)
+        return float(acc) if acc.ndim == 0 else acc
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        acc = np.zeros_like(x, dtype=float)
+        for comp, w in zip(self.components, self.weights):
+            acc = acc + w * np.asarray(comp.pdf(x), dtype=float)
+        return float(acc) if acc.ndim == 0 else acc
+
+    def sample(self, size=1, seed: SeedLike = None):
+        rng = resolve_rng(seed)
+        shape = (size,) if isinstance(size, int) else tuple(size)
+        total = int(np.prod(shape))
+        choices = rng.choice(len(self.components), size=total, p=self.weights)
+        out = np.empty(total, dtype=float)
+        for idx, comp in enumerate(self.components):
+            mask = choices == idx
+            count = int(np.sum(mask))
+            if count:
+                out[mask] = np.asarray(comp.sample(count, seed=rng), dtype=float)
+        return out.reshape(shape)
+
+    def mean(self) -> float:
+        return float(
+            sum(w * comp.mean() for comp, w in zip(self.components, self.weights))
+        )
+
+    def var(self) -> float:
+        m = self.mean()
+        second = sum(
+            w * (comp.var() + comp.mean() ** 2)
+            for comp, w in zip(self.components, self.weights)
+        )
+        return float(second - m * m)
+
+    def support(self) -> tuple[float, float]:
+        lows, highs = zip(*(c.support() for c in self.components))
+        return (min(lows), max(highs))
+
+
+def lognormal_with_pareto_tail(
+    mu: float, sigma: float, tail_prob: float = 0.005, tail_alpha: float = 1.5
+) -> Mixture:
+    """A log-normal body with a Pareto tail beyond quantile ``1 - tail_prob``.
+
+    Models the §4.2.1 observation that the extreme tail (~p99.5 and up) is
+    Pareto-like even when the body is log-normal.
+    """
+    from .lognormal import LogNormal
+    from .pareto import Pareto
+
+    if not 0.0 < tail_prob < 1.0:
+        raise DistributionError(f"tail_prob must be in (0,1), got {tail_prob}")
+    body = LogNormal(mu, sigma)
+    cut = float(body.quantile(1.0 - tail_prob))
+    tail = Pareto(xm=cut, alpha=tail_alpha)
+    return Mixture([body, tail], [1.0 - tail_prob, tail_prob])

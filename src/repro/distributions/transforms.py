@@ -1,0 +1,171 @@
+"""Affine and truncation transforms over distributions.
+
+Unit conversions (the Facebook trace "expressed in ms" for Figure 14),
+fixed network/setup offsets in the cluster substrate, and truncation for
+Gaussian duration workloads are all expressed as wrappers so any family
+composes with them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..errors import DistributionError
+from ..rng import SeedLike
+from .base import Distribution
+
+__all__ = ["Scaled", "Shifted", "Truncated"]
+
+
+class Scaled(Distribution):
+    """Distribution of ``factor * X`` for ``factor > 0``."""
+
+    family = "scaled"
+
+    def __init__(self, inner: Distribution, factor: float):
+        if not (factor > 0.0 and math.isfinite(factor)):
+            raise DistributionError(f"scale factor must be > 0, got {factor}")
+        self.inner = inner
+        self.factor = float(factor)
+
+    def params(self) -> Mapping[str, float]:
+        out = {f"inner.{k}": v for k, v in self.inner.params().items()}
+        out["factor"] = self.factor
+        return out
+
+    def cdf(self, x):
+        return self.inner.cdf(np.asarray(x, dtype=float) / self.factor)
+
+    def pdf(self, x):
+        return (
+            np.asarray(self.inner.pdf(np.asarray(x, dtype=float) / self.factor))
+            / self.factor
+        )
+
+    def quantile(self, p):
+        return np.asarray(self.inner.quantile(p)) * self.factor if np.ndim(p) else float(
+            self.inner.quantile(p)
+        ) * self.factor
+
+    def sample(self, size=1, seed: SeedLike = None):
+        return np.asarray(self.inner.sample(size, seed=seed)) * self.factor
+
+    def mean(self) -> float:
+        return self.inner.mean() * self.factor
+
+    def var(self) -> float:
+        return self.inner.var() * self.factor**2
+
+    def median(self) -> float:
+        return self.inner.median() * self.factor
+
+    def support(self) -> tuple[float, float]:
+        lo, hi = self.inner.support()
+        return (lo * self.factor, hi * self.factor)
+
+
+class Shifted(Distribution):
+    """Distribution of ``X + offset``."""
+
+    family = "shifted"
+
+    def __init__(self, inner: Distribution, offset: float):
+        if not math.isfinite(offset):
+            raise DistributionError(f"offset must be finite, got {offset}")
+        self.inner = inner
+        self.offset = float(offset)
+
+    def params(self) -> Mapping[str, float]:
+        out = {f"inner.{k}": v for k, v in self.inner.params().items()}
+        out["offset"] = self.offset
+        return out
+
+    def cdf(self, x):
+        return self.inner.cdf(np.asarray(x, dtype=float) - self.offset)
+
+    def pdf(self, x):
+        return self.inner.pdf(np.asarray(x, dtype=float) - self.offset)
+
+    def quantile(self, p):
+        inner = self.inner.quantile(p)
+        return np.asarray(inner) + self.offset if np.ndim(inner) else float(inner) + self.offset
+
+    def sample(self, size=1, seed: SeedLike = None):
+        return np.asarray(self.inner.sample(size, seed=seed)) + self.offset
+
+    def mean(self) -> float:
+        return self.inner.mean() + self.offset
+
+    def var(self) -> float:
+        return self.inner.var()
+
+    def median(self) -> float:
+        return self.inner.median() + self.offset
+
+    def support(self) -> tuple[float, float]:
+        lo, hi = self.inner.support()
+        return (lo + self.offset, hi + self.offset)
+
+
+class Truncated(Distribution):
+    """Inner distribution conditioned on ``lower <= X <= upper``."""
+
+    family = "truncated"
+
+    def __init__(
+        self,
+        inner: Distribution,
+        lower: Optional[float] = None,
+        upper: Optional[float] = None,
+    ):
+        lo_sup, hi_sup = inner.support()
+        self.lower = lo_sup if lower is None else float(lower)
+        self.upper = hi_sup if upper is None else float(upper)
+        if not self.lower < self.upper:
+            raise DistributionError(
+                f"empty truncation interval [{self.lower}, {self.upper}]"
+            )
+        self.inner = inner
+        self._Fa = float(inner.cdf(self.lower)) if math.isfinite(self.lower) else 0.0
+        self._Fb = float(inner.cdf(self.upper)) if math.isfinite(self.upper) else 1.0
+        self._Z = self._Fb - self._Fa
+        if self._Z <= 0.0:
+            raise DistributionError("truncation interval carries no mass")
+
+    def params(self) -> Mapping[str, float]:
+        out = {f"inner.{k}": v for k, v in self.inner.params().items()}
+        out["lower"] = self.lower
+        out["upper"] = self.upper
+        return out
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        raw = (np.asarray(self.inner.cdf(x), dtype=float) - self._Fa) / self._Z
+        out = np.clip(raw, 0.0, 1.0)
+        return float(out) if out.ndim == 0 else out
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        inside = (x >= self.lower) & (x <= self.upper)
+        out = np.where(inside, np.asarray(self.inner.pdf(x), dtype=float) / self._Z, 0.0)
+        return float(out) if out.ndim == 0 else out
+
+    def quantile(self, p):
+        p = np.asarray(p, dtype=float)
+        if np.any((p < 0.0) | (p > 1.0)):
+            raise DistributionError("quantile probability out of [0,1]")
+        out = self.inner.quantile(self._Fa + p * self._Z)
+        out = np.clip(out, self.lower, self.upper)
+        return float(out) if np.ndim(out) == 0 else out
+
+    def sample(self, size=1, seed: SeedLike = None):
+        from ..rng import resolve_rng
+
+        rng = resolve_rng(seed)
+        return self.quantile(rng.random(size))
+
+    def support(self) -> tuple[float, float]:
+        return (self.lower, self.upper)

@@ -1,0 +1,73 @@
+"""Uniform distribution — simplest fitting candidate; also handy in tests
+because its order statistics have closed-form Beta marginals."""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import DistributionError
+from ..rng import SeedLike, resolve_rng
+from .base import Distribution
+
+__all__ = ["Uniform"]
+
+
+class Uniform(Distribution):
+    """Uniform on ``[a, b]``."""
+
+    family = "uniform"
+
+    def __init__(self, a: float, b: float):
+        if not (math.isfinite(a) and math.isfinite(b) and a < b):
+            raise DistributionError(f"invalid uniform interval [{a}, {b}]")
+        self.a = float(a)
+        self.b = float(b)
+
+    def params(self) -> Mapping[str, float]:
+        return {"a": self.a, "b": self.b}
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.clip((x - self.a) / (self.b - self.a), 0.0, 1.0)
+        return float(out) if out.ndim == 0 else out
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.where((x >= self.a) & (x <= self.b), 1.0 / (self.b - self.a), 0.0)
+        return float(out) if out.ndim == 0 else out
+
+    def quantile(self, p):
+        p = np.asarray(p, dtype=float)
+        if np.any((p < 0.0) | (p > 1.0)):
+            raise DistributionError("quantile probability out of [0,1]")
+        out = self.a + p * (self.b - self.a)
+        return float(out) if out.ndim == 0 else out
+
+    def sample(self, size=1, seed: SeedLike = None):
+        rng = resolve_rng(seed)
+        return rng.uniform(self.a, self.b, size=size)
+
+    def mean(self) -> float:
+        return 0.5 * (self.a + self.b)
+
+    def var(self) -> float:
+        return (self.b - self.a) ** 2 / 12.0
+
+    def median(self) -> float:
+        return self.mean()
+
+    def support(self) -> tuple[float, float]:
+        return (self.a, self.b)
+
+    @classmethod
+    def from_samples(cls, samples) -> "Uniform":
+        arr = np.asarray(samples, dtype=float)
+        if arr.size < 2:
+            raise DistributionError("need at least 2 samples to fit uniform")
+        lo, hi = float(np.min(arr)), float(np.max(arr))
+        if lo == hi:
+            raise DistributionError("degenerate sample for uniform fit")
+        return cls(a=lo, b=hi)

@@ -1,0 +1,98 @@
+"""Weibull distribution — fitting candidate for duration traces."""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+from scipy import optimize, special
+
+from ..errors import DistributionError
+from ..rng import SeedLike, resolve_rng
+from .base import Distribution
+
+__all__ = ["Weibull"]
+
+
+class Weibull(Distribution):
+    """Weibull with shape ``k`` and scale ``lam``: F(x)=1-exp(-(x/lam)^k)."""
+
+    family = "weibull"
+
+    def __init__(self, k: float, lam: float):
+        if not (k > 0.0 and math.isfinite(k)):
+            raise DistributionError(f"weibull shape must be > 0, got {k}")
+        if not (lam > 0.0 and math.isfinite(lam)):
+            raise DistributionError(f"weibull scale must be > 0, got {lam}")
+        self.k = float(k)
+        self.lam = float(lam)
+
+    def params(self) -> Mapping[str, float]:
+        return {"k": self.k, "lam": self.lam}
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.where(x > 0.0, -np.expm1(-((np.maximum(x, 0.0) / self.lam) ** self.k)), 0.0)
+        return float(out) if out.ndim == 0 else out
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        xx = np.maximum(x, 1e-300)
+        val = (
+            (self.k / self.lam)
+            * (xx / self.lam) ** (self.k - 1.0)
+            * np.exp(-((xx / self.lam) ** self.k))
+        )
+        out = np.where(x > 0.0, val, 0.0)
+        return float(out) if out.ndim == 0 else out
+
+    def quantile(self, p):
+        p = np.asarray(p, dtype=float)
+        if np.any((p < 0.0) | (p > 1.0)):
+            raise DistributionError("quantile probability out of [0,1]")
+        with np.errstate(divide="ignore"):
+            out = self.lam * (-np.log1p(-p)) ** (1.0 / self.k)
+        return float(out) if out.ndim == 0 else out
+
+    def sample(self, size=1, seed: SeedLike = None):
+        rng = resolve_rng(seed)
+        return self.lam * rng.weibull(self.k, size=size)
+
+    def mean(self) -> float:
+        return self.lam * special.gamma(1.0 + 1.0 / self.k)
+
+    def var(self) -> float:
+        g1 = special.gamma(1.0 + 1.0 / self.k)
+        g2 = special.gamma(1.0 + 2.0 / self.k)
+        return self.lam**2 * (g2 - g1**2)
+
+    def median(self) -> float:
+        return self.lam * math.log(2.0) ** (1.0 / self.k)
+
+    @classmethod
+    def from_samples(cls, samples) -> "Weibull":
+        """Maximum-likelihood fit via the profile-likelihood equation in k."""
+        arr = np.asarray(samples, dtype=float)
+        if arr.size < 2 or np.any(arr <= 0.0):
+            raise DistributionError("need >=2 positive samples to fit weibull")
+        logs = np.log(arr)
+        mean_log = float(np.mean(logs))
+
+        def score(k: float) -> float:
+            # weighted mean of ln x with weights x^k, computed in log-space
+            # so huge k cannot overflow x**k.
+            z = k * logs
+            z -= z.max()
+            w = np.exp(z)
+            return float(np.dot(w, logs) / np.sum(w) - 1.0 / k - mean_log)
+
+        try:
+            k = optimize.brentq(score, 1e-3, 1e3)
+        except ValueError as exc:
+            raise DistributionError(f"weibull MLE failed to bracket: {exc}") from exc
+        # lam = (mean of x^k)^(1/k), again via log-space
+        z = k * logs
+        m = float(z.max())
+        lam = float(math.exp((m + math.log(np.mean(np.exp(z - m)))) / k))
+        return cls(k=k, lam=lam)

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the Cedar reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DistributionError(ReproError):
+    """Invalid distribution parameters or unsupported operation."""
+
+
+class FitError(ReproError):
+    """A distribution fit failed or had no valid candidate."""
+
+
+class EstimationError(ReproError):
+    """An online estimator cannot produce an estimate yet or at all."""
+
+
+class ConfigError(ReproError):
+    """Invalid experiment, topology, or policy configuration."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class SchedulerError(ReproError):
+    """The cluster substrate scheduler reached an inconsistent state."""
+
+
+class TraceError(ReproError):
+    """A workload trace is malformed or cannot be generated."""

@@ -1,0 +1,59 @@
+"""The naive "empirical" estimator — the biased baseline of Figures 9/10.
+
+Treats the earliest ``r`` arrivals as if they were an unbiased i.i.d.
+sample and computes plain (log-)moments. Because the sample is actually
+the ``r`` *smallest* of ``k`` draws, this systematically underestimates
+the mean and misestimates the spread; the paper quantifies the resulting
+quality loss at 30-70%.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import EstimationError
+from .base import Estimator, ParameterEstimate, validate_arrivals
+
+__all__ = ["EmpiricalEstimator"]
+
+_SIGMA_FLOOR = 1e-9
+
+
+class EmpiricalEstimator(Estimator):
+    """Biased moment estimator over the raw early arrivals."""
+
+    min_samples = 2
+
+    def estimate(self, arrivals: Sequence[float], k: int) -> ParameterEstimate:
+        arr = validate_arrivals(arrivals, k, min_samples=self.min_samples)
+        if self.family == "exponential":
+            mean = float(np.mean(arr))
+            if mean <= 0.0:
+                raise EstimationError("degenerate exponential arrivals")
+            return ParameterEstimate(
+                family="exponential",
+                mu=1.0 / mean,
+                sigma=0.0,
+                n_observed=arr.size,
+                k=k,
+                method="empirical",
+            )
+        if self.family == "lognormal":
+            if np.any(arr <= 0.0):
+                raise EstimationError("lognormal arrivals must be positive")
+            y = np.log(arr)
+        else:
+            y = arr
+        sigma = float(np.std(y, ddof=1))
+        if sigma < _SIGMA_FLOOR:
+            sigma = _SIGMA_FLOOR
+        return ParameterEstimate(
+            family=self.family,
+            mu=float(np.mean(y)),
+            sigma=sigma,
+            n_observed=arr.size,
+            k=k,
+            method="empirical",
+        )

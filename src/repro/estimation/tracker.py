@@ -1,0 +1,111 @@
+"""Rolling offline distribution tracking (paper §4.2.1).
+
+"Estimating the distribution type is an offline process that is repeated
+periodically across many completed queries." A :class:`DistributionTracker`
+is that process as a component: it keeps a bounded window of completed
+stage durations, periodically re-runs the family contest
+(:func:`repro.distributions.fit_samples`), and exposes the current best
+fit. Systems hand it to Cedar as the source of the offline upper-stage
+model, so load drift (Figure 11) is absorbed at *both* time scales —
+per-query online learning below, windowed re-fitting above.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..distributions import Distribution, FitResult, fit_samples
+from ..errors import EstimationError
+
+__all__ = ["DistributionTracker"]
+
+
+class DistributionTracker:
+    """Windowed family re-fitting over completed-query durations."""
+
+    def __init__(
+        self,
+        window: int = 5000,
+        refit_every: int = 500,
+        min_samples: int = 50,
+        candidates: Optional[Sequence[str]] = None,
+    ):
+        if window < min_samples:
+            raise EstimationError(
+                f"window ({window}) must hold at least min_samples "
+                f"({min_samples})"
+            )
+        if refit_every < 1:
+            raise EstimationError("refit_every must be >= 1")
+        if min_samples < 10:
+            raise EstimationError("min_samples must be >= 10 for a stable fit")
+        self.window = int(window)
+        self.refit_every = int(refit_every)
+        self.min_samples = int(min_samples)
+        self.candidates = list(candidates) if candidates is not None else None
+        self._samples: deque[float] = deque(maxlen=self.window)
+        self._since_fit = 0
+        self._current: Optional[FitResult] = None
+        self._refits = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        """Durations currently in the window."""
+        return len(self._samples)
+
+    @property
+    def n_refits(self) -> int:
+        """How many times the family contest has been re-run."""
+        return self._refits
+
+    @property
+    def ready(self) -> bool:
+        """Whether a fit is available."""
+        return self._current is not None
+
+    # ------------------------------------------------------------------
+    def observe(self, duration: float) -> None:
+        """Record one completed stage duration."""
+        if not np.isfinite(duration) or duration < 0.0:
+            raise EstimationError(f"invalid duration {duration!r}")
+        self._samples.append(float(duration))
+        self._since_fit += 1
+        if (
+            len(self._samples) >= self.min_samples
+            and (self._current is None or self._since_fit >= self.refit_every)
+        ):
+            self._refit()
+
+    def observe_many(self, durations: Sequence[float]) -> None:
+        """Record a batch (e.g. one completed query's stage durations)."""
+        for d in durations:
+            self.observe(d)
+
+    def _refit(self) -> None:
+        results = fit_samples(list(self._samples), candidates=self.candidates)
+        self._current = results[0]
+        self._since_fit = 0
+        self._refits += 1
+
+    # ------------------------------------------------------------------
+    def current_fit(self) -> FitResult:
+        """The latest family-contest winner."""
+        if self._current is None:
+            raise EstimationError(
+                f"tracker needs {self.min_samples} samples, has {self.n_samples}"
+            )
+        return self._current
+
+    def current_distribution(self) -> Distribution:
+        """The fitted distribution of the latest winner."""
+        return self.current_fit().distribution
+
+    def reset(self) -> None:
+        """Drop the window (e.g. after a known regime change)."""
+        self._samples.clear()
+        self._since_fit = 0
+        self._current = None

@@ -1,0 +1,63 @@
+"""Shared infrastructure for the per-figure experiment modules.
+
+Every experiment module exposes ``run(scale=..., seed=...) -> ExperimentReport``.
+``scale`` selects a preset: ``"quick"`` (seconds — used by the benchmark
+harness and tests) or ``"full"`` (minutes — closer to paper-grade sample
+sizes). Reports render as monospace tables whose rows are the same series
+the paper's figure plots.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Sequence
+
+from ..analysis import format_csv, format_table
+from ..errors import ConfigError
+
+__all__ = ["ExperimentReport", "pick", "SCALES"]
+
+SCALES = ("quick", "full")
+
+
+def pick(scale: str, quick, full):
+    """Select a preset value by scale name."""
+    if scale == "quick":
+        return quick
+    if scale == "full":
+        return full
+    raise ConfigError(f"unknown scale {scale!r}; choose from {SCALES}")
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentReport:
+    """One regenerated table/figure."""
+
+    experiment: str
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple, ...]
+    notes: str = ""
+    #: free-form named scalars (headline numbers asserted by tests)
+    summary: Mapping[str, float] = dataclasses.field(default_factory=dict)
+
+    def table(self) -> str:
+        """Monospace rendering (what the bench target prints)."""
+        text = format_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            text += "\n" + self.notes + "\n"
+        return text
+
+    def to_csv(self) -> str:
+        """CSV rendering of the rows."""
+        return format_csv(self.headers, self.rows)
+
+    def column(self, name: str) -> list:
+        """Extract one column by header name."""
+        try:
+            idx = self.headers.index(name)
+        except ValueError as exc:
+            raise ConfigError(
+                f"no column {name!r}; have {list(self.headers)}"
+            ) from exc
+        return [row[idx] for row in self.rows]

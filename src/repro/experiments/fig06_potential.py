@@ -1,0 +1,83 @@
+"""Figure 6: the case for optimizing wait duration.
+
+Ideal (a-priori per-query distributions) vs Proportional-split on the
+Facebook workload, deadlines 500-3000 s, fan-out 50x50. Also reports the
+footnote-3 straw-men (Equal-split and Mean-subtract), which the paper
+notes "fare much worse".
+
+Shape targets: Ideal improves over Proportional-split by >100% at the
+tightest deadline, and Proportional-split fails to reach Ideal's
+D>1000s quality (~0.9) even at D=3000s.
+"""
+
+from __future__ import annotations
+
+from ..core import (
+    EqualSplitPolicy,
+    IdealPolicy,
+    MeanSubtractPolicy,
+    ProportionalSplitPolicy,
+)
+from ..rng import SeedLike
+from ..simulation import run_experiment
+from ..traces import facebook_workload
+from .common import ExperimentReport, pick
+
+__all__ = ["run", "DEADLINES_S"]
+
+DEADLINES_S = (500.0, 1000.0, 1500.0, 2000.0, 2500.0, 3000.0)
+
+
+def run(scale: str = "quick", seed: SeedLike = None) -> ExperimentReport:
+    """Regenerate the Figure 6 series."""
+    n_queries = pick(scale, 30, 200)
+    agg_sample = pick(scale, 10, 50)
+    grid_points = pick(scale, 256, 512)
+    deadlines = pick(scale, DEADLINES_S[::2], DEADLINES_S)
+
+    workload = facebook_workload()
+    policies = [
+        ProportionalSplitPolicy(),
+        EqualSplitPolicy(),
+        MeanSubtractPolicy(),
+        IdealPolicy(grid_points=grid_points),
+    ]
+    rows = []
+    first_improvement = None
+    for deadline in deadlines:
+        res = run_experiment(
+            workload, policies, deadline, n_queries, seed=seed, agg_sample=agg_sample
+        )
+        base = res.mean_quality("proportional-split")
+        ideal = res.mean_quality("ideal")
+        improvement = res.improvement("ideal", "proportional-split")
+        if first_improvement is None:
+            first_improvement = improvement
+        rows.append(
+            (
+                int(deadline),
+                round(base, 3),
+                round(res.mean_quality("equal-split"), 3),
+                round(res.mean_quality("mean-subtract"), 3),
+                round(ideal, 3),
+                round(improvement, 1),
+            )
+        )
+    return ExperimentReport(
+        experiment="fig06",
+        title="Figure 6 — Ideal vs straw-man wait selection (Facebook, k=50x50)",
+        headers=(
+            "deadline_s",
+            "proportional_split",
+            "equal_split",
+            "mean_subtract",
+            "ideal",
+            "ideal_improvement_%",
+        ),
+        rows=tuple(rows),
+        summary={
+            "improvement_at_tightest_deadline_%": float(first_improvement),
+            "baseline_at_longest_deadline": float(rows[-1][1]),
+            "ideal_at_longest_deadline": float(rows[-1][4]),
+        },
+    )

@@ -1,0 +1,135 @@
+"""Figure 7: improvement in response quality — deployment and simulation.
+
+(a) the miniature-cluster deployment (endogenous durations, fan-out 20x16
+    = 320 processes, matching the paper's 80x4-slot EC2 setup), policies
+    Proportional-split vs Cedar;
+(b) the trace-driven simulator (Facebook workload, fan-out 50x50),
+    policies Proportional-split vs Cedar vs Ideal.
+
+Shape targets: Cedar's improvement is largest at tight deadlines
+(paper: 10-197% deployment, 11-100% simulation), Cedar tracks Ideal, and
+the baseline never reaches Cedar's high-deadline quality.
+"""
+
+from __future__ import annotations
+
+from ..cluster import Deployment, DeploymentConfig, run_cluster_experiment
+from ..core import CedarPolicy, IdealPolicy, ProportionalSplitPolicy
+from ..rng import SeedLike
+from ..simulation import run_experiment
+from ..traces import facebook_workload
+from .common import ExperimentReport, pick
+
+__all__ = ["run", "run_deployment", "run_simulation", "DEADLINES_S"]
+
+DEADLINES_S = (500.0, 1000.0, 1500.0, 2000.0, 2500.0, 3000.0)
+
+
+def run_deployment(scale: str = "quick", seed: SeedLike = None) -> ExperimentReport:
+    """Figure 7a: the deployment half."""
+    n_queries = pick(scale, 15, 80)
+    profile_queries = pick(scale, 10, 40)
+    grid_points = pick(scale, 256, 512)
+    deadlines = pick(scale, DEADLINES_S[::2], DEADLINES_S)
+
+    deployment = Deployment(
+        DeploymentConfig(profile_queries=profile_queries), seed=seed
+    )
+    policies = [ProportionalSplitPolicy(), CedarPolicy(grid_points=grid_points)]
+    rows = []
+    for deadline in deadlines:
+        res = run_cluster_experiment(
+            deployment, policies, deadline, n_queries, seed=seed
+        )
+        base = res.mean_quality("proportional-split")
+        cedar = res.mean_quality("cedar")
+        rows.append(
+            (
+                int(deadline),
+                round(base, 3),
+                round(cedar, 3),
+                round(res.improvement("cedar", "proportional-split"), 1),
+            )
+        )
+    return ExperimentReport(
+        experiment="fig07a",
+        title="Figure 7a — response quality, deployment (fan-out 20x16)",
+        headers=("deadline_s", "proportional_split", "cedar", "improvement_%"),
+        rows=tuple(rows),
+        summary={
+            "improvement_at_tightest_deadline_%": float(rows[0][3]),
+            "improvement_at_longest_deadline_%": float(rows[-1][3]),
+        },
+    )
+
+
+def run_simulation(scale: str = "quick", seed: SeedLike = None) -> ExperimentReport:
+    """Figure 7b: the simulation half."""
+    n_queries = pick(scale, 25, 150)
+    agg_sample = pick(scale, 10, 50)
+    grid_points = pick(scale, 256, 512)
+    deadlines = pick(scale, DEADLINES_S[::2], DEADLINES_S)
+
+    workload = facebook_workload()
+    policies = [
+        ProportionalSplitPolicy(),
+        CedarPolicy(grid_points=grid_points),
+        IdealPolicy(grid_points=grid_points),
+    ]
+    rows = []
+    for deadline in deadlines:
+        res = run_experiment(
+            workload, policies, deadline, n_queries, seed=seed, agg_sample=agg_sample
+        )
+        rows.append(
+            (
+                int(deadline),
+                round(res.mean_quality("proportional-split"), 3),
+                round(res.mean_quality("cedar"), 3),
+                round(res.mean_quality("ideal"), 3),
+                round(res.improvement("cedar", "proportional-split"), 1),
+            )
+        )
+    return ExperimentReport(
+        experiment="fig07b",
+        title="Figure 7b — response quality, simulation (Facebook, k=50x50)",
+        headers=(
+            "deadline_s",
+            "proportional_split",
+            "cedar",
+            "ideal",
+            "cedar_improvement_%",
+        ),
+        rows=tuple(rows),
+        summary={
+            "improvement_at_tightest_deadline_%": float(rows[0][4]),
+            "cedar_vs_ideal_gap": float(rows[0][3] - rows[0][2]),
+        },
+    )
+
+
+def run(scale: str = "quick", seed: SeedLike = None) -> ExperimentReport:
+    """Both halves, concatenated into one report."""
+    dep = run_deployment(scale, seed)
+    sim = run_simulation(scale, seed)
+    headers = (
+        "half",
+        "deadline_s",
+        "proportional_split",
+        "cedar",
+        "ideal",
+        "cedar_improvement_%",
+    )
+    norm_rows = []
+    for row in dep.rows:
+        norm_rows.append(("deployment", row[0], row[1], row[2], "-", row[3]))
+    for row in sim.rows:
+        norm_rows.append(("simulation", row[0], row[1], row[2], row[3], row[4]))
+    return ExperimentReport(
+        experiment="fig07",
+        title="Figure 7 — improvement in response quality",
+        headers=headers,
+        rows=tuple(norm_rows),
+        summary={**{f"dep_{k}": v for k, v in dep.summary.items()},
+                 **{f"sim_{k}": v for k, v in sim.summary.items()}},
+    )

@@ -1,0 +1,66 @@
+"""Figure 8: CDF of per-query improvement at D = 1000 s.
+
+Cedar vs Proportional-split on the Facebook workload; queries whose
+baseline quality is below 5% are excluded "to prevent improvements from
+being unreasonably high" (paper §5.2). Shape targets: ~40% of queries
+improve by more than 50%, while the bottom fifth sees little gain (their
+process-duration tails leave no room for any wait choice).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import CedarPolicy, ProportionalSplitPolicy
+from ..rng import SeedLike
+from ..simulation import run_experiment
+from ..traces import facebook_workload
+from .common import ExperimentReport, pick
+
+__all__ = ["run", "DEADLINE_S", "MIN_BASELINE_QUALITY"]
+
+DEADLINE_S = 1000.0
+MIN_BASELINE_QUALITY = 0.05
+_CDF_LEVELS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+def run(scale: str = "quick", seed: SeedLike = None) -> ExperimentReport:
+    """Regenerate the Figure 8 CDF."""
+    n_queries = pick(scale, 60, 400)
+    agg_sample = pick(scale, 10, 50)
+    grid_points = pick(scale, 256, 512)
+
+    workload = facebook_workload()
+    policies = [ProportionalSplitPolicy(), CedarPolicy(grid_points=grid_points)]
+    res = run_experiment(
+        workload, policies, DEADLINE_S, n_queries, seed=seed, agg_sample=agg_sample
+    )
+    improvements = res.per_query_improvements(
+        "cedar", "proportional-split", min_baseline_quality=MIN_BASELINE_QUALITY
+    )
+    improvements = np.sort(improvements)
+    rows = [
+        (f"p{int(level * 100)}", round(float(np.quantile(improvements, level)), 1))
+        for level in _CDF_LEVELS
+    ]
+    frac_over_50 = float(np.mean(improvements > 50.0))
+    bottom_fifth_max = float(np.quantile(improvements, 0.2))
+    return ExperimentReport(
+        experiment="fig08",
+        title=(
+            "Figure 8 — CDF of per-query % improvement "
+            f"(D={int(DEADLINE_S)}s, baseline quality > {MIN_BASELINE_QUALITY:.0%})"
+        ),
+        headers=("cdf_level", "improvement_%"),
+        rows=tuple(rows),
+        notes=(
+            f"queries kept: {improvements.size}/{n_queries}; "
+            f"fraction improving >50%: {frac_over_50:.2f}; "
+            f"bottom-fifth improvement <= {bottom_fifth_max:.1f}%"
+        ),
+        summary={
+            "fraction_over_50pct": frac_over_50,
+            "bottom_fifth_improvement_%": bottom_fifth_max,
+            "median_improvement_%": float(np.quantile(improvements, 0.5)),
+        },
+    )

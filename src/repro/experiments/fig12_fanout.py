@@ -1,0 +1,93 @@
+"""Figure 12: sensitivity of Cedar's gains to the tree's fan-out.
+
+(a) equal fan-out at both levels, k1 = k2 swept over [5, 50];
+(b) upper fan-out fixed at 50, lower fan-out swept (the ratio k1/k2).
+
+D = 1000 s, Facebook workload. Shape targets: gains are smaller at low
+fan-out (fewer processes -> less variation, and complete collection is
+likelier, which rescues the baseline) and stabilize past k ~ 25 / ratio
+~ 0.2 (paper: ~50-55%).
+"""
+
+from __future__ import annotations
+
+from ..core import CedarPolicy, ProportionalSplitPolicy
+from ..rng import SeedLike
+from ..simulation import run_experiment
+from ..traces import facebook_workload
+from .common import ExperimentReport, pick
+
+__all__ = ["run", "run_equal_fanout", "run_fanout_ratio", "DEADLINE_S"]
+
+DEADLINE_S = 1000.0
+
+
+def _improvement(
+    k1: int, k2: int, n_queries: int, agg_sample, grid_points: int, seed
+) -> tuple[float, float, float]:
+    workload = facebook_workload(k1=k1, k2=k2)
+    policies = [ProportionalSplitPolicy(), CedarPolicy(grid_points=grid_points)]
+    res = run_experiment(
+        workload, policies, DEADLINE_S, n_queries, seed=seed, agg_sample=agg_sample
+    )
+    base = res.mean_quality("proportional-split")
+    cedar = res.mean_quality("cedar")
+    return base, cedar, res.improvement("cedar", "proportional-split")
+
+
+def run_equal_fanout(scale: str = "quick", seed: SeedLike = None) -> ExperimentReport:
+    """Figure 12a: k1 = k2 sweep."""
+    n_queries = pick(scale, 20, 120)
+    grid_points = pick(scale, 256, 512)
+    fanouts = pick(scale, (5, 15, 50), (5, 10, 15, 25, 35, 50))
+    rows = []
+    for k in fanouts:
+        base, cedar, imp = _improvement(
+            k, k, n_queries, min(10, k), grid_points, seed
+        )
+        rows.append((k, round(base, 3), round(cedar, 3), round(imp, 1)))
+    return ExperimentReport(
+        experiment="fig12a",
+        title=f"Figure 12a — improvement vs equal fan-out (D={int(DEADLINE_S)}s)",
+        headers=("fanout_k1_k2", "proportional_split", "cedar", "improvement_%"),
+        rows=tuple(rows),
+        summary={
+            "improvement_at_smallest_fanout_%": float(rows[0][3]),
+            "improvement_at_largest_fanout_%": float(rows[-1][3]),
+        },
+    )
+
+
+def run_fanout_ratio(scale: str = "quick", seed: SeedLike = None) -> ExperimentReport:
+    """Figure 12b: k2 = 50, k1 swept."""
+    n_queries = pick(scale, 20, 120)
+    grid_points = pick(scale, 256, 512)
+    k1_values = pick(scale, (5, 20, 50), (5, 10, 20, 30, 40, 50))
+    rows = []
+    for k1 in k1_values:
+        base, cedar, imp = _improvement(k1, 50, n_queries, 10, grid_points, seed)
+        rows.append(
+            (k1, round(k1 / 50.0, 2), round(base, 3), round(cedar, 3), round(imp, 1))
+        )
+    return ExperimentReport(
+        experiment="fig12b",
+        title=f"Figure 12b — improvement vs fan-out ratio k1/k2 (k2=50, D={int(DEADLINE_S)}s)",
+        headers=("k1", "ratio", "proportional_split", "cedar", "improvement_%"),
+        rows=tuple(rows),
+        summary={"improvement_at_ratio_1_%": float(rows[-1][4])},
+    )
+
+
+def run(scale: str = "quick", seed: SeedLike = None) -> ExperimentReport:
+    """Both halves of Figure 12."""
+    a = run_equal_fanout(scale, seed)
+    b = run_fanout_ratio(scale, seed)
+    rows = [("12a",) + row + ("-",) for row in a.rows]
+    rows += [("12b", row[0], row[2], row[3], row[4], row[1]) for row in b.rows]
+    return ExperimentReport(
+        experiment="fig12",
+        title="Figure 12 — fan-out sensitivity",
+        headers=("half", "k1", "proportional_split", "cedar", "improvement_%", "ratio"),
+        rows=tuple(rows),
+        summary={**a.summary, **b.summary},
+    )

@@ -1,0 +1,82 @@
+"""Figure 13: Cedar's gains grow with the number of tree levels.
+
+Two-level (map + reduce) vs three-level (map + reduce + reduce) Facebook
+trees. Since the deeper tree needs larger deadlines for the same quality,
+the paper plots improvement against the *baseline's achieved quality*
+rather than the raw deadline — we do the same: sweep deadlines per
+topology and report (baseline quality, improvement) pairs.
+
+Shape target: at comparable baseline quality, the three-level improvement
+exceeds the two-level one (deadline-splitting across more stages is
+harder, so optimizing it matters more).
+"""
+
+from __future__ import annotations
+
+from ..core import CedarPolicy, ProportionalSplitPolicy
+from ..rng import SeedLike
+from ..simulation import run_experiment
+from ..traces import facebook_three_level_workload, facebook_workload
+from .common import ExperimentReport, pick
+
+__all__ = ["run", "DEADLINES_2LEVEL_S", "DEADLINES_3LEVEL_S"]
+
+DEADLINES_2LEVEL_S = (600.0, 1000.0, 1600.0, 2400.0, 3200.0)
+DEADLINES_3LEVEL_S = (1200.0, 1700.0, 2400.0, 3300.0, 4400.0)
+
+
+def run(scale: str = "quick", seed: SeedLike = None) -> ExperimentReport:
+    """Regenerate the Figure 13 comparison."""
+    n_queries = pick(scale, 20, 120)
+    agg_sample = pick(scale, 10, 50)
+    grid_points = pick(scale, 192, 448)
+    deadlines_2 = pick(scale, DEADLINES_2LEVEL_S[::2], DEADLINES_2LEVEL_S)
+    deadlines_3 = pick(scale, DEADLINES_3LEVEL_S[::2], DEADLINES_3LEVEL_S)
+
+    configs = (
+        ("2-level", facebook_workload(), deadlines_2),
+        ("3-level", facebook_three_level_workload(), deadlines_3),
+    )
+    rows = []
+    summary = {}
+    for label, workload, deadlines in configs:
+        policies = [
+            ProportionalSplitPolicy(),
+            CedarPolicy(grid_points=grid_points),
+        ]
+        for deadline in deadlines:
+            res = run_experiment(
+                workload,
+                policies,
+                deadline,
+                n_queries,
+                seed=seed,
+                agg_sample=agg_sample,
+            )
+            base = res.mean_quality("proportional-split")
+            imp = res.improvement("cedar", "proportional-split")
+            rows.append(
+                (
+                    label,
+                    int(deadline),
+                    round(base, 3),
+                    round(res.mean_quality("cedar"), 3),
+                    round(imp, 1),
+                )
+            )
+        summary[f"{label}_improvement_at_first_deadline_%"] = float(
+            [r for r in rows if r[0] == label][0][4]
+        )
+    return ExperimentReport(
+        experiment="fig13",
+        title="Figure 13 — improvement vs baseline quality, 2-level vs 3-level",
+        headers=(
+            "topology",
+            "deadline_s",
+            "baseline_quality",
+            "cedar_quality",
+            "improvement_%",
+        ),
+        rows=tuple(rows),
+        summary=summary,
+    )

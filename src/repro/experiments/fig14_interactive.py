@@ -1,0 +1,63 @@
+"""Figure 14: the interactive workload.
+
+X1 = Facebook-shaped map distribution on the millisecond scale, X2 =
+Google's distribution (ms); fan-out 50x50, deadlines 140-170 ms (quoted
+production search budgets [30, 34]). Shape targets: Cedar provides
+30-70%+ improvements that decline with the deadline and nearly matches
+the ideal scheme.
+"""
+
+from __future__ import annotations
+
+from ..core import CedarPolicy, IdealPolicy, ProportionalSplitPolicy
+from ..rng import SeedLike
+from ..simulation import run_experiment
+from ..traces import INTERACTIVE_DEADLINES_MS, interactive_workload
+from .common import ExperimentReport, pick
+
+__all__ = ["run"]
+
+
+def run(scale: str = "quick", seed: SeedLike = None) -> ExperimentReport:
+    """Regenerate the Figure 14 series."""
+    n_queries = pick(scale, 25, 150)
+    agg_sample = pick(scale, 10, 50)
+    grid_points = pick(scale, 256, 512)
+    deadlines = pick(scale, INTERACTIVE_DEADLINES_MS[::3], INTERACTIVE_DEADLINES_MS)
+
+    workload = interactive_workload()
+    policies = [
+        ProportionalSplitPolicy(),
+        CedarPolicy(grid_points=grid_points),
+        IdealPolicy(grid_points=grid_points),
+    ]
+    rows = []
+    for deadline in deadlines:
+        res = run_experiment(
+            workload, policies, deadline, n_queries, seed=seed, agg_sample=agg_sample
+        )
+        rows.append(
+            (
+                int(deadline),
+                round(res.mean_quality("proportional-split"), 3),
+                round(res.mean_quality("cedar"), 3),
+                round(res.mean_quality("ideal"), 3),
+                round(res.improvement("cedar", "proportional-split"), 1),
+            )
+        )
+    return ExperimentReport(
+        experiment="fig14",
+        title="Figure 14 — interactive workload (FB-map ms + Google, k=50x50)",
+        headers=(
+            "deadline_ms",
+            "proportional_split",
+            "cedar",
+            "ideal",
+            "improvement_%",
+        ),
+        rows=tuple(rows),
+        summary={
+            "improvement_at_tightest_deadline_%": float(rows[0][4]),
+            "improvement_at_longest_deadline_%": float(rows[-1][4]),
+        },
+    )

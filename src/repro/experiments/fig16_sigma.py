@@ -1,0 +1,119 @@
+"""Figure 16: same trace at both stages, sweeping the bottom stage's
+variability (sigma of X1).
+
+Three instantiations, as in the paper: (a) Bing-Bing (microseconds,
+sigma1 in [2.10, 2.40]), (b) Google-Google (milliseconds, sigma1 in
+[1.40, 1.70]), (c) Facebook-Facebook (seconds, sigma1 in [2.00, 2.25]).
+mu of both stages and sigma of X2 come from the respective trace fits.
+
+Shape targets: Cedar's improvement over Proportional-split grows (or
+stays high) as sigma1 rises, and Cedar tracks the ideal scheme across the
+whole sweep.
+"""
+
+from __future__ import annotations
+
+from ..core import CedarPolicy, IdealPolicy, ProportionalSplitPolicy
+from ..rng import SeedLike
+from ..simulation import run_experiment
+from ..traces.base import LogNormalStageSpec, LogNormalWorkload
+from ..traces.bing import BING_MU, BING_SIGMA
+from ..traces.facebook import FACEBOOK_MAP_MU, FACEBOOK_MAP_SIGMA
+from ..traces.google import GOOGLE_MU, GOOGLE_SIGMA
+from .common import ExperimentReport, pick
+
+__all__ = ["run", "run_variant", "VARIANTS"]
+
+#: (name, mu1, sigma1 sweep, mu2, sigma2, deadline, unit)
+VARIANTS = {
+    "bing": ("Bing-Bing", BING_MU, (2.10, 2.20, 2.30, 2.40), BING_MU, BING_SIGMA, 4000.0, "us"),
+    "google": ("Google-Google", GOOGLE_MU, (1.40, 1.50, 1.60, 1.70), GOOGLE_MU, GOOGLE_SIGMA, 100.0, "ms"),
+    "facebook": ("Facebook-Facebook", FACEBOOK_MAP_MU, (2.00, 2.08, 2.16, 2.25), FACEBOOK_MAP_MU, FACEBOOK_MAP_SIGMA, 150.0, "s"),
+}
+
+#: cross-query drift of the bottom stage (what online learning exploits)
+_MU1_JITTER = 0.6
+
+
+def _workload(mu1: float, sigma1: float, mu2: float, sigma2: float) -> LogNormalWorkload:
+    return LogNormalWorkload(
+        [
+            LogNormalStageSpec(
+                mu=mu1,
+                sigma=sigma1,
+                fanout=50,
+                mu_jitter=_MU1_JITTER,
+                sigma_jitter=0.1,
+                sigma_floor=0.3,
+            ),
+            LogNormalStageSpec(mu=mu2, sigma=sigma2, fanout=50, mu_jitter=0.1),
+        ],
+        name=f"fig16-s{sigma1:.2f}",
+    )
+
+
+def run_variant(
+    variant: str, scale: str = "quick", seed: SeedLike = None
+) -> ExperimentReport:
+    """One Figure 16 panel (``bing``, ``google``, or ``facebook``)."""
+    label, mu1, sigmas, mu2, sigma2, deadline, unit = VARIANTS[variant]
+    n_queries = pick(scale, 25, 150)
+    agg_sample = pick(scale, 10, 50)
+    grid_points = pick(scale, 256, 512)
+    sweep = pick(scale, sigmas[::3] if len(sigmas) > 3 else sigmas, sigmas)
+
+    rows = []
+    for sigma1 in sweep:
+        workload = _workload(mu1, sigma1, mu2, sigma2)
+        policies = [
+            ProportionalSplitPolicy(),
+            CedarPolicy(grid_points=grid_points),
+            IdealPolicy(grid_points=grid_points),
+        ]
+        res = run_experiment(
+            workload, policies, deadline, n_queries, seed=seed, agg_sample=agg_sample
+        )
+        rows.append(
+            (
+                sigma1,
+                round(res.mean_quality("proportional-split"), 3),
+                round(res.improvement("cedar", "proportional-split"), 1),
+                round(res.improvement("ideal", "proportional-split"), 1),
+            )
+        )
+    return ExperimentReport(
+        experiment=f"fig16-{variant}",
+        title=(
+            f"Figure 16 ({label}) — improvement vs sigma(X1), "
+            f"D={deadline:g} {unit}"
+        ),
+        headers=("sigma1", "baseline_quality", "cedar_improvement_%", "ideal_improvement_%"),
+        rows=tuple(rows),
+        summary={
+            "cedar_improvement_at_max_sigma_%": float(rows[-1][2]),
+            "ideal_improvement_at_max_sigma_%": float(rows[-1][3]),
+        },
+    )
+
+
+def run(scale: str = "quick", seed: SeedLike = None) -> ExperimentReport:
+    """All three panels of Figure 16."""
+    rows = []
+    summary = {}
+    for variant in VARIANTS:
+        rep = run_variant(variant, scale, seed)
+        rows += [(variant,) + row for row in rep.rows]
+        summary.update({f"{variant}_{k}": v for k, v in rep.summary.items()})
+    return ExperimentReport(
+        experiment="fig16",
+        title="Figure 16 — improvement vs sigma(X1), same trace at both stages",
+        headers=(
+            "variant",
+            "sigma1",
+            "baseline_quality",
+            "cedar_improvement_%",
+            "ideal_improvement_%",
+        ),
+        rows=tuple(rows),
+        summary=summary,
+    )

@@ -1,0 +1,140 @@
+"""Persist and compare experiment reports.
+
+Reproduction results should be diffable across runs: a report saves as a
+JSON document (rows + metadata), reloads losslessly, and two runs of the
+same experiment compare column-by-column with a tolerance — the guard
+that a refactor did not silently move the numbers. The benchmark harness
+writes tables under ``benchmarks/output/``; this store is the structured
+counterpart for programmatic use.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Mapping, Optional
+
+from ..errors import ConfigError
+from .common import ExperimentReport
+
+__all__ = ["save_report", "load_report", "compare_reports", "ReportDiff"]
+
+_FORMAT_VERSION = 1
+
+
+def save_report(
+    report: ExperimentReport,
+    directory: str | pathlib.Path,
+    metadata: Optional[Mapping[str, object]] = None,
+) -> pathlib.Path:
+    """Write ``<experiment>.json`` into ``directory``; returns the path."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "format_version": _FORMAT_VERSION,
+        "experiment": report.experiment,
+        "title": report.title,
+        "headers": list(report.headers),
+        "rows": [list(row) for row in report.rows],
+        "notes": report.notes,
+        "summary": dict(report.summary),
+        "metadata": dict(metadata or {}),
+    }
+    path = directory / f"{report.experiment}.json"
+    path.write_text(json.dumps(doc, indent=1))
+    return path
+
+
+def load_report(path: str | pathlib.Path) -> ExperimentReport:
+    """Reload a saved report."""
+    try:
+        doc = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigError(f"cannot read report {path}: {exc}") from exc
+    if doc.get("format_version") != _FORMAT_VERSION:
+        raise ConfigError(
+            f"unsupported report format {doc.get('format_version')!r}"
+        )
+    try:
+        return ExperimentReport(
+            experiment=doc["experiment"],
+            title=doc["title"],
+            headers=tuple(doc["headers"]),
+            rows=tuple(tuple(row) for row in doc["rows"]),
+            notes=doc.get("notes", ""),
+            summary=doc.get("summary", {}),
+        )
+    except KeyError as exc:
+        raise ConfigError(f"malformed report {path}: missing {exc}") from exc
+
+
+@dataclasses.dataclass(frozen=True)
+class ReportDiff:
+    """Outcome of comparing two reports of the same experiment."""
+
+    experiment: str
+    #: (row index, column name, reference value, new value) per drift
+    drifts: tuple[tuple[int, str, float, float], ...]
+    max_rel_drift: float
+
+    @property
+    def clean(self) -> bool:
+        """No drift beyond tolerance."""
+        return not self.drifts
+
+
+def compare_reports(
+    reference: ExperimentReport,
+    new: ExperimentReport,
+    rel_tol: float = 0.15,
+    abs_tol: float = 0.02,
+) -> ReportDiff:
+    """Column-wise numeric comparison of two runs.
+
+    A cell drifts when it differs by more than ``abs_tol`` *and* more
+    than ``rel_tol`` relative to the reference. Non-numeric cells must
+    match exactly; structural differences raise.
+    """
+    if reference.experiment != new.experiment:
+        raise ConfigError(
+            f"comparing different experiments: {reference.experiment!r} "
+            f"vs {new.experiment!r}"
+        )
+    if reference.headers != new.headers:
+        raise ConfigError("reports have different columns")
+    if len(reference.rows) != len(new.rows):
+        raise ConfigError(
+            f"reports have {len(reference.rows)} vs {len(new.rows)} rows"
+        )
+    drifts = []
+    max_rel = 0.0
+    for r_idx, (ref_row, new_row) in enumerate(zip(reference.rows, new.rows)):
+        for header, ref_val, new_val in zip(reference.headers, ref_row, new_row):
+            ref_num = _as_float(ref_val)
+            new_num = _as_float(new_val)
+            if ref_num is None or new_num is None:
+                if ref_val != new_val:
+                    raise ConfigError(
+                        f"non-numeric cell changed at row {r_idx}, "
+                        f"column {header!r}: {ref_val!r} -> {new_val!r}"
+                    )
+                continue
+            diff = abs(new_num - ref_num)
+            rel = diff / max(abs(ref_num), 1e-12)
+            max_rel = max(max_rel, rel if diff > abs_tol else 0.0)
+            if diff > abs_tol and rel > rel_tol:
+                drifts.append((r_idx, header, ref_num, new_num))
+    return ReportDiff(
+        experiment=reference.experiment,
+        drifts=tuple(drifts),
+        max_rel_drift=max_rel,
+    )
+
+
+def _as_float(value) -> Optional[float]:
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    return None

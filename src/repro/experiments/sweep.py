@@ -1,0 +1,147 @@
+"""User-defined sweeps from a JSON spec.
+
+The per-figure modules are fixed reproductions; real users want their
+own sweeps ("my workload, these deadlines, those policies"). A sweep
+spec is a small JSON document::
+
+    {
+      "name": "my-sweep",
+      "workload": {"name": "facebook", "kwargs": {"k1": 25, "k2": 25}},
+      "policies": ["proportional-split", "cedar", "ideal"],
+      "deadlines": [500, 1000, 2000],
+      "n_queries": 50,
+      "agg_sample": 10,
+      "seed": 7,
+      "grid_points": 256
+    }
+
+``workload.name`` resolves through :data:`repro.traces.WORKLOADS`;
+policies through :data:`POLICY_FACTORIES` below. The result is a normal
+:class:`~repro.experiments.common.ExperimentReport`, so sweeps print,
+plot, and CSV-export exactly like the paper figures.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Mapping
+
+from ..core import (
+    CedarDeepPolicy,
+    CedarEmpiricalPolicy,
+    CedarOfflinePolicy,
+    CedarPolicy,
+    EqualSplitPolicy,
+    IdealPolicy,
+    MeanSubtractPolicy,
+    ProportionalSplitPolicy,
+)
+from ..core.wait_table import CedarTabulatedPolicy
+from ..errors import ConfigError
+from ..simulation import run_experiment
+from ..traces import make_workload
+from .common import ExperimentReport
+
+__all__ = ["POLICY_FACTORIES", "load_spec", "run_sweep", "run_sweep_file"]
+
+POLICY_FACTORIES = {
+    "proportional-split": lambda gp: ProportionalSplitPolicy(),
+    "equal-split": lambda gp: EqualSplitPolicy(),
+    "mean-subtract": lambda gp: MeanSubtractPolicy(),
+    "cedar": lambda gp: CedarPolicy(grid_points=gp),
+    "cedar-deep": lambda gp: CedarDeepPolicy(grid_points=gp),
+    "cedar-empirical": lambda gp: CedarEmpiricalPolicy(grid_points=gp),
+    "cedar-offline": lambda gp: CedarOfflinePolicy(grid_points=gp),
+    "cedar-tabulated": lambda gp: CedarTabulatedPolicy(grid_points=gp),
+    "ideal": lambda gp: IdealPolicy(grid_points=gp),
+}
+
+_REQUIRED = ("workload", "policies", "deadlines")
+
+
+def load_spec(doc: Mapping) -> dict:
+    """Validate a sweep spec document; return normalized fields."""
+    for field in _REQUIRED:
+        if field not in doc:
+            raise ConfigError(f"sweep spec missing required field {field!r}")
+    workload = doc["workload"]
+    if not isinstance(workload, Mapping) or "name" not in workload:
+        raise ConfigError("sweep spec 'workload' needs at least a 'name'")
+    policies = list(doc["policies"])
+    if not policies:
+        raise ConfigError("sweep spec needs at least one policy")
+    unknown = [p for p in policies if p not in POLICY_FACTORIES]
+    if unknown:
+        raise ConfigError(
+            f"unknown policies {unknown}; choose from {sorted(POLICY_FACTORIES)}"
+        )
+    deadlines = [float(d) for d in doc["deadlines"]]
+    if not deadlines or any(d <= 0.0 for d in deadlines):
+        raise ConfigError("sweep spec needs positive deadlines")
+    n_queries = int(doc.get("n_queries", 50))
+    if n_queries < 1:
+        raise ConfigError("n_queries must be >= 1")
+    return {
+        "name": str(doc.get("name", "sweep")),
+        "workload_name": str(workload["name"]),
+        "workload_kwargs": dict(workload.get("kwargs", {})),
+        "policies": policies,
+        "deadlines": deadlines,
+        "n_queries": n_queries,
+        "agg_sample": doc.get("agg_sample"),
+        "seed": doc.get("seed"),
+        "grid_points": int(doc.get("grid_points", 256)),
+    }
+
+
+def run_sweep(doc: Mapping) -> ExperimentReport:
+    """Run a sweep from an in-memory spec document."""
+    spec = load_spec(doc)
+    workload = make_workload(spec["workload_name"], **spec["workload_kwargs"])
+    gp = spec["grid_points"]
+    policies = [POLICY_FACTORIES[name](gp) for name in spec["policies"]]
+    if "ideal" in spec["policies"] and not hasattr(workload, "sample_query"):
+        raise ConfigError("ideal policy needs a generative workload")
+
+    headers = ["deadline"] + spec["policies"]
+    if len(spec["policies"]) >= 2:
+        headers.append(f"{spec['policies'][1]}_vs_{spec['policies'][0]}_%")
+    rows = []
+    for deadline in spec["deadlines"]:
+        res = run_experiment(
+            workload,
+            policies,
+            deadline,
+            spec["n_queries"],
+            seed=spec["seed"],
+            agg_sample=spec["agg_sample"],
+        )
+        row = [deadline] + [
+            round(res.mean_quality(name), 3) for name in spec["policies"]
+        ]
+        if len(spec["policies"]) >= 2:
+            row.append(
+                round(
+                    res.improvement(spec["policies"][1], spec["policies"][0]), 1
+                )
+            )
+        rows.append(tuple(row))
+    return ExperimentReport(
+        experiment=spec["name"],
+        title=(
+            f"Sweep {spec['name']!r} — workload {spec['workload_name']!r}, "
+            f"{spec['n_queries']} queries per deadline"
+        ),
+        headers=tuple(headers),
+        rows=tuple(rows),
+    )
+
+
+def run_sweep_file(path: str | pathlib.Path) -> ExperimentReport:
+    """Run a sweep from a JSON file."""
+    try:
+        doc = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigError(f"cannot read sweep spec {path}: {exc}") from exc
+    return run_sweep(doc)

@@ -1,0 +1,46 @@
+"""Order-statistics substrate (paper §4.2.2, [David & Nagarajan 2003]).
+
+Cedar's key statistical insight lives here: the ``r``-th output to arrive
+at an aggregator is a draw from the ``r``-th order statistic of ``k``
+draws, not from the parent distribution.
+"""
+
+from .joint import (
+    censored_log_likelihood,
+    exponential_spacing_rates,
+    joint_pdf_first_r,
+)
+from .moments import (
+    OrderStatistic,
+    expected_arrivals,
+    expected_arrivals_given_incomplete,
+    expected_exponential_order_stat,
+    expected_uniform_order_stat,
+    exponential_order_stat_scores,
+)
+from .normal_scores import (
+    blom_normal_score,
+    blom_normal_scores,
+    exact_normal_score,
+    exact_normal_scores,
+    normal_scores,
+    simulated_normal_scores,
+)
+
+__all__ = [
+    "OrderStatistic",
+    "expected_arrivals",
+    "expected_arrivals_given_incomplete",
+    "expected_exponential_order_stat",
+    "expected_uniform_order_stat",
+    "exponential_order_stat_scores",
+    "exact_normal_score",
+    "exact_normal_scores",
+    "blom_normal_score",
+    "blom_normal_scores",
+    "simulated_normal_scores",
+    "normal_scores",
+    "censored_log_likelihood",
+    "joint_pdf_first_r",
+    "exponential_spacing_rates",
+]

@@ -1,0 +1,122 @@
+"""Expected order statistics of the standard normal ("normal scores").
+
+Cedar's estimator needs ``m_{i:k} = E[Z_(i:k)]``, the expected value of the
+``i``-th smallest of ``k`` i.i.d. standard normals (§4.2.2: the paper's
+``ln o_i`` values, "available online or computable by simple simulation").
+We provide three implementations:
+
+* :func:`exact_normal_score` — numerical integration of the order-statistic
+  density; accurate to ~1e-10 and cached.
+* :func:`blom_normal_score` — Blom's classical approximation
+  ``Phi^{-1}((i - 0.375)/(k + 0.25))``; ~1e-2 accurate, essentially free.
+* :func:`simulated_normal_scores` — Monte-Carlo, used in tests to validate
+  the other two (and mirroring the paper's "simple simulation" remark).
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+
+import numpy as np
+from scipy import integrate, special
+
+from ..errors import DistributionError
+
+__all__ = [
+    "exact_normal_score",
+    "exact_normal_scores",
+    "blom_normal_score",
+    "blom_normal_scores",
+    "simulated_normal_scores",
+    "normal_scores",
+]
+
+_INTEGRATION_BOUND = 12.0
+
+
+def _check_rank(i: int, k: int) -> None:
+    if k < 1:
+        raise DistributionError(f"sample size k must be >= 1, got {k}")
+    if not 1 <= i <= k:
+        raise DistributionError(f"rank i must be in [1, {k}], got {i}")
+
+
+def _order_stat_log_coeff(i: int, k: int) -> float:
+    """log of k! / ((i-1)! (k-i)!)."""
+    return (
+        special.gammaln(k + 1) - special.gammaln(i) - special.gammaln(k - i + 1)
+    )
+
+
+@functools.lru_cache(maxsize=65536)
+def exact_normal_score(i: int, k: int) -> float:
+    """E[Z_(i:k)] by adaptive quadrature of ``z f_(i:k)(z)``."""
+    _check_rank(i, k)
+    if k == 1:
+        return 0.0
+    # symmetry: E[Z_(i:k)] = -E[Z_(k+1-i:k)]; compute the lower half only so
+    # the cache is shared and antisymmetry is exact.
+    if 2 * i > k + 1:
+        return -exact_normal_score(k + 1 - i, k)
+    log_coeff = _order_stat_log_coeff(i, k)
+
+    def integrand(z: float) -> float:
+        log_phi = -0.5 * z * z - 0.5 * math.log(2.0 * math.pi)
+        big_phi = special.ndtr(z)
+        if big_phi <= 0.0 or big_phi >= 1.0:
+            return 0.0
+        log_f = (
+            log_coeff
+            + (i - 1) * math.log(big_phi)
+            + (k - i) * math.log1p(-big_phi)
+            + log_phi
+        )
+        return z * math.exp(log_f)
+
+    val, _ = integrate.quad(
+        integrand, -_INTEGRATION_BOUND, _INTEGRATION_BOUND, limit=400
+    )
+    return float(val)
+
+
+def exact_normal_scores(k: int) -> np.ndarray:
+    """All k exact normal scores ``[m_{1:k}, ..., m_{k:k}]``."""
+    _check_rank(1, k)
+    return np.array([exact_normal_score(i, k) for i in range(1, k + 1)])
+
+
+def blom_normal_score(i: int, k: int, alpha: float = 0.375) -> float:
+    """Blom's approximation to E[Z_(i:k)]."""
+    _check_rank(i, k)
+    return float(special.ndtri((i - alpha) / (k - 2.0 * alpha + 1.0)))
+
+
+def blom_normal_scores(k: int, alpha: float = 0.375) -> np.ndarray:
+    """All k Blom-approximate normal scores."""
+    _check_rank(1, k)
+    i = np.arange(1, k + 1, dtype=float)
+    return special.ndtri((i - alpha) / (k - 2.0 * alpha + 1.0))
+
+
+def simulated_normal_scores(k: int, trials: int = 20000, seed=None) -> np.ndarray:
+    """Monte-Carlo estimate of all k normal scores."""
+    from ..rng import resolve_rng
+
+    _check_rank(1, k)
+    rng = resolve_rng(seed)
+    draws = np.sort(rng.standard_normal((trials, k)), axis=1)
+    return draws.mean(axis=0)
+
+
+def normal_scores(k: int, method: str = "exact") -> np.ndarray:
+    """Dispatch to ``exact``, ``blom``, or ``simulated`` normal scores."""
+    if method == "exact":
+        return exact_normal_scores(k)
+    if method == "blom":
+        return blom_normal_scores(k)
+    if method == "simulated":
+        return simulated_normal_scores(k)
+    raise DistributionError(
+        f"unknown normal-score method {method!r}; use exact|blom|simulated"
+    )

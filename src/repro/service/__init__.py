@@ -1,0 +1,31 @@
+"""Real-time endhost service: Cedar on actual asyncio timers.
+
+The paper stresses that Cedar "can be implemented entirely at the
+endhosts" (§1); this package is that implementation in miniature —
+process workers, aggregator services driving the Pseudocode 1 controller
+with wall-clock timeouts, and a root coordinator enforcing the deadline
+in real time. A ``time_scale`` knob compresses workload units into
+milliseconds so tests and demos run fast.
+"""
+
+from .aggregator import AggregatorService
+from .clock import Clock
+from .messages import Output, Shipment, decode, encode
+from .root import RealTimeQueryResult, run_realtime_query
+from .transport import AggregatorServer, receive_shipment, send_output
+from .worker import ProcessWorker
+
+__all__ = [
+    "AggregatorServer",
+    "send_output",
+    "receive_shipment",
+    "Clock",
+    "Output",
+    "Shipment",
+    "encode",
+    "decode",
+    "ProcessWorker",
+    "AggregatorService",
+    "RealTimeQueryResult",
+    "run_realtime_query",
+]

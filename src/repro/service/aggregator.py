@@ -1,0 +1,82 @@
+"""Real-time aggregator service (the asyncio form of Pseudocode 1).
+
+Runs one aggregator as an async task: consume process outputs from a
+queue, drive any :class:`~repro.core.AggregatorController` with
+wall-clock timers, ship the combined partial result upstream when the
+timer expires or everything arrived. Timer re-arming is the literal
+``SetTimer(remWait, TIMEREXPIRE)`` of the paper — an ``asyncio.wait_for``
+whose timeout is recomputed after every arrival.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from ..core import AggregatorController
+from ..errors import ConfigError
+from .clock import Clock
+from .messages import Output, Shipment
+
+__all__ = ["AggregatorService"]
+
+
+class AggregatorService:
+    """One aggregator endpoint."""
+
+    def __init__(
+        self,
+        aggregator_id: int,
+        fanout: int,
+        controller: AggregatorController,
+        inbox: "asyncio.Queue[Output]",
+        upstream: "asyncio.Queue[Shipment]",
+        clock: Clock,
+        combine=sum,
+    ):
+        if fanout < 1:
+            raise ConfigError(f"fanout must be >= 1, got {fanout}")
+        self.aggregator_id = int(aggregator_id)
+        self.fanout = int(fanout)
+        self.controller = controller
+        self.inbox = inbox
+        self.upstream = upstream
+        self.clock = clock
+        self.combine = combine
+        self._values: list[float] = []
+        self._collected = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def collected(self) -> int:
+        """Process outputs gathered so far."""
+        return self._collected
+
+    async def run(self) -> Shipment:
+        """Collect until the controller's stop time, then ship."""
+        while self._collected < self.fanout:
+            now = self.clock.now()
+            timeout_virtual = self.controller.stop_time - now
+            if timeout_virtual <= 0.0:
+                break  # TIMEREXPIRE
+            try:
+                output = await asyncio.wait_for(
+                    self.inbox.get(),
+                    timeout=timeout_virtual * self.clock.time_scale,
+                )
+            except asyncio.TimeoutError:
+                break  # TIMEREXPIRE
+            arrival = self.clock.now()
+            # PROCESSHANDLER: record, re-estimate, re-arm
+            self.controller.on_arrival(arrival)
+            self._values.append(output.value)
+            self._collected += 1
+        departed = self.clock.now()
+        shipment = Shipment(
+            aggregator_id=self.aggregator_id,
+            payload=self._collected,
+            value=float(self.combine(self._values)) if self._values else 0.0,
+            departed_at=departed,
+        )
+        await self.upstream.put(shipment)
+        return shipment

@@ -1,0 +1,54 @@
+"""Clock abstraction for the real-time service.
+
+The endhost service runs on wall-clock timers (that is the point — Cedar
+"can be implemented entirely at the endhosts", §1). Tests cannot afford
+real seconds, so all timing goes through a :class:`Clock` that maps
+*virtual* durations (the workload's natural units) to real sleeps via a
+``time_scale`` factor: ``time_scale=0.001`` runs a 500-unit query in
+half a second of wall time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from ..errors import ConfigError
+
+__all__ = ["Clock"]
+
+
+class Clock:
+    """Scaled wall-clock: virtual durations -> real sleeps."""
+
+    def __init__(self, time_scale: float = 1.0):
+        if time_scale <= 0.0:
+            raise ConfigError(f"time_scale must be positive, got {time_scale}")
+        self.time_scale = float(time_scale)
+        self._origin: float | None = None
+
+    def start(self) -> None:
+        """Mark virtual time zero (query start)."""
+        self._origin = time.monotonic()
+
+    @property
+    def started(self) -> bool:
+        """Whether :meth:`start` has been called."""
+        return self._origin is not None
+
+    def now(self) -> float:
+        """Current virtual time since :meth:`start`."""
+        if self._origin is None:
+            raise ConfigError("clock not started")
+        return (time.monotonic() - self._origin) / self.time_scale
+
+    async def sleep(self, virtual_duration: float) -> None:
+        """Sleep for a virtual duration."""
+        if virtual_duration > 0.0:
+            await asyncio.sleep(virtual_duration * self.time_scale)
+
+    async def sleep_until(self, virtual_deadline: float) -> None:
+        """Sleep until an absolute virtual time (no-op if already past)."""
+        remaining = virtual_deadline - self.now()
+        if remaining > 0.0:
+            await asyncio.sleep(remaining * self.time_scale)

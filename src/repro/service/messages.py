@@ -1,0 +1,59 @@
+"""Protocol messages of the endhost service.
+
+The partition-aggregate protocol needs exactly two upward message types:
+a process's :class:`Output` to its aggregator, and an aggregator's
+:class:`Shipment` to the root. Both serialize to JSON lines so the same
+dataclasses work over asyncio queues (in-process) or a byte stream
+(sockets), keeping the service transport-agnostic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from ..errors import ConfigError
+
+__all__ = ["Output", "Shipment", "encode", "decode"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Output:
+    """One process's result arriving at its aggregator."""
+
+    process_id: int
+    aggregator_id: int
+    emitted_at: float  # virtual time the process completed
+    value: float = 0.0  # the (toy) partial result being aggregated
+
+
+@dataclasses.dataclass(frozen=True)
+class Shipment:
+    """One aggregator's combined result arriving at the root."""
+
+    aggregator_id: int
+    payload: int  # number of process outputs included
+    value: float  # combined partial result
+    departed_at: float  # virtual time the aggregator stopped waiting
+
+
+_TYPES = {"output": Output, "shipment": Shipment}
+
+
+def encode(message: Output | Shipment) -> bytes:
+    """Serialize a message to one JSON line."""
+    for name, cls in _TYPES.items():
+        if isinstance(message, cls):
+            doc = {"type": name, **dataclasses.asdict(message)}
+            return (json.dumps(doc) + "\n").encode()
+    raise ConfigError(f"unknown message type {type(message).__name__}")
+
+
+def decode(line: bytes | str) -> Output | Shipment:
+    """Deserialize one JSON line back into a message."""
+    try:
+        doc = json.loads(line)
+        cls = _TYPES[doc.pop("type")]
+        return cls(**doc)
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise ConfigError(f"malformed message {line!r}: {exc}") from exc

@@ -1,0 +1,160 @@
+"""Root coordinator: run one full partition-aggregate query in real time.
+
+Builds the two-level topology (workers -> aggregator services -> root),
+starts the clock, and gathers shipments until the wall-clock deadline.
+A shipment's *arrival* at the root is its departure plus a sampled
+upstream cost (the X2 stage), slept for real — so a late aggregator
+genuinely misses the deadline, exactly the failure mode the wait
+optimization exists to manage.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+
+import numpy as np
+
+from ..core import QueryContext, WaitPolicy
+from ..errors import ConfigError
+from ..rng import SeedLike, resolve_rng
+from .aggregator import AggregatorService
+from .clock import Clock
+from .messages import Output, Shipment
+from .worker import ProcessWorker
+
+__all__ = ["RealTimeQueryResult", "run_realtime_query"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RealTimeQueryResult:
+    """Outcome of one real-time query."""
+
+    quality: float
+    included_outputs: int
+    total_outputs: int
+    combined_value: float
+    shipments_received: int
+    elapsed_virtual: float
+
+
+async def _deliver_with_delay(
+    shipment_queue: "asyncio.Queue[Shipment]",
+    root_queue: "asyncio.Queue[Shipment]",
+    delays: np.ndarray,
+    clock: Clock,
+    expected: int,
+) -> None:
+    """Relay shipments to the root after their X2 (combine+ship) delay."""
+
+    async def relay(shipment: Shipment) -> None:
+        await clock.sleep(float(delays[shipment.aggregator_id]))
+        await root_queue.put(shipment)
+
+    relays = []
+    for _ in range(expected):
+        shipment = await shipment_queue.get()
+        relays.append(asyncio.ensure_future(relay(shipment)))
+    await asyncio.gather(*relays)
+
+
+async def _run(
+    ctx: QueryContext,
+    policy: WaitPolicy,
+    clock: Clock,
+    rng: np.random.Generator,
+) -> RealTimeQueryResult:
+    tree = ctx.true_tree if ctx.true_tree is not None else ctx.offline_tree
+    if tree.n_stages != 2:
+        raise ConfigError(
+            f"the real-time service runs two-level trees; got {tree.n_stages}"
+        )
+    k1, k2 = tree.fanouts
+    x1, x2 = tree.distributions
+    deadline = ctx.deadline
+    policy.begin_query(ctx)
+
+    durations = np.asarray(x1.sample((k2, k1), seed=rng), dtype=float)
+    ship_delays = np.asarray(x2.sample(k2, seed=rng), dtype=float)
+
+    shipment_queue: asyncio.Queue[Shipment] = asyncio.Queue()
+    root_queue: asyncio.Queue[Shipment] = asyncio.Queue()
+
+    tasks: list[asyncio.Task] = []
+    clock.start()
+    for a in range(k2):
+        inbox: asyncio.Queue[Output] = asyncio.Queue()
+        service = AggregatorService(
+            aggregator_id=a,
+            fanout=k1,
+            controller=policy.controller(ctx, 1),
+            inbox=inbox,
+            upstream=shipment_queue,
+            clock=clock,
+        )
+        tasks.append(asyncio.ensure_future(service.run()))
+        for p in range(k1):
+            worker = ProcessWorker(
+                process_id=a * k1 + p,
+                aggregator_id=a,
+                duration=float(durations[a, p]),
+                inbox=inbox,
+                clock=clock,
+            )
+            tasks.append(asyncio.ensure_future(worker.run()))
+
+    relay_task = asyncio.ensure_future(
+        _deliver_with_delay(shipment_queue, root_queue, ship_delays, clock, k2)
+    )
+
+    # the root collects whatever arrives before the deadline
+    included = 0
+    combined = 0.0
+    received = 0
+    while received < k2:
+        remaining = deadline - clock.now()
+        if remaining <= 0.0:
+            break
+        try:
+            shipment = await asyncio.wait_for(
+                root_queue.get(), timeout=remaining * clock.time_scale
+            )
+        except asyncio.TimeoutError:
+            break
+        received += 1
+        included += shipment.payload
+        combined += shipment.value
+    elapsed = clock.now()
+
+    # tear down stragglers: cancel pending workers/aggregators/relays
+    relay_task.cancel()
+    for task in tasks:
+        task.cancel()
+    await asyncio.gather(relay_task, *tasks, return_exceptions=True)
+
+    total = k1 * k2
+    return RealTimeQueryResult(
+        quality=included / total,
+        included_outputs=included,
+        total_outputs=total,
+        combined_value=combined,
+        shipments_received=received,
+        elapsed_virtual=elapsed,
+    )
+
+
+def run_realtime_query(
+    ctx: QueryContext,
+    policy: WaitPolicy,
+    time_scale: float = 0.001,
+    seed: SeedLike = None,
+) -> RealTimeQueryResult:
+    """Execute one query on real asyncio timers.
+
+    ``time_scale`` maps workload units to seconds (0.001 runs a
+    1000-unit deadline in one real second). Synchronous entry point;
+    use :func:`asyncio.run` semantics internally.
+    """
+    clock = Clock(time_scale=time_scale)
+    rng = resolve_rng(seed)
+    return asyncio.run(_run(ctx, policy, clock, rng))

@@ -1,0 +1,146 @@
+"""TCP transport for the endhost service.
+
+The in-process queues of :mod:`repro.service.root` become real sockets:
+an :class:`AggregatorServer` listens on localhost, remote process workers
+connect and send newline-delimited JSON :class:`Output` messages
+(``messages.encode``), and the server drives the same
+:class:`~repro.core.AggregatorController` with wall-clock timeouts,
+finally delivering a :class:`Shipment` to the root's socket. This is the
+smallest faithful instance of the paper's claim that Cedar "can be
+implemented entirely at the endhosts ... a simpler and easily deployable
+solution" — no network-layer cooperation, just timers around a socket
+read loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from ..core import AggregatorController
+from ..errors import ConfigError
+from .clock import Clock
+from .messages import Output, Shipment, decode, encode
+
+__all__ = ["AggregatorServer", "send_output", "receive_shipment"]
+
+
+class AggregatorServer:
+    """One aggregator endpoint behind a TCP listener."""
+
+    def __init__(
+        self,
+        fanout: int,
+        controller: AggregatorController,
+        clock: Clock,
+        aggregator_id: int = 0,
+        host: str = "127.0.0.1",
+    ):
+        if fanout < 1:
+            raise ConfigError(f"fanout must be >= 1, got {fanout}")
+        self.fanout = int(fanout)
+        self.controller = controller
+        self.clock = clock
+        self.aggregator_id = int(aggregator_id)
+        self.host = host
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._inbox: asyncio.Queue[Output] = asyncio.Queue()
+        self._values: list[float] = []
+        self._collected = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (valid after :meth:`start`)."""
+        if self._server is None:
+            raise ConfigError("server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def collected(self) -> int:
+        """Outputs received so far."""
+        return self._collected
+
+    async def start(self) -> None:
+        """Bind an ephemeral port and start accepting workers."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=0
+        )
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                message = decode(line)
+                if isinstance(message, Output):
+                    await self._inbox.put(message)
+        except (ConnectionError, ConfigError):
+            pass  # a malformed or dropped worker only costs its own output
+        finally:
+            writer.close()
+
+    # ------------------------------------------------------------------
+    async def collect_and_ship(
+        self, root_writer: asyncio.StreamWriter
+    ) -> Shipment:
+        """Run the Pseudocode 1 loop; write the shipment to the root."""
+        if not self.clock.started:
+            self.clock.start()
+        while self._collected < self.fanout:
+            timeout_virtual = self.controller.stop_time - self.clock.now()
+            if timeout_virtual <= 0.0:
+                break
+            try:
+                output = await asyncio.wait_for(
+                    self._inbox.get(),
+                    timeout=timeout_virtual * self.clock.time_scale,
+                )
+            except asyncio.TimeoutError:
+                break
+            self.controller.on_arrival(self.clock.now())
+            self._values.append(output.value)
+            self._collected += 1
+        shipment = Shipment(
+            aggregator_id=self.aggregator_id,
+            payload=self._collected,
+            value=float(sum(self._values)),
+            departed_at=self.clock.now(),
+        )
+        root_writer.write(encode(shipment))
+        await root_writer.drain()
+        return shipment
+
+    async def close(self) -> None:
+        """Stop accepting connections."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+
+async def send_output(
+    host: str, port: int, output: Output, clock: Clock, delay: float = 0.0
+) -> None:
+    """Worker side: compute (sleep ``delay``) then push one output."""
+    await clock.sleep(delay)
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(encode(output))
+    await writer.drain()
+    writer.close()
+    await writer.wait_closed()
+
+
+async def receive_shipment(
+    reader: asyncio.StreamReader,
+) -> Optional[Shipment]:
+    """Root side: read one shipment line (None on EOF)."""
+    line = await reader.readline()
+    if not line:
+        return None
+    message = decode(line)
+    if not isinstance(message, Shipment):
+        raise ConfigError(f"expected a shipment, got {type(message).__name__}")
+    return message

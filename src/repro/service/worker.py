@@ -1,0 +1,51 @@
+"""Process workers for the real-time service.
+
+A worker simulates one parallel process: it "computes" for its assigned
+duration (a real, scaled sleep — the variation source in a deployment
+would be actual contention) and emits its :class:`Output` to the owning
+aggregator's inbox.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ..errors import ConfigError
+from .clock import Clock
+from .messages import Output
+
+__all__ = ["ProcessWorker"]
+
+
+class ProcessWorker:
+    """One parallel process of the query."""
+
+    def __init__(
+        self,
+        process_id: int,
+        aggregator_id: int,
+        duration: float,
+        inbox: "asyncio.Queue[Output]",
+        clock: Clock,
+        value: float = 1.0,
+    ):
+        if duration < 0.0:
+            raise ConfigError(f"duration must be >= 0, got {duration}")
+        self.process_id = int(process_id)
+        self.aggregator_id = int(aggregator_id)
+        self.duration = float(duration)
+        self.inbox = inbox
+        self.clock = clock
+        self.value = float(value)
+
+    async def run(self) -> Output:
+        """Compute (sleep) then emit the output."""
+        await self.clock.sleep(self.duration)
+        output = Output(
+            process_id=self.process_id,
+            aggregator_id=self.aggregator_id,
+            emitted_at=self.clock.now(),
+            value=self.value,
+        )
+        await self.inbox.put(output)
+        return output

@@ -1,0 +1,46 @@
+"""Trace-driven aggregation-query simulator (the paper's §5 simulator)."""
+
+from .events import Event, EventLoop
+from .faults import FaultModel, FaultyQueryResult, simulate_query_with_faults
+from .hetero import HeteroQueryResult, simulate_hetero_query
+from .parallel import run_experiment_parallel
+from .metrics import PolicyStats, empirical_cdf, improvement_percent
+from .query import QueryResult, simulate_query
+from .reissue import ReissueConfig, ReissueQueryResult, simulate_query_with_reissue
+from .runner import RunResult, Workload, run_experiment
+from .weighted import (
+    IndependentWeights,
+    RankCorrelatedWeights,
+    UniformWeights,
+    WeightedQueryResult,
+    WeightModel,
+    simulate_weighted_query,
+)
+
+__all__ = [
+    "Event",
+    "EventLoop",
+    "QueryResult",
+    "simulate_query",
+    "RunResult",
+    "Workload",
+    "run_experiment",
+    "PolicyStats",
+    "improvement_percent",
+    "empirical_cdf",
+    "WeightModel",
+    "UniformWeights",
+    "IndependentWeights",
+    "RankCorrelatedWeights",
+    "WeightedQueryResult",
+    "simulate_weighted_query",
+    "FaultModel",
+    "FaultyQueryResult",
+    "simulate_query_with_faults",
+    "ReissueConfig",
+    "ReissueQueryResult",
+    "simulate_query_with_reissue",
+    "HeteroQueryResult",
+    "simulate_hetero_query",
+    "run_experiment_parallel",
+]

@@ -1,0 +1,120 @@
+"""A small discrete-event simulation kernel.
+
+Used by the cluster substrate (``repro.cluster``) to run the miniature
+partition-aggregate engine: a priority queue of timestamped events, stable
+FIFO ordering among simultaneous events, and cancellable timers (the
+aggregator timeout in Pseudocode 1 is exactly a cancel-and-rearm timer).
+
+The pure aggregation-query simulator (``repro.simulation.query``) does not
+need a full event loop — per-aggregator arrival processing is already
+chronological — but shares this kernel's clock conventions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+import math
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+
+__all__ = ["Event", "EventLoop"]
+
+
+@dataclasses.dataclass(order=False)
+class Event:
+    """A scheduled callback. Compare by (time, sequence) for stability."""
+
+    time: float
+    seq: int
+    action: Callable[[], Any]
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it (O(1) lazy deletion)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class EventLoop:
+    """Deterministic event loop with a monotone virtual clock."""
+
+    def __init__(self):
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Total events executed so far."""
+        return self._processed
+
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, action: Callable[[], Any]) -> Event:
+        """Schedule ``action`` to run ``delay`` after the current time."""
+        if delay < 0.0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, action)
+
+    def schedule_at(self, time: float, action: Callable[[], Any]) -> Event:
+        """Schedule ``action`` at absolute virtual ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        if not math.isfinite(time):
+            raise SimulationError(f"event time must be finite, got {time}")
+        ev = Event(time=time, seq=next(self._seq), action=action)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Run events in order until the queue drains or ``until`` passes.
+
+        Returns the final virtual time. Events scheduled exactly at
+        ``until`` still execute (deadlines are inclusive).
+        """
+        if self._running:
+            raise SimulationError("event loop is not reentrant")
+        self._running = True
+        try:
+            executed = 0
+            while self._heap:
+                ev = self._heap[0]
+                if ev.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and ev.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = ev.time
+                ev.action()
+                self._processed += 1
+                executed += 1
+                if executed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+            if until is not None and until > self._now:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False

@@ -1,0 +1,59 @@
+"""Simulation of heterogeneous silo queries.
+
+Silos are independent below the root, so the simulation reuses
+:func:`~repro.simulation.query.simulate_query` per silo (each with its
+own offline model, so policies plan per silo) and combines the outcomes
+weighted by silo size.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Optional
+
+from ..core import QueryContext, WaitPolicy
+from ..core.hetero import HeteroQuery
+from ..rng import SeedLike, resolve_rng, spawn
+from .query import QueryResult, simulate_query
+
+__all__ = ["HeteroQueryResult", "simulate_hetero_query"]
+
+
+@dataclasses.dataclass(frozen=True)
+class HeteroQueryResult:
+    """Outcome of one heterogeneous query."""
+
+    quality: float
+    included_outputs: int
+    total_outputs: int
+    per_silo: Mapping[str, QueryResult]
+
+
+def simulate_hetero_query(
+    query: HeteroQuery,
+    policy: WaitPolicy,
+    seed: SeedLike = None,
+    agg_sample: Optional[int] = None,
+) -> HeteroQueryResult:
+    """Simulate every silo under the shared deadline; combine weighted."""
+    rng = resolve_rng(seed)
+    silo_rngs = spawn(rng, len(query.silos))
+    per_silo: dict[str, QueryResult] = {}
+    included = 0
+    total = 0
+    for silo, silo_rng in zip(query.silos, silo_rngs):
+        ctx = QueryContext(
+            deadline=query.deadline,
+            offline_tree=silo.offline_tree,
+            true_tree=silo.true_tree,
+        )
+        res = simulate_query(ctx, policy, seed=silo_rng, agg_sample=agg_sample)
+        per_silo[silo.name] = res
+        included += res.included_outputs
+        total += res.total_outputs
+    return HeteroQueryResult(
+        quality=included / total if total else 0.0,
+        included_outputs=included,
+        total_outputs=total,
+        per_silo=per_silo,
+    )

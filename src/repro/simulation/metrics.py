@@ -1,0 +1,57 @@
+"""Quality metrics and summary statistics for experiment results."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["PolicyStats", "improvement_percent", "empirical_cdf"]
+
+
+def improvement_percent(new: float, baseline: float) -> float:
+    """The paper's figure of merit: ``100 * (new - baseline) / baseline``."""
+    if baseline < 0.0 or new < 0.0:
+        raise ConfigError("qualities must be nonnegative")
+    if baseline == 0.0:
+        return float("inf") if new > 0.0 else 0.0
+    return 100.0 * (new - baseline) / baseline
+
+
+@dataclasses.dataclass(frozen=True)
+class PolicyStats:
+    """Distributional summary of one policy's per-query qualities."""
+
+    policy: str
+    n: int
+    mean: float
+    std: float
+    p10: float
+    p50: float
+    p90: float
+
+    @classmethod
+    def from_qualities(cls, policy: str, qualities: np.ndarray) -> "PolicyStats":
+        arr = np.asarray(qualities, dtype=float)
+        if arr.size == 0:
+            raise ConfigError("no qualities to summarize")
+        return cls(
+            policy=policy,
+            n=int(arr.size),
+            mean=float(np.mean(arr)),
+            std=float(np.std(arr, ddof=1)) if arr.size > 1 else 0.0,
+            p10=float(np.percentile(arr, 10)),
+            p50=float(np.percentile(arr, 50)),
+            p90=float(np.percentile(arr, 90)),
+        )
+
+
+def empirical_cdf(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted_values, cdf)`` pairs for plotting/reporting."""
+    arr = np.sort(np.asarray(values, dtype=float))
+    if arr.size == 0:
+        return arr, arr
+    probs = np.arange(1, arr.size + 1) / arr.size
+    return arr, probs

@@ -1,0 +1,137 @@
+"""Parallel experiment runner for full-fidelity sweeps.
+
+``run_experiment`` is single-process; paper-grade sample sizes (hundreds
+of queries x several policies x adaptive re-planning) benefit from using
+all cores. Queries are independent, so the parallelization is
+embarrassing: the worker pool receives (workload, policy *names*, query
+seeds) — policies are reconstructed inside each worker from
+:data:`repro.experiments.sweep.POLICY_FACTORIES`, keeping everything
+picklable — and per-query qualities are reassembled in order.
+
+The decomposition replicates the serial runner's seeding exactly, so
+``run_experiment_parallel(...)`` equals ``run_experiment(...)`` for the
+same seed (asserted in the tests).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core import QueryContext
+from ..errors import ConfigError
+from ..rng import SeedLike, resolve_rng, spawn
+from .query import simulate_query
+from .runner import RunResult, Workload
+
+__all__ = ["run_experiment_parallel"]
+
+
+def _run_chunk(
+    offline_tree,
+    policy_names: Sequence[str],
+    grid_points: int,
+    deadline: float,
+    queries: Sequence[tuple[int, object, int]],
+    agg_sample: Optional[int],
+) -> list[tuple[int, dict[str, float]]]:
+    """Worker: simulate a chunk of queries under freshly-built policies."""
+    from ..experiments.sweep import POLICY_FACTORIES
+
+    policies = [POLICY_FACTORIES[name](grid_points) for name in policy_names]
+    out = []
+    for q_idx, tree, duration_seed in queries:
+        ctx = QueryContext(
+            deadline=deadline, offline_tree=offline_tree, true_tree=tree
+        )
+        row: dict[str, float] = {}
+        for policy in policies:
+            p_rng = np.random.default_rng(duration_seed)
+            res = simulate_query(ctx, policy, seed=p_rng, agg_sample=agg_sample)
+            row[policy.name] = res.quality
+        out.append((q_idx, row))
+    return out
+
+
+def run_experiment_parallel(
+    workload: Workload,
+    policy_names: Sequence[str],
+    deadline: float,
+    n_queries: int,
+    seed: SeedLike = None,
+    agg_sample: Optional[int] = None,
+    grid_points: int = 256,
+    max_workers: Optional[int] = None,
+) -> RunResult:
+    """Multiprocess counterpart of :func:`~repro.simulation.run_experiment`.
+
+    Policies are named (see ``POLICY_FACTORIES``) rather than passed as
+    objects so workers can rebuild them. Per-query ``QueryResult`` detail
+    is not collected (only qualities), keeping IPC cheap.
+    """
+    if n_queries < 1:
+        raise ConfigError(f"n_queries must be >= 1, got {n_queries}")
+    from ..experiments.sweep import POLICY_FACTORIES
+
+    unknown = [p for p in policy_names if p not in POLICY_FACTORIES]
+    if unknown:
+        raise ConfigError(
+            f"unknown policies {unknown}; choose from {sorted(POLICY_FACTORIES)}"
+        )
+    if len(set(policy_names)) != len(policy_names):
+        raise ConfigError(f"duplicate policy names: {list(policy_names)}")
+
+    # derive per-query trees/seeds exactly like the serial runner: one
+    # child stream per query; the workload samples the tree from it, the
+    # next draw seeds the paired duration stream. Sampling the trees here
+    # (they are just parameter draws) makes parallel results *bit-equal*
+    # to the serial runner.
+    root = resolve_rng(seed)
+    queries = []
+    for q_idx, q_rng in enumerate(spawn(root, n_queries)):
+        tree = workload.sample_query(q_rng)
+        (duration_seed,) = q_rng.integers(0, 2**63 - 1, size=1)
+        queries.append((q_idx, tree, int(duration_seed)))
+
+    workers = max_workers or min(os.cpu_count() or 1, 8)
+    chunk_size = max(1, (n_queries + workers - 1) // workers)
+    chunks = [queries[i : i + chunk_size] for i in range(0, n_queries, chunk_size)]
+
+    offline = workload.offline_tree()
+
+    qualities = {name: np.empty(n_queries) for name in policy_names}
+    if workers == 1 or len(chunks) == 1:
+        results = [
+            _run_chunk(
+                offline, policy_names, grid_points, deadline, chunk, agg_sample
+            )
+            for chunk in chunks
+        ]
+    else:
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _run_chunk,
+                    offline,
+                    policy_names,
+                    grid_points,
+                    deadline,
+                    chunk,
+                    agg_sample,
+                )
+                for chunk in chunks
+            ]
+            results = [f.result() for f in futures]
+    for chunk_result in results:
+        for q_idx, row in chunk_result:
+            for name, quality in row.items():
+                qualities[name][q_idx] = quality
+    return RunResult(
+        deadline=deadline,
+        n_queries=n_queries,
+        qualities=qualities,
+        results={name: [] for name in policy_names},
+    )

@@ -1,0 +1,187 @@
+"""Simulate one aggregation query under a wait policy.
+
+Semantics (matching the paper's model, Figure 5):
+
+* Each bottom aggregator receives ``k1`` process outputs whose durations
+  are i.i.d. draws from this query's true ``X1``.
+* An aggregator processes arrivals chronologically; its controller may
+  move the stop time after each arrival (Cedar does). Outputs arriving
+  after the final stop time are dropped at that aggregator.
+* When the aggregator stops (or everything arrived), it departs and takes
+  a draw of the next stage's duration to combine + ship upstream.
+* The root includes a subtree's payload iff it arrives by the deadline —
+  a late aggregator loses *all* of its collected outputs, which is the
+  crux of the hold-'em-or-fold-'em trade-off.
+* Response quality = included process outputs / total processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ..core import QueryContext, WaitPolicy
+from ..errors import SimulationError
+from ..rng import SeedLike, resolve_rng
+
+__all__ = ["QueryResult", "simulate_query"]
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one simulated query."""
+
+    quality: float
+    included_outputs: int
+    total_outputs: int
+    #: per-level mean stop time across that level's aggregators.
+    mean_stops: tuple[float, ...]
+    #: number of top-level shipments that arrived at the root too late
+    #: (their entire collected payload was discarded).
+    late_at_root: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.quality <= 1.0:
+            raise SimulationError(f"quality out of range: {self.quality}")
+
+
+@dataclasses.dataclass
+class _Shipment:
+    """One aggregator's upstream message: arrival time + payload size."""
+
+    arrival: float
+    payload: int
+
+
+def _run_aggregator(
+    controller, arrivals: np.ndarray, payloads: Optional[np.ndarray]
+) -> tuple[float, int]:
+    """Drive one aggregator; return (depart_time, collected_payload).
+
+    ``arrivals`` must be sorted ascending. ``payloads`` gives the process
+    count carried by each arrival (None = 1 each, the bottom level).
+    """
+    k = arrivals.size
+    collected = 0
+    seen = 0
+    for idx in range(k):
+        t = float(arrivals[idx])
+        if t > controller.stop_time:
+            break
+        controller.on_arrival(t)
+        seen += 1
+        collected += 1 if payloads is None else int(payloads[idx])
+    stop = controller.stop_time
+    if seen == k:
+        # everything arrived: depart at the last arrival (SetTimer(0) on
+        # numOutputs == k), never later than the planned stop.
+        stop = min(stop, float(arrivals[-1])) if k > 0 else 0.0
+    return stop, collected
+
+
+def simulate_query(
+    ctx: QueryContext,
+    policy: WaitPolicy,
+    seed: SeedLike = None,
+    agg_sample: Optional[int] = None,
+) -> QueryResult:
+    """Simulate one query end-to-end and return its response quality.
+
+    ``agg_sample`` caps how many bottom-level subtrees are simulated; the
+    quality estimate then uses only those subtrees (they are i.i.d., so
+    this is an unbiased speedup for wide trees). ``None`` simulates all.
+    """
+    tree = ctx.true_tree if ctx.true_tree is not None else ctx.offline_tree
+    rng = resolve_rng(seed)
+    policy.begin_query(ctx)
+
+    fanouts = tree.fanouts
+    dists = tree.distributions
+    n_stages = tree.n_stages
+    deadline = ctx.deadline
+
+    # number of aggregators at each level (level 1 .. n-1)
+    level_counts = [tree.aggregators_at_level(lv) for lv in range(1, n_stages)]
+    simulated_bottom = level_counts[0]
+    scale = 1
+    if agg_sample is not None and agg_sample < level_counts[0]:
+        if agg_sample < 1:
+            raise SimulationError(f"agg_sample must be >= 1, got {agg_sample}")
+        # for deeper trees, keep whole parent groups so upper levels stay
+        # well-formed; for two-level trees shipments feed the root directly
+        # and any subset is a valid (unbiased) sample.
+        group = fanouts[1] if n_stages > 2 else 1
+        groups = max(1, agg_sample // group) if group > 1 else agg_sample
+        candidate = groups * group
+        if level_counts[0] % candidate == 0:
+            simulated_bottom = candidate
+            scale = level_counts[0] // simulated_bottom
+
+    mean_stops: list[float] = []
+
+    # ---- level 1: processes -> bottom aggregators --------------------
+    k1 = fanouts[0]
+    durations = np.sort(
+        dists[0].sample((simulated_bottom, k1), seed=rng), axis=1
+    )
+    shipments: list[_Shipment] = []
+    stops_acc = 0.0
+    ship_durations = np.asarray(
+        dists[1].sample(simulated_bottom, seed=rng), dtype=float
+    )
+    for a in range(simulated_bottom):
+        controller = policy.controller(ctx, 1)
+        depart, payload = _run_aggregator(controller, durations[a], None)
+        stops_acc += depart
+        arrival_up = depart + float(ship_durations[a])
+        shipments.append(_Shipment(arrival=arrival_up, payload=payload))
+    mean_stops.append(stops_acc / max(1, simulated_bottom))
+
+    # ---- levels 2 .. n-1: aggregators of aggregators ------------------
+    for level in range(2, n_stages):
+        group = fanouts[level - 1]
+        n_aggs = len(shipments) // group
+        if n_aggs * group != len(shipments):
+            raise SimulationError(
+                f"level {level}: {len(shipments)} shipments not divisible by "
+                f"fan-out {group}"
+            )
+        next_shipments: list[_Shipment] = []
+        stops_acc = 0.0
+        ship_durations = np.asarray(
+            dists[level].sample(n_aggs, seed=rng), dtype=float
+        )
+        for a in range(n_aggs):
+            batch = shipments[a * group : (a + 1) * group]
+            order = np.argsort([s.arrival for s in batch], kind="stable")
+            arrivals = np.array([batch[i].arrival for i in order])
+            payloads = np.array([batch[i].payload for i in order])
+            controller = policy.controller(ctx, level)
+            depart, payload = _run_aggregator(controller, arrivals, payloads)
+            stops_acc += depart
+            next_shipments.append(
+                _Shipment(arrival=depart + float(ship_durations[a]), payload=payload)
+            )
+        mean_stops.append(stops_acc / max(1, n_aggs))
+        shipments = next_shipments
+
+    # ---- root: include shipments arriving by the deadline -------------
+    included = 0
+    late_count = 0
+    for s in shipments:
+        if s.arrival <= deadline:
+            included += s.payload
+        else:
+            late_count += 1
+
+    total_simulated = simulated_bottom * k1
+    quality = included / total_simulated if total_simulated else 0.0
+    return QueryResult(
+        quality=quality,
+        included_outputs=included * scale,
+        total_outputs=tree.total_processes,
+        mean_stops=tuple(mean_stops),
+        late_at_root=late_count,
+    )

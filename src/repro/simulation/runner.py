@@ -1,0 +1,118 @@
+"""Multi-query experiment runner.
+
+Runs a set of wait policies over a stream of queries drawn from a
+workload, with paired sampling: every policy sees the *same* per-query
+true distributions (and independent duration draws are decoupled from the
+policy by per-query child RNG streams), so quality differences are
+attributable to the policies alone — the same discipline the paper's
+trace replay provides.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Protocol, Sequence
+
+import numpy as np
+
+from ..core import QueryContext, TreeSpec, WaitPolicy
+from ..errors import ConfigError
+from ..rng import SeedLike, resolve_rng, spawn
+from .metrics import PolicyStats, improvement_percent
+from .query import QueryResult, simulate_query
+
+__all__ = ["Workload", "RunResult", "run_experiment"]
+
+
+class Workload(Protocol):
+    """What the runner needs from a workload (see ``repro.traces``)."""
+
+    def offline_tree(self) -> TreeSpec:
+        """Population-level stage distributions (learned from history)."""
+        ...
+
+    def sample_query(self, rng: np.random.Generator) -> TreeSpec:
+        """True per-query stage distributions (with per-query variation)."""
+        ...
+
+
+@dataclasses.dataclass(frozen=True)
+class RunResult:
+    """Per-policy qualities for one experiment configuration."""
+
+    deadline: float
+    n_queries: int
+    qualities: dict[str, np.ndarray]  # policy name -> (n_queries,) array
+    results: dict[str, list[QueryResult]]
+
+    def mean_quality(self, policy: str) -> float:
+        """Average response quality achieved by ``policy``."""
+        return float(np.mean(self.qualities[policy]))
+
+    def stats(self, policy: str) -> PolicyStats:
+        """Summary statistics for ``policy``."""
+        return PolicyStats.from_qualities(policy, self.qualities[policy])
+
+    def improvement(self, policy: str, baseline: str) -> float:
+        """% improvement of mean quality of ``policy`` over ``baseline``."""
+        return improvement_percent(
+            self.mean_quality(policy), self.mean_quality(baseline)
+        )
+
+    def per_query_improvements(
+        self, policy: str, baseline: str, min_baseline_quality: float = 0.0
+    ) -> np.ndarray:
+        """Per-query % improvements, filtering low-baseline queries.
+
+        Figure 8 uses ``min_baseline_quality = 0.05`` "to prevent
+        improvements from being unreasonably high".
+        """
+        base = self.qualities[baseline]
+        new = self.qualities[policy]
+        mask = base > min_baseline_quality
+        if not np.any(mask):
+            return np.empty(0)
+        return 100.0 * (new[mask] - base[mask]) / base[mask]
+
+
+def run_experiment(
+    workload: Workload,
+    policies: Sequence[WaitPolicy],
+    deadline: float,
+    n_queries: int,
+    seed: SeedLike = None,
+    agg_sample: Optional[int] = None,
+) -> RunResult:
+    """Simulate ``n_queries`` under each policy and collect qualities."""
+    if n_queries < 1:
+        raise ConfigError(f"n_queries must be >= 1, got {n_queries}")
+    names = [p.name for p in policies]
+    if len(set(names)) != len(names):
+        raise ConfigError(f"duplicate policy names: {names}")
+    root = resolve_rng(seed)
+    offline = workload.offline_tree()
+    qualities = {name: np.empty(n_queries) for name in names}
+    results: dict[str, list[QueryResult]] = {name: [] for name in names}
+
+    query_rngs = spawn(root, n_queries)
+    for q_idx, q_rng in enumerate(query_rngs):
+        true_tree = workload.sample_query(q_rng)
+        ctx = QueryContext(
+            deadline=deadline, offline_tree=offline, true_tree=true_tree
+        )
+        # every policy replays the query with an identically-seeded fresh
+        # stream: controllers draw no randomness, so all policies see the
+        # exact same process/aggregator durations (paired comparison).
+        (duration_seed,) = q_rng.integers(0, 2**63 - 1, size=1)
+        for policy in policies:
+            p_rng = np.random.default_rng(int(duration_seed))
+            res = simulate_query(ctx, policy, seed=p_rng, agg_sample=agg_sample)
+            qualities[policy.name][q_idx] = res.quality
+            results[policy.name].append(res)
+
+    return RunResult(
+        deadline=deadline,
+        n_queries=n_queries,
+        qualities=qualities,
+        results=results,
+    )

@@ -1,0 +1,172 @@
+"""Weighted response quality (paper Appendix A / §3.1 footnote).
+
+"Note that our model is easily extensible to weighted process outputs" —
+in search, some index shards contribute more relevance than others; in
+analytics, partitions carry different row counts. Quality becomes the
+*weight* fraction of process outputs included in the response.
+
+Weights may correlate with durations (the expensive shard is often the
+valuable one), which is where weighting changes the optimal behaviour:
+positively correlated weights push the optimal wait out, because the tail
+arrivals are worth disproportionately much. :class:`WeightModel`
+implementations cover the independent and rank-correlated cases, and
+:func:`simulate_weighted_query` mirrors :func:`simulate_query` for
+two-level trees with per-output weights.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+
+import numpy as np
+
+from ..core import QueryContext, WaitPolicy
+from ..errors import SimulationError
+from ..rng import SeedLike, resolve_rng
+
+__all__ = [
+    "WeightModel",
+    "UniformWeights",
+    "IndependentWeights",
+    "RankCorrelatedWeights",
+    "WeightedQueryResult",
+    "simulate_weighted_query",
+]
+
+
+class WeightModel(abc.ABC):
+    """Assigns a nonnegative weight to each process output."""
+
+    @abc.abstractmethod
+    def weights(
+        self, durations: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Weights for outputs whose (sorted) durations are given."""
+
+
+class UniformWeights(WeightModel):
+    """Every output counts equally — reduces to the unweighted model."""
+
+    def weights(self, durations, rng):
+        return np.ones_like(durations)
+
+
+class IndependentWeights(WeightModel):
+    """I.i.d. weights, independent of durations.
+
+    Expected quality is unchanged versus the unweighted model (weights
+    average out), but per-query variance grows with ``cv`` — useful for
+    robustness checks.
+    """
+
+    def __init__(self, cv: float = 0.5):
+        if cv < 0.0:
+            raise SimulationError(f"cv must be >= 0, got {cv}")
+        self.cv = float(cv)
+
+    def weights(self, durations, rng):
+        if self.cv == 0.0:
+            return np.ones_like(durations)
+        sigma = np.sqrt(np.log1p(self.cv**2))
+        w = rng.lognormal(mean=-0.5 * sigma**2, sigma=sigma, size=durations.shape)
+        return w
+
+
+class RankCorrelatedWeights(WeightModel):
+    """Weights correlated with the duration *rank*.
+
+    ``rho > 0``: slower outputs carry more weight (expensive shards are
+    valuable) — waiting becomes more attractive; ``rho < 0``: the fast
+    outputs dominate the response value. The weight of the ``i``-th
+    fastest of ``k`` is ``1 + rho * (2 * (i - 1) / (k - 1) - 1)``, kept
+    nonnegative, so total weight is ``k`` regardless of ``rho``.
+    """
+
+    def __init__(self, rho: float):
+        if not -1.0 <= rho <= 1.0:
+            raise SimulationError(f"rho must be in [-1, 1], got {rho}")
+        self.rho = float(rho)
+
+    def weights(self, durations, rng):
+        k = durations.shape[-1]
+        if k == 1:
+            return np.ones_like(durations)
+        ranks = np.broadcast_to(
+            np.arange(k, dtype=float), durations.shape
+        )
+        w = 1.0 + self.rho * (2.0 * ranks / (k - 1) - 1.0)
+        return np.maximum(w, 0.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class WeightedQueryResult:
+    """Outcome of one weighted query."""
+
+    quality: float  # included weight / total weight
+    included_weight: float
+    total_weight: float
+    unweighted_quality: float
+
+    def __post_init__(self) -> None:
+        if not -1e-9 <= self.quality <= 1.0 + 1e-9:
+            raise SimulationError(f"quality out of range: {self.quality}")
+
+
+def simulate_weighted_query(
+    ctx: QueryContext,
+    policy: WaitPolicy,
+    weight_model: WeightModel,
+    seed: SeedLike = None,
+) -> WeightedQueryResult:
+    """Two-level weighted-quality simulation.
+
+    Semantics match :func:`~repro.simulation.query.simulate_query` except
+    the root tallies output *weights*; the controller sees arrival times
+    only (weights are payload, not timing).
+    """
+    tree = ctx.true_tree if ctx.true_tree is not None else ctx.offline_tree
+    if tree.n_stages != 2:
+        raise SimulationError(
+            "weighted simulation currently covers two-level trees; "
+            f"got {tree.n_stages} stages"
+        )
+    rng = resolve_rng(seed)
+    policy.begin_query(ctx)
+
+    k1, k2 = tree.fanouts
+    x1, x2 = tree.distributions
+    deadline = ctx.deadline
+
+    durations = np.sort(np.asarray(x1.sample((k2, k1), seed=rng)), axis=1)
+    weights = weight_model.weights(durations, rng)
+    ship = np.asarray(x2.sample(k2, seed=rng), dtype=float)
+
+    included_weight = 0.0
+    included_count = 0
+    for a in range(k2):
+        controller = policy.controller(ctx, 1)
+        collected_w = 0.0
+        collected_n = 0
+        for i in range(k1):
+            t = float(durations[a, i])
+            if t > controller.stop_time:
+                break
+            controller.on_arrival(t)
+            collected_w += float(weights[a, i])
+            collected_n += 1
+        stop = controller.stop_time
+        if collected_n == k1:
+            stop = min(stop, float(durations[a, -1]))
+        if stop + float(ship[a]) <= deadline:
+            included_weight += collected_w
+            included_count += collected_n
+
+    total_weight = float(np.sum(weights))
+    total_count = k1 * k2
+    return WeightedQueryResult(
+        quality=included_weight / total_weight if total_weight else 0.0,
+        included_weight=included_weight,
+        total_weight=total_weight,
+        unweighted_quality=included_count / total_count,
+    )

@@ -1,0 +1,97 @@
+"""Workload substrate: synthetic equivalents of the paper's production
+traces (Facebook, Bing, Google, Cosmos), calibrated to the published
+distribution fits, plus trace-file IO and replay."""
+
+from .base import (
+    GaussianStageSpec,
+    GaussianWorkload,
+    LogNormalStageSpec,
+    LogNormalWorkload,
+    ReplayWorkload,
+)
+from .bing import BING_MU, BING_SIGMA, BING_TRACE_STATS_US, bing_stage_spec, bing_workload
+from .catalog import WORKLOADS, make_workload
+from .diurnal import DiurnalWorkload
+from .cosmos import (
+    COSMOS_EXTRACT_PERCENTILES_S,
+    COSMOS_FULL_AGGREGATE_PERCENTILES_S,
+    cosmos_phase_fit,
+    cosmos_workload,
+)
+from .facebook import (
+    FACEBOOK_JOB_MAP_MU,
+    FACEBOOK_JOB_REDUCE_MU,
+    FACEBOOK_JOB_REDUCE_SIGMA,
+    FACEBOOK_MAP_MU,
+    FACEBOOK_MAP_SIGMA,
+    facebook_map_spec,
+    facebook_reduce_spec,
+    facebook_three_level_workload,
+    facebook_workload,
+)
+from .gaussian import (
+    GAUSSIAN_BOTTOM_STD_MS,
+    GAUSSIAN_MEAN_MS,
+    GAUSSIAN_TOP_STD_MS,
+    gaussian_workload,
+)
+from .google import (
+    GOOGLE_MU,
+    GOOGLE_SIGMA,
+    GOOGLE_TRACE_STATS_MS,
+    google_stage_spec,
+    google_workload,
+)
+from .interactive import INTERACTIVE_DEADLINES_MS, interactive_workload
+from .io import (
+    TRACE_FORMAT_VERSION,
+    export_trace_csv,
+    load_trace,
+    record_trace,
+    save_trace,
+)
+
+__all__ = [
+    "LogNormalStageSpec",
+    "LogNormalWorkload",
+    "GaussianStageSpec",
+    "GaussianWorkload",
+    "ReplayWorkload",
+    "DiurnalWorkload",
+    "facebook_workload",
+    "facebook_three_level_workload",
+    "facebook_map_spec",
+    "facebook_reduce_spec",
+    "FACEBOOK_MAP_MU",
+    "FACEBOOK_MAP_SIGMA",
+    "FACEBOOK_JOB_MAP_MU",
+    "FACEBOOK_JOB_REDUCE_MU",
+    "FACEBOOK_JOB_REDUCE_SIGMA",
+    "bing_workload",
+    "bing_stage_spec",
+    "BING_MU",
+    "BING_SIGMA",
+    "BING_TRACE_STATS_US",
+    "google_workload",
+    "google_stage_spec",
+    "GOOGLE_MU",
+    "GOOGLE_SIGMA",
+    "GOOGLE_TRACE_STATS_MS",
+    "cosmos_workload",
+    "cosmos_phase_fit",
+    "COSMOS_EXTRACT_PERCENTILES_S",
+    "COSMOS_FULL_AGGREGATE_PERCENTILES_S",
+    "interactive_workload",
+    "INTERACTIVE_DEADLINES_MS",
+    "gaussian_workload",
+    "GAUSSIAN_MEAN_MS",
+    "GAUSSIAN_BOTTOM_STD_MS",
+    "GAUSSIAN_TOP_STD_MS",
+    "WORKLOADS",
+    "make_workload",
+    "save_trace",
+    "load_trace",
+    "export_trace_csv",
+    "record_trace",
+    "TRACE_FORMAT_VERSION",
+]

@@ -1,0 +1,280 @@
+"""Workload models: per-query stage distributions with population drift.
+
+A workload answers two questions for the experiment runner:
+
+* :meth:`offline_tree` — what the system's *history-based* model of each
+  stage looks like (what Proportional-split and Cedar's upper-level/
+  offline components consume). We materialize it the way a production
+  system would: pool durations from simulated past queries and fit the
+  family (§4.2.1's offline step), rather than leaking the generator's
+  base parameters.
+* :meth:`sample_query` — this query's *true* stage distributions. The
+  paper's central observation is that these vary query-to-query ("the
+  computation for 'Britney Spears' may take considerably lesser time than
+  'Britney Spears Grammy Toxic'"), which is exactly what per-stage
+  parameter jitter models.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core import Stage, TreeSpec
+from ..distributions import Distribution, LogNormal, TruncatedNormal
+from ..errors import TraceError
+from ..rng import SeedLike, resolve_rng
+
+__all__ = [
+    "LogNormalStageSpec",
+    "LogNormalWorkload",
+    "GaussianStageSpec",
+    "GaussianWorkload",
+    "ReplayWorkload",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class LogNormalStageSpec:
+    """One stage: base log-normal parameters plus per-query jitter.
+
+    Per query, the true stage distribution is ``LogNormal(mu_q, sigma_q)``
+    with
+
+        ``mu_q = mu + mu_jitter * (L * z + sqrt(1 - L^2) * z_i)``
+
+    where ``z`` is a query-wide standard-normal factor shared by all
+    stages and ``z_i`` is stage-private; ``L = shared_loading`` in
+    ``[-1, 1]`` sets how this stage co-moves with the query's overall
+    heaviness (opposite signs across stages model the map/reduce
+    anti-correlation of the pruned Facebook trace: jobs with more map work
+    fan out over more reducers, so their per-reduce-task durations are
+    shorter). ``sigma_q`` is normal around ``sigma``, floored positive.
+    """
+
+    mu: float
+    sigma: float
+    fanout: int
+    mu_jitter: float = 0.0
+    sigma_jitter: float = 0.0
+    sigma_floor: float = 0.05
+    shared_loading: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0.0:
+            raise TraceError(f"sigma must be positive, got {self.sigma}")
+        if self.fanout < 1:
+            raise TraceError(f"fanout must be >= 1, got {self.fanout}")
+        if self.mu_jitter < 0.0 or self.sigma_jitter < 0.0:
+            raise TraceError("jitter magnitudes must be nonnegative")
+        if self.sigma_floor <= 0.0:
+            raise TraceError("sigma_floor must be positive")
+        if not -1.0 <= self.shared_loading <= 1.0:
+            raise TraceError(
+                f"shared_loading must be in [-1, 1], got {self.shared_loading}"
+            )
+
+    def draw(
+        self, rng: np.random.Generator, shared_factor: float = 0.0
+    ) -> LogNormal:
+        """Sample this query's true distribution for the stage."""
+        mu_q = self.mu
+        if self.mu_jitter:
+            load = self.shared_loading
+            private = rng.normal(0.0, 1.0)
+            mu_q += self.mu_jitter * (
+                load * shared_factor + math.sqrt(1.0 - load * load) * private
+            )
+        sigma_q = self.sigma + (
+            rng.normal(0.0, self.sigma_jitter) if self.sigma_jitter else 0.0
+        )
+        return LogNormal(mu=mu_q, sigma=max(sigma_q, self.sigma_floor))
+
+    def scaled(self, factor: float) -> "LogNormalStageSpec":
+        """Rescale the stage's time unit (multiplies durations by ``factor``).
+
+        For a log-normal this is a shift of ``mu`` by ``ln factor``.
+        """
+        if factor <= 0.0:
+            raise TraceError(f"scale factor must be positive, got {factor}")
+        return dataclasses.replace(self, mu=self.mu + math.log(factor))
+
+
+class LogNormalWorkload:
+    """Workload whose every stage is log-normal with per-query jitter."""
+
+    def __init__(
+        self,
+        specs: Sequence[LogNormalStageSpec],
+        name: str = "lognormal",
+        history_queries: int = 300,
+        history_samples_per_query: int = 40,
+        offline_seed: SeedLike = None,
+    ):
+        if len(specs) < 2:
+            raise TraceError("workload needs >= 2 stages")
+        self.specs = tuple(specs)
+        self.name = name
+        self.history_queries = int(history_queries)
+        self.history_samples_per_query = int(history_samples_per_query)
+        self._offline_seed = offline_seed
+        self._offline: Optional[TreeSpec] = None
+
+    # ------------------------------------------------------------------
+    def sample_query(self, rng: np.random.Generator) -> TreeSpec:
+        """True per-query tree: draw each stage's parameters.
+
+        A single query-wide factor couples the stages' ``mu`` draws via
+        each spec's ``shared_loading``.
+        """
+        shared = float(rng.normal(0.0, 1.0))
+        return TreeSpec(
+            [Stage(spec.draw(rng, shared), spec.fanout) for spec in self.specs]
+        )
+
+    def offline_tree(self) -> TreeSpec:
+        """History-fitted population model (cached after first call)."""
+        if self._offline is None:
+            self._offline = self._fit_offline()
+        return self._offline
+
+    def _fit_offline(self) -> TreeSpec:
+        rng = resolve_rng(self._offline_seed)
+        stages = []
+        for spec in self.specs:
+            if spec.mu_jitter == 0.0 and spec.sigma_jitter == 0.0:
+                # no drift: the population model is the base distribution
+                stages.append(Stage(LogNormal(spec.mu, spec.sigma), spec.fanout))
+                continue
+            pooled: list[np.ndarray] = []
+            for _ in range(self.history_queries):
+                dist = spec.draw(rng, float(rng.normal(0.0, 1.0)))
+                pooled.append(
+                    np.asarray(
+                        dist.sample(self.history_samples_per_query, seed=rng)
+                    )
+                )
+            fitted = LogNormal.from_samples(np.concatenate(pooled))
+            stages.append(Stage(fitted, spec.fanout))
+        return TreeSpec(stages)
+
+    def with_spec(self, index: int, spec: LogNormalStageSpec) -> "LogNormalWorkload":
+        """Return a copy with one stage spec replaced (sweep helper)."""
+        if not 0 <= index < len(self.specs):
+            raise TraceError(f"stage index out of range: {index}")
+        new_specs = list(self.specs)
+        new_specs[index] = spec
+        return LogNormalWorkload(
+            new_specs,
+            name=self.name,
+            history_queries=self.history_queries,
+            history_samples_per_query=self.history_samples_per_query,
+            offline_seed=self._offline_seed,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<LogNormalWorkload {self.name!r} stages={len(self.specs)}>"
+
+
+@dataclasses.dataclass(frozen=True)
+class GaussianStageSpec:
+    """One stage of the Figure 17 Gaussian workload (truncated at zero)."""
+
+    mean: float
+    std: float
+    fanout: int
+    mean_jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.std <= 0.0:
+            raise TraceError(f"std must be positive, got {self.std}")
+        if self.fanout < 1:
+            raise TraceError(f"fanout must be >= 1, got {self.fanout}")
+
+    def draw(self, rng: np.random.Generator) -> Distribution:
+        mean_q = self.mean + (
+            rng.normal(0.0, self.mean_jitter) if self.mean_jitter else 0.0
+        )
+        return TruncatedNormal(mu=mean_q, sigma=self.std, lower=0.0)
+
+
+class GaussianWorkload:
+    """Workload with truncated-normal stages (paper §5.7)."""
+
+    def __init__(self, specs: Sequence[GaussianStageSpec], name: str = "gaussian"):
+        if len(specs) < 2:
+            raise TraceError("workload needs >= 2 stages")
+        self.specs = tuple(specs)
+        self.name = name
+
+    def sample_query(self, rng: np.random.Generator) -> TreeSpec:
+        return TreeSpec([Stage(spec.draw(rng), spec.fanout) for spec in self.specs])
+
+    def offline_tree(self) -> TreeSpec:
+        return TreeSpec(
+            [
+                Stage(
+                    TruncatedNormal(mu=spec.mean, sigma=spec.std, lower=0.0),
+                    spec.fanout,
+                )
+                for spec in self.specs
+            ]
+        )
+
+
+class ReplayWorkload:
+    """Replays recorded per-job stage samples (the Facebook trace mode).
+
+    Each query replays one recorded job: the true stage distributions are
+    the job's own empirical duration samples. The offline model pools all
+    jobs, as a history-based system would.
+    """
+
+    def __init__(
+        self,
+        jobs: Sequence[Sequence["Distribution"]],
+        fanouts: Sequence[int],
+        name: str = "replay",
+    ):
+        if not jobs:
+            raise TraceError("need at least one job to replay")
+        n_stages = len(fanouts)
+        if n_stages < 2:
+            raise TraceError("workload needs >= 2 stages")
+        for idx, job in enumerate(jobs):
+            if len(job) != n_stages:
+                raise TraceError(
+                    f"job {idx} has {len(job)} stage distributions, "
+                    f"expected {n_stages}"
+                )
+        self.jobs = [tuple(job) for job in jobs]
+        self.fanouts = tuple(int(f) for f in fanouts)
+        self.name = name
+        self._offline: Optional[TreeSpec] = None
+
+    def sample_query(self, rng: np.random.Generator) -> TreeSpec:
+        idx = int(rng.integers(0, len(self.jobs)))
+        job = self.jobs[idx]
+        return TreeSpec(
+            [Stage(dist, fanout) for dist, fanout in zip(job, self.fanouts)]
+        )
+
+    def offline_tree(self) -> TreeSpec:
+        if self._offline is None:
+            from ..distributions import Empirical
+
+            stages = []
+            for stage_idx, fanout in enumerate(self.fanouts):
+                pooled: list[np.ndarray] = []
+                for job in self.jobs:
+                    dist = job[stage_idx]
+                    if isinstance(dist, Empirical):
+                        pooled.append(np.asarray(dist.samples))
+                    else:
+                        pooled.append(np.asarray(dist.sample(64, seed=stage_idx)))
+                stages.append(Stage(Empirical(np.concatenate(pooled)), fanout))
+            self._offline = TreeSpec(stages)
+        return self._offline

@@ -1,0 +1,61 @@
+"""Bing search-cluster workload (RTT distribution of Figure 4).
+
+The paper publishes the log-normal fit of Bing RTTs: ``mu = 5.9``,
+``sigma = 1.25`` in *microseconds* (§5.6), with trace statistics median
+330us, p90 1.1ms, p99 14ms. Bing/Google traces come from aggregator-level
+operations and "exhibit little variation across queries" (§4.1), so the
+default per-query jitter is small.
+"""
+
+from __future__ import annotations
+
+from ..rng import SeedLike
+from .base import LogNormalStageSpec, LogNormalWorkload
+
+__all__ = [
+    "BING_MU",
+    "BING_SIGMA",
+    "BING_TRACE_STATS_US",
+    "bing_stage_spec",
+    "bing_workload",
+]
+
+#: Published log-normal fit of Bing RTTs, microseconds (§5.6).
+BING_MU = 5.9
+BING_SIGMA = 1.25
+
+#: Published trace statistics (Figure 4), microseconds.
+BING_TRACE_STATS_US = {0.5: 330.0, 0.9: 1100.0, 0.99: 14000.0}
+
+#: Small cross-query drift (aggregator-style stage, §4.1).
+BING_MU_JITTER = 0.15
+
+
+def bing_stage_spec(
+    fanout: int = 50,
+    mu: float = BING_MU,
+    sigma: float = BING_SIGMA,
+    mu_jitter: float = BING_MU_JITTER,
+) -> LogNormalStageSpec:
+    """One Bing-distributed stage (durations in microseconds)."""
+    return LogNormalStageSpec(
+        mu=mu, sigma=sigma, fanout=fanout, mu_jitter=mu_jitter, sigma_floor=0.2
+    )
+
+
+def bing_workload(
+    k1: int = 50,
+    k2: int = 50,
+    sigma1: float = BING_SIGMA,
+    offline_seed: SeedLike = None,
+) -> LogNormalWorkload:
+    """Figure 16a's workload: both stages Bing-distributed; ``sigma1``
+    sweeps the bottom stage's variability."""
+    return LogNormalWorkload(
+        [
+            bing_stage_spec(fanout=k1, sigma=sigma1, mu_jitter=0.4),
+            bing_stage_spec(fanout=k2),
+        ],
+        name="bing-bing",
+        offline_seed=offline_seed,
+    )

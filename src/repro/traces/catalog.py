@@ -1,0 +1,57 @@
+"""Registry of the named workloads used across the evaluation."""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..errors import TraceError
+from .base import LogNormalStageSpec
+from .bing import bing_workload
+from .cosmos import cosmos_workload
+from .diurnal import DiurnalWorkload
+from .facebook import facebook_three_level_workload, facebook_workload
+from .gaussian import gaussian_workload
+from .google import google_workload
+from .interactive import interactive_workload
+
+__all__ = ["WORKLOADS", "make_workload", "diurnal_workload"]
+
+
+def diurnal_workload(
+    k1: int = 30,
+    k2: int = 10,
+    amplitude: float = 1.3,
+    period: int = 40,
+) -> DiurnalWorkload:
+    """Default diurnal workload (see :class:`~repro.traces.DiurnalWorkload`)."""
+    return DiurnalWorkload(
+        base=LogNormalStageSpec(
+            mu=2.6, sigma=0.84, fanout=k1, mu_jitter=0.3
+        ),
+        upper=LogNormalStageSpec(mu=2.2, sigma=0.6, fanout=k2),
+        amplitude=amplitude,
+        period=period,
+    )
+
+
+WORKLOADS: Mapping[str, Callable] = {
+    "facebook": facebook_workload,
+    "facebook-3level": facebook_three_level_workload,
+    "bing-bing": bing_workload,
+    "google-google": google_workload,
+    "cosmos": cosmos_workload,
+    "interactive": interactive_workload,
+    "gaussian": gaussian_workload,
+    "diurnal": diurnal_workload,
+}
+
+
+def make_workload(name: str, **kwargs):
+    """Instantiate a registered workload by name."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError as exc:
+        raise TraceError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        ) from exc
+    return factory(**kwargs)

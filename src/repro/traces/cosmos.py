@@ -1,0 +1,106 @@
+"""Microsoft Cosmos analytics-cluster workload.
+
+The paper only obtained *statistics* (not per-job durations) for Cosmos's
+extract and full-aggregate phases (§5.6), which is why Cedar's online
+learning "is not in play" on this workload and Figure 15 compares
+offline-Cedar against Proportional-split. We model the same situation: a
+percentile table per phase (chosen to match the qualitative description —
+durations spread over ~3 orders of magnitude, extract shorter and more
+variable than full-aggregate), fed through the library's percentile
+fitter exactly as the paper fed its statistics through rriskDistributions.
+"""
+
+from __future__ import annotations
+
+from ..distributions import FitResult, fit_distribution_type
+from ..errors import TraceError
+from ..rng import SeedLike
+from .base import LogNormalStageSpec, LogNormalWorkload
+
+__all__ = [
+    "COSMOS_EXTRACT_PERCENTILES_S",
+    "COSMOS_FULL_AGGREGATE_PERCENTILES_S",
+    "cosmos_phase_fit",
+    "cosmos_workload",
+]
+
+#: Synthetic percentile tables for the two phases (seconds). Generated
+#: from log-normal shapes consistent with §2.2's description of analytics
+#: task durations (up to ~1600x spread, heavy tailed); stand-ins for the
+#: proprietary statistics the paper used.
+COSMOS_EXTRACT_PERCENTILES_S = {
+    0.10: 4.7,
+    0.25: 11.0,
+    0.50: 25.0,
+    0.75: 57.0,
+    0.90: 120.0,
+    0.99: 480.0,
+}
+COSMOS_FULL_AGGREGATE_PERCENTILES_S = {
+    0.10: 38.0,
+    0.25: 55.0,
+    0.50: 81.0,
+    0.75: 122.0,
+    0.90: 176.0,
+    0.99: 330.0,
+}
+
+
+def cosmos_phase_fit(phase: str) -> FitResult:
+    """Fit the named phase's percentile table; log-normal should win."""
+    tables = {
+        "extract": COSMOS_EXTRACT_PERCENTILES_S,
+        "full-aggregate": COSMOS_FULL_AGGREGATE_PERCENTILES_S,
+    }
+    try:
+        table = tables[phase]
+    except KeyError as exc:
+        raise TraceError(
+            f"unknown Cosmos phase {phase!r}; choose from {sorted(tables)}"
+        ) from exc
+    probs = sorted(table)
+    values = [table[p] for p in probs]
+    return fit_distribution_type(probs, values)[0]
+
+
+def cosmos_workload(
+    k1: int = 50,
+    k2: int = 50,
+    extract_mu_jitter: float = 1.8,
+    full_agg_mu_jitter: float = 0.2,
+    offline_seed: SeedLike = None,
+) -> LogNormalWorkload:
+    """Figure 15's workload: extract at the bottom, full-aggregate on top.
+
+    The jitters inject the per-job variation the paper could not observe
+    (it had only aggregate statistics); offline Cedar never sees it, which
+    is exactly the Figure 15 setting. Extract phases (user code) vary far
+    more across jobs than full-aggregate phases (standard operators),
+    mirroring the Facebook map/reduce asymmetry.
+    """
+    extract = cosmos_phase_fit("extract").distribution
+    full_agg = cosmos_phase_fit("full-aggregate").distribution
+    if extract.family != "lognormal" or full_agg.family != "lognormal":
+        raise TraceError(
+            "expected log-normal to win the Cosmos percentile fit, got "
+            f"{extract.family}/{full_agg.family}"
+        )
+    specs = [
+        LogNormalStageSpec(
+            mu=extract.mu,
+            sigma=extract.sigma,
+            fanout=k1,
+            mu_jitter=extract_mu_jitter,
+            sigma_jitter=0.15,
+            sigma_floor=0.3,
+        ),
+        LogNormalStageSpec(
+            mu=full_agg.mu,
+            sigma=full_agg.sigma,
+            fanout=k2,
+            mu_jitter=full_agg_mu_jitter,
+            sigma_jitter=0.05,
+            sigma_floor=0.3,
+        ),
+    ]
+    return LogNormalWorkload(specs, name="cosmos", offline_seed=offline_seed)

@@ -1,0 +1,92 @@
+"""Diurnal (time-of-day) workload — reproduction extension.
+
+§5.3.2's load-fluctuation experiment uses a single step change; real
+clusters breathe on a daily cycle. :class:`DiurnalWorkload` modulates the
+bottom stage's ``mu`` sinusoidally over a sequence of queries, so load
+rises and falls continuously. Paired with
+:class:`~repro.estimation.DistributionTracker`, it exercises the two
+adaptation time scales together: windowed offline re-fitting follows the
+cycle, per-query online learning absorbs the residual.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core import Stage, TreeSpec
+from ..distributions import LogNormal
+from ..errors import TraceError
+from .base import LogNormalStageSpec
+
+__all__ = ["DiurnalWorkload"]
+
+
+class DiurnalWorkload:
+    """Log-normal workload whose bottom-stage mu follows a sine of the
+    query index (one full cycle every ``period`` queries)."""
+
+    def __init__(
+        self,
+        base: LogNormalStageSpec,
+        upper: LogNormalStageSpec,
+        amplitude: float = 0.8,
+        period: int = 200,
+        name: str = "diurnal",
+    ):
+        if amplitude < 0.0:
+            raise TraceError(f"amplitude must be >= 0, got {amplitude}")
+        if period < 2:
+            raise TraceError(f"period must be >= 2, got {period}")
+        self.base = base
+        self.upper = upper
+        self.amplitude = float(amplitude)
+        self.period = int(period)
+        self.name = name
+        self._query_index = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def query_index(self) -> int:
+        """Queries issued so far (drives the phase)."""
+        return self._query_index
+
+    def phase_mu(self, index: int) -> float:
+        """The cycle's mu offset at query ``index``."""
+        return self.amplitude * math.sin(2.0 * math.pi * index / self.period)
+
+    def sample_query(self, rng: np.random.Generator) -> TreeSpec:
+        """Next query: base jitter plus the current point of the cycle."""
+        offset = self.phase_mu(self._query_index)
+        self._query_index += 1
+        shared = float(rng.normal(0.0, 1.0))
+        bottom = self.base.draw(rng, shared)
+        bottom = LogNormal(bottom.mu + offset, bottom.sigma)
+        return TreeSpec(
+            [
+                Stage(bottom, self.base.fanout),
+                Stage(self.upper.draw(rng, shared), self.upper.fanout),
+            ]
+        )
+
+    def offline_tree(self) -> TreeSpec:
+        """Cycle-agnostic population model (what a non-windowed history
+        fit would produce): base parameters with the cycle folded into
+        sigma via the sine's variance (amplitude / sqrt(2))."""
+        cycle_var = 0.5 * self.amplitude**2
+        pooled_sigma = math.sqrt(
+            self.base.sigma**2 + self.base.mu_jitter**2 + cycle_var
+        )
+        return TreeSpec(
+            [
+                Stage(LogNormal(self.base.mu, pooled_sigma), self.base.fanout),
+                Stage(
+                    LogNormal(self.upper.mu, self.upper.sigma), self.upper.fanout
+                ),
+            ]
+        )
+
+    def reset(self) -> None:
+        """Restart the cycle."""
+        self._query_index = 0

@@ -1,0 +1,123 @@
+"""Facebook Hadoop-cluster workload (the paper's primary workload).
+
+Two calibration layers, both anchored to the paper:
+
+* **Trace-wide fit** — the paper publishes the log-normal fit of Facebook
+  map-task durations as ``LogNormal(mu=2.77, sigma=0.84)`` in seconds
+  (Figure 9 caption). Those constants are exported as
+  ``FACEBOOK_MAP_MU/SIGMA`` and drive the estimation-error (Figure 9) and
+  load-shift (Figure 11) experiments, which use exactly that distribution.
+* **Replayed-job model** — the Figure 6/7/8 experiments replay individual
+  *large* jobs ("we prune the trace to only consider jobs with > 2500 map
+  tasks ... and > 50 reduce tasks", §5.2 fn. 6) under deadlines of
+  500-3000 s. Large pruned jobs run far longer than the trace-wide
+  median, so the per-job map parameters here are calibrated so the
+  replayed population reproduces the paper's quality-vs-deadline shape
+  (baseline ~0.2 -> 0.85, Cedar/ideal ~0.5 -> 0.9 over D in [500, 3000] s,
+  improvements ~170% declining to ~7%). The within-job ``sigma = 0.84``
+  is the published fit.
+
+Map (process) parameters vary strongly job-to-job — that is the
+query-specific information Proportional-split's single pooled
+distribution misses (§3.2) and Cedar's online learning recovers. Reduce
+(aggregator) parameters vary only mildly, consistent with §4.1's
+observation that aggregation operations are similar across queries —
+which is also what lets Cedar learn the upper stage offline and still
+match the ideal scheme. A small opposite-sign ``shared_loading`` couples
+the stages (jobs with more map work fan out over more reducers, slightly
+shortening reduce tasks).
+"""
+
+from __future__ import annotations
+
+from ..rng import SeedLike
+from .base import LogNormalStageSpec, LogNormalWorkload
+
+__all__ = [
+    "FACEBOOK_MAP_MU",
+    "FACEBOOK_MAP_SIGMA",
+    "FACEBOOK_JOB_MAP_MU",
+    "FACEBOOK_JOB_REDUCE_MU",
+    "FACEBOOK_JOB_REDUCE_SIGMA",
+    "facebook_map_spec",
+    "facebook_reduce_spec",
+    "facebook_workload",
+    "facebook_three_level_workload",
+]
+
+#: Published trace-wide fit of Facebook map durations, seconds (Fig. 9).
+FACEBOOK_MAP_MU = 2.77
+FACEBOOK_MAP_SIGMA = 0.84
+
+#: Replayed-job population (large pruned jobs; see module docstring).
+FACEBOOK_JOB_MAP_MU = 6.0
+FACEBOOK_JOB_MAP_MU_JITTER = 1.8
+FACEBOOK_JOB_REDUCE_MU = 4.7
+FACEBOOK_JOB_REDUCE_MU_JITTER = 0.15
+FACEBOOK_JOB_REDUCE_SIGMA = 0.5
+
+#: Map/reduce share a query-heaviness factor with opposite sign:
+#: |loading|^2 = 0.6 of the mu jitter variance is common.
+_SHARED_LOADING = 0.7746
+
+
+def facebook_map_spec(
+    fanout: int = 50,
+    mu: float = FACEBOOK_JOB_MAP_MU,
+    mu_jitter: float = FACEBOOK_JOB_MAP_MU_JITTER,
+) -> LogNormalStageSpec:
+    """Map-task (process) stage spec of the replayed-job model."""
+    return LogNormalStageSpec(
+        mu=mu,
+        sigma=FACEBOOK_MAP_SIGMA,
+        fanout=fanout,
+        mu_jitter=mu_jitter,
+        sigma_jitter=0.15,
+        sigma_floor=0.3,
+        shared_loading=_SHARED_LOADING,
+    )
+
+
+def facebook_reduce_spec(
+    fanout: int = 50,
+    mu: float = FACEBOOK_JOB_REDUCE_MU,
+    mu_jitter: float = FACEBOOK_JOB_REDUCE_MU_JITTER,
+) -> LogNormalStageSpec:
+    """Reduce-task (aggregator) stage spec of the replayed-job model."""
+    return LogNormalStageSpec(
+        mu=mu,
+        sigma=FACEBOOK_JOB_REDUCE_SIGMA,
+        fanout=fanout,
+        mu_jitter=mu_jitter,
+        sigma_jitter=0.10,
+        sigma_floor=0.3,
+        shared_loading=-_SHARED_LOADING,
+    )
+
+
+def facebook_workload(
+    k1: int = 50, k2: int = 50, offline_seed: SeedLike = None
+) -> LogNormalWorkload:
+    """The paper's primary two-level workload: X1 = maps, X2 = reduces,
+    fan-out 50 at both levels (2500 processes)."""
+    return LogNormalWorkload(
+        [facebook_map_spec(fanout=k1), facebook_reduce_spec(fanout=k2)],
+        name="facebook",
+        offline_seed=offline_seed,
+    )
+
+
+def facebook_three_level_workload(
+    k1: int = 50, k2: int = 50, k3: int = 50, offline_seed: SeedLike = None
+) -> LogNormalWorkload:
+    """Figure 13's three-level tree: maps at the bottom, reduces at the
+    upper two levels."""
+    return LogNormalWorkload(
+        [
+            facebook_map_spec(fanout=k1),
+            facebook_reduce_spec(fanout=k2),
+            facebook_reduce_spec(fanout=k3),
+        ],
+        name="facebook-3level",
+        offline_seed=offline_seed,
+    )

@@ -1,0 +1,44 @@
+"""The Gaussian workload of Figure 17 (paper §5.7).
+
+Two-level tree with normally distributed durations, mean 40 ms at both
+levels; standard deviation 80 ms at the bottom and 10 ms at the top
+("keeping variance at bottom level higher than above levels"), truncated
+at zero since durations are nonnegative.
+"""
+
+from __future__ import annotations
+
+from .base import GaussianStageSpec, GaussianWorkload
+
+__all__ = [
+    "GAUSSIAN_MEAN_MS",
+    "GAUSSIAN_BOTTOM_STD_MS",
+    "GAUSSIAN_TOP_STD_MS",
+    "gaussian_workload",
+]
+
+GAUSSIAN_MEAN_MS = 40.0
+GAUSSIAN_BOTTOM_STD_MS = 80.0
+GAUSSIAN_TOP_STD_MS = 10.0
+
+
+def gaussian_workload(
+    k1: int = 50,
+    k2: int = 50,
+    bottom_std: float = GAUSSIAN_BOTTOM_STD_MS,
+    top_std: float = GAUSSIAN_TOP_STD_MS,
+    mean_jitter: float = 10.0,
+) -> GaussianWorkload:
+    """Figure 17's two-level Gaussian workload (milliseconds)."""
+    return GaussianWorkload(
+        [
+            GaussianStageSpec(
+                mean=GAUSSIAN_MEAN_MS,
+                std=bottom_std,
+                fanout=k1,
+                mean_jitter=mean_jitter,
+            ),
+            GaussianStageSpec(mean=GAUSSIAN_MEAN_MS, std=top_std, fanout=k2),
+        ],
+        name="gaussian",
+    )

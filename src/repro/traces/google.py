@@ -1,0 +1,60 @@
+"""Google search-cluster workload.
+
+The paper publishes the log-normal fit of Google's process-duration
+distribution: ``mu = 2.94``, ``sigma = 0.55`` in *milliseconds* (§5.6) —
+median ~19ms, p99 ~65ms, matching §2.2's description. Like Bing, this is
+an aggregator-style trace with little cross-query variation (§4.1).
+"""
+
+from __future__ import annotations
+
+from ..rng import SeedLike
+from .base import LogNormalStageSpec, LogNormalWorkload
+
+__all__ = [
+    "GOOGLE_MU",
+    "GOOGLE_SIGMA",
+    "GOOGLE_TRACE_STATS_MS",
+    "google_stage_spec",
+    "google_workload",
+]
+
+#: Published log-normal fit, milliseconds (§5.6).
+GOOGLE_MU = 2.94
+GOOGLE_SIGMA = 0.55
+
+#: Published trace statistics (§2.2), milliseconds.
+GOOGLE_TRACE_STATS_MS = {0.5: 19.0, 0.99: 65.0}
+
+#: Small cross-query drift (aggregator-style stage, §4.1).
+GOOGLE_MU_JITTER = 0.1
+
+
+def google_stage_spec(
+    fanout: int = 50,
+    mu: float = GOOGLE_MU,
+    sigma: float = GOOGLE_SIGMA,
+    mu_jitter: float = GOOGLE_MU_JITTER,
+) -> LogNormalStageSpec:
+    """One Google-distributed stage (durations in milliseconds)."""
+    return LogNormalStageSpec(
+        mu=mu, sigma=sigma, fanout=fanout, mu_jitter=mu_jitter, sigma_floor=0.1
+    )
+
+
+def google_workload(
+    k1: int = 50,
+    k2: int = 50,
+    sigma1: float = GOOGLE_SIGMA,
+    offline_seed: SeedLike = None,
+) -> LogNormalWorkload:
+    """Figure 16b's workload: both stages Google-distributed; ``sigma1``
+    sweeps the bottom stage's variability."""
+    return LogNormalWorkload(
+        [
+            google_stage_spec(fanout=k1, sigma=sigma1, mu_jitter=0.3),
+            google_stage_spec(fanout=k2),
+        ],
+        name="google-google",
+        offline_seed=offline_seed,
+    )

@@ -1,0 +1,132 @@
+"""Trace-file input/output.
+
+A trace file records per-job stage duration samples (the shape of the
+Facebook trace the paper replays: "for a particular job, process
+durations are given by the map tasks and aggregator durations by the
+reduce tasks"). JSON is the canonical format; CSV export covers
+spreadsheet interop. Loading yields a :class:`ReplayWorkload`.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Sequence
+
+import numpy as np
+
+from ..distributions import Empirical
+from ..errors import TraceError
+from ..rng import SeedLike, resolve_rng, spawn
+from .base import ReplayWorkload
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "save_trace",
+    "load_trace",
+    "export_trace_csv",
+    "record_trace",
+]
+
+TRACE_FORMAT_VERSION = 1
+
+
+def save_trace(
+    path: str | pathlib.Path,
+    name: str,
+    fanouts: Sequence[int],
+    jobs: Sequence[Sequence[Sequence[float]]],
+) -> None:
+    """Write a trace file: ``jobs[j][stage]`` is a list of durations."""
+    if not jobs:
+        raise TraceError("refusing to write an empty trace")
+    n_stages = len(fanouts)
+    for j_idx, job in enumerate(jobs):
+        if len(job) != n_stages:
+            raise TraceError(
+                f"job {j_idx} has {len(job)} stages, expected {n_stages}"
+            )
+        for s_idx, stage in enumerate(job):
+            if len(stage) == 0:
+                raise TraceError(f"job {j_idx} stage {s_idx} has no samples")
+    doc = {
+        "format_version": TRACE_FORMAT_VERSION,
+        "name": name,
+        "fanouts": [int(f) for f in fanouts],
+        "jobs": [
+            {
+                "id": j_idx,
+                "stages": [[float(x) for x in stage] for stage in job],
+            }
+            for j_idx, job in enumerate(jobs)
+        ],
+    }
+    pathlib.Path(path).write_text(json.dumps(doc))
+
+
+def load_trace(path: str | pathlib.Path) -> ReplayWorkload:
+    """Load a trace file into a :class:`ReplayWorkload`."""
+    try:
+        doc = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise TraceError(f"cannot read trace file {path}: {exc}") from exc
+    version = doc.get("format_version")
+    if version != TRACE_FORMAT_VERSION:
+        raise TraceError(
+            f"unsupported trace format version {version!r} "
+            f"(expected {TRACE_FORMAT_VERSION})"
+        )
+    try:
+        fanouts = [int(f) for f in doc["fanouts"]]
+        name = str(doc.get("name", "replay"))
+        jobs = [
+            [Empirical(stage) for stage in job["stages"]] for job in doc["jobs"]
+        ]
+    except (KeyError, TypeError) as exc:
+        raise TraceError(f"malformed trace file {path}: {exc}") from exc
+    return ReplayWorkload(jobs, fanouts, name=name)
+
+
+def export_trace_csv(path: str | pathlib.Path, workload: ReplayWorkload) -> None:
+    """Flatten a replay workload to CSV rows (job, stage, duration)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["job", "stage", "duration"])
+        for j_idx, job in enumerate(workload.jobs):
+            for s_idx, dist in enumerate(job):
+                if not isinstance(dist, Empirical):
+                    raise TraceError(
+                        "CSV export requires empirical per-job distributions"
+                    )
+                for value in dist.samples:
+                    writer.writerow([j_idx, s_idx, float(value)])
+
+
+def record_trace(
+    workload,
+    n_jobs: int,
+    samples_per_stage: int,
+    seed: SeedLike = None,
+) -> tuple[list[list[list[float]]], list[int]]:
+    """Materialize a synthetic workload into replayable per-job samples.
+
+    Draws each job's true stage distributions and records
+    ``samples_per_stage`` durations per stage — i.e. turns a generator
+    workload into the kind of trace file the paper replays.
+    """
+    if n_jobs < 1 or samples_per_stage < 1:
+        raise TraceError("n_jobs and samples_per_stage must be >= 1")
+    rng = resolve_rng(seed)
+    fanouts: list[int] = []
+    jobs: list[list[list[float]]] = []
+    for job_rng in spawn(rng, n_jobs):
+        tree = workload.sample_query(job_rng)
+        if not fanouts:
+            fanouts = list(tree.fanouts)
+        job = [
+            [float(x) for x in np.asarray(stage.duration.sample(samples_per_stage, seed=job_rng))]
+            for stage in tree.stages
+        ]
+        jobs.append(job)
+    return jobs, fanouts

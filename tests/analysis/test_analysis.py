@@ -1,0 +1,73 @@
+"""Analysis helpers: stats and tables."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bootstrap_ci,
+    cdf_points,
+    format_csv,
+    format_table,
+    percentile_table,
+    relative_error,
+)
+from repro.errors import ConfigError
+
+
+class TestStats:
+    def test_percentile_table(self):
+        table = percentile_table(np.arange(101), probs=(0.1, 0.5, 0.9))
+        assert table[0.5] == pytest.approx(50.0)
+        with pytest.raises(ConfigError):
+            percentile_table([])
+
+    def test_bootstrap_ci_contains_mean(self, rng):
+        data = rng.normal(10.0, 1.0, size=400)
+        lo, hi = bootstrap_ci(data, seed=1)
+        assert lo < 10.0 < hi
+        assert hi - lo < 0.5
+
+    def test_bootstrap_validation(self):
+        with pytest.raises(ConfigError):
+            bootstrap_ci([1.0])
+        with pytest.raises(ConfigError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+    def test_relative_error(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(10.0)
+        assert relative_error(0.9, 1.0) == pytest.approx(10.0)
+        with pytest.raises(ConfigError):
+            relative_error(1.0, 0.0)
+
+    def test_cdf_points(self):
+        xs, ps = cdf_points([2.0, 1.0])
+        np.testing.assert_allclose(xs, [1.0, 2.0])
+        np.testing.assert_allclose(ps, [0.5, 1.0])
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ("name", "value"), [("a", 1.0), ("bb", 22.5)], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_validation(self):
+        with pytest.raises(ConfigError):
+            format_table((), [])
+        with pytest.raises(ConfigError):
+            format_table(("a",), [("x", "y")])
+
+    def test_number_formatting(self):
+        text = format_table(("v",), [(0.000123,), (12345.6,), (0.5,), (0.0,)])
+        assert "0.000123" in text
+        assert "0" in text
+
+    def test_format_csv(self):
+        csv = format_csv(("a", "b"), [(1, 2), (3, 4)])
+        assert csv.splitlines() == ["a,b", "1,2", "3,4"]
+        with pytest.raises(ConfigError):
+            format_csv(("a",), [(1, 2)])

@@ -1,0 +1,79 @@
+"""Terminal charts."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import bar_chart, cdf_chart, line_chart
+from repro.errors import ConfigError
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        text = line_chart(
+            [0, 1, 2, 3],
+            {"a": [0.0, 1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0, 0.0]},
+            width=20,
+            height=6,
+            title="T",
+        )
+        assert text.startswith("T\n")
+        assert "*" in text and "o" in text  # both series drawn
+        assert "a" in text and "b" in text  # legend
+
+    def test_y_range_labels(self):
+        text = line_chart([0, 1], {"s": [5.0, 10.0]}, width=12, height=4)
+        assert "10" in text
+        assert "5" in text
+
+    def test_constant_series_ok(self):
+        text = line_chart([0, 1, 2], {"s": [1.0, 1.0, 1.0]}, width=12, height=4)
+        assert "*" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            line_chart([0, 1], {}, width=20, height=6)
+        with pytest.raises(ConfigError):
+            line_chart([0, 1], {"s": [1.0]}, width=20, height=6)
+        with pytest.raises(ConfigError):
+            line_chart([0], {"s": [1.0]}, width=20, height=6)
+        with pytest.raises(ConfigError):
+            line_chart([0, 0], {"s": [1.0, 2.0]}, width=20, height=6)
+        with pytest.raises(ConfigError):
+            line_chart([0, 1], {"s": [1.0, float("nan")]}, width=20, height=6)
+        with pytest.raises(ConfigError):
+            line_chart([0, 1], {"s": [1.0, 2.0]}, width=5, height=2)
+
+
+class TestBarChart:
+    def test_longest_bar_is_max(self):
+        text = bar_chart(["x", "yy"], [1.0, 2.0], width=10)
+        lines = text.strip().splitlines()
+        assert lines[1].count("█") == 10
+        assert lines[0].count("█") == 5
+
+    def test_labels_aligned(self):
+        # note: no .strip() — it would eat the first line's padding
+        text = bar_chart(["short", "a-much-longer-label"], [1.0, 1.0], width=8)
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            bar_chart([], [])
+        with pytest.raises(ConfigError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ConfigError):
+            bar_chart(["a"], [-1.0])
+        with pytest.raises(ConfigError):
+            bar_chart(["a"], [float("inf")])
+
+
+class TestCdfChart:
+    def test_render(self, rng):
+        text = cdf_chart(rng.normal(0, 1, 200), width=30, height=8, title="C")
+        assert text.startswith("C\n")
+        assert "CDF" in text
+
+    def test_needs_two_values(self):
+        with pytest.raises(ConfigError):
+            cdf_chart([1.0])

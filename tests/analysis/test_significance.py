@@ -1,0 +1,56 @@
+"""Paired significance tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import paired_bootstrap_test, sign_flip_test
+from repro.errors import ConfigError
+
+
+class TestPairedBootstrap:
+    def test_clear_effect_detected(self, rng):
+        base = rng.normal(0.5, 0.05, size=60)
+        treat = base + 0.1 + rng.normal(0.0, 0.02, size=60)
+        cmp = paired_bootstrap_test(treat, base, seed=1)
+        assert cmp.significant
+        assert cmp.mean_difference == pytest.approx(0.1, abs=0.02)
+        assert cmp.ci_low > 0.05
+        assert cmp.n == 60
+
+    def test_null_effect_not_detected(self, rng):
+        base = rng.normal(0.5, 0.05, size=60)
+        treat = base + rng.normal(0.0, 0.05, size=60)
+        cmp = paired_bootstrap_test(treat, base, seed=1)
+        assert cmp.p_value > 0.01 or not cmp.significant
+
+    def test_negative_effect(self, rng):
+        base = rng.normal(0.5, 0.02, size=50)
+        treat = base - 0.1
+        cmp = paired_bootstrap_test(treat, base, seed=1)
+        assert cmp.significant
+        assert cmp.ci_high < 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            paired_bootstrap_test([1.0, 2.0], [1.0])
+        with pytest.raises(ConfigError):
+            paired_bootstrap_test([1.0, 2.0], [1.0, 2.0])
+
+
+class TestSignFlip:
+    def test_p_value_range(self, rng):
+        a = rng.normal(0, 1, 30)
+        b = rng.normal(0, 1, 30)
+        p = sign_flip_test(a, b, seed=2)
+        assert 0.0 < p <= 1.0
+
+    def test_strong_effect_small_p(self, rng):
+        base = rng.normal(0.5, 0.01, 40)
+        p = sign_flip_test(base + 0.2, base, seed=2)
+        assert p < 0.01
+
+    def test_symmetric_in_sign(self, rng):
+        base = rng.normal(0.5, 0.01, 40)
+        p_up = sign_flip_test(base + 0.2, base, seed=2)
+        p_down = sign_flip_test(base - 0.2, base, seed=2)
+        assert p_up == pytest.approx(p_down, abs=0.01)

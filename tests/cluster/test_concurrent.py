@@ -1,0 +1,95 @@
+"""Concurrent query streams on a shared cluster."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Deployment, DeploymentConfig, run_concurrent_queries
+from repro.core import CedarPolicy, FixedStopPolicy, ProportionalSplitPolicy
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    cfg = DeploymentConfig(
+        n_machines=12,
+        slots_per_machine=4,
+        k1=8,
+        k2=6,
+        profile_queries=5,
+        work_mu=5.0,
+        work_jitter=1.0,
+    )
+    return Deployment(cfg, seed=31)
+
+
+class TestConcurrentStream:
+    def test_runs_and_bounds(self, deployment):
+        res = run_concurrent_queries(
+            deployment,
+            FixedStopPolicy(stops=(600.0,)),
+            n_queries=5,
+            mean_interarrival=200.0,
+            deadline=1200.0,
+            seed=2,
+        )
+        assert res.qualities.shape == (5,)
+        assert np.all((res.qualities >= 0.0) & (res.qualities <= 1.0))
+        assert res.arrival_times.shape == (5,)
+        assert np.all(np.diff(res.arrival_times) >= 0.0)
+
+    def test_overlap_tracked(self, deployment):
+        # arrivals much faster than query durations must overlap: more
+        # outstanding tasks than one query holds
+        res = run_concurrent_queries(
+            deployment,
+            FixedStopPolicy(stops=(600.0,)),
+            n_queries=6,
+            mean_interarrival=5.0,
+            deadline=1200.0,
+            seed=2,
+        )
+        assert res.peak_outstanding_tasks > 8 * 6
+
+    def test_contention_hurts_quality(self, deployment):
+        kwargs = dict(
+            policy=FixedStopPolicy(stops=(600.0,)),
+            n_queries=6,
+            deadline=1200.0,
+            seed=7,
+        )
+        idle = run_concurrent_queries(
+            deployment, mean_interarrival=1e7, **kwargs
+        )
+        slammed = run_concurrent_queries(
+            deployment, mean_interarrival=1.0, **kwargs
+        )
+        assert slammed.mean_quality <= idle.mean_quality + 0.05
+
+    def test_cedar_under_interference(self, deployment):
+        cedar = run_concurrent_queries(
+            deployment,
+            CedarPolicy(grid_points=128),
+            n_queries=6,
+            mean_interarrival=50.0,
+            deadline=1500.0,
+            seed=9,
+        )
+        base = run_concurrent_queries(
+            deployment,
+            ProportionalSplitPolicy(),
+            n_queries=6,
+            mean_interarrival=50.0,
+            deadline=1500.0,
+            seed=9,
+        )
+        assert cedar.mean_quality >= base.mean_quality - 0.1
+
+    def test_validation(self, deployment):
+        with pytest.raises(ConfigError):
+            run_concurrent_queries(
+                deployment, FixedStopPolicy(stops=(1.0,)), 0, 10.0, 100.0
+            )
+        with pytest.raises(ConfigError):
+            run_concurrent_queries(
+                deployment, FixedStopPolicy(stops=(1.0,)), 3, 0.0, 100.0
+            )

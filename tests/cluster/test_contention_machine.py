@@ -1,0 +1,109 @@
+"""Contention models, machines, and clusters."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    BurstyContention,
+    Cluster,
+    CompositeContention,
+    Machine,
+    MultiplicativeNoise,
+)
+from repro.errors import ConfigError, SchedulerError
+
+
+class TestContention:
+    def test_noise_median_is_one(self, rng):
+        model = MultiplicativeNoise(sigma=0.3)
+        slowdowns = [model.slowdown(rng) for _ in range(5000)]
+        assert float(np.median(slowdowns)) == pytest.approx(1.0, rel=0.05)
+
+    def test_noise_positive(self, rng):
+        model = MultiplicativeNoise(sigma=1.0)
+        assert all(model.slowdown(rng) > 0.0 for _ in range(100))
+
+    def test_bursty_fraction(self, rng):
+        model = BurstyContention(p_burst=0.2, burst_mean=5.0)
+        slowdowns = np.array([model.slowdown(rng) for _ in range(10_000)])
+        assert float(np.mean(slowdowns > 1.0)) == pytest.approx(0.2, abs=0.02)
+        assert np.min(slowdowns) == 1.0
+
+    def test_bursty_load_scaling(self, rng):
+        low = BurstyContention(p_burst=0.1, burst_mean=5.0, load=1.0)
+        high = low.with_load(3.0)
+        low_mean = np.mean([low.slowdown(rng) for _ in range(8000)])
+        high_mean = np.mean([high.slowdown(rng) for _ in range(8000)])
+        assert high_mean > low_mean
+
+    def test_composite_multiplies(self, rng):
+        comp = CompositeContention(
+            [MultiplicativeNoise(0.2), BurstyContention(p_burst=1.0, burst_mean=1.0)]
+        )
+        # with p_burst=1 the bursty floor is 2, so all slowdowns > 1.5
+        assert all(comp.slowdown(rng) > 1.5 for _ in range(50))
+
+    def test_duration_scales_work(self, rng):
+        model = MultiplicativeNoise(sigma=0.001)
+        assert model.duration(10.0, rng) == pytest.approx(10.0, rel=0.01)
+        with pytest.raises(ConfigError):
+            model.duration(-1.0, rng)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MultiplicativeNoise(sigma=0.0)
+        with pytest.raises(ConfigError):
+            BurstyContention(p_burst=1.5)
+        with pytest.raises(ConfigError):
+            BurstyContention(burst_mean=0.5)
+        with pytest.raises(ConfigError):
+            CompositeContention([])
+
+
+class TestMachine:
+    def test_slot_accounting(self):
+        m = Machine(0, 2, MultiplicativeNoise(0.1))
+        assert m.free_slots == 2
+        m.acquire()
+        m.acquire()
+        assert m.free_slots == 0
+        with pytest.raises(SchedulerError):
+            m.acquire()
+        m.release()
+        assert m.free_slots == 1
+        m.release()
+        with pytest.raises(SchedulerError):
+            m.release()
+
+    def test_invalid_slots(self):
+        with pytest.raises(SchedulerError):
+            Machine(0, 0, MultiplicativeNoise(0.1))
+
+
+class TestCluster:
+    def test_build_default_matches_paper(self):
+        c = Cluster.build()
+        assert len(c.machines) == 80
+        assert c.total_slots == 320
+
+    def test_free_slots_and_reset(self):
+        c = Cluster.build(n_machines=2, slots_per_machine=2)
+        c.machines[0].acquire()
+        assert c.free_slots == 3
+        c.reset()
+        assert c.free_slots == 4
+
+    def test_contention_factory_per_machine(self):
+        sigmas = {}
+
+        def factory(mid):
+            model = MultiplicativeNoise(sigma=0.1 * (mid + 1))
+            sigmas[mid] = model
+            return model
+
+        c = Cluster.build(n_machines=3, slots_per_machine=1, contention_factory=factory)
+        assert c.machines[2].contention is sigmas[2]
+
+    def test_invalid_build(self):
+        with pytest.raises(SchedulerError):
+            Cluster.build(n_machines=0)

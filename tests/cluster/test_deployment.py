@@ -1,0 +1,106 @@
+"""End-to-end deployment harness."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Deployment,
+    DeploymentConfig,
+    run_cluster_experiment,
+)
+from repro.core import CedarPolicy, FixedStopPolicy, ProportionalSplitPolicy
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    cfg = DeploymentConfig(
+        n_machines=20, slots_per_machine=4, k1=10, k2=8, profile_queries=5
+    )
+    return Deployment(cfg, seed=7)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = DeploymentConfig()
+        assert cfg.n_machines * cfg.slots_per_machine == 320
+        assert cfg.k1 * cfg.k2 == 320
+
+    def test_with_load(self):
+        cfg = DeploymentConfig().with_load(3.0)
+        assert cfg.load == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DeploymentConfig(k1=0)
+        with pytest.raises(ConfigError):
+            DeploymentConfig(profile_queries=1)
+
+
+class TestDeployment:
+    def test_offline_tree_fitted_lognormals(self, deployment):
+        tree = deployment.offline_tree()
+        assert tree.n_stages == 2
+        assert tree.fanouts == (10, 8)
+        assert tree.distributions[0].family == "lognormal"
+
+    def test_offline_tree_cached(self, deployment):
+        assert deployment.offline_tree() is deployment.offline_tree()
+        deployment.invalidate_offline()
+        # re-profiles on next access without error
+        assert deployment.offline_tree().n_stages == 2
+
+    def test_run_query_quality_bounds(self, deployment):
+        res = deployment.run_query(
+            FixedStopPolicy(stops=(500.0,)), deadline=1000.0, rng=1
+        )
+        assert 0.0 <= res.quality <= 1.0
+        assert res.total_outputs == 80
+        assert res.task_finish_times.size == 80
+        assert res.ship_durations.size == 8
+
+    def test_hold_everything_collects_all(self, deployment):
+        res = deployment.run_query(
+            FixedStopPolicy(stops=(1e15,)), deadline=1e15, rng=2
+        )
+        assert res.quality == 1.0
+
+    def test_zero_deadline_like(self, deployment):
+        res = deployment.run_query(
+            FixedStopPolicy(stops=(0.0,)), deadline=1e-6, rng=3
+        )
+        assert res.quality == 0.0
+
+    def test_cedar_runs_on_deployment(self, deployment):
+        res = deployment.run_query(
+            CedarPolicy(grid_points=96), deadline=2000.0, rng=4
+        )
+        assert 0.0 <= res.quality <= 1.0
+
+
+class TestClusterExperiment:
+    def test_runner(self, deployment):
+        res = run_cluster_experiment(
+            deployment,
+            [ProportionalSplitPolicy(), CedarPolicy(grid_points=96)],
+            deadline=1500.0,
+            n_queries=4,
+            seed=5,
+        )
+        assert set(res.qualities) == {"proportional-split", "cedar"}
+        assert res.n_queries == 4
+
+    def test_duplicate_names_rejected(self, deployment):
+        with pytest.raises(ConfigError):
+            run_cluster_experiment(
+                deployment,
+                [ProportionalSplitPolicy(), ProportionalSplitPolicy()],
+                deadline=100.0,
+                n_queries=1,
+            )
+
+    def test_invalid_n_queries(self, deployment):
+        with pytest.raises(ConfigError):
+            run_cluster_experiment(
+                deployment, [ProportionalSplitPolicy()], deadline=100.0, n_queries=0
+            )

@@ -1,0 +1,78 @@
+"""Event-driven partial aggregator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import PartialAggregator
+from repro.core import StaticController
+from repro.simulation import EventLoop
+
+
+def _make(loop, stop, fanout=4, ship_cost=0.5):
+    deliveries = []
+
+    def ship_duration(n, rng):
+        return ship_cost
+
+    def deliver(agg_id, payload, arrival):
+        deliveries.append((agg_id, payload, arrival))
+
+    agg = PartialAggregator(
+        agg_id=0,
+        fanout=fanout,
+        controller=StaticController(stop),
+        loop=loop,
+        ship_duration=ship_duration,
+        deliver=deliver,
+        rng=np.random.default_rng(0),
+    )
+    return agg, deliveries
+
+
+class TestPartialAggregator:
+    def test_ships_on_timeout_with_partial_results(self):
+        loop = EventLoop()
+        agg, deliveries = _make(loop, stop=2.0)
+        loop.schedule(1.0, lambda: agg.on_task_output(loop.now))
+        loop.schedule(1.5, lambda: agg.on_task_output(loop.now))
+        loop.schedule(5.0, lambda: agg.on_task_output(loop.now))  # too late
+        loop.run()
+        assert len(deliveries) == 1
+        agg_id, payload, arrival = deliveries[0]
+        assert payload == 2
+        assert arrival == pytest.approx(2.5)
+
+    def test_ships_early_when_all_arrive(self):
+        loop = EventLoop()
+        agg, deliveries = _make(loop, stop=10.0, fanout=2)
+        loop.schedule(1.0, lambda: agg.on_task_output(loop.now))
+        loop.schedule(2.0, lambda: agg.on_task_output(loop.now))
+        loop.run()
+        assert deliveries[0][2] == pytest.approx(2.5)  # 2.0 + ship
+        assert agg.shipped
+
+    def test_zero_collected_still_ships(self):
+        loop = EventLoop()
+        agg, deliveries = _make(loop, stop=1.0)
+        loop.run()
+        assert deliveries == [(0, 0, pytest.approx(1.5))]
+
+    def test_outputs_after_shipping_dropped(self):
+        loop = EventLoop()
+        agg, deliveries = _make(loop, stop=1.0)
+        loop.schedule(3.0, lambda: agg.on_task_output(loop.now))
+        loop.run()
+        assert deliveries[0][1] == 0
+        assert agg.collected == 0
+
+    def test_overflow_guarded(self):
+        from repro.errors import SimulationError
+
+        loop = EventLoop()
+        agg, _ = _make(loop, stop=10.0, fanout=1)
+        loop.schedule(0.5, lambda: agg.on_task_output(loop.now))
+        loop.run()
+        with pytest.raises(SimulationError):
+            # manually push a second output past the fanout while unshipped
+            agg._shipped = False
+            agg.on_task_output(1.0)

@@ -1,0 +1,107 @@
+"""Tasks, jobs, and the slot scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, Job, MultiplicativeNoise, Scheduler, Task, TaskState
+from repro.errors import SchedulerError
+from repro.simulation import EventLoop
+
+
+def _tasks(n, work=1.0):
+    return [Task(task_id=i, aggregator_id=i % 2, base_work=work) for i in range(n)]
+
+
+class TestTask:
+    def test_lifecycle(self):
+        t = Task(task_id=0, aggregator_id=0, base_work=1.0)
+        assert t.state is TaskState.PENDING
+        t.start(machine_id=3, now=1.0)
+        assert t.state is TaskState.RUNNING
+        t.finish(now=2.5)
+        assert t.state is TaskState.FINISHED
+        assert t.duration == pytest.approx(1.5)
+
+    def test_double_start_rejected(self):
+        t = Task(task_id=0, aggregator_id=0, base_work=1.0)
+        t.start(0, 0.0)
+        with pytest.raises(SchedulerError):
+            t.start(0, 0.0)
+
+    def test_finish_before_start_rejected(self):
+        t = Task(task_id=0, aggregator_id=0, base_work=1.0)
+        with pytest.raises(SchedulerError):
+            t.finish(1.0)
+        with pytest.raises(SchedulerError):
+            t.duration
+
+
+class TestJob:
+    def test_fanout(self):
+        job = Job(job_id=0, tasks=_tasks(10), n_aggregators=2, deadline=5.0)
+        assert job.fanout == 5
+        assert len(job.tasks_for(0)) == 5
+
+    def test_validation(self):
+        with pytest.raises(SchedulerError):
+            Job(job_id=0, tasks=_tasks(10), n_aggregators=3, deadline=5.0)
+        with pytest.raises(SchedulerError):
+            Job(job_id=0, tasks=_tasks(10), n_aggregators=2, deadline=0.0)
+        job = Job(job_id=0, tasks=_tasks(10), n_aggregators=2, deadline=5.0)
+        with pytest.raises(SchedulerError):
+            job.tasks_for(2)
+
+
+class TestScheduler:
+    def _run(self, n_tasks, n_machines=2, slots=2):
+        cluster = Cluster.build(
+            n_machines=n_machines,
+            slots_per_machine=slots,
+            contention_factory=lambda mid: MultiplicativeNoise(sigma=0.001),
+        )
+        loop = EventLoop()
+        finished = []
+        sched = Scheduler(
+            cluster, loop, np.random.default_rng(0), on_finish=finished.append
+        )
+        sched.submit(_tasks(n_tasks))
+        loop.run()
+        return cluster, sched, finished, loop
+
+    def test_all_tasks_finish(self):
+        cluster, sched, finished, _ = self._run(10)
+        assert len(finished) == 10
+        assert sched.finished_count == 10
+        assert cluster.free_slots == cluster.total_slots
+
+    def test_single_wave_when_slots_sufficient(self):
+        # 4 slots, 4 tasks of unit work with ~no noise: makespan ~ 1
+        _, _, _, loop = self._run(4)
+        assert loop.now == pytest.approx(1.0, rel=0.05)
+
+    def test_multi_wave_when_oversubscribed(self):
+        # 8 tasks on 4 slots => two waves => makespan ~ 2
+        _, _, _, loop = self._run(8)
+        assert loop.now == pytest.approx(2.0, rel=0.05)
+
+    def test_resubmitting_running_task_rejected(self):
+        cluster = Cluster.build(n_machines=1, slots_per_machine=1)
+        loop = EventLoop()
+        sched = Scheduler(cluster, loop, np.random.default_rng(0), lambda t: None)
+        tasks = _tasks(1)
+        sched.submit(tasks)
+        with pytest.raises(SchedulerError):
+            sched.submit(tasks)
+
+    def test_least_loaded_placement(self):
+        cluster = Cluster.build(
+            n_machines=2,
+            slots_per_machine=2,
+            contention_factory=lambda mid: MultiplicativeNoise(sigma=0.001),
+        )
+        loop = EventLoop()
+        sched = Scheduler(cluster, loop, np.random.default_rng(0), lambda t: None)
+        tasks = _tasks(2)
+        sched.submit(tasks)
+        # two tasks should land on two different machines
+        assert {t.machine_id for t in tasks} == {0, 1}

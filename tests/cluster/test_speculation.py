@@ -1,0 +1,186 @@
+"""Speculative execution and blacklisting (§7 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Blacklist,
+    Cluster,
+    MultiplicativeNoise,
+    SpeculationConfig,
+    SpeculativeScheduler,
+    Task,
+)
+from repro.cluster.contention import BurstyContention, CompositeContention
+from repro.errors import SchedulerError
+from repro.simulation import EventLoop
+
+
+def _tasks(n, work=1.0):
+    return [Task(task_id=i, aggregator_id=0, base_work=work) for i in range(n)]
+
+
+def _run(n_tasks, contention_factory, config=None, n_machines=8, slots=2, seed=0):
+    cluster = Cluster.build(
+        n_machines=n_machines,
+        slots_per_machine=slots,
+        contention_factory=contention_factory,
+    )
+    loop = EventLoop()
+    finished = []
+    sched = SpeculativeScheduler(
+        cluster,
+        loop,
+        np.random.default_rng(seed),
+        on_finish=finished.append,
+        config=config or SpeculationConfig(),
+    )
+    sched.submit(_tasks(n_tasks))
+    loop.run()
+    return sched, finished, loop
+
+
+class TestSpeculationConfig:
+    def test_validation(self):
+        with pytest.raises(SchedulerError):
+            SpeculationConfig(slow_task_threshold=1.0)
+        with pytest.raises(SchedulerError):
+            SpeculationConfig(min_completed=0)
+        with pytest.raises(SchedulerError):
+            SpeculationConfig(max_speculative_fraction=0.0)
+        with pytest.raises(SchedulerError):
+            SpeculationConfig(blacklist_slowdown=0.5)
+
+
+class TestBlacklist:
+    def test_strike_accumulation(self):
+        bl = Blacklist(strikes=2, slowdown=3.0)
+        assert bl.allows(0)
+        bl.record(0, duration=10.0, fleet_median=1.0)
+        assert bl.allows(0)
+        bl.record(0, duration=10.0, fleet_median=1.0)
+        assert not bl.allows(0)
+        assert bl.banned == frozenset({0})
+
+    def test_fast_tasks_no_strikes(self):
+        bl = Blacklist(strikes=1, slowdown=3.0)
+        bl.record(0, duration=1.0, fleet_median=1.0)
+        assert bl.allows(0)
+
+    def test_disabled(self):
+        bl = Blacklist(strikes=0, slowdown=3.0)
+        bl.record(0, duration=100.0, fleet_median=1.0)
+        assert bl.allows(0)
+
+
+class TestSpeculativeScheduler:
+    def test_all_tasks_finish_once(self):
+        sched, finished, _ = _run(
+            12, lambda mid: MultiplicativeNoise(sigma=0.1)
+        )
+        assert len(finished) == 12
+        assert sched.finished_count == 12
+        assert len({t.task_id for t in finished}) == 12
+
+    def test_slots_all_released(self):
+        cluster = Cluster.build(
+            n_machines=4,
+            slots_per_machine=2,
+            contention_factory=lambda mid: MultiplicativeNoise(sigma=0.3),
+        )
+        loop = EventLoop()
+        sched = SpeculativeScheduler(
+            cluster, loop, np.random.default_rng(1), on_finish=lambda t: None
+        )
+        sched.submit(_tasks(20))
+        loop.run()
+        assert cluster.free_slots == cluster.total_slots
+
+    def test_speculation_cuts_straggler_tail(self):
+        # one machine is catastrophically slow; speculation should rescue
+        # tasks placed there and shrink the makespan
+        def contention(mid):
+            if mid == 0:
+                return MultiplicativeNoise(sigma=0.001)  # placeholder
+            return MultiplicativeNoise(sigma=0.05)
+
+        class SlowMachine(MultiplicativeNoise):
+            def slowdown(self, rng):
+                return 50.0
+
+        def slow_factory(mid):
+            return SlowMachine(sigma=0.05) if mid == 0 else MultiplicativeNoise(0.05)
+
+        config = SpeculationConfig(
+            slow_task_threshold=2.0, min_completed=3, max_speculative_fraction=0.5
+        )
+        _, _, loop_spec = _run(14, slow_factory, config=config, n_machines=7, slots=1)
+
+        # without speculation: effectively disable by huge threshold
+        off = SpeculationConfig(
+            slow_task_threshold=1e9, min_completed=3, max_speculative_fraction=0.01
+        )
+        _, _, loop_off = _run(14, slow_factory, config=off, n_machines=7, slots=1)
+        assert loop_spec.now < loop_off.now * 0.6
+
+    def test_speculative_budget_respected(self):
+        def slow_factory(mid):
+            class Slow(MultiplicativeNoise):
+                def slowdown(self, rng):
+                    return 40.0
+
+            return Slow(0.05) if mid < 3 else MultiplicativeNoise(0.05)
+
+        config = SpeculationConfig(
+            slow_task_threshold=1.5,
+            min_completed=2,
+            max_speculative_fraction=0.25,
+        )
+        sched, _, _ = _run(16, slow_factory, config=config, n_machines=8, slots=1)
+        assert sched.speculative_launched <= 4
+
+    def test_blacklisting_redirects_work(self):
+        class Slow(MultiplicativeNoise):
+            def slowdown(self, rng):
+                return 20.0
+
+        def factory(mid):
+            return Slow(0.05) if mid == 0 else MultiplicativeNoise(0.05)
+
+        config = SpeculationConfig(
+            blacklist_strikes=1,
+            blacklist_slowdown=5.0,
+            min_completed=2,
+            slow_task_threshold=3.0,
+        )
+        # two waves: the first wave strikes machine 0, the second avoids it
+        sched, finished, _ = _run(
+            24, factory, config=config, n_machines=4, slots=2
+        )
+        assert 0 in sched.blacklist.banned
+        late_tasks = [t for t in finished if t.start_time and t.start_time > 0.0]
+        assert all(t.machine_id != 0 for t in late_tasks)
+
+    def test_rejects_resubmitted_task(self):
+        cluster = Cluster.build(n_machines=1, slots_per_machine=1)
+        loop = EventLoop()
+        sched = SpeculativeScheduler(
+            cluster, loop, np.random.default_rng(0), on_finish=lambda t: None
+        )
+        tasks = _tasks(1)
+        sched.submit(tasks)
+        with pytest.raises(SchedulerError):
+            sched.submit(tasks)
+
+
+class TestDeploymentIntegration:
+    def test_deployment_with_speculation(self):
+        from repro.cluster import Deployment, DeploymentConfig
+        from repro.core import FixedStopPolicy
+
+        cfg = DeploymentConfig(
+            n_machines=10, slots_per_machine=4, k1=8, k2=5, profile_queries=4
+        )
+        dep = Deployment(cfg, seed=3, speculation=SpeculationConfig())
+        res = dep.run_query(FixedStopPolicy(stops=(1e15,)), deadline=1e15, rng=2)
+        assert res.quality == 1.0

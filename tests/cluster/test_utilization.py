@@ -1,0 +1,49 @@
+"""Utilization (queueing-style) slowdown model."""
+
+import pytest
+
+from repro.cluster import UtilizationSlowdown
+from repro.errors import ConfigError
+
+
+class TestUtilizationSlowdown:
+    def test_identity_at_or_below_nominal_load(self, rng):
+        for load in (0.2, 0.5, 1.0):
+            model = UtilizationSlowdown(load=load)
+            assert model.slowdown(rng) == 1.0
+
+    def test_mm1_inflation_above_nominal(self, rng):
+        # rho = 0.3 * (load - 1); slowdown = 1 / (1 - rho)
+        model = UtilizationSlowdown(load=2.0)
+        assert model.slowdown(rng) == pytest.approx(1.0 / 0.7)
+        model = UtilizationSlowdown(load=3.0)
+        assert model.slowdown(rng) == pytest.approx(1.0 / 0.4)
+
+    def test_rho_clamped_below_one(self, rng):
+        model = UtilizationSlowdown(load=100.0)
+        assert model.slowdown(rng) == pytest.approx(10.0)  # rho capped at 0.9
+
+    def test_with_load_copy(self, rng):
+        base = UtilizationSlowdown(load=1.0, rho_per_excess_load=0.5)
+        surged = base.with_load(2.0)
+        assert surged.rho_per_excess_load == 0.5
+        assert surged.slowdown(rng) == pytest.approx(2.0)
+        assert base.slowdown(rng) == 1.0  # original untouched
+
+    def test_monotone_in_load(self, rng):
+        slowdowns = [
+            UtilizationSlowdown(load=l).slowdown(rng) for l in (1.0, 1.5, 2.0, 3.0)
+        ]
+        assert slowdowns == sorted(slowdowns)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            UtilizationSlowdown(load=0.0)
+        with pytest.raises(ConfigError):
+            UtilizationSlowdown(load=1.0, rho_per_excess_load=1.0)
+        with pytest.raises(ConfigError):
+            UtilizationSlowdown(load=1.0, rho_per_excess_load=0.0)
+
+    def test_duration_scales_work(self, rng):
+        model = UtilizationSlowdown(load=2.0)
+        assert model.duration(10.0, rng) == pytest.approx(10.0 / 0.7)

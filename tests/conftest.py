@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Exponential,
+    Gamma,
+    LogNormal,
+    Normal,
+    Pareto,
+    TruncatedNormal,
+    Uniform,
+    Weibull,
+)
+
+
+@pytest.fixture
+def rng():
+    """Deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+def standard_distributions():
+    """One instance of every analytic family (used by parametrized tests)."""
+    return [
+        LogNormal(mu=1.0, sigma=0.7),
+        Normal(mu=5.0, sigma=2.0),
+        TruncatedNormal(mu=2.0, sigma=3.0, lower=0.0),
+        Exponential(lam=0.5),
+        Pareto(xm=1.0, alpha=2.5),
+        Weibull(k=1.5, lam=2.0),
+        Gamma(k=2.0, theta=1.5),
+        Uniform(a=1.0, b=4.0),
+    ]

@@ -1,0 +1,84 @@
+"""TreeSpec / Stage configuration model."""
+
+import pytest
+
+from repro.core import Stage, TreeSpec
+from repro.distributions import LogNormal
+from repro.errors import ConfigError
+
+X = LogNormal(1.0, 0.5)
+Y = LogNormal(2.0, 0.5)
+
+
+class TestStage:
+    def test_valid(self):
+        s = Stage(X, 50)
+        assert s.fanout == 50
+
+    def test_invalid_fanout(self):
+        with pytest.raises(ConfigError):
+            Stage(X, 0)
+        with pytest.raises(ConfigError):
+            Stage(X, 2.5)
+        with pytest.raises(ConfigError):
+            Stage(X, True)
+
+    def test_invalid_distribution(self):
+        with pytest.raises(ConfigError):
+            Stage("lognormal", 3)
+
+
+class TestTreeSpec:
+    def test_two_level_constructor(self):
+        t = TreeSpec.two_level(X, 50, Y, 40)
+        assert t.n_stages == 2
+        assert t.n_aggregator_levels == 1
+        assert t.fanouts == (50, 40)
+        assert t.distributions == (X, Y)
+        assert t.total_processes == 2000
+
+    def test_uniform_constructor(self):
+        t = TreeSpec.uniform([X, Y, Y], 10)
+        assert t.fanouts == (10, 10, 10)
+        assert t.total_processes == 1000
+
+    def test_needs_two_stages(self):
+        with pytest.raises(ConfigError):
+            TreeSpec([Stage(X, 5)])
+
+    def test_rejects_non_stage(self):
+        with pytest.raises(ConfigError):
+            TreeSpec([Stage(X, 5), "not a stage"])
+
+    def test_aggregators_at_level(self):
+        t = TreeSpec.uniform([X, Y, Y], 4)  # k = (4,4,4)
+        assert t.aggregators_at_level(1) == 16
+        assert t.aggregators_at_level(2) == 4
+        with pytest.raises(ConfigError):
+            t.aggregators_at_level(3)
+
+    def test_subtree(self):
+        t = TreeSpec.uniform([X, Y, Y], 4)
+        sub = t.subtree(2)
+        assert sub.n_stages == 2
+        assert sub.distributions == (Y, Y)
+        with pytest.raises(ConfigError):
+            t.subtree(3)
+
+    def test_with_bottom_replaces_distribution(self):
+        t = TreeSpec.two_level(X, 50, Y, 40)
+        new = t.with_bottom(Y)
+        assert new.distributions == (Y, Y)
+        assert new.fanouts == (50, 40)
+        new2 = t.with_bottom(Y, fanout=7)
+        assert new2.fanouts == (7, 40)
+
+    def test_immutability(self):
+        t = TreeSpec.two_level(X, 50, Y, 40)
+        with pytest.raises(Exception):
+            t.stages = ()
+
+    def test_hashable(self):
+        t1 = TreeSpec.two_level(X, 50, Y, 40)
+        t2 = TreeSpec.two_level(X, 50, Y, 40)
+        assert hash(t1.stages) == hash(t2.stages)

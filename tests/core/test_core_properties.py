@@ -1,0 +1,102 @@
+"""Property-based tests (hypothesis) on the quality model and optimizer."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Stage, TreeSpec, max_quality, optimal_wait
+from repro.distributions import LogNormal
+
+MU = st.floats(min_value=-1.0, max_value=3.0)
+SIGMA = st.floats(min_value=0.2, max_value=1.5)
+FANOUT = st.integers(min_value=2, max_value=30)
+DEADLINE = st.floats(min_value=0.5, max_value=50.0)
+
+GRID = 96  # coarse grid keeps each hypothesis example fast
+
+
+def _tree(mu1, sigma1, k1, mu2, sigma2, k2):
+    return TreeSpec.two_level(
+        LogNormal(mu1, sigma1), k1, LogNormal(mu2, sigma2), k2
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(mu1=MU, sigma1=SIGMA, k1=FANOUT, mu2=MU, sigma2=SIGMA, k2=FANOUT, d=DEADLINE)
+def test_quality_bounded(mu1, sigma1, k1, mu2, sigma2, k2, d):
+    q = max_quality(_tree(mu1, sigma1, k1, mu2, sigma2, k2), d, grid_points=GRID)
+    assert 0.0 <= q <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(mu1=MU, sigma1=SIGMA, k1=FANOUT, mu2=MU, sigma2=SIGMA, k2=FANOUT, d=DEADLINE)
+def test_quality_monotone_in_deadline(mu1, sigma1, k1, mu2, sigma2, k2, d):
+    tree = _tree(mu1, sigma1, k1, mu2, sigma2, k2)
+    q1 = max_quality(tree, d, grid_points=GRID)
+    q2 = max_quality(tree, 2.0 * d, grid_points=GRID)
+    # coarse grids introduce tiny discretization wiggle; monotonicity must
+    # hold beyond that noise
+    assert q2 >= q1 - 0.02
+
+
+@settings(max_examples=30, deadline=None)
+@given(mu1=MU, sigma1=SIGMA, k1=FANOUT, mu2=MU, sigma2=SIGMA, k2=FANOUT, d=DEADLINE)
+def test_optimal_wait_within_deadline(mu1, sigma1, k1, mu2, sigma2, k2, d):
+    w = optimal_wait(_tree(mu1, sigma1, k1, mu2, sigma2, k2), d, grid_points=GRID)
+    assert 0.0 <= w <= d + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    mu1=MU,
+    sigma1=SIGMA,
+    k1=FANOUT,
+    mu2=MU,
+    sigma2=SIGMA,
+    k2=FANOUT,
+    d=DEADLINE,
+    scale=st.floats(min_value=0.2, max_value=20.0),
+)
+def test_time_scale_invariance(mu1, sigma1, k1, mu2, sigma2, k2, d, scale):
+    """Units don't matter: scaling all durations and D by c scales the
+    wait by c and leaves quality unchanged (log-normal: mu += ln c)."""
+    tree = _tree(mu1, sigma1, k1, mu2, sigma2, k2)
+    shift = math.log(scale)
+    scaled = _tree(mu1 + shift, sigma1, k1, mu2 + shift, sigma2, k2)
+    q = max_quality(tree, d, grid_points=GRID)
+    q_scaled = max_quality(scaled, d * scale, grid_points=GRID)
+    assert abs(q - q_scaled) < 0.01
+    w = optimal_wait(tree, d, grid_points=GRID)
+    w_scaled = optimal_wait(scaled, d * scale, grid_points=GRID)
+    # same grid index up to discretization
+    assert abs(w_scaled - scale * w) <= 2.0 * scale * d / GRID + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(mu1=MU, sigma1=SIGMA, k1=FANOUT, mu2=MU, sigma2=SIGMA, d=DEADLINE)
+def test_quality_decreases_with_bottom_fanout(mu1, sigma1, k1, mu2, sigma2, d):
+    """Larger k1 raises the loss exposure (F - F^k grows), so the
+    achievable quality cannot increase."""
+    small = _tree(mu1, sigma1, k1, mu2, sigma2, 5)
+    large = _tree(mu1, sigma1, k1 + 20, mu2, sigma2, 5)
+    q_small = max_quality(small, d, grid_points=GRID)
+    q_large = max_quality(large, d, grid_points=GRID)
+    assert q_large <= q_small + 0.02
+
+
+@settings(max_examples=25, deadline=None)
+@given(mu1=MU, sigma1=SIGMA, k1=FANOUT, mu2=MU, sigma2=SIGMA, k2=FANOUT, d=DEADLINE)
+def test_estimator_scale_equivariance(mu1, sigma1, k1, mu2, sigma2, k2, d):
+    """Rescaling arrival times by c shifts the fitted mu by exactly ln c
+    (and leaves sigma unchanged) — the estimator is unit-agnostic."""
+    from repro.estimation import OrderStatisticEstimator
+
+    rng = np.random.default_rng(42)
+    arrivals = np.sort(LogNormal(mu1, sigma1).sample(12, seed=rng))
+    est = OrderStatisticEstimator("lognormal")
+    base = est.estimate(arrivals, 20)
+    scaled = est.estimate(arrivals * 7.0, 20)
+    assert abs(scaled.mu - (base.mu + math.log(7.0))) < 1e-9
+    assert abs(scaled.sigma - base.sigma) < 1e-9

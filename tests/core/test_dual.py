@@ -1,0 +1,77 @@
+"""Dual-problem solver: minimum deadline for a quality target."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    TreeSpec,
+    deadline_savings,
+    max_quality,
+    min_deadline_for_quality,
+)
+from repro.distributions import LogNormal
+from repro.errors import ConfigError
+
+TREE = TreeSpec.two_level(LogNormal(1.0, 0.6), 20, LogNormal(0.5, 0.4), 10)
+GRID = 192
+
+
+class TestMinDeadline:
+    def test_target_is_met_at_returned_deadline(self):
+        res = min_deadline_for_quality(TREE, 0.8, grid_points=GRID)
+        assert res.achieved_quality >= 0.8
+        assert max_quality(TREE, res.deadline, grid_points=GRID) >= 0.8
+
+    def test_minimality_within_tolerance(self):
+        res = min_deadline_for_quality(TREE, 0.8, rel_tol=1e-3, grid_points=GRID)
+        shorter = res.deadline * 0.97
+        assert max_quality(TREE, shorter, grid_points=GRID) < 0.8 + 0.02
+
+    def test_monotone_in_target(self):
+        d_low = min_deadline_for_quality(TREE, 0.5, grid_points=GRID).deadline
+        d_high = min_deadline_for_quality(TREE, 0.9, grid_points=GRID).deadline
+        assert d_high > d_low
+
+    def test_custom_initial_deadline(self):
+        res = min_deadline_for_quality(
+            TREE, 0.7, initial_deadline=0.5, grid_points=GRID
+        )
+        assert res.achieved_quality >= 0.7
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            min_deadline_for_quality(TREE, 0.0)
+        with pytest.raises(ConfigError):
+            min_deadline_for_quality(TREE, 1.0)
+        with pytest.raises(ConfigError):
+            min_deadline_for_quality(TREE, 0.5, initial_deadline=-1.0)
+
+    def test_unreachable_target_raises(self):
+        heavy = TreeSpec.two_level(
+            LogNormal(0.0, 3.0), 20, LogNormal(0.0, 3.0), 10
+        )
+        with pytest.raises(ConfigError):
+            min_deadline_for_quality(
+                heavy, 0.999, initial_deadline=1.0, max_iterations=4
+            )
+
+
+class TestDeadlineSavings:
+    def test_cedar_needs_no_more_than_worse_baseline(self):
+        # a baseline that is strictly worse at every deadline: quality
+        # shifted down by a constant factor
+        def baseline(d: float) -> float:
+            return 0.7 * max_quality(TREE, d, grid_points=GRID)
+
+        cedar, base_deadline = deadline_savings(
+            TREE, 0.6, baseline, grid_points=GRID
+        )
+        assert base_deadline >= cedar.deadline
+
+    def test_baseline_never_reaching_gives_inf(self):
+        cedar, base_deadline = deadline_savings(
+            TREE, 0.6, lambda d: 0.1, grid_points=GRID, max_iterations=5
+        )
+        assert math.isinf(base_deadline)
+        assert cedar.achieved_quality >= 0.6

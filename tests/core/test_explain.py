@@ -1,0 +1,41 @@
+"""Wait-decision explainer."""
+
+import pytest
+
+from repro.core import TreeSpec, explain_wait, max_quality, optimal_wait
+from repro.distributions import LogNormal
+from repro.errors import ConfigError
+
+TREE = TreeSpec.two_level(LogNormal(6.0, 0.84), 50, LogNormal(4.7, 0.5), 50)
+
+
+class TestExplainWait:
+    def test_consistent_with_optimizer(self):
+        exp = explain_wait(TREE, 1000.0, grid_points=256)
+        assert exp.optimal_wait == pytest.approx(
+            optimal_wait(TREE, 1000.0, grid_points=256)
+        )
+        assert exp.expected_quality == pytest.approx(
+            max_quality(TREE, 1000.0, grid_points=256)
+        )
+
+    def test_off_optimum_qualities_not_higher(self):
+        exp = explain_wait(TREE, 1000.0, grid_points=256)
+        assert exp.quality_if_early <= exp.expected_quality + 1e-9
+        assert exp.quality_if_late <= exp.expected_quality + 1e-9
+
+    def test_completion_probability_bounds(self):
+        exp = explain_wait(TREE, 1000.0, grid_points=128)
+        assert 0.0 <= exp.p_complete_at_wait <= 1.0
+
+    def test_render_contains_key_facts(self):
+        exp = explain_wait(TREE, 1000.0, grid_points=128)
+        text = exp.render(width=40, height=8)
+        assert "optimal wait" in text
+        assert "expected quality" in text
+        assert "hold 'em" in text
+        assert "*" in text  # the chart
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ConfigError):
+            explain_wait(TREE, 0.0)

@@ -1,0 +1,125 @@
+"""Heterogeneous silo trees (Figure 2 topology)."""
+
+import pytest
+
+from repro.core import (
+    CedarPolicy,
+    FixedStopPolicy,
+    HeteroQuery,
+    ProportionalSplitPolicy,
+    Silo,
+    TreeSpec,
+    hetero_max_quality,
+    hetero_wait_schedules,
+    max_quality,
+)
+from repro.distributions import LogNormal, Uniform
+from repro.errors import ConfigError
+from repro.simulation import simulate_hetero_query
+
+FAST = TreeSpec.two_level(LogNormal(0.0, 0.5), 10, LogNormal(0.0, 0.4), 4)
+SLOW = TreeSpec.two_level(LogNormal(2.0, 0.8), 20, LogNormal(0.5, 0.4), 6)
+
+
+def _query(deadline=15.0):
+    return HeteroQuery(
+        deadline,
+        [
+            Silo("news", FAST, true_tree=FAST),
+            Silo("web", SLOW, true_tree=SLOW),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_totals(self):
+        q = _query()
+        assert q.total_processes == 10 * 4 + 20 * 6
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            HeteroQuery(0.0, [Silo("a", FAST)])
+        with pytest.raises(ConfigError):
+            HeteroQuery(1.0, [])
+        with pytest.raises(ConfigError):
+            HeteroQuery(1.0, [Silo("a", FAST), Silo("a", SLOW)])
+        with pytest.raises(ConfigError):
+            Silo("", FAST)
+
+    def test_silo_tree_prefers_true(self):
+        assert Silo("a", FAST, true_tree=SLOW).tree is SLOW
+        assert Silo("a", FAST).tree is FAST
+
+    def test_mismatched_stage_counts_rejected(self):
+        from repro.core import Stage
+
+        three = TreeSpec(
+            [
+                Stage(LogNormal(0.0, 0.5), 2),
+                Stage(LogNormal(0.0, 0.5), 2),
+                Stage(LogNormal(0.0, 0.5), 2),
+            ]
+        )
+        with pytest.raises(ConfigError):
+            Silo("a", FAST, true_tree=three)
+
+
+class TestQualityModel:
+    def test_weighted_average(self):
+        q = _query()
+        expected = (
+            max_quality(FAST, 15.0, grid_points=128) * 40
+            + max_quality(SLOW, 15.0, grid_points=128) * 120
+        ) / 160
+        assert hetero_max_quality(q, grid_points=128) == pytest.approx(expected)
+
+    def test_single_silo_reduces_to_plain(self):
+        q = HeteroQuery(15.0, [Silo("only", SLOW, true_tree=SLOW)])
+        assert hetero_max_quality(q, grid_points=128) == pytest.approx(
+            max_quality(SLOW, 15.0, grid_points=128)
+        )
+
+    def test_schedules_differ_across_silos(self):
+        schedules = hetero_wait_schedules(_query(), grid_points=128)
+        assert set(schedules) == {"news", "web"}
+        assert schedules["news"].stops != schedules["web"].stops
+
+
+class TestSimulation:
+    def test_runs_and_bounds(self):
+        res = simulate_hetero_query(_query(), FixedStopPolicy(stops=(8.0,)), seed=1)
+        assert 0.0 <= res.quality <= 1.0
+        assert res.total_outputs == 160
+        assert set(res.per_silo) == {"news", "web"}
+
+    def test_weighted_combination(self):
+        res = simulate_hetero_query(_query(), FixedStopPolicy(stops=(8.0,)), seed=1)
+        manual = sum(r.included_outputs for r in res.per_silo.values())
+        assert res.included_outputs == manual
+
+    def test_generous_deadline_full_quality(self):
+        fast_uniform = TreeSpec.two_level(Uniform(0, 1), 5, Uniform(0, 1), 3)
+        q = HeteroQuery(
+            1000.0,
+            [
+                Silo("a", fast_uniform, true_tree=fast_uniform),
+                Silo("b", fast_uniform, true_tree=fast_uniform),
+            ],
+        )
+        res = simulate_hetero_query(q, FixedStopPolicy(stops=(500.0,)), seed=2)
+        assert res.quality == 1.0
+
+    def test_cedar_plans_per_silo(self):
+        # Cedar should beat a proportional split that pools silo means
+        res_cedar = simulate_hetero_query(
+            _query(), CedarPolicy(grid_points=128), seed=3
+        )
+        res_base = simulate_hetero_query(
+            _query(), ProportionalSplitPolicy(), seed=3
+        )
+        assert res_cedar.quality >= res_base.quality - 0.05
+
+    def test_deterministic(self):
+        a = simulate_hetero_query(_query(), FixedStopPolicy(stops=(8.0,)), seed=9)
+        b = simulate_hetero_query(_query(), FixedStopPolicy(stops=(8.0,)), seed=9)
+        assert a.quality == b.quality

@@ -1,0 +1,163 @@
+"""The recursive quality model (Equations 1-4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Stage,
+    TreeSpec,
+    max_quality,
+    quality_gain,
+    quality_loss,
+    sweep_wait,
+    tail_quality_grid,
+)
+from repro.core.quality import QualityGrid
+from repro.distributions import LogNormal, Uniform
+from repro.errors import ConfigError
+
+X1 = LogNormal(0.0, 0.8)
+X2 = LogNormal(0.5, 0.5)
+
+
+class TestScalarForms:
+    def test_gain_matches_equation_3(self):
+        # gain = (F1(t+dt) - F1(t)) * q_tail(D - (t+dt))
+        t, dt, tail = 1.0, 0.1, 0.7
+        expected = (float(X1.cdf(1.1)) - float(X1.cdf(1.0))) * tail
+        assert quality_gain(X1, t, dt, tail) == pytest.approx(expected)
+
+    def test_loss_matches_equation_4(self):
+        t, dt, k = 1.0, 0.1, 10
+        f = float(X1.cdf(t))
+        expected = (f - f**k) * (0.9 - 0.8)
+        assert quality_loss(X1, k, t, dt, 0.9, 0.8) == pytest.approx(expected)
+
+    def test_loss_zero_when_tail_flat(self):
+        assert quality_loss(X1, 10, 1.0, 0.1, 0.5, 0.5) == 0.0
+
+    def test_loss_zero_at_k1(self):
+        # with fanout 1, held = F - F^1 = 0: a single input means no
+        # partial-collection exposure
+        assert quality_loss(X1, 1, 1.0, 0.1, 0.9, 0.5) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            quality_gain(X1, 1.0, -0.1, 0.5)
+        with pytest.raises(ConfigError):
+            quality_loss(X1, 0, 1.0, 0.1, 0.9, 0.8)
+
+
+class TestQualityGrid:
+    def test_interpolation(self):
+        grid = QualityGrid(epsilon=1.0, values=np.array([0.0, 0.5, 1.0]))
+        assert grid.at(0.5) == pytest.approx(0.25)
+        assert grid.at(1.5) == pytest.approx(0.75)
+        assert grid.at(-1.0) == 0.0
+        assert grid.at(99.0) == 1.0
+        assert grid.deadline == 2.0
+
+
+class TestTailGrid:
+    def test_single_stage_is_cdf(self):
+        grid = tail_quality_grid([Stage(X2, 50)], deadline=10.0, grid_points=100)
+        xs = np.arange(101) * 0.1
+        np.testing.assert_allclose(grid.values, np.asarray(X2.cdf(xs)), atol=1e-12)
+
+    def test_values_in_unit_interval_and_monotone(self):
+        grid = tail_quality_grid(
+            [Stage(X1, 20), Stage(X2, 10)], deadline=8.0, grid_points=64
+        )
+        assert np.all(grid.values >= 0.0)
+        assert np.all(grid.values <= 1.0)
+        assert np.all(np.diff(grid.values) >= -1e-9)
+
+    def test_multi_level_below_single_level(self):
+        # adding a stage below can only lower achievable quality
+        one = tail_quality_grid([Stage(X2, 10)], deadline=8.0, grid_points=64)
+        two = tail_quality_grid(
+            [Stage(X1, 20), Stage(X2, 10)], deadline=8.0, grid_points=64
+        )
+        assert np.all(two.values <= one.values + 1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            tail_quality_grid([Stage(X2, 10)], deadline=0.0)
+        with pytest.raises(ConfigError):
+            tail_quality_grid([], deadline=1.0)
+        with pytest.raises(ConfigError):
+            tail_quality_grid([Stage(X2, 10)], deadline=1.0, grid_points=1)
+
+
+class TestSweep:
+    def test_curve_starts_at_zero(self):
+        tail = tail_quality_grid([Stage(X2, 10)], deadline=10.0, grid_points=128)
+        curve = sweep_wait(X1, 20, tail)
+        assert curve.quality[0] == 0.0
+
+    def test_max_quality_bounded(self):
+        tail = tail_quality_grid([Stage(X2, 10)], deadline=10.0, grid_points=128)
+        curve = sweep_wait(X1, 20, tail)
+        assert 0.0 <= curve.max_quality <= 1.0
+
+    def test_optimal_wait_on_grid(self):
+        tail = tail_quality_grid([Stage(X2, 10)], deadline=10.0, grid_points=128)
+        curve = sweep_wait(X1, 20, tail)
+        assert 0.0 <= curve.optimal_wait <= 10.0
+        idx = curve.optimal_index
+        assert curve.quality[idx] == curve.max_quality
+
+    def test_ties_break_toward_longer_wait(self):
+        # flat quality => Pseudocode 2's q >= bestQ keeps updating
+        tail = QualityGrid(epsilon=1.0, values=np.ones(11))
+        # bottom distribution fully arrived before t=0+: gains ~ 0
+        curve = sweep_wait(Uniform(0.0, 1e-9), 5, tail)
+        assert curve.optimal_index == len(curve.quality) - 1
+
+    def test_quality_curve_matches_direct_formula_two_level(self):
+        # at wait w (before any early-departure effects) expected quality
+        # = sum of gains - losses; cross-check the endpoint against a
+        # brute-force scalar accumulation
+        deadline, m = 6.0, 200
+        tail = tail_quality_grid([Stage(X2, 10)], deadline, grid_points=m)
+        curve = sweep_wait(X1, 20, tail)
+        eps = deadline / m
+        q = 0.0
+        for i in range(m):
+            t = i * eps
+            gain = quality_gain(X1, t, eps, tail.at(deadline - (t + eps)))
+            loss = quality_loss(
+                X1, 20, t, eps, tail.at(deadline - t), tail.at(deadline - (t + eps))
+            )
+            q += gain - loss
+        assert curve.quality[-1] == pytest.approx(q, abs=1e-9)
+
+    def test_wait_grid_shape(self):
+        tail = tail_quality_grid([Stage(X2, 10)], deadline=5.0, grid_points=50)
+        curve = sweep_wait(X1, 20, tail)
+        grid = curve.wait_grid()
+        assert len(grid) == len(curve.quality) == 51
+        assert grid[-1] == pytest.approx(5.0)
+
+
+class TestMaxQuality:
+    def test_increases_with_deadline(self):
+        tree = TreeSpec.two_level(X1, 20, X2, 10)
+        qs = [max_quality(tree, d, grid_points=128) for d in (2.0, 5.0, 10.0, 20.0)]
+        assert all(b >= a - 1e-6 for a, b in zip(qs, qs[1:]))
+
+    def test_approaches_one_for_huge_deadline(self):
+        tree = TreeSpec.two_level(X1, 20, X2, 10)
+        assert max_quality(tree, 500.0, grid_points=512) > 0.97
+
+    def test_near_zero_for_tiny_deadline(self):
+        tree = TreeSpec.two_level(X1, 20, X2, 10)
+        assert max_quality(tree, 0.05, grid_points=64) < 0.1
+
+    def test_three_level_needs_more_deadline(self):
+        two = TreeSpec.two_level(X1, 10, X2, 10)
+        three = TreeSpec([Stage(X1, 10), Stage(X2, 10), Stage(X2, 10)])
+        d = 6.0
+        assert max_quality(three, d, grid_points=128) <= max_quality(
+            two, d, grid_points=128
+        ) + 1e-9

@@ -1,0 +1,74 @@
+"""Quality model driven by empirical (trace) distributions.
+
+The optimizer must work with step-function CDFs — that is how trace
+replay feeds it — not just smooth parametric families.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Stage,
+    TreeSpec,
+    WaitOptimizer,
+    calculate_wait,
+    max_quality,
+)
+from repro.distributions import Empirical, LogNormal
+
+
+@pytest.fixture(scope="module")
+def empirical_tree(rng=None):
+    gen = np.random.default_rng(8)
+    x1 = Empirical(LogNormal(1.0, 0.8).sample(400, seed=gen))
+    x2 = Empirical(LogNormal(0.5, 0.5).sample(400, seed=gen))
+    return TreeSpec.two_level(x1, 20, x2, 10)
+
+
+class TestEmpiricalQualityModel:
+    def test_max_quality_bounded_and_monotone(self, empirical_tree):
+        qs = [
+            max_quality(empirical_tree, d, grid_points=128)
+            for d in (2.0, 6.0, 20.0, 60.0)
+        ]
+        assert all(0.0 <= q <= 1.0 for q in qs)
+        assert all(b >= a - 0.02 for a, b in zip(qs, qs[1:]))
+
+    def test_optimal_wait_within_deadline(self, empirical_tree):
+        w = calculate_wait(empirical_tree, 10.0, epsilon=0.1)
+        assert 0.0 <= w <= 10.0
+
+    def test_close_to_parametric_source(self, empirical_tree):
+        # the empirical tree was sampled from known lognormals; quality
+        # estimates should agree with the parametric model
+        parametric = TreeSpec.two_level(
+            LogNormal(1.0, 0.8), 20, LogNormal(0.5, 0.5), 10
+        )
+        for d in (5.0, 12.0):
+            q_emp = max_quality(empirical_tree, d, grid_points=192)
+            q_par = max_quality(parametric, d, grid_points=192)
+            assert q_emp == pytest.approx(q_par, abs=0.05)
+
+    def test_optimizer_reuse_with_empirical_bottom(self, empirical_tree):
+        opt = WaitOptimizer(empirical_tree.stages[1:], 12.0, grid_points=128)
+        w1 = opt.optimize(empirical_tree.stages[0].duration, 20)
+        w2 = opt.optimize(LogNormal(1.0, 0.8), 20)
+        assert abs(w1 - w2) < 2.0
+
+    def test_simulation_with_empirical_tree(self, empirical_tree):
+        from repro.core import CedarPolicy, QueryContext
+        from repro.simulation import simulate_query
+
+        ctx = QueryContext(
+            deadline=12.0, offline_tree=empirical_tree, true_tree=empirical_tree
+        )
+        res = simulate_query(ctx, CedarPolicy(grid_points=128), seed=4)
+        assert 0.0 <= res.quality <= 1.0
+
+    def test_degenerate_single_sample_empirical(self):
+        # a one-point empirical distribution is a deterministic duration
+        tree = TreeSpec.two_level(Empirical([3.0]), 5, Empirical([1.0]), 4)
+        assert max_quality(tree, 10.0, grid_points=64) == pytest.approx(
+            1.0, abs=0.05
+        )
+        assert max_quality(tree, 3.5, grid_points=64) < 0.2

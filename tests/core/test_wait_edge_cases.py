@@ -1,0 +1,76 @@
+"""Edge cases of the wait machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Stage,
+    TreeSpec,
+    WaitOptimizer,
+    calculate_wait,
+    max_quality,
+    optimal_wait,
+    wait_schedule,
+)
+from repro.distributions import Exponential, LogNormal, Uniform
+
+
+class TestTinyTrees:
+    def test_fanout_one_everywhere(self):
+        # k=1: no partial-collection exposure, loss term vanishes
+        tree = TreeSpec.two_level(LogNormal(0.0, 0.5), 1, LogNormal(0.0, 0.5), 1)
+        q = max_quality(tree, 20.0, grid_points=128)
+        assert 0.9 <= q <= 1.0
+        w = optimal_wait(tree, 20.0, grid_points=128)
+        assert 0.0 <= w <= 20.0
+
+    def test_deterministic_stages(self):
+        # point-mass-ish durations: quality is a step in the deadline
+        tree = TreeSpec.two_level(Uniform(0.99, 1.01), 10, Uniform(1.99, 2.01), 5)
+        assert max_quality(tree, 10.0, grid_points=256) > 0.95
+        assert max_quality(tree, 2.0, grid_points=256) < 0.2
+
+    def test_exponential_stages(self):
+        tree = TreeSpec.two_level(Exponential(1.0), 10, Exponential(2.0), 5)
+        q = max_quality(tree, 10.0, grid_points=128)
+        assert 0.3 < q <= 1.0
+
+
+class TestDeadlineExtremes:
+    TREE = TreeSpec.two_level(LogNormal(0.0, 0.8), 10, LogNormal(0.3, 0.5), 5)
+
+    def test_tiny_deadline(self):
+        assert max_quality(self.TREE, 1e-6, grid_points=64) < 1e-3
+        assert calculate_wait(self.TREE, 1e-6, epsilon=1e-7) <= 1e-6
+
+    def test_huge_deadline(self):
+        assert max_quality(self.TREE, 1e4, grid_points=256) > 0.99
+
+    def test_epsilon_larger_than_deadline(self):
+        # the scalar sweep degenerates gracefully: no step fits, wait 0
+        assert calculate_wait(self.TREE, 1.0, epsilon=2.0) == 0.0
+
+
+class TestScheduleEdges:
+    def test_five_level_tree(self):
+        stages = [Stage(LogNormal(0.0, 0.5), 3) for _ in range(5)]
+        tree = TreeSpec(stages)
+        sched = wait_schedule(tree, 30.0, grid_points=96)
+        assert len(sched.stops) == 4
+        assert all(a <= b + 1e-9 for a, b in zip(sched.stops, sched.stops[1:]))
+        assert 0.0 <= sched.expected_quality <= 1.0
+
+    def test_optimizer_rejects_empty_tail_gracefully(self):
+        # a single-stage tail is the base case; zero stages is an error
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            WaitOptimizer([], 10.0)
+
+    def test_wait_monotone_in_bottom_scale(self):
+        """Slower processes (bigger mu) should never shorten the optimal
+        wait when everything else is fixed and losses are mild."""
+        opt = WaitOptimizer([Stage(Uniform(0.0, 0.2), 5)], 20.0, grid_points=256)
+        waits = [opt.optimize(LogNormal(mu, 0.6), 10) for mu in (-1.0, 0.0, 1.0)]
+        assert waits[0] <= waits[1] + 0.2
+        assert waits[1] <= waits[2] + 0.2

@@ -1,0 +1,150 @@
+"""Precomputed wait tables and the tabulated policy."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CedarPolicy,
+    CedarTabulatedPolicy,
+    QueryContext,
+    Stage,
+    TabulatedController,
+    TreeSpec,
+    WaitOptimizer,
+    WaitTable,
+)
+from repro.distributions import Exponential, LogNormal
+from repro.errors import ConfigError
+from repro.estimation import OrderStatisticEstimator
+
+TAIL = [Stage(LogNormal(0.5, 0.5), 10)]
+DEADLINE = 20.0
+K = 15
+
+
+@pytest.fixture(scope="module")
+def table():
+    return WaitTable.build(
+        TAIL, DEADLINE, K, mu_range=(-1.0, 2.5), sigma_range=(0.2, 1.5),
+        n_mu=20, n_sigma=10, grid_points=192,
+    )
+
+
+@pytest.fixture(scope="module")
+def optimizer():
+    return WaitOptimizer(TAIL, DEADLINE, grid_points=192)
+
+
+class TestWaitTable:
+    def test_grid_points_exact(self, table, optimizer):
+        # at grid nodes the table equals the optimizer output
+        mu, sigma = float(table.mus[3]), float(table.sigmas[4])
+        assert table.lookup(mu, sigma) == pytest.approx(
+            optimizer.optimize(LogNormal(mu, sigma), K)
+        )
+
+    def test_interpolation_close_to_exact(self, table, optimizer):
+        err = table.max_abs_error_vs(optimizer, probe_points=40)
+        # the optimal wait is piecewise-smooth in (mu, sigma) but its
+        # argmax can jump at regime boundaries, so the worst probe can be
+        # off by a few grid cells; quality impact is second order (the
+        # curve is flat near its argmax) and is asserted end-to-end in
+        # TestCedarTabulatedPolicy. Here: within ~10% of the deadline.
+        assert err <= 0.1 * DEADLINE
+
+    def test_out_of_range_clamped(self, table):
+        low = table.lookup(-99.0, 0.01)
+        assert table.lookup(float(table.mus[0]), float(table.sigmas[0])) == low
+
+    def test_lookup_distribution(self, table):
+        d = LogNormal(1.0, 0.8)
+        assert table.lookup_distribution(d) == pytest.approx(
+            table.lookup(1.0, 0.8)
+        )
+        with pytest.raises(ConfigError):
+            table.lookup_distribution(Exponential(1.0))
+
+    def test_build_validation(self):
+        with pytest.raises(ConfigError):
+            WaitTable.build(TAIL, DEADLINE, K, (2.0, 1.0), (0.2, 1.0))
+        with pytest.raises(ConfigError):
+            WaitTable.build(TAIL, DEADLINE, K, (0.0, 1.0), (1.0, 0.2))
+        with pytest.raises(ConfigError):
+            WaitTable.build(TAIL, DEADLINE, K, (0.0, 1.0), (0.2, 1.0), n_mu=1)
+        with pytest.raises(ConfigError):
+            WaitTable.build(TAIL, DEADLINE, 0, (0.0, 1.0), (0.2, 1.0))
+
+
+class TestTabulatedController:
+    def test_matches_adaptive_behaviour(self, table):
+        controller = TabulatedController(
+            OrderStatisticEstimator("lognormal"), table, k=K, deadline=DEADLINE
+        )
+        assert controller.stop_time == DEADLINE
+        rng = np.random.default_rng(4)
+        arrivals = np.sort(LogNormal(1.0, 0.6).sample(K, seed=rng))
+        for t in arrivals:
+            if t > controller.stop_time:
+                break
+            controller.on_arrival(float(t))
+        assert 0.0 < controller.stop_time <= DEADLINE
+
+    def test_all_arrivals_ship_now(self, table):
+        controller = TabulatedController(
+            OrderStatisticEstimator("lognormal"), table, k=3, deadline=DEADLINE
+        )
+        for t in (0.5, 1.0, 1.5):
+            controller.on_arrival(t)
+        assert controller.stop_time == 1.5
+
+    def test_validation(self, table):
+        with pytest.raises(ConfigError):
+            TabulatedController(
+                OrderStatisticEstimator("lognormal"), table, k=K, deadline=0.0
+            )
+        with pytest.raises(ConfigError):
+            TabulatedController(
+                OrderStatisticEstimator("lognormal"),
+                table,
+                k=K,
+                deadline=DEADLINE,
+                min_samples=1,
+            )
+
+
+class TestCedarTabulatedPolicy:
+    def test_quality_close_to_exact_cedar(self):
+        from repro.simulation import run_experiment
+        from repro.traces.base import LogNormalStageSpec, LogNormalWorkload
+
+        workload = LogNormalWorkload(
+            [
+                LogNormalStageSpec(mu=1.0, sigma=0.8, fanout=15, mu_jitter=1.0),
+                LogNormalStageSpec(mu=0.5, sigma=0.5, fanout=8, mu_jitter=0.1),
+            ],
+            name="tab-test",
+            history_queries=40,
+            history_samples_per_query=20,
+        )
+        exact = CedarPolicy(grid_points=160)
+        tabulated = CedarTabulatedPolicy(grid_points=160, n_mu=24, n_sigma=10)
+        res = run_experiment(
+            workload, [exact, tabulated], deadline=15.0, n_queries=12, seed=9
+        )
+        assert res.mean_quality("cedar-tabulated") == pytest.approx(
+            res.mean_quality("cedar"), abs=0.05
+        )
+
+    def test_requires_lognormal_offline(self):
+        tree = TreeSpec.two_level(Exponential(1.0), 10, LogNormal(0.0, 1.0), 5)
+        ctx = QueryContext(deadline=5.0, offline_tree=tree)
+        with pytest.raises(ConfigError):
+            CedarTabulatedPolicy().controller(ctx, 1)
+
+    def test_table_cached(self):
+        tree = TreeSpec.two_level(LogNormal(1.0, 0.5), 10, LogNormal(0.0, 0.5), 5)
+        ctx = QueryContext(deadline=5.0, offline_tree=tree)
+        policy = CedarTabulatedPolicy(grid_points=96, n_mu=8, n_sigma=4)
+        policy.controller(ctx, 1)
+        policy.controller(ctx, 1)
+        assert len(policy._tables) == 1

@@ -1,0 +1,87 @@
+"""Contract tests every analytic distribution family must satisfy."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DistributionError
+
+from ..conftest import standard_distributions
+
+DISTS = standard_distributions()
+IDS = [type(d).__name__ for d in DISTS]
+
+
+@pytest.mark.parametrize("dist", DISTS, ids=IDS)
+class TestDistributionContract:
+    def test_cdf_monotone_and_bounded(self, dist):
+        lo, hi = dist.support()
+        lo = max(lo, -50.0) if math.isfinite(lo) else -50.0
+        hi = min(hi, 1e6) if math.isfinite(hi) else 1e6
+        xs = np.linspace(lo, hi, 200)
+        cdf = np.asarray(dist.cdf(xs))
+        assert np.all(cdf >= -1e-12)
+        assert np.all(cdf <= 1.0 + 1e-12)
+        assert np.all(np.diff(cdf) >= -1e-12)
+
+    def test_quantile_inverts_cdf(self, dist):
+        for p in (0.05, 0.25, 0.5, 0.75, 0.95):
+            x = dist.quantile(p)
+            assert float(dist.cdf(x)) == pytest.approx(p, abs=1e-6)
+
+    def test_quantile_rejects_bad_probabilities(self, dist):
+        with pytest.raises(DistributionError):
+            dist.quantile(-0.1)
+        with pytest.raises(DistributionError):
+            dist.quantile(1.5)
+
+    def test_pdf_nonnegative_and_integrates_near_cdf(self, dist):
+        a = dist.quantile(0.2)
+        b = dist.quantile(0.8)
+        xs = np.linspace(a, b, 4001)
+        pdf = np.asarray(dist.pdf(xs))
+        assert np.all(pdf >= 0.0)
+        integral = np.trapezoid(pdf, xs)
+        assert integral == pytest.approx(0.6, rel=5e-3)
+
+    def test_sampling_matches_cdf(self, dist, rng):
+        samples = np.asarray(dist.sample(20_000, seed=rng))
+        for p in (0.25, 0.5, 0.75):
+            q = dist.quantile(p)
+            assert float(np.mean(samples <= q)) == pytest.approx(p, abs=0.02)
+
+    def test_sampling_within_support(self, dist, rng):
+        lo, hi = dist.support()
+        samples = np.asarray(dist.sample(5000, seed=rng))
+        assert np.all(samples >= lo - 1e-9)
+        assert np.all(samples <= hi + 1e-9)
+
+    def test_mean_consistent_with_samples(self, dist, rng):
+        mean = dist.mean()
+        if not math.isfinite(mean):
+            pytest.skip("infinite mean")
+        samples = np.asarray(dist.sample(200_000, seed=rng))
+        # heavy-tailed families need loose tolerance
+        assert float(np.mean(samples)) == pytest.approx(mean, rel=0.08)
+
+    def test_median_is_half_quantile(self, dist):
+        assert dist.median() == pytest.approx(float(dist.quantile(0.5)), rel=1e-9)
+
+    def test_sf_complements_cdf(self, dist):
+        x = dist.quantile(0.6)
+        assert float(dist.sf(x)) == pytest.approx(1.0 - float(dist.cdf(x)), abs=1e-12)
+
+    def test_prob_in_interval(self, dist):
+        a, b = dist.quantile(0.3), dist.quantile(0.7)
+        assert dist.prob_in(a, b) == pytest.approx(0.4, abs=1e-9)
+        with pytest.raises(DistributionError):
+            dist.prob_in(b, a)
+
+    def test_equality_and_hash(self, dist):
+        assert dist == dist
+        assert hash(dist) == hash(dist)
+
+    def test_repr_contains_params(self, dist):
+        text = repr(dist)
+        assert type(dist).__name__ in text

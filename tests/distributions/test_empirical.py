@@ -1,0 +1,69 @@
+"""Empirical (trace-replay) distribution."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Empirical
+from repro.errors import DistributionError
+
+
+class TestEmpirical:
+    def test_cdf_is_step_function(self):
+        d = Empirical([1.0, 2.0, 3.0, 4.0])
+        assert float(d.cdf(0.5)) == 0.0
+        assert float(d.cdf(1.0)) == 0.25
+        assert float(d.cdf(2.5)) == 0.5
+        assert float(d.cdf(4.0)) == 1.0
+
+    def test_quantile_interpolates(self):
+        d = Empirical([0.0, 10.0])
+        assert float(d.quantile(0.5)) == pytest.approx(5.0)
+
+    def test_moments_match_numpy(self):
+        data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0]
+        d = Empirical(data)
+        assert d.mean() == pytest.approx(np.mean(data))
+        assert d.var() == pytest.approx(np.var(data, ddof=1))
+        assert d.median() == pytest.approx(np.median(data))
+
+    def test_sample_draws_from_data(self, rng):
+        data = [1.0, 2.0, 3.0]
+        d = Empirical(data)
+        samples = d.sample(1000, seed=rng)
+        assert set(np.unique(samples)) <= set(data)
+
+    def test_sample_without_replacement(self, rng):
+        d = Empirical([1.0, 2.0, 3.0, 4.0])
+        got = d.sample_without_replacement(4, seed=rng)
+        assert sorted(got) == [1.0, 2.0, 3.0, 4.0]
+        with pytest.raises(DistributionError):
+            d.sample_without_replacement(5, seed=rng)
+
+    def test_pdf_undefined(self):
+        with pytest.raises(DistributionError):
+            Empirical([1.0]).pdf(1.0)
+
+    def test_rejects_empty_and_nonfinite(self):
+        with pytest.raises(DistributionError):
+            Empirical([])
+        with pytest.raises(DistributionError):
+            Empirical([1.0, float("nan")])
+
+    def test_samples_view_is_readonly(self):
+        d = Empirical([2.0, 1.0])
+        view = d.samples
+        assert list(view) == [1.0, 2.0]
+        with pytest.raises(ValueError):
+            view[0] = 99.0
+
+    def test_log_sample_requires_positive(self):
+        with pytest.raises(DistributionError):
+            Empirical([0.0, 1.0]).log_sample()
+        np.testing.assert_allclose(
+            Empirical([1.0, np.e]).log_sample(), [0.0, 1.0]
+        )
+
+    def test_len_and_n(self):
+        d = Empirical([5.0, 6.0, 7.0])
+        assert len(d) == 3
+        assert d.n == 3

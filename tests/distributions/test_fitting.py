@@ -1,0 +1,113 @@
+"""Percentile-based family fitting (the rriskDistributions substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    CANDIDATE_FAMILIES,
+    LogNormal,
+    Normal,
+    Weibull,
+    fit_distribution_type,
+    fit_family,
+    fit_samples,
+)
+from repro.errors import FitError
+
+PROBS = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+
+
+def _percentiles(dist):
+    return [float(dist.quantile(p)) for p in PROBS]
+
+
+class TestFitFamily:
+    @pytest.mark.parametrize(
+        "family,dist",
+        [
+            ("lognormal", LogNormal(2.0, 0.8)),
+            ("normal", Normal(5.0, 1.5)),
+            ("weibull", Weibull(k=1.7, lam=2.5)),
+        ],
+    )
+    def test_exact_percentiles_recover_family(self, family, dist):
+        res = fit_family(family, PROBS, _percentiles(dist))
+        assert res.family == family
+        assert res.rel_rmse < 1e-6
+
+    def test_unknown_family(self):
+        with pytest.raises(FitError):
+            fit_family("zipf", PROBS, _percentiles(LogNormal(1, 1)))
+
+    def test_input_validation(self):
+        with pytest.raises(FitError):
+            fit_family("lognormal", (0.5,), (1.0,))  # too few points
+        with pytest.raises(FitError):
+            fit_family("lognormal", (0.5, 0.4), (1.0, 2.0))  # not increasing
+        with pytest.raises(FitError):
+            fit_family("lognormal", (0.5, 1.0), (1.0, 2.0))  # p == 1
+        with pytest.raises(FitError):
+            fit_family("lognormal", (0.25, 0.5), (2.0, 1.0))  # values decrease
+
+    def test_negative_values_rejected_for_positive_families(self):
+        with pytest.raises(FitError):
+            fit_family("lognormal", (0.25, 0.5, 0.75), (-1.0, 0.5, 2.0))
+
+
+class TestContest:
+    @pytest.mark.parametrize(
+        "truth",
+        [LogNormal(2.77, 0.84), LogNormal(5.9, 1.25), LogNormal(2.94, 0.55)],
+        ids=["facebook", "bing", "google"],
+    )
+    def test_lognormal_wins_on_paper_traces(self, truth):
+        results = fit_distribution_type(PROBS, _percentiles(truth))
+        assert results[0].family == "lognormal"
+        assert results[0].rel_rmse < 1e-6
+
+    def test_results_sorted_by_error(self):
+        results = fit_distribution_type(PROBS, _percentiles(LogNormal(1.0, 1.0)))
+        errors = [r.rel_rmse for r in results]
+        assert errors == sorted(errors)
+
+    def test_candidates_subset(self):
+        results = fit_distribution_type(
+            PROBS, _percentiles(Normal(10, 2)), candidates=["normal", "uniform"]
+        )
+        assert {r.family for r in results} <= {"normal", "uniform"}
+        assert results[0].family == "normal"
+
+    def test_all_families_present_in_registry(self):
+        assert set(CANDIDATE_FAMILIES) == {
+            "lognormal",
+            "normal",
+            "exponential",
+            "pareto",
+            "weibull",
+            "gamma",
+            "uniform",
+        }
+
+    def test_normal_data_prefers_normal_over_lognormal(self, rng):
+        # symmetric data: normal should beat lognormal
+        results = fit_distribution_type(PROBS, _percentiles(Normal(100.0, 5.0)))
+        families = [r.family for r in results]
+        assert families.index("normal") < families.index("lognormal")
+
+
+class TestFitSamples:
+    def test_from_raw_samples(self, rng):
+        truth = LogNormal(2.0, 0.7)
+        results = fit_samples(truth.sample(50_000, seed=rng))
+        assert results[0].family == "lognormal"
+        fitted = results[0].distribution
+        assert fitted.mu == pytest.approx(2.0, abs=0.05)
+        assert fitted.sigma == pytest.approx(0.7, abs=0.05)
+
+    def test_needs_enough_samples(self):
+        with pytest.raises(FitError):
+            fit_samples([1.0, 2.0], probs=(0.1, 0.5, 0.9))
+
+    def test_per_point_errors_recorded(self):
+        res = fit_family("lognormal", PROBS, _percentiles(LogNormal(1, 1)))
+        assert set(res.per_point_rel_error) == set(float(p) for p in PROBS)

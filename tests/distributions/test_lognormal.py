@@ -1,0 +1,91 @@
+"""Log-normal specifics: closed forms, fits, unit helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import LogNormal
+from repro.errors import DistributionError
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_sigma(self):
+        with pytest.raises(DistributionError):
+            LogNormal(mu=0.0, sigma=0.0)
+        with pytest.raises(DistributionError):
+            LogNormal(mu=0.0, sigma=-1.0)
+
+    def test_rejects_nonfinite_mu(self):
+        with pytest.raises(DistributionError):
+            LogNormal(mu=math.inf, sigma=1.0)
+
+
+class TestClosedForms:
+    def test_median_is_exp_mu(self):
+        d = LogNormal(mu=2.77, sigma=0.84)
+        assert d.median() == pytest.approx(math.exp(2.77))
+
+    def test_mean_formula(self):
+        d = LogNormal(mu=1.0, sigma=0.5)
+        assert d.mean() == pytest.approx(math.exp(1.0 + 0.125))
+
+    def test_var_formula(self):
+        d = LogNormal(mu=0.3, sigma=0.4)
+        s2 = 0.16
+        expected = (math.exp(s2) - 1.0) * math.exp(0.6 + s2)
+        assert d.var() == pytest.approx(expected)
+
+    def test_cdf_zero_below_support(self):
+        d = LogNormal(mu=0.0, sigma=1.0)
+        assert d.cdf(0.0) == 0.0
+        assert d.cdf(-5.0) == 0.0
+        assert d.pdf(-1.0) == 0.0
+
+    def test_published_bing_fit_statistics(self):
+        # the paper's Bing fit: median ~330us-ish, long tail
+        d = LogNormal(mu=5.9, sigma=1.25)
+        assert d.median() == pytest.approx(365.0, rel=0.01)
+        assert float(d.quantile(0.9)) > 4.0 * d.median()
+
+
+class TestFitting:
+    def test_from_samples_recovers_params(self, rng):
+        d = LogNormal(mu=1.5, sigma=0.6)
+        fit = LogNormal.from_samples(d.sample(100_000, seed=rng))
+        assert fit.mu == pytest.approx(1.5, abs=0.02)
+        assert fit.sigma == pytest.approx(0.6, abs=0.02)
+
+    def test_from_samples_needs_two(self):
+        with pytest.raises(DistributionError):
+            LogNormal.from_samples([1.0])
+
+    def test_from_samples_rejects_nonpositive(self):
+        with pytest.raises(DistributionError):
+            LogNormal.from_samples([1.0, -2.0, 3.0])
+
+    def test_from_samples_rejects_degenerate(self):
+        with pytest.raises(DistributionError):
+            LogNormal.from_samples([2.0, 2.0, 2.0])
+
+    def test_from_mean_std_roundtrip(self):
+        d = LogNormal.from_mean_std(mean=10.0, std=5.0)
+        assert d.mean() == pytest.approx(10.0)
+        assert d.std() == pytest.approx(5.0)
+
+    def test_from_mean_std_rejects_nonpositive(self):
+        with pytest.raises(DistributionError):
+            LogNormal.from_mean_std(mean=-1.0, std=2.0)
+
+
+class TestHelpers:
+    def test_with_params_replaces_selectively(self):
+        d = LogNormal(mu=1.0, sigma=0.5)
+        assert d.with_params(mu=2.0) == LogNormal(2.0, 0.5)
+        assert d.with_params(sigma=0.9) == LogNormal(1.0, 0.9)
+        assert d.with_params() == d
+
+    def test_scaling_shifts_mu(self):
+        d = LogNormal(mu=1.0, sigma=0.5)
+        scaled = d.scaled(1000.0)
+        assert scaled.median() == pytest.approx(1000.0 * d.median())

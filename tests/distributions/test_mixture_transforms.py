@@ -1,0 +1,113 @@
+"""Mixtures and affine/truncation transforms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Exponential,
+    LogNormal,
+    Mixture,
+    Normal,
+    Scaled,
+    Shifted,
+    Truncated,
+    Uniform,
+    lognormal_with_pareto_tail,
+)
+from repro.errors import DistributionError
+
+
+class TestMixture:
+    def test_cdf_is_weighted_average(self):
+        m = Mixture([Uniform(0, 1), Uniform(1, 2)], [0.5, 0.5])
+        assert float(m.cdf(1.0)) == pytest.approx(0.5)
+        assert float(m.cdf(1.5)) == pytest.approx(0.75)
+
+    def test_mean_and_var(self):
+        m = Mixture([Normal(0, 1), Normal(10, 1)], [0.5, 0.5])
+        assert m.mean() == pytest.approx(5.0)
+        assert m.var() == pytest.approx(1.0 + 25.0)
+
+    def test_weights_normalized(self):
+        m = Mixture([Uniform(0, 1), Uniform(0, 1)], [2.0, 6.0])
+        np.testing.assert_allclose(m.weights, [0.25, 0.75])
+
+    def test_sampling_proportions(self, rng):
+        m = Mixture([Uniform(0, 1), Uniform(10, 11)], [0.3, 0.7])
+        samples = np.asarray(m.sample(20_000, seed=rng))
+        assert float(np.mean(samples > 5.0)) == pytest.approx(0.7, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(DistributionError):
+            Mixture([], [])
+        with pytest.raises(DistributionError):
+            Mixture([Uniform(0, 1)], [1.0, 2.0])
+        with pytest.raises(DistributionError):
+            Mixture([Uniform(0, 1)], [-1.0])
+        with pytest.raises(DistributionError):
+            Mixture([Uniform(0, 1)], [0.0])
+
+    def test_pareto_tail_helper(self, rng):
+        m = lognormal_with_pareto_tail(mu=1.0, sigma=0.5, tail_prob=0.01)
+        body = LogNormal(1.0, 0.5)
+        # bulk behaviour matches the body closely
+        assert float(m.cdf(body.median())) == pytest.approx(0.5, abs=0.01)
+        # tail is heavier than the pure lognormal
+        far = float(body.quantile(0.9999))
+        assert float(m.sf(far)) > float(body.sf(far))
+
+
+class TestTransforms:
+    def test_scaled_quantiles(self):
+        base = Exponential(lam=1.0)
+        scaled = Scaled(base, 1000.0)
+        assert float(scaled.quantile(0.5)) == pytest.approx(
+            1000.0 * float(base.quantile(0.5))
+        )
+        assert scaled.mean() == pytest.approx(1000.0)
+        assert scaled.var() == pytest.approx(1e6)
+
+    def test_scaled_cdf(self):
+        scaled = Scaled(Uniform(0, 1), 10.0)
+        assert float(scaled.cdf(5.0)) == pytest.approx(0.5)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(DistributionError):
+            Scaled(Uniform(0, 1), 0.0)
+
+    def test_shifted_moves_location_only(self):
+        base = Normal(0.0, 1.0)
+        shifted = Shifted(base, 5.0)
+        assert shifted.mean() == pytest.approx(5.0)
+        assert shifted.var() == pytest.approx(1.0)
+        assert float(shifted.cdf(5.0)) == pytest.approx(0.5)
+        assert float(shifted.quantile(0.5)) == pytest.approx(5.0)
+
+    def test_shifted_samples(self, rng):
+        shifted = Shifted(Uniform(0, 1), 100.0)
+        samples = np.asarray(shifted.sample(100, seed=rng))
+        assert np.all((samples >= 100.0) & (samples <= 101.0))
+
+    def test_truncated_renormalizes(self):
+        t = Truncated(Uniform(0, 10), lower=2.0, upper=4.0)
+        assert float(t.cdf(3.0)) == pytest.approx(0.5)
+        assert t.support() == (2.0, 4.0)
+
+    def test_truncated_quantile_within_bounds(self, rng):
+        t = Truncated(Normal(0, 1), lower=-1.0, upper=1.0)
+        samples = np.asarray(t.sample(5000, seed=rng))
+        assert np.all((samples >= -1.0) & (samples <= 1.0))
+
+    def test_truncated_rejects_empty(self):
+        with pytest.raises(DistributionError):
+            Truncated(Uniform(0, 1), lower=0.9, upper=0.1)
+        with pytest.raises(DistributionError):
+            Truncated(Uniform(0, 1), lower=5.0, upper=6.0)
+
+    def test_method_chaining_from_base(self):
+        d = LogNormal(0.0, 1.0).scaled(2.0).shifted(1.0)
+        assert d.mean() == pytest.approx(2.0 * LogNormal(0.0, 1.0).mean() + 1.0)
+        t = Uniform(0, 1).truncated(lower=0.5)
+        assert float(t.cdf(0.75)) == pytest.approx(0.5)

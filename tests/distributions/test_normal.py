@@ -1,0 +1,77 @@
+"""Normal and truncated-normal specifics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Normal, TruncatedNormal
+from repro.errors import DistributionError
+
+
+class TestNormal:
+    def test_symmetry(self):
+        d = Normal(mu=3.0, sigma=1.5)
+        assert float(d.cdf(3.0)) == pytest.approx(0.5)
+        assert float(d.cdf(1.0)) == pytest.approx(1.0 - float(d.cdf(5.0)))
+
+    def test_moments(self):
+        d = Normal(mu=-2.0, sigma=0.7)
+        assert d.mean() == -2.0
+        assert d.var() == pytest.approx(0.49)
+        assert d.median() == -2.0
+
+    def test_from_samples(self, rng):
+        d = Normal(mu=4.0, sigma=2.0)
+        fit = Normal.from_samples(d.sample(100_000, seed=rng))
+        assert fit.mu == pytest.approx(4.0, abs=0.05)
+        assert fit.sigma == pytest.approx(2.0, abs=0.05)
+
+    def test_invalid_params(self):
+        with pytest.raises(DistributionError):
+            Normal(mu=0.0, sigma=0.0)
+        with pytest.raises(DistributionError):
+            Normal(mu=math.nan, sigma=1.0)
+
+
+class TestTruncatedNormal:
+    def test_support_respected(self, rng):
+        d = TruncatedNormal(mu=40.0, sigma=80.0, lower=0.0)
+        samples = np.asarray(d.sample(20_000, seed=rng))
+        assert np.all(samples >= 0.0)
+
+    def test_cdf_at_bounds(self):
+        d = TruncatedNormal(mu=0.0, sigma=1.0, lower=-1.0, upper=2.0)
+        assert float(d.cdf(-1.0)) == pytest.approx(0.0, abs=1e-12)
+        assert float(d.cdf(2.0)) == pytest.approx(1.0, abs=1e-12)
+
+    def test_mean_shifts_up_with_lower_truncation(self):
+        plain = Normal(mu=40.0, sigma=80.0)
+        trunc = TruncatedNormal(mu=40.0, sigma=80.0, lower=0.0)
+        assert trunc.mean() > plain.mean()
+
+    def test_mean_matches_samples(self, rng):
+        d = TruncatedNormal(mu=40.0, sigma=80.0, lower=0.0)
+        samples = np.asarray(d.sample(200_000, seed=rng))
+        assert float(np.mean(samples)) == pytest.approx(d.mean(), rel=0.01)
+
+    def test_var_matches_samples(self, rng):
+        d = TruncatedNormal(mu=40.0, sigma=80.0, lower=0.0)
+        samples = np.asarray(d.sample(200_000, seed=rng))
+        assert float(np.var(samples)) == pytest.approx(d.var(), rel=0.02)
+
+    def test_untruncated_limit_matches_normal(self):
+        trunc = TruncatedNormal(mu=1.0, sigma=2.0, lower=-1e9, upper=1e9)
+        plain = Normal(mu=1.0, sigma=2.0)
+        for p in (0.1, 0.5, 0.9):
+            assert float(trunc.quantile(p)) == pytest.approx(
+                float(plain.quantile(p)), rel=1e-6
+            )
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(DistributionError):
+            TruncatedNormal(mu=0.0, sigma=1.0, lower=2.0, upper=1.0)
+
+    def test_zero_mass_interval_rejected(self):
+        with pytest.raises(DistributionError):
+            TruncatedNormal(mu=0.0, sigma=1.0, lower=500.0, upper=501.0)

@@ -1,0 +1,115 @@
+"""Exponential, Pareto, Weibull, Gamma, Uniform specifics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential, Gamma, Pareto, Uniform, Weibull
+from repro.errors import DistributionError
+
+
+class TestExponential:
+    def test_memoryless_cdf(self):
+        d = Exponential(lam=2.0)
+        assert float(d.cdf(0.5)) == pytest.approx(1.0 - math.exp(-1.0))
+
+    def test_mean_median(self):
+        d = Exponential(lam=0.25)
+        assert d.mean() == 4.0
+        assert d.median() == pytest.approx(4.0 * math.log(2.0))
+
+    def test_from_samples(self, rng):
+        fit = Exponential.from_samples(Exponential(lam=1.5).sample(50_000, seed=rng))
+        assert fit.lam == pytest.approx(1.5, rel=0.03)
+
+    def test_from_mean(self):
+        assert Exponential.from_mean(2.0).lam == 0.5
+        with pytest.raises(DistributionError):
+            Exponential.from_mean(0.0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(DistributionError):
+            Exponential(lam=-1.0)
+
+
+class TestPareto:
+    def test_support_starts_at_xm(self):
+        d = Pareto(xm=2.0, alpha=3.0)
+        assert d.support() == (2.0, math.inf)
+        assert float(d.cdf(1.5)) == 0.0
+
+    def test_survival_power_law(self):
+        d = Pareto(xm=1.0, alpha=2.0)
+        assert float(d.sf(4.0)) == pytest.approx(1.0 / 16.0)
+
+    def test_infinite_moments(self):
+        assert Pareto(xm=1.0, alpha=0.9).mean() == math.inf
+        assert Pareto(xm=1.0, alpha=1.5).var() == math.inf
+        assert Pareto(xm=1.0, alpha=3.0).var() < math.inf
+
+    def test_from_samples(self, rng):
+        d = Pareto(xm=1.0, alpha=2.5)
+        fit = Pareto.from_samples(d.sample(50_000, seed=rng))
+        assert fit.alpha == pytest.approx(2.5, rel=0.05)
+        assert fit.xm == pytest.approx(1.0, rel=0.01)
+
+
+class TestWeibull:
+    def test_k1_equals_exponential(self):
+        w = Weibull(k=1.0, lam=2.0)
+        e = Exponential(lam=0.5)
+        for x in (0.5, 1.0, 3.0):
+            assert float(w.cdf(x)) == pytest.approx(float(e.cdf(x)), rel=1e-9)
+
+    def test_mean_gamma_formula(self):
+        d = Weibull(k=2.0, lam=1.0)
+        assert d.mean() == pytest.approx(math.sqrt(math.pi) / 2.0)
+
+    def test_from_samples(self, rng):
+        d = Weibull(k=1.8, lam=3.0)
+        fit = Weibull.from_samples(d.sample(50_000, seed=rng))
+        assert fit.k == pytest.approx(1.8, rel=0.05)
+        assert fit.lam == pytest.approx(3.0, rel=0.03)
+
+
+class TestGamma:
+    def test_k1_equals_exponential(self):
+        g = Gamma(k=1.0, theta=2.0)
+        e = Exponential(lam=0.5)
+        for x in (0.5, 2.0, 5.0):
+            assert float(g.cdf(x)) == pytest.approx(float(e.cdf(x)), rel=1e-9)
+
+    def test_moments(self):
+        d = Gamma(k=3.0, theta=2.0)
+        assert d.mean() == 6.0
+        assert d.var() == 12.0
+
+    def test_from_samples(self, rng):
+        d = Gamma(k=2.5, theta=1.2)
+        fit = Gamma.from_samples(d.sample(50_000, seed=rng))
+        assert fit.k == pytest.approx(2.5, rel=0.08)
+        assert fit.theta == pytest.approx(1.2, rel=0.08)
+
+
+class TestUniform:
+    def test_cdf_linear(self):
+        d = Uniform(a=2.0, b=6.0)
+        assert float(d.cdf(3.0)) == pytest.approx(0.25)
+        assert float(d.cdf(6.0)) == 1.0
+        assert float(d.cdf(1.0)) == 0.0
+
+    def test_moments(self):
+        d = Uniform(a=0.0, b=12.0)
+        assert d.mean() == 6.0
+        assert d.var() == 12.0
+
+    def test_from_samples_brackets_range(self, rng):
+        d = Uniform(a=1.0, b=2.0)
+        fit = Uniform.from_samples(d.sample(10_000, seed=rng))
+        assert 1.0 <= fit.a <= 1.01
+        assert 1.99 <= fit.b <= 2.0
+
+    def test_invalid_interval(self):
+        with pytest.raises(DistributionError):
+            Uniform(a=2.0, b=2.0)

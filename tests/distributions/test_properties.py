@@ -1,0 +1,81 @@
+"""Property-based tests (hypothesis) on the distribution substrate."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import Exponential, LogNormal, Normal, Uniform
+
+MU = st.floats(min_value=-5.0, max_value=8.0)
+SIGMA = st.floats(min_value=0.05, max_value=3.0)
+PROB = st.floats(min_value=0.001, max_value=0.999)
+RATE = st.floats(min_value=0.01, max_value=50.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(mu=MU, sigma=SIGMA, p=PROB)
+def test_lognormal_quantile_cdf_roundtrip(mu, sigma, p):
+    d = LogNormal(mu, sigma)
+    x = float(d.quantile(p))
+    assert math.isfinite(x) and x > 0.0
+    assert abs(float(d.cdf(x)) - p) < 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(mu=MU, sigma=SIGMA, p1=PROB, p2=PROB)
+def test_lognormal_quantile_monotone(mu, sigma, p1, p2):
+    d = LogNormal(mu, sigma)
+    lo, hi = sorted((p1, p2))
+    assert float(d.quantile(lo)) <= float(d.quantile(hi)) + 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(mu=MU, sigma=SIGMA)
+def test_lognormal_mean_exceeds_median(mu, sigma):
+    # right-skew: mean > median for every lognormal
+    d = LogNormal(mu, sigma)
+    assert d.mean() > d.median()
+
+
+@settings(max_examples=60, deadline=None)
+@given(mu=MU, sigma=SIGMA, a=st.floats(min_value=0.1, max_value=100.0))
+def test_lognormal_scaling_consistency(mu, sigma, a):
+    # scaling a lognormal is a mu shift: Scaled and with_params agree
+    d = LogNormal(mu, sigma)
+    scaled = d.scaled(a)
+    shifted_mu = d.with_params(mu=mu + math.log(a))
+    for p in (0.1, 0.5, 0.9):
+        np.testing.assert_allclose(
+            float(scaled.quantile(p)), float(shifted_mu.quantile(p)), rtol=1e-9
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(mu=MU, sigma=SIGMA, p=PROB)
+def test_normal_symmetry_property(mu, sigma, p):
+    d = Normal(mu, sigma)
+    left = float(d.quantile(p))
+    right = float(d.quantile(1.0 - p))
+    assert abs((left + right) / 2.0 - mu) < 1e-6 * max(1.0, abs(mu), sigma)
+
+
+@settings(max_examples=60, deadline=None)
+@given(lam=RATE, t=st.floats(min_value=0.0, max_value=10.0), s=st.floats(min_value=0.0, max_value=10.0))
+def test_exponential_memorylessness(lam, t, s):
+    d = Exponential(lam)
+    lhs = float(d.sf(t + s))
+    rhs = float(d.sf(t)) * float(d.sf(s))
+    assert abs(lhs - rhs) < 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a=st.floats(min_value=-100.0, max_value=100.0),
+    width=st.floats(min_value=0.01, max_value=100.0),
+    p=PROB,
+)
+def test_uniform_quantile_linear(a, width, p):
+    d = Uniform(a, a + width)
+    assert abs(float(d.quantile(p)) - (a + p * width)) < 1e-9 * max(1.0, abs(a), width)

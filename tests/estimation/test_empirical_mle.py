@@ -1,0 +1,89 @@
+"""Empirical (biased) estimator and the censored-MLE reference."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import LogNormal, Normal
+from repro.errors import EstimationError
+from repro.estimation import (
+    CensoredMLEEstimator,
+    EmpiricalEstimator,
+    OrderStatisticEstimator,
+)
+
+
+class TestEmpirical:
+    def test_underestimates_mu_on_early_prefixes(self, rng):
+        # the documented failure mode: earliest r of k are the smallest
+        truth = LogNormal(2.77, 0.84)
+        est = EmpiricalEstimator("lognormal")
+        draws = np.sort(truth.sample((150, 50), seed=rng), axis=1)[:, :10]
+        mus = [est.estimate(p, 50).mu for p in draws]
+        assert float(np.mean(mus)) < 2.77 - 0.5
+
+    def test_unbiased_on_full_sample(self, rng):
+        truth = LogNormal(1.5, 0.6)
+        est = EmpiricalEstimator("lognormal")
+        draws = np.sort(truth.sample((150, 30), seed=rng), axis=1)
+        mus = [est.estimate(p, 30).mu for p in draws]
+        assert float(np.mean(mus)) == pytest.approx(1.5, abs=0.05)
+
+    def test_normal_family(self, rng):
+        truth = Normal(10.0, 2.0)
+        est = EmpiricalEstimator("normal")
+        fit = est.estimate(np.sort(truth.sample(20, seed=rng)), 20)
+        assert fit.family == "normal"
+        assert fit.method == "empirical"
+
+    def test_exponential_family(self):
+        est = EmpiricalEstimator("exponential")
+        fit = est.estimate([1.0, 2.0, 3.0], 10)
+        assert fit.mu == pytest.approx(0.5)  # rate = 1/mean
+
+    def test_validation(self):
+        est = EmpiricalEstimator("lognormal")
+        with pytest.raises(EstimationError):
+            est.estimate([1.0], 5)
+        with pytest.raises(EstimationError):
+            est.estimate([0.0, 1.0], 5)
+
+
+class TestCensoredMLE:
+    def test_recovers_parameters_from_prefix(self, rng):
+        truth = LogNormal(2.0, 0.8)
+        est = CensoredMLEEstimator("lognormal")
+        draws = np.sort(truth.sample((40, 30), seed=rng), axis=1)[:, :12]
+        fits = [est.estimate(p, 30) for p in draws]
+        assert float(np.mean([f.mu for f in fits])) == pytest.approx(2.0, abs=0.15)
+        assert float(np.mean([f.sigma for f in fits])) == pytest.approx(0.8, abs=0.15)
+
+    def test_at_least_as_good_as_pairwise_on_likelihood(self, rng):
+        from repro.orderstats import censored_log_likelihood
+
+        truth = LogNormal(1.0, 0.5)
+        mle = CensoredMLEEstimator("lognormal")
+        pairwise = OrderStatisticEstimator("lognormal")
+        sample = np.sort(truth.sample(25, seed=rng))[:10]
+        ll_mle = censored_log_likelihood(
+            mle.estimate(sample, 25).to_distribution(), sample, 25
+        )
+        ll_pair = censored_log_likelihood(
+            pairwise.estimate(sample, 25).to_distribution(), sample, 25
+        )
+        assert ll_mle >= ll_pair - 1e-6
+
+    def test_normal_family(self, rng):
+        truth = Normal(5.0, 1.0)
+        est = CensoredMLEEstimator("normal")
+        sample = np.sort(truth.sample(30, seed=rng))[:15]
+        fit = est.estimate(sample, 30)
+        assert fit.mu == pytest.approx(5.0, abs=1.0)
+
+    def test_exponential_not_supported(self):
+        with pytest.raises(EstimationError):
+            CensoredMLEEstimator("exponential")
+
+    def test_method_label(self, rng):
+        est = CensoredMLEEstimator("lognormal")
+        sample = np.sort(LogNormal(0.0, 1.0).sample(10, seed=rng))[:5]
+        assert est.estimate(sample, 10).method == "censored-mle"

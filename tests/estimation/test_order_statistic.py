@@ -1,0 +1,129 @@
+"""Cedar's order-statistic estimator (the paper's §4.2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential, LogNormal, Normal
+from repro.errors import EstimationError
+from repro.estimation import OrderStatisticEstimator
+
+
+def _arrival_prefixes(dist, k, r, trials, rng):
+    draws = np.sort(np.asarray(dist.sample((trials, k), seed=rng)), axis=1)
+    return draws[:, :r]
+
+
+class TestLogNormalFamily:
+    def test_debiased_on_early_prefixes(self, rng):
+        truth = LogNormal(2.77, 0.84)
+        est = OrderStatisticEstimator("lognormal")
+        prefixes = _arrival_prefixes(truth, 50, 10, 200, rng)
+        mus = [est.estimate(p, 50).mu for p in prefixes]
+        assert float(np.mean(mus)) == pytest.approx(2.77, abs=0.15)
+
+    def test_error_shrinks_with_more_arrivals(self, rng):
+        truth = LogNormal(2.0, 0.7)
+        est = OrderStatisticEstimator("lognormal")
+        errors = {}
+        for r in (3, 10, 30):
+            prefixes = _arrival_prefixes(truth, 50, r, 150, rng)
+            errs = [abs(est.estimate(p, 50).mu - 2.0) for p in prefixes]
+            errors[r] = float(np.mean(errs))
+        assert errors[30] < errors[10] < errors[3]
+
+    def test_beats_empirical_bias(self, rng):
+        from repro.estimation import EmpiricalEstimator
+
+        truth = LogNormal(2.77, 0.84)
+        cedar = OrderStatisticEstimator("lognormal")
+        naive = EmpiricalEstimator("lognormal")
+        prefixes = _arrival_prefixes(truth, 50, 10, 200, rng)
+        cedar_err = np.mean([abs(cedar.estimate(p, 50).mu - 2.77) for p in prefixes])
+        naive_err = np.mean([abs(naive.estimate(p, 50).mu - 2.77) for p in prefixes])
+        assert cedar_err < naive_err / 2.0
+
+    def test_full_sample_consistent(self, rng):
+        truth = LogNormal(1.0, 0.5)
+        est = OrderStatisticEstimator("lognormal")
+        prefixes = _arrival_prefixes(truth, 40, 40, 200, rng)
+        fits = [est.estimate(p, 40) for p in prefixes]
+        assert float(np.mean([f.mu for f in fits])) == pytest.approx(1.0, abs=0.05)
+        assert float(np.mean([f.sigma for f in fits])) == pytest.approx(0.5, abs=0.08)
+
+    def test_rejects_nonpositive_arrivals(self):
+        est = OrderStatisticEstimator("lognormal")
+        with pytest.raises(EstimationError):
+            est.estimate([-1.0, 2.0], 10)
+
+    def test_to_distribution(self):
+        est = OrderStatisticEstimator("lognormal")
+        fit = est.estimate([1.0, 2.0, 3.0], 10)
+        dist = fit.to_distribution()
+        assert isinstance(dist, LogNormal)
+        assert dist.mu == fit.mu
+
+    def test_ties_produce_sigma_floor(self):
+        est = OrderStatisticEstimator("lognormal")
+        fit = est.estimate([2.0, 2.0, 2.0], 10)
+        assert fit.sigma > 0.0
+
+
+class TestNormalFamily:
+    def test_debiased_estimates(self, rng):
+        truth = Normal(40.0, 10.0)
+        est = OrderStatisticEstimator("normal")
+        prefixes = _arrival_prefixes(truth, 50, 12, 200, rng)
+        fits = [est.estimate(p, 50) for p in prefixes]
+        assert float(np.mean([f.mu for f in fits])) == pytest.approx(40.0, rel=0.03)
+        assert float(np.mean([f.sigma for f in fits])) == pytest.approx(10.0, rel=0.25)
+
+    def test_negative_arrivals_allowed(self):
+        est = OrderStatisticEstimator("normal")
+        fit = est.estimate([-3.0, -1.0, 2.0], 10)
+        assert fit.family == "normal"
+
+
+class TestExponentialFamily:
+    def test_rate_recovered(self, rng):
+        truth = Exponential(lam=2.0)
+        est = OrderStatisticEstimator("exponential")
+        prefixes = _arrival_prefixes(truth, 30, 8, 300, rng)
+        rates = [est.estimate(p, 30).mu for p in prefixes]
+        assert float(np.mean(rates)) == pytest.approx(2.0, rel=0.1)
+
+    def test_to_distribution_rate_convention(self):
+        est = OrderStatisticEstimator("exponential")
+        fit = est.estimate([0.1, 0.2, 0.5], 10)
+        dist = fit.to_distribution()
+        assert isinstance(dist, Exponential)
+        assert dist.lam == fit.mu
+
+
+class TestValidation:
+    def test_needs_min_samples(self):
+        est = OrderStatisticEstimator("lognormal")
+        with pytest.raises(EstimationError):
+            est.estimate([1.0], 10)
+
+    def test_rejects_unsorted(self):
+        est = OrderStatisticEstimator("lognormal")
+        with pytest.raises(EstimationError):
+            est.estimate([3.0, 1.0], 10)
+
+    def test_rejects_more_than_k(self):
+        est = OrderStatisticEstimator("lognormal")
+        with pytest.raises(EstimationError):
+            est.estimate([1.0, 2.0, 3.0], 2)
+
+    def test_unknown_family(self):
+        with pytest.raises(EstimationError):
+            OrderStatisticEstimator("pareto")
+
+    def test_score_method_blom_close_to_exact(self, rng):
+        truth = LogNormal(2.0, 0.8)
+        exact = OrderStatisticEstimator("lognormal", score_method="exact")
+        blom = OrderStatisticEstimator("lognormal", score_method="blom")
+        prefixes = _arrival_prefixes(truth, 50, 15, 100, rng)
+        mu_exact = np.mean([exact.estimate(p, 50).mu for p in prefixes])
+        mu_blom = np.mean([blom.estimate(p, 50).mu for p in prefixes])
+        assert mu_exact == pytest.approx(mu_blom, abs=0.05)

@@ -1,0 +1,67 @@
+"""Streaming estimator facade."""
+
+import pytest
+
+from repro.distributions import LogNormal
+from repro.errors import EstimationError
+from repro.estimation import OrderStatisticEstimator, StreamingEstimator
+
+
+@pytest.fixture
+def stream():
+    return StreamingEstimator(OrderStatisticEstimator("lognormal"), k=10)
+
+
+class TestStreaming:
+    def test_not_ready_before_min_samples(self, stream):
+        assert not stream.ready
+        stream.observe(1.0)
+        assert not stream.ready
+        with pytest.raises(EstimationError):
+            stream.estimate()
+
+    def test_ready_after_two(self, stream):
+        stream.observe(1.0)
+        stream.observe(2.0)
+        assert stream.ready
+        assert isinstance(stream.estimate_distribution(), LogNormal)
+
+    def test_monotone_arrivals_enforced(self, stream):
+        stream.observe(2.0)
+        with pytest.raises(EstimationError):
+            stream.observe(1.0)
+
+    def test_complete_after_k(self, stream):
+        for i in range(10):
+            stream.observe(float(i + 1))
+        assert stream.complete
+        with pytest.raises(EstimationError):
+            stream.observe(99.0)
+
+    def test_estimate_cached_until_new_data(self, stream):
+        stream.observe(1.0)
+        stream.observe(2.0)
+        first = stream.estimate()
+        assert stream.estimate() is first
+        stream.observe(3.0)
+        assert stream.estimate() is not first
+
+    def test_estimate_updates_with_data(self, stream):
+        stream.observe(1.0)
+        stream.observe(2.0)
+        est2 = stream.estimate()
+        stream.observe(10.0)
+        est3 = stream.estimate()
+        assert est3.n_observed == 3
+        assert est2.n_observed == 2
+
+    def test_reset(self, stream):
+        stream.observe(1.0)
+        stream.observe(2.0)
+        stream.reset()
+        assert stream.n_observed == 0
+        assert not stream.ready
+
+    def test_invalid_k(self):
+        with pytest.raises(EstimationError):
+            StreamingEstimator(OrderStatisticEstimator("lognormal"), k=0)

@@ -1,0 +1,86 @@
+"""Rolling distribution tracker (§4.2.1 periodic offline re-fit)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import LogNormal, Normal
+from repro.errors import EstimationError
+from repro.estimation import DistributionTracker
+
+
+class TestLifecycle:
+    def test_not_ready_before_min_samples(self):
+        tracker = DistributionTracker(window=200, refit_every=50, min_samples=50)
+        for x in range(30):
+            tracker.observe(float(x + 1))
+        assert not tracker.ready
+        with pytest.raises(EstimationError):
+            tracker.current_fit()
+
+    def test_first_fit_at_min_samples(self, rng):
+        tracker = DistributionTracker(window=500, refit_every=100, min_samples=50)
+        tracker.observe_many(LogNormal(2.0, 0.6).sample(50, seed=rng))
+        assert tracker.ready
+        assert tracker.n_refits == 1
+
+    def test_refit_cadence(self, rng):
+        tracker = DistributionTracker(window=1000, refit_every=100, min_samples=50)
+        tracker.observe_many(LogNormal(2.0, 0.6).sample(350, seed=rng))
+        # fits at 50, then at 150, 250, 350
+        assert tracker.n_refits == 4
+
+    def test_window_bound(self, rng):
+        tracker = DistributionTracker(window=100, refit_every=50, min_samples=50)
+        tracker.observe_many(LogNormal(2.0, 0.6).sample(500, seed=rng))
+        assert tracker.n_samples == 100
+
+    def test_reset(self, rng):
+        tracker = DistributionTracker(window=200, refit_every=50, min_samples=50)
+        tracker.observe_many(LogNormal(2.0, 0.6).sample(60, seed=rng))
+        tracker.reset()
+        assert tracker.n_samples == 0
+        assert not tracker.ready
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            DistributionTracker(window=10, min_samples=50)
+        with pytest.raises(EstimationError):
+            DistributionTracker(refit_every=0)
+        with pytest.raises(EstimationError):
+            DistributionTracker(min_samples=5)
+        tracker = DistributionTracker(window=200, min_samples=50)
+        with pytest.raises(EstimationError):
+            tracker.observe(float("nan"))
+        with pytest.raises(EstimationError):
+            tracker.observe(-1.0)
+
+
+class TestFitQuality:
+    def test_identifies_lognormal_and_params(self, rng):
+        tracker = DistributionTracker(window=3000, refit_every=500, min_samples=200)
+        tracker.observe_many(LogNormal(2.77, 0.84).sample(3000, seed=rng))
+        fit = tracker.current_fit()
+        assert fit.family == "lognormal"
+        dist = tracker.current_distribution()
+        assert dist.mu == pytest.approx(2.77, abs=0.1)
+        assert dist.sigma == pytest.approx(0.84, abs=0.1)
+
+    def test_tracks_regime_change(self, rng):
+        # the window forgets the old regime; the fit follows the new one
+        tracker = DistributionTracker(window=500, refit_every=100, min_samples=100)
+        tracker.observe_many(LogNormal(1.0, 0.5).sample(500, seed=rng))
+        before = tracker.current_distribution().mu
+        tracker.observe_many(LogNormal(3.0, 0.5).sample(500, seed=rng))
+        after = tracker.current_distribution().mu
+        assert before == pytest.approx(1.0, abs=0.15)
+        assert after == pytest.approx(3.0, abs=0.15)
+
+    def test_candidate_restriction(self, rng):
+        tracker = DistributionTracker(
+            window=500,
+            refit_every=100,
+            min_samples=100,
+            candidates=["normal", "uniform"],
+        )
+        tracker.observe_many(np.abs(Normal(50.0, 5.0).sample(300, seed=rng)))
+        assert tracker.current_fit().family in ("normal", "uniform")

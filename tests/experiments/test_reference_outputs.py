@@ -1,0 +1,44 @@
+"""Regression against committed reference outputs.
+
+``benchmarks/expected/`` holds reports generated at a pinned seed. Every
+experiment is fully seeded, so regenerating with the same seed must
+reproduce the committed numbers *exactly*; the looser
+:func:`compare_reports` tolerance is a second line of defense against
+environment-level numeric jitter (BLAS, platform math).
+
+If an intentional algorithm change moves the numbers, regenerate the
+references (see the module docstring of ``repro.experiments.store``).
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments import ALL, compare_reports, load_report
+
+EXPECTED_DIR = pathlib.Path(__file__).parents[2] / "benchmarks" / "expected"
+SEED = 20260707
+
+CASES = {
+    "fig4": "fig04.json",
+    "fig6": "fig06.json",
+    "fig7b": "fig07b.json",
+    "fig9": "fig09.json",
+    "fig15": "fig15.json",
+    "fig17": "fig17.json",
+}
+
+
+@pytest.mark.parametrize("experiment,filename", sorted(CASES.items()))
+def test_reference_output(experiment, filename):
+    reference = load_report(EXPECTED_DIR / filename)
+    regenerated = ALL[experiment](scale="quick", seed=SEED)
+    diff = compare_reports(reference, regenerated)
+    assert diff.clean, (
+        f"{experiment} drifted from the committed reference: {diff.drifts}"
+    )
+
+
+def test_reference_files_all_used():
+    on_disk = {p.name for p in EXPECTED_DIR.glob("*.json")}
+    assert on_disk == set(CASES.values())

@@ -1,0 +1,203 @@
+"""Smoke + shape tests for every experiment module (quick scale).
+
+These assert the *qualitative* paper claims — who wins, direction of
+trends — not absolute numbers.
+"""
+
+import pytest
+
+from repro.experiments import ALL
+from repro.experiments import (
+    fig04_bing_rtt,
+    fig06_potential,
+    fig07_quality,
+    fig08_cdf,
+    fig09_estimation,
+    fig10_empirical,
+    fig11_online,
+    fig12_fanout,
+    fig13_levels,
+    fig14_interactive,
+    fig15_cosmos,
+    fig16_sigma,
+    fig17_gaussian,
+)
+from repro.experiments.common import ExperimentReport, pick
+from repro.errors import ConfigError
+
+SEED = 1234
+
+
+class TestCommon:
+    def test_pick(self):
+        assert pick("quick", 1, 2) == 1
+        assert pick("full", 1, 2) == 2
+        with pytest.raises(ConfigError):
+            pick("medium", 1, 2)
+
+    def test_report_table_and_csv(self):
+        rep = ExperimentReport(
+            experiment="x",
+            title="T",
+            headers=("a", "b"),
+            rows=((1, 2), (3, 4)),
+            notes="n",
+        )
+        assert "T" in rep.table()
+        assert "n" in rep.table()
+        assert rep.to_csv().startswith("a,b")
+        assert rep.column("b") == [2, 4]
+        with pytest.raises(ConfigError):
+            rep.column("c")
+
+    def test_registry_complete(self):
+        for fig in ("fig4", "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig10",
+                    "fig11", "fig12a", "fig12b", "fig13", "fig14", "fig15",
+                    "fig16-bing", "fig16-google", "fig16-facebook", "fig17"):
+            assert fig in ALL
+
+
+class TestFig4:
+    def test_lognormal_wins_and_stats_close(self):
+        rep = fig04_bing_rtt.run("quick", seed=SEED)
+        assert rep.summary["best_fit_is_lognormal"] == 1.0
+        assert rep.summary["median_us"] == pytest.approx(330.0, rel=0.25)
+
+
+class TestFig6:
+    def test_ideal_dominates_and_gains_decay(self):
+        rep = fig06_potential.run("quick", seed=SEED)
+        imps = [float(x) for x in rep.column("ideal_improvement_%")]
+        assert imps[0] > 50.0  # big potential at tight deadlines
+        assert imps[-1] < imps[0]  # decays with deadline
+        ideals = [float(x) for x in rep.column("ideal")]
+        bases = [float(x) for x in rep.column("proportional_split")]
+        assert all(i >= b - 0.02 for i, b in zip(ideals, bases))
+
+
+class TestFig7:
+    def test_simulation_half(self):
+        rep = fig07_quality.run_simulation("quick", seed=SEED)
+        assert rep.summary["improvement_at_tightest_deadline_%"] > 30.0
+        assert abs(rep.summary["cedar_vs_ideal_gap"]) < 0.08
+
+    def test_deployment_half(self):
+        rep = fig07_quality.run_deployment("quick", seed=SEED)
+        imps = [float(x) for x in rep.column("improvement_%")]
+        assert imps[0] > 20.0
+        cedars = [float(x) for x in rep.column("cedar")]
+        bases = [float(x) for x in rep.column("proportional_split")]
+        assert all(c >= b - 0.02 for c, b in zip(cedars, bases))
+
+
+class TestFig7Combined:
+    def test_combined_report_merges_both_halves(self):
+        rep = fig07_quality.run("quick", seed=SEED)
+        halves = {row[0] for row in rep.rows}
+        assert halves == {"deployment", "simulation"}
+        assert any(k.startswith("dep_") for k in rep.summary)
+        assert any(k.startswith("sim_") for k in rep.summary)
+
+
+class TestFig8:
+    def test_cdf_shape(self):
+        rep = fig08_cdf.run("quick", seed=SEED)
+        assert 0.15 <= rep.summary["fraction_over_50pct"] <= 0.85
+        assert rep.summary["bottom_fifth_improvement_%"] < 20.0
+        levels = [float(x) for x in rep.column("improvement_%")]
+        assert levels == sorted(levels)  # a CDF is monotone
+
+
+class TestFig9:
+    def test_orderstat_beats_empirical(self):
+        rep = fig09_estimation.run("quick", seed=SEED)
+        assert rep.summary["cedar_mu_error_at_10_%"] < 15.0
+        assert (
+            rep.summary["empirical_mu_error_at_10_%"]
+            > 2.0 * rep.summary["cedar_mu_error_at_10_%"]
+        )
+
+
+class TestFig10:
+    def test_orderstat_advantage(self):
+        rep = fig10_empirical.run("quick", seed=SEED)
+        assert rep.summary["orderstat_advantage_at_tightest_%"] > 10.0
+
+
+class TestFig11:
+    def test_online_learning_copes_with_load(self):
+        rep = fig11_online.run("quick", seed=SEED)
+        assert rep.summary["low-load_offline"] > 0.85
+        assert rep.summary["low-load_online"] > 0.85
+        # after the load rise, online Cedar retains more quality
+        assert (
+            rep.summary["high-load_online"]
+            > rep.summary["high-load_offline"] + 0.03
+        )
+
+
+class TestFig12:
+    def test_gains_grow_with_fanout(self):
+        rep = fig12_fanout.run_equal_fanout("quick", seed=SEED)
+        assert (
+            rep.summary["improvement_at_largest_fanout_%"]
+            > rep.summary["improvement_at_smallest_fanout_%"]
+        )
+
+    def test_ratio_sweep_positive_at_one(self):
+        rep = fig12_fanout.run_fanout_ratio("quick", seed=SEED)
+        assert rep.summary["improvement_at_ratio_1_%"] > 20.0
+
+
+class TestFig13:
+    def test_three_level_gains_at_least_two_level(self):
+        rep = fig13_levels.run("quick", seed=SEED)
+        rows2 = [r for r in rep.rows if r[0] == "2-level"]
+        rows3 = [r for r in rep.rows if r[0] == "3-level"]
+        # compare at the closest baseline-quality pair
+        best_pair = min(
+            ((r2, r3) for r2 in rows2 for r3 in rows3),
+            key=lambda pair: abs(pair[0][2] - pair[1][2]),
+        )
+        r2, r3 = best_pair
+        if abs(r2[2] - r3[2]) < 0.15:  # only meaningful when comparable
+            assert r3[4] >= r2[4] - 10.0
+
+
+class TestFig14:
+    def test_interactive_gains(self):
+        rep = fig14_interactive.run("quick", seed=SEED)
+        assert rep.summary["improvement_at_tightest_deadline_%"] > 25.0
+        assert (
+            rep.summary["improvement_at_longest_deadline_%"]
+            < rep.summary["improvement_at_tightest_deadline_%"]
+        )
+
+
+class TestFig15:
+    def test_offline_cedar_gains(self):
+        rep = fig15_cosmos.run("quick", seed=SEED)
+        assert rep.summary["offline_improvement_at_tightest_%"] > 20.0
+        assert (
+            rep.summary["offline_improvement_at_longest_%"]
+            < rep.summary["offline_improvement_at_tightest_%"]
+        )
+
+
+class TestFig16:
+    @pytest.mark.parametrize("variant", ["google", "facebook"])
+    def test_cedar_tracks_ideal(self, variant):
+        rep = fig16_sigma.run_variant(variant, "quick", seed=SEED)
+        cedar = rep.summary["cedar_improvement_at_max_sigma_%"]
+        ideal = rep.summary["ideal_improvement_at_max_sigma_%"]
+        assert cedar > 10.0
+        assert abs(cedar - ideal) < max(15.0, 0.3 * ideal)
+
+
+class TestFig17:
+    def test_gaussian_modest_gains_high_quality(self):
+        rep = fig17_gaussian.run("quick", seed=SEED)
+        assert rep.summary["max_improvement_%"] > 3.0
+        cedars = [float(x) for x in rep.column("cedar")]
+        bases = [float(x) for x in rep.column("proportional_split")]
+        assert all(c >= b - 0.03 for c, b in zip(cedars, bases))

@@ -1,0 +1,92 @@
+"""Report persistence and drift comparison."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import (
+    ExperimentReport,
+    compare_reports,
+    load_report,
+    save_report,
+)
+
+REPORT = ExperimentReport(
+    experiment="demo",
+    title="Demo report",
+    headers=("deadline", "quality", "label"),
+    rows=((500, 0.41, "a"), (1000, 0.72, "b")),
+    notes="n",
+    summary={"headline": 1.5},
+)
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        path = save_report(REPORT, tmp_path, metadata={"seed": 1})
+        loaded = load_report(path)
+        assert loaded.experiment == "demo"
+        assert loaded.headers == REPORT.headers
+        assert loaded.rows == REPORT.rows
+        assert loaded.summary["headline"] == 1.5
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_report(tmp_path / "nope.json")
+
+    def test_load_bad_version(self, tmp_path):
+        path = save_report(REPORT, tmp_path)
+        doc = path.read_text().replace('"format_version": 1', '"format_version": 9')
+        path.write_text(doc)
+        with pytest.raises(ConfigError):
+            load_report(path)
+
+
+class TestCompare:
+    def test_identical_clean(self):
+        diff = compare_reports(REPORT, REPORT)
+        assert diff.clean
+        assert diff.max_rel_drift == 0.0
+
+    def test_small_drift_tolerated(self):
+        new = dataclasses.replace(
+            REPORT, rows=((500, 0.42, "a"), (1000, 0.73, "b"))
+        )
+        assert compare_reports(REPORT, new).clean
+
+    def test_large_drift_reported(self):
+        new = dataclasses.replace(
+            REPORT, rows=((500, 0.80, "a"), (1000, 0.72, "b"))
+        )
+        diff = compare_reports(REPORT, new)
+        assert not diff.clean
+        assert diff.drifts[0][1] == "quality"
+        assert diff.drifts[0][2] == pytest.approx(0.41)
+
+    def test_non_numeric_change_raises(self):
+        new = dataclasses.replace(
+            REPORT, rows=((500, 0.41, "CHANGED"), (1000, 0.72, "b"))
+        )
+        with pytest.raises(ConfigError):
+            compare_reports(REPORT, new)
+
+    def test_structural_mismatch_raises(self):
+        other = dataclasses.replace(REPORT, experiment="other")
+        with pytest.raises(ConfigError):
+            compare_reports(REPORT, other)
+        fewer = dataclasses.replace(REPORT, rows=(REPORT.rows[0],))
+        with pytest.raises(ConfigError):
+            compare_reports(REPORT, fewer)
+        cols = dataclasses.replace(REPORT, headers=("a", "b", "c"))
+        with pytest.raises(ConfigError):
+            compare_reports(REPORT, cols)
+
+    def test_end_to_end_same_seed_clean(self, tmp_path):
+        from repro.experiments import fig09_estimation
+
+        a = fig09_estimation.run("quick", seed=4)
+        path = save_report(a, tmp_path)
+        b = fig09_estimation.run("quick", seed=4)
+        diff = compare_reports(load_report(path), b)
+        assert diff.clean

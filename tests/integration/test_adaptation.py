@@ -1,0 +1,92 @@
+"""Two-time-scale adaptation: tracker + Cedar on a diurnal workload."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CedarOfflinePolicy,
+    CedarPolicy,
+    QueryContext,
+    Stage,
+    TreeSpec,
+)
+from repro.estimation import DistributionTracker
+from repro.rng import resolve_rng
+from repro.simulation import simulate_query
+from repro.traces import DiurnalWorkload, LogNormalStageSpec
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    workload = DiurnalWorkload(
+        base=LogNormalStageSpec(mu=2.6, sigma=0.84, fanout=15, mu_jitter=0.3),
+        upper=LogNormalStageSpec(mu=2.2, sigma=0.6, fanout=6),
+        amplitude=1.3,
+        period=24,
+    )
+    return workload
+
+
+class TestDiurnalAdaptation:
+    def test_tracker_follows_the_cycle(self, scenario):
+        tracker = DistributionTracker(window=120, refit_every=40, min_samples=60)
+        rng = resolve_rng(2)
+        fits = []
+        for q in range(48):
+            tree = scenario.sample_query(rng)
+            tracker.observe_many(tree.distributions[0].sample(10, seed=rng))
+            if tracker.ready:
+                fits.append((q, tracker.current_distribution()))
+        # the tracked mu moves over the cycle
+        mus = [d.mu for _, d in fits if d.family == "lognormal"]
+        assert max(mus) - min(mus) > 0.4
+
+    def test_windowed_model_at_least_frozen(self, scenario):
+        scenario.reset()
+        frozen = scenario.offline_tree()
+        upper = frozen.stages[1]
+        tracker = DistributionTracker(window=120, refit_every=40, min_samples=60)
+        frozen_policy = CedarOfflinePolicy(grid_points=128)
+        windowed_policy = CedarOfflinePolicy(grid_points=128)
+        rng = resolve_rng(7)
+        frozen_q, windowed_q = [], []
+        for q in range(36):
+            tree = scenario.sample_query(rng)
+            tracker.observe_many(tree.distributions[0].sample(10, seed=rng))
+            if tracker.ready and tracker.current_distribution().family == "lognormal":
+                offline = TreeSpec(
+                    [Stage(tracker.current_distribution(), 15), upper]
+                )
+            else:
+                offline = frozen
+            frozen_q.append(
+                simulate_query(
+                    QueryContext(
+                        deadline=55.0, offline_tree=frozen, true_tree=tree
+                    ),
+                    frozen_policy,
+                    seed=q,
+                ).quality
+            )
+            windowed_q.append(
+                simulate_query(
+                    QueryContext(
+                        deadline=55.0, offline_tree=offline, true_tree=tree
+                    ),
+                    windowed_policy,
+                    seed=q,
+                ).quality
+            )
+        assert float(np.mean(windowed_q)) >= float(np.mean(frozen_q)) - 0.03
+
+    def test_online_cedar_on_diurnal(self, scenario):
+        scenario.reset()
+        frozen = scenario.offline_tree()
+        cedar = CedarPolicy(grid_points=128)
+        rng = resolve_rng(9)
+        qualities = []
+        for q in range(18):
+            tree = scenario.sample_query(rng)
+            ctx = QueryContext(deadline=55.0, offline_tree=frozen, true_tree=tree)
+            qualities.append(simulate_query(ctx, cedar, seed=q).quality)
+        assert 0.0 < float(np.mean(qualities)) <= 1.0

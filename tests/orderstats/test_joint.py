@@ -1,0 +1,84 @@
+"""Censored joint likelihood and exponential spacings."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential, LogNormal
+from repro.errors import DistributionError
+from repro.orderstats import (
+    censored_log_likelihood,
+    exponential_spacing_rates,
+    joint_pdf_first_r,
+)
+
+
+class TestCensoredLikelihood:
+    def test_full_sample_matches_iid_likelihood_plus_coeff(self):
+        d = Exponential(lam=1.0)
+        obs = [0.2, 0.5, 1.1]
+        ll = censored_log_likelihood(d, obs, k=3)
+        iid = sum(math.log(float(d.pdf(t))) for t in obs)
+        coeff = math.log(math.factorial(3))
+        assert ll == pytest.approx(iid + coeff, rel=1e-9)
+
+    def test_censoring_term(self):
+        d = Exponential(lam=1.0)
+        obs = [0.2, 0.5]
+        k = 4
+        ll = censored_log_likelihood(d, obs, k)
+        iid = sum(math.log(float(d.pdf(t))) for t in obs)
+        coeff = math.log(math.factorial(4) / math.factorial(2))
+        tail = 2 * math.log(float(d.sf(0.5)))
+        assert ll == pytest.approx(iid + coeff + tail, rel=1e-9)
+
+    def test_true_params_beat_wrong_params_on_average(self, rng):
+        truth = LogNormal(1.0, 0.5)
+        wrong = LogNormal(2.5, 0.5)
+        wins = 0
+        trials = 30
+        for _ in range(trials):
+            sample = np.sort(truth.sample(20, seed=rng))[:8]
+            if censored_log_likelihood(truth, sample, 20) > censored_log_likelihood(
+                wrong, sample, 20
+            ):
+                wins += 1
+        assert wins > trials * 0.8
+
+    def test_validation(self):
+        d = Exponential(lam=1.0)
+        with pytest.raises(DistributionError):
+            censored_log_likelihood(d, [], 3)
+        with pytest.raises(DistributionError):
+            censored_log_likelihood(d, [1.0, 2.0, 3.0, 4.0], 3)
+        with pytest.raises(DistributionError):
+            censored_log_likelihood(d, [2.0, 1.0], 3)
+
+    def test_zero_density_gives_minus_inf(self):
+        d = Exponential(lam=1.0)
+        assert censored_log_likelihood(d, [-1.0, 0.5], 3) == -math.inf
+        assert joint_pdf_first_r(d, [-1.0, 0.5], 3) == 0.0
+
+    def test_joint_pdf_positive_on_support(self):
+        d = Exponential(lam=1.0)
+        assert joint_pdf_first_r(d, [0.1, 0.2], 5) > 0.0
+
+
+class TestSpacings:
+    def test_rates_descend(self):
+        rates = exponential_spacing_rates(5, lam=2.0)
+        np.testing.assert_allclose(rates, [10.0, 8.0, 6.0, 4.0, 2.0])
+
+    def test_spacing_distribution_monte_carlo(self, rng):
+        # first spacing of k exponentials ~ Exp(k * lam)
+        lam, k = 1.0, 8
+        draws = np.sort(Exponential(lam).sample((20_000, k), seed=rng), axis=1)
+        first = draws[:, 0]
+        assert float(np.mean(first)) == pytest.approx(1.0 / (k * lam), rel=0.03)
+
+    def test_validation(self):
+        with pytest.raises(DistributionError):
+            exponential_spacing_rates(0)
+        with pytest.raises(DistributionError):
+            exponential_spacing_rates(3, lam=0.0)

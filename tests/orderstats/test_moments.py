@@ -1,0 +1,116 @@
+"""Order-statistic marginals and the arrival-count identities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential, LogNormal, Uniform
+from repro.errors import DistributionError
+from repro.orderstats import (
+    OrderStatistic,
+    expected_arrivals,
+    expected_arrivals_given_incomplete,
+    expected_exponential_order_stat,
+    expected_uniform_order_stat,
+    exponential_order_stat_scores,
+)
+
+
+class TestOrderStatisticMarginal:
+    def test_uniform_marginal_is_beta_mean(self):
+        # E[U_(i:k)] = i/(k+1)
+        for i, k in ((1, 5), (3, 5), (5, 5)):
+            os = OrderStatistic(Uniform(0, 1), i, k)
+            assert os.mean() == pytest.approx(i / (k + 1), abs=1e-9)
+
+    def test_exponential_marginal_mean(self):
+        for i, k in ((1, 10), (5, 10), (10, 10)):
+            os = OrderStatistic(Exponential(lam=2.0), i, k)
+            assert os.mean() == pytest.approx(
+                expected_exponential_order_stat(i, k, lam=2.0), rel=1e-6
+            )
+
+    def test_cdf_min_and_max_closed_forms(self):
+        parent = Exponential(lam=1.0)
+        k = 7
+        x = 0.9
+        f = float(parent.cdf(x))
+        minimum = OrderStatistic(parent, 1, k)
+        maximum = OrderStatistic(parent, k, k)
+        assert float(minimum.cdf(x)) == pytest.approx(1.0 - (1.0 - f) ** k, rel=1e-9)
+        assert float(maximum.cdf(x)) == pytest.approx(f**k, rel=1e-9)
+
+    def test_sampling_matches_direct_order_stats(self, rng):
+        parent = LogNormal(1.0, 0.6)
+        k, i = 9, 3
+        os = OrderStatistic(parent, i, k)
+        direct = np.sort(parent.sample((4000, k), seed=rng), axis=1)[:, i - 1]
+        via_beta = np.asarray(os.sample(4000, seed=rng))
+        assert np.mean(via_beta) == pytest.approx(np.mean(direct), rel=0.05)
+        assert np.quantile(via_beta, 0.5) == pytest.approx(
+            np.quantile(direct, 0.5), rel=0.05
+        )
+
+    def test_quantile_roundtrip(self):
+        os = OrderStatistic(LogNormal(0.5, 1.0), 4, 10)
+        for p in (0.1, 0.5, 0.9):
+            assert float(os.cdf(os.quantile(p))) == pytest.approx(p, abs=1e-8)
+
+    def test_var_positive(self):
+        os = OrderStatistic(Uniform(0, 1), 2, 5)
+        # Beta(2,4) variance = 8/(36*7)
+        assert os.var() == pytest.approx(8.0 / (36.0 * 7.0), rel=1e-6)
+
+    def test_rank_validation(self):
+        with pytest.raises(DistributionError):
+            OrderStatistic(Uniform(0, 1), 0, 5)
+        with pytest.raises(DistributionError):
+            OrderStatistic(Uniform(0, 1), 6, 5)
+
+
+class TestClosedForms:
+    def test_uniform_scores(self):
+        assert expected_uniform_order_stat(1, 4) == pytest.approx(0.2)
+        assert expected_uniform_order_stat(4, 4) == pytest.approx(0.8)
+
+    def test_exponential_scores_are_harmonic_sums(self):
+        scores = exponential_order_stat_scores(4)
+        expected = [1 / 4, 1 / 4 + 1 / 3, 1 / 4 + 1 / 3 + 1 / 2, 1 / 4 + 1 / 3 + 1 / 2 + 1]
+        np.testing.assert_allclose(scores, expected)
+
+    def test_exponential_scores_rate_scaling(self):
+        assert expected_exponential_order_stat(3, 5, lam=2.0) == pytest.approx(
+            expected_exponential_order_stat(3, 5, lam=1.0) / 2.0
+        )
+
+
+class TestArrivalCounts:
+    def test_unconditional_expected_arrivals(self):
+        d = Uniform(0, 1)
+        assert expected_arrivals(d, 0.3, 10) == pytest.approx(3.0)
+
+    def test_conditional_exceeds_unconditional_never(self):
+        # E[N | N < k] <= E[N] always
+        d = LogNormal(0.0, 1.0)
+        for t in (0.5, 1.0, 3.0):
+            cond = expected_arrivals_given_incomplete(d, t, 20)
+            uncond = expected_arrivals(d, t, 20)
+            assert cond <= uncond + 1e-9
+
+    def test_conditional_matches_monte_carlo(self, rng):
+        d = Uniform(0, 1)
+        k, t = 6, 0.7
+        draws = np.asarray(d.sample((40_000, k), seed=rng))
+        counts = np.sum(draws <= t, axis=1)
+        incomplete = counts[counts < k]
+        mc = float(np.mean(incomplete))
+        assert expected_arrivals_given_incomplete(d, t, k) == pytest.approx(
+            mc, rel=0.02
+        )
+
+    def test_degenerate_cases(self):
+        d = Uniform(0, 1)
+        assert expected_arrivals_given_incomplete(d, 2.0, 5) == 5.0
+        with pytest.raises(DistributionError):
+            expected_arrivals_given_incomplete(d, 0.5, 0)

@@ -1,0 +1,92 @@
+"""Expected standard-normal order statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DistributionError
+from repro.orderstats import (
+    blom_normal_score,
+    blom_normal_scores,
+    exact_normal_score,
+    exact_normal_scores,
+    normal_scores,
+    simulated_normal_scores,
+)
+
+
+class TestExact:
+    def test_single_sample_is_zero(self):
+        assert exact_normal_score(1, 1) == 0.0
+
+    def test_antisymmetry(self):
+        for i, k in ((1, 5), (2, 7), (3, 10)):
+            assert exact_normal_score(i, k) == pytest.approx(
+                -exact_normal_score(k + 1 - i, k), abs=1e-10
+            )
+
+    def test_median_of_odd_sample_is_zero(self):
+        assert exact_normal_score(3, 5) == pytest.approx(0.0, abs=1e-10)
+        assert exact_normal_score(13, 25) == pytest.approx(0.0, abs=1e-10)
+
+    def test_known_value_two_samples(self):
+        # E[max of 2 standard normals] = 1/sqrt(pi)
+        assert exact_normal_score(2, 2) == pytest.approx(
+            1.0 / np.sqrt(np.pi), abs=1e-9
+        )
+
+    def test_known_value_three_samples(self):
+        # E[max of 3] = 1.5/sqrt(pi)
+        assert exact_normal_score(3, 3) == pytest.approx(
+            1.5 / np.sqrt(np.pi), abs=1e-9
+        )
+
+    def test_scores_increasing_in_rank(self):
+        scores = exact_normal_scores(20)
+        assert np.all(np.diff(scores) > 0.0)
+
+    def test_scores_sum_to_zero(self):
+        assert float(np.sum(exact_normal_scores(15))) == pytest.approx(0.0, abs=1e-9)
+
+    def test_max_grows_with_sample_size(self):
+        assert exact_normal_score(10, 10) < exact_normal_score(50, 50)
+
+    def test_rank_validation(self):
+        with pytest.raises(DistributionError):
+            exact_normal_score(0, 5)
+        with pytest.raises(DistributionError):
+            exact_normal_score(6, 5)
+        with pytest.raises(DistributionError):
+            exact_normal_score(1, 0)
+
+
+class TestBlom:
+    def test_close_to_exact(self):
+        for k in (5, 20, 50):
+            exact = exact_normal_scores(k)
+            blom = blom_normal_scores(k)
+            assert np.max(np.abs(exact - blom)) < 0.02
+
+    def test_antisymmetry(self):
+        scores = blom_normal_scores(9)
+        np.testing.assert_allclose(scores, -scores[::-1], atol=1e-12)
+
+    def test_scalar_matches_vector(self):
+        vec = blom_normal_scores(10)
+        for i in range(1, 11):
+            assert blom_normal_score(i, 10) == pytest.approx(vec[i - 1])
+
+
+class TestSimulated:
+    def test_close_to_exact(self, rng):
+        sim = simulated_normal_scores(10, trials=40_000, seed=rng)
+        exact = exact_normal_scores(10)
+        assert np.max(np.abs(sim - exact)) < 0.02
+
+
+class TestDispatch:
+    def test_methods(self):
+        assert len(normal_scores(8, "exact")) == 8
+        assert len(normal_scores(8, "blom")) == 8
+        assert len(normal_scores(8, "simulated")) == 8
+        with pytest.raises(DistributionError):
+            normal_scores(8, "magic")

@@ -1,0 +1,61 @@
+"""Property-based tests on order-statistic math."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import LogNormal, Uniform
+from repro.orderstats import (
+    OrderStatistic,
+    blom_normal_scores,
+    exponential_order_stat_scores,
+)
+
+RANK_K = st.integers(min_value=1, max_value=60)
+
+
+@settings(max_examples=50, deadline=None)
+@given(k=RANK_K)
+def test_blom_scores_strictly_increasing(k):
+    scores = blom_normal_scores(k)
+    assert np.all(np.diff(scores) > 0.0) or k == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(k=RANK_K)
+def test_exponential_scores_increasing_and_positive(k):
+    scores = exponential_order_stat_scores(k)
+    assert np.all(scores > 0.0)
+    assert np.all(np.diff(scores) > 0.0) or k == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    k=st.integers(min_value=2, max_value=25),
+    i=st.integers(min_value=1, max_value=25),
+    p=st.floats(min_value=0.01, max_value=0.99),
+)
+def test_orderstat_cdf_decreases_with_rank(k, i, p):
+    # higher rank => stochastically larger => smaller CDF at any point
+    if i >= k:
+        i = k - 1
+    parent = LogNormal(0.0, 1.0)
+    x = float(parent.quantile(p))
+    lower = OrderStatistic(parent, i, k)
+    higher = OrderStatistic(parent, i + 1, k)
+    assert float(lower.cdf(x)) >= float(higher.cdf(x)) - 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    k=st.integers(min_value=1, max_value=25),
+    p=st.floats(min_value=0.01, max_value=0.99),
+)
+def test_orderstat_bounded_by_parent_extremes(k, p):
+    # min is stochastically smaller than parent, max larger
+    parent = Uniform(0, 1)
+    x = float(parent.quantile(p))
+    minimum = OrderStatistic(parent, 1, k)
+    maximum = OrderStatistic(parent, k, k)
+    assert float(minimum.cdf(x)) >= float(parent.cdf(x)) - 1e-12
+    assert float(maximum.cdf(x)) <= float(parent.cdf(x)) + 1e-12

@@ -1,0 +1,176 @@
+"""Real-time endhost service (asyncio)."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.core import (
+    CedarPolicy,
+    FixedStopPolicy,
+    ProportionalSplitPolicy,
+    QueryContext,
+    StaticController,
+    TreeSpec,
+)
+from repro.distributions import LogNormal, Uniform
+from repro.errors import ConfigError
+from repro.service import (
+    AggregatorService,
+    Clock,
+    Output,
+    ProcessWorker,
+    Shipment,
+    decode,
+    encode,
+    run_realtime_query,
+)
+
+#: 1 virtual unit = 2 ms of wall time; tests stay under ~1 s each.
+SCALE = 0.002
+
+
+class TestClock:
+    def test_requires_start(self):
+        clock = Clock()
+        with pytest.raises(ConfigError):
+            clock.now()
+
+    def test_virtual_time_scaling(self):
+        clock = Clock(time_scale=0.001)
+        clock.start()
+        time.sleep(0.05)
+        assert clock.now() == pytest.approx(50.0, rel=0.5)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigError):
+            Clock(time_scale=0.0)
+
+    def test_sleep_until_past_is_noop(self):
+        async def go():
+            clock = Clock(time_scale=0.001)
+            clock.start()
+            start = time.monotonic()
+            await clock.sleep_until(-5.0)
+            return time.monotonic() - start
+
+        assert asyncio.run(go()) < 0.05
+
+
+class TestMessages:
+    def test_output_roundtrip(self):
+        msg = Output(process_id=3, aggregator_id=1, emitted_at=2.5, value=7.0)
+        assert decode(encode(msg)) == msg
+
+    def test_shipment_roundtrip(self):
+        msg = Shipment(aggregator_id=2, payload=18, value=18.0, departed_at=9.0)
+        assert decode(encode(msg)) == msg
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ConfigError):
+            decode(b"not json")
+        with pytest.raises(ConfigError):
+            decode(b'{"type": "unknown"}')
+
+
+class TestAggregatorService:
+    def _run_agg(self, durations, stop, fanout=None):
+        async def go():
+            clock = Clock(time_scale=SCALE)
+            inbox: asyncio.Queue = asyncio.Queue()
+            upstream: asyncio.Queue = asyncio.Queue()
+            k = fanout if fanout is not None else len(durations)
+            service = AggregatorService(
+                aggregator_id=0,
+                fanout=k,
+                controller=StaticController(stop),
+                inbox=inbox,
+                upstream=upstream,
+                clock=clock,
+            )
+            clock.start()
+            workers = [
+                ProcessWorker(i, 0, d, inbox, clock).run()
+                for i, d in enumerate(durations)
+            ]
+            results = await asyncio.gather(
+                service.run(), *workers, return_exceptions=True
+            )
+            return results[0]
+
+        return asyncio.run(go())
+
+    def test_collects_all_when_time_allows(self):
+        shipment = self._run_agg([1.0, 2.0, 3.0], stop=50.0)
+        assert shipment.payload == 3
+        assert shipment.value == 3.0
+        assert shipment.departed_at < 50.0  # early departure
+
+    def test_times_out_with_partial_results(self):
+        shipment = self._run_agg([1.0, 2.0, 200.0], stop=10.0, fanout=3)
+        assert shipment.payload == 2
+        assert shipment.departed_at == pytest.approx(10.0, abs=3.0)
+
+    def test_zero_collected_ships_empty(self):
+        shipment = self._run_agg([100.0], stop=5.0, fanout=1)
+        assert shipment.payload == 0
+        assert shipment.value == 0.0
+
+    def test_invalid_fanout(self):
+        with pytest.raises(ConfigError):
+            AggregatorService(0, 0, StaticController(1.0), None, None, Clock())
+
+
+class TestEndToEnd:
+    TREE = TreeSpec.two_level(Uniform(1.0, 5.0), 6, Uniform(1.0, 2.0), 4)
+
+    def test_generous_deadline_full_quality(self):
+        ctx = QueryContext(deadline=100.0, offline_tree=self.TREE, true_tree=self.TREE)
+        res = run_realtime_query(
+            ctx, FixedStopPolicy(stops=(50.0,)), time_scale=SCALE, seed=1
+        )
+        assert res.quality == 1.0
+        assert res.shipments_received == 4
+
+    def test_impossible_deadline_zero_quality(self):
+        ctx = QueryContext(deadline=0.5, offline_tree=self.TREE, true_tree=self.TREE)
+        res = run_realtime_query(
+            ctx, FixedStopPolicy(stops=(0.1,)), time_scale=SCALE, seed=1
+        )
+        assert res.quality == 0.0
+
+    def test_cedar_runs_on_real_timers(self):
+        tree = TreeSpec.two_level(LogNormal(1.5, 0.8), 8, LogNormal(0.7, 0.4), 4)
+        ctx = QueryContext(deadline=25.0, offline_tree=tree, true_tree=tree)
+        res = run_realtime_query(
+            ctx, CedarPolicy(grid_points=96), time_scale=SCALE, seed=2
+        )
+        assert 0.0 <= res.quality <= 1.0
+        assert res.elapsed_virtual <= 26.0
+
+    def test_policies_comparable_to_simulator(self):
+        """Real-time quality should be in the ballpark of the simulator's
+        (same tree, same policy); timers add jitter, not bias."""
+        from repro.simulation import simulate_query
+
+        tree = TreeSpec.two_level(LogNormal(1.5, 0.6), 8, LogNormal(0.7, 0.4), 4)
+        ctx = QueryContext(deadline=20.0, offline_tree=tree, true_tree=tree)
+        policy = ProportionalSplitPolicy()
+        real = [
+            run_realtime_query(ctx, policy, time_scale=SCALE, seed=s).quality
+            for s in range(4)
+        ]
+        sim = [simulate_query(ctx, policy, seed=s).quality for s in range(12)]
+        real_mean = sum(real) / len(real)
+        sim_mean = sum(sim) / len(sim)
+        assert abs(real_mean - sim_mean) < 0.3
+
+    def test_rejects_deeper_trees(self):
+        from repro.core import Stage
+
+        three = TreeSpec(
+            [Stage(Uniform(0, 1), 2), Stage(Uniform(0, 1), 2), Stage(Uniform(0, 1), 2)]
+        )
+        ctx = QueryContext(deadline=10.0, offline_tree=three, true_tree=three)
+        with pytest.raises(ConfigError):
+            run_realtime_query(ctx, FixedStopPolicy(stops=(1.0, 2.0)), seed=1)

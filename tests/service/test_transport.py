@@ -1,0 +1,183 @@
+"""TCP transport: real sockets on localhost."""
+
+import asyncio
+
+import pytest
+
+from repro.core import StaticController
+from repro.core.aggregator import AdaptiveController
+from repro.core import Stage, WaitOptimizer
+from repro.distributions import LogNormal
+from repro.errors import ConfigError
+from repro.estimation import OrderStatisticEstimator
+from repro.service import (
+    AggregatorServer,
+    Clock,
+    Output,
+    receive_shipment,
+    send_output,
+)
+
+SCALE = 0.002
+
+
+async def _root_endpoint():
+    """A localhost listener standing in for the root; returns (server,
+    port, queue of shipments)."""
+    shipments: asyncio.Queue = asyncio.Queue()
+
+    async def handle(reader, writer):
+        shipment = await receive_shipment(reader)
+        if shipment is not None:
+            await shipments.put(shipment)
+        writer.close()
+
+    server = await asyncio.start_server(handle, host="127.0.0.1", port=0)
+    return server, server.sockets[0].getsockname()[1], shipments
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestAggregatorServer:
+    def test_collects_over_sockets_and_ships(self):
+        async def go():
+            clock = Clock(time_scale=SCALE)
+            agg = AggregatorServer(
+                fanout=3, controller=StaticController(30.0), clock=clock
+            )
+            await agg.start()
+            root_server, root_port, shipments = await _root_endpoint()
+            clock.start()
+
+            workers = [
+                send_output(
+                    "127.0.0.1",
+                    agg.port,
+                    Output(process_id=i, aggregator_id=0, emitted_at=0.0, value=2.0),
+                    clock,
+                    delay=float(i + 1),
+                )
+                for i in range(3)
+            ]
+            _, root_writer = await asyncio.open_connection("127.0.0.1", root_port)
+            collect = agg.collect_and_ship(root_writer)
+            results = await asyncio.gather(collect, *workers)
+            shipment = await asyncio.wait_for(shipments.get(), timeout=5.0)
+            await agg.close()
+            root_server.close()
+            await root_server.wait_closed()
+            return results[0], shipment
+
+        local, via_socket = _run(go())
+        assert via_socket.payload == 3
+        assert via_socket.value == pytest.approx(6.0)
+        assert via_socket == local
+
+    def test_timeout_ships_partial(self):
+        async def go():
+            clock = Clock(time_scale=SCALE)
+            agg = AggregatorServer(
+                fanout=3, controller=StaticController(8.0), clock=clock
+            )
+            await agg.start()
+            root_server, root_port, shipments = await _root_endpoint()
+            clock.start()
+            workers = [
+                send_output(
+                    "127.0.0.1", agg.port,
+                    Output(process_id=0, aggregator_id=0, emitted_at=0.0, value=1.0),
+                    clock, delay=2.0,
+                ),
+                send_output(
+                    "127.0.0.1", agg.port,
+                    Output(process_id=1, aggregator_id=0, emitted_at=0.0, value=1.0),
+                    clock, delay=100.0,
+                ),
+            ]
+            _, root_writer = await asyncio.open_connection("127.0.0.1", root_port)
+            pending = [asyncio.ensure_future(w) for w in workers]
+            shipment = await agg.collect_and_ship(root_writer)
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+            await agg.close()
+            root_server.close()
+            await root_server.wait_closed()
+            return shipment
+
+        shipment = _run(go())
+        assert shipment.payload == 1
+        assert shipment.departed_at == pytest.approx(8.0, abs=3.0)
+
+    def test_adaptive_controller_over_sockets(self):
+        async def go():
+            clock = Clock(time_scale=SCALE)
+            optimizer = WaitOptimizer(
+                [Stage(LogNormal(0.5, 0.5), 4)], deadline=40.0, grid_points=96
+            )
+            controller = AdaptiveController(
+                OrderStatisticEstimator("lognormal"), optimizer, k=4, deadline=40.0
+            )
+            agg = AggregatorServer(fanout=4, controller=controller, clock=clock)
+            await agg.start()
+            root_server, root_port, shipments = await _root_endpoint()
+            clock.start()
+            workers = [
+                send_output(
+                    "127.0.0.1", agg.port,
+                    Output(process_id=i, aggregator_id=0, emitted_at=0.0, value=1.0),
+                    clock, delay=d,
+                )
+                for i, d in enumerate((1.0, 2.0, 3.0, 500.0))
+            ]
+            _, root_writer = await asyncio.open_connection("127.0.0.1", root_port)
+            pending = [asyncio.ensure_future(w) for w in workers]
+            shipment = await agg.collect_and_ship(root_writer)
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+            await agg.close()
+            root_server.close()
+            await root_server.wait_closed()
+            return shipment
+
+        shipment = _run(go())
+        # learned stop fires long before the deadline: the straggler is cut
+        assert shipment.payload == 3
+        assert shipment.departed_at < 40.0
+
+    def test_malformed_worker_ignored(self):
+        async def go():
+            clock = Clock(time_scale=SCALE)
+            agg = AggregatorServer(
+                fanout=1, controller=StaticController(6.0), clock=clock
+            )
+            await agg.start()
+            root_server, root_port, shipments = await _root_endpoint()
+            clock.start()
+            reader, writer = await asyncio.open_connection("127.0.0.1", agg.port)
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            writer.close()
+            _, root_writer = await asyncio.open_connection("127.0.0.1", root_port)
+            shipment = await agg.collect_and_ship(root_writer)
+            await agg.close()
+            root_server.close()
+            await root_server.wait_closed()
+            return shipment
+
+        shipment = _run(go())
+        assert shipment.payload == 0
+
+    def test_port_requires_start(self):
+        agg = AggregatorServer(
+            fanout=1, controller=StaticController(1.0), clock=Clock()
+        )
+        with pytest.raises(ConfigError):
+            agg.port
+
+    def test_invalid_fanout(self):
+        with pytest.raises(ConfigError):
+            AggregatorServer(fanout=0, controller=StaticController(1.0), clock=Clock())

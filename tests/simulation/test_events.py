@@ -1,0 +1,97 @@
+"""Discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import EventLoop
+
+
+class TestEventLoop:
+    def test_runs_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(3.0, lambda: order.append("c"))
+        loop.schedule(1.0, lambda: order.append("a"))
+        loop.schedule(2.0, lambda: order.append("b"))
+        loop.run()
+        assert order == ["a", "b", "c"]
+        assert loop.now == 3.0
+
+    def test_fifo_among_simultaneous(self):
+        loop = EventLoop()
+        order = []
+        for tag in "abc":
+            loop.schedule(1.0, lambda tag=tag: order.append(tag))
+        loop.run()
+        assert order == ["a", "b", "c"]
+
+    def test_cancelled_events_skipped(self):
+        loop = EventLoop()
+        hits = []
+        ev = loop.schedule(1.0, lambda: hits.append("cancelled"))
+        loop.schedule(2.0, lambda: hits.append("kept"))
+        ev.cancel()
+        loop.run()
+        assert hits == ["kept"]
+
+    def test_events_can_schedule_events(self):
+        loop = EventLoop()
+        hits = []
+
+        def first():
+            hits.append(loop.now)
+            loop.schedule(1.5, lambda: hits.append(loop.now))
+
+        loop.schedule(1.0, first)
+        loop.run()
+        assert hits == [1.0, 2.5]
+
+    def test_until_bound_inclusive(self):
+        loop = EventLoop()
+        hits = []
+        loop.schedule(1.0, lambda: hits.append(1))
+        loop.schedule(2.0, lambda: hits.append(2))
+        loop.schedule(3.0, lambda: hits.append(3))
+        loop.run(until=2.0)
+        assert hits == [1, 2]
+        assert loop.now == 2.0
+        assert loop.pending == 1
+
+    def test_cannot_schedule_in_past(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: loop.schedule_at(0.5, lambda: None))
+        with pytest.raises(SimulationError):
+            loop.run()
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            loop.schedule(-1.0, lambda: None)
+
+    def test_nonfinite_time_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            loop.schedule_at(float("inf"), lambda: None)
+
+    def test_runaway_guard(self):
+        loop = EventLoop()
+
+        def rearm():
+            loop.schedule(1.0, rearm)
+
+        loop.schedule(1.0, rearm)
+        with pytest.raises(SimulationError):
+            loop.run(max_events=100)
+
+    def test_processed_counter(self):
+        loop = EventLoop()
+        for _ in range(5):
+            loop.schedule(1.0, lambda: None)
+        loop.run()
+        assert loop.processed == 5
+
+    def test_not_reentrant(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: loop.run())
+        with pytest.raises(SimulationError):
+            loop.run()

@@ -1,0 +1,85 @@
+"""Fault injection in the query simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import CedarPolicy, FixedStopPolicy, ProportionalSplitPolicy, QueryContext, TreeSpec
+from repro.distributions import LogNormal, Uniform
+from repro.errors import SimulationError
+from repro.simulation import FaultModel, simulate_query, simulate_query_with_faults
+
+TREE = TreeSpec.two_level(LogNormal(0.0, 0.8), 10, LogNormal(0.5, 0.5), 10)
+
+
+def _ctx(deadline=10.0):
+    return QueryContext(deadline=deadline, offline_tree=TREE, true_tree=TREE)
+
+
+class TestFaultModel:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            FaultModel(ship_loss_prob=-0.1)
+        with pytest.raises(SimulationError):
+            FaultModel(agg_crash_prob=1.1)
+
+    def test_no_faults_matches_plain_simulation(self):
+        ctx = _ctx()
+        policy = FixedStopPolicy(stops=(4.0,))
+        faulty = simulate_query_with_faults(ctx, policy, FaultModel(), seed=5)
+        plain = simulate_query(ctx, policy, seed=5)
+        assert faulty.quality == pytest.approx(plain.quality)
+        assert faulty.crashed_aggregators == 0
+        assert faulty.lost_shipments == 0
+
+
+class TestDegradation:
+    def test_ship_loss_scales_quality(self):
+        # with loss probability p, expected quality drops by ~p
+        tree = TreeSpec.two_level(Uniform(0, 0.1), 10, Uniform(0, 0.1), 40)
+        ctx = QueryContext(deadline=100.0, offline_tree=tree, true_tree=tree)
+        policy = FixedStopPolicy(stops=(50.0,))
+        results = [
+            simulate_query_with_faults(
+                ctx, policy, FaultModel(ship_loss_prob=0.3), seed=s
+            )
+            for s in range(30)
+        ]
+        mean_q = float(np.mean([r.quality for r in results]))
+        assert mean_q == pytest.approx(0.7, abs=0.06)
+
+    def test_crash_loses_payload(self):
+        tree = TreeSpec.two_level(Uniform(0, 0.1), 10, Uniform(0, 0.1), 40)
+        ctx = QueryContext(deadline=100.0, offline_tree=tree, true_tree=tree)
+        policy = FixedStopPolicy(stops=(50.0,))
+        res = simulate_query_with_faults(
+            ctx, policy, FaultModel(agg_crash_prob=1.0), seed=1
+        )
+        assert res.quality == 0.0
+        assert res.crashed_aggregators == 40
+
+    def test_policy_ordering_survives_faults(self):
+        # Cedar >= Proportional-split even on lossy infrastructure
+        from repro.traces.base import LogNormalStageSpec, LogNormalWorkload
+
+        wl = LogNormalWorkload(
+            [
+                LogNormalStageSpec(mu=1.5, sigma=0.84, fanout=15, mu_jitter=1.2),
+                LogNormalStageSpec(mu=0.5, sigma=0.5, fanout=10, mu_jitter=0.1),
+            ],
+            history_queries=40,
+            history_samples_per_query=20,
+        )
+        offline = wl.offline_tree()
+        faults = FaultModel(ship_loss_prob=0.1, agg_crash_prob=0.05)
+        rng = np.random.default_rng(3)
+        totals = {"cedar": 0.0, "prop": 0.0}
+        for q in range(15):
+            true = wl.sample_query(rng)
+            ctx = QueryContext(deadline=20.0, offline_tree=offline, true_tree=true)
+            totals["cedar"] += simulate_query_with_faults(
+                ctx, CedarPolicy(grid_points=96), faults, seed=q
+            ).quality
+            totals["prop"] += simulate_query_with_faults(
+                ctx, ProportionalSplitPolicy(), faults, seed=q
+            ).quality
+        assert totals["cedar"] >= totals["prop"] - 0.3

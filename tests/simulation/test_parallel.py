@@ -1,0 +1,80 @@
+"""Parallel experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.core import CedarPolicy, ProportionalSplitPolicy
+from repro.errors import ConfigError
+from repro.simulation import run_experiment, run_experiment_parallel
+from repro.traces.base import LogNormalStageSpec, LogNormalWorkload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return LogNormalWorkload(
+        [
+            LogNormalStageSpec(mu=1.5, sigma=0.8, fanout=10, mu_jitter=1.0),
+            LogNormalStageSpec(mu=0.5, sigma=0.5, fanout=6, mu_jitter=0.1),
+        ],
+        name="par-test",
+        history_queries=40,
+        history_samples_per_query=20,
+    )
+
+
+class TestParallelRunner:
+    def test_matches_serial_exactly(self, workload):
+        serial = run_experiment(
+            workload,
+            [ProportionalSplitPolicy(), CedarPolicy(grid_points=256)],
+            deadline=20.0,
+            n_queries=8,
+            seed=5,
+            agg_sample=4,
+        )
+        parallel = run_experiment_parallel(
+            workload,
+            ["proportional-split", "cedar"],
+            deadline=20.0,
+            n_queries=8,
+            seed=5,
+            agg_sample=4,
+            grid_points=256,
+            max_workers=2,
+        )
+        for name in ("proportional-split", "cedar"):
+            np.testing.assert_array_equal(
+                serial.qualities[name], parallel.qualities[name]
+            )
+
+    def test_single_worker_path(self, workload):
+        res = run_experiment_parallel(
+            workload,
+            ["proportional-split"],
+            deadline=20.0,
+            n_queries=4,
+            seed=2,
+            max_workers=1,
+        )
+        assert res.n_queries == 4
+        assert np.all(res.qualities["proportional-split"] >= 0.0)
+
+    def test_validation(self, workload):
+        with pytest.raises(ConfigError):
+            run_experiment_parallel(workload, ["nope"], 20.0, 4)
+        with pytest.raises(ConfigError):
+            run_experiment_parallel(workload, ["cedar", "cedar"], 20.0, 4)
+        with pytest.raises(ConfigError):
+            run_experiment_parallel(workload, ["cedar"], 20.0, 0)
+
+    def test_stats_interface_works(self, workload):
+        res = run_experiment_parallel(
+            workload,
+            ["proportional-split", "cedar"],
+            deadline=20.0,
+            n_queries=6,
+            seed=9,
+            max_workers=2,
+        )
+        assert res.improvement("cedar", "proportional-split") > -100.0
+        assert res.stats("cedar").n == 6

@@ -1,0 +1,116 @@
+"""Single-query simulation semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FixedStopPolicy,
+    QueryContext,
+    Stage,
+    TreeSpec,
+)
+from repro.distributions import LogNormal, Uniform
+from repro.simulation import simulate_query
+
+X1 = LogNormal(0.0, 0.8)
+X2 = LogNormal(0.5, 0.5)
+
+
+def _ctx(deadline=10.0, tree=None):
+    tree = tree or TreeSpec.two_level(X1, 10, X2, 5)
+    return QueryContext(deadline=deadline, offline_tree=tree, true_tree=tree)
+
+
+class TestBasics:
+    def test_quality_in_unit_interval(self, rng):
+        res = simulate_query(_ctx(), FixedStopPolicy(stops=(5.0,)), seed=rng)
+        assert 0.0 <= res.quality <= 1.0
+
+    def test_total_outputs_matches_tree(self):
+        res = simulate_query(_ctx(), FixedStopPolicy(stops=(5.0,)), seed=0)
+        assert res.total_outputs == 50
+
+    def test_zero_wait_gives_zero_quality(self):
+        # stop at t=0: nothing can have arrived (positive durations)
+        res = simulate_query(_ctx(), FixedStopPolicy(stops=(0.0,)), seed=0)
+        assert res.quality == 0.0
+
+    def test_huge_deadline_and_wait_gives_full_quality(self):
+        ctx = _ctx(deadline=1e6)
+        res = simulate_query(ctx, FixedStopPolicy(stops=(1e6,)), seed=0)
+        assert res.quality == 1.0
+        assert res.late_at_root == 0
+
+    def test_deterministic_given_seed(self):
+        a = simulate_query(_ctx(), FixedStopPolicy(stops=(4.0,)), seed=42)
+        b = simulate_query(_ctx(), FixedStopPolicy(stops=(4.0,)), seed=42)
+        assert a.quality == b.quality
+
+    def test_late_aggregators_drop_whole_payload(self):
+        # X2 always ~ e^{0.5}±; deadline too small for any shipment
+        tree = TreeSpec.two_level(Uniform(0.0, 0.1), 10, Uniform(5.0, 6.0), 5)
+        ctx = QueryContext(deadline=1.0, offline_tree=tree, true_tree=tree)
+        res = simulate_query(ctx, FixedStopPolicy(stops=(0.5,)), seed=0)
+        assert res.quality == 0.0
+        assert res.late_at_root == 5
+
+    def test_early_departure_when_all_arrive(self):
+        # processes all finish by 0.1; even with a huge stop the
+        # aggregator departs at the last arrival and beats the deadline
+        tree = TreeSpec.two_level(Uniform(0.0, 0.1), 10, Uniform(0.1, 0.2), 5)
+        ctx = QueryContext(deadline=1.0, offline_tree=tree, true_tree=tree)
+        res = simulate_query(ctx, FixedStopPolicy(stops=(0.9,)), seed=0)
+        assert res.quality == 1.0
+        assert res.mean_stops[0] < 0.2
+
+
+class TestMultiLevel:
+    def test_three_level_runs(self, rng):
+        tree = TreeSpec([Stage(X1, 4), Stage(X2, 4), Stage(X2, 4)])
+        ctx = QueryContext(deadline=20.0, offline_tree=tree, true_tree=tree)
+        res = simulate_query(ctx, FixedStopPolicy(stops=(5.0, 10.0)), seed=rng)
+        assert 0.0 <= res.quality <= 1.0
+        assert res.total_outputs == 64
+        assert len(res.mean_stops) == 2
+
+    def test_three_level_full_quality_with_slack(self):
+        tree = TreeSpec(
+            [Stage(Uniform(0, 0.1), 3), Stage(Uniform(0, 0.1), 3), Stage(Uniform(0, 0.1), 3)]
+        )
+        ctx = QueryContext(deadline=100.0, offline_tree=tree, true_tree=tree)
+        res = simulate_query(ctx, FixedStopPolicy(stops=(50.0, 80.0)), seed=0)
+        assert res.quality == 1.0
+
+
+class TestAggSample:
+    def test_two_level_subsampling_unbiased(self):
+        tree = TreeSpec.two_level(X1, 10, X2, 50)
+        ctx = QueryContext(deadline=8.0, offline_tree=tree, true_tree=tree)
+        policy = FixedStopPolicy(stops=(4.0,))
+        full = np.mean(
+            [simulate_query(ctx, policy, seed=s).quality for s in range(15)]
+        )
+        sampled = np.mean(
+            [
+                simulate_query(ctx, policy, seed=s, agg_sample=10).quality
+                for s in range(15)
+            ]
+        )
+        assert sampled == pytest.approx(full, abs=0.08)
+
+    def test_subsample_scales_included_outputs(self):
+        tree = TreeSpec.two_level(Uniform(0, 0.1), 10, Uniform(0, 0.1), 50)
+        ctx = QueryContext(deadline=100.0, offline_tree=tree, true_tree=tree)
+        res = simulate_query(
+            ctx, FixedStopPolicy(stops=(50.0,)), seed=0, agg_sample=10
+        )
+        assert res.quality == 1.0
+        assert res.included_outputs == 500  # scaled back to full tree
+
+    def test_invalid_agg_sample(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            simulate_query(
+                _ctx(), FixedStopPolicy(stops=(5.0,)), seed=0, agg_sample=0
+            )

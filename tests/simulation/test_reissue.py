@@ -1,0 +1,86 @@
+"""Cedar-guided request reissue (§6 / Kwiken connection)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CedarPolicy, ProportionalSplitPolicy, QueryContext, TreeSpec
+from repro.distributions import LogNormal
+from repro.errors import SimulationError
+from repro.simulation import (
+    ReissueConfig,
+    simulate_query,
+    simulate_query_with_reissue,
+)
+
+TREE = TreeSpec.two_level(LogNormal(1.0, 1.2), 20, LogNormal(0.5, 0.4), 8)
+
+
+def _ctx(deadline=30.0):
+    return QueryContext(deadline=deadline, offline_tree=TREE, true_tree=TREE)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ReissueConfig(reissue_percentile=0.4)
+        with pytest.raises(SimulationError):
+            ReissueConfig(reissue_percentile=1.0)
+        with pytest.raises(SimulationError):
+            ReissueConfig(budget_fraction=0.0)
+
+
+class TestReissue:
+    def test_runs_and_bounds(self):
+        res = simulate_query_with_reissue(
+            _ctx(), ReissueConfig(), policy=CedarPolicy(grid_points=96), seed=3
+        )
+        assert 0.0 <= res.quality <= 1.0
+        assert res.reissue_wins <= res.reissued
+        assert res.total_outputs == 160
+
+    def test_budget_respected(self):
+        config = ReissueConfig(budget_fraction=0.1)
+        res = simulate_query_with_reissue(
+            _ctx(), config, policy=CedarPolicy(grid_points=96), seed=3
+        )
+        # per-aggregator budget is max(1, 0.1*20) = 2, times 8 aggregators
+        assert res.reissued <= 16
+
+    def test_reissue_helps_on_heavy_tail(self):
+        # heavy within-query tail: duplicates of old stragglers often win
+        tree = TreeSpec.two_level(LogNormal(1.0, 1.8), 20, LogNormal(0.5, 0.4), 8)
+        ctx = QueryContext(deadline=30.0, offline_tree=tree, true_tree=tree)
+        base, reissued = [], []
+        for s in range(12):
+            base.append(
+                simulate_query(ctx, CedarPolicy(grid_points=96), seed=s).quality
+            )
+            reissued.append(
+                simulate_query_with_reissue(
+                    ctx,
+                    ReissueConfig(reissue_percentile=0.8, budget_fraction=0.2),
+                    policy=CedarPolicy(grid_points=96),
+                    seed=s,
+                ).quality
+            )
+        assert float(np.mean(reissued)) >= float(np.mean(base)) - 0.02
+
+    def test_requires_adaptive_policy(self):
+        with pytest.raises(SimulationError):
+            simulate_query_with_reissue(
+                _ctx(), ReissueConfig(), policy=ProportionalSplitPolicy(), seed=1
+            )
+
+    def test_rejects_deeper_trees(self):
+        from repro.core import Stage
+
+        three = TreeSpec(
+            [
+                Stage(LogNormal(1.0, 1.0), 4),
+                Stage(LogNormal(0.5, 0.4), 4),
+                Stage(LogNormal(0.5, 0.4), 4),
+            ]
+        )
+        ctx = QueryContext(deadline=30.0, offline_tree=three, true_tree=three)
+        with pytest.raises(SimulationError):
+            simulate_query_with_reissue(ctx, ReissueConfig(), seed=1)

@@ -1,0 +1,138 @@
+"""Experiment runner and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CedarPolicy,
+    FixedStopPolicy,
+    IdealPolicy,
+    ProportionalSplitPolicy,
+)
+from repro.errors import ConfigError
+from repro.simulation import (
+    PolicyStats,
+    empirical_cdf,
+    improvement_percent,
+    run_experiment,
+)
+from repro.traces.base import LogNormalStageSpec, LogNormalWorkload
+
+
+@pytest.fixture
+def workload():
+    return LogNormalWorkload(
+        [
+            LogNormalStageSpec(mu=0.0, sigma=0.8, fanout=8, mu_jitter=0.6),
+            LogNormalStageSpec(mu=0.5, sigma=0.5, fanout=5, mu_jitter=0.1),
+        ],
+        name="tiny",
+        history_queries=40,
+        history_samples_per_query=20,
+    )
+
+
+class TestRunner:
+    def test_shapes(self, workload):
+        res = run_experiment(
+            workload,
+            [ProportionalSplitPolicy(), FixedStopPolicy(stops=(3.0,))],
+            deadline=8.0,
+            n_queries=6,
+            seed=1,
+        )
+        assert res.n_queries == 6
+        assert set(res.qualities) == {"proportional-split", "fixed"}
+        assert all(len(q) == 6 for q in res.qualities.values())
+
+    def test_reproducible(self, workload):
+        kwargs = dict(
+            policies=[ProportionalSplitPolicy()], deadline=8.0, n_queries=5, seed=9
+        )
+        a = run_experiment(workload, **kwargs)
+        b = run_experiment(workload, **kwargs)
+        np.testing.assert_array_equal(
+            a.qualities["proportional-split"], b.qualities["proportional-split"]
+        )
+
+    def test_paired_durations_across_policies(self, workload):
+        # two copies of the same static policy must see identical draws
+        p1 = FixedStopPolicy(stops=(3.0,))
+        p1.name = "fixed-a"
+        p2 = FixedStopPolicy(stops=(3.0,))
+        p2.name = "fixed-b"
+        res = run_experiment(workload, [p1, p2], deadline=8.0, n_queries=8, seed=3)
+        np.testing.assert_array_equal(
+            res.qualities["fixed-a"], res.qualities["fixed-b"]
+        )
+
+    def test_duplicate_policy_names_rejected(self, workload):
+        with pytest.raises(ConfigError):
+            run_experiment(
+                workload,
+                [ProportionalSplitPolicy(), ProportionalSplitPolicy()],
+                deadline=8.0,
+                n_queries=2,
+            )
+
+    def test_invalid_n_queries(self, workload):
+        with pytest.raises(ConfigError):
+            run_experiment(
+                workload, [ProportionalSplitPolicy()], deadline=8.0, n_queries=0
+            )
+
+    def test_improvement_and_stats(self, workload):
+        res = run_experiment(
+            workload,
+            [ProportionalSplitPolicy(), IdealPolicy(grid_points=96)],
+            deadline=6.0,
+            n_queries=10,
+            seed=2,
+        )
+        imp = res.improvement("ideal", "proportional-split")
+        assert imp >= -15.0  # ideal should not be much worse
+        stats = res.stats("ideal")
+        assert isinstance(stats, PolicyStats)
+        assert stats.n == 10
+        assert 0.0 <= stats.p10 <= stats.p50 <= stats.p90 <= 1.0
+
+    def test_per_query_improvements_filter(self, workload):
+        res = run_experiment(
+            workload,
+            [ProportionalSplitPolicy(), IdealPolicy(grid_points=96)],
+            deadline=6.0,
+            n_queries=10,
+            seed=2,
+        )
+        imps = res.per_query_improvements(
+            "ideal", "proportional-split", min_baseline_quality=0.05
+        )
+        assert imps.ndim == 1
+        strict = res.per_query_improvements(
+            "ideal", "proportional-split", min_baseline_quality=2.0
+        )
+        assert strict.size == 0
+
+
+class TestMetrics:
+    def test_improvement_percent(self):
+        assert improvement_percent(0.6, 0.4) == pytest.approx(50.0)
+        assert improvement_percent(0.4, 0.4) == 0.0
+        assert improvement_percent(0.2, 0.0) == float("inf")
+        assert improvement_percent(0.0, 0.0) == 0.0
+        with pytest.raises(ConfigError):
+            improvement_percent(-0.1, 0.5)
+
+    def test_policy_stats_from_qualities(self):
+        stats = PolicyStats.from_qualities("x", np.array([0.2, 0.4, 0.6]))
+        assert stats.mean == pytest.approx(0.4)
+        assert stats.p50 == pytest.approx(0.4)
+        with pytest.raises(ConfigError):
+            PolicyStats.from_qualities("x", np.array([]))
+
+    def test_empirical_cdf(self):
+        xs, ps = empirical_cdf(np.array([3.0, 1.0, 2.0]))
+        np.testing.assert_allclose(xs, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(ps, [1 / 3, 2 / 3, 1.0])
+        xs, ps = empirical_cdf(np.array([]))
+        assert xs.size == ps.size == 0

@@ -1,0 +1,116 @@
+"""Weighted response quality (Appendix A extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FixedStopPolicy, IdealPolicy, QueryContext, TreeSpec
+from repro.distributions import LogNormal, Uniform
+from repro.errors import SimulationError
+from repro.simulation import (
+    IndependentWeights,
+    RankCorrelatedWeights,
+    UniformWeights,
+    simulate_query,
+    simulate_weighted_query,
+)
+
+TREE = TreeSpec.two_level(LogNormal(0.0, 0.8), 10, LogNormal(0.5, 0.5), 8)
+
+
+def _ctx(deadline=10.0, tree=TREE):
+    return QueryContext(deadline=deadline, offline_tree=tree, true_tree=tree)
+
+
+class TestWeightModels:
+    def test_uniform_weights_all_one(self, rng):
+        w = UniformWeights().weights(np.ones((3, 5)), rng)
+        np.testing.assert_array_equal(w, np.ones((3, 5)))
+
+    def test_independent_weights_mean_one(self, rng):
+        w = IndependentWeights(cv=0.5).weights(np.ones((200, 50)), rng)
+        assert float(np.mean(w)) == pytest.approx(1.0, abs=0.02)
+        assert np.all(w > 0.0)
+
+    def test_independent_cv_zero_is_uniform(self, rng):
+        w = IndependentWeights(cv=0.0).weights(np.ones((2, 4)), rng)
+        np.testing.assert_array_equal(w, np.ones((2, 4)))
+
+    def test_rank_correlated_total_conserved(self, rng):
+        for rho in (-1.0, -0.3, 0.0, 0.6, 1.0):
+            w = RankCorrelatedWeights(rho).weights(np.ones((4, 9)), rng)
+            assert float(np.sum(w)) == pytest.approx(4 * 9, rel=1e-9)
+
+    def test_rank_correlated_direction(self, rng):
+        w = RankCorrelatedWeights(0.8).weights(np.ones((1, 10)), rng)[0]
+        assert w[0] < w[-1]  # slow outputs heavier
+        w = RankCorrelatedWeights(-0.8).weights(np.ones((1, 10)), rng)[0]
+        assert w[0] > w[-1]
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            IndependentWeights(cv=-0.1)
+        with pytest.raises(SimulationError):
+            RankCorrelatedWeights(1.5)
+
+
+class TestWeightedSimulation:
+    def test_uniform_weights_match_unweighted(self):
+        ctx = _ctx()
+        policy = FixedStopPolicy(stops=(4.0,))
+        weighted = simulate_weighted_query(ctx, policy, UniformWeights(), seed=3)
+        plain = simulate_query(ctx, policy, seed=3)
+        assert weighted.quality == pytest.approx(plain.quality)
+        assert weighted.unweighted_quality == pytest.approx(plain.quality)
+
+    def test_positive_rank_correlation_lowers_quality_at_fixed_wait(self, rng):
+        # if slow outputs are the valuable ones, truncating the tail at a
+        # fixed wait costs more weighted quality than unweighted
+        ctx = _ctx()
+        policy = FixedStopPolicy(stops=(2.0,))
+        results = [
+            simulate_weighted_query(
+                ctx, policy, RankCorrelatedWeights(0.9), seed=s
+            )
+            for s in range(20)
+        ]
+        weighted = np.mean([r.quality for r in results])
+        unweighted = np.mean([r.unweighted_quality for r in results])
+        assert weighted < unweighted
+
+    def test_negative_rank_correlation_raises_quality(self):
+        ctx = _ctx()
+        policy = FixedStopPolicy(stops=(2.0,))
+        results = [
+            simulate_weighted_query(
+                ctx, policy, RankCorrelatedWeights(-0.9), seed=s
+            )
+            for s in range(20)
+        ]
+        weighted = np.mean([r.quality for r in results])
+        unweighted = np.mean([r.unweighted_quality for r in results])
+        assert weighted > unweighted
+
+    def test_works_with_adaptive_policy(self):
+        from repro.core import CedarPolicy
+
+        ctx = _ctx()
+        res = simulate_weighted_query(
+            ctx, CedarPolicy(grid_points=96), IndependentWeights(0.5), seed=1
+        )
+        assert 0.0 <= res.quality <= 1.0
+
+    def test_rejects_deeper_trees(self):
+        from repro.core import Stage
+
+        three = TreeSpec(
+            [
+                Stage(LogNormal(0.0, 0.8), 4),
+                Stage(LogNormal(0.5, 0.5), 4),
+                Stage(LogNormal(0.5, 0.5), 4),
+            ]
+        )
+        ctx = QueryContext(deadline=10.0, offline_tree=three, true_tree=three)
+        with pytest.raises(SimulationError):
+            simulate_weighted_query(
+                ctx, FixedStopPolicy(stops=(3.0, 6.0)), UniformWeights(), seed=1
+            )

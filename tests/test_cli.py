@@ -1,0 +1,95 @@
+"""CLI entry point."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7b" in out
+        assert "fig16-bing" in out
+
+    def test_run_fig4(self, capsys):
+        assert main(["run", "fig4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "lognormal" in out
+
+    def test_run_with_csv(self, tmp_path, capsys):
+        assert main(["run", "fig4", "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "fig4.csv").exists()
+
+    def test_run_with_plot(self, capsys):
+        assert main(["run", "fig9", "--plot", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        # fig9 has a numeric x-axis (completed processes) -> chart drawn
+        assert "cedar_mu_err_%" in out
+        assert "+--" in out  # the chart's x-axis
+
+    def test_run_plot_skips_categorical_axis(self, capsys):
+        assert main(["run", "fig4", "--plot", "--seed", "1"]) == 0
+        assert "skipping chart" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestWaitCommand:
+    ARGS = [
+        "--mu1", "6.0", "--sigma1", "0.84",
+        "--mu2", "4.7", "--sigma2", "0.5",
+        "--k1", "50", "--k2", "50", "--grid-points", "192",
+    ]
+
+    def test_wait(self, capsys):
+        assert main(["wait", "--deadline", "1000"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "optimal wait" in out
+        assert "achievable quality" in out
+
+    def test_dual(self, capsys):
+        assert main(["dual", "--target", "0.7"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "minimum deadline" in out
+
+    def test_explain(self, capsys):
+        assert main(["explain", "--deadline", "1000"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "optimal wait" in out
+        assert "hold 'em" in out
+
+    def test_dual_bad_target(self, capsys):
+        assert main(["dual", "--target", "1.5"] + self.ARGS) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def test_record_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "fb.json"
+        assert (
+            main(
+                [
+                    "trace", "record", "facebook", str(path),
+                    "--jobs", "3", "--samples", "5", "--seed", "1",
+                ]
+            )
+            == 0
+        )
+        assert path.exists()
+        from repro.traces import load_trace
+
+        assert len(load_trace(path).jobs) == 3
+
+    def test_record_unknown_workload(self, tmp_path, capsys):
+        assert (
+            main(["trace", "record", "nope", str(tmp_path / "x.json")]) == 1
+        )
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,53 @@
+"""Seeded RNG utilities."""
+
+import numpy as np
+import pytest
+
+from repro.rng import DEFAULT_SEED, fork, resolve_rng, seeds_for, spawn, stream
+
+
+class TestResolve:
+    def test_none_uses_default_seed(self):
+        a = resolve_rng(None).random(5)
+        b = np.random.default_rng(DEFAULT_SEED).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_int_seed_reproducible(self):
+        np.testing.assert_array_equal(
+            resolve_rng(7).random(5), resolve_rng(7).random(5)
+        )
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert resolve_rng(gen) is gen
+
+
+class TestSpawn:
+    def test_children_independent_and_reproducible(self):
+        a = spawn(resolve_rng(3), 4)
+        b = spawn(resolve_rng(3), 4)
+        for ga, gb in zip(a, b):
+            np.testing.assert_array_equal(ga.random(3), gb.random(3))
+        vals = [g.random() for g in a]
+        assert len(set(vals)) == 4
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(resolve_rng(0), -1)
+
+
+class TestStreamForkSeeds:
+    def test_stream_yields_distinct(self):
+        it = stream(5)
+        g1, g2 = next(it), next(it)
+        assert g1.random() != g2.random()
+
+    def test_seeds_for_reproducible(self):
+        assert seeds_for(9, 5) == seeds_for(9, 5)
+        assert len(set(seeds_for(9, 5))) == 5
+
+    def test_fork_keyed_streams_differ(self):
+        a = fork(4, "processes").random(3)
+        b = fork(4, "aggregators").random(3)
+        assert not np.array_equal(a, b)
+        np.testing.assert_array_equal(a, fork(4, "processes").random(3))

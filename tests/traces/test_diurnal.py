@@ -1,0 +1,62 @@
+"""Diurnal workload extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces import DiurnalWorkload, LogNormalStageSpec
+
+
+@pytest.fixture
+def workload():
+    return DiurnalWorkload(
+        base=LogNormalStageSpec(mu=2.0, sigma=0.8, fanout=10, mu_jitter=0.1),
+        upper=LogNormalStageSpec(mu=1.0, sigma=0.5, fanout=5),
+        amplitude=1.0,
+        period=40,
+    )
+
+
+class TestDiurnal:
+    def test_phase_cycles(self, workload):
+        assert workload.phase_mu(0) == pytest.approx(0.0)
+        assert workload.phase_mu(10) == pytest.approx(1.0)  # quarter period
+        assert workload.phase_mu(30) == pytest.approx(-1.0)
+        assert workload.phase_mu(40) == pytest.approx(0.0, abs=1e-9)
+
+    def test_queries_track_cycle(self, workload, rng):
+        mus = [workload.sample_query(rng).distributions[0].mu for _ in range(40)]
+        # peak (around query 10) is heavier than trough (around query 30)
+        assert np.mean(mus[8:13]) > np.mean(mus[28:33]) + 1.0
+
+    def test_reset(self, workload, rng):
+        workload.sample_query(rng)
+        workload.sample_query(rng)
+        workload.reset()
+        assert workload.query_index == 0
+
+    def test_offline_tree_pools_cycle_variance(self, workload):
+        offline = workload.offline_tree()
+        # pooled sigma folds in jitter and the cycle's amplitude/sqrt(2)
+        assert offline.distributions[0].sigma > 0.8
+
+    def test_validation(self):
+        base = LogNormalStageSpec(mu=2.0, sigma=0.8, fanout=10)
+        upper = LogNormalStageSpec(mu=1.0, sigma=0.5, fanout=5)
+        with pytest.raises(TraceError):
+            DiurnalWorkload(base, upper, amplitude=-1.0)
+        with pytest.raises(TraceError):
+            DiurnalWorkload(base, upper, period=1)
+
+    def test_runs_in_experiment_runner(self, workload):
+        from repro.core import CedarPolicy, ProportionalSplitPolicy
+        from repro.simulation import run_experiment
+
+        res = run_experiment(
+            workload,
+            [ProportionalSplitPolicy(), CedarPolicy(grid_points=96)],
+            deadline=50.0,
+            n_queries=8,
+            seed=4,
+        )
+        assert res.n_queries == 8

@@ -1,0 +1,92 @@
+"""Trace-file IO: JSON round-trip, CSV export, recording."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces import (
+    export_trace_csv,
+    facebook_workload,
+    load_trace,
+    record_trace,
+    save_trace,
+)
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "trace.json"
+    jobs = [
+        [[1.0, 2.0, 3.0], [4.0, 5.0]],
+        [[10.0, 20.0], [30.0, 40.0, 50.0]],
+    ]
+    save_trace(path, name="demo", fanouts=(5, 3), jobs=jobs)
+    return path
+
+
+class TestRoundTrip:
+    def test_save_load(self, trace_file):
+        wl = load_trace(trace_file)
+        assert wl.name == "demo"
+        assert wl.fanouts == (5, 3)
+        assert len(wl.jobs) == 2
+        assert list(wl.jobs[0][0].samples) == [1.0, 2.0, 3.0]
+
+    def test_save_rejects_empty(self, tmp_path):
+        with pytest.raises(TraceError):
+            save_trace(tmp_path / "x.json", "x", (2, 2), [])
+        with pytest.raises(TraceError):
+            save_trace(tmp_path / "x.json", "x", (2, 2), [[[1.0]]])
+        with pytest.raises(TraceError):
+            save_trace(tmp_path / "x.json", "x", (2, 2), [[[1.0], []]])
+
+    def test_load_rejects_bad_version(self, tmp_path, trace_file):
+        doc = json.loads(trace_file.read_text())
+        doc["format_version"] = 99
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(doc))
+        with pytest.raises(TraceError):
+            load_trace(bad)
+
+    def test_load_rejects_malformed(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(TraceError):
+            load_trace(bad)
+        bad.write_text(json.dumps({"format_version": 1, "jobs": "oops"}))
+        with pytest.raises(TraceError):
+            load_trace(bad)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace(tmp_path / "missing.json")
+
+
+class TestCsv:
+    def test_export(self, trace_file, tmp_path):
+        wl = load_trace(trace_file)
+        out = tmp_path / "trace.csv"
+        export_trace_csv(out, wl)
+        lines = out.read_text().strip().splitlines()
+        assert lines[0] == "job,stage,duration"
+        assert len(lines) == 1 + 5 + 5
+
+
+class TestRecord:
+    def test_record_and_replay(self, tmp_path, rng):
+        wl = facebook_workload(k1=5, k2=4)
+        jobs, fanouts = record_trace(wl, n_jobs=3, samples_per_stage=8, seed=rng)
+        assert len(jobs) == 3
+        assert fanouts == [5, 4]
+        path = tmp_path / "fb.json"
+        save_trace(path, "fb-sample", fanouts, jobs)
+        replay = load_trace(path)
+        tree = replay.sample_query(np.random.default_rng(0))
+        assert tree.fanouts == (5, 4)
+
+    def test_record_validation(self):
+        wl = facebook_workload(k1=5, k2=4)
+        with pytest.raises(TraceError):
+            record_trace(wl, n_jobs=0, samples_per_stage=5)

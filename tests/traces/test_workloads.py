@@ -1,0 +1,203 @@
+"""Workload base classes and the named production-calibrated traces."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import TreeSpec
+from repro.distributions import LogNormal
+from repro.errors import TraceError
+from repro.traces import (
+    BING_MU,
+    BING_SIGMA,
+    GOOGLE_MU,
+    GOOGLE_SIGMA,
+    GaussianStageSpec,
+    GaussianWorkload,
+    LogNormalStageSpec,
+    LogNormalWorkload,
+    ReplayWorkload,
+    WORKLOADS,
+    bing_workload,
+    cosmos_phase_fit,
+    cosmos_workload,
+    facebook_three_level_workload,
+    facebook_workload,
+    gaussian_workload,
+    google_workload,
+    interactive_workload,
+    make_workload,
+)
+
+
+class TestLogNormalStageSpec:
+    def test_draw_jitters_mu(self, rng):
+        spec = LogNormalStageSpec(mu=2.0, sigma=0.5, fanout=10, mu_jitter=1.0)
+        mus = [spec.draw(rng).mu for _ in range(500)]
+        assert float(np.std(mus)) == pytest.approx(1.0, rel=0.15)
+        assert float(np.mean(mus)) == pytest.approx(2.0, abs=0.15)
+
+    def test_no_jitter_is_deterministic(self, rng):
+        spec = LogNormalStageSpec(mu=2.0, sigma=0.5, fanout=10)
+        assert spec.draw(rng) == LogNormal(2.0, 0.5)
+
+    def test_sigma_floor(self, rng):
+        spec = LogNormalStageSpec(
+            mu=0.0, sigma=0.1, fanout=5, sigma_jitter=5.0, sigma_floor=0.09
+        )
+        assert all(spec.draw(rng).sigma >= 0.09 for _ in range(50))
+
+    def test_shared_loading_couples_stages(self, rng):
+        a = LogNormalStageSpec(mu=0.0, sigma=0.5, fanout=5, mu_jitter=1.0, shared_loading=1.0)
+        b = LogNormalStageSpec(mu=0.0, sigma=0.5, fanout=5, mu_jitter=1.0, shared_loading=-1.0)
+        shared = 2.0
+        assert a.draw(rng, shared).mu == pytest.approx(2.0)
+        assert b.draw(rng, shared).mu == pytest.approx(-2.0)
+
+    def test_scaled_shifts_mu(self):
+        spec = LogNormalStageSpec(mu=2.0, sigma=0.5, fanout=10)
+        assert spec.scaled(1000.0).mu == pytest.approx(2.0 + math.log(1000.0))
+        with pytest.raises(TraceError):
+            spec.scaled(0.0)
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            LogNormalStageSpec(mu=0.0, sigma=0.0, fanout=5)
+        with pytest.raises(TraceError):
+            LogNormalStageSpec(mu=0.0, sigma=1.0, fanout=0)
+        with pytest.raises(TraceError):
+            LogNormalStageSpec(mu=0.0, sigma=1.0, fanout=5, mu_jitter=-1.0)
+        with pytest.raises(TraceError):
+            LogNormalStageSpec(mu=0.0, sigma=1.0, fanout=5, shared_loading=1.5)
+
+
+class TestLogNormalWorkload:
+    def test_sample_query_shape(self, rng):
+        wl = facebook_workload()
+        tree = wl.sample_query(rng)
+        assert isinstance(tree, TreeSpec)
+        assert tree.fanouts == (50, 50)
+        assert tree.total_processes == 2500
+
+    def test_queries_differ(self, rng):
+        wl = facebook_workload()
+        t1 = wl.sample_query(rng)
+        t2 = wl.sample_query(rng)
+        assert t1.distributions[0].mu != t2.distributions[0].mu
+
+    def test_offline_tree_cached_and_fitted(self):
+        wl = facebook_workload()
+        offline = wl.offline_tree()
+        assert offline is wl.offline_tree()
+        # pooled fit's sigma exceeds the within-query sigma (drift folds in)
+        assert offline.distributions[0].sigma > 0.84
+
+    def test_offline_without_jitter_is_base(self):
+        wl = LogNormalWorkload(
+            [
+                LogNormalStageSpec(mu=1.0, sigma=0.5, fanout=5),
+                LogNormalStageSpec(mu=2.0, sigma=0.5, fanout=5),
+            ]
+        )
+        assert wl.offline_tree().distributions[0] == LogNormal(1.0, 0.5)
+
+    def test_with_spec(self):
+        wl = facebook_workload()
+        new_spec = LogNormalStageSpec(mu=9.0, sigma=1.0, fanout=50)
+        wl2 = wl.with_spec(0, new_spec)
+        assert wl2.specs[0].mu == 9.0
+        assert wl.specs[0].mu != 9.0
+        with pytest.raises(TraceError):
+            wl.with_spec(5, new_spec)
+
+    def test_needs_two_stages(self):
+        with pytest.raises(TraceError):
+            LogNormalWorkload([LogNormalStageSpec(mu=0.0, sigma=1.0, fanout=5)])
+
+
+class TestGaussianWorkload:
+    def test_truncated_at_zero(self, rng):
+        wl = gaussian_workload()
+        tree = wl.sample_query(rng)
+        samples = tree.distributions[0].sample(200, seed=rng)
+        assert np.all(np.asarray(samples) >= 0.0)
+
+    def test_offline_tree(self):
+        wl = gaussian_workload()
+        offline = wl.offline_tree()
+        assert offline.distributions[0].family == "truncnormal"
+        assert offline.fanouts == (50, 50)
+
+    def test_spec_validation(self):
+        with pytest.raises(TraceError):
+            GaussianStageSpec(mean=1.0, std=0.0, fanout=5)
+        with pytest.raises(TraceError):
+            GaussianWorkload([GaussianStageSpec(mean=1.0, std=1.0, fanout=5)])
+
+
+class TestReplayWorkload:
+    def test_replays_recorded_jobs(self, rng):
+        from repro.distributions import Empirical
+
+        jobs = [
+            [Empirical([1.0, 2.0]), Empirical([3.0, 4.0])],
+            [Empirical([10.0, 20.0]), Empirical([30.0, 40.0])],
+        ]
+        wl = ReplayWorkload(jobs, fanouts=(5, 3))
+        tree = wl.sample_query(rng)
+        assert tree.fanouts == (5, 3)
+        offline = wl.offline_tree()
+        assert offline.distributions[0].n == 4
+
+    def test_validation(self):
+        from repro.distributions import Empirical
+
+        with pytest.raises(TraceError):
+            ReplayWorkload([], fanouts=(2, 2))
+        with pytest.raises(TraceError):
+            ReplayWorkload([[Empirical([1.0])]], fanouts=(2, 2))
+
+
+class TestNamedTraces:
+    def test_bing_constants_in_paper_range(self):
+        d = LogNormal(BING_MU, BING_SIGMA)
+        assert d.median() == pytest.approx(365.0, rel=0.02)  # ~330us reported
+
+    def test_google_constants_in_paper_range(self):
+        d = LogNormal(GOOGLE_MU, GOOGLE_SIGMA)
+        assert d.median() == pytest.approx(19.0, rel=0.02)
+        assert float(d.quantile(0.99)) == pytest.approx(68.0, rel=0.1)
+
+    def test_cosmos_fit_is_lognormal(self):
+        for phase in ("extract", "full-aggregate"):
+            fit = cosmos_phase_fit(phase)
+            assert fit.distribution.family == "lognormal"
+            assert fit.rel_rmse < 0.1
+        with pytest.raises(TraceError):
+            cosmos_phase_fit("shuffle")
+
+    def test_cosmos_workload_builds(self, rng):
+        wl = cosmos_workload()
+        assert wl.sample_query(rng).fanouts == (50, 50)
+
+    def test_interactive_workload_units(self, rng):
+        wl = interactive_workload()
+        tree = wl.sample_query(rng)
+        # ms scale: google stage median ~19ms
+        assert tree.distributions[1].median() < 100.0
+
+    def test_three_level_facebook(self, rng):
+        wl = facebook_three_level_workload()
+        assert wl.sample_query(rng).n_stages == 3
+
+    def test_catalog(self):
+        assert "facebook" in WORKLOADS
+        wl = make_workload("facebook", k1=10, k2=10)
+        assert wl.specs[0].fanout == 10
+        with pytest.raises(TraceError):
+            make_workload("nope")
+
+    def test_variant_workloads_build(self):
+        assert bing_workload(sigma1=2.2).specs[0].sigma == 2.2
+        assert google_workload(sigma1=1.5).specs[0].sigma == 1.5
