@@ -12,6 +12,8 @@ Examples::
     cedar-repro dual --target 0.85 --mu1 6.0 --sigma1 0.84 \
         --mu2 4.7 --sigma2 0.5 --k1 50 --k2 50
     cedar-repro trace record facebook /tmp/fb.json --jobs 50
+    cedar-repro chaos --deadline 60 --mu1 3.0 --sigma1 0.5 \
+        --mu2 2.0 --sigma2 0.3 --k1 6 --k2 3 --kill 0.25 --drop 0.3
 """
 
 from __future__ import annotations
@@ -91,6 +93,54 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--plot", action="store_true")
     sweep_p.add_argument(
         "--csv", type=pathlib.Path, default=None, help="write <name>.csv here"
+    )
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="run one query over live TCP with fault injection",
+    )
+    chaos_p.add_argument("--deadline", type=float, required=True)
+    _add_tree_args(chaos_p)
+    chaos_p.add_argument(
+        "--policy",
+        choices=("cedar", "cedar-failure-aware", "proportional-split"),
+        default="cedar",
+        help="wait policy driving the aggregators",
+    )
+    chaos_p.add_argument(
+        "--kill", type=float, default=0.0, help="P(worker dies mid-query)"
+    )
+    chaos_p.add_argument(
+        "--drop",
+        type=float,
+        default=0.0,
+        help="P(aggregator's root session is reset before shipping)",
+    )
+    chaos_p.add_argument(
+        "--corrupt",
+        type=float,
+        default=0.0,
+        help="P(worker's write is cut mid-line)",
+    )
+    chaos_p.add_argument(
+        "--delay-prob",
+        type=float,
+        default=0.0,
+        help="P(worker connect is delayed by --delay)",
+    )
+    chaos_p.add_argument(
+        "--delay",
+        type=float,
+        default=0.0,
+        help="added connect delay in virtual units",
+    )
+    chaos_p.add_argument("--seed", type=int, default=None)
+    chaos_p.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.001,
+        help="real seconds per virtual unit (0.001 runs a 1000-unit "
+        "deadline in one second)",
     )
 
     trace_p = sub.add_parser("trace", help="trace-file tooling")
@@ -224,6 +274,71 @@ def _cmd_dual(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from .core import (
+        CedarFailureAwarePolicy,
+        CedarPolicy,
+        ProportionalSplitPolicy,
+        QueryContext,
+    )
+    from .errors import ConfigError, SimulationError
+    from .faults import ChaosTransport
+    from .service import run_tcp_query
+
+    tree = _tree_from_args(args)
+    if args.policy == "cedar":
+        policy = CedarPolicy(grid_points=args.grid_points)
+    elif args.policy == "cedar-failure-aware":
+        policy = CedarFailureAwarePolicy(
+            ship_loss_prob=args.drop,
+            worker_crash_prob=args.kill,
+            grid_points=args.grid_points,
+        )
+    else:
+        policy = ProportionalSplitPolicy()
+    try:
+        chaos = ChaosTransport(
+            worker_kill_prob=args.kill,
+            ship_drop_prob=args.drop,
+            corrupt_prob=args.corrupt,
+            worker_delay_prob=args.delay_prob,
+            worker_delay=args.delay,
+            seed=args.seed,
+        )
+        ctx = QueryContext(deadline=args.deadline, offline_tree=tree)
+        res = run_tcp_query(
+            ctx,
+            policy,
+            time_scale=args.time_scale,
+            seed=args.seed,
+            chaos=chaos,
+        )
+    except (ConfigError, SimulationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"quality:              {res.quality:.4f}")
+    print(
+        f"outputs included:     {res.included_outputs}/{res.total_outputs}"
+    )
+    print(
+        f"shipments received:   {res.shipments_received}/{args.k2}"
+    )
+    print(f"elapsed (virtual):    {res.elapsed_virtual:.1f}")
+    print(f"degraded:             {res.degraded}")
+    print(f"worker failures:      {res.worker_failures}")
+    print(f"aggregator failures:  {res.aggregator_failures}")
+    print(f"missing shipments:    {res.missing_shipments}")
+    print(f"malformed lines:      {res.malformed_lines}")
+    print(
+        "injected (ground truth): "
+        f"killed={chaos.killed_workers} "
+        f"dropped={chaos.dropped_shipments} "
+        f"delayed={chaos.delayed_workers} "
+        f"corrupted={chaos.corrupted_connections}"
+    )
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from .errors import TraceError
     from .traces import make_workload, record_trace, save_trace
@@ -256,6 +371,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_explain(args)
     if args.command == "dual":
         return _cmd_dual(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.experiment == "all":

@@ -19,16 +19,29 @@ __all__ = ["Machine", "Cluster"]
 
 
 class Machine:
-    """One machine: slots plus a local contention environment."""
+    """One machine: slots plus a local contention environment.
+
+    ``fault_domain`` groups machines that fail together (a rack, an
+    availability zone); :func:`repro.faults.domains_for_cluster` reads it
+    to correlate simulator domain failures with cluster placement. The
+    default — each machine its own domain — makes failures independent.
+    """
 
     def __init__(
-        self, machine_id: int, n_slots: int, contention: ContentionModel
+        self,
+        machine_id: int,
+        n_slots: int,
+        contention: ContentionModel,
+        fault_domain: int | None = None,
     ):
         if n_slots < 1:
             raise SchedulerError(f"machine needs >= 1 slot, got {n_slots}")
         self.machine_id = int(machine_id)
         self.n_slots = int(n_slots)
         self.contention = contention
+        self.fault_domain = (
+            self.machine_id if fault_domain is None else int(fault_domain)
+        )
         self._busy = 0
 
     @property
@@ -76,15 +89,34 @@ class Cluster:
         n_machines: int = 80,
         slots_per_machine: int = 4,
         contention_factory=None,
+        machines_per_domain: int | None = None,
     ) -> "Cluster":
         """Construct a cluster; ``contention_factory(machine_id)`` lets each
-        machine get its own environment (default: mild log-normal noise)."""
+        machine get its own environment (default: mild log-normal noise).
+
+        ``machines_per_domain`` racks consecutive machines into shared
+        fault domains (domain = machine_id // machines_per_domain); left
+        at None, every machine fails independently.
+        """
         if n_machines < 1 or slots_per_machine < 1:
             raise SchedulerError("cluster needs >= 1 machine and >= 1 slot")
+        if machines_per_domain is not None and machines_per_domain < 1:
+            raise SchedulerError(
+                f"machines_per_domain must be >= 1, got {machines_per_domain}"
+            )
         if contention_factory is None:
             contention_factory = lambda mid: MultiplicativeNoise(sigma=0.3)
         machines = [
-            Machine(mid, slots_per_machine, contention_factory(mid))
+            Machine(
+                mid,
+                slots_per_machine,
+                contention_factory(mid),
+                fault_domain=(
+                    None
+                    if machines_per_domain is None
+                    else mid // machines_per_domain
+                ),
+            )
             for mid in range(n_machines)
         ]
         return cls(machines=machines)
@@ -98,6 +130,13 @@ class Cluster:
     def free_slots(self) -> int:
         """Currently available slots across all machines."""
         return sum(m.free_slots for m in self.machines)
+
+    def fault_domains(self) -> tuple[int, ...]:
+        """Distinct fault domains present, in machine order."""
+        seen: dict[int, None] = {}
+        for machine in self.machines:
+            seen.setdefault(machine.fault_domain, None)
+        return tuple(seen)
 
     def reset(self) -> None:
         """Release all slots (between queries)."""

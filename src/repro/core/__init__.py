@@ -9,6 +9,7 @@ from .hetero import HeteroQuery, Silo, hetero_max_quality, hetero_wait_schedules
 from .policies import (
     CedarDeepPolicy,
     CedarEmpiricalPolicy,
+    CedarFailureAwarePolicy,
     CedarOfflinePolicy,
     CedarPolicy,
     EqualSplitPolicy,
@@ -30,7 +31,13 @@ from .quality import (
     sweep_wait,
     tail_quality_grid,
 )
-from .wait import WaitOptimizer, WaitSchedule, calculate_wait, wait_schedule
+from .wait import (
+    FailureAwareWaitOptimizer,
+    WaitOptimizer,
+    WaitSchedule,
+    calculate_wait,
+    wait_schedule,
+)
 from .wait_table import CedarTabulatedPolicy, TabulatedController, WaitTable
 
 __all__ = [
@@ -58,6 +65,7 @@ __all__ = [
     "optimal_wait",
     "calculate_wait",
     "WaitOptimizer",
+    "FailureAwareWaitOptimizer",
     "WaitSchedule",
     "wait_schedule",
     "AggregatorController",
@@ -73,6 +81,7 @@ __all__ = [
     "CedarPolicy",
     "CedarDeepPolicy",
     "CedarEmpiricalPolicy",
+    "CedarFailureAwarePolicy",
     "CedarOfflinePolicy",
     "default_policies",
 ]

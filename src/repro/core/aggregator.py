@@ -87,6 +87,13 @@ class AdaptiveController(AggregatorController):
     reoptimize_every:
         Re-plan after every ``r``-th arrival (1 = every arrival, the
         paper's default; larger values are an ablation knob).
+    estimate_k:
+        Sample-population size the order-statistic mapping should assume
+        (defaults to ``k``). A failure-aware policy deflates this to the
+        number of inputs *expected to survive*: the ``i``-th arrival is
+        then mapped to quantile ``i`` of ``estimate_k`` live draws instead
+        of ``k`` total, removing the slow bias crashes would otherwise
+        induce. Shipping early still requires all ``k`` arrivals.
     """
 
     def __init__(
@@ -97,6 +104,7 @@ class AdaptiveController(AggregatorController):
         deadline: float,
         min_samples: int = 2,
         reoptimize_every: int = 1,
+        estimate_k: Optional[int] = None,
     ):
         if deadline <= 0.0:
             raise ConfigError(f"deadline must be positive, got {deadline}")
@@ -109,9 +117,15 @@ class AdaptiveController(AggregatorController):
             raise ConfigError(
                 f"reoptimize_every must be >= 1, got {reoptimize_every}"
             )
-        self._stream = StreamingEstimator(estimator, k)
+        est_k = int(k if estimate_k is None else estimate_k)
+        if not 1 <= est_k <= k:
+            raise ConfigError(
+                f"estimate_k must be in [1, k={k}], got {est_k}"
+            )
+        self._stream = StreamingEstimator(estimator, est_k)
         self._optimizer = optimizer
         self._k = int(k)
+        self._received = 0
         self._deadline = float(deadline)
         self._min_samples = int(min_samples)
         self._reoptimize_every = int(reoptimize_every)
@@ -126,7 +140,7 @@ class AdaptiveController(AggregatorController):
 
     @property
     def n_received(self) -> int:
-        return self._stream.n_observed
+        return self._received
 
     @property
     def last_estimate(self) -> Optional[Distribution]:
@@ -135,12 +149,20 @@ class AdaptiveController(AggregatorController):
 
     # ------------------------------------------------------------------
     def on_arrival(self, t: float) -> None:
-        self._stream.observe(t)
-        n = self._stream.n_observed
-        if n == self._k:
+        self._received += 1
+        # with a deflated estimate_k, arrivals beyond it (more inputs
+        # survived than planned) carry no usable order-statistic rank —
+        # keep the last estimate, keep counting.
+        fed = not self._stream.complete
+        if fed:
+            self._stream.observe(t)
+        if self._received == self._k:
             # all outputs received: SetTimer(0) — ship immediately.
             self._stop = t
             return
+        if not fed:
+            return
+        n = self._stream.n_observed
         if n < self._min_samples:
             return
         if (n - self._min_samples) % self._reoptimize_every != 0:

@@ -33,9 +33,14 @@ from ..estimation import (
     OrderStatisticEstimator,
 )
 from .aggregator import AdaptiveController, AggregatorController, StaticController
-from .config import TreeSpec
+from .config import Stage, TreeSpec
 from .quality import DEFAULT_GRID_POINTS
-from .wait import WaitOptimizer, WaitSchedule, wait_schedule
+from .wait import (
+    FailureAwareWaitOptimizer,
+    WaitOptimizer,
+    WaitSchedule,
+    wait_schedule,
+)
 
 __all__ = [
     "QueryContext",
@@ -49,6 +54,7 @@ __all__ = [
     "CedarDeepPolicy",
     "CedarEmpiricalPolicy",
     "CedarOfflinePolicy",
+    "CedarFailureAwarePolicy",
     "default_policies",
 ]
 
@@ -313,6 +319,137 @@ class CedarDeepPolicy(CedarPolicy):
             min_samples=self.min_samples,
             reoptimize_every=self.reoptimize_every,
         )
+
+
+class CedarFailureAwarePolicy(CedarPolicy):
+    """Cedar that knows its infrastructure loses things.
+
+    Takes the (measured or configured) per-query failure rates and folds
+    them into the wait optimization:
+
+    * the expected gain of waiting (Eqn 3) is discounted by the shipment
+      survival probability ``(1 - ship_loss)(1 - agg_crash)`` — waiting
+      longer only pays off if the shipment survives, while the outputs
+      already held stay exposed either way (see
+      :class:`~repro.core.wait.FailureAwareWaitOptimizer`);
+    * upper-level *static* schedules — the levels with no online signal —
+      are solved on a planning tree whose fan-outs are deflated to the
+      inputs expected to survive (``round(k * survival)`` at each level).
+
+    Deliberately **not** applied at the learning level: thinning or
+    fan-out deflation of the online estimate. The ``i``-th-of-``k``
+    order-statistic mapping applied to a stream with crashed (never
+    arriving) leaves *already* estimates the defective arrival
+    distribution — dead workers push the fitted tail out exactly as a
+    :class:`~repro.distributions.Thinned` model would. Correcting again
+    (``estimate_k`` deflation, thinning the estimate, posterior futility
+    caps) double-counts the missing mass and measurably loses quality
+    under injected crashes; see ``benchmarks/test_robustness_faults.py``.
+    The explicit knobs remain available on
+    :class:`~repro.core.aggregator.AdaptiveController` (``estimate_k``)
+    and :class:`~repro.core.wait.FailureAwareWaitOptimizer`
+    (``input_survival``) for experimentation.
+
+    With all failure rates zero this is exactly :class:`CedarPolicy`.
+    """
+
+    name = "cedar-failure-aware"
+
+    def __init__(
+        self,
+        ship_loss_prob: float = 0.0,
+        agg_crash_prob: float = 0.0,
+        worker_crash_prob: float = 0.0,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        for label, p in (
+            ("ship_loss_prob", ship_loss_prob),
+            ("agg_crash_prob", agg_crash_prob),
+            ("worker_crash_prob", worker_crash_prob),
+        ):
+            if not 0.0 <= p < 1.0:
+                raise ConfigError(f"{label} must be in [0, 1), got {p}")
+        self.ship_loss_prob = float(ship_loss_prob)
+        self.agg_crash_prob = float(agg_crash_prob)
+        self.worker_crash_prob = float(worker_crash_prob)
+
+    @classmethod
+    def from_fault_model(cls, faults, **kwargs) -> "CedarFailureAwarePolicy":
+        """Build from a :class:`repro.faults.FaultModel` (duck-typed —
+        anything with the three ``*_prob`` attributes works)."""
+        return cls(
+            ship_loss_prob=faults.ship_loss_prob,
+            agg_crash_prob=faults.agg_crash_prob,
+            worker_crash_prob=faults.worker_crash_prob,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def shipment_survival(self) -> float:
+        """Probability one aggregator's shipment reaches its parent."""
+        return (1.0 - self.ship_loss_prob) * (1.0 - self.agg_crash_prob)
+
+    @property
+    def worker_survival(self) -> float:
+        """Probability one leaf worker's output ever arrives."""
+        return 1.0 - self.worker_crash_prob
+
+    @staticmethod
+    def _deflate(k: int, survival: float) -> int:
+        return max(1, int(round(k * survival)))
+
+    def _deflated_tree(self, tree: TreeSpec) -> TreeSpec:
+        """The tree upper-level schedules plan for: fan-outs shrunk to
+        the inputs expected to actually show up."""
+        stages = [
+            Stage(
+                tree.stages[0].duration,
+                self._deflate(tree.stages[0].fanout, self.worker_survival),
+            )
+        ]
+        for stage in tree.stages[1:]:
+            stages.append(
+                Stage(
+                    stage.duration,
+                    self._deflate(stage.fanout, self.shipment_survival),
+                )
+            )
+        return TreeSpec(stages)
+
+    def _optimizer(self, ctx: QueryContext) -> WaitOptimizer:
+        key = (
+            ctx.offline_tree.stages[1:],
+            round(ctx.deadline, 12),
+            self.shipment_survival,
+        )
+        found = self._optimizers.get(key)
+        if found is None:
+            found = FailureAwareWaitOptimizer(
+                ctx.offline_tree.stages[1:],
+                ctx.deadline,
+                self.grid_points,
+                shipment_survival=self.shipment_survival,
+            )
+            self._optimizers[key] = found
+        return found
+
+    def controller(self, ctx: QueryContext, level: int) -> AggregatorController:
+        _check_level(ctx, level)
+        if level == 1:
+            return AdaptiveController(
+                estimator=self._estimator_factory(),
+                optimizer=self._optimizer(ctx),
+                k=ctx.offline_tree.stages[0].fanout,
+                deadline=ctx.deadline,
+                min_samples=self.min_samples,
+                reoptimize_every=self.reoptimize_every,
+            )
+        sched = self._schedules.schedule(
+            self._deflated_tree(ctx.offline_tree), ctx.deadline
+        )
+        return StaticController(min(sched.stop_for_level(level), ctx.deadline))
 
 
 class CedarEmpiricalPolicy(CedarPolicy):

@@ -148,16 +148,27 @@ class WaitCurve:
 
 
 def sweep_wait(
-    x1: Distribution, k1: int, tail: QualityGrid
+    x1: Distribution, k1: int, tail: QualityGrid, gain_discount: float = 1.0
 ) -> WaitCurve:
     """Vectorized Pseudocode 2 for the bottom stage of a tree.
 
     Sweeps wait ``c`` from 0 to the tail grid's deadline in steps of
     ``tail.epsilon``, accumulating Equation-3 gains minus Equation-4
     losses against the precomputed tail quality ``q_{n-1}``.
+
+    ``gain_discount`` scales the *gain* term only. The failure-aware
+    policies set it to the shipment survival probability: on lossy
+    infrastructure the payoff of waiting for one more output only
+    materializes if the shipment survives, while the exposure of the
+    outputs already held is borne regardless — so the optimum shifts
+    toward shorter waits as survival drops.
     """
     if k1 < 1:
         raise ConfigError(f"k1 must be >= 1, got {k1}")
+    if not 0.0 < gain_discount <= 1.0:
+        raise ConfigError(
+            f"gain_discount must be in (0, 1], got {gain_discount}"
+        )
     q_tail = tail.values
     m = len(q_tail) - 1
     eps = tail.epsilon
@@ -165,7 +176,9 @@ def sweep_wait(
     f = np.clip(np.asarray(x1.cdf(grid), dtype=float), 0.0, 1.0)
     held = f - f**k1  # (F - F^k), the loss-exposure factor
     # step i covers (i*eps, (i+1)*eps]; arrays indexed i = 0..m-1
-    gains = np.diff(f) * q_tail[::-1][1:]  # (F[i+1]-F[i]) * q_tail[m-(i+1)]
+    gains = (
+        gain_discount * np.diff(f) * q_tail[::-1][1:]
+    )  # (F[i+1]-F[i]) * q_tail[m-(i+1)]
     q_rev = q_tail[::-1]  # q_rev[i] = q_tail[m-i]
     losses = held[:-1] * (q_rev[:-1] - q_rev[1:])  # held[i]*(q[m-i]-q[m-i-1])
     net = np.concatenate(([0.0], np.cumsum(gains - losses)))

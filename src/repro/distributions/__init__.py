@@ -22,7 +22,7 @@ from .lognormal import LogNormal
 from .mixture import Mixture, lognormal_with_pareto_tail
 from .normal import Normal, TruncatedNormal
 from .pareto import Pareto
-from .transforms import Scaled, Shifted, Truncated
+from .transforms import Scaled, Shifted, Thinned, Truncated
 from .uniform import Uniform
 from .weibull import Weibull
 
@@ -41,6 +41,7 @@ __all__ = [
     "lognormal_with_pareto_tail",
     "Scaled",
     "Shifted",
+    "Thinned",
     "Truncated",
     "FitResult",
     "fit_family",

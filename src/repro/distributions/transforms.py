@@ -17,7 +17,7 @@ from ..errors import DistributionError
 from ..rng import SeedLike
 from .base import Distribution
 
-__all__ = ["Scaled", "Shifted", "Truncated"]
+__all__ = ["Scaled", "Shifted", "Thinned", "Truncated"]
 
 
 class Scaled(Distribution):
@@ -108,6 +108,70 @@ class Shifted(Distribution):
     def support(self) -> tuple[float, float]:
         lo, hi = self.inner.support()
         return (lo + self.offset, hi + self.offset)
+
+
+class Thinned(Distribution):
+    """Defective distribution of an arrival that may never happen.
+
+    With probability ``survival`` the event occurs at time ``X`` (the
+    inner distribution); otherwise it never occurs (``+inf``). The CDF is
+    ``survival * F(x)`` — it saturates below one, which is exactly how a
+    wait optimizer should see arrivals from workers that crash with
+    probability ``1 - survival``: waiting longer can never recover the
+    missing mass.
+    """
+
+    family = "thinned"
+
+    def __init__(self, inner: Distribution, survival: float):
+        if not 0.0 < survival <= 1.0:
+            raise DistributionError(
+                f"survival must be in (0, 1], got {survival}"
+            )
+        self.inner = inner
+        self.survival = float(survival)
+
+    def params(self) -> Mapping[str, float]:
+        out = {f"inner.{k}": v for k, v in self.inner.params().items()}
+        out["survival"] = self.survival
+        return out
+
+    def cdf(self, x):
+        out = np.asarray(self.inner.cdf(x), dtype=float) * self.survival
+        return float(out) if out.ndim == 0 else out
+
+    def pdf(self, x):
+        out = np.asarray(self.inner.pdf(x), dtype=float) * self.survival
+        return float(out) if out.ndim == 0 else out
+
+    def quantile(self, p):
+        p_arr = np.asarray(p, dtype=float)
+        if np.any((p_arr < 0.0) | (p_arr > 1.0)):
+            raise DistributionError(f"quantile probability out of [0,1]: {p!r}")
+        inner = np.asarray(
+            self.inner.quantile(np.minimum(p_arr / self.survival, 1.0)),
+            dtype=float,
+        )
+        out = np.where(p_arr < self.survival, inner, np.inf)
+        return float(out) if out.ndim == 0 else out
+
+    def sample(self, size=1, seed: SeedLike = None):
+        from ..rng import resolve_rng
+
+        rng = resolve_rng(seed)
+        values = np.asarray(self.inner.sample(size, seed=rng), dtype=float)
+        survives = rng.random(np.shape(values)) < self.survival
+        return np.where(survives, values, np.inf)
+
+    def mean(self) -> float:
+        return math.inf if self.survival < 1.0 else self.inner.mean()
+
+    def var(self) -> float:
+        return math.inf if self.survival < 1.0 else self.inner.var()
+
+    def support(self) -> tuple[float, float]:
+        lo, _ = self.inner.support()
+        return (lo, math.inf)
 
 
 class Truncated(Distribution):

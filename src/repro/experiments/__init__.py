@@ -19,6 +19,7 @@ from . import (
     fig15_cosmos,
     fig16_sigma,
     fig17_gaussian,
+    robustness,
 )
 from .common import ExperimentReport, pick
 from .store import ReportDiff, compare_reports, load_report, save_report
@@ -45,6 +46,7 @@ ALL = {
     "fig16-google": lambda scale="quick", seed=None: fig16_sigma.run_variant("google", scale, seed),
     "fig16-facebook": lambda scale="quick", seed=None: fig16_sigma.run_variant("facebook", scale, seed),
     "fig17": fig17_gaussian.run,
+    "robustness": robustness.run,
 }
 
 __all__ = [

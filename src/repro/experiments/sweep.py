@@ -30,6 +30,7 @@ from typing import Mapping
 from ..core import (
     CedarDeepPolicy,
     CedarEmpiricalPolicy,
+    CedarFailureAwarePolicy,
     CedarOfflinePolicy,
     CedarPolicy,
     EqualSplitPolicy,
@@ -38,7 +39,7 @@ from ..core import (
     ProportionalSplitPolicy,
 )
 from ..core.wait_table import CedarTabulatedPolicy
-from ..errors import ConfigError
+from ..errors import ConfigError, SimulationError
 from ..simulation import run_experiment
 from ..traces import make_workload
 from .common import ExperimentReport
@@ -54,6 +55,14 @@ POLICY_FACTORIES = {
     "cedar-empirical": lambda gp: CedarEmpiricalPolicy(grid_points=gp),
     "cedar-offline": lambda gp: CedarOfflinePolicy(grid_points=gp),
     "cedar-tabulated": lambda gp: CedarTabulatedPolicy(grid_points=gp),
+    # default rates; a sweep's "faults" block overrides them (run_sweep
+    # rebuilds the policy from the spec's fault model).
+    "cedar-failure-aware": lambda gp: CedarFailureAwarePolicy(
+        ship_loss_prob=0.05,
+        agg_crash_prob=0.05,
+        worker_crash_prob=0.05,
+        grid_points=gp,
+    ),
     "ideal": lambda gp: IdealPolicy(grid_points=gp),
 }
 
@@ -82,6 +91,9 @@ def load_spec(doc: Mapping) -> dict:
     n_queries = int(doc.get("n_queries", 50))
     if n_queries < 1:
         raise ConfigError("n_queries must be >= 1")
+    faults_doc = doc.get("faults")
+    if faults_doc is not None and not isinstance(faults_doc, Mapping):
+        raise ConfigError("sweep spec 'faults' must be an object of rates")
     return {
         "name": str(doc.get("name", "sweep")),
         "workload_name": str(workload["name"]),
@@ -92,6 +104,7 @@ def load_spec(doc: Mapping) -> dict:
         "agg_sample": doc.get("agg_sample"),
         "seed": doc.get("seed"),
         "grid_points": int(doc.get("grid_points", 256)),
+        "faults": dict(faults_doc) if faults_doc else None,
     }
 
 
@@ -100,7 +113,24 @@ def run_sweep(doc: Mapping) -> ExperimentReport:
     spec = load_spec(doc)
     workload = make_workload(spec["workload_name"], **spec["workload_kwargs"])
     gp = spec["grid_points"]
+    faults = None
+    if spec["faults"]:
+        from ..faults import FaultModel
+
+        try:
+            faults = FaultModel(**spec["faults"])
+        except (TypeError, SimulationError) as exc:
+            raise ConfigError(f"bad sweep 'faults' block: {exc}") from exc
     policies = [POLICY_FACTORIES[name](gp) for name in spec["policies"]]
+    if faults is not None:
+        # the failure-aware policy should plan for the rates this sweep
+        # actually injects, not its catalog defaults
+        policies = [
+            CedarFailureAwarePolicy.from_fault_model(faults, grid_points=gp)
+            if isinstance(p, CedarFailureAwarePolicy)
+            else p
+            for p in policies
+        ]
     if "ideal" in spec["policies"] and not hasattr(workload, "sample_query"):
         raise ConfigError("ideal policy needs a generative workload")
 
@@ -116,6 +146,7 @@ def run_sweep(doc: Mapping) -> ExperimentReport:
             spec["n_queries"],
             seed=spec["seed"],
             agg_sample=spec["agg_sample"],
+            faults=faults,
         )
         row = [deadline] + [
             round(res.mean_quality(name), 3) for name in spec["policies"]

@@ -1,0 +1,47 @@
+"""Cross-layer fault-tolerance subsystem.
+
+The paper motivates endhost-only wait policies partly because network
+alternatives "complicate the root and aggregator executions along with
+their failure semantics" (§1). This package makes failure semantics a
+first-class, unified concern across all three execution layers of the
+reproduction:
+
+* :class:`FaultModel` / :func:`simulate_query_with_faults` — analytic
+  fault injection for the trace-driven simulator: shipment loss,
+  aggregator crash, worker crash, straggler slowdown, and correlated
+  machine-domain failures, on trees of any depth;
+* :class:`FaultDomainMap` / :func:`domains_for_cluster` — the bridge to
+  the cluster substrate: aggregators inherit their machine's fault
+  domain, so bursty machine failures take out co-located aggregators;
+* :class:`ChaosTransport` — fault injection for the wall-clock asyncio/
+  TCP service (dropped workers, reset aggregator sessions, truncated
+  writes), with ground-truth counters for the chaos tests;
+* the policy side lives in :class:`repro.core.CedarFailureAwarePolicy`,
+  which folds these loss probabilities into the wait optimization.
+
+The draw-order contract that keeps seeded fault runs bit-stable as new
+classes are added is documented in :mod:`repro.faults.model`.
+"""
+
+from .chaos import ChaosTransport
+from .inject import FaultyQueryResult, simulate_query_with_faults
+from .model import (
+    FAULT_DRAW_ORDER,
+    FaultDomainMap,
+    FaultDraws,
+    FaultModel,
+    domains_for_cluster,
+    draw_faults,
+)
+
+__all__ = [
+    "FAULT_DRAW_ORDER",
+    "FaultModel",
+    "FaultDomainMap",
+    "FaultDraws",
+    "draw_faults",
+    "domains_for_cluster",
+    "FaultyQueryResult",
+    "simulate_query_with_faults",
+    "ChaosTransport",
+]

@@ -1,0 +1,119 @@
+"""Chaos injection for the wall-clock (asyncio/TCP) service.
+
+The simulator's :class:`~repro.faults.FaultModel` decides failures
+analytically; the real service needs them to *happen* — sockets that
+never connect, workers that die mid-computation, aggregator sessions that
+reset while shipping. :class:`ChaosTransport` is the single decision
+point the service layer consults: each ``*_prob`` knob fires
+independently per event, every firing is counted, and the counters are
+the ground truth chaos tests compare the root's failure accounting
+against.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..rng import SeedLike, resolve_rng
+from .model import FaultModel
+
+__all__ = ["ChaosTransport"]
+
+
+class ChaosTransport:
+    """Injects drops, delays, and disconnects into the live service.
+
+    Parameters
+    ----------
+    worker_kill_prob:
+        A worker dies mid-computation; its output is never sent.
+    ship_drop_prob:
+        An aggregator's TCP session to the root dies before the shipment
+        is written (connection reset / aggregator crash).
+    worker_delay_prob / worker_delay:
+        A worker's connect is delayed by ``worker_delay`` extra virtual
+        time units (slow connect / SYN retransmit).
+    corrupt_prob:
+        A worker's connection is cut mid-write, leaving a truncated
+        (malformed) line on the aggregator's socket.
+    """
+
+    def __init__(
+        self,
+        worker_kill_prob: float = 0.0,
+        ship_drop_prob: float = 0.0,
+        worker_delay_prob: float = 0.0,
+        worker_delay: float = 0.0,
+        corrupt_prob: float = 0.0,
+        seed: SeedLike = None,
+    ):
+        for name, p in (
+            ("worker_kill_prob", worker_kill_prob),
+            ("ship_drop_prob", ship_drop_prob),
+            ("worker_delay_prob", worker_delay_prob),
+            ("corrupt_prob", corrupt_prob),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ConfigError(f"{name} must be in [0,1], got {p}")
+        if worker_delay < 0.0:
+            raise ConfigError(
+                f"worker_delay must be >= 0, got {worker_delay}"
+            )
+        self.worker_kill_prob = float(worker_kill_prob)
+        self.ship_drop_prob = float(ship_drop_prob)
+        self.worker_delay_prob = float(worker_delay_prob)
+        self.worker_delay = float(worker_delay)
+        self.corrupt_prob = float(corrupt_prob)
+        self._rng = resolve_rng(seed)
+        # ground-truth counters (what actually fired)
+        self.killed_workers = 0
+        self.dropped_shipments = 0
+        self.delayed_workers = 0
+        self.corrupted_connections = 0
+
+    @classmethod
+    def from_fault_model(
+        cls, model: FaultModel, seed: SeedLike = None
+    ) -> "ChaosTransport":
+        """Chaos knobs matching a simulator fault model: worker crashes
+        kill workers, shipment loss + aggregator crash both kill the
+        aggregator->root session."""
+        return cls(
+            worker_kill_prob=model.worker_crash_prob,
+            ship_drop_prob=1.0 - model.shipment_survival,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    def kills_worker(self) -> bool:
+        """Decide whether this worker dies mid-computation."""
+        if self._rng.random() < self.worker_kill_prob:
+            self.killed_workers += 1
+            return True
+        return False
+
+    def drops_shipment(self) -> bool:
+        """Decide whether this aggregator's root session dies."""
+        if self._rng.random() < self.ship_drop_prob:
+            self.dropped_shipments += 1
+            return True
+        return False
+
+    def worker_connect_delay(self) -> float:
+        """Extra virtual delay before this worker connects (0 = none)."""
+        if self.worker_delay_prob and self._rng.random() < self.worker_delay_prob:
+            self.delayed_workers += 1
+            return self.worker_delay
+        return 0.0
+
+    def corrupts_connection(self) -> bool:
+        """Decide whether this worker's write is cut mid-line."""
+        if self._rng.random() < self.corrupt_prob:
+            self.corrupted_connections += 1
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ChaosTransport kill={self.worker_kill_prob} "
+            f"drop={self.ship_drop_prob} corrupt={self.corrupt_prob}>"
+        )

@@ -1,0 +1,215 @@
+"""N-level query simulation under fault injection.
+
+Generalizes the original two-level-only fault simulator to arbitrary tree
+depths and to the full fault-class catalog of :class:`~repro.faults.FaultModel`.
+The control flow mirrors :func:`repro.simulation.simulate_query` exactly —
+same sampling calls, in the same order, against the same generator — and
+all fault indicators come from a child stream spawned off that generator
+(see the draw-order contract in :mod:`repro.faults.model`). Consequence:
+with every probability at zero the result is **bit-identical** to the
+fault-free simulator on the same seed, which the tests assert field by
+field.
+
+Failure semantics:
+
+* a crashed worker's output never arrives (its duration becomes ``inf``);
+* a straggler's duration is multiplied by ``straggler_factor``;
+* a crashed aggregator (directly or via its fault domain) ships nothing —
+  everything it collected is lost, at any level;
+* a lost shipment vanishes between an aggregator and its parent;
+* the root includes whatever still arrives by the deadline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core import QueryContext, WaitPolicy
+from ..errors import SimulationError
+from ..rng import SeedLike, resolve_rng
+from ..simulation.query import _run_aggregator
+from .model import FaultDraws, FaultModel, draw_faults
+
+__all__ = ["FaultyQueryResult", "simulate_query_with_faults"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultyQueryResult:
+    """Outcome of one query under fault injection."""
+
+    quality: float
+    included_outputs: int
+    total_outputs: int
+    crashed_aggregators: int
+    lost_shipments: int
+    crashed_workers: int = 0
+    straggler_workers: int = 0
+    failed_domains: int = 0
+    #: per-level mean stop time (crashed aggregators included — the crash
+    #: happens after the wait decision, so the stop is still meaningful).
+    mean_stops: tuple[float, ...] = ()
+    #: shipments that survived every fault but reached the root too late.
+    late_at_root: int = 0
+
+
+@dataclasses.dataclass
+class _Shipment:
+    arrival: float  # inf when crashed or lost
+    payload: int
+
+
+def _fault_stream(rng: np.random.Generator) -> np.random.Generator:
+    """The dedicated fault stream: a child spawned off the simulation
+    generator, so fault draws never perturb duration draws."""
+    return np.random.default_rng(rng.bit_generator.seed_seq.spawn(1)[0])
+
+
+def simulate_query_with_faults(
+    ctx: QueryContext,
+    policy: WaitPolicy,
+    faults: FaultModel,
+    seed: SeedLike = None,
+) -> FaultyQueryResult:
+    """Simulate one n-level query end-to-end under ``faults``."""
+    tree = ctx.true_tree if ctx.true_tree is not None else ctx.offline_tree
+    rng = resolve_rng(seed)
+    policy.begin_query(ctx)
+
+    fanouts = tree.fanouts
+    dists = tree.distributions
+    n_stages = tree.n_stages
+    deadline = ctx.deadline
+    level_counts = [tree.aggregators_at_level(lv) for lv in range(1, n_stages)]
+    n_bottom = level_counts[0]
+    k1 = fanouts[0]
+
+    if faults.domains is not None and faults.domains.n_aggregators != n_bottom:
+        raise SimulationError(
+            f"fault domain map covers {faults.domains.n_aggregators} "
+            f"aggregators, tree has {n_bottom} bottom-level aggregators"
+        )
+
+    # ---- duration draws: same calls, same order as simulate_query -----
+    raw_durations = np.asarray(
+        dists[0].sample((n_bottom, k1), seed=rng), dtype=float
+    )
+    ship_durations_by_level = [
+        np.asarray(dists[1].sample(n_bottom, seed=rng), dtype=float)
+    ]
+    for level in range(2, n_stages):
+        ship_durations_by_level.append(
+            np.asarray(
+                dists[level].sample(level_counts[level - 1], seed=rng),
+                dtype=float,
+            )
+        )
+
+    # ---- fault draws: dedicated child stream, contract order ----------
+    draws: FaultDraws = draw_faults(
+        _fault_stream(rng), faults, n_bottom, k1, level_counts
+    )
+    straggler_workers = int(np.count_nonzero(draws.stragglers))
+    crashed_workers = int(np.count_nonzero(draws.worker_crashes))
+    if faults.straggler_factor != 1.0:
+        raw_durations = np.where(
+            draws.stragglers,
+            raw_durations * faults.straggler_factor,
+            raw_durations,
+        )
+    raw_durations = np.where(draws.worker_crashes, np.inf, raw_durations)
+    durations = np.sort(raw_durations, axis=1)
+
+    failed_domains = int(np.count_nonzero(draws.domain_failures))
+    if faults.domains is not None:
+        domain_dead = draws.domain_failures[
+            np.asarray(faults.domains.assignment, dtype=int)
+        ]
+    else:
+        domain_dead = np.zeros(n_bottom, dtype=bool)
+
+    crashed = 0
+    lost = 0
+    mean_stops: list[float] = []
+
+    # ---- level 1: processes -> bottom aggregators ---------------------
+    shipments: list[_Shipment] = []
+    stops_acc = 0.0
+    for a in range(n_bottom):
+        controller = policy.controller(ctx, 1)
+        depart, payload = _run_aggregator(controller, durations[a], None)
+        stops_acc += depart
+        if draws.agg_crashes[0][a] or domain_dead[a]:
+            crashed += 1
+            shipments.append(_Shipment(arrival=np.inf, payload=0))
+        elif draws.ship_losses[0][a]:
+            lost += 1
+            shipments.append(_Shipment(arrival=np.inf, payload=0))
+        else:
+            shipments.append(
+                _Shipment(
+                    arrival=depart + float(ship_durations_by_level[0][a]),
+                    payload=payload,
+                )
+            )
+    mean_stops.append(stops_acc / max(1, n_bottom))
+
+    # ---- levels 2 .. n-1: aggregators of aggregators ------------------
+    for level in range(2, n_stages):
+        group = fanouts[level - 1]
+        n_aggs = level_counts[level - 1]
+        if n_aggs * group != len(shipments):
+            raise SimulationError(
+                f"level {level}: {len(shipments)} shipments not divisible "
+                f"by fan-out {group}"
+            )
+        ship_durations = ship_durations_by_level[level - 1]
+        next_shipments: list[_Shipment] = []
+        stops_acc = 0.0
+        for a in range(n_aggs):
+            batch = shipments[a * group : (a + 1) * group]
+            order = np.argsort([s.arrival for s in batch], kind="stable")
+            arrivals = np.array([batch[i].arrival for i in order])
+            payloads = np.array([batch[i].payload for i in order])
+            controller = policy.controller(ctx, level)
+            depart, payload = _run_aggregator(controller, arrivals, payloads)
+            stops_acc += depart
+            if draws.agg_crashes[level - 1][a]:
+                crashed += 1
+                next_shipments.append(_Shipment(arrival=np.inf, payload=0))
+            elif draws.ship_losses[level - 1][a]:
+                lost += 1
+                next_shipments.append(_Shipment(arrival=np.inf, payload=0))
+            else:
+                next_shipments.append(
+                    _Shipment(
+                        arrival=depart + float(ship_durations[a]),
+                        payload=payload,
+                    )
+                )
+        mean_stops.append(stops_acc / max(1, n_aggs))
+        shipments = next_shipments
+
+    # ---- root: include shipments arriving by the deadline -------------
+    included = 0
+    late_count = 0
+    for s in shipments:
+        if s.arrival <= deadline:
+            included += s.payload
+        elif np.isfinite(s.arrival):
+            late_count += 1
+
+    total = tree.total_processes
+    return FaultyQueryResult(
+        quality=included / total if total else 0.0,
+        included_outputs=included,
+        total_outputs=total,
+        crashed_aggregators=crashed,
+        lost_shipments=lost,
+        crashed_workers=crashed_workers,
+        straggler_workers=straggler_workers,
+        failed_domains=failed_domains,
+        mean_stops=tuple(mean_stops),
+        late_at_root=late_count,
+    )

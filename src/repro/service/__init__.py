@@ -12,6 +12,7 @@ from .aggregator import AggregatorService
 from .clock import Clock
 from .messages import Output, Shipment, decode, encode
 from .root import RealTimeQueryResult, run_realtime_query
+from .tcp import run_tcp_query
 from .transport import AggregatorServer, receive_shipment, send_output
 from .worker import ProcessWorker
 
@@ -19,6 +20,7 @@ __all__ = [
     "AggregatorServer",
     "send_output",
     "receive_shipment",
+    "run_tcp_query",
     "Clock",
     "Output",
     "Shipment",

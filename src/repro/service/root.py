@@ -28,7 +28,14 @@ __all__ = ["RealTimeQueryResult", "run_realtime_query"]
 
 @dataclasses.dataclass(frozen=True)
 class RealTimeQueryResult:
-    """Outcome of one real-time query."""
+    """Outcome of one real-time query.
+
+    The failure fields stay at their zero defaults on the healthy path;
+    the TCP runner (:mod:`repro.service.tcp`) fills them in so a caller
+    can tell a clean ``quality=0.8`` from one shaped by infrastructure
+    failures. ``degraded`` is True iff any failure counter is nonzero or
+    fewer shipments than aggregators arrived.
+    """
 
     quality: float
     included_outputs: int
@@ -36,6 +43,11 @@ class RealTimeQueryResult:
     combined_value: float
     shipments_received: int
     elapsed_virtual: float
+    degraded: bool = False
+    worker_failures: int = 0
+    aggregator_failures: int = 0
+    missing_shipments: int = 0
+    malformed_lines: int = 0
 
 
 async def _deliver_with_delay(

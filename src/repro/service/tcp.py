@@ -1,0 +1,221 @@
+"""Full-TCP query runner: every hop of one query over real sockets.
+
+:mod:`repro.service.root` runs the topology over in-process queues; this
+module is the same query with *sockets everywhere* — workers dial their
+aggregator with :func:`~repro.service.transport.send_output` (backoff
+retries included), aggregators run
+:meth:`~repro.service.transport.AggregatorServer.collect_and_ship`
+against a root TCP listener, and the root gathers shipments until the
+wall-clock deadline.
+
+Because every hop is a real connection, a
+:class:`~repro.faults.ChaosTransport` can break any of them: kill
+workers mid-computation, delay connects, cut a worker's write mid-line,
+or reset an aggregator's root session before the shipment goes out. The
+root degrades gracefully — it returns whatever arrived by the deadline,
+flags the response ``degraded``, and reports per-failure counters that
+chaos tests compare against the injector's ground truth.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+import numpy as np
+
+from ..core import QueryContext, WaitPolicy
+from ..errors import ConfigError
+from ..rng import SeedLike, resolve_rng
+from .clock import Clock
+from .messages import Output, Shipment
+from .root import RealTimeQueryResult
+from .transport import AggregatorServer, receive_shipment, send_output
+
+__all__ = ["run_tcp_query"]
+
+#: corrupt payload a chaos-cut worker leaves on the socket — valid UTF-8,
+#: never valid JSON, newline-terminated so the server's readline returns.
+_CORRUPT_PAYLOAD = b'{"type": "output", "process_id": \n'
+
+
+async def _run_root(
+    shipments: "asyncio.Queue[Shipment]",
+    clock: Clock,
+    deadline: float,
+    expected: int,
+) -> tuple[int, int, float]:
+    """Collect shipments until all arrive or the deadline passes."""
+    included = 0
+    combined = 0.0
+    received = 0
+    while received < expected:
+        remaining = deadline - clock.now()
+        if remaining <= 0.0:
+            break
+        try:
+            shipment = await asyncio.wait_for(
+                shipments.get(), timeout=remaining * clock.time_scale
+            )
+        except asyncio.TimeoutError:
+            break
+        received += 1
+        included += shipment.payload
+        combined += shipment.value
+    return included, received, combined
+
+
+async def _run(
+    ctx: QueryContext,
+    policy: WaitPolicy,
+    clock: Clock,
+    rng: np.random.Generator,
+    chaos=None,
+) -> RealTimeQueryResult:
+    tree = ctx.true_tree if ctx.true_tree is not None else ctx.offline_tree
+    if tree.n_stages != 2:
+        raise ConfigError(
+            f"the TCP service runs two-level trees; got {tree.n_stages}"
+        )
+    k1, k2 = tree.fanouts
+    x1, x2 = tree.distributions
+    deadline = ctx.deadline
+    policy.begin_query(ctx)
+
+    # same sampling order as the in-process runner, for seed parity
+    durations = np.asarray(x1.sample((k2, k1), seed=rng), dtype=float)
+    ship_delays = np.asarray(x2.sample(k2, seed=rng), dtype=float)
+
+    # ---- root listener -----------------------------------------------
+    shipments: asyncio.Queue[Shipment] = asyncio.Queue()
+
+    async def root_handler(reader, writer):
+        try:
+            shipment = await receive_shipment(reader)
+        except ConfigError:
+            shipment = None
+        if shipment is not None:
+            await shipments.put(shipment)
+        writer.close()
+
+    root_server = await asyncio.start_server(
+        root_handler, host="127.0.0.1", port=0
+    )
+    root_port = root_server.sockets[0].getsockname()[1]
+
+    # ---- aggregators --------------------------------------------------
+    servers: list[AggregatorServer] = []
+    for a in range(k2):
+        server = AggregatorServer(
+            fanout=k1,
+            controller=policy.controller(ctx, 1),
+            clock=clock,
+            aggregator_id=a,
+            read_timeout=deadline,
+        )
+        await server.start()
+        servers.append(server)
+
+    clock.start()
+    worker_failures = 0
+
+    # ---- workers ------------------------------------------------------
+    async def run_worker(a: int, p: int) -> None:
+        if chaos is not None and chaos.kills_worker():
+            return  # died mid-computation: the output never exists
+        delay = float(durations[a, p])
+        payload: Optional[bytes] = None
+        if chaos is not None:
+            delay += chaos.worker_connect_delay()
+            if chaos.corrupts_connection():
+                payload = _CORRUPT_PAYLOAD
+        await send_output(
+            "127.0.0.1",
+            servers[a].port,
+            Output(
+                process_id=a * k1 + p,
+                aggregator_id=a,
+                emitted_at=delay,
+                value=1.0,
+            ),
+            clock,
+            delay=delay,
+            deadline=deadline,
+            payload=payload,
+        )
+
+    # ---- aggregator sessions -----------------------------------------
+    async def run_aggregator(a: int) -> Shipment:
+        reader, writer = await asyncio.open_connection("127.0.0.1", root_port)
+        if chaos is not None and chaos.drops_shipment():
+            # the TCP session to the root dies before shipping; the
+            # collect loop still runs and degrades via ship_failures.
+            writer.close()
+            await writer.wait_closed()
+        try:
+            return await servers[a].collect_and_ship(
+                writer, ship_delay=float(ship_delays[a])
+            )
+        finally:
+            if not writer.is_closing():
+                writer.close()
+
+    tasks = [
+        asyncio.ensure_future(run_worker(a, p))
+        for a in range(k2)
+        for p in range(k1)
+    ]
+    agg_tasks = [asyncio.ensure_future(run_aggregator(a)) for a in range(k2)]
+
+    included, received, combined = await _run_root(
+        shipments, clock, deadline, k2
+    )
+    elapsed = clock.now()
+
+    for task in tasks + agg_tasks:
+        task.cancel()
+    await asyncio.gather(*tasks, *agg_tasks, return_exceptions=True)
+    for server in servers:
+        await server.close()
+    root_server.close()
+    await root_server.wait_closed()
+
+    if chaos is not None:
+        worker_failures = chaos.killed_workers
+    aggregator_failures = sum(s.ship_failures for s in servers)
+    malformed = sum(s.malformed_lines for s in servers)
+    missing = k2 - received
+    total = k1 * k2
+    return RealTimeQueryResult(
+        quality=included / total,
+        included_outputs=included,
+        total_outputs=total,
+        combined_value=combined,
+        shipments_received=received,
+        elapsed_virtual=elapsed,
+        degraded=bool(
+            worker_failures or aggregator_failures or malformed or missing
+        ),
+        worker_failures=worker_failures,
+        aggregator_failures=aggregator_failures,
+        missing_shipments=missing,
+        malformed_lines=malformed,
+    )
+
+
+def run_tcp_query(
+    ctx: QueryContext,
+    policy: WaitPolicy,
+    time_scale: float = 0.001,
+    seed: SeedLike = None,
+    chaos=None,
+) -> RealTimeQueryResult:
+    """Execute one query with every hop over localhost TCP.
+
+    ``chaos`` (a :class:`repro.faults.ChaosTransport`) optionally breaks
+    workers, connects, writes, and aggregator->root sessions; the result
+    carries a ``degraded`` flag and per-failure counters either way.
+    """
+    clock = Clock(time_scale=time_scale)
+    rng = resolve_rng(seed)
+    return asyncio.run(_run(ctx, policy, clock, rng, chaos=chaos))

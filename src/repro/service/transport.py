@@ -10,11 +10,26 @@ smallest faithful instance of the paper's claim that Cedar "can be
 implemented entirely at the endhosts ... a simpler and easily deployable
 solution" — no network-layer cooperation, just timers around a socket
 read loop.
+
+Self-healing behaviors (robustness extension):
+
+* :func:`send_output` retries refused/reset connections with exponential
+  backoff and jitter, bounded by the remaining deadline budget — closing
+  the startup race where a worker dials before its aggregator listens,
+  and riding out transient connection drops.
+* :class:`AggregatorServer` accounts for malformed lines and dropped
+  connections (observable counters + log lines) instead of silently
+  swallowing them, and can bound each connection read with a timeout.
+* :meth:`AggregatorServer.collect_and_ship` degrades gracefully when the
+  root session is already dead: the shipment is still assembled (and the
+  failure counted) rather than the coroutine crashing.
 """
 
 from __future__ import annotations
 
 import asyncio
+import logging
+import random
 from typing import Optional
 
 from ..core import AggregatorController
@@ -24,9 +39,25 @@ from .messages import Output, Shipment, decode, encode
 
 __all__ = ["AggregatorServer", "send_output", "receive_shipment"]
 
+logger = logging.getLogger("repro.service.transport")
+
+#: first real-seconds backoff pause of :func:`send_output`.
+DEFAULT_BACKOFF_BASE = 0.01
+#: multiplier between consecutive backoff pauses.
+DEFAULT_BACKOFF_FACTOR = 2.0
+#: connection attempts before giving up (initial try + retries).
+DEFAULT_MAX_ATTEMPTS = 5
+
 
 class AggregatorServer:
-    """One aggregator endpoint behind a TCP listener."""
+    """One aggregator endpoint behind a TCP listener.
+
+    ``read_timeout`` (virtual units) bounds each line read per
+    connection; a worker that connects and then stalls forever costs at
+    most one timeout instead of a leaked reader task. Malformed lines and
+    dropped connections are counted on :attr:`malformed_lines` /
+    :attr:`dropped_connections` so lost outputs are observable.
+    """
 
     def __init__(
         self,
@@ -35,18 +66,32 @@ class AggregatorServer:
         clock: Clock,
         aggregator_id: int = 0,
         host: str = "127.0.0.1",
+        read_timeout: Optional[float] = None,
     ):
         if fanout < 1:
             raise ConfigError(f"fanout must be >= 1, got {fanout}")
+        if read_timeout is not None and read_timeout <= 0.0:
+            raise ConfigError(
+                f"read_timeout must be positive, got {read_timeout}"
+            )
         self.fanout = int(fanout)
         self.controller = controller
         self.clock = clock
         self.aggregator_id = int(aggregator_id)
         self.host = host
+        self.read_timeout = read_timeout
         self._server: Optional[asyncio.base_events.Server] = None
         self._inbox: asyncio.Queue[Output] = asyncio.Queue()
         self._values: list[float] = []
         self._collected = 0
+        #: lines that failed to decode as protocol messages.
+        self.malformed_lines = 0
+        #: worker connections that died mid-read (reset/aborted).
+        self.dropped_connections = 0
+        #: connections closed because a read exceeded ``read_timeout``.
+        self.timed_out_connections = 0
+        #: shipments that could not be written to the root session.
+        self.ship_failures = 0
 
     # ------------------------------------------------------------------
     @property
@@ -67,27 +112,70 @@ class AggregatorServer:
             self._handle_connection, host=self.host, port=0
         )
 
+    async def _read_line(self, reader: asyncio.StreamReader) -> bytes:
+        if self.read_timeout is None:
+            return await reader.readline()
+        return await asyncio.wait_for(
+            reader.readline(),
+            timeout=self.read_timeout * self.clock.time_scale,
+        )
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await self._read_line(reader)
+                except asyncio.TimeoutError:
+                    self.timed_out_connections += 1
+                    logger.warning(
+                        "aggregator %d: connection read timed out after "
+                        "%s virtual units",
+                        self.aggregator_id,
+                        self.read_timeout,
+                    )
+                    break
+                except (ConnectionError, OSError):
+                    self.dropped_connections += 1
+                    logger.warning(
+                        "aggregator %d: worker connection dropped mid-read",
+                        self.aggregator_id,
+                    )
+                    break
                 if not line:
                     break
-                message = decode(line)
+                try:
+                    message = decode(line)
+                except ConfigError:
+                    # a malformed line costs itself, not the connection:
+                    # keep reading in case valid outputs follow.
+                    self.malformed_lines += 1
+                    logger.warning(
+                        "aggregator %d: dropped malformed line %r",
+                        self.aggregator_id,
+                        line[:80],
+                    )
+                    continue
                 if isinstance(message, Output):
                     await self._inbox.put(message)
-        except (ConnectionError, ConfigError):
-            pass  # a malformed or dropped worker only costs its own output
         finally:
             writer.close()
 
     # ------------------------------------------------------------------
     async def collect_and_ship(
-        self, root_writer: asyncio.StreamWriter
+        self,
+        root_writer: asyncio.StreamWriter,
+        ship_delay: float = 0.0,
     ) -> Shipment:
-        """Run the Pseudocode 1 loop; write the shipment to the root."""
+        """Run the Pseudocode 1 loop; write the shipment to the root.
+
+        ``ship_delay`` (virtual units) models the combine+ship stage
+        between stopping and the shipment reaching the wire. If the root
+        session is already dead (or dies during the write), the failure
+        is counted on :attr:`ship_failures` and the assembled shipment is
+        still returned — the caller decides what degradation means.
+        """
         if not self.clock.started:
             self.clock.start()
         while self._collected < self.fanout:
@@ -104,14 +192,31 @@ class AggregatorServer:
             self.controller.on_arrival(self.clock.now())
             self._values.append(output.value)
             self._collected += 1
+        if ship_delay > 0.0:
+            await self.clock.sleep(ship_delay)
         shipment = Shipment(
             aggregator_id=self.aggregator_id,
             payload=self._collected,
             value=float(sum(self._values)),
             departed_at=self.clock.now(),
         )
-        root_writer.write(encode(shipment))
-        await root_writer.drain()
+        if root_writer.is_closing():
+            self.ship_failures += 1
+            logger.warning(
+                "aggregator %d: root session closed before shipment; "
+                "shipping nothing upstream",
+                self.aggregator_id,
+            )
+            return shipment
+        try:
+            root_writer.write(encode(shipment))
+            await root_writer.drain()
+        except (ConnectionError, RuntimeError, OSError):
+            self.ship_failures += 1
+            logger.warning(
+                "aggregator %d: shipment write to root failed",
+                self.aggregator_id,
+            )
         return shipment
 
     async def close(self) -> None:
@@ -122,15 +227,73 @@ class AggregatorServer:
 
 
 async def send_output(
-    host: str, port: int, output: Output, clock: Clock, delay: float = 0.0
-) -> None:
-    """Worker side: compute (sleep ``delay``) then push one output."""
+    host: str,
+    port: int,
+    output: Output,
+    clock: Clock,
+    delay: float = 0.0,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    backoff_base: float = DEFAULT_BACKOFF_BASE,
+    backoff_factor: float = DEFAULT_BACKOFF_FACTOR,
+    deadline: Optional[float] = None,
+    payload: Optional[bytes] = None,
+) -> bool:
+    """Worker side: compute (sleep ``delay``) then push one output.
+
+    Connection errors (refused — e.g. the aggregator has not finished
+    :meth:`AggregatorServer.start` yet — or reset mid-write) are retried
+    up to ``max_attempts`` total tries with exponential backoff
+    (``backoff_base * backoff_factor**i`` real seconds, each pause
+    jittered by up to ±50%) so colliding workers do not re-dial in
+    lockstep. ``deadline`` (absolute virtual time) bounds the budget:
+    once past it, retrying cannot help the query anymore and the output
+    is abandoned. Returns ``True`` iff the output was delivered.
+
+    ``payload`` overrides the encoded bytes written (tests use this to
+    inject corrupt data).
+    """
+    if max_attempts < 1:
+        raise ConfigError(f"max_attempts must be >= 1, got {max_attempts}")
     await clock.sleep(delay)
-    reader, writer = await asyncio.open_connection(host, port)
-    writer.write(encode(output))
-    await writer.drain()
-    writer.close()
-    await writer.wait_closed()
+    data = encode(output) if payload is None else payload
+    pause = backoff_base
+    for attempt in range(max_attempts):
+        if (
+            deadline is not None
+            and clock.started
+            and clock.now() >= deadline
+        ):
+            logger.warning(
+                "worker %d: deadline passed after %d attempt(s); "
+                "abandoning output",
+                output.process_id,
+                attempt,
+            )
+            return False
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(data)
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+            return True
+        except (ConnectionError, OSError):
+            if attempt + 1 >= max_attempts:
+                break
+            sleep_for = pause * (0.5 + random.random())
+            if deadline is not None and clock.started:
+                budget = (deadline - clock.now()) * clock.time_scale
+                if budget <= 0.0:
+                    break
+                sleep_for = min(sleep_for, budget)
+            await asyncio.sleep(sleep_for)
+            pause *= backoff_factor
+    logger.warning(
+        "worker %d: output lost after %d attempt(s)",
+        output.process_id,
+        max_attempts,
+    )
+    return False
 
 
 async def receive_shipment(

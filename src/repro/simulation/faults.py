@@ -1,118 +1,36 @@
-"""Fault injection for the query simulator.
+"""Fault injection for the query simulator (compatibility re-export).
 
-Production aggregation trees lose messages and aggregators ("it
-complicates the root and aggregator executions along with their failure
-semantics", §1). A :class:`FaultModel` injects two failure classes into a
-two-level query:
+The fault subsystem now lives in :mod:`repro.faults`, which generalizes
+the original two-level-only injector to n-level trees and adds worker
+crashes, straggler slowdowns, and correlated machine-domain failures.
+This module keeps the historical import path working::
 
-* **shipment loss** — an aggregator's upstream message is dropped with
-  probability ``ship_loss_prob`` (its whole payload vanishes, just like
-  a missed deadline);
-* **aggregator crash** — an aggregator dies at a uniform random time
-  before its stop with probability ``agg_crash_prob``; outputs collected
-  before the crash are lost.
+    from repro.simulation import FaultModel, simulate_query_with_faults
 
-Used by the robustness tests to confirm the policy ordering
-(Cedar >= baselines) survives unreliable infrastructure, and available to
-users stress-testing their own policies.
+Draw-order note (the fix for the original crash-vs-loss ambiguity): the
+original injector drew ``crashes`` then ``losses`` from the *same*
+generator as the durations, so adding a fault class shifted every
+subsequent draw. The generalized injector draws all fault indicators
+from a child stream spawned off the simulation generator, in the fixed
+order :data:`repro.faults.FAULT_DRAW_ORDER` (crash draws still precede
+loss draws at every level, and a crashed aggregator is never *also*
+counted as lost). See :mod:`repro.faults.model` for the full contract.
 """
 
 from __future__ import annotations
 
-import dataclasses
+from ..faults import (
+    FAULT_DRAW_ORDER,
+    FaultDomainMap,
+    FaultModel,
+    FaultyQueryResult,
+    simulate_query_with_faults,
+)
 
-import numpy as np
-
-from ..core import QueryContext, WaitPolicy
-from ..errors import SimulationError
-from ..rng import SeedLike, resolve_rng
-
-__all__ = ["FaultModel", "FaultyQueryResult", "simulate_query_with_faults"]
-
-
-@dataclasses.dataclass(frozen=True)
-class FaultModel:
-    """Failure probabilities for one query."""
-
-    ship_loss_prob: float = 0.0
-    agg_crash_prob: float = 0.0
-
-    def __post_init__(self) -> None:
-        for name, p in (
-            ("ship_loss_prob", self.ship_loss_prob),
-            ("agg_crash_prob", self.agg_crash_prob),
-        ):
-            if not 0.0 <= p <= 1.0:
-                raise SimulationError(f"{name} must be in [0,1], got {p}")
-
-
-@dataclasses.dataclass(frozen=True)
-class FaultyQueryResult:
-    """Outcome of one query under fault injection."""
-
-    quality: float
-    included_outputs: int
-    total_outputs: int
-    crashed_aggregators: int
-    lost_shipments: int
-
-
-def simulate_query_with_faults(
-    ctx: QueryContext,
-    policy: WaitPolicy,
-    faults: FaultModel,
-    seed: SeedLike = None,
-) -> FaultyQueryResult:
-    """Two-level query simulation with fault injection."""
-    tree = ctx.true_tree if ctx.true_tree is not None else ctx.offline_tree
-    if tree.n_stages != 2:
-        raise SimulationError(
-            "fault injection currently covers two-level trees; "
-            f"got {tree.n_stages} stages"
-        )
-    rng = resolve_rng(seed)
-    policy.begin_query(ctx)
-
-    k1, k2 = tree.fanouts
-    x1, x2 = tree.distributions
-    deadline = ctx.deadline
-
-    durations = np.sort(np.asarray(x1.sample((k2, k1), seed=rng)), axis=1)
-    ship = np.asarray(x2.sample(k2, seed=rng), dtype=float)
-    crashes = rng.random(k2) < faults.agg_crash_prob
-    losses = rng.random(k2) < faults.ship_loss_prob
-
-    included = 0
-    crashed = 0
-    lost = 0
-    for a in range(k2):
-        controller = policy.controller(ctx, 1)
-        collected = 0
-        for i in range(k1):
-            t = float(durations[a, i])
-            if t > controller.stop_time:
-                break
-            controller.on_arrival(t)
-            collected += 1
-        stop = controller.stop_time
-        if collected == k1:
-            stop = min(stop, float(durations[a, -1]))
-        if crashes[a]:
-            # the aggregator died mid-collection; everything it held is
-            # gone and nothing is shipped upstream.
-            crashed += 1
-            continue
-        if losses[a]:
-            lost += 1
-            continue
-        if stop + float(ship[a]) <= deadline:
-            included += collected
-
-    total = k1 * k2
-    return FaultyQueryResult(
-        quality=included / total,
-        included_outputs=included,
-        total_outputs=total,
-        crashed_aggregators=crashed,
-        lost_shipments=lost,
-    )
+__all__ = [
+    "FAULT_DRAW_ORDER",
+    "FaultModel",
+    "FaultDomainMap",
+    "FaultyQueryResult",
+    "simulate_query_with_faults",
+]

@@ -82,10 +82,29 @@ def run_experiment(
     n_queries: int,
     seed: SeedLike = None,
     agg_sample: Optional[int] = None,
+    faults=None,
 ) -> RunResult:
-    """Simulate ``n_queries`` under each policy and collect qualities."""
+    """Simulate ``n_queries`` under each policy and collect qualities.
+
+    ``faults`` (a :class:`repro.faults.FaultModel`) switches every query
+    to the fault-injecting simulator; the paired-sampling discipline is
+    preserved — each policy replays the same durations *and* the same
+    fault draws. ``agg_sample`` is ignored under faults (the fault
+    simulator always runs the full tree).
+    """
     if n_queries < 1:
         raise ConfigError(f"n_queries must be >= 1, got {n_queries}")
+    if faults is not None and not faults.is_null:
+        from ..faults import simulate_query_with_faults
+
+        def _simulate(ctx, policy, p_rng):
+            return simulate_query_with_faults(ctx, policy, faults, seed=p_rng)
+
+    else:
+
+        def _simulate(ctx, policy, p_rng):
+            return simulate_query(ctx, policy, seed=p_rng, agg_sample=agg_sample)
+
     names = [p.name for p in policies]
     if len(set(names)) != len(names):
         raise ConfigError(f"duplicate policy names: {names}")
@@ -106,7 +125,7 @@ def run_experiment(
         (duration_seed,) = q_rng.integers(0, 2**63 - 1, size=1)
         for policy in policies:
             p_rng = np.random.default_rng(int(duration_seed))
-            res = simulate_query(ctx, policy, seed=p_rng, agg_sample=agg_sample)
+            res = _simulate(ctx, policy, p_rng)
             qualities[policy.name][q_idx] = res.quality
             results[policy.name].append(res)
 

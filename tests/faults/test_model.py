@@ -1,0 +1,151 @@
+"""Fault classes, domain maps, and the draw-order contract."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import SimulationError
+from repro.faults import (
+    FAULT_DRAW_ORDER,
+    FaultDomainMap,
+    FaultModel,
+    domains_for_cluster,
+    draw_faults,
+)
+
+
+class TestFaultModelValidation:
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "ship_loss_prob",
+            "agg_crash_prob",
+            "worker_crash_prob",
+            "straggler_prob",
+            "domain_fail_prob",
+        ],
+    )
+    def test_probabilities_bounded(self, field):
+        if field == "domain_fail_prob":
+            domains = FaultDomainMap.contiguous(4, 2)
+        else:
+            domains = None
+        with pytest.raises(SimulationError):
+            FaultModel(**{field: -0.01}, domains=domains)
+        with pytest.raises(SimulationError):
+            FaultModel(**{field: 1.01}, domains=domains)
+
+    def test_straggler_factor_must_slow_down(self):
+        with pytest.raises(SimulationError):
+            FaultModel(straggler_prob=0.1, straggler_factor=0.5)
+
+    def test_domain_failures_need_a_map(self):
+        with pytest.raises(SimulationError):
+            FaultModel(domain_fail_prob=0.1)
+
+    def test_is_null(self):
+        assert FaultModel().is_null
+        assert FaultModel(straggler_factor=10.0).is_null  # prob still 0
+        assert not FaultModel(worker_crash_prob=0.01).is_null
+
+    def test_survival_probabilities(self):
+        model = FaultModel(
+            ship_loss_prob=0.1, agg_crash_prob=0.2, worker_crash_prob=0.3
+        )
+        assert model.shipment_survival == pytest.approx(0.9 * 0.8)
+        assert model.worker_survival == pytest.approx(0.7)
+
+
+class TestFaultDomainMap:
+    def test_contiguous_layout(self):
+        dmap = FaultDomainMap.contiguous(6, 2)
+        assert dmap.assignment == (0, 0, 1, 1, 2, 2)
+        assert dmap.n_aggregators == 6
+        assert dmap.n_domains == 3
+        assert dmap.members(1) == (2, 3)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            FaultDomainMap(assignment=())
+        with pytest.raises(SimulationError):
+            FaultDomainMap(assignment=(0, -1))
+        with pytest.raises(SimulationError):
+            FaultDomainMap.contiguous(0, 2)
+        with pytest.raises(SimulationError):
+            FaultDomainMap.contiguous(4, 0)
+
+
+class TestClusterBridge:
+    def test_machine_defaults_to_own_domain(self):
+        cluster = Cluster.build(n_machines=4, slots_per_machine=1)
+        assert [m.fault_domain for m in cluster.machines] == [0, 1, 2, 3]
+        assert cluster.fault_domains() == (0, 1, 2, 3)
+
+    def test_machines_per_domain_racks_machines(self):
+        cluster = Cluster.build(
+            n_machines=6, slots_per_machine=1, machines_per_domain=3
+        )
+        assert [m.fault_domain for m in cluster.machines] == [0, 0, 0, 1, 1, 1]
+        assert cluster.fault_domains() == (0, 1)
+
+    def test_domains_for_cluster_round_robin(self):
+        cluster = Cluster.build(
+            n_machines=4, slots_per_machine=1, machines_per_domain=2
+        )
+        dmap = domains_for_cluster(cluster, n_aggregators=6)
+        # aggregators 0..5 land on machines 0,1,2,3,0,1 -> domains
+        assert dmap.assignment == (0, 0, 1, 1, 0, 0)
+
+    def test_domains_for_cluster_validation(self):
+        cluster = Cluster.build(n_machines=2, slots_per_machine=1)
+        with pytest.raises(SimulationError):
+            domains_for_cluster(cluster, n_aggregators=0)
+
+        class Empty:
+            machines = []
+
+        with pytest.raises(SimulationError):
+            domains_for_cluster(Empty(), n_aggregators=2)
+
+
+class TestDrawOrderContract:
+    def test_contract_order_is_frozen(self):
+        # appending new classes is allowed; reordering the prefix is not
+        assert FAULT_DRAW_ORDER[:5] == (
+            "worker_crash",
+            "straggler",
+            "agg_crash",
+            "ship_loss",
+            "domain_failure",
+        )
+
+    def test_draws_unconditional(self):
+        """Enabling a later fault class never shifts an earlier class's
+        draws for the same seed."""
+        only_crash = FaultModel(worker_crash_prob=0.3)
+        crash_and_loss = FaultModel(worker_crash_prob=0.3, ship_loss_prob=0.5)
+        a = draw_faults(
+            np.random.default_rng(7), only_crash, 4, 5, [4, 2]
+        )
+        b = draw_faults(
+            np.random.default_rng(7), crash_and_loss, 4, 5, [4, 2]
+        )
+        np.testing.assert_array_equal(a.worker_crashes, b.worker_crashes)
+        np.testing.assert_array_equal(a.stragglers, b.stragglers)
+        for lv in range(2):
+            np.testing.assert_array_equal(
+                a.agg_crashes[lv], b.agg_crashes[lv]
+            )
+
+    def test_draw_shapes(self):
+        model = FaultModel(
+            worker_crash_prob=0.5,
+            domain_fail_prob=0.5,
+            domains=FaultDomainMap.contiguous(4, 2),
+        )
+        draws = draw_faults(np.random.default_rng(0), model, 4, 3, [4, 2])
+        assert draws.worker_crashes.shape == (4, 3)
+        assert draws.stragglers.shape == (4, 3)
+        assert [len(a) for a in draws.agg_crashes] == [4, 2]
+        assert [len(a) for a in draws.ship_losses] == [4, 2]
+        assert len(draws.domain_failures) == 2

@@ -1,0 +1,194 @@
+"""Chaos tests: fault injection against the live TCP service.
+
+The headline scenario: chaos kills well over 20% of the workers
+mid-query and the root still returns a degraded response before the
+deadline, with failure counters matching the injector's ground truth.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core import FixedStopPolicy, QueryContext, StaticController, TreeSpec
+from repro.distributions import Uniform
+from repro.faults import ChaosTransport
+from repro.service import AggregatorServer, Clock, Output, run_tcp_query, send_output
+
+SCALE = 0.002
+
+# every duration is comfortably inside the stop/deadline, so on the
+# healthy path all 20 outputs and all 4 shipments make it
+TREE = TreeSpec.two_level(Uniform(1.0, 5.0), 5, Uniform(1.0, 3.0), 4)
+DEADLINE = 40.0
+POLICY_STOPS = (20.0,)
+
+
+def _ctx():
+    return QueryContext(deadline=DEADLINE, offline_tree=TREE)
+
+
+def _query(chaos=None, seed=0):
+    return run_tcp_query(
+        _ctx(),
+        FixedStopPolicy(stops=POLICY_STOPS),
+        time_scale=SCALE,
+        seed=seed,
+        chaos=chaos,
+    )
+
+
+class TestHealthyPath:
+    def test_clean_run_is_not_degraded(self):
+        res = _query()
+        assert res.quality == 1.0
+        assert res.shipments_received == 4
+        assert not res.degraded
+        assert res.worker_failures == 0
+        assert res.aggregator_failures == 0
+        assert res.missing_shipments == 0
+        assert res.malformed_lines == 0
+
+    def test_no_chaos_equals_null_chaos(self):
+        null = ChaosTransport(seed=0)
+        res = _query(chaos=null)
+        assert res.quality == 1.0
+        assert not res.degraded
+
+
+class TestWorkerMassacre:
+    def test_degraded_response_before_deadline_with_accurate_counters(self):
+        """Kill >= 20% of workers mid-query; the root still answers in
+        time, flags degradation, and counts exactly the injected kills."""
+        chaos = ChaosTransport(worker_kill_prob=0.4, seed=0)
+        res = _query(chaos=chaos)
+        total_workers = TREE.total_processes
+        assert chaos.killed_workers >= 0.2 * total_workers
+        assert res.degraded
+        # answered before the deadline: all live durations < stop < D
+        assert res.elapsed_virtual < DEADLINE
+        # counters match the injector's ground truth exactly
+        assert res.worker_failures == chaos.killed_workers
+        assert res.aggregator_failures == 0
+        assert res.missing_shipments == 0
+        # every surviving worker's output is included
+        assert res.included_outputs == total_workers - chaos.killed_workers
+        assert res.quality == pytest.approx(
+            (total_workers - chaos.killed_workers) / total_workers
+        )
+
+
+class TestAggregatorReset:
+    def test_all_root_sessions_reset(self):
+        """Every aggregator's root session dies before shipping: the root
+        gets nothing but still returns, with ship failures counted."""
+        chaos = ChaosTransport(ship_drop_prob=1.0, seed=1)
+        res = _query(chaos=chaos)
+        assert res.shipments_received == 0
+        assert res.missing_shipments == 4
+        assert res.aggregator_failures == 4
+        assert res.quality == 0.0
+        assert res.degraded
+
+    def test_partial_reset_leaves_fewer_shipments_than_fanout(self):
+        # seed chosen so some but not all sessions drop (2 of 4 with the
+        # current draw interleaving; the assertions below only rely on
+        # the ground-truth counter, not the exact count)
+        chaos = ChaosTransport(ship_drop_prob=0.5, seed=0)
+        res = _query(chaos=chaos)
+        assert 0 < chaos.dropped_shipments < 4
+        assert res.shipments_received == 4 - chaos.dropped_shipments
+        assert res.missing_shipments == chaos.dropped_shipments
+        assert res.aggregator_failures == chaos.dropped_shipments
+        assert res.degraded
+        # the surviving aggregators' outputs all arrive
+        assert res.included_outputs == res.shipments_received * 5
+
+
+class TestCorruptWrites:
+    def test_truncated_lines_counted_as_malformed(self):
+        chaos = ChaosTransport(corrupt_prob=1.0, seed=2)
+        res = _query(chaos=chaos)
+        assert chaos.corrupted_connections == TREE.total_processes
+        assert res.malformed_lines == TREE.total_processes
+        # shipments still arrive — empty, but the topology survives
+        assert res.shipments_received == 4
+        assert res.quality == 0.0
+        assert res.degraded
+
+
+class TestStartupRace:
+    def test_worker_dials_before_aggregator_listens(self):
+        """Regression: a worker that connects before the server is up
+        retries with backoff instead of losing its output."""
+
+        async def go():
+            clock = Clock(time_scale=SCALE)
+            clock.start()
+            agg = AggregatorServer(
+                fanout=1, controller=StaticController(500.0), clock=clock
+            )
+            # reserve a port without accepting: grab an ephemeral port by
+            # starting, reading it, then simulate "not yet listening" by
+            # dialing a closed port first
+            await agg.start()
+            port = agg.port
+            await agg.close()
+
+            sender = asyncio.ensure_future(
+                send_output(
+                    "127.0.0.1",
+                    port,
+                    Output(
+                        process_id=0, aggregator_id=0, emitted_at=0.0, value=1.0
+                    ),
+                    clock,
+                    max_attempts=8,
+                    backoff_base=0.02,
+                )
+            )
+            await asyncio.sleep(0.05)  # worker is already failing/dialing
+            agg2 = AggregatorServer(
+                fanout=1,
+                controller=StaticController(500.0),
+                clock=clock,
+                host="127.0.0.1",
+            )
+            # bind the same port the worker is dialing
+            agg2._server = await asyncio.start_server(
+                agg2._handle_connection, host="127.0.0.1", port=port
+            )
+            delivered = await sender
+
+            class _DummyWriter:
+                def is_closing(self):
+                    return True
+
+            shipment = await agg2.collect_and_ship(_DummyWriter())
+            await agg2.close()
+            return delivered, shipment
+
+        delivered, shipment = asyncio.run(go())
+        assert delivered
+        assert shipment.payload == 1
+
+    def test_retries_exhausted_returns_false(self):
+        async def go():
+            clock = Clock(time_scale=SCALE)
+            clock.start()
+            # nothing listens on this port
+            agg = AggregatorServer(
+                fanout=1, controller=StaticController(5.0), clock=clock
+            )
+            await agg.start()
+            port = agg.port
+            await agg.close()
+            return await send_output(
+                "127.0.0.1",
+                port,
+                Output(process_id=0, aggregator_id=0, emitted_at=0.0, value=1.0),
+                clock,
+                max_attempts=2,
+                backoff_base=0.001,
+            )
+
+        assert asyncio.run(go()) is False
