@@ -12,8 +12,12 @@ Examples::
     cedar-repro dual --target 0.85 --mu1 6.0 --sigma1 0.84 \
         --mu2 4.7 --sigma2 0.5 --k1 50 --k2 50
     cedar-repro trace record facebook /tmp/fb.json --jobs 50
+    cedar-repro trace sim --deadline 800 --mu1 4.0 --sigma1 0.8 \
+        --mu2 3.0 --sigma2 0.4 --k1 6 --k2 4 --seed 7 --out query.jsonl
+    cedar-repro metrics my_sweep.json --format prom --profile
     cedar-repro chaos --deadline 60 --mu1 3.0 --sigma1 0.5 \
-        --mu2 2.0 --sigma2 0.3 --k1 6 --k2 3 --kill 0.25 --drop 0.3
+        --mu2 2.0 --sigma2 0.3 --k1 6 --k2 3 --kill 0.25 --drop 0.3 \
+        --trace-out chaos.jsonl --metrics-out chaos.prom
 """
 
 from __future__ import annotations
@@ -142,6 +146,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="real seconds per virtual unit (0.001 runs a 1000-unit "
         "deadline in one second)",
     )
+    chaos_p.add_argument(
+        "--trace-out",
+        type=pathlib.Path,
+        default=None,
+        help="write the query's span tree here (JSONL)",
+    )
+    chaos_p.add_argument(
+        "--metrics-out",
+        type=pathlib.Path,
+        default=None,
+        help="write Prometheus-text metrics here ('-' prints to stdout)",
+    )
 
     trace_p = sub.add_parser("trace", help="trace-file tooling")
     trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
@@ -153,6 +169,75 @@ def _build_parser() -> argparse.ArgumentParser:
     rec_p.add_argument("--jobs", type=int, default=30)
     rec_p.add_argument("--samples", type=int, default=60)
     rec_p.add_argument("--seed", type=int, default=None)
+
+    sim_p = trace_sub.add_parser(
+        "sim", help="trace one simulated query and render its span tree"
+    )
+    sim_p.add_argument("--deadline", type=float, required=True)
+    _add_tree_args(sim_p)
+    sim_p.add_argument(
+        "--policy",
+        default="cedar",
+        help="wait policy (see repro.experiments.sweep.POLICY_FACTORIES)",
+    )
+    sim_p.add_argument("--seed", type=int, default=None)
+    sim_p.add_argument(
+        "--agg-sample",
+        type=int,
+        default=None,
+        help="simulate only this many bottom subtrees",
+    )
+    sim_p.add_argument(
+        "--no-workers",
+        action="store_true",
+        help="omit per-worker leaf spans (smaller traces for wide trees)",
+    )
+    sim_p.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="also write the trace as JSONL here",
+    )
+    sim_p.add_argument(
+        "--max-children",
+        type=int,
+        default=12,
+        help="children shown per node in the rendered tree",
+    )
+
+    metrics_p = sub.add_parser(
+        "metrics",
+        help="run a sweep spec with a metrics registry and export it",
+    )
+    metrics_p.add_argument("spec", type=pathlib.Path, help="sweep spec (JSON)")
+    metrics_p.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        help="exposition format: Prometheus text or JSON",
+    )
+    metrics_p.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="write the export here instead of stdout",
+    )
+    metrics_p.add_argument(
+        "--trace-out",
+        type=pathlib.Path,
+        default=None,
+        help="also record every query's span tree here (JSONL)",
+    )
+    metrics_p.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable the hot-path profiler and print its table",
+    )
+    metrics_p.add_argument(
+        "--table",
+        action="store_true",
+        help="also print the sweep's report table",
+    )
     return parser
 
 
@@ -296,6 +381,16 @@ def _cmd_chaos(args) -> int:
         )
     else:
         policy = ProportionalSplitPolicy()
+    tracer = None
+    if args.trace_out is not None:
+        from .obs import SpanTracer
+
+        tracer = SpanTracer()
+    metrics = None
+    if args.metrics_out is not None:
+        from .obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
     try:
         chaos = ChaosTransport(
             worker_kill_prob=args.kill,
@@ -312,6 +407,8 @@ def _cmd_chaos(args) -> int:
             time_scale=args.time_scale,
             seed=args.seed,
             chaos=chaos,
+            tracer=tracer,
+            metrics=metrics,
         )
     except (ConfigError, SimulationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -336,10 +433,102 @@ def _cmd_chaos(args) -> int:
         f"delayed={chaos.delayed_workers} "
         f"corrupted={chaos.corrupted_connections}"
     )
+    if tracer is not None:
+        tracer.write(args.trace_out)
+        print(f"wrote trace -> {args.trace_out}")
+    if metrics is not None:
+        text = metrics.render_prometheus()
+        if str(args.metrics_out) == "-":
+            print(text, end="")
+        else:
+            args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
+            args.metrics_out.write_text(text)
+            print(f"wrote metrics -> {args.metrics_out}")
+    return 0
+
+
+def _cmd_trace_sim(args) -> int:
+    from .core import QueryContext
+    from .errors import ConfigError, SimulationError
+    from .experiments.sweep import POLICY_FACTORIES
+    from .obs import SpanTracer, build_tree, render_tree
+    from .simulation import simulate_query
+
+    if args.policy not in POLICY_FACTORIES:
+        print(
+            f"unknown policy {args.policy!r}; "
+            f"choose from {', '.join(sorted(POLICY_FACTORIES))}",
+            file=sys.stderr,
+        )
+        return 2
+    tree = _tree_from_args(args)
+    policy = POLICY_FACTORIES[args.policy](args.grid_points)
+    tracer = SpanTracer(record_workers=not args.no_workers)
+    try:
+        ctx = QueryContext(deadline=args.deadline, offline_tree=tree)
+        res = simulate_query(
+            ctx,
+            policy,
+            seed=args.seed,
+            agg_sample=args.agg_sample,
+            tracer=tracer,
+        )
+    except (ConfigError, SimulationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render_tree(build_tree(tracer.spans), max_children=args.max_children))
+    print(
+        f"\nquality: {res.quality:.4f} "
+        f"({res.included_outputs}/{res.total_outputs} outputs, "
+        f"{res.late_at_root} shipments late at root)"
+    )
+    if args.out is not None:
+        tracer.write(args.out)
+        print(f"wrote {len(tracer.spans)} spans -> {args.out}")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from .errors import ConfigError
+    from .experiments import run_sweep_file
+    from .obs import PROFILER, MetricsRegistry, SpanTracer
+
+    metrics = MetricsRegistry()
+    tracer = SpanTracer() if args.trace_out is not None else None
+    if args.profile:
+        PROFILER.enable()
+    try:
+        report = run_sweep_file(args.spec, tracer=tracer, metrics=metrics)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if args.profile:
+            PROFILER.disable()
+    if args.table:
+        print(report.table())
+    text = (
+        metrics.render_prometheus()
+        if args.format == "prom"
+        else metrics.render_json()
+    )
+    if args.out is None:
+        print(text, end="" if text.endswith("\n") else "\n")
+    else:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text)
+        print(f"wrote metrics -> {args.out}")
+    if tracer is not None:
+        tracer.write(args.trace_out)
+        print(f"wrote {len(tracer.spans)} spans -> {args.trace_out}")
+    if args.profile:
+        print(PROFILER.report())
     return 0
 
 
 def _cmd_trace(args) -> int:
+    if args.trace_command == "sim":
+        return _cmd_trace_sim(args)
     from .errors import TraceError
     from .traces import make_workload, record_trace, save_trace
 
@@ -375,6 +564,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_chaos(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     if args.experiment == "all":
         # skip the aggregate aliases; run each concrete panel once
         skip = {"fig7", "fig12", "fig16"}

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..distributions import Distribution, Shifted, Thinned
 from ..errors import ConfigError
+from ..obs.profile import PROFILER
 from .config import Stage, TreeSpec
 from .quality import (
     DEFAULT_GRID_POINTS,
@@ -71,6 +72,7 @@ def calculate_wait(
         )
         tail_quality = grid.at
 
+    tok = PROFILER.start()
     wait = 0.0
     q = 0.0
     best_q = 0.0
@@ -88,6 +90,7 @@ def calculate_wait(
         if q >= best_q:
             best_q = q
             wait = c
+    PROFILER.stop("core.wait.calculate_wait", tok)
     return wait
 
 
@@ -121,7 +124,10 @@ class WaitOptimizer:
 
     def curve(self, x1: Distribution, k1: int) -> WaitCurve:
         """Full wait-vs-quality curve for bottom stage ``(x1, k1)``."""
-        return sweep_wait(x1, k1, self.tail)
+        tok = PROFILER.start()
+        curve = sweep_wait(x1, k1, self.tail)
+        PROFILER.stop("core.wait.sweep", tok)
+        return curve
 
     def optimize(self, x1: Distribution, k1: int) -> float:
         """Optimal wait duration for bottom stage ``(x1, k1)``."""
@@ -179,9 +185,12 @@ class FailureAwareWaitOptimizer(WaitOptimizer):
     def curve(self, x1: Distribution, k1: int) -> WaitCurve:
         if self.input_survival < 1.0:
             x1 = Thinned(x1, self.input_survival)
-        return sweep_wait(
+        tok = PROFILER.start()
+        curve = sweep_wait(
             x1, k1, self.tail, gain_discount=self.shipment_survival
         )
+        PROFILER.stop("core.wait.sweep", tok)
+        return curve
 
 
 @dataclasses.dataclass(frozen=True)

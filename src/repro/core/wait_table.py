@@ -21,6 +21,7 @@ import numpy as np
 from ..distributions import Distribution, LogNormal
 from ..errors import ConfigError
 from ..estimation import Estimator, OrderStatisticEstimator, StreamingEstimator
+from ..obs.profile import PROFILER
 from .aggregator import AggregatorController
 from .config import Stage
 from .policies import CedarPolicy, QueryContext, WaitPolicy, _check_level
@@ -73,6 +74,13 @@ class WaitTable:
     # ------------------------------------------------------------------
     def lookup(self, mu: float, sigma: float) -> float:
         """Bilinear interpolation; parameters are clamped to the grid."""
+        tok = PROFILER.start()
+        try:
+            return self._lookup(mu, sigma)
+        finally:
+            PROFILER.stop("core.wait_table.lookup", tok)
+
+    def _lookup(self, mu: float, sigma: float) -> float:
         mu = float(np.clip(mu, self.mus[0], self.mus[-1]))
         sigma = float(np.clip(sigma, self.sigmas[0], self.sigmas[-1]))
         i = int(np.clip(np.searchsorted(self.mus, mu) - 1, 0, len(self.mus) - 2))

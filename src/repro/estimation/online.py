@@ -12,6 +12,7 @@ from typing import Optional
 
 from ..distributions import Distribution
 from ..errors import EstimationError
+from ..obs.profile import PROFILER
 from .base import Estimator, ParameterEstimate
 
 __all__ = ["StreamingEstimator"]
@@ -69,7 +70,9 @@ class StreamingEstimator:
                 f"need {self._estimator.min_samples} arrivals, have {self.n_observed}"
             )
         if self._dirty or self._cached is None:
+            tok = PROFILER.start()
             self._cached = self._estimator.estimate(self._arrivals, self._k)
+            PROFILER.stop("estimation.streaming.estimate", tok)
             self._dirty = False
         return self._cached
 

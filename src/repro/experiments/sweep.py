@@ -108,8 +108,14 @@ def load_spec(doc: Mapping) -> dict:
     }
 
 
-def run_sweep(doc: Mapping) -> ExperimentReport:
-    """Run a sweep from an in-memory spec document."""
+def run_sweep(doc: Mapping, tracer=None, metrics=None) -> ExperimentReport:
+    """Run a sweep from an in-memory spec document.
+
+    ``tracer``/``metrics`` (a :class:`repro.obs.SpanTracer` /
+    :class:`repro.obs.MetricsRegistry`) record every simulated query of
+    the sweep — spans across all policies and deadlines land in the one
+    tracer, and metric series are labeled by policy.
+    """
     spec = load_spec(doc)
     workload = make_workload(spec["workload_name"], **spec["workload_kwargs"])
     gp = spec["grid_points"]
@@ -147,6 +153,8 @@ def run_sweep(doc: Mapping) -> ExperimentReport:
             seed=spec["seed"],
             agg_sample=spec["agg_sample"],
             faults=faults,
+            tracer=tracer,
+            metrics=metrics,
         )
         row = [deadline] + [
             round(res.mean_quality(name), 3) for name in spec["policies"]
@@ -169,10 +177,12 @@ def run_sweep(doc: Mapping) -> ExperimentReport:
     )
 
 
-def run_sweep_file(path: str | pathlib.Path) -> ExperimentReport:
+def run_sweep_file(
+    path: str | pathlib.Path, tracer=None, metrics=None
+) -> ExperimentReport:
     """Run a sweep from a JSON file."""
     try:
         doc = json.loads(pathlib.Path(path).read_text())
     except (OSError, json.JSONDecodeError) as exc:
         raise ConfigError(f"cannot read sweep spec {path}: {exc}") from exc
-    return run_sweep(doc)
+    return run_sweep(doc, tracer=tracer, metrics=metrics)

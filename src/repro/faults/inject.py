@@ -29,7 +29,7 @@ import numpy as np
 from ..core import QueryContext, WaitPolicy
 from ..errors import SimulationError
 from ..rng import SeedLike, resolve_rng
-from ..simulation.query import _run_aggregator
+from ..simulation.query import _estimate_params, _run_aggregator
 from .model import FaultDraws, FaultModel, draw_faults
 
 __all__ = ["FaultyQueryResult", "simulate_query_with_faults"]
@@ -71,8 +71,19 @@ def simulate_query_with_faults(
     policy: WaitPolicy,
     faults: FaultModel,
     seed: SeedLike = None,
+    tracer=None,
+    metrics=None,
+    span_attrs=None,
 ) -> FaultyQueryResult:
-    """Simulate one n-level query end-to-end under ``faults``."""
+    """Simulate one n-level query end-to-end under ``faults``.
+
+    ``tracer``/``metrics`` are the observability hooks of
+    :func:`repro.simulation.simulate_query`; here each aggregator span
+    additionally carries the fault that destroyed its shipment (if any),
+    and every fault class that fired increments
+    ``cedar_faults_injected_total{kind=...}`` — so a degraded chaos run
+    attributes each lost output to its cause.
+    """
     tree = ctx.true_tree if ctx.true_tree is not None else ctx.offline_tree
     rng = resolve_rng(seed)
     policy.begin_query(ctx)
@@ -133,12 +144,60 @@ def simulate_query_with_faults(
     lost = 0
     mean_stops: list[float] = []
 
+    # ---- spans: pre-build the tree skeleton top-down ------------------
+    query_span = None
+    level_spans: list[list] = []
+    if tracer is not None:
+        from ..obs.span import (
+            CAUSE_AGG_CRASHED,
+            CAUSE_ALL_ARRIVED,
+            CAUSE_DOMAIN_FAILED,
+            CAUSE_INCLUDED,
+            CAUSE_LATE_AT_ROOT,
+            CAUSE_NEVER_ARRIVED,
+            CAUSE_SHIP_LOST,
+            CAUSE_TIMER_EXPIRED,
+        )
+
+        query_span = tracer.begin_span(
+            "query",
+            n_stages,
+            None,
+            0.0,
+            policy=policy.name,
+            deadline=deadline,
+            faulty=True,
+            **(span_attrs or {}),
+        )
+        level_spans = [[] for _ in range(n_stages - 1)]
+        for level in range(n_stages - 1, 0, -1):
+            for a in range(level_counts[level - 1]):
+                if level == n_stages - 1:
+                    parent = query_span.span_id
+                else:
+                    parent = level_spans[level][a // fanouts[level]].span_id
+                level_spans[level - 1].append(
+                    tracer.begin_span("aggregator", level, parent, 0.0, index=a)
+                )
+
+    def _fault_cause(level_idx: int, a: int):
+        """The fault that destroyed this aggregator's shipment, if any."""
+        if draws.agg_crashes[level_idx][a]:
+            return CAUSE_AGG_CRASHED
+        if level_idx == 0 and domain_dead[a]:
+            return CAUSE_DOMAIN_FAILED
+        if draws.ship_losses[level_idx][a]:
+            return CAUSE_SHIP_LOST
+        return None
+
     # ---- level 1: processes -> bottom aggregators ---------------------
     shipments: list[_Shipment] = []
+    span_row: list = []
     stops_acc = 0.0
+    k1_crashed_per_agg = np.count_nonzero(draws.worker_crashes, axis=1)
     for a in range(n_bottom):
         controller = policy.controller(ctx, 1)
-        depart, payload = _run_aggregator(controller, durations[a], None)
+        depart, payload, seen = _run_aggregator(controller, durations[a], None)
         stops_acc += depart
         if draws.agg_crashes[0][a] or domain_dead[a]:
             crashed += 1
@@ -153,6 +212,44 @@ def simulate_query_with_faults(
                     payload=payload,
                 )
             )
+        if tracer is not None:
+            span = level_spans[0][a]
+            est_mu, est_sigma = _estimate_params(controller)
+            fault = _fault_cause(0, a)
+            span.end = depart
+            span.attrs.update(
+                wait=depart,
+                n_arrived=seen,
+                dropped=k1 - seen,
+                crashed_workers=int(k1_crashed_per_agg[a]),
+                collected=payload,
+                ship_arrival=shipments[-1].arrival
+                if np.isfinite(shipments[-1].arrival)
+                else None,
+                cause=CAUSE_ALL_ARRIVED if seen == k1 else CAUSE_TIMER_EXPIRED,
+                fault=fault,
+                est_mu=est_mu,
+                est_sigma=est_sigma,
+            )
+            span_row.append(span)
+            if tracer.record_workers:
+                for p in range(k1):
+                    t = float(durations[a][p])
+                    tracer.add_worker_span(
+                        span.span_id,
+                        0.0,
+                        t if np.isfinite(t) else deadline,
+                        included=bool(t <= depart),
+                        crashed=not bool(np.isfinite(t)),
+                    )
+        if metrics is not None:
+            from ..simulation.query import (
+                _observe_aggregator,
+                _observe_estimator_error,
+            )
+
+            _observe_aggregator(metrics, policy.name, 1, depart, deadline)
+            _observe_estimator_error(metrics, policy.name, controller, dists[0])
     mean_stops.append(stops_acc / max(1, n_bottom))
 
     # ---- levels 2 .. n-1: aggregators of aggregators ------------------
@@ -166,6 +263,7 @@ def simulate_query_with_faults(
             )
         ship_durations = ship_durations_by_level[level - 1]
         next_shipments: list[_Shipment] = []
+        next_span_row: list = []
         stops_acc = 0.0
         for a in range(n_aggs):
             batch = shipments[a * group : (a + 1) * group]
@@ -173,7 +271,7 @@ def simulate_query_with_faults(
             arrivals = np.array([batch[i].arrival for i in order])
             payloads = np.array([batch[i].payload for i in order])
             controller = policy.controller(ctx, level)
-            depart, payload = _run_aggregator(controller, arrivals, payloads)
+            depart, payload, seen = _run_aggregator(controller, arrivals, payloads)
             stops_acc += depart
             if draws.agg_crashes[level - 1][a]:
                 crashed += 1
@@ -188,21 +286,102 @@ def simulate_query_with_faults(
                         payload=payload,
                     )
                 )
+            if tracer is not None:
+                span = level_spans[level - 1][a]
+                est_mu, est_sigma = _estimate_params(controller)
+                span.end = depart
+                span.attrs.update(
+                    wait=depart,
+                    n_arrived=seen,
+                    dropped=group - seen,
+                    collected=payload,
+                    ship_arrival=next_shipments[-1].arrival
+                    if np.isfinite(next_shipments[-1].arrival)
+                    else None,
+                    cause=(
+                        CAUSE_ALL_ARRIVED if seen == group else CAUSE_TIMER_EXPIRED
+                    ),
+                    fault=_fault_cause(level - 1, a),
+                    est_mu=est_mu,
+                    est_sigma=est_sigma,
+                )
+                next_span_row.append(span)
+            if metrics is not None:
+                from ..simulation.query import _observe_aggregator
+
+                _observe_aggregator(metrics, policy.name, level, depart, deadline)
         mean_stops.append(stops_acc / max(1, n_aggs))
         shipments = next_shipments
+        span_row = next_span_row
 
     # ---- root: include shipments arriving by the deadline -------------
     included = 0
     late_count = 0
-    for s in shipments:
-        if s.arrival <= deadline:
+    for idx, s in enumerate(shipments):
+        on_time = s.arrival <= deadline
+        if on_time:
             included += s.payload
         elif np.isfinite(s.arrival):
             late_count += 1
+        if tracer is not None:
+            span_row[idx].attrs["root_verdict"] = (
+                CAUSE_INCLUDED
+                if on_time
+                else (
+                    CAUSE_LATE_AT_ROOT
+                    if np.isfinite(s.arrival)
+                    else CAUSE_NEVER_ARRIVED
+                )
+            )
 
     total = tree.total_processes
+    quality = included / total if total else 0.0
+    if tracer is not None:
+        query_span.end = deadline
+        query_span.attrs.update(
+            quality=quality,
+            included_outputs=included,
+            total_outputs=total,
+            late_at_root=late_count,
+            crashed_aggregators=crashed,
+            lost_shipments=lost,
+            crashed_workers=crashed_workers,
+            straggler_workers=straggler_workers,
+            failed_domains=failed_domains,
+        )
+    if metrics is not None:
+        metrics.counter("queries_total", help="simulated queries").inc(
+            policy=policy.name
+        )
+        metrics.histogram(
+            "response_quality", help="per-query response quality"
+        ).observe(quality, policy=policy.name)
+        metrics.counter(
+            "deadline_misses_total",
+            help="top-level shipments that reached the root after the deadline",
+        ).inc(late_count, policy=policy.name)
+        faults_counter = metrics.counter(
+            "faults_injected_total",
+            help="fault events that fired, by kind",
+        )
+        for kind, n in (
+            ("worker_crash", crashed_workers),
+            ("straggler", straggler_workers),
+            ("agg_crash", crashed),
+            ("ship_loss", lost),
+            ("domain_failure", failed_domains),
+        ):
+            if n:
+                faults_counter.inc(n, policy=policy.name, kind=kind)
+        metrics.counter(
+            "outputs_included_total", help="process outputs included at the root"
+        ).inc(included, policy=policy.name)
+        metrics.counter(
+            "outputs_dropped_total",
+            help="process outputs missing from the response, by cause",
+        ).inc(total - included, policy=policy.name, cause="fault_fold_or_late")
     return FaultyQueryResult(
-        quality=included / total if total else 0.0,
+        quality=quality,
         included_outputs=included,
         total_outputs=total,
         crashed_aggregators=crashed,

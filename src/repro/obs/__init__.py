@@ -1,0 +1,71 @@
+"""Observability subsystem: span tracing, metrics, and profiling.
+
+Three independent pieces, all safe to leave attached in production:
+
+* :mod:`repro.obs.span` — per-query span trees mirroring the aggregation
+  tree, emitted as JSONL (``SpanTracer``);
+* :mod:`repro.obs.metrics` — a counters/gauges/histograms registry with
+  Prometheus-text and JSON exporters (``MetricsRegistry``);
+* :mod:`repro.obs.profile` — wall-time hooks on the hot paths behind a
+  zero-overhead-when-disabled flag (``PROFILER``).
+
+The simulators and the TCP service take optional ``tracer``/``metrics``
+arguments; all three pieces never read the wall clock inside the
+simulation path and never draw randomness, so instrumented runs are
+bit-identical to bare runs on the same seed.
+"""
+
+from .metrics import (
+    FRACTION_BUCKETS,
+    QUALITY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .profile import PROFILER, Profiler, ProfileStat
+from .span import (
+    CAUSE_AGG_CRASHED,
+    CAUSE_ALL_ARRIVED,
+    CAUSE_DOMAIN_FAILED,
+    CAUSE_INCLUDED,
+    CAUSE_LATE_AT_ROOT,
+    CAUSE_NEVER_ARRIVED,
+    CAUSE_SHIP_LOST,
+    CAUSE_TIMER_EXPIRED,
+    Span,
+    SpanNode,
+    SpanTracer,
+    build_tree,
+    read_trace,
+    render_tree,
+)
+
+__all__ = [
+    # span
+    "Span",
+    "SpanNode",
+    "SpanTracer",
+    "read_trace",
+    "build_tree",
+    "render_tree",
+    "CAUSE_ALL_ARRIVED",
+    "CAUSE_TIMER_EXPIRED",
+    "CAUSE_AGG_CRASHED",
+    "CAUSE_DOMAIN_FAILED",
+    "CAUSE_SHIP_LOST",
+    "CAUSE_INCLUDED",
+    "CAUSE_LATE_AT_ROOT",
+    "CAUSE_NEVER_ARRIVED",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QUALITY_BUCKETS",
+    "FRACTION_BUCKETS",
+    # profiling
+    "Profiler",
+    "ProfileStat",
+    "PROFILER",
+]

@@ -1,0 +1,312 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+A deliberately small re-implementation of the Prometheus client data
+model — enough to instrument the simulator, the TCP service, and the
+sweep harness without an external dependency. Metrics are *pull*-style
+state: instrumented code increments them, and the registry renders the
+whole family set either as Prometheus text exposition format
+(:meth:`MetricsRegistry.render_prometheus`) or as a JSON document
+(:meth:`MetricsRegistry.render_json`).
+
+Design constraints (shared with the span tracer):
+
+* recording never reads the wall clock and never draws randomness, so a
+  metered simulation stays bit-identical to an unmetered one;
+* histogram buckets are fixed at creation (cumulative, Prometheus
+  style), so rendering is deterministic and mergeable;
+* label values are part of the child-series key, exactly like
+  ``prometheus_client``'s ``.labels(...)``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Mapping, Sequence
+
+from ..errors import ConfigError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QUALITY_BUCKETS",
+    "FRACTION_BUCKETS",
+    "ERROR_BUCKETS",
+]
+
+#: histogram buckets for quantities living in [0, 1] (quality, wait/deadline).
+QUALITY_BUCKETS = tuple(round(0.1 * i, 1) for i in range(1, 10))
+FRACTION_BUCKETS = QUALITY_BUCKETS
+#: buckets for absolute estimation errors (log-spaced, errors are small).
+ERROR_BUCKETS = (0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0)
+
+
+def _check_name(name: str) -> str:
+    if not name or not all(c.isalnum() or c in "_:" for c in name):
+        raise ConfigError(f"bad metric name {name!r}")
+    if name[0].isdigit():
+        raise ConfigError(f"metric name cannot start with a digit: {name!r}")
+    return name
+
+
+def _label_key(labels: Mapping[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: tuple[tuple[str, str], ...]) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Common shape: one named family with labeled child series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = _check_name(name)
+        self.help = help
+        self._children: dict[tuple[tuple[str, str], ...], object] = {}
+
+    def _child(self, labels: Mapping[str, str]):
+        key = _label_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._new_child()
+        return child
+
+    def _new_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def series(self) -> list[tuple[tuple[tuple[str, str], ...], object]]:
+        """(label key, child) pairs in deterministic order."""
+        return sorted(self._children.items())
+
+
+class Counter(_Metric):
+    """Monotone counter (optionally labeled)."""
+
+    kind = "counter"
+
+    def _new_child(self) -> list[float]:
+        return [0.0]
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (>= 0) to the series selected by ``labels``."""
+        if amount < 0:
+            raise ConfigError(f"counter increment must be >= 0, got {amount}")
+        self._child(labels)[0] += amount
+
+    def value(self, **labels: str) -> float:
+        """Current value of one labeled series (0 if never touched)."""
+        return self._children.get(_label_key(labels), [0.0])[0]
+
+    def total(self) -> float:
+        """Sum across every labeled series."""
+        return sum(child[0] for child in self._children.values())
+
+
+class Gauge(_Metric):
+    """Point-in-time value (optionally labeled)."""
+
+    kind = "gauge"
+
+    def _new_child(self) -> list[float]:
+        return [0.0]
+
+    def set(self, value: float, **labels: str) -> None:
+        self._child(labels)[0] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        self._child(labels)[0] += amount
+
+    def value(self, **labels: str) -> float:
+        return self._children.get(_label_key(labels), [0.0])[0]
+
+
+class _HistogramState:
+    __slots__ = ("counts", "total", "count")
+
+    def __init__(self, n_buckets: int):
+        self.counts = [0] * n_buckets  # per-bucket (non-cumulative) counts
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram (Prometheus semantics: ``le`` upper bounds,
+    an implicit ``+Inf`` bucket, cumulative rendering)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, buckets: Sequence[float], help: str = ""
+    ):
+        super().__init__(name, help)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ConfigError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ConfigError(f"bucket bounds must be strictly ascending: {bounds}")
+        if any(math.isinf(b) for b in bounds):
+            raise ConfigError("+Inf bucket is implicit; do not pass it")
+        self.buckets = bounds
+
+    def _new_child(self) -> _HistogramState:
+        return _HistogramState(len(self.buckets) + 1)
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one sample."""
+        state = self._child(labels)
+        idx = len(self.buckets)  # +Inf by default
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                idx = i
+                break
+        state.counts[idx] += 1
+        state.total += float(value)
+        state.count += 1
+
+    def sample_count(self, **labels: str) -> int:
+        state = self._children.get(_label_key(labels))
+        return state.count if state is not None else 0
+
+    def sample_sum(self, **labels: str) -> float:
+        state = self._children.get(_label_key(labels))
+        return state.total if state is not None else 0.0
+
+    def cumulative_counts(self, **labels: str) -> list[int]:
+        """Cumulative per-bucket counts including the +Inf bucket."""
+        state = self._children.get(_label_key(labels))
+        if state is None:
+            return [0] * (len(self.buckets) + 1)
+        out, acc = [], 0
+        for c in state.counts:
+            acc += c
+            out.append(acc)
+        return out
+
+
+class MetricsRegistry:
+    """Owns metric families; get-or-create accessors, two exporters."""
+
+    def __init__(self, namespace: str = "cedar"):
+        self.namespace = _check_name(namespace)
+        self._metrics: dict[str, _Metric] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, cls, name: str, help: str, **kwargs) -> _Metric:
+        full = f"{self.namespace}_{_check_name(name)}"
+        found = self._metrics.get(full)
+        if found is None:
+            found = self._metrics[full] = cls(full, help=help, **kwargs)
+            return found
+        if not isinstance(found, cls):
+            raise ConfigError(
+                f"metric {full!r} already registered as {found.kind}"
+            )
+        return found
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter family ``<namespace>_<name>``."""
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge family ``<namespace>_<name>``."""
+        return self._get(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = QUALITY_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        """Get or create the histogram family ``<namespace>_<name>``."""
+        hist = self._get(Histogram, name, help, buckets=buckets)
+        assert isinstance(hist, Histogram)
+        if hist.buckets != tuple(float(b) for b in buckets):
+            raise ConfigError(
+                f"histogram {hist.name!r} already registered with buckets "
+                f"{hist.buckets}"
+            )
+        return hist
+
+    def families(self) -> list[_Metric]:
+        """All registered metric families, name-sorted."""
+        return [self._metrics[k] for k in sorted(self._metrics)]
+
+    # ------------------------------------------------------------------
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for metric in self.families():
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                for key, state in metric.series():
+                    acc = 0
+                    for bound, c in zip(metric.buckets, state.counts):
+                        acc += c
+                        k = key + (("le", _format_value(bound)),)
+                        lines.append(f"{metric.name}_bucket{_render_labels(k)} {acc}")
+                    k = key + (("le", "+Inf"),)
+                    lines.append(
+                        f"{metric.name}_bucket{_render_labels(k)} {state.count}"
+                    )
+                    lines.append(
+                        f"{metric.name}_sum{_render_labels(key)} "
+                        f"{_format_value(state.total)}"
+                    )
+                    lines.append(
+                        f"{metric.name}_count{_render_labels(key)} {state.count}"
+                    )
+            else:
+                # counters expose `<name>_total` samples; registered names
+                # already carrying the suffix are not doubled.
+                suffix = (
+                    "_total"
+                    if isinstance(metric, Counter)
+                    and not metric.name.endswith("_total")
+                    else ""
+                )
+                for key, child in metric.series():
+                    lines.append(
+                        f"{metric.name}{suffix}{_render_labels(key)} "
+                        f"{_format_value(child[0])}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def render_json(self) -> str:
+        """JSON document mirroring the Prometheus rendering."""
+        doc: dict[str, dict] = {}
+        for metric in self.families():
+            entry: dict = {"type": metric.kind, "help": metric.help}
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
+                entry["series"] = [
+                    {
+                        "labels": dict(key),
+                        "counts": list(state.counts),
+                        "sum": state.total,
+                        "count": state.count,
+                    }
+                    for key, state in metric.series()
+                ]
+            else:
+                entry["series"] = [
+                    {"labels": dict(key), "value": child[0]}
+                    for key, child in metric.series()
+                ]
+            doc[metric.name] = entry
+        return json.dumps(doc, indent=1, sort_keys=True)
+
+
+def _format_value(v: float) -> str:
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(float(v))

@@ -1,0 +1,257 @@
+"""Per-query span trees mirroring the aggregation tree.
+
+Cedar's decision is a *timing* decision, so diagnosing a degraded query
+means seeing, per aggregator, what CALCULATEWAIT chose and why the fold
+happened. A :class:`SpanTracer` records one :class:`Span` per node of the
+aggregation tree — workers, aggregators at every level, and the query
+root — each carrying:
+
+* ``start``/``end`` in **simulation time** (the service layer uses its
+  virtual clock); the tracer itself never reads a wall clock and never
+  draws randomness, so a traced simulation is bit-identical to an
+  untraced one on the same seed (asserted by ``tests/obs``);
+* the wait duration the controller committed to (``wait``), the last
+  ``(mu, sigma)`` estimate behind it when the controller learns online;
+* arrival times seen, outputs included vs dropped;
+* a ``cause`` — why the span ended the way it did (see the ``CAUSE_*``
+  constants).
+
+Spans serialize as JSONL (one object per line, parent links by id), so a
+trace file streams, greps, and reloads without a schema registry;
+:func:`read_trace` + :func:`build_tree` reconstruct the tree and
+:func:`render_tree` pretty-prints it for the CLI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Iterable, Optional
+
+from ..errors import ConfigError
+
+__all__ = [
+    "Span",
+    "SpanNode",
+    "SpanTracer",
+    "read_trace",
+    "build_tree",
+    "render_tree",
+    "CAUSE_ALL_ARRIVED",
+    "CAUSE_TIMER_EXPIRED",
+    "CAUSE_AGG_CRASHED",
+    "CAUSE_DOMAIN_FAILED",
+    "CAUSE_SHIP_LOST",
+    "CAUSE_INCLUDED",
+    "CAUSE_LATE_AT_ROOT",
+    "CAUSE_NEVER_ARRIVED",
+]
+
+# -- why an aggregator folded (stopped collecting) ----------------------
+CAUSE_ALL_ARRIVED = "all_arrived"  # every input arrived; shipped early
+CAUSE_TIMER_EXPIRED = "timer_expired"  # planned stop hit with inputs outstanding
+# -- what the infrastructure did to the shipment (fault simulator) ------
+CAUSE_AGG_CRASHED = "agg_crashed"
+CAUSE_DOMAIN_FAILED = "domain_failed"
+CAUSE_SHIP_LOST = "ship_lost"
+# -- the root's verdict on a top-level shipment -------------------------
+CAUSE_INCLUDED = "included"
+CAUSE_LATE_AT_ROOT = "late_at_root"
+CAUSE_NEVER_ARRIVED = "never_arrived"
+
+
+@dataclasses.dataclass
+class Span:
+    """One node of a query's execution tree."""
+
+    span_id: int
+    parent_id: Optional[int]
+    kind: str  # "query" | "aggregator" | "worker"
+    level: int  # worker = 0, aggregator level 1.., query = n_stages
+    start: float
+    end: float
+    attrs: dict = dataclasses.field(default_factory=dict)
+
+    def to_json(self) -> str:
+        doc = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "kind": self.kind,
+            "level": self.level,
+            "start": self.start,
+            "end": self.end,
+        }
+        doc.update(self.attrs)
+        return json.dumps(doc, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "Span":
+        try:
+            doc = dict(json.loads(line))
+        except (json.JSONDecodeError, TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed span line: {exc}") from exc
+        try:
+            return cls(
+                span_id=int(doc.pop("span_id")),
+                parent_id=doc.pop("parent_id"),
+                kind=str(doc.pop("kind")),
+                level=int(doc.pop("level")),
+                start=float(doc.pop("start")),
+                end=float(doc.pop("end")),
+                attrs=doc,
+            )
+        except KeyError as exc:
+            raise ConfigError(f"span line missing field {exc}") from exc
+
+
+class SpanTracer:
+    """Collects spans for one or more queries.
+
+    ``record_workers=False`` drops the (numerous) per-worker leaf spans
+    while keeping every aggregator span — the right trade for wide trees.
+    Span ids are allocated in recording order, which is deterministic
+    because the simulators visit aggregators in a fixed order.
+    """
+
+    def __init__(self, record_workers: bool = True):
+        self.record_workers = bool(record_workers)
+        self.spans: list[Span] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def begin_span(
+        self,
+        kind: str,
+        level: int,
+        parent_id: Optional[int] = None,
+        start: float = 0.0,
+        **attrs,
+    ) -> Span:
+        """Open a span (fill ``end``/``attrs`` before or after; the span
+        object is already registered)."""
+        span = Span(
+            span_id=self._next_id,
+            parent_id=parent_id,
+            kind=kind,
+            level=level,
+            start=float(start),
+            end=float(start),
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def add_span(
+        self,
+        kind: str,
+        level: int,
+        parent_id: Optional[int],
+        start: float,
+        end: float,
+        **attrs,
+    ) -> Span:
+        """Record a completed span in one call."""
+        span = self.begin_span(kind, level, parent_id, start, **attrs)
+        span.end = float(end)
+        return span
+
+    def add_worker_span(
+        self, parent_id: int, start: float, end: float, **attrs
+    ) -> Optional[Span]:
+        """Leaf span for one process output (skipped when workers are off)."""
+        if not self.record_workers:
+            return None
+        return self.add_span("worker", 0, parent_id, start, end, **attrs)
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop all recorded spans (ids keep counting up)."""
+        self.spans.clear()
+
+    def to_jsonl(self) -> str:
+        """All spans, one JSON object per line."""
+        return "".join(span.to_json() + "\n" for span in self.spans)
+
+    def write(self, path) -> pathlib.Path:
+        """Write the JSONL trace to ``path``."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_jsonl())
+        return path
+
+
+# ----------------------------------------------------------------------
+# reconstruction
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class SpanNode:
+    """A span plus its children — the reconstructed tree."""
+
+    span: Span
+    children: list["SpanNode"] = dataclasses.field(default_factory=list)
+
+    def walk(self) -> Iterable["SpanNode"]:
+        """This node then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def read_trace(source) -> list[Span]:
+    """Parse spans from a path or a JSONL string."""
+    if isinstance(source, (str, pathlib.Path)) and "\n" not in str(source):
+        text = pathlib.Path(source).read_text()
+    else:
+        text = str(source)
+    return [Span.from_json(line) for line in text.splitlines() if line.strip()]
+
+
+def build_tree(spans: Iterable[Span]) -> list[SpanNode]:
+    """Link spans into trees; returns the roots (parent_id None)."""
+    nodes = {span.span_id: SpanNode(span) for span in spans}
+    roots: list[SpanNode] = []
+    for node in nodes.values():
+        pid = node.span.parent_id
+        if pid is None:
+            roots.append(node)
+        else:
+            parent = nodes.get(pid)
+            if parent is None:
+                raise ConfigError(
+                    f"span {node.span.span_id} references missing parent {pid}"
+                )
+            parent.children.append(node)
+    return roots
+
+
+def render_tree(roots: list[SpanNode], max_children: int = 12) -> str:
+    """ASCII rendering of reconstructed span trees (for the CLI)."""
+    lines: list[str] = []
+
+    def describe(span: Span) -> str:
+        bits = [f"{span.kind} L{span.level}", f"[{span.start:.1f}..{span.end:.1f}]"]
+        for key in ("policy", "wait", "cause", "collected", "dropped",
+                    "est_mu", "est_sigma", "quality"):
+            if key in span.attrs and span.attrs[key] is not None:
+                val = span.attrs[key]
+                bits.append(
+                    f"{key}={val:.3g}" if isinstance(val, float) else f"{key}={val}"
+                )
+        return " ".join(bits)
+
+    def emit(node: SpanNode, prefix: str, is_last: bool, top: bool) -> None:
+        connector = "" if top else ("`-- " if is_last else "|-- ")
+        lines.append(prefix + connector + describe(node.span))
+        child_prefix = prefix if top else prefix + ("    " if is_last else "|   ")
+        shown = node.children[:max_children]
+        hidden = len(node.children) - len(shown)
+        for i, child in enumerate(shown):
+            emit(child, child_prefix, i == len(shown) - 1 and hidden == 0, False)
+        if hidden > 0:
+            lines.append(child_prefix + f"`-- ... {hidden} more")
+
+    for root in roots:
+        emit(root, "", True, True)
+    return "\n".join(lines)

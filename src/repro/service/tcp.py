@@ -44,11 +44,12 @@ async def _run_root(
     clock: Clock,
     deadline: float,
     expected: int,
-) -> tuple[int, int, float]:
+) -> tuple[int, int, float, set[int]]:
     """Collect shipments until all arrive or the deadline passes."""
     included = 0
     combined = 0.0
     received = 0
+    received_ids: set[int] = set()
     while received < expected:
         remaining = deadline - clock.now()
         if remaining <= 0.0:
@@ -60,9 +61,10 @@ async def _run_root(
         except asyncio.TimeoutError:
             break
         received += 1
+        received_ids.add(shipment.aggregator_id)
         included += shipment.payload
         combined += shipment.value
-    return included, received, combined
+    return included, received, combined, received_ids
 
 
 async def _run(
@@ -71,6 +73,8 @@ async def _run(
     clock: Clock,
     rng: np.random.Generator,
     chaos=None,
+    tracer=None,
+    metrics=None,
 ) -> RealTimeQueryResult:
     tree = ctx.true_tree if ctx.true_tree is not None else ctx.offline_tree
     if tree.n_stages != 2:
@@ -145,11 +149,14 @@ async def _run(
         )
 
     # ---- aggregator sessions -----------------------------------------
+    chaos_dropped_aggs: set[int] = set()
+
     async def run_aggregator(a: int) -> Shipment:
         reader, writer = await asyncio.open_connection("127.0.0.1", root_port)
         if chaos is not None and chaos.drops_shipment():
             # the TCP session to the root dies before shipping; the
             # collect loop still runs and degrades via ship_failures.
+            chaos_dropped_aggs.add(a)
             writer.close()
             await writer.wait_closed()
         try:
@@ -167,7 +174,7 @@ async def _run(
     ]
     agg_tasks = [asyncio.ensure_future(run_aggregator(a)) for a in range(k2)]
 
-    included, received, combined = await _run_root(
+    included, received, combined, received_ids = await _run_root(
         shipments, clock, deadline, k2
     )
     elapsed = clock.now()
@@ -186,7 +193,7 @@ async def _run(
     malformed = sum(s.malformed_lines for s in servers)
     missing = k2 - received
     total = k1 * k2
-    return RealTimeQueryResult(
+    result = RealTimeQueryResult(
         quality=included / total,
         included_outputs=included,
         total_outputs=total,
@@ -201,6 +208,129 @@ async def _run(
         missing_shipments=missing,
         malformed_lines=malformed,
     )
+    if tracer is not None:
+        _trace_tcp_query(
+            tracer, policy, deadline, servers, received_ids, result
+        )
+    if metrics is not None:
+        _record_tcp_metrics(
+            metrics, policy, servers, chaos, chaos_dropped_aggs, result
+        )
+    return result
+
+
+def _trace_tcp_query(
+    tracer, policy, deadline, servers, received_ids, result
+) -> None:
+    """Emit the span tree of one TCP query (virtual-clock times)."""
+    from ..obs.span import (
+        CAUSE_ALL_ARRIVED,
+        CAUSE_INCLUDED,
+        CAUSE_NEVER_ARRIVED,
+        CAUSE_TIMER_EXPIRED,
+    )
+
+    query_span = tracer.begin_span(
+        "query",
+        2,
+        None,
+        0.0,
+        policy=policy.name,
+        deadline=deadline,
+        transport="tcp",
+        quality=result.quality,
+        included_outputs=result.included_outputs,
+        total_outputs=result.total_outputs,
+        degraded=result.degraded,
+    )
+    query_span.end = result.elapsed_virtual
+    from ..simulation.query import _estimate_params
+
+    for server in servers:
+        est_mu, est_sigma = _estimate_params(server.controller)
+        stop = server.controller.stop_time
+        span = tracer.add_span(
+            "aggregator",
+            1,
+            query_span.span_id,
+            0.0,
+            min(stop, result.elapsed_virtual),
+            index=server.aggregator_id,
+            wait=stop,
+            n_arrived=server.collected,
+            dropped=server.fanout - server.collected,
+            collected=server.collected,
+            cause=(
+                CAUSE_ALL_ARRIVED
+                if server.collected == server.fanout
+                else CAUSE_TIMER_EXPIRED
+            ),
+            root_verdict=(
+                CAUSE_INCLUDED
+                if server.aggregator_id in received_ids
+                else CAUSE_NEVER_ARRIVED
+            ),
+            ship_failures=server.ship_failures,
+            malformed_lines=server.malformed_lines,
+            dropped_connections=server.dropped_connections,
+            est_mu=est_mu,
+            est_sigma=est_sigma,
+        )
+        for t in server.arrival_times:
+            tracer.add_worker_span(span.span_id, 0.0, t, included=True)
+
+
+def _record_tcp_metrics(
+    metrics, policy, servers, chaos, chaos_dropped_aggs, result
+) -> None:
+    """Account every output of one TCP query; attribute each dropped
+    output to a fault counter (chaos runs) or to the fold/deadline."""
+    name = policy.name
+    metrics.counter("queries_total", help="queries served").inc(policy=name)
+    metrics.histogram(
+        "response_quality", help="per-query response quality"
+    ).observe(result.quality, policy=name)
+    metrics.counter(
+        "outputs_included_total", help="process outputs included at the root"
+    ).inc(result.included_outputs, policy=name)
+    dropped = metrics.counter(
+        "outputs_dropped_total",
+        help="process outputs missing from the response, by cause",
+    )
+    attributed = 0
+    if result.worker_failures:
+        dropped.inc(result.worker_failures, policy=name, cause="worker_killed")
+        attributed += result.worker_failures
+    if result.malformed_lines:
+        dropped.inc(result.malformed_lines, policy=name, cause="malformed_line")
+        attributed += result.malformed_lines
+    lost_payload = sum(
+        s.collected for s in servers if s.aggregator_id in chaos_dropped_aggs
+    )
+    if lost_payload:
+        dropped.inc(lost_payload, policy=name, cause="shipment_dropped")
+        attributed += lost_payload
+    remainder = result.total_outputs - result.included_outputs - attributed
+    if remainder:
+        dropped.inc(remainder, policy=name, cause="fold_or_late")
+    if result.missing_shipments:
+        metrics.counter(
+            "deadline_misses_total",
+            help="expected shipments the root never received in time",
+        ).inc(result.missing_shipments, policy=name)
+    if chaos is not None:
+        injected = metrics.counter(
+            "chaos_injected_total",
+            help="ground-truth chaos events injected, by kind",
+        )
+        for kind, n in (
+            ("worker_killed", chaos.killed_workers),
+            ("shipment_dropped", chaos.dropped_shipments),
+            ("worker_delayed", chaos.delayed_workers),
+            ("connection_corrupted", chaos.corrupted_connections),
+        ):
+            if n:
+                injected.inc(n, kind=kind)
 
 
 def run_tcp_query(
@@ -209,13 +339,20 @@ def run_tcp_query(
     time_scale: float = 0.001,
     seed: SeedLike = None,
     chaos=None,
+    tracer=None,
+    metrics=None,
 ) -> RealTimeQueryResult:
     """Execute one query with every hop over localhost TCP.
 
     ``chaos`` (a :class:`repro.faults.ChaosTransport`) optionally breaks
     workers, connects, writes, and aggregator->root sessions; the result
     carries a ``degraded`` flag and per-failure counters either way.
+    ``tracer``/``metrics`` (a :class:`repro.obs.SpanTracer` /
+    :class:`repro.obs.MetricsRegistry`) record the span tree and
+    per-cause output accounting of the run.
     """
     clock = Clock(time_scale=time_scale)
     rng = resolve_rng(seed)
-    return asyncio.run(_run(ctx, policy, clock, rng, chaos=chaos))
+    return asyncio.run(
+        _run(ctx, policy, clock, rng, chaos=chaos, tracer=tracer, metrics=metrics)
+    )

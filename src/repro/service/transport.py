@@ -84,6 +84,8 @@ class AggregatorServer:
         self._inbox: asyncio.Queue[Output] = asyncio.Queue()
         self._values: list[float] = []
         self._collected = 0
+        #: virtual-clock arrival time of each accepted output (for traces).
+        self.arrival_times: list[float] = []
         #: lines that failed to decode as protocol messages.
         self.malformed_lines = 0
         #: worker connections that died mid-read (reset/aborted).
@@ -189,7 +191,9 @@ class AggregatorServer:
                 )
             except asyncio.TimeoutError:
                 break
-            self.controller.on_arrival(self.clock.now())
+            arrival = self.clock.now()
+            self.controller.on_arrival(arrival)
+            self.arrival_times.append(arrival)
             self._values.append(output.value)
             self._collected += 1
         if ship_delay > 0.0:

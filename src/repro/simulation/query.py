@@ -29,6 +29,50 @@ from ..rng import SeedLike, resolve_rng
 __all__ = ["QueryResult", "simulate_query"]
 
 
+def _estimate_params(controller) -> tuple[Optional[float], Optional[float]]:
+    """(mu, sigma) of the controller's last online estimate, if any.
+
+    Pure attribute reads — never perturbs the controller or the RNG, so
+    observability code may call this freely.
+    """
+    est = getattr(controller, "last_estimate", None)
+    if est is None:
+        return None, None
+    return getattr(est, "mu", None), getattr(est, "sigma", None)
+
+
+def _observe_aggregator(
+    metrics, policy_name: str, level: int, stop: float, deadline: float
+) -> None:
+    """Record one aggregator's committed wait into the metrics registry."""
+    metrics.histogram(
+        "wait_fraction",
+        help="committed aggregator stop time as a fraction of the deadline",
+    ).observe(min(1.0, stop / deadline), policy=policy_name, level=str(level))
+
+
+def _observe_estimator_error(metrics, policy_name: str, controller, true_x1):
+    """Record |estimate - truth| for the online (mu, sigma) fit."""
+    est_mu, est_sigma = _estimate_params(controller)
+    true_mu = getattr(true_x1, "mu", None)
+    true_sigma = getattr(true_x1, "sigma", None)
+    if est_mu is None or true_mu is None:
+        return
+    from ..obs.metrics import ERROR_BUCKETS
+
+    metrics.histogram(
+        "estimator_mu_abs_error",
+        buckets=ERROR_BUCKETS,
+        help="absolute error of the online mu estimate at fold time",
+    ).observe(abs(est_mu - true_mu), policy=policy_name)
+    if est_sigma is not None and true_sigma is not None:
+        metrics.histogram(
+            "estimator_sigma_abs_error",
+            buckets=ERROR_BUCKETS,
+            help="absolute error of the online sigma estimate at fold time",
+        ).observe(abs(est_sigma - true_sigma), policy=policy_name)
+
+
 @dataclasses.dataclass(frozen=True)
 class QueryResult:
     """Outcome of one simulated query."""
@@ -57,11 +101,13 @@ class _Shipment:
 
 def _run_aggregator(
     controller, arrivals: np.ndarray, payloads: Optional[np.ndarray]
-) -> tuple[float, int]:
-    """Drive one aggregator; return (depart_time, collected_payload).
+) -> tuple[float, int, int]:
+    """Drive one aggregator; return (depart_time, collected_payload, seen).
 
     ``arrivals`` must be sorted ascending. ``payloads`` gives the process
     count carried by each arrival (None = 1 each, the bottom level).
+    ``seen`` counts the arrivals accepted before the stop time — the
+    tracer uses it to attribute dropped inputs to the fold.
     """
     k = arrivals.size
     collected = 0
@@ -78,7 +124,7 @@ def _run_aggregator(
         # everything arrived: depart at the last arrival (SetTimer(0) on
         # numOutputs == k), never later than the planned stop.
         stop = min(stop, float(arrivals[-1])) if k > 0 else 0.0
-    return stop, collected
+    return stop, collected, seen
 
 
 def simulate_query(
@@ -86,12 +132,23 @@ def simulate_query(
     policy: WaitPolicy,
     seed: SeedLike = None,
     agg_sample: Optional[int] = None,
+    tracer=None,
+    metrics=None,
+    span_attrs: Optional[dict] = None,
 ) -> QueryResult:
     """Simulate one query end-to-end and return its response quality.
 
     ``agg_sample`` caps how many bottom-level subtrees are simulated; the
     quality estimate then uses only those subtrees (they are i.i.d., so
     this is an unbiased speedup for wide trees). ``None`` simulates all.
+
+    ``tracer`` (a :class:`repro.obs.SpanTracer`) records one span per
+    worker/aggregator plus a query root span; ``metrics`` (a
+    :class:`repro.obs.MetricsRegistry`) accumulates wait/quality/
+    estimator-error distributions. Both observe simulation time only and
+    draw no randomness: a traced run is bit-identical to a bare run on
+    the same seed. ``span_attrs`` merges extra attributes (e.g. a query
+    index) into the query span.
     """
     tree = ctx.true_tree if ctx.true_tree is not None else ctx.offline_tree
     rng = resolve_rng(seed)
@@ -121,22 +178,84 @@ def simulate_query(
 
     mean_stops: list[float] = []
 
+    # ---- spans: pre-build the tree skeleton top-down ------------------
+    # (span ids are allocated in a fixed order, and filling attributes
+    # later mutates the registered Span objects in place)
+    query_span = None
+    level_spans: list[list] = []
+    if tracer is not None:
+        from ..obs.span import (
+            CAUSE_ALL_ARRIVED,
+            CAUSE_INCLUDED,
+            CAUSE_LATE_AT_ROOT,
+            CAUSE_TIMER_EXPIRED,
+        )
+
+        query_span = tracer.begin_span(
+            "query",
+            n_stages,
+            None,
+            0.0,
+            policy=policy.name,
+            deadline=deadline,
+            **(span_attrs or {}),
+        )
+        counts = [simulated_bottom]
+        for level in range(2, n_stages):
+            counts.append(counts[-1] // fanouts[level - 1])
+        level_spans = [[] for _ in range(n_stages - 1)]
+        for level in range(n_stages - 1, 0, -1):
+            for a in range(counts[level - 1]):
+                if level == n_stages - 1:
+                    parent = query_span.span_id
+                else:
+                    parent = level_spans[level][a // fanouts[level]].span_id
+                level_spans[level - 1].append(
+                    tracer.begin_span("aggregator", level, parent, 0.0, index=a)
+                )
+
     # ---- level 1: processes -> bottom aggregators --------------------
     k1 = fanouts[0]
     durations = np.sort(
         dists[0].sample((simulated_bottom, k1), seed=rng), axis=1
     )
     shipments: list[_Shipment] = []
+    span_row: list = []  # span per live shipment, parallel to `shipments`
     stops_acc = 0.0
     ship_durations = np.asarray(
         dists[1].sample(simulated_bottom, seed=rng), dtype=float
     )
     for a in range(simulated_bottom):
         controller = policy.controller(ctx, 1)
-        depart, payload = _run_aggregator(controller, durations[a], None)
+        depart, payload, seen = _run_aggregator(controller, durations[a], None)
         stops_acc += depart
         arrival_up = depart + float(ship_durations[a])
         shipments.append(_Shipment(arrival=arrival_up, payload=payload))
+        if tracer is not None:
+            span = level_spans[0][a]
+            est_mu, est_sigma = _estimate_params(controller)
+            span.end = depart
+            span.attrs.update(
+                wait=depart,
+                n_arrived=seen,
+                dropped=k1 - seen,
+                collected=payload,
+                ship_arrival=arrival_up,
+                cause=CAUSE_ALL_ARRIVED if seen == k1 else CAUSE_TIMER_EXPIRED,
+                est_mu=est_mu,
+                est_sigma=est_sigma,
+            )
+            span_row.append(span)
+            for t in durations[a]:
+                t = float(t)
+                tracer.add_worker_span(
+                    span.span_id, 0.0, t, included=bool(t <= depart)
+                )
+        if metrics is not None:
+            _observe_aggregator(metrics, policy.name, 1, depart, deadline)
+            _observe_estimator_error(
+                metrics, policy.name, controller, dists[0]
+            )
     mean_stops.append(stops_acc / max(1, simulated_bottom))
 
     # ---- levels 2 .. n-1: aggregators of aggregators ------------------
@@ -149,6 +268,7 @@ def simulate_query(
                 f"fan-out {group}"
             )
         next_shipments: list[_Shipment] = []
+        next_span_row: list = []
         stops_acc = 0.0
         ship_durations = np.asarray(
             dists[level].sample(n_aggs, seed=rng), dtype=float
@@ -159,25 +279,80 @@ def simulate_query(
             arrivals = np.array([batch[i].arrival for i in order])
             payloads = np.array([batch[i].payload for i in order])
             controller = policy.controller(ctx, level)
-            depart, payload = _run_aggregator(controller, arrivals, payloads)
+            depart, payload, seen = _run_aggregator(controller, arrivals, payloads)
             stops_acc += depart
             next_shipments.append(
                 _Shipment(arrival=depart + float(ship_durations[a]), payload=payload)
             )
+            if tracer is not None:
+                span = level_spans[level - 1][a]
+                est_mu, est_sigma = _estimate_params(controller)
+                span.end = depart
+                span.attrs.update(
+                    wait=depart,
+                    n_arrived=seen,
+                    dropped=group - seen,
+                    collected=payload,
+                    ship_arrival=depart + float(ship_durations[a]),
+                    cause=(
+                        CAUSE_ALL_ARRIVED if seen == group else CAUSE_TIMER_EXPIRED
+                    ),
+                    est_mu=est_mu,
+                    est_sigma=est_sigma,
+                )
+                next_span_row.append(span)
+            if metrics is not None:
+                _observe_aggregator(metrics, policy.name, level, depart, deadline)
         mean_stops.append(stops_acc / max(1, n_aggs))
         shipments = next_shipments
+        span_row = next_span_row
 
     # ---- root: include shipments arriving by the deadline -------------
     included = 0
     late_count = 0
-    for s in shipments:
-        if s.arrival <= deadline:
+    for idx, s in enumerate(shipments):
+        on_time = s.arrival <= deadline
+        if on_time:
             included += s.payload
         else:
             late_count += 1
+        if tracer is not None:
+            span_row[idx].attrs["root_verdict"] = (
+                CAUSE_INCLUDED if on_time else CAUSE_LATE_AT_ROOT
+            )
 
     total_simulated = simulated_bottom * k1
     quality = included / total_simulated if total_simulated else 0.0
+    if tracer is not None:
+        query_span.end = deadline
+        query_span.attrs.update(
+            quality=quality,
+            included_outputs=included * scale,
+            total_outputs=tree.total_processes,
+            late_at_root=late_count,
+        )
+    if metrics is not None:
+        metrics.counter(
+            "queries_total", help="simulated queries"
+        ).inc(policy=policy.name)
+        metrics.histogram(
+            "response_quality", help="per-query response quality"
+        ).observe(quality, policy=policy.name)
+        metrics.counter(
+            "deadline_misses_total",
+            help="top-level shipments that reached the root after the deadline",
+        ).inc(late_count, policy=policy.name)
+        metrics.counter(
+            "outputs_included_total", help="process outputs included at the root"
+        ).inc(included * scale, policy=policy.name)
+        metrics.counter(
+            "outputs_dropped_total",
+            help="process outputs missing from the response, by cause",
+        ).inc(
+            tree.total_processes - included * scale,
+            policy=policy.name,
+            cause="fold_or_late",
+        )
     return QueryResult(
         quality=quality,
         included_outputs=included * scale,

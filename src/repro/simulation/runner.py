@@ -83,6 +83,8 @@ def run_experiment(
     seed: SeedLike = None,
     agg_sample: Optional[int] = None,
     faults=None,
+    tracer=None,
+    metrics=None,
 ) -> RunResult:
     """Simulate ``n_queries`` under each policy and collect qualities.
 
@@ -91,19 +93,41 @@ def run_experiment(
     preserved — each policy replays the same durations *and* the same
     fault draws. ``agg_sample`` is ignored under faults (the fault
     simulator always runs the full tree).
+
+    ``tracer``/``metrics`` (see :mod:`repro.obs`) instrument every
+    simulated query; each query span carries its ``query_index`` so a
+    multi-query JSONL trace reconstructs into one tree per (query,
+    policy) pair. Neither perturbs the simulation (no RNG draws, no wall
+    clock), so instrumented runs are bit-identical to bare runs.
     """
     if n_queries < 1:
         raise ConfigError(f"n_queries must be >= 1, got {n_queries}")
     if faults is not None and not faults.is_null:
         from ..faults import simulate_query_with_faults
 
-        def _simulate(ctx, policy, p_rng):
-            return simulate_query_with_faults(ctx, policy, faults, seed=p_rng)
+        def _simulate(ctx, policy, p_rng, q_idx):
+            return simulate_query_with_faults(
+                ctx,
+                policy,
+                faults,
+                seed=p_rng,
+                tracer=tracer,
+                metrics=metrics,
+                span_attrs={"query_index": q_idx},
+            )
 
     else:
 
-        def _simulate(ctx, policy, p_rng):
-            return simulate_query(ctx, policy, seed=p_rng, agg_sample=agg_sample)
+        def _simulate(ctx, policy, p_rng, q_idx):
+            return simulate_query(
+                ctx,
+                policy,
+                seed=p_rng,
+                agg_sample=agg_sample,
+                tracer=tracer,
+                metrics=metrics,
+                span_attrs={"query_index": q_idx},
+            )
 
     names = [p.name for p in policies]
     if len(set(names)) != len(names):
@@ -125,7 +149,7 @@ def run_experiment(
         (duration_seed,) = q_rng.integers(0, 2**63 - 1, size=1)
         for policy in policies:
             p_rng = np.random.default_rng(int(duration_seed))
-            res = _simulate(ctx, policy, p_rng)
+            res = _simulate(ctx, policy, p_rng, q_idx)
             qualities[policy.name][q_idx] = res.quality
             results[policy.name].append(res)
 

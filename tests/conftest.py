@@ -3,6 +3,22 @@
 import numpy as np
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/experiments/goldens/*.json from this run "
+        "instead of asserting against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request):
+    """True when the run should regenerate golden files."""
+    return request.config.getoption("--update-goldens")
+
 from repro.distributions import (
     Exponential,
     Gamma,

@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) on CALCULATEWAIT across families.
+
+tests/core/test_core_properties.py pins the optimizer's invariants for
+log-normal trees; Cedar's claims are distribution-agnostic, so these
+tests re-assert them when the bottom stage is Weibull or a
+log-normal+Pareto mixture (the paper's heavy-tailed regimes), and for
+:func:`repro.core.calculate_wait` — the literal Pseudocode 2
+transcription — rather than the vectorized optimizer:
+
+* ``q_n(d)`` is bounded in ``[0, 1]`` and non-decreasing in ``d``;
+* the wait CALCULATEWAIT commits to never exceeds the deadline.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Stage, TreeSpec, calculate_wait, max_quality
+from repro.distributions import LogNormal, Mixture, Pareto, Weibull
+
+MU = st.floats(min_value=-1.0, max_value=3.0)
+SIGMA = st.floats(min_value=0.2, max_value=1.5)
+SHAPE = st.floats(min_value=0.6, max_value=3.0)
+SCALE = st.floats(min_value=0.5, max_value=10.0)
+TAIL_WEIGHT = st.floats(min_value=0.0, max_value=0.5)
+FANOUT = st.integers(min_value=2, max_value=20)
+DEADLINE = st.floats(min_value=0.5, max_value=50.0)
+
+GRID = 96  # coarse grid keeps each hypothesis example fast
+
+
+@st.composite
+def bottom_distributions(draw):
+    """A bottom-stage distribution from one of three families."""
+    family = draw(st.sampled_from(["lognormal", "weibull", "mixture"]))
+    if family == "lognormal":
+        return LogNormal(draw(MU), draw(SIGMA))
+    if family == "weibull":
+        return Weibull(k=draw(SHAPE), lam=draw(SCALE))
+    return Mixture(
+        components=[
+            LogNormal(draw(MU), draw(SIGMA)),
+            Pareto(xm=draw(SCALE), alpha=draw(SHAPE) + 1.0),
+        ],
+        weights=[1.0 - draw(TAIL_WEIGHT), draw(TAIL_WEIGHT) + 1e-3],
+    )
+
+
+def _tree(x1, k1, mu2, sigma2, k2):
+    return TreeSpec(
+        stages=(
+            Stage(duration=x1, fanout=k1),
+            Stage(duration=LogNormal(mu2, sigma2), fanout=k2),
+        )
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    x1=bottom_distributions(),
+    k1=FANOUT,
+    mu2=MU,
+    sigma2=SIGMA,
+    k2=FANOUT,
+    d=DEADLINE,
+)
+def test_quality_bounded_across_families(x1, k1, mu2, sigma2, k2, d):
+    q = max_quality(_tree(x1, k1, mu2, sigma2, k2), d, grid_points=GRID)
+    assert 0.0 <= q <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    x1=bottom_distributions(),
+    k1=FANOUT,
+    mu2=MU,
+    sigma2=SIGMA,
+    k2=FANOUT,
+    d=DEADLINE,
+    stretch=st.floats(min_value=1.0, max_value=4.0),
+)
+def test_quality_monotone_in_deadline_across_families(
+    x1, k1, mu2, sigma2, k2, d, stretch
+):
+    tree = _tree(x1, k1, mu2, sigma2, k2)
+    q1 = max_quality(tree, d, grid_points=GRID)
+    q2 = max_quality(tree, stretch * d, grid_points=GRID)
+    # tiny discretization wiggle from the coarse grid is tolerated
+    assert q2 >= q1 - 0.02
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    x1=bottom_distributions(),
+    k1=FANOUT,
+    mu2=MU,
+    sigma2=SIGMA,
+    k2=FANOUT,
+    d=DEADLINE,
+)
+def test_calculate_wait_never_exceeds_deadline(x1, k1, mu2, sigma2, k2, d):
+    tree = _tree(x1, k1, mu2, sigma2, k2)
+    w = calculate_wait(tree, d, epsilon=d / GRID)
+    assert 0.0 <= w <= d + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(x1=bottom_distributions(), k1=FANOUT, d=DEADLINE)
+def test_calculate_wait_zero_and_negative_deadline(x1, k1, d):
+    tree = _tree(x1, k1, 0.0, 0.5, 2)
+    assert calculate_wait(tree, 0.0) == 0.0
+    assert calculate_wait(tree, -d) == 0.0

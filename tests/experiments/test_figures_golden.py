@@ -1,0 +1,112 @@
+"""Golden regression harness over every figure experiment.
+
+Every concrete ``fig*`` experiment runs at its small ``quick`` scale with
+a pinned seed; the full report (headers, rows, notes, summary) must match
+the checked-in golden JSON under ``tests/experiments/goldens/``. Rows are
+compared exactly (their values are already rounded by the runners, which
+absorbs platform-level numeric jitter); raw summary scalars get a 1e-6
+relative tolerance. A mismatch fails loudly with a unified diff of the
+two documents.
+
+To bless an intentional change::
+
+    pytest tests/experiments/test_figures_golden.py --update-goldens
+
+then commit the rewritten goldens together with the change that moved
+the numbers.
+"""
+
+import difflib
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments import ALL
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+SEED = 20260806
+SUMMARY_RTOL = 1e-6
+
+#: aggregate aliases that just re-run their concrete panels
+_ALIASES = {"fig7", "fig12", "fig16"}
+
+EXPERIMENTS = sorted(
+    name for name in ALL if name.startswith("fig") and name not in _ALIASES
+)
+
+
+def _report_doc(report) -> dict:
+    """JSON-stable document for one report (tuples become lists)."""
+    return {
+        "experiment": report.experiment,
+        "headers": list(report.headers),
+        "rows": [list(row) for row in report.rows],
+        "notes": report.notes,
+        "summary": {k: report.summary[k] for k in sorted(report.summary)},
+    }
+
+
+def _dumps(doc: dict) -> str:
+    return json.dumps(doc, indent=1, sort_keys=True)
+
+
+def _unified_diff(golden: dict, fresh: dict, name: str) -> str:
+    return "\n".join(
+        difflib.unified_diff(
+            _dumps(golden).splitlines(),
+            _dumps(fresh).splitlines(),
+            fromfile=f"goldens/{name}.json (committed)",
+            tofile=f"{name} (this run)",
+            lineterm="",
+        )
+    )
+
+
+def _summaries_close(golden: dict, fresh: dict) -> bool:
+    if set(golden) != set(fresh):
+        return False
+    for key, ref in golden.items():
+        new = fresh[key]
+        if isinstance(ref, (int, float)) and isinstance(new, (int, float)):
+            if abs(new - ref) > SUMMARY_RTOL * max(1.0, abs(ref)):
+                return False
+        elif new != ref:
+            return False
+    return True
+
+
+@pytest.mark.parametrize("name", EXPERIMENTS)
+def test_figure_matches_golden(name, update_goldens):
+    fresh = _report_doc(ALL[name](scale="quick", seed=SEED))
+    path = GOLDEN_DIR / f"{name}.json"
+    if update_goldens:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(_dumps(fresh) + "\n")
+        return
+    if not path.exists():
+        pytest.fail(
+            f"no golden for {name!r}; generate it with "
+            "pytest --update-goldens"
+        )
+    golden = json.loads(path.read_text())
+    exact_match = {k: v for k, v in golden.items() if k != "summary"} == {
+        k: v for k, v in fresh.items() if k != "summary"
+    }
+    if not (exact_match and _summaries_close(golden["summary"], fresh["summary"])):
+        pytest.fail(
+            f"{name} drifted from its committed golden "
+            f"(seed {SEED}, scale 'quick'):\n"
+            + _unified_diff(golden, fresh, name)
+        )
+
+
+def test_no_stale_goldens(update_goldens):
+    if update_goldens:
+        pytest.skip("golden files are being rewritten")
+    on_disk = {p.stem for p in GOLDEN_DIR.glob("*.json")}
+    assert on_disk == set(EXPERIMENTS), (
+        "goldens out of sync with the experiment registry: "
+        f"stale={sorted(on_disk - set(EXPERIMENTS))}, "
+        f"missing={sorted(set(EXPERIMENTS) - on_disk)}"
+    )

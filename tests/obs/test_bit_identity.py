@@ -1,0 +1,151 @@
+"""Instrumentation must not perturb seeded runs (determinism contract).
+
+The tracer and the metrics registry observe simulation state but never
+draw randomness and never read a wall clock inside the simulation path,
+so a traced+metered run must be *bit-identical* to a bare run on the
+same seed — same QueryResult dataclasses, same quality arrays. These
+tests pin that contract; if instrumentation ever consumes an RNG draw,
+they fail on the first diverging float.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CedarDeepPolicy,
+    CedarPolicy,
+    ProportionalSplitPolicy,
+    QueryContext,
+    Stage,
+    TreeSpec,
+)
+from repro.distributions import LogNormal
+from repro.faults import FaultModel, simulate_query_with_faults
+from repro.obs import PROFILER, MetricsRegistry, SpanTracer, build_tree
+from repro.simulation import run_experiment, simulate_query
+from repro.traces import make_workload
+
+SEED = 20260806
+
+
+def _ctx(deadline=800.0):
+    tree = TreeSpec.two_level(
+        LogNormal(4.0, 0.8), 6, LogNormal(3.0, 0.4), 4
+    )
+    return QueryContext(deadline=deadline, offline_tree=tree)
+
+
+def _deep_ctx(deadline=900.0):
+    tree = TreeSpec(
+        stages=(
+            Stage(duration=LogNormal(4.0, 0.8), fanout=4),
+            Stage(duration=LogNormal(3.0, 0.4), fanout=3),
+            Stage(duration=LogNormal(2.5, 0.3), fanout=2),
+        )
+    )
+    return QueryContext(deadline=deadline, offline_tree=tree)
+
+
+class TestSimulatedQueryBitIdentity:
+    @pytest.mark.parametrize("make_ctx", [_ctx, _deep_ctx])
+    def test_traced_equals_untraced(self, make_ctx):
+        bare = simulate_query(make_ctx(), CedarPolicy(grid_points=96), seed=SEED)
+        tracer, metrics = SpanTracer(), MetricsRegistry()
+        instrumented = simulate_query(
+            make_ctx(),
+            CedarPolicy(grid_points=96),
+            seed=SEED,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        assert instrumented == bare  # frozen dataclass: exact float equality
+        assert tracer.spans  # and the instrumentation actually ran
+
+    def test_profiler_enabled_equals_disabled(self):
+        PROFILER.reset()
+        PROFILER.enable()
+        try:
+            profiled = simulate_query(
+                _ctx(), CedarPolicy(grid_points=96), seed=SEED
+            )
+        finally:
+            PROFILER.disable()
+        assert PROFILER.snapshot()  # the hot paths reported
+        PROFILER.reset()
+        bare = simulate_query(_ctx(), CedarPolicy(grid_points=96), seed=SEED)
+        assert profiled == bare
+
+    def test_faulty_query_traced_equals_untraced(self):
+        faults = FaultModel(
+            worker_crash_prob=0.1, agg_crash_prob=0.1, ship_loss_prob=0.1
+        )
+        bare = simulate_query_with_faults(
+            _ctx(), CedarPolicy(grid_points=96), faults, seed=SEED
+        )
+        tracer, metrics = SpanTracer(), MetricsRegistry()
+        instrumented = simulate_query_with_faults(
+            _ctx(),
+            CedarPolicy(grid_points=96),
+            faults,
+            seed=SEED,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        assert instrumented == bare
+        assert tracer.spans
+
+
+class TestExperimentBitIdentity:
+    def test_run_experiment_traced_equals_untraced(self):
+        workload = make_workload("facebook", k1=5, k2=4)
+
+        def run(tracer=None, metrics=None):
+            return run_experiment(
+                workload,
+                [ProportionalSplitPolicy(), CedarPolicy(grid_points=64)],
+                600.0,
+                4,
+                seed=SEED,
+                tracer=tracer,
+                metrics=metrics,
+            )
+
+        bare = run()
+        instrumented = run(SpanTracer(), MetricsRegistry())
+        for name in bare.qualities:
+            np.testing.assert_array_equal(
+                instrumented.qualities[name], bare.qualities[name]
+            )
+            assert instrumented.results[name] == bare.results[name]
+
+
+class TestTraceReconstruction:
+    def test_jsonl_reconstructs_the_full_tree(self):
+        ctx = _deep_ctx()
+        tracer = SpanTracer()
+        res = simulate_query(
+            ctx, CedarDeepPolicy(grid_points=96), seed=SEED, tracer=tracer
+        )
+        roots = build_tree(tracer.spans)
+        assert len(roots) == 1
+        query = roots[0]
+        assert query.span.kind == "query"
+        assert query.span.attrs["quality"] == res.quality
+        # the span tree mirrors the aggregation tree exactly: 2 top-level
+        # aggregators, each with 3 children, each with 4 workers.
+        assert len(query.children) == 2
+        for upper in query.children:
+            assert upper.span.level == 2
+            assert len(upper.children) == 3
+            for bottom in upper.children:
+                assert bottom.span.level == 1
+                assert len(bottom.children) == 4
+                for worker in bottom.children:
+                    assert worker.span.kind == "worker"
+        # included workers across the trace match the query's accounting
+        included = sum(
+            1
+            for node in query.walk()
+            if node.span.kind == "worker" and node.span.attrs["included"]
+        )
+        assert included >= res.included_outputs

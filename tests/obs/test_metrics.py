@@ -1,0 +1,151 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import ERROR_BUCKETS, QUALITY_BUCKETS
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("c")
+        assert c.value() == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labeled_series_are_independent(self):
+        c = Counter("c")
+        c.inc(policy="cedar")
+        c.inc(3, policy="ideal")
+        assert c.value(policy="cedar") == 1.0
+        assert c.value(policy="ideal") == 3.0
+        assert c.value(policy="missing") == 0.0
+        assert c.total() == 4.0
+
+    def test_label_order_does_not_matter(self):
+        c = Counter("c")
+        c.inc(policy="cedar", cause="late")
+        c.inc(cause="late", policy="cedar")
+        assert c.value(cause="late", policy="cedar") == 2.0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ConfigError):
+            Counter("c").inc(-1.0)
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = Gauge("g")
+        g.set(5.0)
+        g.inc(-2.0)
+        assert g.value() == 3.0
+
+
+class TestHistogram:
+    def test_cumulative_counts_and_sum(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        for v in (0.5, 1.5, 1.7, 3.0, 100.0):
+            h.observe(v)
+        assert h.cumulative_counts() == [1, 3, 4, 5]
+        assert h.sample_count() == 5
+        assert h.sample_sum() == pytest.approx(106.7)
+
+    def test_boundary_lands_in_le_bucket(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        assert h.cumulative_counts() == [1, 1, 1]
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ConfigError):
+            Histogram("h", buckets=())
+        with pytest.raises(ConfigError):
+            Histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ConfigError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ConfigError):
+            Histogram("h", buckets=(1.0, float("inf")))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ConfigError):
+            reg.gauge("a")
+
+    def test_histogram_bucket_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=QUALITY_BUCKETS)
+        with pytest.raises(ConfigError):
+            reg.histogram("h", buckets=ERROR_BUCKETS)
+
+    def test_bad_names_rejected(self):
+        reg = MetricsRegistry()
+        for bad in ("", "has space", "1starts_with_digit", "bad-dash"):
+            with pytest.raises(ConfigError):
+                reg.counter(bad)
+
+    def test_namespace_prefixes_family_names(self):
+        reg = MetricsRegistry(namespace="myapp")
+        reg.counter("events")
+        assert [m.name for m in reg.families()] == ["myapp_events"]
+
+
+class TestPrometheusRendering:
+    def test_counter_gets_total_suffix_once(self):
+        reg = MetricsRegistry()
+        reg.counter("events", help="things that happened").inc(2, kind="a")
+        reg.counter("outputs_dropped_total").inc(3)
+        text = reg.render_prometheus()
+        assert "# HELP cedar_events things that happened" in text
+        assert "# TYPE cedar_events counter" in text
+        assert 'cedar_events_total{kind="a"} 2' in text
+        assert "cedar_outputs_dropped_total 3" in text
+        assert "_total_total" not in text
+
+    def test_histogram_exposition(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("quality", buckets=(0.5,))
+        h.observe(0.25, policy="cedar")
+        h.observe(0.75, policy="cedar")
+        text = reg.render_prometheus()
+        assert 'cedar_quality_bucket{policy="cedar",le="0.5"} 1' in text
+        assert 'cedar_quality_bucket{policy="cedar",le="+Inf"} 2' in text
+        assert 'cedar_quality_sum{policy="cedar"} 1' in text
+        assert 'cedar_quality_count{policy="cedar"} 2' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+    def test_rendering_is_deterministic(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("z").inc(policy="b")
+            reg.counter("z").inc(policy="a")
+            reg.counter("a").inc()
+            return reg.render_prometheus()
+
+        assert build() == build()
+
+
+class TestJsonRendering:
+    def test_round_trips_through_json(self):
+        reg = MetricsRegistry()
+        reg.counter("events").inc(4, kind="x")
+        reg.histogram("quality", buckets=(0.5,)).observe(0.3)
+        doc = json.loads(reg.render_json())
+        assert doc["cedar_events"]["type"] == "counter"
+        assert doc["cedar_events"]["series"][0]["value"] == 4
+        hist = doc["cedar_quality"]
+        assert hist["buckets"] == [0.5]
+        assert hist["series"][0]["counts"] == [1, 0]
+        assert hist["series"][0]["count"] == 1

@@ -1,0 +1,71 @@
+"""Unit tests for the zero-overhead profiler."""
+
+from repro.obs import PROFILER, Profiler
+
+
+class TestProfiler:
+    def test_disabled_start_returns_none(self):
+        p = Profiler()
+        tok = p.start()
+        assert tok is None
+        p.stop("site", tok)  # no-op, records nothing
+        assert p.snapshot() == {}
+
+    def test_enabled_records_stats(self):
+        p = Profiler()
+        p.enable()
+        for _ in range(3):
+            tok = p.start()
+            p.stop("site", tok)
+        snap = p.snapshot()
+        assert snap["site"]["calls"] == 3
+        assert snap["site"]["total_s"] >= 0.0
+        assert snap["site"]["max_s"] >= snap["site"]["mean_s"] >= 0.0
+
+    def test_disable_keeps_stats_reset_drops_them(self):
+        p = Profiler()
+        p.enable()
+        p.stop("site", p.start())
+        p.disable()
+        assert "site" in p.snapshot()
+        p.reset()
+        assert p.snapshot() == {}
+
+    def test_report_renders_table(self):
+        p = Profiler()
+        assert "no profile samples" in p.report()
+        p.enable()
+        p.stop("core.wait.sweep", p.start())
+        report = p.report()
+        assert "core.wait.sweep" in report
+        assert "calls" in report
+
+
+class TestGlobalProfilerWiring:
+    def test_hot_paths_report_when_enabled(self):
+        from repro.core import TreeSpec, calculate_wait
+        from repro.distributions import LogNormal
+
+        tree = TreeSpec.two_level(
+            LogNormal(3.0, 0.5), 4, LogNormal(2.0, 0.3), 3
+        )
+        PROFILER.reset()
+        PROFILER.enable()
+        try:
+            calculate_wait(tree, 60.0, epsilon=1.0)
+        finally:
+            PROFILER.disable()
+        snap = PROFILER.snapshot()
+        PROFILER.reset()
+        assert snap["core.wait.calculate_wait"]["calls"] == 1
+
+    def test_hot_paths_free_when_disabled(self):
+        from repro.core import TreeSpec, calculate_wait
+        from repro.distributions import LogNormal
+
+        tree = TreeSpec.two_level(
+            LogNormal(3.0, 0.5), 4, LogNormal(2.0, 0.3), 3
+        )
+        PROFILER.reset()
+        calculate_wait(tree, 60.0, epsilon=1.0)
+        assert PROFILER.snapshot() == {}

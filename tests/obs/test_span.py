@@ -1,0 +1,94 @@
+"""Unit tests for span recording and trace reconstruction."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import (
+    Span,
+    SpanTracer,
+    build_tree,
+    read_trace,
+    render_tree,
+)
+
+
+def _small_trace(tracer: SpanTracer) -> None:
+    q = tracer.begin_span("query", 2, None, 0.0, policy="cedar")
+    q.end = 100.0
+    agg = tracer.add_span(
+        "aggregator", 1, q.span_id, 0.0, 40.0, wait=40.0, cause="timer_expired"
+    )
+    tracer.add_worker_span(agg.span_id, 0.0, 12.0, included=True)
+    tracer.add_worker_span(agg.span_id, 0.0, 55.0, included=False)
+
+
+class TestSpanTracer:
+    def test_span_ids_allocated_in_recording_order(self):
+        tracer = SpanTracer()
+        _small_trace(tracer)
+        assert [s.span_id for s in tracer.spans] == [0, 1, 2, 3]
+
+    def test_record_workers_off_drops_leaves_only(self):
+        tracer = SpanTracer(record_workers=False)
+        _small_trace(tracer)
+        kinds = [s.kind for s in tracer.spans]
+        assert kinds == ["query", "aggregator"]
+
+    def test_clear_keeps_id_counter_monotone(self):
+        tracer = SpanTracer()
+        _small_trace(tracer)
+        tracer.clear()
+        span = tracer.begin_span("query", 2)
+        assert span.span_id == 4
+
+
+class TestSerialization:
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = SpanTracer()
+        _small_trace(tracer)
+        path = tracer.write(tmp_path / "trace.jsonl")
+        spans = read_trace(path)
+        assert spans == tracer.spans
+
+    def test_read_trace_from_string(self):
+        tracer = SpanTracer()
+        _small_trace(tracer)
+        assert read_trace(tracer.to_jsonl()) == tracer.spans
+
+    def test_attrs_survive_round_trip(self):
+        span = Span(0, None, "query", 2, 0.0, 5.0, attrs={"policy": "cedar"})
+        assert Span.from_json(span.to_json()) == span
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ConfigError):
+            Span.from_json("not json\n")
+        with pytest.raises(ConfigError):
+            Span.from_json('{"kind": "query"}')
+
+
+class TestReconstruction:
+    def test_build_tree_links_children(self):
+        tracer = SpanTracer()
+        _small_trace(tracer)
+        roots = build_tree(tracer.spans)
+        assert len(roots) == 1
+        assert roots[0].span.kind == "query"
+        (agg,) = roots[0].children
+        assert agg.span.kind == "aggregator"
+        assert len(agg.children) == 2
+        assert len(list(roots[0].walk())) == 4
+
+    def test_missing_parent_raises(self):
+        orphan = Span(5, 99, "worker", 0, 0.0, 1.0)
+        with pytest.raises(ConfigError):
+            build_tree([orphan])
+
+    def test_render_tree_shows_structure_and_truncates(self):
+        tracer = SpanTracer()
+        q = tracer.begin_span("query", 2, None, 0.0)
+        for _ in range(5):
+            tracer.add_span("aggregator", 1, q.span_id, 0.0, 1.0)
+        text = render_tree(build_tree(tracer.spans), max_children=3)
+        assert "query L2" in text
+        assert text.count("aggregator L1") == 3
+        assert "... 2 more" in text

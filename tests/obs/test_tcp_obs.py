@@ -1,0 +1,147 @@
+"""Observability of the live TCP service under chaos.
+
+Acceptance criterion of the obs subsystem: on a traced, metered chaos
+run, every dropped output is attributed to a cause — the per-cause
+dropped-output counters in the Prometheus export sum exactly to
+``total - included``, and the injected-fault counters equal the
+:class:`ChaosTransport` ground truth.
+"""
+
+import re
+
+import pytest
+
+from repro.core import FixedStopPolicy, QueryContext, TreeSpec
+from repro.distributions import Uniform
+from repro.faults import ChaosTransport
+from repro.obs import MetricsRegistry, SpanTracer, build_tree
+from repro.service import run_tcp_query
+
+pytestmark = pytest.mark.timeout(120)
+
+SCALE = 0.002
+TREE = TreeSpec.two_level(Uniform(1.0, 5.0), 5, Uniform(1.0, 3.0), 4)
+DEADLINE = 40.0
+
+
+def _query(chaos=None, tracer=None, metrics=None, seed=0):
+    return run_tcp_query(
+        QueryContext(deadline=DEADLINE, offline_tree=TREE),
+        FixedStopPolicy(stops=(20.0,)),
+        time_scale=SCALE,
+        seed=seed,
+        chaos=chaos,
+        tracer=tracer,
+        metrics=metrics,
+    )
+
+
+def _parse_prometheus(text: str) -> dict[str, float]:
+    """Sample-line parser: ``name{labels} value`` -> {line-key: value}."""
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        key, value = line.rsplit(" ", 1)
+        samples[key] = float(value)
+    return samples
+
+
+class TestDroppedOutputAttribution:
+    def test_every_dropped_output_has_a_cause(self):
+        chaos = ChaosTransport(
+            worker_kill_prob=0.3, ship_drop_prob=0.3, corrupt_prob=0.1, seed=11
+        )
+        metrics = MetricsRegistry()
+        res = _query(chaos=chaos, metrics=metrics, seed=11)
+        assert res.degraded  # the seed injects faults; else the test is vacuous
+
+        dropped = metrics.counter("outputs_dropped_total")
+        assert dropped.total() == res.total_outputs - res.included_outputs
+
+        text = metrics.render_prometheus()
+        samples = _parse_prometheus(text)
+        by_cause = {
+            key: val
+            for key, val in samples.items()
+            if key.startswith("cedar_outputs_dropped_total")
+        }
+        assert sum(by_cause.values()) == res.total_outputs - res.included_outputs
+        # worker kills are attributed one-to-one to the ground truth
+        kill_key = next(k for k in by_cause if 'cause="worker_killed"' in k)
+        assert by_cause[kill_key] == chaos.killed_workers
+
+    def test_injected_counters_equal_ground_truth(self):
+        chaos = ChaosTransport(
+            worker_kill_prob=0.3, ship_drop_prob=0.3, corrupt_prob=0.1, seed=11
+        )
+        metrics = MetricsRegistry()
+        _query(chaos=chaos, metrics=metrics, seed=11)
+        injected = metrics.counter("chaos_injected_total")
+        assert injected.value(kind="worker_killed") == chaos.killed_workers
+        assert injected.value(kind="shipment_dropped") == chaos.dropped_shipments
+        assert injected.value(kind="worker_delayed") == chaos.delayed_workers
+        assert (
+            injected.value(kind="connection_corrupted")
+            == chaos.corrupted_connections
+        )
+        assert injected.total() == (
+            chaos.killed_workers
+            + chaos.dropped_shipments
+            + chaos.delayed_workers
+            + chaos.corrupted_connections
+        )
+
+    def test_healthy_run_attributes_nothing(self):
+        metrics = MetricsRegistry()
+        res = _query(metrics=metrics)
+        assert res.quality == 1.0
+        assert metrics.counter("outputs_dropped_total").total() == 0
+        assert metrics.counter("outputs_included_total").total() == 20
+
+
+class TestTcpTrace:
+    def test_span_tree_mirrors_topology(self):
+        tracer = SpanTracer()
+        res = _query(tracer=tracer)
+        (root,) = build_tree(tracer.spans)
+        assert root.span.kind == "query"
+        assert root.span.attrs["transport"] == "tcp"
+        assert root.span.attrs["quality"] == res.quality
+        assert len(root.children) == 4
+        for agg in root.children:
+            assert agg.span.kind == "aggregator"
+            assert agg.span.attrs["root_verdict"] == "included"
+            # healthy run: all 5 workers arrive and are recorded as leaves
+            assert len(agg.children) == 5
+            for worker in agg.children:
+                assert worker.span.kind == "worker"
+                assert worker.span.end <= agg.span.attrs["wait"]
+
+    def test_chaos_trace_marks_lost_shipments(self):
+        chaos = ChaosTransport(ship_drop_prob=1.0, seed=1)
+        tracer = SpanTracer()
+        res = _query(chaos=chaos, tracer=tracer, seed=1)
+        assert res.shipments_received == 0
+        (root,) = build_tree(tracer.spans)
+        verdicts = {a.span.attrs["root_verdict"] for a in root.children}
+        assert verdicts == {"never_arrived"}
+        assert all(
+            a.span.attrs["ship_failures"] == 1 for a in root.children
+        )
+
+
+class TestPrometheusLineFormat:
+    def test_export_is_well_formed(self):
+        metrics = MetricsRegistry()
+        _query(metrics=metrics)
+        text = metrics.render_prometheus()
+        sample_re = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_]+="[^"]*"'
+            r'(,[a-zA-Z_+]+="[^"]*")*\})? -?[0-9.eE+\-inf]+$'
+        )
+        for line in text.splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+            else:
+                assert sample_re.match(line), line

@@ -14,7 +14,26 @@ from repro.distributions import Uniform
 from repro.faults import ChaosTransport
 from repro.service import AggregatorServer, Clock, Output, run_tcp_query, send_output
 
+# sockets are involved everywhere here: a hung connection must abort the
+# test, not the suite (enforced by pytest-timeout where installed)
+pytestmark = pytest.mark.timeout(120)
+
 SCALE = 0.002
+
+
+async def _wait_until(predicate, timeout: float = 5.0, interval: float = 0.002):
+    """Poll ``predicate`` until true; raise on timeout.
+
+    Condition polling instead of fixed sleeps: the test proceeds the
+    moment the state is reached, and a never-reached state fails loudly
+    with its own error rather than flaking downstream.
+    """
+    loop = asyncio.get_event_loop()
+    deadline = loop.time() + timeout
+    while not predicate():
+        if loop.time() >= deadline:
+            raise TimeoutError(f"condition not reached within {timeout}s")
+        await asyncio.sleep(interval)
 
 # every duration is comfortably inside the stop/deadline, so on the
 # healthy path all 20 outputs and all 4 shipments make it
@@ -134,19 +153,38 @@ class TestStartupRace:
             port = agg.port
             await agg.close()
 
-            sender = asyncio.ensure_future(
-                send_output(
-                    "127.0.0.1",
-                    port,
-                    Output(
-                        process_id=0, aggregator_id=0, emitted_at=0.0, value=1.0
-                    ),
-                    clock,
-                    max_attempts=8,
-                    backoff_base=0.02,
+            # count the worker's dial attempts so the server can bind
+            # only after at least one has provably failed — the race the
+            # regression is about, reached by condition instead of by a
+            # fixed sleep
+            attempts = 0
+            orig_open = asyncio.open_connection
+
+            async def counting_open(*args, **kwargs):
+                nonlocal attempts
+                attempts += 1
+                return await orig_open(*args, **kwargs)
+
+            asyncio.open_connection = counting_open
+            try:
+                sender = asyncio.ensure_future(
+                    send_output(
+                        "127.0.0.1",
+                        port,
+                        Output(
+                            process_id=0,
+                            aggregator_id=0,
+                            emitted_at=0.0,
+                            value=1.0,
+                        ),
+                        clock,
+                        max_attempts=8,
+                        backoff_base=0.02,
+                    )
                 )
-            )
-            await asyncio.sleep(0.05)  # worker is already failing/dialing
+                await _wait_until(lambda: attempts >= 1 and not sender.done())
+            finally:
+                asyncio.open_connection = orig_open
             agg2 = AggregatorServer(
                 fanout=1,
                 controller=StaticController(500.0),

@@ -26,6 +26,10 @@ from repro.service import (
     run_realtime_query,
 )
 
+# socket tests must abort on a hang (enforced by pytest-timeout where
+# installed)
+pytestmark = pytest.mark.timeout(120)
+
 #: 1 virtual unit = 2 ms of wall time; tests stay under ~1 s each.
 SCALE = 0.002
 

@@ -18,6 +18,10 @@ from repro.service import (
     send_output,
 )
 
+# socket tests must abort on a hang (enforced by pytest-timeout where
+# installed)
+pytestmark = pytest.mark.timeout(120)
+
 SCALE = 0.002
 
 

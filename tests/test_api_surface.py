@@ -25,6 +25,7 @@ class TestTopLevelExports:
         import repro.core
         import repro.estimation
         import repro.experiments
+        import repro.obs
         import repro.orderstats
         import repro.service
         import repro.simulation
@@ -36,6 +37,7 @@ class TestTopLevelExports:
             repro.core,
             repro.estimation,
             repro.experiments,
+            repro.obs,
             repro.orderstats,
             repro.service,
             repro.simulation,

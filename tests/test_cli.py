@@ -93,3 +93,137 @@ class TestTraceCommand:
             main(["trace", "record", "nope", str(tmp_path / "x.json")]) == 1
         )
         assert "error" in capsys.readouterr().err
+
+
+TREE_ARGS = [
+    "--mu1", "3.0", "--sigma1", "0.5",
+    "--mu2", "2.0", "--sigma2", "0.3",
+    "--k1", "4", "--k2", "3", "--grid-points", "64",
+]
+
+
+class TestTraceSimCommand:
+    def test_renders_tree_and_writes_jsonl(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                ["trace", "sim", "--deadline", "60", "--seed", "7",
+                 "--out", str(out_path)] + TREE_ARGS
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "query L2" in out
+        assert "aggregator L1" in out
+        assert "quality:" in out
+        from repro.obs import build_tree, read_trace
+
+        spans = read_trace(out_path)
+        (root,) = build_tree(spans)
+        assert root.span.kind == "query"
+        # 3 aggregators, 4 workers each, plus the query span
+        assert len(spans) == 1 + 3 + 12
+
+    def test_no_workers_flag_drops_leaves(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                ["trace", "sim", "--deadline", "60", "--seed", "7",
+                 "--no-workers", "--out", str(out_path)] + TREE_ARGS
+            )
+            == 0
+        )
+        from repro.obs import read_trace
+
+        assert all(s.kind != "worker" for s in read_trace(out_path))
+
+    def test_unknown_policy(self, capsys):
+        assert (
+            main(
+                ["trace", "sim", "--deadline", "60", "--policy", "nope"]
+                + TREE_ARGS
+            )
+            == 2
+        )
+        assert "unknown policy" in capsys.readouterr().err
+
+
+class TestMetricsCommand:
+    SPEC = {
+        "name": "cli-smoke",
+        "workload": {"name": "facebook", "kwargs": {"k1": 5, "k2": 3}},
+        "policies": ["proportional-split", "cedar"],
+        "deadlines": [400],
+        "n_queries": 2,
+        "seed": 3,
+        "grid_points": 48,
+    }
+
+    def _spec_path(self, tmp_path):
+        import json
+
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(self.SPEC))
+        return path
+
+    def test_prometheus_to_stdout(self, tmp_path, capsys):
+        assert main(["metrics", str(self._spec_path(tmp_path))]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE cedar_queries_total counter" in out
+        assert 'cedar_queries_total{policy="cedar"} 2' in out
+        assert "cedar_response_quality_bucket" in out
+
+    def test_json_to_file_with_trace_and_profile(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                ["metrics", str(self._spec_path(tmp_path)),
+                 "--format", "json", "--out", str(out_path),
+                 "--trace-out", str(trace_path), "--profile", "--table"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cli-smoke" in out  # --table printed the report
+        assert "core.wait.sweep" in out  # --profile printed hot paths
+        doc = json.loads(out_path.read_text())
+        assert doc["cedar_queries_total"]["type"] == "counter"
+        from repro.obs import read_trace
+
+        # 2 policies x 1 deadline x 2 queries
+        queries = [s for s in read_trace(trace_path) if s.kind == "query"]
+        assert len(queries) == 4
+
+    def test_bad_spec(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["metrics", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestChaosCommand:
+    def test_chaos_with_trace_and_metrics(self, tmp_path, capsys):
+        trace_path = tmp_path / "chaos.jsonl"
+        metrics_path = tmp_path / "chaos.prom"
+        assert (
+            main(
+                ["chaos", "--deadline", "60", "--seed", "11",
+                 "--kill", "0.25", "--drop", "0.3",
+                 "--time-scale", "0.002",
+                 "--trace-out", str(trace_path),
+                 "--metrics-out", str(metrics_path)] + TREE_ARGS
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "injected (ground truth)" in out
+        text = metrics_path.read_text()
+        assert "cedar_queries_total" in text
+        from repro.obs import build_tree, read_trace
+
+        (root,) = build_tree(read_trace(trace_path))
+        assert root.span.attrs["transport"] == "tcp"
+        assert len(root.children) == 3  # one span per aggregator
