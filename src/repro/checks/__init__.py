@@ -1,0 +1,48 @@
+"""cedarlint: AST-based static analysis for the Cedar reproduction.
+
+The repo's headline guarantees — bit-identical simulation at zero fault
+rates and traced-vs-bare float equality — rest on conventions that no
+runtime test can police exhaustively: *every* stochastic draw goes
+through :mod:`repro.rng`, *every* wall-clock read goes through
+:class:`repro.service.clock.Clock` (or the explicitly-sanctioned
+profiler), floats are never compared with ``==``, and set iteration
+never feeds output ordering. A single violation silently corrupts
+results instead of crashing, so these invariants are enforced at review
+time by a dependency-free static-analysis pass.
+
+Public surface:
+
+* :func:`repro.checks.engine.lint_paths` — run the rule set over files
+  or directory trees, returning :class:`~repro.checks.engine.Finding`
+  objects.
+* :data:`repro.checks.rules.ALL_RULES` — the registered rule classes
+  (CDR001..CDR008).
+* :func:`repro.checks.cli.run_lint` — the ``cedar-repro lint``
+  entry point (non-zero exit on new findings).
+
+Suppress a finding inline with a trailing (or immediately preceding)
+comment::
+
+    value = random.random()  # cedarlint: disable=CDR001 -- test-only helper
+
+Grandfathered findings live in a committed baseline file (see
+:mod:`repro.checks.baseline`); ``cedar-repro lint --update-baseline``
+rewrites it.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline
+from .engine import Finding, LintConfig, Rule, lint_paths, lint_source
+from .rules import ALL_RULES, rule_catalog
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "Finding",
+    "LintConfig",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+    "rule_catalog",
+]

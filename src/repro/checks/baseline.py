@@ -1,0 +1,93 @@
+"""Committed baseline of grandfathered cedarlint findings.
+
+A baseline lets the gate be strict on *new* code without blocking on a
+backlog: findings whose fingerprints appear in the committed file are
+reported as grandfathered and do not fail the run. Fingerprints hash the
+rule id, file path, and flagged line *text* (not number), so edits
+elsewhere in a file do not churn the baseline.
+
+The shipped ``cedarlint-baseline.json`` is empty by policy for
+``repro.core``, ``repro.estimation``, ``repro.simulation`` and
+``repro.obs`` — the determinism-critical packages start clean and stay
+clean.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, Mapping
+
+from ..errors import ConfigError
+from .engine import Finding, fingerprint_findings
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = "cedarlint-baseline.json"
+
+_VERSION = 1
+
+
+class Baseline:
+    """Set of grandfathered finding fingerprints with provenance."""
+
+    def __init__(self, entries: Mapping[str, dict[str, object]] | None = None):
+        self.entries: dict[str, dict[str, object]] = dict(entries or {})
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not os.path.exists(path):
+            return cls()
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"unreadable baseline {path!r}: {exc}") from exc
+        if not isinstance(doc, dict) or doc.get("version") != _VERSION:
+            raise ConfigError(
+                f"baseline {path!r} has unsupported format "
+                f"(want version {_VERSION})"
+            )
+        entries = doc.get("entries", {})
+        if not isinstance(entries, dict):
+            raise ConfigError(f"baseline {path!r}: 'entries' must be a map")
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """Baseline that grandfathers exactly ``findings``."""
+        entries: dict[str, dict[str, object]] = {}
+        for fingerprint, finding in fingerprint_findings(findings):
+            entries[fingerprint] = {
+                "rule": finding.rule_id,
+                "path": finding.path.replace(os.sep, "/"),
+                "line": finding.line,
+                "message": finding.message,
+            }
+        return cls(entries)
+
+    # ------------------------------------------------------------------
+    def write(self, path: str) -> None:
+        """Serialize deterministically (sorted keys, trailing newline)."""
+        doc = {"version": _VERSION, "entries": self.entries}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+
+    def split(
+        self, findings: Iterable[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Partition into (new, grandfathered) against this baseline."""
+        new: list[Finding] = []
+        old: list[Finding] = []
+        for fingerprint, finding in fingerprint_findings(findings):
+            (old if fingerprint in self.entries else new).append(finding)
+        return new, old
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries

@@ -1,0 +1,121 @@
+"""``cedar-repro lint``: the static-analysis gate.
+
+Exit codes: 0 — clean (or only grandfathered findings); 1 — new
+findings; 2 — usage or configuration error. CI runs
+``cedar-repro lint src`` and fails the job on non-zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence, TextIO
+
+from ..errors import ConfigError
+from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .engine import LintConfig, iter_python_files, lint_paths
+from .report import render_json, render_rule_list, render_text
+from .rules import default_rules
+
+__all__ = ["add_lint_arguments", "run_lint", "main"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach lint options (shared by the subcommand and ``main``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE_NAME,
+        help=f"baseline file of grandfathered findings "
+        f"(default: {DEFAULT_BASELINE_NAME}; missing file = empty)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file: every finding is new",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to grandfather all current findings",
+    )
+    parser.add_argument(
+        "--select",
+        default="",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default="",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def _split_ids(raw: str) -> frozenset[str]:
+    return frozenset(
+        part.strip().upper() for part in raw.split(",") if part.strip()
+    )
+
+
+def run_lint(
+    args: argparse.Namespace, stdout: Optional[TextIO] = None
+) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    out = stdout if stdout is not None else sys.stdout
+    if args.list_rules:
+        print(render_rule_list(), file=out)
+        return 0
+    config = LintConfig(
+        select=_split_ids(args.select), ignore=_split_ids(args.ignore)
+    )
+    try:
+        findings = lint_paths(args.paths, rules=default_rules(), config=config)
+        files_checked = sum(1 for _ in iter_python_files(args.paths, config))
+        if args.update_baseline:
+            Baseline.from_findings(findings).write(args.baseline)
+            print(
+                f"cedarlint: baseline {args.baseline} updated "
+                f"({len(findings)} entr{'y' if len(findings) == 1 else 'ies'})",
+                file=out,
+            )
+            return 0
+        baseline = (
+            Baseline() if args.no_baseline else Baseline.load(args.baseline)
+        )
+    except ConfigError as exc:
+        print(f"cedarlint: error: {exc}", file=sys.stderr)
+        return 2
+    new, grandfathered = baseline.split(findings)
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(new, grandfathered, files_checked), file=out)
+    return 1 if new else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.checks.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="cedarlint",
+        description="AST-based determinism & concurrency lint for cedar-repro",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

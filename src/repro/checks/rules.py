@@ -1,0 +1,838 @@
+"""cedarlint rules CDR001..CDR008.
+
+Each rule encodes one invariant the repo's correctness story actually
+depends on (see ``docs/static-analysis.md`` for the catalog with
+rationale). Rules are purely syntactic — they resolve imports within the
+file being linted but never execute or import it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from .engine import FileContext, Finding, Rule
+
+__all__ = ["ALL_RULES", "default_rules", "rule_catalog"]
+
+
+# ----------------------------------------------------------------------
+# shared import resolution
+
+
+class _ImportMap:
+    """Per-file map from local names to the modules/members they bind."""
+
+    def __init__(self, tree: ast.Module):
+        self.modules: dict[str, str] = {}
+        self.members: dict[str, tuple[str, str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.modules[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".")[0]
+                        self.modules[root] = root
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.members[local] = (node.module, alias.name)
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted path for a Name/Attribute chain, or ``None``.
+
+        ``np.random.seed`` resolves to ``numpy.random.seed`` when ``np``
+        aliases ``numpy``; ``choice`` resolves to ``random.choice`` when
+        imported via ``from random import choice``.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = node.id
+        if root in self.members:
+            module, member = self.members[root]
+            return ".".join([module, member] + list(reversed(parts)))
+        base = self.modules.get(root)
+        if base is None:
+            return None
+        return ".".join([base] + list(reversed(parts)))
+
+
+def _dotted(import_map: _ImportMap, node: ast.AST) -> str:
+    return import_map.resolve(node) or ""
+
+
+# ----------------------------------------------------------------------
+# CDR001 — unseeded randomness
+
+
+class UnseededRandomnessRule(Rule):
+    """Global-state RNGs break seeded reproducibility.
+
+    Every draw must come from a :class:`numpy.random.Generator` obtained
+    through :mod:`repro.rng` (``resolve_rng``/``spawn``/``fork``). The
+    stdlib ``random`` module functions and the legacy ``numpy.random.*``
+    module-level functions share hidden process-global state, so one
+    stray call desynchronizes every stream allocated after it.
+    """
+
+    rule_id = "CDR001"
+    title = "unseeded randomness"
+    rationale = (
+        "module-global RNG state breaks same-seed reproducibility; route "
+        "draws through repro.rng"
+    )
+    exempt_modules = ("repro.rng",)
+
+    #: the seeding machinery itself is fine to name anywhere.
+    _NUMPY_OK = frozenset(
+        {
+            "default_rng",
+            "Generator",
+            "BitGenerator",
+            "SeedSequence",
+            "PCG64",
+            "PCG64DXSM",
+            "Philox",
+            "SFC64",
+            "MT19937",
+            "RandomState",  # constructing an *instance* is seeded usage
+        }
+    )
+    _STDLIB_OK = frozenset({"Random"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = _ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                bad = [
+                    a.name
+                    for a in node.names
+                    if a.name not in self._STDLIB_OK
+                ]
+                if bad:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"import of process-global random function(s) "
+                        f"{', '.join(sorted(bad))}; draw from a seeded "
+                        f"generator via repro.rng instead",
+                    )
+                continue
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            # only flag the *use* site once: the outermost attribute chain
+            dotted = _dotted(imports, node)
+            if not dotted:
+                continue
+            if dotted.startswith("random."):
+                tail = dotted.split(".", 1)[1]
+                if tail.split(".")[0] not in self._STDLIB_OK:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{dotted} uses the process-global random module; "
+                        f"draw from a seeded generator via repro.rng",
+                    )
+            elif dotted.startswith("numpy.random."):
+                tail = dotted.split(".")[2]
+                if tail not in self._NUMPY_OK:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{dotted} uses numpy's legacy global RNG state; "
+                        f"use a numpy.random.Generator from repro.rng",
+                    )
+
+
+# ----------------------------------------------------------------------
+# CDR002 — wall-clock reads
+
+
+class WallClockRule(Rule):
+    """Wall-clock reads outside the sanctioned clock abstraction.
+
+    Simulated time must be virtual: real-time reads make runs
+    irreproducible and couple test timing to machine load. The service
+    layer reads real time only through
+    :class:`repro.service.clock.Clock`; ``time.perf_counter`` is
+    tolerated because it measures *elapsed* intervals for reporting
+    (profiler/CLI) and never feeds a decision.
+    """
+
+    rule_id = "CDR002"
+    title = "wall-clock read"
+    rationale = (
+        "real-time reads outside repro.service.clock make runs depend on "
+        "wall time and machine load"
+    )
+    exempt_modules = ("repro.service.clock",)
+
+    _TIME_BANNED = frozenset(
+        {
+            "time",
+            "time_ns",
+            "monotonic",
+            "monotonic_ns",
+            "localtime",
+            "gmtime",
+            "ctime",
+        }
+    )
+    _DATETIME_BANNED = frozenset({"now", "utcnow", "today"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = _ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                bad = [
+                    a.name for a in node.names if a.name in self._TIME_BANNED
+                ]
+                if bad:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"import of wall-clock function(s) "
+                        f"{', '.join(sorted(bad))}; go through "
+                        f"repro.service.clock.Clock",
+                    )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(imports, node.func)
+            if not dotted:
+                continue
+            parts = dotted.split(".")
+            if parts[0] == "time" and len(parts) == 2:
+                if parts[1] in self._TIME_BANNED:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{dotted}() reads the wall clock; go through "
+                        f"repro.service.clock.Clock",
+                    )
+            elif parts[0] == "datetime":
+                # datetime.datetime.now / datetime.date.today / (from
+                # datetime import datetime) datetime.now
+                if parts[-1] in self._DATETIME_BANNED:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{dotted}() reads the wall clock; go through "
+                        f"repro.service.clock.Clock",
+                    )
+
+
+# ----------------------------------------------------------------------
+# CDR003 — float equality
+
+
+class FloatEqualityRule(Rule):
+    """``==``/``!=`` against computed float values.
+
+    Bit-identity is asserted *by the test suite*, never assumed by
+    product code: after any arithmetic, exact equality is a rounding
+    accident. Comparisons against the exact sentinels ``0.0``, ``1.0``
+    and ``-1.0`` are allowed — they test "was this parameter set to the
+    off/identity value", which assignment preserves exactly under
+    IEEE-754.
+    """
+
+    rule_id = "CDR003"
+    title = "float equality comparison"
+    rationale = (
+        "exact float comparison after arithmetic is a rounding accident; "
+        "compare with a tolerance or restructure"
+    )
+
+    _SENTINELS = frozenset({0.0, 1.0, -1.0})
+
+    def _bad_operand(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant) and type(node.value) is float:
+            return node.value not in self._SENTINELS
+        if isinstance(node, ast.UnaryOp) and isinstance(
+            node.op, (ast.USub, ast.UAdd)
+        ):
+            inner = node.operand
+            if isinstance(inner, ast.Constant) and type(inner.value) is float:
+                value = -inner.value if isinstance(node.op, ast.USub) else inner.value
+                return value not in self._SENTINELS
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if self._bad_operand(operands[i]) or self._bad_operand(
+                    operands[i + 1]
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "float literal compared with ==/!=; use a "
+                        "tolerance (math.isclose / abs(a-b) < eps) or a "
+                        "0.0/1.0 sentinel",
+                    )
+                    break
+
+
+# ----------------------------------------------------------------------
+# CDR004 — unlocked shared mutation in thread-spawning classes
+
+
+class UnlockedSharedMutationRule(Rule):
+    """Instance-attribute mutation outside a held lock.
+
+    Applies only to classes that actually spawn threads
+    (``threading.Thread``/``Timer`` or a ``ThreadPoolExecutor``): in
+    those, any ``self.x = ...`` outside ``__init__`` that is not
+    lexically inside ``with self.<lock>:`` is a data race waiting for a
+    scheduler change. Asyncio classes are exempt by construction — they
+    do not spawn threads.
+    """
+
+    rule_id = "CDR004"
+    title = "unlocked shared-attribute mutation"
+    rationale = (
+        "thread-spawning classes must guard shared attribute writes with "
+        "a held lock"
+    )
+
+    _LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition", "Semaphore",
+                                 "BoundedSemaphore"})
+    _SPAWNERS = frozenset({"Thread", "Timer", "ThreadPoolExecutor"})
+
+    def _spawns_threads(self, cls: ast.ClassDef, imports: _ImportMap) -> bool:
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(imports, node.func)
+            if not dotted:
+                continue
+            head, _, tail = dotted.rpartition(".")
+            name = tail or dotted
+            if name in self._SPAWNERS and (
+                head in ("", "threading", "concurrent.futures")
+            ):
+                return True
+        return False
+
+    def _lock_attrs(self, cls: ast.ClassDef, imports: _ImportMap) -> set[str]:
+        locks: set[str] = set()
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            dotted = _dotted(imports, node.value.func)
+            name = dotted.rpartition(".")[2] or dotted
+            if name not in self._LOCK_FACTORIES:
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    locks.add(target.attr)
+        return locks
+
+    def _self_attr(self, node: ast.expr) -> Optional[str]:
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+    def _walk_method(
+        self,
+        ctx: FileContext,
+        node: ast.stmt,
+        locks: set[str],
+        held: bool,
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.With):
+            item_locks = {
+                self._self_attr(item.context_expr)
+                for item in node.items
+                if self._self_attr(item.context_expr) in locks
+            }
+            inner_held = held or bool(item_locks)
+            for stmt in node.body:
+                yield from self._walk_method(ctx, stmt, locks, inner_held)
+            return
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            attr = self._self_attr(target)
+            if attr is not None and attr not in locks and not held:
+                yield self.finding(
+                    ctx,
+                    target,
+                    f"self.{attr} mutated outside a held lock in a "
+                    f"thread-spawning class"
+                    + ("" if locks else " (class defines no lock)"),
+                )
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                yield from self._walk_method(ctx, child, locks, held)
+            elif isinstance(child, ast.ExceptHandler):
+                for stmt in child.body:
+                    yield from self._walk_method(ctx, stmt, locks, held)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = _ImportMap(ctx.tree)
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            if not self._spawns_threads(cls, imports):
+                continue
+            locks = self._lock_attrs(cls, imports)
+            for item in cls.body:
+                if not isinstance(
+                    item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if item.name == "__init__":
+                    continue  # construction happens-before any thread
+                for stmt in item.body:
+                    yield from self._walk_method(ctx, stmt, locks, False)
+
+
+# ----------------------------------------------------------------------
+# CDR005 — metrics naming conventions
+
+
+class MetricsConventionsRule(Rule):
+    """Metric-family and label naming against :mod:`repro.obs.metrics`.
+
+    Names must be literal snake_case (dashboards grep for them); counter
+    families end in ``_total`` (Prometheus convention, and the renderer
+    appends ``_total`` otherwise, silently forking the series name);
+    gauges/histograms must *not* claim ``_total``. Label keys are
+    snake_case and must avoid the reserved ``le``/``quantile``.
+    """
+
+    rule_id = "CDR005"
+    title = "metrics naming convention"
+    rationale = (
+        "metric/label names are a cross-tool contract; enforce literal "
+        "snake_case and Prometheus suffix rules"
+    )
+
+    _NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+    _FACTORIES = frozenset({"counter", "gauge", "histogram"})
+    _RECORDERS = frozenset({"inc", "set", "observe"})
+    _RESERVED_LABELS = frozenset({"le", "quantile"})
+
+    def _is_registry(self, node: ast.expr) -> bool:
+        return isinstance(node, ast.Name) and (
+            "metric" in node.id.lower() or node.id.lower() == "registry"
+        )
+
+    def _factory_call(self, node: ast.Call) -> Optional[str]:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in self._FACTORIES
+            and self._is_registry(node.func.value)
+        ):
+            return node.func.attr
+        return None
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            kind = self._factory_call(node)
+            if kind is not None:
+                yield from self._check_factory(ctx, node, kind)
+            # label kwargs on metrics.<factory>(...).inc/set/observe(...)
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._RECORDERS
+                and isinstance(node.func.value, ast.Call)
+                and self._factory_call(node.func.value) is not None
+            ):
+                yield from self._check_labels(ctx, node)
+
+    def _check_factory(
+        self, ctx: FileContext, node: ast.Call, kind: str
+    ) -> Iterator[Finding]:
+        if not node.args:
+            return
+        name_arg = node.args[0]
+        if not (
+            isinstance(name_arg, ast.Constant)
+            and isinstance(name_arg.value, str)
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                f"metric name passed to .{kind}() must be a string "
+                f"literal so tooling can grep for it",
+            )
+            return
+        name = name_arg.value
+        if not self._NAME_RE.match(name):
+            yield self.finding(
+                ctx,
+                node,
+                f"metric name {name!r} is not snake_case "
+                f"([a-z][a-z0-9_]*)",
+            )
+        if kind == "counter" and not name.endswith("_total"):
+            yield self.finding(
+                ctx,
+                node,
+                f"counter {name!r} must end in '_total' (the Prometheus "
+                f"renderer appends it otherwise, forking the series name)",
+            )
+        if kind != "counter" and name.endswith("_total"):
+            yield self.finding(
+                ctx,
+                node,
+                f"{kind} {name!r} must not end in '_total' (reserved for "
+                f"counters)",
+            )
+
+    def _check_labels(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            if keyword.arg in self._RESERVED_LABELS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"label {keyword.arg!r} is reserved by the Prometheus "
+                    f"exposition format",
+                )
+            elif not self._NAME_RE.match(keyword.arg):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"label {keyword.arg!r} is not snake_case",
+                )
+
+
+# ----------------------------------------------------------------------
+# CDR006 — observability vocabulary typos
+
+
+class ObsVocabularyRule(Rule):
+    """Profiler site names and span attribute keys against the known sets.
+
+    ``Profiler.stop`` and ``SpanTracer`` accept any string (they must
+    stay zero-overhead / allocation-free), so a typo silently creates a
+    parallel site or an attribute no consumer renders. The canonical
+    vocabularies live next to the implementations
+    (:data:`repro.obs.profile.KNOWN_PROFILE_SITES`,
+    :data:`repro.obs.span.KNOWN_SPAN_ATTRS`); extend them in the same
+    change that adds a site or attribute.
+    """
+
+    rule_id = "CDR006"
+    title = "unknown observability token"
+    rationale = (
+        "profiler sites and span attrs are stringly-typed; typos "
+        "silently fork series instead of failing"
+    )
+
+    _SPAN_METHODS = frozenset({"begin_span", "add_span", "add_worker_span"})
+    _SPAN_STRUCTURAL = frozenset({"kind", "level", "parent_id", "start", "end"})
+
+    def __init__(
+        self,
+        profile_sites: Optional[frozenset[str]] = None,
+        span_attrs: Optional[frozenset[str]] = None,
+    ):
+        if profile_sites is None or span_attrs is None:
+            from ..obs.profile import KNOWN_PROFILE_SITES
+            from ..obs.span import KNOWN_SPAN_ATTRS
+
+            profile_sites = (
+                KNOWN_PROFILE_SITES if profile_sites is None else profile_sites
+            )
+            span_attrs = KNOWN_SPAN_ATTRS if span_attrs is None else span_attrs
+        self.profile_sites = profile_sites
+        self.span_attrs = span_attrs
+
+    def _check_attr_key(
+        self, ctx: FileContext, node: ast.AST, key: str
+    ) -> Iterator[Finding]:
+        if key not in self.span_attrs:
+            yield self.finding(
+                ctx,
+                node,
+                f"span attribute {key!r} is not in "
+                f"repro.obs.span.KNOWN_SPAN_ATTRS; add it there first if "
+                f"it is a new attribute",
+            )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                func = node.func
+                # PROFILER.stop("site", tok)
+                if (
+                    func.attr == "stop"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "PROFILER"
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                ):
+                    site = node.args[0].value
+                    if site not in self.profile_sites:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"profiler site {site!r} is not in "
+                            f"repro.obs.profile.KNOWN_PROFILE_SITES; add "
+                            f"it there first if it is a new site",
+                        )
+                # tracer.begin_span(..., attr=..) and friends
+                elif func.attr in self._SPAN_METHODS:
+                    for keyword in node.keywords:
+                        if (
+                            keyword.arg is not None
+                            and keyword.arg not in self._SPAN_STRUCTURAL
+                        ):
+                            yield from self._check_attr_key(
+                                ctx, node, keyword.arg
+                            )
+                # span.attrs.update(attr=..)
+                elif (
+                    func.attr == "update"
+                    and isinstance(func.value, ast.Attribute)
+                    and func.value.attr == "attrs"
+                ):
+                    for keyword in node.keywords:
+                        if keyword.arg is not None:
+                            yield from self._check_attr_key(
+                                ctx, node, keyword.arg
+                            )
+            # span.attrs["attr"] = ...
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Attribute)
+                        and target.value.attr == "attrs"
+                        and isinstance(target.slice, ast.Constant)
+                        and isinstance(target.slice.value, str)
+                    ):
+                        yield from self._check_attr_key(
+                            ctx, target, target.slice.value
+                        )
+
+
+# ----------------------------------------------------------------------
+# CDR007 — set iteration order
+
+
+class SetIterationRule(Rule):
+    """Iteration over a set feeding ordered output or RNG consumption.
+
+    Python salts ``str``/``bytes`` hashing per process, so set iteration
+    order differs between runs of the *same* seed. Any loop over a set —
+    or materialization that preserves iteration order (``list``,
+    ``tuple``, ``enumerate``, ``str.join``) — is nondeterministic;
+    ``sorted(set(...))`` is the sanctioned spelling.
+    """
+
+    rule_id = "CDR007"
+    title = "nondeterministic set iteration"
+    rationale = (
+        "set iteration order is hash-salted per process; wrap in "
+        "sorted() before it feeds output or RNG draws"
+    )
+
+    _ORDER_PRESERVING = frozenset({"list", "tuple", "enumerate", "iter"})
+
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            # set algebra: a | b etc. — only when an operand is a set expr
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)) and self._is_set_expr(
+                node.iter
+            ):
+                yield self.finding(
+                    ctx,
+                    node.iter,
+                    "for-loop over a set: iteration order is hash-salted; "
+                    "use sorted(...)",
+                )
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for gen in node.generators:
+                    if isinstance(node, ast.SetComp):
+                        continue  # building another set is still unordered
+                    if self._is_set_expr(gen.iter):
+                        yield self.finding(
+                            ctx,
+                            gen.iter,
+                            "comprehension over a set: iteration order is "
+                            "hash-salted; use sorted(...)",
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in self._ORDER_PRESERVING
+                    and node.args
+                    and self._is_set_expr(node.args[0])
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{func.id}() over a set preserves hash-salted "
+                        f"iteration order; use sorted(...)",
+                    )
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "join"
+                    and node.args
+                    and self._is_set_expr(node.args[0])
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "str.join over a set produces a different string "
+                        "each run; use sorted(...)",
+                    )
+
+
+# ----------------------------------------------------------------------
+# CDR008 — overbroad exception handling in fault paths
+
+
+class OverbroadExceptRule(Rule):
+    """Bare/overbroad ``except`` where faults are the product.
+
+    The fault-injection and service layers *classify* failures (counters
+    and causes per kind); a bare ``except`` — or ``except Exception`` in
+    those modules — silently converts an unknown bug into a counted,
+    expected fault. Bare ``except`` is flagged everywhere; ``except
+    Exception``/``BaseException`` only inside the fault-handling layers
+    (``repro.faults``, ``repro.service``, ``repro.simulation``), and
+    re-raising handlers are allowed.
+    """
+
+    rule_id = "CDR008"
+    title = "overbroad except in fault path"
+    rationale = (
+        "fault paths must classify failures; catch concrete exception "
+        "types so real bugs are not counted as expected faults"
+    )
+
+    _FAULT_MODULES = ("repro.faults", "repro.service", "repro.simulation")
+
+    def _in_fault_module(self, ctx: FileContext) -> bool:
+        return any(
+            ctx.module == m or ctx.module.startswith(m + ".")
+            for m in self._FAULT_MODULES
+        )
+
+    def _reraises(self, handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+        return False
+
+    def _broad_names(self, node: Optional[ast.expr]) -> list[str]:
+        broad = ("Exception", "BaseException")
+        if node is None:
+            return []
+        if isinstance(node, ast.Name) and node.id in broad:
+            return [node.id]
+        if isinstance(node, ast.Tuple):
+            return [
+                e.id
+                for e in node.elts
+                if isinstance(e, ast.Name) and e.id in broad
+            ]
+        return []
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        fault_module = self._in_fault_module(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare 'except:' swallows SystemExit/KeyboardInterrupt "
+                    "and every bug; name the exception types",
+                )
+                continue
+            if not fault_module or self._reraises(node):
+                continue
+            for name in self._broad_names(node.type):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"'except {name}' in a fault-handling module counts "
+                    f"real bugs as expected faults; catch concrete types",
+                )
+
+
+# ----------------------------------------------------------------------
+# registry
+
+ALL_RULES: tuple[type[Rule], ...] = (
+    UnseededRandomnessRule,
+    WallClockRule,
+    FloatEqualityRule,
+    UnlockedSharedMutationRule,
+    MetricsConventionsRule,
+    ObsVocabularyRule,
+    SetIterationRule,
+    OverbroadExceptRule,
+)
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every registered rule."""
+    return [cls() for cls in ALL_RULES]
+
+
+def rule_catalog() -> list[tuple[str, str, str]]:
+    """(id, title, rationale) rows for ``lint --list-rules`` and docs."""
+    return [
+        (cls.rule_id, cls.title, cls.rationale) for cls in ALL_RULES
+    ]

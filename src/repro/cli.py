@@ -205,6 +205,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="children shown per node in the rendered tree",
     )
 
+    lint_p = sub.add_parser(
+        "lint",
+        help="run the cedarlint static-analysis gate (AST rules CDR001..)",
+    )
+    from .checks.cli import add_lint_arguments
+
+    add_lint_arguments(lint_p)
+
     metrics_p = sub.add_parser(
         "metrics",
         help="run a sweep spec with a metrics registry and export it",
@@ -566,6 +574,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "lint":
+        from .checks.cli import run_lint
+
+        return run_lint(args)
     if args.experiment == "all":
         # skip the aggregate aliases; run each concrete panel once
         skip = {"fig7", "fig12", "fig16"}

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import abc
 import dataclasses
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from ..distributions import Distribution
 from ..errors import ConfigError
@@ -360,7 +360,7 @@ class CedarFailureAwarePolicy(CedarPolicy):
         ship_loss_prob: float = 0.0,
         agg_crash_prob: float = 0.0,
         worker_crash_prob: float = 0.0,
-        **kwargs,
+        **kwargs: Any,
     ):
         super().__init__(**kwargs)
         for label, p in (
@@ -375,7 +375,9 @@ class CedarFailureAwarePolicy(CedarPolicy):
         self.worker_crash_prob = float(worker_crash_prob)
 
     @classmethod
-    def from_fault_model(cls, faults, **kwargs) -> "CedarFailureAwarePolicy":
+    def from_fault_model(
+        cls, faults: Any, **kwargs: Any
+    ) -> "CedarFailureAwarePolicy":
         """Build from a :class:`repro.faults.FaultModel` (duck-typed —
         anything with the three ``*_prob`` attributes works)."""
         return cls(
@@ -458,7 +460,7 @@ class CedarEmpiricalPolicy(CedarPolicy):
 
     name = "cedar-empirical"
 
-    def __init__(self, grid_points: int = DEFAULT_GRID_POINTS, **kwargs):
+    def __init__(self, grid_points: int = DEFAULT_GRID_POINTS, **kwargs: Any):
         super().__init__(
             estimator_factory=lambda: EmpiricalEstimator(family="lognormal"),
             grid_points=grid_points,

@@ -20,7 +20,7 @@ from typing import Sequence
 import numpy as np
 from scipy import optimize
 
-from ..distributions import LogNormal, Normal
+from ..distributions import Distribution, LogNormal, Normal
 from ..errors import EstimationError
 from ..orderstats import censored_log_likelihood
 from .base import Estimator, ParameterEstimate, validate_arrivals
@@ -46,7 +46,7 @@ class CensoredMLEEstimator(Estimator):
         self.max_iter = int(max_iter)
         self._warm_start = OrderStatisticEstimator(family=family)
 
-    def _make_dist(self, mu: float, sigma: float):
+    def _make_dist(self, mu: float, sigma: float) -> Distribution:
         if self.family == "lognormal":
             return LogNormal(mu=mu, sigma=sigma)
         return Normal(mu=mu, sigma=sigma)

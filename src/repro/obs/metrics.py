@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 from ..errors import ConfigError
 
@@ -72,14 +72,14 @@ class _Metric:
         self.help = help
         self._children: dict[tuple[tuple[str, str], ...], object] = {}
 
-    def _child(self, labels: Mapping[str, str]):
+    def _child(self, labels: Mapping[str, str]) -> Any:
         key = _label_key(labels)
         child = self._children.get(key)
         if child is None:
             child = self._children[key] = self._new_child()
         return child
 
-    def _new_child(self):  # pragma: no cover - overridden
+    def _new_child(self) -> object:  # pragma: no cover - overridden
         raise NotImplementedError
 
     def series(self) -> list[tuple[tuple[tuple[str, str], ...], object]]:
@@ -199,7 +199,9 @@ class MetricsRegistry:
         self._metrics: dict[str, _Metric] = {}
 
     # ------------------------------------------------------------------
-    def _get(self, cls, name: str, help: str, **kwargs) -> _Metric:
+    def _get(
+        self, cls: type[_Metric], name: str, help: str, **kwargs: Any
+    ) -> _Metric:
         full = f"{self.namespace}_{_check_name(name)}"
         found = self._metrics.get(full)
         if found is None:
@@ -283,9 +285,9 @@ class MetricsRegistry:
 
     def render_json(self) -> str:
         """JSON document mirroring the Prometheus rendering."""
-        doc: dict[str, dict] = {}
+        doc: dict[str, dict[str, Any]] = {}
         for metric in self.families():
-            entry: dict = {"type": metric.kind, "help": metric.help}
+            entry: dict[str, Any] = {"type": metric.kind, "help": metric.help}
             if isinstance(metric, Histogram):
                 entry["buckets"] = list(metric.buckets)
                 entry["series"] = [

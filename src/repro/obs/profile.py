@@ -21,7 +21,21 @@ from __future__ import annotations
 import time
 from typing import Optional
 
-__all__ = ["Profiler", "ProfileStat", "PROFILER"]
+__all__ = ["Profiler", "ProfileStat", "PROFILER", "KNOWN_PROFILE_SITES"]
+
+#: every profiling site name in the codebase. ``Profiler.stop`` accepts
+#: any string (it must stay zero-overhead), so a typo at a call site
+#: silently splits one site's timings into two rows; cedarlint rule
+#: CDR006 checks literal site names against this set. Add new sites here
+#: in the same change that instruments them.
+KNOWN_PROFILE_SITES = frozenset(
+    {
+        "core.wait.calculate_wait",
+        "core.wait.sweep",
+        "core.wait_table.lookup",
+        "estimation.streaming.estimate",
+    }
+)
 
 
 class ProfileStat:
@@ -39,7 +53,7 @@ class ProfileStat:
         """Mean seconds per call."""
         return self.total / self.calls if self.calls else 0.0
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, float]:
         return {
             "calls": self.calls,
             "total_s": self.total,
@@ -96,7 +110,7 @@ class Profiler:
             stat.max = elapsed
 
     # ------------------------------------------------------------------
-    def snapshot(self) -> dict[str, dict]:
+    def snapshot(self) -> dict[str, dict[str, float]]:
         """Per-site aggregates, keyed by site name."""
         return {name: stat.as_dict() for name, stat in sorted(self._stats.items())}
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import pathlib
-from typing import Iterable, Optional
+from typing import Any, Iterable, Optional
 
 from ..errors import ConfigError
 
@@ -46,6 +46,7 @@ __all__ = [
     "CAUSE_INCLUDED",
     "CAUSE_LATE_AT_ROOT",
     "CAUSE_NEVER_ARRIVED",
+    "KNOWN_SPAN_ATTRS",
 ]
 
 # -- why an aggregator folded (stopped collecting) ----------------------
@@ -60,6 +61,47 @@ CAUSE_INCLUDED = "included"
 CAUSE_LATE_AT_ROOT = "late_at_root"
 CAUSE_NEVER_ARRIVED = "never_arrived"
 
+#: the complete span-attribute vocabulary. Tools that read traces key on
+#: these names, so a typo at a recording site ("est_sgima") silently
+#: produces spans no consumer ever renders; cedarlint rule CDR006 checks
+#: every literal attribute key at the recording sites against this set.
+#: Extending the schema means adding the name here *first*.
+KNOWN_SPAN_ATTRS = frozenset(
+    {
+        "cause",
+        "collected",
+        "crashed",
+        "crashed_aggregators",
+        "crashed_workers",
+        "deadline",
+        "degraded",
+        "dropped",
+        "dropped_connections",
+        "est_mu",
+        "est_sigma",
+        "failed_domains",
+        "fault",
+        "faulty",
+        "included",
+        "included_outputs",
+        "index",
+        "late_at_root",
+        "lost_shipments",
+        "malformed_lines",
+        "n_arrived",
+        "policy",
+        "quality",
+        "query_index",
+        "root_verdict",
+        "ship_arrival",
+        "ship_failures",
+        "straggler_workers",
+        "total_outputs",
+        "transport",
+        "wait",
+    }
+)
+
 
 @dataclasses.dataclass
 class Span:
@@ -71,10 +113,10 @@ class Span:
     level: int  # worker = 0, aggregator level 1.., query = n_stages
     start: float
     end: float
-    attrs: dict = dataclasses.field(default_factory=dict)
+    attrs: dict[str, Any] = dataclasses.field(default_factory=dict)
 
     def to_json(self) -> str:
-        doc = {
+        doc: dict[str, Any] = {
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "kind": self.kind,
@@ -126,7 +168,7 @@ class SpanTracer:
         level: int,
         parent_id: Optional[int] = None,
         start: float = 0.0,
-        **attrs,
+        **attrs: Any,
     ) -> Span:
         """Open a span (fill ``end``/``attrs`` before or after; the span
         object is already registered)."""
@@ -150,7 +192,7 @@ class SpanTracer:
         parent_id: Optional[int],
         start: float,
         end: float,
-        **attrs,
+        **attrs: Any,
     ) -> Span:
         """Record a completed span in one call."""
         span = self.begin_span(kind, level, parent_id, start, **attrs)
@@ -158,7 +200,7 @@ class SpanTracer:
         return span
 
     def add_worker_span(
-        self, parent_id: int, start: float, end: float, **attrs
+        self, parent_id: int, start: float, end: float, **attrs: Any
     ) -> Optional[Span]:
         """Leaf span for one process output (skipped when workers are off)."""
         if not self.record_workers:
@@ -174,7 +216,7 @@ class SpanTracer:
         """All spans, one JSON object per line."""
         return "".join(span.to_json() + "\n" for span in self.spans)
 
-    def write(self, path) -> pathlib.Path:
+    def write(self, path: str | pathlib.Path) -> pathlib.Path:
         """Write the JSONL trace to ``path``."""
         path = pathlib.Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -199,7 +241,7 @@ class SpanNode:
             yield from child.walk()
 
 
-def read_trace(source) -> list[Span]:
+def read_trace(source: str | pathlib.Path) -> list[Span]:
     """Parse spans from a path or a JSONL string."""
     if isinstance(source, (str, pathlib.Path)) and "\n" not in str(source):
         text = pathlib.Path(source).read_text()

@@ -26,7 +26,7 @@ import numpy as np
 
 from ..core import QueryContext, WaitPolicy
 from ..errors import ConfigError
-from ..rng import SeedLike, resolve_rng
+from ..rng import SeedLike, fork, resolve_rng, spawn
 from .clock import Clock
 from .messages import Output, Shipment
 from .root import RealTimeQueryResult
@@ -90,6 +90,12 @@ async def _run(
     durations = np.asarray(x1.sample((k2, k1), seed=rng), dtype=float)
     ship_delays = np.asarray(x2.sample(k2, seed=rng), dtype=float)
 
+    # per-worker retry-jitter streams, derived (not drawn) from the query
+    # rng: spawning touches only the seed sequence, so duration sampling
+    # above keeps seed parity, while two same-seed runs retry on
+    # identical backoff schedules regardless of task interleaving.
+    jitter_rngs = spawn(fork(rng), k2 * k1)
+
     # ---- root listener -----------------------------------------------
     shipments: asyncio.Queue[Shipment] = asyncio.Queue()
 
@@ -146,6 +152,7 @@ async def _run(
             delay=delay,
             deadline=deadline,
             payload=payload,
+            rng=jitter_rngs[a * k1 + p],
         )
 
     # ---- aggregator sessions -----------------------------------------

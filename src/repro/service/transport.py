@@ -29,11 +29,13 @@ from __future__ import annotations
 
 import asyncio
 import logging
-import random
 from typing import Optional
+
+import numpy as np
 
 from ..core import AggregatorController
 from ..errors import ConfigError
+from ..rng import fork
 from .clock import Clock
 from .messages import Output, Shipment, decode, encode
 
@@ -241,6 +243,7 @@ async def send_output(
     backoff_factor: float = DEFAULT_BACKOFF_FACTOR,
     deadline: Optional[float] = None,
     payload: Optional[bytes] = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> bool:
     """Worker side: compute (sleep ``delay``) then push one output.
 
@@ -253,11 +256,20 @@ async def send_output(
     once past it, retrying cannot help the query anymore and the output
     is abandoned. Returns ``True`` iff the output was delivered.
 
+    ``rng`` seeds the backoff jitter. Callers running a seeded query
+    (e.g. :func:`repro.service.tcp.run_tcp_query`) inject a per-worker
+    generator derived from the query seed so two same-seed chaos runs
+    retry on identical schedules; the default derives a stream from the
+    library seed and ``output.process_id``, which is reproducible and
+    keeps distinct workers decorrelated.
+
     ``payload`` overrides the encoded bytes written (tests use this to
     inject corrupt data).
     """
     if max_attempts < 1:
         raise ConfigError(f"max_attempts must be >= 1, got {max_attempts}")
+    if rng is None:
+        rng = fork(None, key=f"transport-jitter-{output.process_id}")
     await clock.sleep(delay)
     data = encode(output) if payload is None else payload
     pause = backoff_base
@@ -284,7 +296,7 @@ async def send_output(
         except (ConnectionError, OSError):
             if attempt + 1 >= max_attempts:
                 break
-            sleep_for = pause * (0.5 + random.random())
+            sleep_for = pause * (0.5 + float(rng.random()))
             if deadline is not None and clock.started:
                 budget = (deadline - clock.now()) * clock.time_scale
                 if budget <= 0.0:

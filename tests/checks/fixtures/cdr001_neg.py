@@ -1,0 +1,14 @@
+"""True negative for CDR001: seeded generators via repro.rng."""
+
+import numpy as np
+
+from repro.rng import resolve_rng
+
+
+def pick(items, seed=None):
+    rng = resolve_rng(seed)
+    return items[int(rng.integers(len(items)))]
+
+
+def fresh_stream(seed):
+    return np.random.default_rng(np.random.SeedSequence(seed))

@@ -1,0 +1,10 @@
+"""True positive for CDR001: process-global RNG state."""
+
+import random
+
+import numpy as np
+
+
+def pick(items):
+    np.random.seed(0)
+    return random.choice(items)

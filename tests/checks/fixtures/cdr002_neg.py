@@ -1,0 +1,9 @@
+"""True negative for CDR002: interval profiling is sanctioned."""
+
+import time
+
+
+def profile_elapsed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

@@ -1,0 +1,8 @@
+"""True positive for CDR002: wall-clock reads outside the Clock."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time(), datetime.now().isoformat()

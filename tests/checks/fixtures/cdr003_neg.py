@@ -1,0 +1,13 @@
+"""True negative for CDR003: sentinel values and tolerance checks."""
+
+
+def jitter_disabled(mu_jitter):
+    return mu_jitter == 0.0
+
+
+def factor_is_identity(factor):
+    return factor != 1.0
+
+
+def close(a, b):
+    return abs(a - b) < 1e-9

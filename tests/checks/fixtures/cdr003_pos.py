@@ -1,0 +1,9 @@
+"""True positive for CDR003: exact equality against a computed float."""
+
+
+def converged(quality):
+    return quality == 0.95
+
+
+def not_half(x):
+    return x != 0.5

@@ -1,0 +1,16 @@
+"""True negative for CDR004: every shared write happens under the lock."""
+
+import threading
+
+
+class Collector:
+    def __init__(self):
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def start(self):
+        threading.Thread(target=self._work).start()
+
+    def _work(self):
+        with self._lock:
+            self.count += 1

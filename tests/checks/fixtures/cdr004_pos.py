@@ -1,0 +1,14 @@
+"""True positive for CDR004: unlocked mutation in a threaded class."""
+
+import threading
+
+
+class Collector:
+    def __init__(self):
+        self.count = 0
+
+    def start(self):
+        threading.Thread(target=self._work).start()
+
+    def _work(self):
+        self.count += 1

@@ -1,0 +1,6 @@
+"""True negative for CDR005: conventional metric and label names."""
+
+
+def record(metrics, quality):
+    metrics.counter("queries_total").inc(policy="cedar")
+    metrics.histogram("response_quality").observe(quality, policy="cedar")

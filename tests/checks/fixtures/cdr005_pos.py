@@ -1,0 +1,6 @@
+"""True positive for CDR005: metric naming convention violations."""
+
+
+def record(metrics, latency):
+    metrics.counter("queriesServed").inc()
+    metrics.histogram("latency_total").observe(latency)

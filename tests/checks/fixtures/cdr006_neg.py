@@ -1,0 +1,8 @@
+"""True negative for CDR006: known sites and attribute names only."""
+
+
+def trace(tracer, span, PROFILER, tok):
+    tracer.begin_span("query", 2, None, 0.0, policy="cedar")
+    span.attrs["est_sigma"] = 0.5
+    span.attrs.update(wait=1.0, cause="timer_expired")
+    PROFILER.stop("core.wait.sweep", tok)

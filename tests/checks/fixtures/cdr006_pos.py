@@ -1,0 +1,7 @@
+"""True positive for CDR006: typo'd observability vocabulary."""
+
+
+def trace(tracer, span, PROFILER, tok):
+    tracer.begin_span("query", 2, None, 0.0, polcy="cedar")
+    span.attrs["est_sgima"] = 0.5
+    PROFILER.stop("core.wait.seep", tok)

@@ -1,0 +1,7 @@
+"""True negative for CDR007: sorted() pins the iteration order."""
+
+
+def emit(items):
+    for item in sorted(set(items)):
+        print(item)
+    return sorted({"a", "b", "c"})

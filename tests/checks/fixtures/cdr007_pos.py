@@ -1,0 +1,7 @@
+"""True positive for CDR007: raw set iteration feeding output order."""
+
+
+def emit(items):
+    for item in set(items):
+        print(item)
+    return list({"a", "b", "c"})

@@ -1,0 +1,8 @@
+"""True negative for CDR008: concrete exception types, classified."""
+
+
+def guard(fn):
+    try:
+        return fn()
+    except (ValueError, OSError):
+        return None

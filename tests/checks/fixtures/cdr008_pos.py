@@ -1,0 +1,8 @@
+"""True positive for CDR008: a bare except swallows everything."""
+
+
+def guard(fn):
+    try:
+        return fn()
+    except:
+        return None

@@ -1,0 +1,65 @@
+"""Baseline round-trip and new-vs-grandfathered partitioning."""
+
+import json
+
+import pytest
+
+from repro.checks import Baseline, lint_source
+from repro.errors import ConfigError
+
+DIRTY = "import random\nvalue = random.random()\n"
+
+
+def findings():
+    return lint_source(DIRTY, path="pkg/mod.py")
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    baseline = Baseline.load(str(tmp_path / "nope.json"))
+    assert len(baseline) == 0
+
+
+def test_roundtrip_grandfathers_existing_findings(tmp_path):
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(findings()).write(str(path))
+    loaded = Baseline.load(str(path))
+    new, old = loaded.split(findings())
+    assert new == []
+    assert len(old) == 1
+
+
+def test_new_findings_stay_new_against_empty_baseline():
+    new, old = Baseline().split(findings())
+    assert len(new) == 1
+    assert old == []
+
+
+def test_baseline_file_is_deterministic(tmp_path):
+    first = tmp_path / "a.json"
+    second = tmp_path / "b.json"
+    Baseline.from_findings(findings()).write(str(first))
+    Baseline.from_findings(findings()).write(str(second))
+    assert first.read_text() == second.read_text()
+
+
+def test_corrupt_baseline_raises_config_error(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text("{not json")
+    with pytest.raises(ConfigError):
+        Baseline.load(str(path))
+
+
+def test_wrong_version_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "entries": {}}))
+    with pytest.raises(ConfigError):
+        Baseline.load(str(path))
+
+
+def test_shipped_baseline_is_empty_for_determinism_packages():
+    """Acceptance: the committed baseline grandfathers nothing."""
+    import pathlib
+
+    shipped = pathlib.Path(__file__).parents[2] / "cedarlint-baseline.json"
+    doc = json.loads(shipped.read_text())
+    assert doc["entries"] == {}

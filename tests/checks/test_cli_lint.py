@@ -1,0 +1,89 @@
+"""CLI-level gate behavior: exit codes, baseline workflow, self-lint."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.checks import ALL_RULES
+from repro.cli import main
+
+REPO_ROOT = pathlib.Path(__file__).parents[2]
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+RULE_IDS = [cls.rule_id for cls in ALL_RULES]
+
+
+def run_lint(*argv):
+    return main(["lint", *argv])
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_positive_fixture_exits_nonzero(rule_id, capsys):
+    """Flipping any negative fixture to its positive form fails the gate."""
+    code = run_lint(str(FIXTURES / f"{rule_id.lower()}_pos.py"), "--no-baseline")
+    assert code == 1
+    assert rule_id in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_negative_fixture_exits_zero(rule_id, capsys):
+    code = run_lint(str(FIXTURES / f"{rule_id.lower()}_neg.py"), "--no-baseline")
+    assert code == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_self_lint_src_is_clean_at_head(capsys):
+    """Acceptance: cedar-repro lint src exits 0 with the shipped baseline."""
+    code = run_lint(
+        str(REPO_ROOT / "src"),
+        "--baseline",
+        str(REPO_ROOT / "cedarlint-baseline.json"),
+    )
+    assert code == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_json_report_is_machine_readable(capsys):
+    code = run_lint(
+        str(FIXTURES / "cdr001_pos.py"), "--no-baseline", "--format", "json"
+    )
+    assert code == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["summary"]["new"] >= 1
+    assert {row["rule"] for row in doc["new"]} == {"CDR001"}
+
+
+def test_update_baseline_then_relint_is_green(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    target = str(FIXTURES / "cdr001_pos.py")
+    assert run_lint(target, "--baseline", str(baseline), "--update-baseline") == 0
+    capsys.readouterr()
+    assert run_lint(target, "--baseline", str(baseline)) == 0
+    out = capsys.readouterr().out
+    assert "grandfathered" in out
+    # the gate stays strict for *new* findings on top of the baseline
+    assert run_lint(target, "--baseline", str(baseline), "--no-baseline") == 1
+
+
+def test_select_limits_rules(capsys):
+    code = run_lint(
+        str(FIXTURES / "cdr001_pos.py"), "--no-baseline", "--select", "CDR002"
+    )
+    assert code == 0
+
+
+def test_list_rules_prints_catalog(capsys):
+    assert run_lint("--list-rules") == 0
+    out = capsys.readouterr().out
+    for rule_id in RULE_IDS:
+        assert rule_id in out
+
+
+def test_lint_tests_tree_is_clean_at_head(capsys):
+    """The test suite itself obeys the rules (fixtures are excluded)."""
+    code = run_lint(
+        str(REPO_ROOT / "tests" / "checks"),
+        "--baseline",
+        str(REPO_ROOT / "cedarlint-baseline.json"),
+    )
+    assert code == 0

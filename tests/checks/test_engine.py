@@ -1,0 +1,120 @@
+"""Engine behaviors: suppressions, fingerprints, discovery, config."""
+
+import pathlib
+
+from repro.checks import LintConfig, lint_paths, lint_source
+from repro.checks.engine import (
+    PARSE_ERROR_RULE,
+    fingerprint_findings,
+    iter_python_files,
+    module_name_for,
+)
+
+DIRTY = "import random\nvalue = random.random()\n"
+
+
+def test_clean_source_has_no_findings():
+    assert lint_source("x = 1\n") == []
+
+
+def test_dirty_source_is_flagged():
+    findings = lint_source(DIRTY)
+    assert [f.rule_id for f in findings] == ["CDR001"]
+    assert findings[0].line == 2
+
+
+def test_trailing_pragma_suppresses_same_line():
+    source = (
+        "import random\n"
+        "value = random.random()  # cedarlint: disable=CDR001 -- fixture\n"
+    )
+    assert lint_source(source) == []
+
+
+def test_standalone_pragma_suppresses_next_line():
+    source = (
+        "import random\n"
+        "# cedarlint: disable=CDR001 -- jitter is cosmetic here\n"
+        "value = random.random()\n"
+    )
+    assert lint_source(source) == []
+
+
+def test_pragma_for_other_rule_does_not_suppress():
+    source = (
+        "import random\n"
+        "value = random.random()  # cedarlint: disable=CDR002\n"
+    )
+    assert [f.rule_id for f in lint_source(source)] == ["CDR001"]
+
+
+def test_disable_file_pragma_suppresses_everywhere():
+    source = (
+        "# cedarlint: disable-file=CDR001\n"
+        "import random\n"
+        "a = random.random()\n"
+        "b = random.random()\n"
+    )
+    assert lint_source(source) == []
+
+
+def test_disable_all_pragma():
+    source = "value = random.random()  # cedarlint: disable=all\nimport random\n"
+    assert lint_source(source) == []
+
+
+def test_syntax_error_yields_parse_finding():
+    findings = lint_source("def broken(:\n")
+    assert [f.rule_id for f in findings] == [PARSE_ERROR_RULE]
+
+
+def test_select_and_ignore_filter_rules():
+    both = "import random\nx = random.random()\ny = x == 0.25\n"
+    all_ids = {f.rule_id for f in lint_source(both)}
+    assert all_ids == {"CDR001", "CDR003"}
+    only = lint_source(both, config=LintConfig(select=frozenset({"CDR003"})))
+    assert {f.rule_id for f in only} == {"CDR003"}
+    rest = lint_source(both, config=LintConfig(ignore=frozenset({"CDR003"})))
+    assert {f.rule_id for f in rest} == {"CDR001"}
+
+
+def test_fingerprint_is_line_number_independent():
+    shifted = "\n\n\n" + DIRTY
+    base = fingerprint_findings(lint_source(DIRTY, path="a.py"))
+    moved = fingerprint_findings(lint_source(shifted, path="a.py"))
+    assert [fp for fp, _ in base] == [fp for fp, _ in moved]
+
+
+def test_fingerprint_distinguishes_duplicate_lines():
+    source = "import random\nx = random.random()\nx = random.random()\n"
+    pairs = fingerprint_findings(lint_source(source, path="a.py"))
+    assert len(pairs) == 2
+    assert pairs[0][0] != pairs[1][0]
+
+
+def test_module_name_for_src_layout():
+    assert module_name_for("src/repro/service/clock.py") == (
+        "repro.service.clock"
+    )
+    assert module_name_for("src/repro/obs/__init__.py") == "repro.obs"
+    assert module_name_for("scripts/tool.py") == "scripts.tool"
+
+
+def test_directory_walk_skips_fixtures_but_explicit_files_lint(tmp_path):
+    fixtures = tmp_path / "fixtures"
+    fixtures.mkdir()
+    dirty = fixtures / "dirty.py"
+    dirty.write_text(DIRTY)
+    (tmp_path / "clean.py").write_text("x = 1\n")
+    walked = list(iter_python_files([str(tmp_path)]))
+    assert [pathlib.Path(p).name for p in walked] == ["clean.py"]
+    assert lint_paths([str(tmp_path)]) == []
+    explicit = lint_paths([str(dirty)])
+    assert [f.rule_id for f in explicit] == ["CDR001"]
+
+
+def test_lint_paths_orders_findings_deterministically(tmp_path):
+    (tmp_path / "b.py").write_text(DIRTY)
+    (tmp_path / "a.py").write_text(DIRTY)
+    findings = lint_paths([str(tmp_path)])
+    assert [pathlib.Path(f.path).name for f in findings] == ["a.py", "b.py"]

@@ -1,0 +1,140 @@
+"""Per-rule fixture tests: one true positive + one true negative each.
+
+The fixtures under ``tests/checks/fixtures/`` are the executable
+specification of each rule. Flipping any ``*_neg.py`` snippet into its
+``*_pos.py`` form must make ``cedar-repro lint`` exit non-zero — the
+CLI-level assertion lives in ``test_cli_lint.py``; here we pin the
+finding-level behavior.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.checks import ALL_RULES, lint_paths, lint_source
+from repro.checks.rules import OverbroadExceptRule, UnseededRandomnessRule
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+RULE_IDS = [cls.rule_id for cls in ALL_RULES]
+
+
+def lint_fixture(name: str):
+    return lint_paths([str(FIXTURES / name)])
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_true_positive_fixture_flags_its_rule(rule_id):
+    findings = lint_fixture(f"{rule_id.lower()}_pos.py")
+    assert rule_id in {f.rule_id for f in findings}, (
+        f"{rule_id} positive fixture produced no {rule_id} finding: "
+        f"{findings}"
+    )
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_true_negative_fixture_is_clean(rule_id):
+    findings = lint_fixture(f"{rule_id.lower()}_neg.py")
+    assert findings == [], (
+        f"{rule_id} negative fixture is not clean: {findings}"
+    )
+
+
+def test_every_rule_has_both_fixtures():
+    for rule_id in RULE_IDS:
+        for kind in ("pos", "neg"):
+            assert (FIXTURES / f"{rule_id.lower()}_{kind}.py").exists()
+
+
+# ----------------------------------------------------------------------
+# targeted rule edge cases the shared fixtures cannot express
+
+
+def test_cdr001_exempts_repro_rng_itself():
+    source = "import numpy as np\nseq = np.random.SeedSequence(1)\n"
+    assert lint_source(source, module="repro.rng") == []
+
+
+def test_cdr001_flags_numpy_alias_chains():
+    source = "import numpy\nnumpy.random.shuffle([1, 2])\n"
+    findings = lint_source(source)
+    assert [f.rule_id for f in findings] == ["CDR001"]
+
+
+def test_cdr001_flags_from_import():
+    source = "from random import choice\n"
+    findings = lint_source(source)
+    assert [f.rule_id for f in findings] == ["CDR001"]
+
+
+def test_cdr001_allows_seeded_stdlib_random_class():
+    source = "from random import Random\nr = Random(42)\n"
+    assert lint_source(source, rules=[UnseededRandomnessRule()]) == []
+
+
+def test_cdr002_exempts_the_clock_module():
+    source = "import time\norigin = time.monotonic()\n"
+    assert lint_source(source, module="repro.service.clock") == []
+    assert [
+        f.rule_id for f in lint_source(source, module="repro.core.wait")
+    ] == ["CDR002"]
+
+
+def test_cdr003_flags_negative_nonsentinel_literal():
+    findings = lint_source("ok = x == -0.5\n")
+    assert [f.rule_id for f in findings] == ["CDR003"]
+
+
+def test_cdr003_allows_negative_one_sentinel():
+    assert lint_source("unset = x == -1.0\n") == []
+
+
+def test_cdr008_flags_except_exception_only_in_fault_modules():
+    source = "try:\n    pass\nexcept Exception:\n    pass\n"
+    assert [
+        f.rule_id
+        for f in lint_source(source, module="repro.faults.inject")
+    ] == ["CDR008"]
+    assert lint_source(source, module="repro.estimation.mle") == []
+
+
+def test_cdr008_allows_reraising_broad_handler_in_fault_modules():
+    source = "try:\n    pass\nexcept Exception:\n    raise\n"
+    assert lint_source(source, module="repro.service.tcp") == []
+
+
+def test_cdr007_sorted_set_is_sanctioned():
+    assert lint_source("out = sorted(set([3, 1, 2]))\n") == []
+
+
+def test_cdr007_flags_set_algebra_iteration():
+    findings = lint_source("for x in a | {1, 2}:\n    pass\n")
+    assert [f.rule_id for f in findings] == ["CDR007"]
+
+
+def test_cdr006_span_structural_kwargs_are_not_attrs():
+    source = (
+        "def f(tracer):\n"
+        "    tracer.begin_span('query', 2, parent_id=None, start=0.0)\n"
+    )
+    assert lint_source(source) == []
+
+
+def test_cdr004_ignores_asyncio_classes():
+    source = (
+        "import asyncio\n"
+        "class Server:\n"
+        "    def start(self):\n"
+        "        self.count = 0\n"
+        "        asyncio.get_event_loop()\n"
+    )
+    assert lint_source(source) == []
+
+
+def test_cdr005_flags_dynamic_metric_names():
+    source = "def f(metrics, name):\n    metrics.counter(name).inc()\n"
+    findings = lint_source(source)
+    assert [f.rule_id for f in findings] == ["CDR005"]
+
+
+def test_overbroad_rule_exempts_nothing_by_default():
+    assert OverbroadExceptRule.exempt_modules == ()

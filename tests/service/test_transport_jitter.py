@@ -1,0 +1,128 @@
+"""Regression tests for the retry-jitter determinism fix.
+
+``send_output`` used to draw backoff jitter from the module-global
+``random.random()``, so two chaos runs with the same seed retried on
+different schedules (cedarlint CDR001 finds exactly this class of bug).
+Jitter now comes from a seeded generator injected by the caller — these
+tests pin down that two same-seed retry sequences are identical.
+"""
+
+import asyncio
+import socket
+
+import numpy as np
+import pytest
+
+from repro.rng import fork, resolve_rng, spawn
+from repro.service import Clock, Output, send_output
+
+pytestmark = pytest.mark.timeout(60)
+
+
+def _refused_port() -> int:
+    """A localhost port with nothing listening (connects get refused)."""
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def _capture_retry_schedule(monkeypatch, port: int, **kwargs) -> list[float]:
+    """Run one doomed send_output, recording every backoff pause."""
+    pauses: list[float] = []
+    real_sleep = asyncio.sleep
+
+    async def recording_sleep(duration, *args, **kw):
+        pauses.append(float(duration))
+        await real_sleep(0)
+
+    output = Output(
+        process_id=kwargs.pop("process_id", 7),
+        aggregator_id=0,
+        emitted_at=0.0,
+        value=1.0,
+    )
+
+    async def scenario() -> bool:
+        monkeypatch.setattr(asyncio, "sleep", recording_sleep)
+        try:
+            return await send_output(
+                "127.0.0.1",
+                port,
+                output,
+                Clock(time_scale=0.001),
+                max_attempts=5,
+                backoff_base=0.25,
+                **kwargs,
+            )
+        finally:
+            monkeypatch.setattr(asyncio, "sleep", real_sleep)
+
+    delivered = asyncio.run(scenario())
+    assert not delivered  # nothing listens on the refused port
+    return pauses
+
+
+def test_same_seed_retry_schedules_identical(monkeypatch):
+    port = _refused_port()
+    first = _capture_retry_schedule(
+        monkeypatch, port, rng=np.random.default_rng(1234)
+    )
+    second = _capture_retry_schedule(
+        monkeypatch, port, rng=np.random.default_rng(1234)
+    )
+    assert len(first) == 4  # max_attempts - 1 backoff pauses
+    assert first == second
+
+
+def test_different_seeds_decorrelate_schedules(monkeypatch):
+    port = _refused_port()
+    first = _capture_retry_schedule(
+        monkeypatch, port, rng=np.random.default_rng(1)
+    )
+    second = _capture_retry_schedule(
+        monkeypatch, port, rng=np.random.default_rng(2)
+    )
+    assert first != second
+
+
+def test_default_rng_is_reproducible_per_worker(monkeypatch):
+    """With no injected rng, the jitter stream is keyed on process_id."""
+    port = _refused_port()
+    first = _capture_retry_schedule(monkeypatch, port, process_id=3)
+    again = _capture_retry_schedule(monkeypatch, port, process_id=3)
+    other = _capture_retry_schedule(monkeypatch, port, process_id=4)
+    assert first == again
+    assert first != other
+
+
+def test_jitter_pauses_bounded_by_backoff_envelope(monkeypatch):
+    """Each pause lies in [0.5, 1.5] * base * factor**i (the +-50% jitter)."""
+    port = _refused_port()
+    pauses = _capture_retry_schedule(
+        monkeypatch, port, rng=np.random.default_rng(99)
+    )
+    envelope = 0.25
+    for pause in pauses:
+        assert 0.5 * envelope <= pause <= 1.5 * envelope
+        envelope *= 2.0
+
+
+def test_tcp_jitter_stream_derivation_is_deterministic():
+    """The per-worker stream derivation used by run_tcp_query is stable.
+
+    Spawning from a forked child must neither consume draws from the
+    query rng (seed parity with the in-process simulator) nor vary
+    between same-seed runs.
+    """
+    draws = []
+    for _ in range(2):
+        rng = resolve_rng(77)
+        before = rng.bit_generator.state
+        streams = spawn(fork(rng), 6)
+        assert rng.bit_generator.state == before  # no draws consumed
+        draws.append([s.random(3).tolist() for s in streams])
+    assert draws[0] == draws[1]
+    flat = {tuple(d) for d in draws[0]}
+    assert len(flat) == 6  # workers are decorrelated
