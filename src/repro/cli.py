@@ -18,6 +18,9 @@ Examples::
     cedar-repro chaos --deadline 60 --mu1 3.0 --sigma1 0.5 \
         --mu2 2.0 --sigma2 0.3 --k1 6 --k2 3 --kill 0.25 --drop 0.3 \
         --trace-out chaos.jsonl --metrics-out chaos.prom
+    cedar-repro serve-bench --out serve.json
+    cedar-repro serve-bench --smoke --out serve_smoke.json
+    cedar-repro serve-bench --qps 0.05 --qps 0.2 --requests 100 --seed 7
 """
 
 from __future__ import annotations
@@ -212,6 +215,42 @@ def _build_parser() -> argparse.ArgumentParser:
     from .checks.cli import add_lint_arguments
 
     add_lint_arguments(lint_p)
+
+    serve_p = sub.add_parser(
+        "serve-bench",
+        help="QPS sweep over the serving frontend (JSON report)",
+    )
+    serve_p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrunk sweep for CI smoke jobs (finishes in seconds)",
+    )
+    serve_p.add_argument(
+        "--qps",
+        type=float,
+        action="append",
+        default=None,
+        help="offered-load point in queries/unit (repeatable; "
+        "default ladder straddles saturation)",
+    )
+    serve_p.add_argument(
+        "--requests", type=int, default=60, help="requests per load point"
+    )
+    serve_p.add_argument(
+        "--deadline", type=float, default=60.0, help="per-query deadline"
+    )
+    serve_p.add_argument("--seed", type=int, default=2608)
+    serve_p.add_argument(
+        "--no-warm",
+        action="store_true",
+        help="skip the warm-vs-cold comparison pass",
+    )
+    serve_p.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="write the JSON report here instead of stdout",
+    )
 
     metrics_p = sub.add_parser(
         "metrics",
@@ -534,6 +573,45 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    import json
+
+    from .errors import ConfigError
+    from .serve import run_serve_bench, smoke_bench_spec
+
+    try:
+        if args.smoke:
+            spec = smoke_bench_spec()
+            doc = run_serve_bench(
+                qps_points=args.qps if args.qps else spec["qps_points"],
+                n_requests=spec["n_requests"],
+                deadline=args.deadline,
+                seed=args.seed,
+                config=spec["config"],
+                warm_compare=not args.no_warm,
+                warm_requests=spec["warm_requests"],
+            )
+        else:
+            doc = run_serve_bench(
+                qps_points=args.qps,
+                n_requests=args.requests,
+                deadline=args.deadline,
+                seed=args.seed,
+                warm_compare=not args.no_warm,
+            )
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    if args.out is None:
+        print(text)
+    else:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text + "\n")
+        print(f"wrote serve bench -> {args.out}")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     if args.trace_command == "sim":
         return _cmd_trace_sim(args)
@@ -574,6 +652,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "serve-bench":
+        return _cmd_serve_bench(args)
     if args.command == "lint":
         from .checks.cli import run_lint
 

@@ -86,6 +86,13 @@ class DeploymentConfig:
         """Copy at a different background load (Figure 11's knob)."""
         return dataclasses.replace(self, load=load)
 
+    def concurrent_query_capacity(self) -> int:
+        """How many queries can hold a full complement of task slots at
+        once: total cluster slots over tasks per query, floored at 1.
+        The serving layer uses this as its default admission bound."""
+        slots = self.n_machines * self.slots_per_machine
+        return max(1, slots // (self.k1 * self.k2))
+
 
 @dataclasses.dataclass(frozen=True)
 class ClusterQueryResult:

@@ -94,6 +94,13 @@ class AdaptiveController(AggregatorController):
         then mapped to quantile ``i`` of ``estimate_k`` live draws instead
         of ``k`` total, removing the slow bias crashes would otherwise
         induce. Shipping early still requires all ``k`` arrivals.
+    prior:
+        Optional warm-start distribution (e.g. from a
+        :class:`~repro.serve.WarmStartStore`). When given, the initial
+        timer is the prior-optimal wait instead of the full deadline, and
+        ``last_estimate`` reports the prior until the online fit takes
+        over at ``min_samples`` arrivals. ``None`` (the default) keeps
+        Pseudocode 1's cold start bit-for-bit.
     """
 
     def __init__(
@@ -105,6 +112,7 @@ class AdaptiveController(AggregatorController):
         min_samples: int = 2,
         reoptimize_every: int = 1,
         estimate_k: Optional[int] = None,
+        prior: Optional[Distribution] = None,
     ):
         if deadline <= 0.0:
             raise ConfigError(f"deadline must be positive, got {deadline}")
@@ -132,6 +140,13 @@ class AdaptiveController(AggregatorController):
         # Pseudocode 1: SetTimer(D, TimerExpire) before any output arrives.
         self._stop = float(deadline)
         self._last_estimate: Optional[Distribution] = None
+        if prior is not None:
+            # Warm start: plan the timer from the prior immediately, as
+            # if the distribution were known up front; online arrivals
+            # overwrite both once `min_samples` have been observed.
+            self._last_estimate = prior
+            wait = self._optimizer.optimize(prior, self._k)
+            self._stop = min(max(wait, 0.0), self._deadline)
 
     # ------------------------------------------------------------------
     @property

@@ -12,6 +12,7 @@ per-query online learning below, windowed re-fitting above.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Optional, Sequence
 
@@ -24,7 +25,14 @@ __all__ = ["DistributionTracker"]
 
 
 class DistributionTracker:
-    """Windowed family re-fitting over completed-query durations."""
+    """Windowed family re-fitting over completed-query durations.
+
+    Thread-safe: the TCP service path feeds ``observe`` from aggregator
+    callbacks on the asyncio thread while the serving frontend reads
+    ``current_fit`` from its own, so every mutation and read of the
+    window/fit state happens under one reentrant lock. The simulator's
+    single-threaded use pays one uncontended acquire per call.
+    """
 
     def __init__(
         self,
@@ -50,29 +58,51 @@ class DistributionTracker:
         self._since_fit = 0
         self._current: Optional[FitResult] = None
         self._refits = 0
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     @property
     def n_samples(self) -> int:
         """Durations currently in the window."""
-        return len(self._samples)
+        with self._lock:
+            return len(self._samples)
 
     @property
     def n_refits(self) -> int:
         """How many times the family contest has been re-run."""
-        return self._refits
+        with self._lock:
+            return self._refits
 
     @property
     def ready(self) -> bool:
         """Whether a fit is available."""
-        return self._current is not None
+        with self._lock:
+            return self._current is not None
 
     # ------------------------------------------------------------------
     def observe(self, duration: float) -> None:
         """Record one completed stage duration."""
         if not np.isfinite(duration) or duration < 0.0:
             raise EstimationError(f"invalid duration {duration!r}")
-        self._samples.append(float(duration))
+        with self._lock:
+            self._observe_locked(float(duration))
+
+    def observe_many(self, durations: Sequence[float]) -> None:
+        """Record a batch (e.g. one completed query's stage durations).
+
+        The whole batch lands atomically: a concurrent refit sees either
+        none or all of a query's durations, never a torn prefix.
+        """
+        values = [float(d) for d in durations]
+        for v in values:
+            if not np.isfinite(v) or v < 0.0:
+                raise EstimationError(f"invalid duration {v!r}")
+        with self._lock:
+            for v in values:
+                self._observe_locked(v)
+
+    def _observe_locked(self, duration: float) -> None:
+        self._samples.append(duration)
         self._since_fit += 1
         if (
             len(self._samples) >= self.min_samples
@@ -80,12 +110,9 @@ class DistributionTracker:
         ):
             self._refit()
 
-    def observe_many(self, durations: Sequence[float]) -> None:
-        """Record a batch (e.g. one completed query's stage durations)."""
-        for d in durations:
-            self.observe(d)
-
     def _refit(self) -> None:
+        # callers hold the lock: the window snapshot and the fit-state
+        # update are one atomic step.
         results = fit_samples(list(self._samples), candidates=self.candidates)
         self._current = results[0]
         self._since_fit = 0
@@ -94,11 +121,13 @@ class DistributionTracker:
     # ------------------------------------------------------------------
     def current_fit(self) -> FitResult:
         """The latest family-contest winner."""
-        if self._current is None:
-            raise EstimationError(
-                f"tracker needs {self.min_samples} samples, has {self.n_samples}"
-            )
-        return self._current
+        with self._lock:
+            if self._current is None:
+                raise EstimationError(
+                    f"tracker needs {self.min_samples} samples, "
+                    f"has {len(self._samples)}"
+                )
+            return self._current
 
     def current_distribution(self) -> Distribution:
         """The fitted distribution of the latest winner."""
@@ -106,6 +135,7 @@ class DistributionTracker:
 
     def reset(self) -> None:
         """Drop the window (e.g. after a known regime change)."""
-        self._samples.clear()
-        self._since_fit = 0
-        self._current = None
+        with self._lock:
+            self._samples.clear()
+            self._since_fit = 0
+            self._current = None

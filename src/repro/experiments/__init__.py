@@ -20,6 +20,7 @@ from . import (
     fig16_sigma,
     fig17_gaussian,
     robustness,
+    serving,
 )
 from .common import ExperimentReport, pick
 from .store import ReportDiff, compare_reports, load_report, save_report
@@ -47,6 +48,7 @@ ALL = {
     "fig16-facebook": lambda scale="quick", seed=None: fig16_sigma.run_variant("facebook", scale, seed),
     "fig17": fig17_gaussian.run,
     "robustness": robustness.run,
+    "serving": serving.run,
 }
 
 __all__ = [

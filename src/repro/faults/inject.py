@@ -52,6 +52,11 @@ class FaultyQueryResult:
     mean_stops: tuple[float, ...] = ()
     #: shipments that survived every fault but reached the root too late.
     late_at_root: int = 0
+    #: virtual time at which the root's response was complete: the last
+    #: on-time arrival if every shipment made it, else the deadline (the
+    #: root cannot distinguish a crashed subtree from a slow one, so any
+    #: missing or late shipment forces it to wait out the full budget).
+    elapsed: float = 0.0
 
 
 @dataclasses.dataclass
@@ -317,12 +322,18 @@ def simulate_query_with_faults(
     # ---- root: include shipments arriving by the deadline -------------
     included = 0
     late_count = 0
+    missing = 0
+    last_arrival = 0.0
     for idx, s in enumerate(shipments):
         on_time = s.arrival <= deadline
         if on_time:
             included += s.payload
+            if s.arrival > last_arrival:
+                last_arrival = s.arrival
         elif np.isfinite(s.arrival):
             late_count += 1
+        else:
+            missing += 1
         if tracer is not None:
             span_row[idx].attrs["root_verdict"] = (
                 CAUSE_INCLUDED
@@ -391,4 +402,5 @@ def simulate_query_with_faults(
         failed_domains=failed_domains,
         mean_stops=tuple(mean_stops),
         late_at_root=late_count,
+        elapsed=deadline if (late_count or missing) else last_arrival,
     )

@@ -34,6 +34,9 @@ KNOWN_PROFILE_SITES = frozenset(
         "core.wait.sweep",
         "core.wait_table.lookup",
         "estimation.streaming.estimate",
+        "serve.admission.offer",
+        "serve.dispatch",
+        "serve.warmstart.observe",
     }
 )
 

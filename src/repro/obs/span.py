@@ -68,6 +68,7 @@ CAUSE_NEVER_ARRIVED = "never_arrived"
 #: Extending the schema means adding the name here *first*.
 KNOWN_SPAN_ATTRS = frozenset(
     {
+        "admitted",
         "cause",
         "collected",
         "crashed",
@@ -86,19 +87,26 @@ KNOWN_SPAN_ATTRS = frozenset(
         "included_outputs",
         "index",
         "late_at_root",
+        "latency",
         "lost_shipments",
         "malformed_lines",
         "n_arrived",
         "policy",
         "quality",
         "query_index",
+        "queue_delay",
         "root_verdict",
+        "shed_reason",
         "ship_arrival",
         "ship_failures",
+        "slowdown",
         "straggler_workers",
+        "tenant",
         "total_outputs",
         "transport",
         "wait",
+        "warm",
+        "workload_key",
     }
 )
 

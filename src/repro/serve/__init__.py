@@ -1,0 +1,84 @@
+"""Multi-tenant serving runtime — reproduction extension.
+
+The paper evaluates Cedar one query at a time; a production aggregation
+tier (Bing's frontend, PAPER §2) runs a long-lived service that admits,
+schedules, and sheds overlapping deadline-bound queries. This package is
+that layer:
+
+* :class:`CedarServer` — an :class:`~repro.simulation.EventLoop`-driven
+  frontend running overlapping queries against a shared capacity pool;
+* :class:`AdmissionController` — bounded queue plus deadline-feasibility
+  rejection, so overload degrades quality gracefully (BlinkDB-style
+  bounded response time) instead of missing every deadline;
+* :class:`WarmStartStore` / :class:`CedarWarmPolicy` — cross-query
+  ``(mu, sigma)`` priors per workload key, with exponential decay and
+  drift reset, so §4.2's online learning starts from the last-known
+  distribution instead of cold;
+* :class:`SLOAccountant` — per-tenant latency/quality/shed-rate rollups
+  exported through :mod:`repro.obs`;
+* :class:`LoadGenerator` — open-loop Poisson arrivals, optionally
+  modulated by a :class:`~repro.traces.DiurnalWorkload` cycle;
+* :func:`run_serve_bench` — the QPS sweep behind
+  ``cedar-repro serve-bench``.
+
+Everything runs in virtual time: a serve run on a fixed seed is
+bit-identical across repeats, and at vanishing load it reproduces
+:func:`repro.simulation.simulate_query` exactly (asserted in the tests).
+"""
+
+from .admission import (
+    SHED_INFEASIBLE,
+    SHED_QUEUE_FULL,
+    SHED_STALE,
+    AdmissionController,
+)
+from .bench import (
+    pinned_config,
+    pinned_workload,
+    run_serve_bench,
+    smoke_bench_spec,
+)
+from .loadgen import LoadGenerator
+from .request import QueryOutcome, QueryRequest, ServeConfig
+from .server import (
+    BackendResult,
+    CedarServer,
+    FixedServiceBackend,
+    ServeReport,
+    SimBackend,
+    TcpBackend,
+)
+from .slo import (
+    SERVE_METRIC_NAMES,
+    SERVE_PROFILE_SITES,
+    SERVE_SPAN_ATTRS,
+    SLOAccountant,
+)
+from .warmstart import CedarWarmPolicy, WarmStartStore
+
+__all__ = [
+    "AdmissionController",
+    "BackendResult",
+    "CedarServer",
+    "CedarWarmPolicy",
+    "FixedServiceBackend",
+    "LoadGenerator",
+    "QueryOutcome",
+    "QueryRequest",
+    "SERVE_METRIC_NAMES",
+    "SERVE_PROFILE_SITES",
+    "SERVE_SPAN_ATTRS",
+    "SHED_INFEASIBLE",
+    "SHED_QUEUE_FULL",
+    "SHED_STALE",
+    "SLOAccountant",
+    "ServeConfig",
+    "ServeReport",
+    "SimBackend",
+    "TcpBackend",
+    "WarmStartStore",
+    "pinned_config",
+    "pinned_workload",
+    "run_serve_bench",
+    "smoke_bench_spec",
+]

@@ -1,0 +1,160 @@
+"""Admission control and load shedding (BlinkDB-style bounded response).
+
+An overloaded aggregation frontend has exactly three choices per arriving
+query: run it now, queue it, or shed it. Running everything thrashes the
+cluster; queueing everything means every query eventually starts with no
+deadline budget left and responds with quality zero — the worst of both
+worlds. The controller here bounds the queue and predicts, from a learned
+EWMA of service times, whether a request would still hold a useful
+fraction of its deadline when a slot frees up; requests that would not
+are rejected *at arrival*, when the client can still retry elsewhere.
+
+Three shed reasons, visible in spans/metrics and the serve report:
+
+* ``queue_full`` — the bounded queue is at capacity;
+* ``infeasible`` — predicted start time leaves less than
+  ``min_deadline_fraction`` of the deadline;
+* ``stale`` — the prediction was optimistic: at actual dispatch time the
+  remaining budget fell below the floor (checked again by the server).
+
+Everything is deterministic: decisions depend only on arrival order and
+completed service times, never on wall clocks or randomness.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..errors import ConfigError
+from ..obs.profile import PROFILER
+from .request import QueryRequest
+
+__all__ = [
+    "AdmissionController",
+    "SHED_QUEUE_FULL",
+    "SHED_INFEASIBLE",
+    "SHED_STALE",
+]
+
+SHED_QUEUE_FULL = "queue_full"
+SHED_INFEASIBLE = "infeasible"
+SHED_STALE = "stale"
+
+
+class AdmissionController:
+    """Bounded FIFO queue with deadline-feasibility rejection."""
+
+    def __init__(
+        self,
+        max_concurrent: int,
+        max_queue: int,
+        min_deadline_fraction: float = 0.3,
+        service_time_guess: Optional[float] = None,
+        ewma_alpha: float = 0.2,
+    ):
+        if max_concurrent < 1:
+            raise ConfigError(
+                f"max_concurrent must be >= 1, got {max_concurrent}"
+            )
+        if max_queue < 0:
+            raise ConfigError(f"max_queue must be >= 0, got {max_queue}")
+        if not 0.0 <= min_deadline_fraction < 1.0:
+            raise ConfigError(
+                "min_deadline_fraction must be in [0, 1), got "
+                f"{min_deadline_fraction}"
+            )
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ConfigError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        if service_time_guess is not None and service_time_guess < 0.0:
+            raise ConfigError(
+                f"service_time_guess must be >= 0, got {service_time_guess}"
+            )
+        self.max_concurrent = int(max_concurrent)
+        self.max_queue = int(max_queue)
+        self.min_deadline_fraction = float(min_deadline_fraction)
+        self._ewma_alpha = float(ewma_alpha)
+        self._service_est: Optional[float] = service_time_guess
+        self._queue: deque[QueryRequest] = deque()
+        self._running = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> int:
+        """Queries currently holding a capacity slot."""
+        return self._running
+
+    @property
+    def queue_depth(self) -> int:
+        """Admitted requests waiting for a slot."""
+        return len(self._queue)
+
+    @property
+    def service_estimate(self) -> Optional[float]:
+        """Current EWMA of observed service times (None before traffic)."""
+        return self._service_est
+
+    # ------------------------------------------------------------------
+    def offer(self, request: QueryRequest, now: float) -> Optional[str]:
+        """Admit ``request`` (returns None, request is queued) or shed it
+        (returns the shed reason). ``now`` is the arrival time."""
+        tok = PROFILER.start()
+        reason = self._offer(request)
+        PROFILER.stop("serve.admission.offer", tok)
+        return reason
+
+    def _offer(self, request: QueryRequest) -> Optional[str]:
+        waiters_ahead = self._running + len(self._queue) - self.max_concurrent
+        if waiters_ahead >= 0:
+            # this request will have to wait for a slot
+            if len(self._queue) >= self.max_queue:
+                return SHED_QUEUE_FULL
+            est_wait = self._predicted_wait(waiters_ahead + 1)
+            remaining = request.deadline - est_wait
+            if remaining < self.min_deadline_fraction * request.deadline:
+                return SHED_INFEASIBLE
+        self._queue.append(request)
+        return None
+
+    def _predicted_wait(self, completions_needed: int) -> float:
+        """Expected queueing delay given how many service completions
+        must happen before this request gets a slot (M/D/c heuristic:
+        the pool completes ``max_concurrent`` queries per service time)."""
+        if self._service_est is None:
+            return 0.0
+        return self._service_est * completions_needed / self.max_concurrent
+
+    # ------------------------------------------------------------------
+    def stale(self, request: QueryRequest, now: float) -> bool:
+        """Whether the remaining budget at actual dispatch time fell
+        below the feasibility floor (the second, authoritative check)."""
+        remaining = request.arrival + request.deadline - now
+        if remaining <= 0.0:
+            return True
+        return remaining < self.min_deadline_fraction * request.deadline
+
+    def pop_ready(self) -> Optional[QueryRequest]:
+        """Next queued request if a capacity slot is free, else None."""
+        if self._running >= self.max_concurrent or not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def start(self) -> None:
+        """Mark one slot busy (caller just dispatched a request)."""
+        if self._running >= self.max_concurrent:
+            raise ConfigError("no free capacity slot to start on")
+        self._running += 1
+
+    def finish(self, elapsed: float) -> None:
+        """Release a slot and fold the observed service time into the
+        feasibility predictor."""
+        if self._running < 1:
+            raise ConfigError("finish() without a running query")
+        self._running -= 1
+        if elapsed < 0.0:
+            raise ConfigError(f"service time must be >= 0, got {elapsed}")
+        if self._service_est is None:
+            self._service_est = float(elapsed)
+        else:
+            a = self._ewma_alpha
+            self._service_est = (1.0 - a) * self._service_est + a * float(elapsed)

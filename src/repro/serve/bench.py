@@ -1,0 +1,203 @@
+"""The ``cedar-repro serve-bench`` QPS sweep.
+
+Drives a :class:`~repro.serve.CedarServer` at a ladder of offered loads
+over a pinned diurnal workload and reports, per load point: achieved
+QPS, deadline-hit rate of admitted queries, mean quality, shed fraction,
+and latency percentiles. A separate warm-vs-cold pass quantifies the
+cross-query warm-start gain at low load (where quality differences come
+from learning, not shedding).
+
+The pinned workload/config below are the repo's serving perf trajectory:
+``benchmarks/test_serve_bench.py`` regenerates this document and diffs it
+against the committed ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from ..errors import ConfigError
+from ..traces import DiurnalWorkload
+from ..traces.base import LogNormalStageSpec
+from .loadgen import LoadGenerator
+from .request import ServeConfig
+from .server import CedarServer, ServeReport
+
+__all__ = [
+    "pinned_workload",
+    "pinned_config",
+    "run_serve_bench",
+    "smoke_bench_spec",
+    "DEFAULT_QPS_POINTS",
+]
+
+#: offered-load ladder straddling the pinned config's saturation point
+#: (~ max_concurrent / mean service time ≈ 0.08 q/unit): comfortably
+#: under, right at, and 3x over.
+DEFAULT_QPS_POINTS = (0.02, 0.08, 0.25)
+
+
+def pinned_workload() -> DiurnalWorkload:
+    """The benchmark's fixed diurnal workload (4x8 tree, 0.8 mu swing).
+
+    The bottom fanout is deliberately small (4): each bottom-level
+    aggregator sees at most 4 online samples per query, so the
+    cross-query warm-start prior — pooled over all 8 aggregators and
+    every past query — carries real information the per-query online
+    learner cannot recover on its own. This is the regime where warm
+    start earns its keep; with wide bottom stages the online learner
+    converges within a single query and the prior is redundant.
+    """
+    return DiurnalWorkload(
+        base=LogNormalStageSpec(mu=3.0, sigma=0.8, fanout=4, mu_jitter=0.25),
+        upper=LogNormalStageSpec(mu=2.2, sigma=0.35, fanout=8),
+        amplitude=0.8,
+        period=40,
+    )
+
+
+def pinned_config(grid_points: int = 96) -> ServeConfig:
+    """The benchmark's fixed server configuration.
+
+    ``min_deadline_fraction=0.6`` makes admission strict enough that
+    queries dispatched under overload still hold a workable budget:
+    across seeds, the deadline-hit rate of *admitted* queries stays at
+    1.0 well past saturation while the shed fraction absorbs the excess
+    load — degradation shows up as refusals, not broken promises.
+    """
+    return ServeConfig(
+        max_concurrent=4,
+        max_queue=8,
+        min_deadline_fraction=0.6,
+        contention_coeff=0.5,
+        grid_points=grid_points,
+    )
+
+
+def _point_doc(qps: float, report: ServeReport) -> dict[str, object]:
+    return {
+        "offered_qps": qps,
+        "achieved_qps": report.achieved_qps,
+        "n_requests": report.n_requests,
+        "admitted": report.admitted,
+        "completed": report.completed,
+        "shed_fraction": report.shed_fraction,
+        "deadline_hit_rate": report.deadline_hit_rate,
+        "mean_quality": report.mean_quality,
+        "latency_p50": report.latency_p50,
+        "latency_p95": report.latency_p95,
+        "latency_p99": report.latency_p99,
+        "mean_queue_delay": report.mean_queue_delay,
+    }
+
+
+def run_serve_bench(
+    qps_points: Optional[Sequence[float]] = None,
+    n_requests: int = 60,
+    deadline: float = 60.0,
+    seed: int = 2608,
+    config: Optional[ServeConfig] = None,
+    warm_compare: bool = True,
+    warm_requests: int = 120,
+    warm_qps: float = 0.01,
+    rate_amplitude: float = 0.5,
+) -> dict[str, object]:
+    """Run the QPS sweep and return the JSON-ready report document."""
+    points = tuple(float(q) for q in (qps_points or DEFAULT_QPS_POINTS))
+    if not points:
+        raise ConfigError("need at least one QPS point")
+    cfg = config if config is not None else pinned_config()
+    workload = pinned_workload()
+    offline = workload.offline_tree()
+
+    point_docs: list[dict[str, object]] = []
+    for qps in points:
+        generator = LoadGenerator(
+            workload=workload,
+            qps=qps,
+            n_requests=n_requests,
+            deadline=deadline,
+            seed=seed,
+            rate_amplitude=rate_amplitude,
+        )
+        server = CedarServer(offline_tree=offline, config=cfg)
+        report = server.run(generator.generate())
+        point_docs.append(_point_doc(qps, report))
+
+    doc: dict[str, object] = {
+        "bench": "serve",
+        "seed": seed,
+        "deadline": deadline,
+        "rate_amplitude": rate_amplitude,
+        "workload": {
+            "name": workload.name,
+            "base_mu": workload.base.mu,
+            "base_sigma": workload.base.sigma,
+            "k1": workload.base.fanout,
+            "upper_mu": workload.upper.mu,
+            "upper_sigma": workload.upper.sigma,
+            "k2": workload.upper.fanout,
+            "amplitude": workload.amplitude,
+            "period": workload.period,
+        },
+        "config": {
+            "max_concurrent": cfg.max_concurrent,
+            "max_queue": cfg.max_queue,
+            "min_deadline_fraction": cfg.min_deadline_fraction,
+            "contention_coeff": cfg.contention_coeff,
+            "grid_points": cfg.grid_points,
+        },
+        "points": point_docs,
+    }
+
+    if warm_compare:
+        generator = LoadGenerator(
+            workload=workload,
+            qps=warm_qps,
+            n_requests=warm_requests,
+            deadline=deadline,
+            seed=seed,
+            rate_amplitude=rate_amplitude,
+        )
+        requests = generator.generate()
+        warm_server = CedarServer(offline_tree=offline, config=cfg)
+        warm_report = warm_server.run(requests)
+        cold_cfg = ServeConfig(
+            max_concurrent=cfg.max_concurrent,
+            max_queue=cfg.max_queue,
+            min_deadline_fraction=cfg.min_deadline_fraction,
+            contention_coeff=cfg.contention_coeff,
+            service_time_guess=cfg.service_time_guess,
+            ewma_alpha=cfg.ewma_alpha,
+            warm_start=False,
+            grid_points=cfg.grid_points,
+            agg_sample=cfg.agg_sample,
+        )
+        cold_server = CedarServer(offline_tree=offline, config=cold_cfg)
+        cold_report = cold_server.run(requests)
+        total_resets = 0
+        for entry in warm_report.warm.values():
+            resets = entry.get("resets", 0)
+            if isinstance(resets, int):
+                total_resets += resets
+        doc["warm_start"] = {
+            "qps": warm_qps,
+            "n_requests": warm_requests,
+            "warm_mean_quality": warm_report.mean_quality,
+            "cold_mean_quality": cold_report.mean_quality,
+            "quality_gain": warm_report.mean_quality - cold_report.mean_quality,
+            "warm_deadline_hit_rate": warm_report.deadline_hit_rate,
+            "cold_deadline_hit_rate": cold_report.deadline_hit_rate,
+            "store_resets": total_resets,
+        }
+    return doc
+
+
+def smoke_bench_spec() -> dict[str, Any]:
+    """Shrunk sweep for the CI smoke job (finishes in a few seconds)."""
+    return {
+        "qps_points": DEFAULT_QPS_POINTS,
+        "n_requests": 16,
+        "warm_requests": 24,
+        "config": pinned_config(grid_points=48),
+    }

@@ -1,0 +1,107 @@
+"""Open-loop load generation for the serving frontend.
+
+Requests are generated *open loop* (arrivals do not wait for responses —
+the client population is effectively infinite, the standard model for
+front-end traffic) as a Poisson process at a nominal QPS, optionally
+modulated by a :class:`~repro.traces.DiurnalWorkload` cycle so traffic
+peaks exactly when per-query work is heaviest.
+
+Determinism: :meth:`LoadGenerator.generate` forks three named RNG
+streams off the one seed (arrivals, per-query trees, per-query seeds),
+resets the workload's cycle, and is therefore idempotent — two calls
+return identical request lists, and the per-request seeds are
+independent of how the server later interleaves execution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from ..errors import ConfigError
+from ..rng import fork, seeds_for
+from .request import QueryRequest
+
+__all__ = ["LoadGenerator"]
+
+
+class LoadGenerator:
+    """Generates a reproducible open-loop arrival stream.
+
+    ``workload`` is any object with ``sample_query(rng)`` and
+    ``offline_tree()`` (the :mod:`repro.traces` protocol). When it also
+    has ``rate_factor`` (a :class:`~repro.traces.DiurnalWorkload`) and
+    ``rate_amplitude > 0``, the instantaneous arrival rate follows the
+    workload's cycle.
+    """
+
+    def __init__(
+        self,
+        workload: Any,
+        qps: float,
+        n_requests: int,
+        deadline: float,
+        seed: int = 0,
+        tenants: Sequence[str] = ("default",),
+        workload_key: Optional[str] = None,
+        rate_amplitude: float = 0.0,
+    ):
+        if qps <= 0.0:
+            raise ConfigError(f"qps must be positive, got {qps}")
+        if n_requests < 1:
+            raise ConfigError(f"n_requests must be >= 1, got {n_requests}")
+        if deadline <= 0.0:
+            raise ConfigError(f"deadline must be positive, got {deadline}")
+        if not tenants:
+            raise ConfigError("need at least one tenant")
+        if rate_amplitude < 0.0:
+            raise ConfigError(
+                f"rate_amplitude must be >= 0, got {rate_amplitude}"
+            )
+        if rate_amplitude > 0.0 and not hasattr(workload, "rate_factor"):
+            raise ConfigError(
+                "rate_amplitude > 0 needs a workload with rate_factor() "
+                "(e.g. DiurnalWorkload)"
+            )
+        self.workload = workload
+        self.qps = float(qps)
+        self.n_requests = int(n_requests)
+        self.deadline = float(deadline)
+        self.seed = int(seed)
+        self.tenants = tuple(str(t) for t in tenants)
+        self.workload_key = (
+            workload_key
+            if workload_key is not None
+            else str(getattr(workload, "name", "default"))
+        )
+        self.rate_amplitude = float(rate_amplitude)
+
+    # ------------------------------------------------------------------
+    def generate(self) -> list[QueryRequest]:
+        """Materialise the full request stream (idempotent)."""
+        arrival_rng = fork(self.seed, "serve-arrivals")
+        tree_rng = fork(self.seed, "serve-trees")
+        seeds = seeds_for(fork(self.seed, "serve-query-seeds"), self.n_requests)
+        if hasattr(self.workload, "reset"):
+            self.workload.reset()
+        requests: list[QueryRequest] = []
+        t = 0.0
+        for i in range(self.n_requests):
+            rate = self.qps
+            if self.rate_amplitude > 0.0:
+                rate = self.qps * float(
+                    self.workload.rate_factor(i, self.rate_amplitude)
+                )
+            t += float(arrival_rng.exponential(1.0 / rate))
+            tree = self.workload.sample_query(tree_rng)
+            requests.append(
+                QueryRequest(
+                    index=i,
+                    arrival=t,
+                    deadline=self.deadline,
+                    tree=tree,
+                    seed=int(seeds[i]),
+                    tenant=self.tenants[i % len(self.tenants)],
+                    workload_key=self.workload_key,
+                )
+            )
+        return requests

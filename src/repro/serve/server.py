@@ -1,0 +1,558 @@
+"""The serving frontend: overlapping deadline-bound queries on one loop.
+
+:class:`CedarServer` owns a virtual-time :class:`~repro.simulation.EventLoop`
+and drives the full request lifecycle::
+
+    arrival -> admission (queue_full / infeasible?) -> queue
+            -> dispatch (stale?) -> backend runs the query
+            -> completion (slot freed, SLO + warm store updated) -> pump
+
+Capacity is ``max_concurrent`` query slots; queries dispatched while
+other slots are busy run with their *remaining* deadline budget (the
+time already burned in the queue is gone) and, when
+``contention_coeff > 0``, with a proportionally slowed bottom stage.
+Because each request carries its own pre-drawn seed and the backend is
+the deterministic simulator, a serve run is bit-identical across repeats
+— and at vanishing load (every query dispatched alone, slowdown exactly
+1.0) it reproduces standalone :func:`~repro.simulation.simulate_query`
+calls result-for-result.
+
+Backends abstract *how* one query executes:
+
+* :class:`SimBackend` — the deterministic simulator, optionally under a
+  :class:`~repro.faults.FaultModel` (chaos composes with serving);
+* :class:`TcpBackend` — the real localhost-TCP service path, optionally
+  under a :class:`~repro.faults.ChaosTransport`;
+* :class:`FixedServiceBackend` — constant service time, for capacity
+  planning and the admission-control property tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Callable, Optional, Protocol, Sequence
+
+import numpy as np
+
+from ..core import QueryContext, WaitPolicy
+from ..core.policies import CedarPolicy
+from ..distributions import Scaled
+from ..errors import ConfigError
+from ..obs.metrics import MetricsRegistry
+from ..obs.profile import PROFILER
+from ..obs.span import SpanTracer
+from ..simulation.events import EventLoop
+from .admission import SHED_STALE, AdmissionController
+from .request import QueryOutcome, QueryRequest, ServeConfig
+from .slo import SLOAccountant
+from .warmstart import CedarWarmPolicy, WarmStartStore
+
+__all__ = [
+    "BackendResult",
+    "QueryBackend",
+    "SimBackend",
+    "TcpBackend",
+    "FixedServiceBackend",
+    "ServeReport",
+    "CedarServer",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class BackendResult:
+    """What the serving layer needs to know about one executed query."""
+
+    quality: float
+    included_outputs: int
+    total_outputs: int
+    #: virtual time the query occupied its slot (bounded by its budget).
+    elapsed: float
+    degraded: bool = False
+
+
+class QueryBackend(Protocol):
+    """Executes one admitted query against some substrate."""
+
+    def run(
+        self,
+        ctx: QueryContext,
+        policy: WaitPolicy,
+        seed: int,
+        tracer: Optional[SpanTracer],
+        metrics: Optional[MetricsRegistry],
+        span_attrs: dict[str, Any],
+    ) -> BackendResult:
+        ...
+
+
+class SimBackend:
+    """Deterministic in-process simulation, optionally fault-injected."""
+
+    def __init__(self, agg_sample: Optional[int] = None, faults: Any = None):
+        self.agg_sample = agg_sample
+        self.faults = faults
+
+    def run(
+        self,
+        ctx: QueryContext,
+        policy: WaitPolicy,
+        seed: int,
+        tracer: Optional[SpanTracer],
+        metrics: Optional[MetricsRegistry],
+        span_attrs: dict[str, Any],
+    ) -> BackendResult:
+        if self.faults is not None:
+            from ..faults.inject import simulate_query_with_faults
+
+            faulty = simulate_query_with_faults(
+                ctx,
+                policy,
+                self.faults,
+                seed=seed,
+                tracer=tracer,
+                metrics=metrics,
+                span_attrs=span_attrs,
+            )
+            return BackendResult(
+                quality=faulty.quality,
+                included_outputs=faulty.included_outputs,
+                total_outputs=faulty.total_outputs,
+                elapsed=faulty.elapsed,
+                degraded=bool(
+                    faulty.crashed_aggregators
+                    or faulty.lost_shipments
+                    or faulty.crashed_workers
+                    or faulty.failed_domains
+                ),
+            )
+        from ..simulation.query import simulate_query
+
+        result = simulate_query(
+            ctx,
+            policy,
+            seed=seed,
+            agg_sample=self.agg_sample,
+            tracer=tracer,
+            metrics=metrics,
+            span_attrs=span_attrs,
+        )
+        return BackendResult(
+            quality=result.quality,
+            included_outputs=result.included_outputs,
+            total_outputs=result.total_outputs,
+            elapsed=result.elapsed,
+        )
+
+
+class TcpBackend:
+    """Runs each admitted query over the localhost TCP service path.
+
+    ``chaos_factory`` builds a fresh
+    :class:`~repro.faults.ChaosTransport` per query (transports carry
+    per-run fault counters), so chaos runs compose with serving.
+    Real sockets mean real time: latencies inside each query come from
+    the scaled virtual clock, while the serving layer still advances its
+    own deterministic loop between queries.
+    """
+
+    def __init__(
+        self,
+        time_scale: float = 0.001,
+        chaos_factory: Optional[Callable[[], Any]] = None,
+    ):
+        if time_scale <= 0.0:
+            raise ConfigError(f"time_scale must be positive, got {time_scale}")
+        self.time_scale = float(time_scale)
+        self.chaos_factory = chaos_factory
+
+    def run(
+        self,
+        ctx: QueryContext,
+        policy: WaitPolicy,
+        seed: int,
+        tracer: Optional[SpanTracer],
+        metrics: Optional[MetricsRegistry],
+        span_attrs: dict[str, Any],
+    ) -> BackendResult:
+        from ..service.tcp import run_tcp_query
+
+        chaos = self.chaos_factory() if self.chaos_factory is not None else None
+        result = run_tcp_query(
+            ctx,
+            policy,
+            time_scale=self.time_scale,
+            seed=seed,
+            chaos=chaos,
+            tracer=tracer,
+            metrics=metrics,
+            span_attrs=span_attrs,
+        )
+        return BackendResult(
+            quality=result.quality,
+            included_outputs=result.included_outputs,
+            total_outputs=result.total_outputs,
+            elapsed=min(float(result.elapsed_virtual), ctx.deadline),
+            degraded=result.degraded,
+        )
+
+
+class FixedServiceBackend:
+    """Constant service time — the M/D/c abstraction of the server.
+
+    Used by the admission-control property tests (shed behaviour must
+    not depend on simulated query internals) and handy for capacity
+    planning sweeps.
+    """
+
+    def __init__(self, service_time: float, quality: float = 1.0):
+        if service_time < 0.0:
+            raise ConfigError(
+                f"service_time must be >= 0, got {service_time}"
+            )
+        if not 0.0 <= quality <= 1.0:
+            raise ConfigError(f"quality must be in [0, 1], got {quality}")
+        self.service_time = float(service_time)
+        self.quality = float(quality)
+
+    def run(
+        self,
+        ctx: QueryContext,
+        policy: WaitPolicy,
+        seed: int,
+        tracer: Optional[SpanTracer],
+        metrics: Optional[MetricsRegistry],
+        span_attrs: dict[str, Any],
+    ) -> BackendResult:
+        total = ctx.offline_tree.total_processes
+        fits = self.service_time <= ctx.deadline
+        return BackendResult(
+            quality=self.quality if fits else 0.0,
+            included_outputs=total if fits else 0,
+            total_outputs=total,
+            elapsed=min(self.service_time, ctx.deadline),
+        )
+
+
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class ServeReport:
+    """Aggregate outcome of one serve run."""
+
+    n_requests: int
+    admitted: int
+    completed: int
+    shed: int
+    shed_fraction: float
+    #: fraction of *completed* queries that responded in time with a
+    #: non-empty answer (the graceful-degradation headline number).
+    deadline_hit_rate: float
+    mean_quality: float
+    offered_qps: float
+    achieved_qps: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    mean_queue_delay: float
+    #: virtual time from first arrival to last completion.
+    horizon: float
+    tenants: dict[str, dict[str, object]]
+    #: warm-start store snapshot ({} when running cold).
+    warm: dict[str, dict[str, object]]
+    outcomes: tuple[QueryOutcome, ...]
+
+    def to_dict(self, include_outcomes: bool = False) -> dict[str, object]:
+        doc: dict[str, object] = {
+            "n_requests": self.n_requests,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "shed": self.shed,
+            "shed_fraction": self.shed_fraction,
+            "deadline_hit_rate": self.deadline_hit_rate,
+            "mean_quality": self.mean_quality,
+            "offered_qps": self.offered_qps,
+            "achieved_qps": self.achieved_qps,
+            "latency_p50": self.latency_p50,
+            "latency_p95": self.latency_p95,
+            "latency_p99": self.latency_p99,
+            "mean_queue_delay": self.mean_queue_delay,
+            "horizon": self.horizon,
+            "tenants": self.tenants,
+            "warm": self.warm,
+        }
+        if include_outcomes:
+            doc["outcomes"] = [o.as_dict() for o in self.outcomes]
+        return doc
+
+    def to_json(self, include_outcomes: bool = False) -> str:
+        return json.dumps(
+            self.to_dict(include_outcomes=include_outcomes),
+            sort_keys=True,
+            indent=2,
+        )
+
+
+class CedarServer:
+    """Long-lived serving frontend over a shared capacity pool."""
+
+    def __init__(
+        self,
+        offline_tree: Any,
+        config: Optional[ServeConfig] = None,
+        policy: Optional[WaitPolicy] = None,
+        backend: Optional[QueryBackend] = None,
+        store: Optional[WarmStartStore] = None,
+        tracer: Optional[SpanTracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.config = config if config is not None else ServeConfig()
+        self.offline_tree = offline_tree
+        self.store: Optional[WarmStartStore]
+        if policy is not None:
+            self.policy = policy
+            self.store = store
+        elif self.config.warm_start:
+            self.store = store if store is not None else WarmStartStore()
+            self.policy = CedarWarmPolicy(
+                store=self.store,
+                grid_points=self.config.grid_points,
+                warm_min_samples=self.config.warm_min_samples,
+            )
+        else:
+            self.store = None
+            self.policy = CedarPolicy(grid_points=self.config.grid_points)
+        self.backend: QueryBackend = (
+            backend
+            if backend is not None
+            else SimBackend(agg_sample=self.config.agg_sample)
+        )
+        self.tracer = tracer
+        self.metrics = metrics
+        # per-run state, rebuilt by run()
+        self._loop: EventLoop = EventLoop()
+        self._admission: AdmissionController = self._new_admission()
+        self._slo: SLOAccountant = SLOAccountant(metrics)
+        self._outcomes: dict[int, QueryOutcome] = {}
+        self._last_finish = 0.0
+
+    def _new_admission(self) -> AdmissionController:
+        cfg = self.config
+        return AdmissionController(
+            max_concurrent=cfg.max_concurrent,
+            max_queue=cfg.max_queue,
+            min_deadline_fraction=cfg.min_deadline_fraction,
+            service_time_guess=cfg.service_time_guess,
+            ewma_alpha=cfg.ewma_alpha,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, requests: Sequence[QueryRequest]) -> ServeReport:
+        """Serve ``requests`` (an open-loop arrival stream) to completion."""
+        order = sorted(requests, key=lambda r: (r.arrival, r.index))
+        self._loop = EventLoop()
+        self._admission = self._new_admission()
+        self._slo = SLOAccountant(self.metrics)
+        self._outcomes = {}
+        self._last_finish = 0.0
+        for request in order:
+            self._loop.schedule_at(
+                request.arrival,
+                (lambda r: lambda: self._on_arrival(r))(request),
+            )
+        self._loop.run()
+        return self._build_report(order)
+
+    # ------------------------------------------------------------------
+    def _on_arrival(self, request: QueryRequest) -> None:
+        now = self._loop.now
+        self._slo.record_arrival(request.tenant)
+        reason = self._admission.offer(request, now)
+        if reason is not None:
+            self._shed(request, now, reason)
+        else:
+            self._pump()
+        self._slo.record_queue_depth(self._admission.queue_depth)
+
+    def _pump(self) -> None:
+        """Dispatch queued requests while capacity slots are free."""
+        while True:
+            request = self._admission.pop_ready()
+            if request is None:
+                return
+            now = self._loop.now
+            if self._admission.stale(request, now):
+                self._shed(request, now, SHED_STALE)
+                continue
+            self._dispatch(request, now)
+
+    def _dispatch(self, request: QueryRequest, now: float) -> None:
+        tok = PROFILER.start()
+        cfg = self.config
+        remaining = request.arrival + request.deadline - now
+        occupancy = self._admission.running
+        self._admission.start()
+        slowdown = 1.0
+        if cfg.contention_coeff > 0.0 and occupancy > 0:
+            slowdown = 1.0 + cfg.contention_coeff * occupancy / cfg.max_concurrent
+        tree = request.tree
+        if slowdown > 1.0:
+            tree = tree.with_bottom(Scaled(tree.stages[0].duration, slowdown))
+        ctx = QueryContext(
+            deadline=remaining,
+            offline_tree=self.offline_tree,
+            true_tree=tree,
+        )
+        policy = self.policy
+        warm = False
+        if isinstance(policy, CedarWarmPolicy):
+            policy.current_key = request.workload_key
+            warm = policy.store.prior(request.workload_key) is not None
+        result = self.backend.run(
+            ctx,
+            policy,
+            request.seed,
+            self.tracer,
+            self.metrics,
+            {"query_index": request.index},
+        )
+        if isinstance(policy, CedarWarmPolicy):
+            policy.harvest()
+        PROFILER.stop("serve.dispatch", tok)
+        queue_delay = now - request.arrival
+        self._loop.schedule(
+            result.elapsed,
+            lambda: self._on_complete(request, result, queue_delay, slowdown, warm),
+        )
+
+    def _on_complete(
+        self,
+        request: QueryRequest,
+        result: BackendResult,
+        queue_delay: float,
+        slowdown: float,
+        warm: bool,
+    ) -> None:
+        finish = self._loop.now
+        self._admission.finish(result.elapsed)
+        # queue_delay + elapsed rather than finish - arrival: identical in
+        # exact arithmetic, but free of the float round-trip through
+        # absolute loop time — so at zero queue delay the latency equals
+        # the standalone simulator's elapsed bit-for-bit.
+        latency = queue_delay + result.elapsed
+        hit = latency <= request.deadline + 1e-9 and result.quality > 0.0
+        self._slo.record_completion(
+            request.tenant, latency, request.deadline, result.quality, hit
+        )
+        self._slo.record_queue_depth(self._admission.queue_depth)
+        if finish > self._last_finish:
+            self._last_finish = finish
+        self._outcomes[request.index] = QueryOutcome(
+            index=request.index,
+            tenant=request.tenant,
+            workload_key=request.workload_key,
+            arrival=request.arrival,
+            deadline=request.deadline,
+            admitted=True,
+            queue_delay=queue_delay,
+            slowdown=slowdown,
+            latency=latency,
+            quality=result.quality,
+            included_outputs=result.included_outputs,
+            total_outputs=result.total_outputs,
+            deadline_hit=hit,
+            warm=warm,
+        )
+        if self.tracer is not None:
+            self.tracer.add_span(
+                "request",
+                0,
+                None,
+                request.arrival,
+                finish,
+                tenant=request.tenant,
+                workload_key=request.workload_key,
+                query_index=request.index,
+                deadline=request.deadline,
+                admitted=True,
+                queue_delay=queue_delay,
+                slowdown=slowdown,
+                warm=warm,
+                latency=latency,
+                quality=result.quality,
+            )
+        self._pump()
+
+    def _shed(self, request: QueryRequest, now: float, reason: str) -> None:
+        self._slo.record_shed(request.tenant, reason)
+        self._outcomes[request.index] = QueryOutcome(
+            index=request.index,
+            tenant=request.tenant,
+            workload_key=request.workload_key,
+            arrival=request.arrival,
+            deadline=request.deadline,
+            admitted=False,
+            shed_reason=reason,
+        )
+        if self.tracer is not None:
+            self.tracer.add_span(
+                "request",
+                0,
+                None,
+                request.arrival,
+                now,
+                tenant=request.tenant,
+                workload_key=request.workload_key,
+                query_index=request.index,
+                deadline=request.deadline,
+                admitted=False,
+                shed_reason=reason,
+            )
+
+    # ------------------------------------------------------------------
+    def _build_report(self, order: list[QueryRequest]) -> ServeReport:
+        outcomes = tuple(self._outcomes[r.index] for r in order)
+        admitted = [o for o in outcomes if o.admitted]
+        shed = len(outcomes) - len(admitted)
+        latencies = [o.latency for o in admitted]
+        qualities = [o.quality for o in admitted]
+        hits = sum(1 for o in admitted if o.deadline_hit)
+        queue_delays = [o.queue_delay for o in admitted]
+        n = len(order)
+        offered_qps = 0.0
+        if n >= 2:
+            span = order[-1].arrival - order[0].arrival
+            if span > 0.0:
+                offered_qps = (n - 1) / span
+        horizon = 0.0
+        achieved_qps = 0.0
+        if order and admitted:
+            horizon = self._last_finish - order[0].arrival
+            if horizon > 0.0:
+                achieved_qps = len(admitted) / horizon
+
+        def pct(samples: list[float], q: float) -> float:
+            if not samples:
+                return 0.0
+            return float(np.percentile(np.asarray(samples, dtype=float), q))
+
+        return ServeReport(
+            n_requests=n,
+            admitted=len(admitted),
+            completed=len(admitted),
+            shed=shed,
+            shed_fraction=shed / n if n else 0.0,
+            deadline_hit_rate=hits / len(admitted) if admitted else 0.0,
+            mean_quality=float(np.mean(qualities)) if qualities else 0.0,
+            offered_qps=offered_qps,
+            achieved_qps=achieved_qps,
+            latency_p50=pct(latencies, 50.0),
+            latency_p95=pct(latencies, 95.0),
+            latency_p99=pct(latencies, 99.0),
+            mean_queue_delay=(
+                float(np.mean(queue_delays)) if queue_delays else 0.0
+            ),
+            horizon=horizon,
+            tenants=self._slo.rollup(),
+            warm=self.store.snapshot() if self.store is not None else {},
+            outcomes=outcomes,
+        )

@@ -1,0 +1,180 @@
+"""SLO accounting: per-tenant latency/quality/shed-rate rollups.
+
+The serving layer's contract is probabilistic ("p99 latency under D,
+mean quality above q, shed rate below s"), so the accountant keeps raw
+per-tenant samples and summarises them as percentiles at report time.
+Everything is also mirrored into a :class:`~repro.obs.MetricsRegistry`
+(when one is attached) under the ``serve_*`` families below, so a serve
+run exports the same Prometheus surface as the rest of the repo.
+
+The three ``SERVE_*`` constants are the subsystem's complete
+observability vocabulary; a test asserts they stay in sync with both the
+cedarlint ``KNOWN_*`` sets and the names actually emitted by this
+package.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..obs.metrics import FRACTION_BUCKETS, QUALITY_BUCKETS, MetricsRegistry
+
+__all__ = [
+    "SLOAccountant",
+    "SERVE_METRIC_NAMES",
+    "SERVE_SPAN_ATTRS",
+    "SERVE_PROFILE_SITES",
+]
+
+#: every metric family name repro.serve emits (without the namespace).
+SERVE_METRIC_NAMES = frozenset(
+    {
+        "serve_requests_total",
+        "serve_shed_total",
+        "serve_responses_total",
+        "serve_latency_fraction",
+        "serve_quality",
+        "serve_queue_depth",
+    }
+)
+
+#: every span attribute repro.serve sets on its "request" spans.
+SERVE_SPAN_ATTRS = frozenset(
+    {
+        "admitted",
+        "deadline",
+        "latency",
+        "quality",
+        "query_index",
+        "queue_delay",
+        "shed_reason",
+        "slowdown",
+        "tenant",
+        "warm",
+        "workload_key",
+    }
+)
+
+#: every profiler site repro.serve instruments.
+SERVE_PROFILE_SITES = frozenset(
+    {
+        "serve.admission.offer",
+        "serve.dispatch",
+        "serve.warmstart.observe",
+    }
+)
+
+
+class _TenantState:
+    __slots__ = ("arrivals", "shed", "shed_reasons", "latencies", "qualities", "hits")
+
+    def __init__(self) -> None:
+        self.arrivals = 0
+        self.shed = 0
+        self.shed_reasons: dict[str, int] = {}
+        self.latencies: list[float] = []
+        self.qualities: list[float] = []
+        self.hits = 0
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    return float(np.percentile(np.asarray(samples, dtype=float), q))
+
+
+class SLOAccountant:
+    """Accumulates per-tenant serving outcomes and rolls them up."""
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+        self._metrics = metrics
+        self._tenants: dict[str, _TenantState] = {}
+
+    def _tenant(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = self._tenants[tenant] = _TenantState()
+        return state
+
+    # ------------------------------------------------------------------
+    def record_arrival(self, tenant: str) -> None:
+        self._tenant(tenant).arrivals += 1
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter(
+                "serve_requests_total", help="requests offered to the server"
+            ).inc(tenant=tenant)
+
+    def record_shed(self, tenant: str, reason: str) -> None:
+        state = self._tenant(tenant)
+        state.shed += 1
+        state.shed_reasons[reason] = state.shed_reasons.get(reason, 0) + 1
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter(
+                "serve_shed_total", help="requests shed by admission control"
+            ).inc(tenant=tenant, reason=reason)
+
+    def record_completion(
+        self, tenant: str, latency: float, deadline: float, quality: float, hit: bool
+    ) -> None:
+        if deadline <= 0.0:
+            raise ConfigError(f"deadline must be positive, got {deadline}")
+        state = self._tenant(tenant)
+        state.latencies.append(float(latency))
+        state.qualities.append(float(quality))
+        if hit:
+            state.hits += 1
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter(
+                "serve_responses_total", help="responses returned, by outcome"
+            ).inc(tenant=tenant, hit="true" if hit else "false")
+            metrics.histogram(
+                "serve_latency_fraction",
+                buckets=FRACTION_BUCKETS,
+                help="response latency as a fraction of the deadline",
+            ).observe(min(1.0, latency / deadline), tenant=tenant)
+            metrics.histogram(
+                "serve_quality",
+                buckets=QUALITY_BUCKETS,
+                help="per-response quality at the serving layer",
+            ).observe(quality, tenant=tenant)
+
+    def record_queue_depth(self, depth: int) -> None:
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.gauge(
+                "serve_queue_depth", help="admitted requests waiting for a slot"
+            ).set(float(depth))
+
+    # ------------------------------------------------------------------
+    def rollup(self) -> dict[str, dict[str, object]]:
+        """Per-tenant SLO summary, deterministically ordered."""
+        out: dict[str, dict[str, object]] = {}
+        for tenant in sorted(self._tenants):
+            state = self._tenants[tenant]
+            completed = len(state.latencies)
+            out[tenant] = {
+                "arrivals": state.arrivals,
+                "admitted": state.arrivals - state.shed,
+                "completed": completed,
+                "shed": state.shed,
+                "shed_rate": state.shed / state.arrivals if state.arrivals else 0.0,
+                "shed_reasons": {
+                    reason: state.shed_reasons[reason]
+                    for reason in sorted(state.shed_reasons)
+                },
+                "deadline_hit_rate": state.hits / completed if completed else 0.0,
+                "mean_quality": (
+                    float(np.mean(state.qualities)) if state.qualities else 0.0
+                ),
+                "latency_p50": _percentile(state.latencies, 50.0),
+                "latency_p95": _percentile(state.latencies, 95.0),
+                "latency_p99": _percentile(state.latencies, 99.0),
+                "quality_p50": _percentile(state.qualities, 50.0),
+            }
+        return out

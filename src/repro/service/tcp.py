@@ -75,6 +75,7 @@ async def _run(
     chaos=None,
     tracer=None,
     metrics=None,
+    span_attrs=None,
 ) -> RealTimeQueryResult:
     tree = ctx.true_tree if ctx.true_tree is not None else ctx.offline_tree
     if tree.n_stages != 2:
@@ -217,7 +218,8 @@ async def _run(
     )
     if tracer is not None:
         _trace_tcp_query(
-            tracer, policy, deadline, servers, received_ids, result
+            tracer, policy, deadline, servers, received_ids, result,
+            span_attrs=span_attrs,
         )
     if metrics is not None:
         _record_tcp_metrics(
@@ -227,7 +229,7 @@ async def _run(
 
 
 def _trace_tcp_query(
-    tracer, policy, deadline, servers, received_ids, result
+    tracer, policy, deadline, servers, received_ids, result, span_attrs=None
 ) -> None:
     """Emit the span tree of one TCP query (virtual-clock times)."""
     from ..obs.span import (
@@ -249,6 +251,7 @@ def _trace_tcp_query(
         included_outputs=result.included_outputs,
         total_outputs=result.total_outputs,
         degraded=result.degraded,
+        **(span_attrs or {}),
     )
     query_span.end = result.elapsed_virtual
     from ..simulation.query import _estimate_params
@@ -348,6 +351,7 @@ def run_tcp_query(
     chaos=None,
     tracer=None,
     metrics=None,
+    span_attrs=None,
 ) -> RealTimeQueryResult:
     """Execute one query with every hop over localhost TCP.
 
@@ -356,10 +360,21 @@ def run_tcp_query(
     carries a ``degraded`` flag and per-failure counters either way.
     ``tracer``/``metrics`` (a :class:`repro.obs.SpanTracer` /
     :class:`repro.obs.MetricsRegistry`) record the span tree and
-    per-cause output accounting of the run.
+    per-cause output accounting of the run. ``span_attrs`` merges extra
+    attributes (e.g. a serving frontend's request index) into the query
+    span, mirroring :func:`repro.simulation.simulate_query`.
     """
     clock = Clock(time_scale=time_scale)
     rng = resolve_rng(seed)
     return asyncio.run(
-        _run(ctx, policy, clock, rng, chaos=chaos, tracer=tracer, metrics=metrics)
+        _run(
+            ctx,
+            policy,
+            clock,
+            rng,
+            chaos=chaos,
+            tracer=tracer,
+            metrics=metrics,
+            span_attrs=span_attrs,
+        )
     )

@@ -85,6 +85,10 @@ class QueryResult:
     #: number of top-level shipments that arrived at the root too late
     #: (their entire collected payload was discarded).
     late_at_root: int
+    #: virtual time at which the root's response was complete: the last
+    #: on-time arrival when everything made it, else the deadline (the
+    #: root cannot answer earlier — it must wait out stragglers).
+    elapsed: float = 0.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.quality <= 1.0:
@@ -310,16 +314,20 @@ def simulate_query(
     # ---- root: include shipments arriving by the deadline -------------
     included = 0
     late_count = 0
+    last_arrival = 0.0
     for idx, s in enumerate(shipments):
         on_time = s.arrival <= deadline
         if on_time:
             included += s.payload
+            if s.arrival > last_arrival:
+                last_arrival = s.arrival
         else:
             late_count += 1
         if tracer is not None:
             span_row[idx].attrs["root_verdict"] = (
                 CAUSE_INCLUDED if on_time else CAUSE_LATE_AT_ROOT
             )
+    elapsed = deadline if late_count > 0 else last_arrival
 
     total_simulated = simulated_bottom * k1
     quality = included / total_simulated if total_simulated else 0.0
@@ -359,4 +367,5 @@ def simulate_query(
         total_outputs=tree.total_processes,
         mean_stops=tuple(mean_stops),
         late_at_root=late_count,
+        elapsed=elapsed,
     )

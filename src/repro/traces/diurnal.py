@@ -56,6 +56,25 @@ class DiurnalWorkload:
         """The cycle's mu offset at query ``index``."""
         return self.amplitude * math.sin(2.0 * math.pi * index / self.period)
 
+    def rate_factor(self, index: int, rate_amplitude: float = 0.5) -> float:
+        """Arrival-rate multiplier at request ``index``.
+
+        Serving frontends see the same cycle twice: work gets heavier
+        (``phase_mu``) exactly when traffic peaks. This returns the
+        traffic side — a sinusoid in phase with the mu cycle, normalised
+        to mean 1 so a load generator's average offered rate is still
+        its nominal QPS. Clipped at 0.05 so the arrival process never
+        degenerates.
+        """
+        if rate_amplitude < 0.0:
+            raise TraceError(
+                f"rate_amplitude must be >= 0, got {rate_amplitude}"
+            )
+        factor = 1.0 + rate_amplitude * math.sin(
+            2.0 * math.pi * index / self.period
+        )
+        return max(0.05, factor)
+
     def sample_query(self, rng: np.random.Generator) -> TreeSpec:
         """Next query: base jitter plus the current point of the cycle."""
         offset = self.phase_mu(self._query_index)

@@ -84,3 +84,69 @@ class TestFitQuality:
         )
         tracker.observe_many(np.abs(Normal(50.0, 5.0).sample(300, seed=rng)))
         assert tracker.current_fit().family in ("normal", "uniform")
+
+
+class TestConcurrentObserve:
+    def test_threaded_observers_keep_counters_exact(self, rng):
+        """Eight threads hammer observe(); the lock must make the window
+        count and the refit cadence exactly what a serial run produces."""
+        import threading
+
+        tracker = DistributionTracker(
+            window=10_000, refit_every=100, min_samples=100
+        )
+        per_thread = 500
+        n_threads = 8
+        samples = LogNormal(2.0, 0.6).sample(per_thread * n_threads, seed=rng)
+        chunks = [
+            samples[i * per_thread : (i + 1) * per_thread]
+            for i in range(n_threads)
+        ]
+        barrier = threading.Barrier(n_threads)
+
+        def worker(chunk):
+            barrier.wait()
+            for value in chunk:
+                tracker.observe(float(value))
+
+        threads = [
+            threading.Thread(target=worker, args=(chunk,)) for chunk in chunks
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        total = per_thread * n_threads
+        assert tracker.n_samples == total
+        assert tracker.ready
+        # first fit lands at min_samples, then one per refit_every:
+        # 100, 200, ..., 4000 -> exactly 40 regardless of interleaving
+        assert tracker.n_refits == total // 100
+
+    def test_observe_many_batches_land_atomically(self, rng):
+        """Concurrent batch writers: every batch is all-or-nothing, so the
+        final window holds every duration from every batch."""
+        import threading
+
+        tracker = DistributionTracker(
+            window=10_000, refit_every=200, min_samples=50
+        )
+        batch = [float(x) for x in LogNormal(1.5, 0.4).sample(40, seed=rng)]
+        n_threads = 6
+        repeats = 20
+        barrier = threading.Barrier(n_threads)
+
+        def worker():
+            barrier.wait()
+            for _ in range(repeats):
+                tracker.observe_many(batch)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert tracker.n_samples == len(batch) * n_threads * repeats
+        assert tracker.ready

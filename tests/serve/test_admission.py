@@ -1,0 +1,202 @@
+"""Admission control: unit behaviour and the load-monotonicity property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TreeSpec
+from repro.distributions import LogNormal
+from repro.errors import ConfigError
+from repro.serve import (
+    SHED_INFEASIBLE,
+    SHED_QUEUE_FULL,
+    SHED_STALE,
+    AdmissionController,
+    CedarServer,
+    FixedServiceBackend,
+    LoadGenerator,
+    QueryRequest,
+    ServeConfig,
+    pinned_config,
+    pinned_workload,
+)
+
+TREE = TreeSpec.two_level(LogNormal(1.0, 0.5), 3, LogNormal(0.5, 0.3), 2)
+
+
+def _request(index, arrival, deadline=100.0):
+    return QueryRequest(
+        index=index, arrival=arrival, deadline=deadline, tree=TREE, seed=index
+    )
+
+
+class TestOfferAndShed:
+    def test_admits_below_capacity(self):
+        ctl = AdmissionController(max_concurrent=2, max_queue=2)
+        assert ctl.offer(_request(0, 0.0), 0.0) is None
+        assert ctl.queue_depth == 1
+
+    def test_queue_full(self):
+        ctl = AdmissionController(max_concurrent=1, max_queue=1)
+        assert ctl.offer(_request(0, 0.0), 0.0) is None
+        ctl.pop_ready()
+        ctl.start()
+        assert ctl.offer(_request(1, 0.0), 0.0) is None  # fills the queue
+        assert ctl.offer(_request(2, 0.0), 0.0) == SHED_QUEUE_FULL
+
+    def test_infeasible_when_predicted_wait_eats_deadline(self):
+        # one slot busy, 90-unit service estimate: a waiting request is
+        # predicted to start with 10 of its 100 units left (< 0.3 floor).
+        ctl = AdmissionController(
+            max_concurrent=1,
+            max_queue=4,
+            min_deadline_fraction=0.3,
+            service_time_guess=90.0,
+        )
+        ctl.offer(_request(0, 0.0), 0.0)
+        ctl.pop_ready()
+        ctl.start()
+        assert ctl.offer(_request(1, 0.0), 0.0) == SHED_INFEASIBLE
+
+    def test_no_estimate_is_optimistic(self):
+        ctl = AdmissionController(max_concurrent=1, max_queue=4)
+        ctl.offer(_request(0, 0.0), 0.0)
+        ctl.pop_ready()
+        ctl.start()
+        # without a service estimate the predicted wait is zero
+        assert ctl.offer(_request(1, 0.0), 0.0) is None
+
+    def test_stale_at_dispatch(self):
+        ctl = AdmissionController(
+            max_concurrent=1, max_queue=4, min_deadline_fraction=0.5
+        )
+        req = _request(0, 0.0, deadline=100.0)
+        assert not ctl.stale(req, 40.0)
+        assert ctl.stale(req, 60.0)  # 40 left < 50 floor
+        assert ctl.stale(req, 150.0)  # budget gone entirely
+
+    def test_ewma_update(self):
+        ctl = AdmissionController(
+            max_concurrent=1, max_queue=1, service_time_guess=10.0, ewma_alpha=0.2
+        )
+        ctl.offer(_request(0, 0.0), 0.0)
+        ctl.pop_ready()
+        ctl.start()
+        ctl.finish(20.0)
+        assert ctl.service_estimate == pytest.approx(0.8 * 10.0 + 0.2 * 20.0)
+
+    def test_first_observation_sets_estimate(self):
+        ctl = AdmissionController(max_concurrent=1, max_queue=1)
+        assert ctl.service_estimate is None
+        ctl.offer(_request(0, 0.0), 0.0)
+        ctl.pop_ready()
+        ctl.start()
+        ctl.finish(7.0)
+        assert ctl.service_estimate == 7.0
+
+    def test_slot_accounting_errors(self):
+        ctl = AdmissionController(max_concurrent=1, max_queue=1)
+        with pytest.raises(ConfigError):
+            ctl.finish(1.0)
+        ctl.start()
+        with pytest.raises(ConfigError):
+            ctl.start()
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AdmissionController(max_concurrent=0, max_queue=1)
+        with pytest.raises(ConfigError):
+            AdmissionController(max_concurrent=1, max_queue=-1)
+        with pytest.raises(ConfigError):
+            AdmissionController(max_concurrent=1, max_queue=1, min_deadline_fraction=1.0)
+        with pytest.raises(ConfigError):
+            AdmissionController(max_concurrent=1, max_queue=1, ewma_alpha=0.0)
+        with pytest.raises(ConfigError):
+            AdmissionController(max_concurrent=1, max_queue=1, service_time_guess=-1.0)
+
+
+class TestServerShedReasons:
+    def test_stale_shed_on_dispatch(self):
+        """A long first query leaves the queued one with a stale budget."""
+        cfg = ServeConfig(
+            max_concurrent=1,
+            max_queue=4,
+            min_deadline_fraction=0.5,
+            service_time_guess=1.0,  # optimistic: admits the doomed request
+            warm_start=False,
+        )
+        server = CedarServer(
+            offline_tree=TREE, config=cfg, backend=FixedServiceBackend(30.0)
+        )
+        requests = [_request(0, 0.0, deadline=35.0), _request(1, 1.0, deadline=35.0)]
+        report = server.run(requests)
+        assert report.outcomes[0].admitted
+        assert report.outcomes[1].shed_reason == SHED_STALE
+
+
+# ----------------------------------------------------------------------
+# Monotonicity property: more offered load can only shed more.
+#
+# Regime chosen so the claim is exact: constant service times with a
+# pinned estimate (no EWMA drift — every completion observes exactly
+# SERVICE), a deadline far beyond the horizon, and a zero feasibility
+# floor, leaving queue_full as the only shed reason. The server is then
+# a deterministic FIFO c-server queue, where adding requests delays
+# every dispatch weakly — so the queue is pointwise no shorter and every
+# request shed in the base stream is shed in the superposed one too.
+SERVICE = 10.0
+
+_gaps = st.lists(
+    st.floats(min_value=0.01, max_value=25.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=20,
+)
+
+
+def _shed_count(arrivals):
+    cfg = ServeConfig(
+        max_concurrent=2,
+        max_queue=2,
+        min_deadline_fraction=0.0,
+        contention_coeff=0.0,
+        service_time_guess=SERVICE,
+        warm_start=False,
+    )
+    server = CedarServer(
+        offline_tree=TREE, config=cfg, backend=FixedServiceBackend(SERVICE)
+    )
+    requests = [
+        _request(i, arrival, deadline=1e6) for i, arrival in enumerate(arrivals)
+    ]
+    return server.run(requests).shed
+
+
+@given(base=_gaps, extra=_gaps)
+@settings(max_examples=60, deadline=None)
+def test_shedding_monotone_in_offered_load(base, extra):
+    base_arrivals = list(np.cumsum(base))
+    extra_arrivals = list(np.cumsum(extra))
+    merged = sorted(base_arrivals + extra_arrivals)
+    assert _shed_count(merged) >= _shed_count(base_arrivals)
+
+
+def test_shed_fraction_monotone_on_pinned_ladder():
+    """The full admission stack (EWMA, feasibility floor, staleness) on
+    the benchmark's pinned workload: shed fraction rises with load."""
+    workload = pinned_workload()
+    offline = workload.offline_tree()
+    fractions = []
+    for qps in (0.02, 0.08, 0.25):
+        generator = LoadGenerator(
+            workload=workload,
+            qps=qps,
+            n_requests=40,
+            deadline=60.0,
+            seed=2608,
+            rate_amplitude=0.5,
+        )
+        server = CedarServer(offline_tree=offline, config=pinned_config())
+        fractions.append(server.run(generator.generate()).shed_fraction)
+    assert fractions == sorted(fractions)
+    assert fractions[-1] > fractions[0]

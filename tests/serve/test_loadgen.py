@@ -1,0 +1,106 @@
+"""Open-loop load generation: determinism, modulation, validation."""
+
+import pytest
+
+from repro.errors import ConfigError, TraceError
+from repro.serve import LoadGenerator
+from repro.serve.bench import pinned_workload
+
+
+class _PlainWorkload:
+    """Minimal traces protocol: no rate_factor, no name."""
+
+    def sample_query(self, rng):
+        return pinned_workload().offline_tree()
+
+    def offline_tree(self):
+        return pinned_workload().offline_tree()
+
+
+def _generator(**kwargs):
+    defaults = dict(
+        workload=pinned_workload(),
+        qps=0.05,
+        n_requests=12,
+        deadline=60.0,
+        seed=3,
+        rate_amplitude=0.5,
+    )
+    defaults.update(kwargs)
+    return LoadGenerator(**defaults)
+
+
+class TestDeterminism:
+    def test_generate_is_idempotent(self):
+        generator = _generator()
+        first = generator.generate()
+        second = generator.generate()
+        assert [r.arrival for r in first] == [r.arrival for r in second]
+        assert [r.seed for r in first] == [r.seed for r in second]
+        assert [r.tree for r in first] == [r.tree for r in second]
+
+    def test_seed_changes_stream(self):
+        first = _generator(seed=1).generate()
+        second = _generator(seed=2).generate()
+        assert [r.arrival for r in first] != [r.arrival for r in second]
+
+    def test_arrivals_strictly_increasing(self):
+        arrivals = [r.arrival for r in _generator().generate()]
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+
+
+class TestModulation:
+    def test_rate_modulation_changes_spacing(self):
+        flat = _generator(rate_amplitude=0.0).generate()
+        modulated = _generator(rate_amplitude=0.9).generate()
+        assert [r.arrival for r in flat] != [r.arrival for r in modulated]
+
+    def test_rate_factor_in_phase_with_cycle(self):
+        workload = pinned_workload()
+        factors = [workload.rate_factor(i, 0.5) for i in range(workload.period)]
+        assert max(factors) > 1.0
+        assert min(factors) < 1.0
+        assert all(f >= 0.05 for f in factors)
+
+    def test_rate_factor_rejects_negative_amplitude(self):
+        with pytest.raises(TraceError):
+            pinned_workload().rate_factor(0, -0.5)
+
+    def test_amplitude_needs_diurnal_workload(self):
+        with pytest.raises(ConfigError):
+            _generator(workload=_PlainWorkload(), rate_amplitude=0.5)
+
+    def test_plain_workload_without_modulation(self):
+        requests = _generator(
+            workload=_PlainWorkload(), rate_amplitude=0.0
+        ).generate()
+        assert len(requests) == 12
+        assert requests[0].workload_key == "default"
+
+
+class TestMetadata:
+    def test_tenants_round_robin(self):
+        requests = _generator(tenants=("a", "b", "c")).generate()
+        assert [r.tenant for r in requests[:6]] == ["a", "b", "c", "a", "b", "c"]
+
+    def test_workload_key_defaults_to_name(self):
+        requests = _generator().generate()
+        assert all(r.workload_key == "diurnal" for r in requests)
+
+    def test_workload_key_override(self):
+        requests = _generator(workload_key="custom").generate()
+        assert all(r.workload_key == "custom" for r in requests)
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            _generator(qps=0.0)
+        with pytest.raises(ConfigError):
+            _generator(n_requests=0)
+        with pytest.raises(ConfigError):
+            _generator(deadline=0.0)
+        with pytest.raises(ConfigError):
+            _generator(tenants=())
+        with pytest.raises(ConfigError):
+            _generator(rate_amplitude=-0.1)

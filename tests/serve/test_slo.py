@@ -1,0 +1,81 @@
+"""SLO accounting: per-tenant rollups and the metrics mirror."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import MetricsRegistry
+from repro.serve import SLOAccountant
+
+
+def _loaded_accountant(metrics=None):
+    slo = SLOAccountant(metrics)
+    for _ in range(4):
+        slo.record_arrival("a")
+    slo.record_arrival("b")
+    slo.record_shed("a", "queue_full")
+    slo.record_completion("a", latency=10.0, deadline=60.0, quality=0.9, hit=True)
+    slo.record_completion("a", latency=50.0, deadline=60.0, quality=0.5, hit=True)
+    slo.record_completion("a", latency=70.0, deadline=60.0, quality=0.2, hit=False)
+    slo.record_completion("b", latency=5.0, deadline=60.0, quality=1.0, hit=True)
+    slo.record_queue_depth(2)
+    return slo
+
+
+class TestRollup:
+    def test_per_tenant_counts(self):
+        rollup = _loaded_accountant().rollup()
+        assert sorted(rollup) == ["a", "b"]
+        a = rollup["a"]
+        assert a["arrivals"] == 4
+        assert a["admitted"] == 3
+        assert a["completed"] == 3
+        assert a["shed"] == 1
+        assert a["shed_rate"] == pytest.approx(0.25)
+        assert a["shed_reasons"] == {"queue_full": 1}
+        assert a["deadline_hit_rate"] == pytest.approx(2.0 / 3.0)
+
+    def test_percentiles_match_numpy(self):
+        a = _loaded_accountant().rollup()["a"]
+        latencies = [10.0, 50.0, 70.0]
+        assert a["latency_p50"] == pytest.approx(np.percentile(latencies, 50))
+        assert a["latency_p95"] == pytest.approx(np.percentile(latencies, 95))
+        assert a["latency_p99"] == pytest.approx(np.percentile(latencies, 99))
+        assert a["mean_quality"] == pytest.approx(np.mean([0.9, 0.5, 0.2]))
+        assert a["quality_p50"] == pytest.approx(0.5)
+
+    def test_empty_tenant_free(self):
+        assert SLOAccountant().rollup() == {}
+
+    def test_bad_deadline_rejected(self):
+        with pytest.raises(ConfigError):
+            SLOAccountant().record_completion(
+                "a", latency=1.0, deadline=0.0, quality=1.0, hit=True
+            )
+
+
+class TestMetricsMirror:
+    def test_families_exported(self):
+        metrics = MetricsRegistry()
+        _loaded_accountant(metrics)
+        doc = json.loads(metrics.render_json())
+        assert doc["cedar_serve_requests_total"]["type"] == "counter"
+        assert doc["cedar_serve_shed_total"]["type"] == "counter"
+        assert doc["cedar_serve_responses_total"]["type"] == "counter"
+        assert doc["cedar_serve_latency_fraction"]["type"] == "histogram"
+        assert doc["cedar_serve_quality"]["type"] == "histogram"
+        assert doc["cedar_serve_queue_depth"]["type"] == "gauge"
+
+    def test_hit_label_partitions_responses(self):
+        metrics = MetricsRegistry()
+        _loaded_accountant(metrics)
+        text = metrics.render_prometheus()
+        assert 'cedar_serve_responses_total{hit="true",tenant="a"} 2' in text
+        assert 'cedar_serve_responses_total{hit="false",tenant="a"} 1' in text
+
+    def test_no_registry_is_fine(self):
+        # pure-rollup mode: nothing raised, nothing exported
+        slo = _loaded_accountant(None)
+        assert slo.rollup()["b"]["completed"] == 1

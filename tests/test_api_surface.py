@@ -27,6 +27,7 @@ class TestTopLevelExports:
         import repro.experiments
         import repro.obs
         import repro.orderstats
+        import repro.serve
         import repro.service
         import repro.simulation
         import repro.traces
@@ -39,6 +40,7 @@ class TestTopLevelExports:
             repro.experiments,
             repro.obs,
             repro.orderstats,
+            repro.serve,
             repro.service,
             repro.simulation,
             repro.traces,

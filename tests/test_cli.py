@@ -227,3 +227,34 @@ class TestChaosCommand:
         (root,) = build_tree(read_trace(trace_path))
         assert root.span.attrs["transport"] == "tcp"
         assert len(root.children) == 3  # one span per aggregator
+
+
+class TestServeBenchCommand:
+    def test_smoke_to_file(self, tmp_path, capsys):
+        out_path = tmp_path / "serve.json"
+        assert main(["serve-bench", "--smoke", "--out", str(out_path)]) == 0
+        assert "wrote serve bench" in capsys.readouterr().out
+        import json
+
+        doc = json.loads(out_path.read_text())
+        assert doc["bench"] == "serve"
+        assert len(doc["points"]) == 3
+        assert "warm_start" in doc
+        for point in doc["points"]:
+            assert 0.0 <= point["shed_fraction"] <= 1.0
+
+    def test_custom_qps_ladder(self, capsys):
+        assert (
+            main(
+                ["serve-bench", "--smoke", "--qps", "0.02", "--qps", "0.3"]
+            )
+            == 0
+        )
+        import json
+
+        doc = json.loads(capsys.readouterr().out)
+        assert [p["offered_qps"] for p in doc["points"]] == [0.02, 0.3]
+
+    def test_bad_qps(self, capsys):
+        assert main(["serve-bench", "--smoke", "--qps", "-1"]) == 1
+        assert "error" in capsys.readouterr().err
