@@ -1,0 +1,104 @@
+"""Chaos-serving bench: the fault × drift robustness trajectory.
+
+Regenerates the pinned ``run_chaos_serve_bench()`` document (fault-rate
+ladder 0 / 0.05 / 0.15 crossed with a mid-run regime shift, seed 2608)
+and asserts the three chaos-hardening guarantees plus the committed
+snapshot:
+
+* zero-rate chaos is free — a serve run with an all-null fault schedule
+  and the degrade controller attached is *bit-identical* to a plain one;
+* graceful degradation keeps its promise — the dedicated brownout
+  scenario serves its brownout-dispatched completions at a deadline-hit
+  rate >= 0.99, the breaker opens during the annihilation storm, and
+  every refused arrival carries the ``circuit_open`` reason;
+* drift reaches the warm store — the regime shift triggers warm-prior
+  resets while the driftless control run triggers none;
+* the regenerated document is byte-identical to the committed
+  ``benchmarks/BENCH_chaos_serve.json`` (refresh it deliberately with
+  ``cedar-repro serve-bench --chaos --out benchmarks/BENCH_chaos_serve.json``).
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.serve import run_chaos_serve_bench, smoke_chaos_spec
+
+from .conftest import OUTPUT_DIR, run_once
+
+EXPECTED_PATH = pathlib.Path(__file__).parent / "BENCH_chaos_serve.json"
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return run_chaos_serve_bench()
+
+
+def test_chaos_serve_bench(benchmark):
+    """Time the CI-sized smoke sweep (the full sweep runs in the fixture)."""
+    result = run_once(
+        benchmark, lambda: run_chaos_serve_bench(**smoke_chaos_spec())
+    )
+    assert result["zero_rate_bit_identical"] is True
+
+
+def test_zero_rate_chaos_is_bit_identical(doc):
+    assert doc["zero_rate_bit_identical"] is True
+
+
+def test_every_cell_ran_both_arms(doc):
+    assert len(doc["cells"]) == 2 * len(doc["fault_rates"])
+    for cell in doc["cells"]:
+        for arm in ("cedar", "hedging"):
+            assert cell[arm]["completed"] > 0
+    # the policies only diverge when faults actually fire: at rate zero
+    # the hedging bar never trips and both arms serve identical answers
+    for cell in doc["cells"]:
+        if cell["fault_rate"] == 0.0:
+            assert cell["quality_edge"] == 0.0
+
+
+def test_hedging_baseline_actually_hedges(doc):
+    faulty = [c for c in doc["cells"] if c["fault_rate"] > 0.0]
+    assert faulty
+    for cell in faulty:
+        assert cell["hedging"]["hedge_reissued"] > 0
+    assert any(c["hedging"]["hedge_wins"] > 0 for c in faulty)
+    # Cedar's failure-aware replanning never hedges
+    for cell in doc["cells"]:
+        assert cell["cedar"]["hedge_reissued"] == 0
+
+
+def test_brownout_holds_the_widened_deadline(doc):
+    brown = doc["brownout"]
+    assert brown["engaged"] is True
+    assert brown["brownout_completions"] > 0
+    assert brown["brownout_hit_rate"] >= 0.99
+    assert brown["breaker_opens"] > 0
+    assert brown["shed_circuit_open"] > 0
+    assert brown["mode_transitions"]  # the run explains itself
+
+
+def test_drift_reaches_the_warm_store(doc):
+    warm = doc["warm_drift"]
+    assert warm["resets_with_drift"] > 0
+    assert warm["resets_without_drift"] == 0
+
+
+def test_bit_identical_across_runs():
+    spec = smoke_chaos_spec()
+    first = json.dumps(run_chaos_serve_bench(**spec), sort_keys=True)
+    second = json.dumps(run_chaos_serve_bench(**spec), sort_keys=True)
+    assert first == second
+
+
+def test_matches_committed_snapshot(doc):
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    regenerated = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    (OUTPUT_DIR / "BENCH_chaos_serve.json").write_text(regenerated)
+    committed = EXPECTED_PATH.read_text()
+    assert regenerated == committed, (
+        "chaos-serving trajectory moved; inspect benchmarks/output/"
+        "BENCH_chaos_serve.json and refresh BENCH_chaos_serve.json if intended"
+    )

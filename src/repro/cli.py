@@ -21,6 +21,9 @@ Examples::
     cedar-repro serve-bench --out serve.json
     cedar-repro serve-bench --smoke --out serve_smoke.json
     cedar-repro serve-bench --qps 0.05 --qps 0.2 --requests 100 --seed 7
+    cedar-repro serve-bench --chaos --out chaos_serve.json
+    cedar-repro chaos --serve --deadline 60 --mu1 3.0 --sigma1 0.8 \
+        --mu2 2.2 --sigma2 0.35 --k1 4 --k2 8 --kill 0.1 --drop 0.05
 """
 
 from __future__ import annotations
@@ -104,10 +107,29 @@ def _build_parser() -> argparse.ArgumentParser:
 
     chaos_p = sub.add_parser(
         "chaos",
-        help="run one query over live TCP with fault injection",
+        help="run one query over live TCP with fault injection "
+        "(or, with --serve, a whole fault-injected serve run)",
     )
     chaos_p.add_argument("--deadline", type=float, required=True)
     _add_tree_args(chaos_p)
+    chaos_p.add_argument(
+        "--serve",
+        action="store_true",
+        help="serve an open-loop request stream through a fault-injected "
+        "CedarServer (with graceful degradation) instead of one TCP query",
+    )
+    chaos_p.add_argument(
+        "--serve-requests",
+        type=int,
+        default=40,
+        help="requests in the --serve stream",
+    )
+    chaos_p.add_argument(
+        "--serve-qps",
+        type=float,
+        default=0.05,
+        help="offered load of the --serve stream (queries/unit)",
+    )
     chaos_p.add_argument(
         "--policy",
         choices=("cedar", "cedar-failure-aware", "proportional-split"),
@@ -224,6 +246,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="shrunk sweep for CI smoke jobs (finishes in seconds)",
+    )
+    serve_p.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run the fault x drift chaos sweep instead of the QPS sweep "
+        "(pinned scenario sizes; --qps/--requests/--no-warm are ignored)",
     )
     serve_p.add_argument(
         "--qps",
@@ -406,6 +434,94 @@ def _cmd_dual(args) -> int:
     return 0
 
 
+def _cmd_chaos_serve(args) -> int:
+    """``chaos --serve``: a whole fault-injected serve run, virtual time.
+
+    The TCP flags map onto the simulation fault model: ``--kill`` becomes
+    the worker-crash probability, ``--drop`` the shipment-loss
+    probability, and ``--delay-prob`` the straggler probability (with a
+    fixed 3x straggler factor; ``--delay`` and ``--corrupt`` have no
+    simulation-side equivalent and are ignored here).
+    """
+    from .core import (
+        CedarFailureAwarePolicy,
+        CedarPolicy,
+        ProportionalSplitPolicy,
+    )
+    from .errors import ConfigError
+    from .faults import FaultModel
+    from .serve import (
+        CedarServer,
+        DegradeConfig,
+        FaultSchedule,
+        FixedWorkload,
+        LoadGenerator,
+        ServeConfig,
+    )
+
+    tree = _tree_from_args(args)
+    try:
+        model = FaultModel(
+            worker_crash_prob=args.kill,
+            ship_loss_prob=args.drop,
+            straggler_prob=args.delay_prob,
+            straggler_factor=3.0 if args.delay_prob > 0.0 else 1.0,
+        )
+        schedule = FaultSchedule(base=model)
+        if args.policy == "cedar":
+            policy = CedarPolicy(grid_points=args.grid_points)
+        elif args.policy == "cedar-failure-aware":
+            policy = CedarFailureAwarePolicy.from_fault_model(
+                model, grid_points=args.grid_points
+            )
+        else:
+            policy = ProportionalSplitPolicy()
+        config = ServeConfig(
+            grid_points=args.grid_points,
+            faults=schedule,
+            degrade=DegradeConfig(),
+        )
+        requests = LoadGenerator(
+            workload=FixedWorkload(tree),
+            qps=args.serve_qps,
+            n_requests=args.serve_requests,
+            deadline=args.deadline,
+            seed=args.seed,
+        ).generate()
+        server = CedarServer(
+            offline_tree=tree, config=config, policy=policy
+        )
+        report = server.run(requests)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    chaos = report.chaos
+    print(f"requests:             {len(requests)}")
+    print(f"admitted:             {report.admitted}")
+    print(f"completed:            {report.completed}")
+    print(f"shed:                 {report.shed} ({report.shed_fraction:.2%})")
+    print(f"deadline hit rate:    {report.deadline_hit_rate:.4f}")
+    print(f"mean quality:         {report.mean_quality:.4f}")
+    print(f"latency p95:          {report.latency_p95:.1f}")
+    print(f"degraded completions: {chaos['degraded']}")
+    print(f"retries:              {chaos['retries']}")
+    print(f"brownout completions: {chaos['brownout_completions']}")
+    print(f"final mode:           {chaos['final_mode']}")
+    transitions = chaos["mode_transitions"]
+    assert isinstance(transitions, list)
+    for event in transitions:
+        print(
+            f"  t={event['time']:8.1f}  {event['previous']} -> "
+            f"{event['mode']}  ({event['reason']})"
+        )
+    if args.trace_out is not None or args.metrics_out is not None:
+        print(
+            "note: --trace-out/--metrics-out apply to the TCP mode only",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     from .core import (
         CedarFailureAwarePolicy,
@@ -417,6 +533,8 @@ def _cmd_chaos(args) -> int:
     from .faults import ChaosTransport
     from .service import run_tcp_query
 
+    if args.serve:
+        return _cmd_chaos_serve(args)
     tree = _tree_from_args(args)
     if args.policy == "cedar":
         policy = CedarPolicy(grid_points=args.grid_points)
@@ -577,10 +695,27 @@ def _cmd_serve_bench(args) -> int:
     import json
 
     from .errors import ConfigError
-    from .serve import run_serve_bench, smoke_bench_spec
+    from .serve import (
+        run_chaos_serve_bench,
+        run_serve_bench,
+        smoke_bench_spec,
+        smoke_chaos_spec,
+    )
 
     try:
-        if args.smoke:
+        if args.chaos:
+            if args.smoke:
+                doc = run_chaos_serve_bench(
+                    deadline=args.deadline,
+                    seed=args.seed,
+                    **smoke_chaos_spec(),
+                )
+            else:
+                doc = run_chaos_serve_bench(
+                    deadline=args.deadline,
+                    seed=args.seed,
+                )
+        elif args.smoke:
             spec = smoke_bench_spec()
             doc = run_serve_bench(
                 qps_points=args.qps if args.qps else spec["qps_points"],

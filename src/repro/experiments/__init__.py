@@ -6,6 +6,7 @@ experiment ids to their entry points for the CLI and benchmarks.
 """
 
 from . import (
+    chaos_serving,
     fig04_bing_rtt,
     fig06_potential,
     fig07_quality,
@@ -49,6 +50,7 @@ ALL = {
     "fig17": fig17_gaussian.run,
     "robustness": robustness.run,
     "serving": serving.run,
+    "chaos-serving": chaos_serving.run,
 }
 
 __all__ = [

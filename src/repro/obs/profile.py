@@ -35,7 +35,9 @@ KNOWN_PROFILE_SITES = frozenset(
         "core.wait_table.lookup",
         "estimation.streaming.estimate",
         "serve.admission.offer",
+        "serve.degrade.decide",
         "serve.dispatch",
+        "serve.hedge.query",
         "serve.warmstart.observe",
     }
 )

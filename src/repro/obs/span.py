@@ -69,6 +69,7 @@ CAUSE_NEVER_ARRIVED = "never_arrived"
 KNOWN_SPAN_ATTRS = frozenset(
     {
         "admitted",
+        "brownout",
         "cause",
         "collected",
         "crashed",
@@ -83,6 +84,7 @@ KNOWN_SPAN_ATTRS = frozenset(
         "failed_domains",
         "fault",
         "faulty",
+        "hedge_wins",
         "included",
         "included_outputs",
         "index",
@@ -90,11 +92,15 @@ KNOWN_SPAN_ATTRS = frozenset(
         "latency",
         "lost_shipments",
         "malformed_lines",
+        "mode",
         "n_arrived",
         "policy",
         "quality",
         "query_index",
         "queue_delay",
+        "reason",
+        "reissued",
+        "retries",
         "root_verdict",
         "shed_reason",
         "ship_arrival",

@@ -17,9 +17,22 @@ that layer:
 * :class:`SLOAccountant` — per-tenant latency/quality/shed-rate rollups
   exported through :mod:`repro.obs`;
 * :class:`LoadGenerator` — open-loop Poisson arrivals, optionally
-  modulated by a :class:`~repro.traces.DiurnalWorkload` cycle;
+  modulated by a :class:`~repro.traces.DiurnalWorkload` cycle, with
+  optional mid-run regime shifts (:class:`DriftSpec`);
 * :func:`run_serve_bench` — the QPS sweep behind
   ``cedar-repro serve-bench``.
+
+Chaos hardening (the serve path under performance variations, the
+paper's core threat model, plus outright faults):
+
+* :class:`FaultSchedule` / :class:`FaultyBackend` — time-varying fault
+  injection on the serve path (zero rates are bit-identical to none);
+* :class:`HedgingPolicy` — the tail-tolerant hedged-request baseline
+  Cedar is raced against under identical seeded fault schedules;
+* :class:`DegradeController` — retry budgets, circuit breaker, brownout:
+  every shed/degrade decision carries an explicit reason;
+* :func:`run_chaos_serve_bench` — the fault x drift sweep behind
+  ``cedar-repro serve-bench --chaos``.
 
 Everything runs in virtual time: a serve run on a fixed seed is
 bit-identical across repeats, and at vanishing load it reproduces
@@ -38,7 +51,33 @@ from .bench import (
     run_serve_bench,
     smoke_bench_spec,
 )
-from .loadgen import LoadGenerator
+from .chaos import FaultSchedule, FaultWindow, FaultyBackend
+from .chaosbench import (
+    brownout_schedule,
+    pinned_degrade_config,
+    pinned_drift,
+    pinned_fault_schedule,
+    pinned_hedging_config,
+    run_chaos_serve_bench,
+    smoke_chaos_spec,
+)
+from .degrade import (
+    MODE_BROWNOUT,
+    MODE_CIRCUIT_OPEN,
+    MODE_HEALTHY,
+    MODE_PROBING,
+    SHED_CIRCUIT_OPEN,
+    DegradeConfig,
+    DegradeController,
+    ModeTransition,
+)
+from .hedging import (
+    HedgedQueryResult,
+    HedgingConfig,
+    HedgingPolicy,
+    simulate_query_hedged,
+)
+from .loadgen import DriftSpec, FixedWorkload, LoadGenerator
 from .request import QueryOutcome, QueryRequest, ServeConfig
 from .server import (
     BackendResult,
@@ -61,13 +100,29 @@ __all__ = [
     "BackendResult",
     "CedarServer",
     "CedarWarmPolicy",
+    "DegradeConfig",
+    "DegradeController",
+    "DriftSpec",
+    "FaultSchedule",
+    "FaultWindow",
+    "FaultyBackend",
     "FixedServiceBackend",
+    "FixedWorkload",
+    "HedgedQueryResult",
+    "HedgingConfig",
+    "HedgingPolicy",
     "LoadGenerator",
+    "MODE_BROWNOUT",
+    "MODE_CIRCUIT_OPEN",
+    "MODE_HEALTHY",
+    "MODE_PROBING",
+    "ModeTransition",
     "QueryOutcome",
     "QueryRequest",
     "SERVE_METRIC_NAMES",
     "SERVE_PROFILE_SITES",
     "SERVE_SPAN_ATTRS",
+    "SHED_CIRCUIT_OPEN",
     "SHED_INFEASIBLE",
     "SHED_QUEUE_FULL",
     "SHED_STALE",
@@ -77,8 +132,16 @@ __all__ = [
     "SimBackend",
     "TcpBackend",
     "WarmStartStore",
+    "brownout_schedule",
     "pinned_config",
+    "pinned_degrade_config",
+    "pinned_drift",
+    "pinned_fault_schedule",
+    "pinned_hedging_config",
     "pinned_workload",
+    "run_chaos_serve_bench",
     "run_serve_bench",
+    "simulate_query_hedged",
     "smoke_bench_spec",
+    "smoke_chaos_spec",
 ]

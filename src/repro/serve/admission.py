@@ -73,6 +73,14 @@ class AdmissionController:
         self.max_concurrent = int(max_concurrent)
         self.max_queue = int(max_queue)
         self.min_deadline_fraction = float(min_deadline_fraction)
+        #: brownout hooks (set by the degrade controller's owner): the
+        #: effective deadline is ``deadline * deadline_scale`` and the
+        #: feasibility floor is relaxed by ``floor_scale``. Both 1.0 in
+        #: normal operation — multiplying by exactly 1.0 keeps the float
+        #: arithmetic, and therefore every decision, bit-identical to a
+        #: server without a degrade controller.
+        self.deadline_scale = 1.0
+        self.floor_scale = 1.0
         self._ewma_alpha = float(ewma_alpha)
         self._service_est: Optional[float] = service_time_guess
         self._queue: deque[QueryRequest] = deque()
@@ -109,9 +117,10 @@ class AdmissionController:
             # this request will have to wait for a slot
             if len(self._queue) >= self.max_queue:
                 return SHED_QUEUE_FULL
+            deadline = request.deadline * self.deadline_scale
             est_wait = self._predicted_wait(waiters_ahead + 1)
-            remaining = request.deadline - est_wait
-            if remaining < self.min_deadline_fraction * request.deadline:
+            remaining = deadline - est_wait
+            if remaining < self.min_deadline_fraction * self.floor_scale * deadline:
                 return SHED_INFEASIBLE
         self._queue.append(request)
         return None
@@ -128,10 +137,11 @@ class AdmissionController:
     def stale(self, request: QueryRequest, now: float) -> bool:
         """Whether the remaining budget at actual dispatch time fell
         below the feasibility floor (the second, authoritative check)."""
-        remaining = request.arrival + request.deadline - now
+        deadline = request.deadline * self.deadline_scale
+        remaining = request.arrival + deadline - now
         if remaining <= 0.0:
             return True
-        return remaining < self.min_deadline_fraction * request.deadline
+        return remaining < self.min_deadline_fraction * self.floor_scale * deadline
 
     def pop_ready(self) -> Optional[QueryRequest]:
         """Next queued request if a capacity slot is free, else None."""

@@ -1,0 +1,312 @@
+"""Graceful degradation: retry budgets, circuit breaker, brownout.
+
+A fault-injected backend turns overload's "too many queries" problem into
+the uglier "queries come back damaged" problem. Shedding is the wrong
+tool for that — admission control sees arrival times, not fault storms.
+This module adds the three standard serving responses, all deterministic
+and all carrying explicit reasons into spans/metrics:
+
+* **retry budgets** — a fault-damaged completion (``degraded`` with
+  quality at or below ``retry_quality_floor``) may be re-run with a fresh
+  deterministic seed, at most ``max_attempts`` total tries and at most
+  ``retry_budget`` retries per tenant per run; the best attempt answers.
+* **circuit breaker** — when an EWMA of *destroyed* completions (quality
+  at or below ``destroy_quality_floor``) crosses ``breaker_enter``, the
+  server stops admitting (shed reason ``circuit_open``) for ``cooldown``
+  virtual time, then lets one probe query through: a healthy probe
+  closes the breaker, a damaged one re-opens it.
+* **brownout** — when an EWMA of *damaged* completions (degraded, below
+  ``damage_quality_floor``) crosses ``brownout_enter``, deadlines are
+  treated as ``brownout_deadline_factor`` times wider and the admission
+  feasibility floor is relaxed by ``brownout_floor_scale``: under
+  sustained faults the server deliberately answers later-but-nonempty
+  instead of shedding, exiting once the EWMA falls below
+  ``brownout_exit`` (hysteresis).
+
+Every mode change is a :class:`ModeTransition` with a reason string; the
+server mirrors them into ``serve_chaos_mode_transitions_total`` and
+``degrade`` spans, so a chaos run explains *why* it degraded. With no
+faults firing, the controller observes only healthy completions and never
+leaves ``healthy`` — a zero-rate chaos serve run stays bit-identical to a
+plain one even with this controller attached.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import ConfigError
+from ..obs.profile import PROFILER
+
+__all__ = [
+    "DegradeConfig",
+    "DegradeController",
+    "ModeTransition",
+    "SHED_CIRCUIT_OPEN",
+    "MODE_HEALTHY",
+    "MODE_BROWNOUT",
+    "MODE_CIRCUIT_OPEN",
+    "MODE_PROBING",
+    "REASON_SUSTAINED_FAULTS",
+    "REASON_FAULT_STORM",
+    "REASON_FAULTS_SUBSIDED",
+    "REASON_COOLDOWN_ELAPSED",
+    "REASON_PROBE_HEALTHY",
+    "REASON_PROBE_DEGRADED",
+]
+
+#: shed reason for arrivals refused while the circuit breaker is open.
+SHED_CIRCUIT_OPEN = "circuit_open"
+
+MODE_HEALTHY = "healthy"
+MODE_BROWNOUT = "brownout"
+MODE_CIRCUIT_OPEN = "circuit_open"
+MODE_PROBING = "probing"
+
+REASON_SUSTAINED_FAULTS = "sustained_faults"
+REASON_FAULT_STORM = "fault_storm"
+REASON_FAULTS_SUBSIDED = "faults_subsided"
+REASON_COOLDOWN_ELAPSED = "cooldown_elapsed"
+REASON_PROBE_HEALTHY = "probe_healthy"
+REASON_PROBE_DEGRADED = "probe_degraded"
+
+
+@dataclasses.dataclass(frozen=True)
+class ModeTransition:
+    """One mode change, with when and why."""
+
+    time: float
+    previous: str
+    mode: str
+    reason: str
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "time": self.time,
+            "previous": self.previous,
+            "mode": self.mode,
+            "reason": self.reason,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class DegradeConfig:
+    """Knobs of the graceful-degradation controller."""
+
+    #: EWMA smoothing for the damaged/destroyed completion fractions.
+    ewma_alpha: float = 0.45
+    #: completions observed before any mode change is allowed.
+    min_samples: int = 3
+    #: damaged-EWMA level that enters / exits brownout (hysteresis).
+    brownout_enter: float = 0.35
+    brownout_exit: float = 0.15
+    #: destroyed-EWMA level that opens the circuit breaker.
+    breaker_enter: float = 0.3
+    #: virtual time the breaker stays open before a probe is admitted.
+    cooldown: float = 120.0
+    #: effective-deadline widening factor while in brownout.
+    brownout_deadline_factor: float = 1.5
+    #: admission feasibility-floor relaxation while in brownout.
+    brownout_floor_scale: float = 0.5
+    #: a completion counts as *damaged* when degraded with quality below
+    #: this; brownout is the response to a high damaged fraction.
+    damage_quality_floor: float = 0.9
+    #: a completion counts as *destroyed* at or below this quality; the
+    #: breaker is the response to a high destroyed fraction.
+    destroy_quality_floor: float = 0.05
+    #: retries granted per tenant per serve run.
+    retry_budget: int = 4
+    #: total attempts per query (1 = no retries).
+    max_attempts: int = 2
+    #: only completions at or below this quality are worth retrying.
+    retry_quality_floor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}"
+            )
+        if self.min_samples < 1:
+            raise ConfigError(
+                f"min_samples must be >= 1, got {self.min_samples}"
+            )
+        if not 0.0 < self.brownout_enter <= 1.0:
+            raise ConfigError(
+                f"brownout_enter must be in (0, 1], got {self.brownout_enter}"
+            )
+        if not 0.0 <= self.brownout_exit < self.brownout_enter:
+            raise ConfigError(
+                "brownout_exit must be in [0, brownout_enter), got "
+                f"{self.brownout_exit}"
+            )
+        if not 0.0 < self.breaker_enter <= 1.0:
+            raise ConfigError(
+                f"breaker_enter must be in (0, 1], got {self.breaker_enter}"
+            )
+        if self.cooldown <= 0.0:
+            raise ConfigError(f"cooldown must be positive, got {self.cooldown}")
+        if self.brownout_deadline_factor < 1.0:
+            raise ConfigError(
+                "brownout_deadline_factor must be >= 1, got "
+                f"{self.brownout_deadline_factor}"
+            )
+        if not 0.0 < self.brownout_floor_scale <= 1.0:
+            raise ConfigError(
+                "brownout_floor_scale must be in (0, 1], got "
+                f"{self.brownout_floor_scale}"
+            )
+        if not 0.0 <= self.destroy_quality_floor < self.damage_quality_floor:
+            raise ConfigError(
+                "destroy_quality_floor must be in [0, damage_quality_floor), "
+                f"got {self.destroy_quality_floor}"
+            )
+        if self.damage_quality_floor > 1.0:
+            raise ConfigError(
+                "damage_quality_floor must be <= 1, got "
+                f"{self.damage_quality_floor}"
+            )
+        if self.retry_budget < 0:
+            raise ConfigError(
+                f"retry_budget must be >= 0, got {self.retry_budget}"
+            )
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if not 0.0 <= self.retry_quality_floor <= 1.0:
+            raise ConfigError(
+                "retry_quality_floor must be in [0, 1], got "
+                f"{self.retry_quality_floor}"
+            )
+
+
+class DegradeController:
+    """Tracks fault-storm state and owns the mode machine.
+
+    The server calls :meth:`admission_veto` per arrival,
+    :meth:`note_dispatch` per dispatch, and :meth:`observe_completion`
+    per completion; it drains :meth:`drain_events` after each call to
+    mirror transitions into metrics/spans. All state advances on virtual
+    time and completion outcomes only — fully deterministic.
+    """
+
+    def __init__(self, config: DegradeConfig):
+        self.config = config
+        self.mode = MODE_HEALTHY
+        self.damaged_ewma = 0.0
+        self.destroyed_ewma = 0.0
+        self.completions = 0
+        self.transitions: list[ModeTransition] = []
+        self._events: list[ModeTransition] = []
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self._retry_tokens: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _transition(self, now: float, mode: str, reason: str) -> None:
+        event = ModeTransition(
+            time=now, previous=self.mode, mode=mode, reason=reason
+        )
+        self.mode = mode
+        self.transitions.append(event)
+        self._events.append(event)
+
+    def drain_events(self) -> list[ModeTransition]:
+        """Transitions since the last drain (for metrics/span mirroring)."""
+        events = self._events
+        self._events = []
+        return events
+
+    # ------------------------------------------------------------------
+    @property
+    def brownout_active(self) -> bool:
+        return self.mode == MODE_BROWNOUT
+
+    def admission_veto(self, now: float) -> str | None:
+        """Shed reason for an arrival, or None to run normal admission."""
+        if self.mode == MODE_CIRCUIT_OPEN:
+            if now - self._opened_at >= self.config.cooldown:
+                self._transition(now, MODE_PROBING, REASON_COOLDOWN_ELAPSED)
+                self._probe_inflight = False
+                return None
+            return SHED_CIRCUIT_OPEN
+        if self.mode == MODE_PROBING and self._probe_inflight:
+            return SHED_CIRCUIT_OPEN
+        return None
+
+    def note_dispatch(self) -> None:
+        if self.mode == MODE_PROBING:
+            self._probe_inflight = True
+
+    def observe_completion(self, now: float, degraded: bool, quality: float) -> None:
+        """Fold one completion into the storm detectors and step the
+        mode machine."""
+        tok = PROFILER.start()
+        cfg = self.config
+        damaged = degraded and quality < cfg.damage_quality_floor
+        destroyed = degraded and quality <= cfg.destroy_quality_floor
+        a = cfg.ewma_alpha
+        self.damaged_ewma = (1.0 - a) * self.damaged_ewma + (
+            a if damaged else 0.0
+        )
+        self.destroyed_ewma = (1.0 - a) * self.destroyed_ewma + (
+            a if destroyed else 0.0
+        )
+        self.completions += 1
+        if self.mode == MODE_PROBING:
+            self._probe_inflight = False
+            if damaged:
+                self._opened_at = now
+                self._transition(now, MODE_CIRCUIT_OPEN, REASON_PROBE_DEGRADED)
+            elif self.damaged_ewma >= cfg.brownout_exit:
+                self._transition(now, MODE_BROWNOUT, REASON_PROBE_HEALTHY)
+            else:
+                self._transition(now, MODE_HEALTHY, REASON_PROBE_HEALTHY)
+        elif self.completions >= cfg.min_samples:
+            if (
+                self.mode != MODE_CIRCUIT_OPEN
+                and self.destroyed_ewma >= cfg.breaker_enter
+            ):
+                self._opened_at = now
+                self._transition(now, MODE_CIRCUIT_OPEN, REASON_FAULT_STORM)
+            elif (
+                self.mode == MODE_HEALTHY
+                and self.damaged_ewma >= cfg.brownout_enter
+            ):
+                self._transition(now, MODE_BROWNOUT, REASON_SUSTAINED_FAULTS)
+            elif (
+                self.mode == MODE_BROWNOUT
+                and self.damaged_ewma < cfg.brownout_exit
+            ):
+                self._transition(now, MODE_HEALTHY, REASON_FAULTS_SUBSIDED)
+        PROFILER.stop("serve.degrade.decide", tok)
+
+    # ------------------------------------------------------------------
+    def try_consume_retry(self, tenant: str) -> bool:
+        """Take one retry token for ``tenant`` (False = budget exhausted
+        or the mode forbids it). No retries with the breaker open (never
+        retry into a storm) and none in brownout: a retried query answers
+        only when its second attempt finishes, which breaks exactly the
+        widened-deadline promise brownout exists to keep — in brownout
+        the first non-empty answer stands."""
+        if self.mode in (MODE_CIRCUIT_OPEN, MODE_BROWNOUT):
+            return False
+        used = self._retry_tokens.get(tenant, 0)
+        if used >= self.config.retry_budget:
+            return False
+        self._retry_tokens[tenant] = used + 1
+        return True
+
+    def refund_retry(self, tenant: str) -> None:
+        """Return a token whose retry could not be enqueued."""
+        used = self._retry_tokens.get(tenant, 0)
+        if used > 0:
+            self._retry_tokens[tenant] = used - 1
+
+    def retry_tokens_used(self) -> dict[str, int]:
+        """Per-tenant retry tokens consumed, deterministically ordered."""
+        return {
+            tenant: self._retry_tokens[tenant]
+            for tenant in sorted(self._retry_tokens)
+            if self._retry_tokens[tenant] > 0
+        }

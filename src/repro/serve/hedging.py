@@ -1,0 +1,300 @@
+"""Tail-tolerant request hedging: the serving baseline Cedar races.
+
+The Tail-Tolerant Search literature (Kraus et al., PAPERS.md) answers
+performance variation with *replication*: once a worker's age passes a
+fixed delay — a quantile of the offline duration distribution — reissue
+it and keep whichever copy answers first. :class:`HedgingPolicy` is that
+strategy at the serving layer: a static hedge delay precomputed from the
+offline tree (Dean & Barroso's classic "hedged request" rule), a
+per-aggregator reissue budget, and a per-tenant budget so one noisy
+tenant cannot monopolise the duplicate capacity.
+
+The execution loop is shared with Cedar-guided reissue
+(:func:`repro.simulation.run_aggregator_with_reissue`, static mode); the
+fault draws come from the *same* child stream, in the same order, as
+:func:`~repro.faults.simulate_query_with_faults` — so a hedging serve run
+and a Cedar serve run on the same requests face bit-identical fault
+schedules, and the benchmark's head-to-head comparison isolates the
+policy difference. Hedge duplicate draws use a *second* spawned stream,
+so hedging never perturbs durations or fault indicators.
+
+The static bar is load-bearing for testability: until the first reissue
+triggers, the trajectory is independent of the hedge quantile, so the
+reissue count is provably monotone non-increasing in the quantile — a
+Hypothesis property test (``tests/serve/test_hedging.py``) asserts it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional
+
+import numpy as np
+
+from ..core import QueryContext, WaitPolicy
+from ..errors import ConfigError, SimulationError
+from ..faults.model import FaultDraws, FaultModel, draw_faults
+from ..obs.metrics import MetricsRegistry
+from ..obs.profile import PROFILER
+from ..obs.span import SpanTracer
+from ..rng import SeedLike, resolve_rng
+from ..simulation.reissue import run_aggregator_with_reissue
+from .chaos import FaultSchedule
+from .request import QueryRequest
+from .server import BackendResult
+
+__all__ = [
+    "HedgingConfig",
+    "HedgedQueryResult",
+    "HedgingPolicy",
+    "simulate_query_hedged",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class HedgingConfig:
+    """Knobs of the hedged-request baseline."""
+
+    #: hedge delay = this quantile of the *offline* bottom distribution.
+    hedge_quantile: float = 0.95
+    #: at most this fraction of each aggregator's fan-in may be hedged.
+    budget_fraction: float = 0.1
+    #: reissues granted per tenant per serve run.
+    tenant_budget: int = 64
+
+    def __post_init__(self) -> None:
+        if not 0.5 < self.hedge_quantile < 1.0:
+            raise ConfigError(
+                f"hedge_quantile must be in (0.5, 1), got {self.hedge_quantile}"
+            )
+        if not 0.0 < self.budget_fraction <= 1.0:
+            raise ConfigError(
+                f"budget_fraction must be in (0, 1], got {self.budget_fraction}"
+            )
+        if self.tenant_budget < 1:
+            raise ConfigError(
+                f"tenant_budget must be >= 1, got {self.tenant_budget}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class HedgedQueryResult:
+    """Outcome of one hedged query under fault injection."""
+
+    quality: float
+    included_outputs: int
+    total_outputs: int
+    #: virtual completion time (deadline if anything was late or missing).
+    elapsed: float
+    reissued: int
+    hedge_wins: int
+    crashed_workers: int = 0
+    straggler_workers: int = 0
+    crashed_aggregators: int = 0
+    lost_shipments: int = 0
+    failed_domains: int = 0
+    late_at_root: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any data-losing fault fired on this query."""
+        return bool(
+            self.crashed_aggregators
+            or self.lost_shipments
+            or self.crashed_workers
+            or self.failed_domains
+        )
+
+
+def simulate_query_hedged(
+    ctx: QueryContext,
+    policy: WaitPolicy,
+    faults: FaultModel,
+    config: HedgingConfig,
+    seed: SeedLike = None,
+    budget: Optional[int] = None,
+) -> HedgedQueryResult:
+    """One two-level query with static hedged requests, under ``faults``.
+
+    ``budget`` caps the total reissues this query may spend (the
+    remaining per-tenant allowance); None means only the per-aggregator
+    fraction applies. Duration and fault draws replicate
+    :func:`~repro.faults.simulate_query_with_faults` call-for-call, so a
+    given seed produces the identical fault schedule under both policies;
+    hedge duplicates draw from a second spawned stream. A crashed
+    worker's copy never arrives, but its hedge duplicate can still win —
+    hedging's one structural advantage over waiting.
+    """
+    tree = ctx.true_tree if ctx.true_tree is not None else ctx.offline_tree
+    if tree.n_stages != 2:
+        raise SimulationError(
+            "hedged simulation currently covers two-level trees; "
+            f"got {tree.n_stages} stages"
+        )
+    tok = PROFILER.start()
+    rng = resolve_rng(seed)
+    policy.begin_query(ctx)
+
+    k1, k2 = tree.fanouts
+    x1, x2 = tree.distributions
+    deadline = ctx.deadline
+
+    # ---- duration draws: same calls, same order as the fault injector -
+    raw_durations = np.asarray(x1.sample((k2, k1), seed=rng), dtype=float)
+    ship = np.asarray(x2.sample(k2, seed=rng), dtype=float)
+
+    # ---- fault draws: first spawned child stream (identical to the
+    # injector's), then a second child for hedge duplicates ------------
+    fault_rng = np.random.default_rng(rng.bit_generator.seed_seq.spawn(1)[0])
+    hedge_rng = np.random.default_rng(rng.bit_generator.seed_seq.spawn(1)[0])
+    draws: FaultDraws = draw_faults(fault_rng, faults, k2, k1, [k2])
+    straggler_workers = int(np.count_nonzero(draws.stragglers))
+    crashed_workers = int(np.count_nonzero(draws.worker_crashes))
+    if faults.straggler_factor != 1.0:
+        raw_durations = np.where(
+            draws.stragglers,
+            raw_durations * faults.straggler_factor,
+            raw_durations,
+        )
+    raw_durations = np.where(draws.worker_crashes, np.inf, raw_durations)
+    durations = np.sort(raw_durations, axis=1)
+
+    failed_domains = int(np.count_nonzero(draws.domain_failures))
+    if faults.domains is not None:
+        domain_dead = draws.domain_failures[
+            np.asarray(faults.domains.assignment, dtype=int)
+        ]
+    else:
+        domain_dead = np.zeros(k2, dtype=bool)
+
+    # the static hedge bar: a fixed quantile of the offline distribution
+    threshold = float(
+        ctx.offline_tree.stages[0].duration.quantile(config.hedge_quantile)
+    )
+    per_agg = max(1, int(config.budget_fraction * k1))
+    budget_left = budget if budget is not None else k1 * k2
+
+    crashed = 0
+    lost = 0
+    total_reissued = 0
+    total_wins = 0
+    arrivals: list[tuple[float, int]] = []
+    for a in range(k2):
+        controller = policy.controller(ctx, 1)
+        depart, collected, reissued, wins = run_aggregator_with_reissue(
+            controller,
+            durations[a],
+            x1,
+            hedge_rng,
+            budget=min(per_agg, max(0, budget_left)),
+            threshold_age=threshold,
+        )
+        budget_left -= reissued
+        total_reissued += reissued
+        total_wins += wins
+        if draws.agg_crashes[0][a] or domain_dead[a]:
+            crashed += 1
+            arrivals.append((np.inf, 0))
+        elif draws.ship_losses[0][a]:
+            lost += 1
+            arrivals.append((np.inf, 0))
+        else:
+            arrivals.append((depart + float(ship[a]), collected))
+
+    included = 0
+    late_count = 0
+    missing = 0
+    last_arrival = 0.0
+    for arrival, payload in arrivals:
+        if arrival <= deadline:
+            included += payload
+            if arrival > last_arrival:
+                last_arrival = arrival
+        elif np.isfinite(arrival):
+            late_count += 1
+        else:
+            missing += 1
+
+    total = k1 * k2
+    PROFILER.stop("serve.hedge.query", tok)
+    return HedgedQueryResult(
+        quality=included / total if total else 0.0,
+        included_outputs=included,
+        total_outputs=total,
+        elapsed=deadline if (late_count or missing) else last_arrival,
+        reissued=total_reissued,
+        hedge_wins=total_wins,
+        crashed_workers=crashed_workers,
+        straggler_workers=straggler_workers,
+        crashed_aggregators=crashed,
+        lost_shipments=lost,
+        failed_domains=failed_domains,
+        late_at_root=late_count,
+    )
+
+
+class HedgingPolicy:
+    """Serve backend running every query with static hedged requests.
+
+    Structured as a backend (not a :class:`~repro.core.WaitPolicy`)
+    because hedging changes *execution* — duplicate requests — not just
+    the wait decision; the wait policy passed by the server still decides
+    when each aggregator folds. Tracks a per-tenant reissue allowance
+    across the run; :meth:`observe_dispatch` tells it whose allowance the
+    next query spends and which scheduled fault model applies.
+    """
+
+    def __init__(
+        self,
+        schedule: Optional[FaultSchedule] = None,
+        config: Optional[HedgingConfig] = None,
+    ):
+        self.schedule = schedule if schedule is not None else FaultSchedule()
+        self.config = config if config is not None else HedgingConfig()
+        self._now = 0.0
+        self._tenant = "default"
+        self._tokens: dict[str, int] = {}
+
+    def on_run_start(self) -> None:
+        """Reset per-run state (the server calls this at run start)."""
+        self._now = 0.0
+        self._tenant = "default"
+        self._tokens = {}
+
+    def observe_dispatch(self, request: QueryRequest, now: float) -> None:
+        self._now = float(now)
+        self._tenant = request.tenant
+
+    def tokens_left(self, tenant: str) -> int:
+        """Remaining reissue allowance for ``tenant``."""
+        return self._tokens.get(tenant, self.config.tenant_budget)
+
+    def run(
+        self,
+        ctx: QueryContext,
+        policy: WaitPolicy,
+        seed: int,
+        tracer: Optional[SpanTracer],
+        metrics: Optional[MetricsRegistry],
+        span_attrs: dict[str, Any],
+    ) -> BackendResult:
+        model = self.schedule.model_at(self._now)
+        left = self.tokens_left(self._tenant)
+        result = simulate_query_hedged(
+            ctx,
+            policy,
+            model,
+            self.config,
+            seed=seed,
+            budget=left,
+        )
+        self._tokens[self._tenant] = left - result.reissued
+        return BackendResult(
+            quality=result.quality,
+            included_outputs=result.included_outputs,
+            total_outputs=result.total_outputs,
+            elapsed=result.elapsed,
+            degraded=result.degraded,
+            reissued=result.reissued,
+            hedge_wins=result.hedge_wins,
+        )

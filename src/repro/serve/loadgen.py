@@ -11,17 +11,90 @@ streams off the one seed (arrivals, per-query trees, per-query seeds),
 resets the workload's cycle, and is therefore idempotent — two calls
 return identical request lists, and the per-request seeds are
 independent of how the server later interleaves execution.
+
+:class:`DriftSpec` injects a mid-run *regime shift*: from a fixed
+fraction of the stream onward, every query's bottom-stage distribution
+is shifted in (mu, sigma). This is the serving-layer stress test for
+:class:`~repro.serve.WarmStartStore`'s drift detector — priors fitted
+before the shift must be evicted, not trusted, after it.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import math
 from typing import Any, Optional, Sequence
 
+from ..core import TreeSpec
+from ..distributions import LogNormal, Scaled
 from ..errors import ConfigError
 from ..rng import fork, seeds_for
 from .request import QueryRequest
 
-__all__ = ["LoadGenerator"]
+__all__ = ["DriftSpec", "FixedWorkload", "LoadGenerator"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DriftSpec:
+    """A mid-run regime shift in the bottom-stage distribution.
+
+    From request ``floor(at_fraction * n_requests)`` onward, a bottom
+    stage distributed ``LogNormal(mu, sigma)`` becomes
+    ``LogNormal(mu + mu_shift, sigma * sigma_factor)``. Non-log-normal
+    bottoms support pure location shifts (``sigma_factor == 1``) via a
+    multiplicative ``exp(mu_shift)`` wrap.
+    """
+
+    at_fraction: float = 0.5
+    mu_shift: float = 0.0
+    sigma_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.at_fraction < 1.0:
+            raise ConfigError(
+                f"at_fraction must be in (0, 1), got {self.at_fraction}"
+            )
+        if not (self.sigma_factor > 0.0 and math.isfinite(self.sigma_factor)):
+            raise ConfigError(
+                f"sigma_factor must be > 0, got {self.sigma_factor}"
+            )
+        if not math.isfinite(self.mu_shift):
+            raise ConfigError(f"mu_shift must be finite, got {self.mu_shift}")
+
+    def apply(self, tree: TreeSpec) -> TreeSpec:
+        """Return ``tree`` with the shifted bottom-stage distribution."""
+        bottom = tree.stages[0].duration
+        if isinstance(bottom, LogNormal):
+            return tree.with_bottom(
+                LogNormal(bottom.mu + self.mu_shift, bottom.sigma * self.sigma_factor)
+            )
+        if self.sigma_factor == 1.0:
+            if self.mu_shift == 0.0:
+                return tree
+            return tree.with_bottom(Scaled(bottom, math.exp(self.mu_shift)))
+        raise ConfigError(
+            "sigma_factor != 1 needs a log-normal bottom stage; got "
+            f"family {bottom.family!r}"
+        )
+
+
+class FixedWorkload:
+    """Degenerate workload: every query runs the same tree.
+
+    Satisfies the :mod:`repro.traces` workload protocol
+    (``sample_query``/``offline_tree``) so the CLI's chaos-serve mode can
+    serve a synthetic tree without a trace behind it.
+    """
+
+    def __init__(self, tree: TreeSpec, name: str = "fixed"):
+        self.tree = tree
+        self.name = str(name)
+
+    def sample_query(self, rng: Any) -> TreeSpec:
+        return self.tree
+
+    def offline_tree(self) -> TreeSpec:
+        return self.tree
 
 
 class LoadGenerator:
@@ -44,6 +117,7 @@ class LoadGenerator:
         tenants: Sequence[str] = ("default",),
         workload_key: Optional[str] = None,
         rate_amplitude: float = 0.0,
+        drift: Optional[DriftSpec] = None,
     ):
         if qps <= 0.0:
             raise ConfigError(f"qps must be positive, got {qps}")
@@ -74,6 +148,7 @@ class LoadGenerator:
             else str(getattr(workload, "name", "default"))
         )
         self.rate_amplitude = float(rate_amplitude)
+        self.drift = drift
 
     # ------------------------------------------------------------------
     def generate(self) -> list[QueryRequest]:
@@ -83,6 +158,11 @@ class LoadGenerator:
         seeds = seeds_for(fork(self.seed, "serve-query-seeds"), self.n_requests)
         if hasattr(self.workload, "reset"):
             self.workload.reset()
+        drift_cut = (
+            int(self.drift.at_fraction * self.n_requests)
+            if self.drift is not None
+            else self.n_requests
+        )
         requests: list[QueryRequest] = []
         t = 0.0
         for i in range(self.n_requests):
@@ -93,6 +173,8 @@ class LoadGenerator:
                 )
             t += float(arrival_rng.exponential(1.0 / rate))
             tree = self.workload.sample_query(tree_rng)
+            if self.drift is not None and i >= drift_cut:
+                tree = self.drift.apply(tree)
             requests.append(
                 QueryRequest(
                     index=i,

@@ -19,6 +19,8 @@ from ..errors import ConfigError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..cluster.deployment import DeploymentConfig
+    from .chaos import FaultSchedule
+    from .degrade import DegradeConfig
 
 __all__ = ["QueryRequest", "QueryOutcome", "ServeConfig"]
 
@@ -68,6 +70,17 @@ class QueryOutcome:
     deadline_hit: bool = False
     #: whether a warm-start prior was available at dispatch.
     warm: bool = False
+    #: whether any data-losing fault fired on the winning attempt.
+    degraded: bool = False
+    #: extra attempts consumed by the graceful-degradation controller.
+    retries: int = 0
+    #: whether the final attempt dispatched with a brownout-widened
+    #: deadline (deadline_hit is judged against the widened value).
+    brownout: bool = False
+    #: hedged duplicates issued (hedging backend only).
+    reissued: int = 0
+    #: hedged duplicates that beat their original.
+    hedge_wins: int = 0
 
     def as_dict(self) -> dict[str, object]:
         return dataclasses.asdict(self)
@@ -108,6 +121,16 @@ class ServeConfig:
     grid_points: int = 96
     #: bottom-subtree sampling cap forwarded to the simulator backend.
     agg_sample: Optional[int] = None
+    #: time-varying fault injection for the serve path: when set (and no
+    #: explicit backend is passed) the server builds a
+    #: :class:`~repro.serve.FaultyBackend` over this schedule. A schedule
+    #: whose rates are all zero leaves the run bit-identical to
+    #: ``faults=None``.
+    faults: Optional["FaultSchedule"] = None
+    #: graceful-degradation controller (retry budgets, circuit breaker,
+    #: brownout); None disables it. With no faults firing the controller
+    #: never acts, so enabling it is also bit-neutral.
+    degrade: Optional["DegradeConfig"] = None
 
     def __post_init__(self) -> None:
         if self.max_concurrent < 1:

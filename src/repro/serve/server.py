@@ -42,8 +42,10 @@ from ..errors import ConfigError
 from ..obs.metrics import MetricsRegistry
 from ..obs.profile import PROFILER
 from ..obs.span import SpanTracer
+from ..rng import fork, seeds_for
 from ..simulation.events import EventLoop
 from .admission import SHED_STALE, AdmissionController
+from .degrade import MODE_HEALTHY, DegradeController, ModeTransition
 from .request import QueryOutcome, QueryRequest, ServeConfig
 from .slo import SLOAccountant
 from .warmstart import CedarWarmPolicy, WarmStartStore
@@ -69,6 +71,9 @@ class BackendResult:
     #: virtual time the query occupied its slot (bounded by its budget).
     elapsed: float
     degraded: bool = False
+    #: hedged duplicates issued / winning (hedging backend only).
+    reissued: int = 0
+    hedge_wins: int = 0
 
 
 class QueryBackend(Protocol):
@@ -235,6 +240,36 @@ class FixedServiceBackend:
 
 
 # ----------------------------------------------------------------------
+@dataclasses.dataclass
+class _RetryState:
+    """Book-keeping for one query being retried after fault damage."""
+
+    #: deterministic seeds for attempts 2..max_attempts.
+    seeds: tuple[int, ...]
+    attempts: int = 1
+    best: Optional[BackendResult] = None
+    best_queue_delay: float = 0.0
+    best_slowdown: float = 1.0
+    best_warm: bool = False
+    best_eff_deadline: float = 0.0
+
+    def note(
+        self,
+        result: BackendResult,
+        queue_delay: float,
+        slowdown: float,
+        warm: bool,
+        eff_deadline: float,
+    ) -> None:
+        if self.best is None or result.quality > self.best.quality:
+            self.best = result
+            self.best_queue_delay = queue_delay
+            self.best_slowdown = slowdown
+            self.best_warm = warm
+            self.best_eff_deadline = eff_deadline
+
+
+# ----------------------------------------------------------------------
 @dataclasses.dataclass(frozen=True)
 class ServeReport:
     """Aggregate outcome of one serve run."""
@@ -259,6 +294,9 @@ class ServeReport:
     tenants: dict[str, dict[str, object]]
     #: warm-start store snapshot ({} when running cold).
     warm: dict[str, dict[str, object]]
+    #: chaos/degradation summary (all-zero and "healthy" when no faults
+    #: fired and no degrade controller acted).
+    chaos: dict[str, object]
     outcomes: tuple[QueryOutcome, ...]
 
     def to_dict(self, include_outcomes: bool = False) -> dict[str, object]:
@@ -279,6 +317,7 @@ class ServeReport:
             "horizon": self.horizon,
             "tenants": self.tenants,
             "warm": self.warm,
+            "chaos": self.chaos,
         }
         if include_outcomes:
             doc["outcomes"] = [o.as_dict() for o in self.outcomes]
@@ -321,11 +360,22 @@ class CedarServer:
         else:
             self.store = None
             self.policy = CedarPolicy(grid_points=self.config.grid_points)
-        self.backend: QueryBackend = (
-            backend
-            if backend is not None
-            else SimBackend(agg_sample=self.config.agg_sample)
-        )
+        self.backend: QueryBackend
+        if backend is not None:
+            if self.config.faults is not None:
+                raise ConfigError(
+                    "pass either an explicit backend or config.faults, not both"
+                )
+            self.backend = backend
+        elif self.config.faults is not None:
+            # local import: repro.serve.chaos imports this module
+            from .chaos import FaultyBackend
+
+            self.backend = FaultyBackend(
+                self.config.faults, agg_sample=self.config.agg_sample
+            )
+        else:
+            self.backend = SimBackend(agg_sample=self.config.agg_sample)
         self.tracer = tracer
         self.metrics = metrics
         # per-run state, rebuilt by run()
@@ -334,6 +384,9 @@ class CedarServer:
         self._slo: SLOAccountant = SLOAccountant(metrics)
         self._outcomes: dict[int, QueryOutcome] = {}
         self._last_finish = 0.0
+        self._degrade: Optional[DegradeController] = None
+        self._retrying: dict[int, _RetryState] = {}
+        self._transitions: list[ModeTransition] = []
 
     def _new_admission(self) -> AdmissionController:
         cfg = self.config
@@ -354,6 +407,16 @@ class CedarServer:
         self._slo = SLOAccountant(self.metrics)
         self._outcomes = {}
         self._last_finish = 0.0
+        self._degrade = (
+            DegradeController(self.config.degrade)
+            if self.config.degrade is not None
+            else None
+        )
+        self._retrying = {}
+        self._transitions = []
+        on_run_start = getattr(self.backend, "on_run_start", None)
+        if callable(on_run_start):
+            on_run_start()
         for request in order:
             self._loop.schedule_at(
                 request.arrival,
@@ -366,12 +429,48 @@ class CedarServer:
     def _on_arrival(self, request: QueryRequest) -> None:
         now = self._loop.now
         self._slo.record_arrival(request.tenant)
-        reason = self._admission.offer(request, now)
+        reason: Optional[str] = None
+        if self._degrade is not None:
+            reason = self._degrade.admission_veto(now)
+            self._note_degrade_events()
+        if reason is None:
+            reason = self._admission.offer(request, now)
         if reason is not None:
             self._shed(request, now, reason)
         else:
             self._pump()
         self._slo.record_queue_depth(self._admission.queue_depth)
+
+    def _note_degrade_events(self) -> None:
+        """Mirror freshly-recorded mode transitions into metrics/spans."""
+        if self._degrade is None:
+            return
+        for event in self._degrade.drain_events():
+            self._transitions.append(event)
+            self._slo.record_mode_transition(event.mode, event.reason)
+            if self.tracer is not None:
+                self.tracer.add_span(
+                    "degrade",
+                    0,
+                    None,
+                    event.time,
+                    event.time,
+                    mode=event.mode,
+                    reason=event.reason,
+                )
+
+    def _sync_brownout(self) -> None:
+        """Propagate brownout state into the admission controller's
+        deadline/floor scaling (both exactly 1.0 outside brownout)."""
+        cfg = self.config.degrade
+        if cfg is None or self._degrade is None:
+            return
+        if self._degrade.brownout_active:
+            self._admission.deadline_scale = cfg.brownout_deadline_factor
+            self._admission.floor_scale = cfg.brownout_floor_scale
+        else:
+            self._admission.deadline_scale = 1.0
+            self._admission.floor_scale = 1.0
 
     def _pump(self) -> None:
         """Dispatch queued requests while capacity slots are free."""
@@ -388,9 +487,17 @@ class CedarServer:
     def _dispatch(self, request: QueryRequest, now: float) -> None:
         tok = PROFILER.start()
         cfg = self.config
-        remaining = request.arrival + request.deadline - now
+        # brownout widens the effective deadline; the scale is exactly
+        # 1.0 otherwise, keeping the arithmetic bit-identical.
+        eff_deadline = request.deadline * self._admission.deadline_scale
+        remaining = request.arrival + eff_deadline - now
         occupancy = self._admission.running
         self._admission.start()
+        if self._degrade is not None:
+            self._degrade.note_dispatch()
+        observe = getattr(self.backend, "observe_dispatch", None)
+        if callable(observe):
+            observe(request, now)
         slowdown = 1.0
         if cfg.contention_coeff > 0.0 and occupancy > 0:
             slowdown = 1.0 + cfg.contention_coeff * occupancy / cfg.max_concurrent
@@ -421,7 +528,9 @@ class CedarServer:
         queue_delay = now - request.arrival
         self._loop.schedule(
             result.elapsed,
-            lambda: self._on_complete(request, result, queue_delay, slowdown, warm),
+            lambda: self._on_complete(
+                request, result, queue_delay, slowdown, warm, eff_deadline
+            ),
         )
 
     def _on_complete(
@@ -431,18 +540,53 @@ class CedarServer:
         queue_delay: float,
         slowdown: float,
         warm: bool,
+        eff_deadline: float,
     ) -> None:
         finish = self._loop.now
         self._admission.finish(result.elapsed)
+        if self._degrade is not None:
+            self._degrade.observe_completion(finish, result.degraded, result.quality)
+            self._note_degrade_events()
+            self._sync_brownout()
+            if self._maybe_retry(
+                request, result, queue_delay, slowdown, warm, eff_deadline, finish
+            ):
+                self._slo.record_queue_depth(self._admission.queue_depth)
+                self._pump()
+                return
+        state = self._retrying.pop(request.index, None)
+        retries = state.attempts - 1 if state is not None else 0
+        if (
+            state is not None
+            and state.best is not None
+            and state.best.quality > result.quality
+        ):
+            # answer with the best attempt seen, not merely the last
+            result = state.best
+            queue_delay = state.best_queue_delay
+            slowdown = state.best_slowdown
+            warm = state.best_warm
+            eff_deadline = state.best_eff_deadline
         # queue_delay + elapsed rather than finish - arrival: identical in
         # exact arithmetic, but free of the float round-trip through
         # absolute loop time — so at zero queue delay the latency equals
-        # the standalone simulator's elapsed bit-for-bit.
-        latency = queue_delay + result.elapsed
-        hit = latency <= request.deadline + 1e-9 and result.quality > 0.0
-        self._slo.record_completion(
-            request.tenant, latency, request.deadline, result.quality, hit
+        # the standalone simulator's elapsed bit-for-bit. A retried query
+        # was answered only when its final attempt finished, so there the
+        # wall-clock span is the honest latency.
+        latency = (
+            queue_delay + result.elapsed if retries == 0 else finish - request.arrival
         )
+        hit = latency <= eff_deadline + 1e-9 and result.quality > 0.0
+        brownout = eff_deadline > request.deadline
+        self._slo.record_completion(
+            request.tenant, latency, eff_deadline, result.quality, hit
+        )
+        if result.degraded:
+            self._slo.record_degraded(request.tenant)
+        if brownout:
+            self._slo.record_brownout(request.tenant)
+        if result.reissued:
+            self._slo.record_hedge(request.tenant, result.reissued, result.hedge_wins)
         self._slo.record_queue_depth(self._admission.queue_depth)
         if finish > self._last_finish:
             self._last_finish = finish
@@ -461,6 +605,11 @@ class CedarServer:
             total_outputs=result.total_outputs,
             deadline_hit=hit,
             warm=warm,
+            degraded=result.degraded,
+            retries=retries,
+            brownout=brownout,
+            reissued=result.reissued,
+            hedge_wins=result.hedge_wins,
         )
         if self.tracer is not None:
             self.tracer.add_span(
@@ -479,10 +628,132 @@ class CedarServer:
                 warm=warm,
                 latency=latency,
                 quality=result.quality,
+                degraded=result.degraded,
+                retries=retries,
+                brownout=brownout,
+                reissued=result.reissued,
+                hedge_wins=result.hedge_wins,
             )
         self._pump()
 
+    def _maybe_retry(
+        self,
+        request: QueryRequest,
+        result: BackendResult,
+        queue_delay: float,
+        slowdown: float,
+        warm: bool,
+        eff_deadline: float,
+        finish: float,
+    ) -> bool:
+        """Re-offer a fault-damaged query with a fresh deterministic seed.
+
+        Returns True when a retry was admitted (the completion is then
+        deferred to the retry's own ``_on_complete``). Retries spend the
+        tenant's budget and still pass admission control — a retry the
+        queue cannot absorb is refunded and the original answer stands.
+        """
+        cfg = self.config.degrade
+        if cfg is None or self._degrade is None:
+            return False
+        if not result.degraded or result.quality > cfg.retry_quality_floor:
+            return False
+        state = self._retrying.get(request.index)
+        attempts = state.attempts if state is not None else 1
+        if attempts >= cfg.max_attempts:
+            return False
+        if not self._degrade.try_consume_retry(request.tenant):
+            return False
+        if state is None:
+            seeds = seeds_for(
+                fork(request.seed, "serve-retry"), cfg.max_attempts - 1
+            )
+            state = self._retrying[request.index] = _RetryState(
+                seeds=tuple(int(s) for s in seeds)
+            )
+        state.note(result, queue_delay, slowdown, warm, eff_deadline)
+        retry = dataclasses.replace(request, seed=state.seeds[attempts - 1])
+        reason = self._admission.offer(retry, finish)
+        if reason is not None:
+            self._degrade.refund_retry(request.tenant)
+            return False
+        state.attempts = attempts + 1
+        self._slo.record_retry(request.tenant)
+        return True
+
     def _shed(self, request: QueryRequest, now: float, reason: str) -> None:
+        state = self._retrying.pop(request.index, None)
+        if state is not None and state.best is not None:
+            # an in-flight retry got shed (queue full / stale): the query
+            # is still *answered* — with the best attempt already in hand.
+            result = state.best
+            latency = now - request.arrival
+            hit = (
+                latency <= state.best_eff_deadline + 1e-9 and result.quality > 0.0
+            )
+            brownout = state.best_eff_deadline > request.deadline
+            self._slo.record_completion(
+                request.tenant,
+                latency,
+                state.best_eff_deadline,
+                result.quality,
+                hit,
+            )
+            if result.degraded:
+                self._slo.record_degraded(request.tenant)
+            if brownout:
+                self._slo.record_brownout(request.tenant)
+            if result.reissued:
+                self._slo.record_hedge(
+                    request.tenant, result.reissued, result.hedge_wins
+                )
+            if now > self._last_finish:
+                self._last_finish = now
+            self._outcomes[request.index] = QueryOutcome(
+                index=request.index,
+                tenant=request.tenant,
+                workload_key=request.workload_key,
+                arrival=request.arrival,
+                deadline=request.deadline,
+                admitted=True,
+                queue_delay=state.best_queue_delay,
+                slowdown=state.best_slowdown,
+                latency=latency,
+                quality=result.quality,
+                included_outputs=result.included_outputs,
+                total_outputs=result.total_outputs,
+                deadline_hit=hit,
+                warm=state.best_warm,
+                degraded=result.degraded,
+                retries=state.attempts - 1,
+                brownout=brownout,
+                reissued=result.reissued,
+                hedge_wins=result.hedge_wins,
+            )
+            if self.tracer is not None:
+                self.tracer.add_span(
+                    "request",
+                    0,
+                    None,
+                    request.arrival,
+                    now,
+                    tenant=request.tenant,
+                    workload_key=request.workload_key,
+                    query_index=request.index,
+                    deadline=request.deadline,
+                    admitted=True,
+                    queue_delay=state.best_queue_delay,
+                    slowdown=state.best_slowdown,
+                    warm=state.best_warm,
+                    latency=latency,
+                    quality=result.quality,
+                    degraded=result.degraded,
+                    retries=state.attempts - 1,
+                    brownout=brownout,
+                    reissued=result.reissued,
+                    hedge_wins=result.hedge_wins,
+                )
+            return
         self._slo.record_shed(request.tenant, reason)
         self._outcomes[request.index] = QueryOutcome(
             index=request.index,
@@ -535,6 +806,23 @@ class CedarServer:
                 return 0.0
             return float(np.percentile(np.asarray(samples, dtype=float), q))
 
+        chaos: dict[str, object] = {
+            "degraded": sum(1 for o in admitted if o.degraded),
+            "retries": sum(o.retries for o in admitted),
+            "brownout_completions": sum(1 for o in admitted if o.brownout),
+            "hedge_reissued": sum(o.reissued for o in admitted),
+            "hedge_wins": sum(o.hedge_wins for o in admitted),
+            "mode_transitions": [t.as_dict() for t in self._transitions],
+            "final_mode": (
+                self._degrade.mode if self._degrade is not None else MODE_HEALTHY
+            ),
+            "retry_tokens_used": (
+                self._degrade.retry_tokens_used()
+                if self._degrade is not None
+                else {}
+            ),
+        }
+
         return ServeReport(
             n_requests=n,
             admitted=len(admitted),
@@ -554,5 +842,6 @@ class CedarServer:
             horizon=horizon,
             tenants=self._slo.rollup(),
             warm=self.store.snapshot() if self.store is not None else {},
+            chaos=chaos,
             outcomes=outcomes,
         )

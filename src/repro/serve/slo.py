@@ -38,18 +38,31 @@ SERVE_METRIC_NAMES = frozenset(
         "serve_latency_fraction",
         "serve_quality",
         "serve_queue_depth",
+        "serve_chaos_degraded_total",
+        "serve_chaos_retries_total",
+        "serve_chaos_brownout_total",
+        "serve_chaos_mode_transitions_total",
+        "serve_chaos_hedge_reissued_total",
+        "serve_chaos_hedge_wins_total",
     }
 )
 
-#: every span attribute repro.serve sets on its "request" spans.
+#: every span attribute repro.serve sets on its "request"/"degrade" spans.
 SERVE_SPAN_ATTRS = frozenset(
     {
         "admitted",
+        "brownout",
         "deadline",
+        "degraded",
+        "hedge_wins",
         "latency",
+        "mode",
         "quality",
         "query_index",
         "queue_delay",
+        "reason",
+        "reissued",
+        "retries",
         "shed_reason",
         "slowdown",
         "tenant",
@@ -62,14 +75,28 @@ SERVE_SPAN_ATTRS = frozenset(
 SERVE_PROFILE_SITES = frozenset(
     {
         "serve.admission.offer",
+        "serve.degrade.decide",
         "serve.dispatch",
+        "serve.hedge.query",
         "serve.warmstart.observe",
     }
 )
 
 
 class _TenantState:
-    __slots__ = ("arrivals", "shed", "shed_reasons", "latencies", "qualities", "hits")
+    __slots__ = (
+        "arrivals",
+        "shed",
+        "shed_reasons",
+        "latencies",
+        "qualities",
+        "hits",
+        "degraded",
+        "retries",
+        "brownout",
+        "reissued",
+        "hedge_wins",
+    )
 
     def __init__(self) -> None:
         self.arrivals = 0
@@ -78,6 +105,11 @@ class _TenantState:
         self.latencies: list[float] = []
         self.qualities: list[float] = []
         self.hits = 0
+        self.degraded = 0
+        self.retries = 0
+        self.brownout = 0
+        self.reissued = 0
+        self.hedge_wins = 0
 
 
 def _percentile(samples: list[float], q: float) -> float:
@@ -151,6 +183,62 @@ class SLOAccountant:
                 "serve_queue_depth", help="admitted requests waiting for a slot"
             ).set(float(depth))
 
+    # -- chaos accounting ----------------------------------------------
+    def record_degraded(self, tenant: str) -> None:
+        """A completed query whose winning attempt carried fault damage."""
+        self._tenant(tenant).degraded += 1
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter(
+                "serve_chaos_degraded_total",
+                help="completed queries whose answer carried fault damage",
+            ).inc(tenant=tenant)
+
+    def record_retry(self, tenant: str) -> None:
+        """One retry token spent re-running a fault-damaged query."""
+        self._tenant(tenant).retries += 1
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter(
+                "serve_chaos_retries_total",
+                help="retries issued for fault-damaged queries",
+            ).inc(tenant=tenant)
+
+    def record_brownout(self, tenant: str) -> None:
+        """A completion whose final attempt ran with a widened deadline."""
+        self._tenant(tenant).brownout += 1
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter(
+                "serve_chaos_brownout_total",
+                help="completions served under a brownout-widened deadline",
+            ).inc(tenant=tenant)
+
+    def record_mode_transition(self, mode: str, reason: str) -> None:
+        """The degrade controller changed mode."""
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter(
+                "serve_chaos_mode_transitions_total",
+                help="degrade-controller mode changes, by target mode and reason",
+            ).inc(mode=mode, reason=reason)
+
+    def record_hedge(self, tenant: str, reissued: int, wins: int) -> None:
+        """Hedged duplicates issued (and winning) on one completion."""
+        state = self._tenant(tenant)
+        state.reissued += int(reissued)
+        state.hedge_wins += int(wins)
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter(
+                "serve_chaos_hedge_reissued_total",
+                help="hedged duplicate requests issued",
+            ).inc(reissued, tenant=tenant)
+            metrics.counter(
+                "serve_chaos_hedge_wins_total",
+                help="hedged duplicates that beat their original",
+            ).inc(wins, tenant=tenant)
+
     # ------------------------------------------------------------------
     def rollup(self) -> dict[str, dict[str, object]]:
         """Per-tenant SLO summary, deterministically ordered."""
@@ -176,5 +264,10 @@ class SLOAccountant:
                 "latency_p95": _percentile(state.latencies, 95.0),
                 "latency_p99": _percentile(state.latencies, 99.0),
                 "quality_p50": _percentile(state.qualities, 50.0),
+                "degraded": state.degraded,
+                "retries": state.retries,
+                "brownout_completions": state.brownout,
+                "hedge_reissued": state.reissued,
+                "hedge_wins": state.hedge_wins,
             }
         return out

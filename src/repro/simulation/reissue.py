@@ -17,15 +17,23 @@ by Cedar's estimate instead of a static rule of thumb).
 from __future__ import annotations
 
 import dataclasses
+from typing import Optional
 
 import numpy as np
 
 from ..core import AdaptiveController, QueryContext
+from ..core.aggregator import AggregatorController
 from ..core.policies import CedarPolicy
+from ..distributions import Distribution
 from ..errors import SimulationError
 from ..rng import SeedLike, resolve_rng
 
-__all__ = ["ReissueConfig", "ReissueQueryResult", "simulate_query_with_reissue"]
+__all__ = [
+    "ReissueConfig",
+    "ReissueQueryResult",
+    "run_aggregator_with_reissue",
+    "simulate_query_with_reissue",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -61,21 +69,36 @@ class ReissueQueryResult:
     reissue_wins: int
 
 
-def _run_aggregator_with_reissue(
-    controller: AdaptiveController,
+def run_aggregator_with_reissue(
+    controller: AggregatorController,
     durations: np.ndarray,
-    x1_true,
-    config: ReissueConfig,
+    fresh_source: Distribution,
     rng: np.random.Generator,
+    budget: int,
+    threshold_age: Optional[float] = None,
+    reissue_percentile: float = 0.9,
 ) -> tuple[float, int, int, int]:
     """Drive one aggregator; returns (depart, collected, reissued, wins).
 
-    Arrival times start as ``durations`` (sorted); when a reissue fires at
-    time ``t`` for a pending process, its effective completion becomes
-    ``min(original, t + fresh_draw)``.
+    Arrival times start as ``durations``; when a reissue fires at time
+    ``t`` for a pending process, a duplicate duration is drawn from
+    ``fresh_source`` and the effective completion becomes
+    ``min(original, t + fresh_draw)``. At most ``budget`` processes are
+    reissued.
+
+    Two trigger modes share this loop:
+
+    * **dynamic** (``threshold_age=None``) — the Cedar-guided reissue of
+      :func:`simulate_query_with_reissue`: the age bar is the
+      ``reissue_percentile`` of the controller's *current fitted*
+      distribution, so it needs an adaptive controller;
+    * **static** (``threshold_age`` given) — the classic tail-tolerant
+      hedged request: a fixed delay precomputed from the offline
+      distribution. Used by :mod:`repro.serve.hedging`, where the fixed
+      bar is what makes the reissue count provably monotone in the hedge
+      quantile.
     """
     k = durations.size
-    budget = max(1, int(config.budget_fraction * k))
     completion = durations.copy()
     delivered = np.zeros(k, dtype=bool)
     reissued: set[int] = set()
@@ -96,20 +119,25 @@ def _run_aggregator_with_reissue(
         last_arrival = float(t_next)
         if collected == k:
             break
-        # reissue pass: consult the current fitted distribution
-        est = controller.last_estimate
-        if est is None or len(reissued) >= budget:
+        if len(reissued) >= budget:
             continue
-        threshold_age = float(est.quantile(config.reissue_percentile))
+        if threshold_age is None:
+            # dynamic bar: consult the current fitted distribution
+            est = getattr(controller, "last_estimate", None)
+            if est is None:
+                continue
+            bar = float(est.quantile(reissue_percentile))
+        else:
+            bar = threshold_age
         now = float(t_next)
-        if now < threshold_age:
+        if now < bar:
             continue  # every pending process is still younger than the bar
         for j in range(k):
             if delivered[j] or j in reissued:
                 continue
             if completion[j] <= now:
                 continue  # already arriving; nothing to save
-            fresh = now + float(np.asarray(x1_true.sample(1, seed=rng))[0])
+            fresh = now + float(np.asarray(fresh_source.sample(1, seed=rng))[0])
             if fresh < completion[j]:
                 completion[j] = fresh
                 wins += 1
@@ -160,8 +188,13 @@ def simulate_query_with_reissue(
             raise SimulationError(
                 "reissue requires an adaptive bottom-level controller"
             )
-        depart, collected, reissued, wins = _run_aggregator_with_reissue(
-            controller, durations[a], x1, config, rng
+        depart, collected, reissued, wins = run_aggregator_with_reissue(
+            controller,
+            durations[a],
+            x1,
+            rng,
+            budget=max(1, int(config.budget_fraction * k1)),
+            reissue_percentile=config.reissue_percentile,
         )
         total_reissued += reissued
         total_wins += wins

@@ -201,3 +201,23 @@ class TestFig17:
         cedars = [float(x) for x in rep.column("cedar")]
         bases = [float(x) for x in rep.column("proportional_split")]
         assert all(c >= b - 0.03 for c, b in zip(cedars, bases))
+
+
+class TestChaosServing:
+    def test_quick_panel_claims(self):
+        from repro.experiments import chaos_serving
+
+        # the pinned seed: the smoke sweep's calibrated claims all hold
+        rep = chaos_serving.run("quick", seed=2608)
+        assert rep.summary["zero_rate_bit_identical"] == 1.0
+        assert rep.summary["brownout_hit_rate"] >= 0.99
+        assert rep.summary["warm_resets_with_drift"] >= 1
+        assert rep.summary["warm_resets_without_drift"] == 0
+        # at fault rate zero the hedging baseline ties Cedar exactly
+        for row in rep.rows:
+            if row[0] == 0.0:
+                assert row[4] == 0.0
+
+    def test_serving_experiments_registered(self):
+        for name in ("serving", "robustness", "chaos-serving"):
+            assert name in ALL

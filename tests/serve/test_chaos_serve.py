@@ -1,0 +1,412 @@
+"""Chaos-hardened serving: schedules, fault backend, degradation modes.
+
+The load-bearing guarantee is *zero-rate bit identity*: attaching an
+all-null :class:`FaultSchedule` and a :class:`DegradeConfig` to a server
+must leave the full serve report — outcomes included — byte-identical to
+a plain server on the same requests. Everything else (breaker, brownout,
+retry budgets, drift) is asserted against the deterministic mode machine
+directly, so each transition's reason is pinned, not just its existence.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import TreeSpec
+from repro.core.policies import CedarPolicy
+from repro.distributions import LogNormal
+from repro.errors import ConfigError
+from repro.faults import FaultModel
+from repro.serve import (
+    MODE_BROWNOUT,
+    MODE_CIRCUIT_OPEN,
+    MODE_HEALTHY,
+    MODE_PROBING,
+    SHED_CIRCUIT_OPEN,
+    CedarServer,
+    DegradeConfig,
+    DegradeController,
+    DriftSpec,
+    FaultSchedule,
+    FaultWindow,
+    FaultyBackend,
+    FixedWorkload,
+    LoadGenerator,
+    ServeConfig,
+    SimBackend,
+    pinned_workload,
+)
+from repro.serve.degrade import (
+    REASON_COOLDOWN_ELAPSED,
+    REASON_FAULT_STORM,
+    REASON_PROBE_DEGRADED,
+    REASON_PROBE_HEALTHY,
+    REASON_SUSTAINED_FAULTS,
+)
+
+SMALL_TREE = TreeSpec.two_level(LogNormal(1.0, 0.4), 4, LogNormal(0.5, 0.3), 3)
+
+
+def _requests(n=24, qps=0.05, seed=2608, deadline=60.0, drift=None):
+    workload = pinned_workload()
+    generator = LoadGenerator(
+        workload=workload,
+        qps=qps,
+        n_requests=n,
+        deadline=deadline,
+        seed=seed,
+        rate_amplitude=0.5,
+        drift=drift,
+    )
+    return workload.offline_tree(), generator.generate()
+
+
+class TestFaultSchedule:
+    def test_model_at_selects_the_covering_window(self):
+        storm = FaultModel(worker_crash_prob=0.5)
+        late = FaultModel(straggler_prob=0.9, straggler_factor=4.0)
+        schedule = FaultSchedule(
+            base=FaultModel(ship_loss_prob=0.1),
+            windows=(
+                FaultWindow(10.0, 20.0, storm),
+                FaultWindow(30.0, 40.0, late),
+            ),
+        )
+        assert schedule.model_at(0.0).ship_loss_prob == 0.1
+        assert schedule.model_at(10.0) is storm  # inclusive start
+        assert schedule.model_at(20.0).ship_loss_prob == 0.1  # exclusive end
+        assert schedule.model_at(35.0) is late
+        assert not schedule.is_null
+
+    def test_constant_and_null(self):
+        assert FaultSchedule().is_null
+        constant = FaultSchedule.constant(FaultModel(worker_crash_prob=0.2))
+        assert constant.model_at(1e9).worker_crash_prob == 0.2
+        assert not constant.is_null
+        quiet_windows = FaultSchedule(
+            windows=(FaultWindow(0.0, 5.0, FaultModel()),)
+        )
+        assert quiet_windows.is_null
+
+    def test_overlapping_windows_rejected(self):
+        with pytest.raises(ConfigError, match="non-overlapping"):
+            FaultSchedule(
+                windows=(
+                    FaultWindow(0.0, 10.0, FaultModel()),
+                    FaultWindow(5.0, 15.0, FaultModel()),
+                )
+            )
+
+    def test_unsorted_windows_rejected(self):
+        with pytest.raises(ConfigError, match="non-overlapping"):
+            FaultSchedule(
+                windows=(
+                    FaultWindow(20.0, 30.0, FaultModel()),
+                    FaultWindow(0.0, 10.0, FaultModel()),
+                )
+            )
+
+    def test_degenerate_window_rejected(self):
+        with pytest.raises(ConfigError, match="end must exceed"):
+            FaultWindow(5.0, 5.0, FaultModel())
+        with pytest.raises(ConfigError, match=">= 0"):
+            FaultWindow(-1.0, 5.0, FaultModel())
+
+    def test_describe_is_json_ready(self):
+        schedule = FaultSchedule(
+            base=FaultModel(worker_crash_prob=0.1),
+            windows=(FaultWindow(1.0, 2.0, FaultModel(agg_crash_prob=0.5)),),
+        )
+        doc = schedule.describe()
+        assert doc["base"]["worker_crash_prob"] == 0.1
+        assert doc["windows"][0]["faults"]["agg_crash_prob"] == 0.5
+
+
+class TestZeroRateBitIdentity:
+    """Satellite S1: chaos plumbing at zero rate costs exactly nothing."""
+
+    @pytest.mark.parametrize("seed", [2608, 7])
+    def test_null_schedule_and_degrade_are_bit_neutral(self, seed):
+        offline, requests = _requests(seed=seed)
+        plain = CedarServer(offline_tree=offline).run(requests)
+        chaos_cfg = ServeConfig(faults=FaultSchedule(), degrade=DegradeConfig())
+        chaotic = CedarServer(offline_tree=offline, config=chaos_cfg).run(
+            requests
+        )
+        assert chaotic.to_json(include_outcomes=True) == plain.to_json(
+            include_outcomes=True
+        )
+        assert chaotic.chaos["final_mode"] == MODE_HEALTHY
+        assert chaotic.chaos["mode_transitions"] == []
+        assert chaotic.chaos["retries"] == 0
+
+    def test_explicit_backend_plus_faults_conflict(self):
+        offline, _ = _requests(n=1)
+        config = ServeConfig(faults=FaultSchedule())
+        with pytest.raises(ConfigError, match="backend"):
+            CedarServer(
+                offline_tree=offline, config=config, backend=SimBackend()
+            )
+
+
+class TestFaultyBackend:
+    def test_null_model_delegates_to_plain_sim(self):
+        from repro.core import QueryContext
+
+        ctx = QueryContext(deadline=12.0, offline_tree=SMALL_TREE)
+        policy = CedarPolicy(grid_points=48, min_samples=3)
+        backend = FaultyBackend(FaultSchedule())
+        faulty = backend.run(ctx, policy, 5, None, None, {})
+        policy2 = CedarPolicy(grid_points=48, min_samples=3)
+        plain = SimBackend().run(ctx, policy2, 5, None, None, {})
+        assert faulty == plain
+        assert not faulty.degraded
+
+    def test_dispatch_time_picks_the_window_model(self):
+        from repro.core import QueryContext
+
+        ctx = QueryContext(deadline=12.0, offline_tree=SMALL_TREE)
+        schedule = FaultSchedule(
+            windows=(FaultWindow(100.0, 200.0, FaultModel(agg_crash_prob=1.0)),)
+        )
+        backend = FaultyBackend(schedule)
+        request = _requests(n=1)[1][0]
+
+        backend.observe_dispatch(request, 150.0)
+        inside = backend.run(
+            ctx, CedarPolicy(grid_points=48, min_samples=3), 5, None, None, {}
+        )
+        assert inside.degraded
+        assert inside.quality == 0.0  # every aggregator crashed
+
+        backend.on_run_start()  # resets the clock to t=0, outside the storm
+        outside = backend.run(
+            ctx, CedarPolicy(grid_points=48, min_samples=3), 5, None, None, {}
+        )
+        assert not outside.degraded
+
+
+class TestDegradeController:
+    """The mode machine, stepped by hand: every transition's reason."""
+
+    def _controller(self, **overrides):
+        config = DegradeConfig(
+            ewma_alpha=0.5, min_samples=1, cooldown=10.0, **overrides
+        )
+        return DegradeController(config)
+
+    def test_breaker_opens_on_destroyed_storm(self):
+        ctrl = self._controller()
+        ctrl.observe_completion(1.0, degraded=True, quality=0.0)
+        assert ctrl.mode == MODE_CIRCUIT_OPEN
+        assert ctrl.transitions[-1].reason == REASON_FAULT_STORM
+        assert ctrl.admission_veto(2.0) == SHED_CIRCUIT_OPEN
+
+    def test_cooldown_admits_one_probe_then_decides(self):
+        ctrl = self._controller()
+        ctrl.observe_completion(1.0, degraded=True, quality=0.0)
+        # cooldown elapses: the veto itself moves the machine to probing
+        assert ctrl.admission_veto(12.0) is None
+        assert ctrl.mode == MODE_PROBING
+        assert ctrl.transitions[-1].reason == REASON_COOLDOWN_ELAPSED
+        ctrl.note_dispatch()
+        # a second arrival while the probe is in flight is still refused
+        assert ctrl.admission_veto(12.5) == SHED_CIRCUIT_OPEN
+        # the probe is healthy, but the damaged EWMA (0.25) still sits
+        # above brownout_exit — the machine lands in brownout, not healthy
+        ctrl.observe_completion(13.0, degraded=False, quality=1.0)
+        assert ctrl.mode == MODE_BROWNOUT
+        assert ctrl.transitions[-1].reason == REASON_PROBE_HEALTHY
+        # one more healthy completion decays the EWMA below the exit bar
+        ctrl.observe_completion(14.0, degraded=False, quality=1.0)
+        assert ctrl.mode == MODE_HEALTHY
+
+    def test_degraded_probe_reopens_the_breaker(self):
+        ctrl = self._controller()
+        ctrl.observe_completion(1.0, degraded=True, quality=0.0)
+        assert ctrl.admission_veto(12.0) is None
+        ctrl.note_dispatch()
+        ctrl.observe_completion(13.0, degraded=True, quality=0.3)
+        assert ctrl.mode == MODE_CIRCUIT_OPEN
+        assert ctrl.transitions[-1].reason == REASON_PROBE_DEGRADED
+        # the cooldown clock restarted at the failed probe
+        assert ctrl.admission_veto(14.0) == SHED_CIRCUIT_OPEN
+
+    def test_brownout_enters_and_exits_with_hysteresis(self):
+        ctrl = self._controller(brownout_enter=0.4, brownout_exit=0.2)
+        ctrl.observe_completion(1.0, degraded=True, quality=0.5)
+        assert ctrl.mode == MODE_BROWNOUT
+        assert ctrl.transitions[-1].reason == REASON_SUSTAINED_FAULTS
+        assert ctrl.brownout_active
+        # one healthy completion halves the EWMA to 0.25: still in brownout
+        ctrl.observe_completion(2.0, degraded=False, quality=1.0)
+        assert ctrl.mode == MODE_BROWNOUT
+        ctrl.observe_completion(3.0, degraded=False, quality=1.0)
+        assert ctrl.mode == MODE_HEALTHY
+
+    def test_retry_budget_consume_and_refund(self):
+        ctrl = self._controller(retry_budget=2)
+        assert ctrl.try_consume_retry("a")
+        assert ctrl.try_consume_retry("a")
+        assert not ctrl.try_consume_retry("a")  # budget exhausted
+        assert ctrl.try_consume_retry("b")  # budgets are per tenant
+        ctrl.refund_retry("a")
+        assert ctrl.try_consume_retry("a")
+        assert ctrl.retry_tokens_used() == {"a": 2, "b": 1}
+
+    def test_no_retries_in_brownout_or_open(self):
+        ctrl = self._controller(brownout_enter=0.4)
+        ctrl.observe_completion(1.0, degraded=True, quality=0.5)
+        assert ctrl.mode == MODE_BROWNOUT
+        assert not ctrl.try_consume_retry("a")
+        ctrl2 = self._controller()
+        ctrl2.observe_completion(1.0, degraded=True, quality=0.0)
+        assert ctrl2.mode == MODE_CIRCUIT_OPEN
+        assert not ctrl2.try_consume_retry("a")
+
+    def test_min_samples_gates_mode_changes(self):
+        config = DegradeConfig(ewma_alpha=1.0, min_samples=3)
+        ctrl = DegradeController(config)
+        ctrl.observe_completion(1.0, degraded=True, quality=0.0)
+        ctrl.observe_completion(2.0, degraded=True, quality=0.0)
+        assert ctrl.mode == MODE_HEALTHY
+        ctrl.observe_completion(3.0, degraded=True, quality=0.0)
+        assert ctrl.mode == MODE_CIRCUIT_OPEN
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError, match="brownout_exit"):
+            DegradeConfig(brownout_enter=0.3, brownout_exit=0.3)
+        with pytest.raises(ConfigError, match="destroy_quality_floor"):
+            DegradeConfig(damage_quality_floor=0.5, destroy_quality_floor=0.6)
+        with pytest.raises(ConfigError, match="brownout_deadline_factor"):
+            DegradeConfig(brownout_deadline_factor=0.9)
+        with pytest.raises(ConfigError, match="max_attempts"):
+            DegradeConfig(max_attempts=0)
+
+
+class TestServeUnderStorm:
+    """End-to-end: a storm schedule drives the server's chaos accounting."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        offline, requests = _requests(n=30)
+        schedule = FaultSchedule(
+            base=FaultModel(
+                worker_crash_prob=0.1,
+                straggler_prob=0.3,
+                straggler_factor=3.0,
+                ship_loss_prob=0.05,
+            )
+        )
+        config = ServeConfig(
+            faults=schedule,
+            degrade=DegradeConfig(retry_quality_floor=0.5),
+        )
+        return CedarServer(offline_tree=offline, config=config).run(requests)
+
+    def test_faults_reach_the_outcomes(self, report):
+        chaos = report.chaos
+        assert chaos["degraded"] > 0
+        admitted = [o for o in report.outcomes if o.admitted]
+        assert any(o.degraded for o in admitted)
+
+    def test_retries_respect_the_budget(self, report):
+        used = report.chaos["retry_tokens_used"]
+        budget = DegradeConfig().retry_budget
+        assert all(count <= budget for count in used.values())
+        per_tenant: dict[str, int] = {}
+        for outcome in report.outcomes:
+            if outcome.admitted and outcome.retries:
+                per_tenant[outcome.tenant] = (
+                    per_tenant.get(outcome.tenant, 0) + outcome.retries
+                )
+        assert per_tenant == dict(used)
+
+    def test_chaos_run_is_deterministic(self):
+        offline, requests = _requests(n=20)
+        schedule = FaultSchedule.constant(
+            FaultModel(worker_crash_prob=0.2, ship_loss_prob=0.1)
+        )
+        config = ServeConfig(faults=schedule, degrade=DegradeConfig())
+
+        def run():
+            return CedarServer(offline_tree=offline, config=config).run(
+                requests
+            )
+
+        assert run().to_json(include_outcomes=True) == run().to_json(
+            include_outcomes=True
+        )
+
+
+class TestDriftSpec:
+    def test_lognormal_shift(self):
+        spec = DriftSpec(at_fraction=0.5, mu_shift=1.0, sigma_factor=2.0)
+        shifted = spec.apply(SMALL_TREE)
+        bottom = shifted.stages[0].duration
+        assert isinstance(bottom, LogNormal)
+        assert bottom.mu == pytest.approx(2.0)
+        assert bottom.sigma == pytest.approx(0.8)
+        # upper stage untouched
+        assert shifted.stages[1].duration is SMALL_TREE.stages[1].duration
+
+    def test_sigma_factor_needs_lognormal(self):
+        from repro.distributions import Uniform
+
+        tree = TreeSpec.two_level(Uniform(1.0, 2.0), 4, LogNormal(0.5, 0.3), 3)
+        with pytest.raises(ConfigError, match="log-normal"):
+            DriftSpec(mu_shift=0.5, sigma_factor=2.0).apply(tree)
+        # pure location shifts wrap multiplicatively instead
+        shifted = DriftSpec(mu_shift=0.5).apply(tree)
+        assert shifted.stages[0].duration.family == "scaled"
+
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="at_fraction"):
+            DriftSpec(at_fraction=1.0)
+        with pytest.raises(ConfigError, match="sigma_factor"):
+            DriftSpec(sigma_factor=0.0)
+
+    def test_loadgen_applies_drift_from_the_cut(self):
+        workload = FixedWorkload(SMALL_TREE)
+        drift = DriftSpec(at_fraction=0.5, mu_shift=2.0)
+        requests = LoadGenerator(
+            workload=workload,
+            qps=0.1,
+            n_requests=10,
+            deadline=30.0,
+            seed=3,
+            drift=drift,
+        ).generate()
+        mus = [r.tree.stages[0].duration.mu for r in requests]
+        assert mus[:5] == [1.0] * 5
+        assert mus[5:] == [3.0] * 5
+
+
+class TestDriftReachesWarmStore:
+    def test_regime_shift_triggers_resets(self):
+        offline, drifted = _requests(
+            n=40, qps=0.01, drift=DriftSpec(at_fraction=0.5, mu_shift=-5.0)
+        )
+        _, stationary = _requests(n=40, qps=0.01)
+        # warm_min_samples must sit below the bottom fan-out (4) or the
+        # online learner never refits and drift is invisible to the store
+        config = ServeConfig(warm_min_samples=3)
+
+        def resets(requests):
+            report = CedarServer(offline_tree=offline, config=config).run(
+                requests
+            )
+            return sum(
+                entry.get("resets", 0) for entry in report.warm.values()
+            )
+
+        assert resets(drifted) > 0
+        assert resets(stationary) == 0
+
+
+class TestFixedWorkload:
+    def test_protocol(self):
+        workload = FixedWorkload(SMALL_TREE, name="unit")
+        assert workload.offline_tree() is SMALL_TREE
+        assert workload.sample_query(None) is SMALL_TREE
+        assert workload.name == "unit"

@@ -70,6 +70,11 @@ class TestEmittedMatchesDeclared:
         slo.record_shed("t", "queue_full")
         slo.record_completion("t", latency=1.0, deadline=10.0, quality=1.0, hit=True)
         slo.record_queue_depth(0)
+        slo.record_degraded("t")
+        slo.record_retry("t")
+        slo.record_brownout("t")
+        slo.record_mode_transition("brownout", "sustained_faults")
+        slo.record_hedge("t", reissued=2, wins=1)
         doc = json.loads(metrics.render_json())
         emitted = {name.removeprefix("cedar_") for name in doc}
         assert emitted == SERVE_METRIC_NAMES
