@@ -1,0 +1,107 @@
+"""Shard-serving bench: the kill × load crash-recovery trajectory.
+
+Regenerates the pinned ``run_shard_serve_bench()`` document (load
+ladder 0.02 / 0.06 qps crossed with none / flush / hard kill arms,
+tenants pinned one-per-shard, seed 2608) and asserts the sharded
+supervision guarantees plus the committed snapshot:
+
+* supervision is free when nothing fails — a single-shard no-kill
+  supervised worker report is *byte-identical* to a plain
+  ``CedarServer`` run over the same requests;
+* crash recovery loses nothing — every cell, flush and hard kills
+  alike, ends with ``terminal.lost == 0`` and no duplicate outcomes:
+  every admitted query reaches exactly one terminal outcome;
+* the bulkheads hold — killing one tenant's shard degrades no other
+  tenant's p99 by 10% or more (with independent per-shard event loops
+  the measured degradation is exactly zero), and capping a noisy
+  tenant's budget leaves the other tenants' latency untouched;
+* the regenerated document is byte-identical to the committed
+  ``benchmarks/BENCH_shard_serve.json`` (refresh it deliberately with
+  ``cedar-repro serve-bench --shards --out benchmarks/BENCH_shard_serve.json``).
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.serve import run_shard_serve_bench, smoke_shard_spec
+
+from .conftest import OUTPUT_DIR, run_once
+
+EXPECTED_PATH = pathlib.Path(__file__).parent / "BENCH_shard_serve.json"
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return run_shard_serve_bench()
+
+
+def test_shard_serve_bench(benchmark):
+    """Time the CI-sized smoke sweep (the full sweep runs in the fixture)."""
+    result = run_once(
+        benchmark, lambda: run_shard_serve_bench(**smoke_shard_spec())
+    )
+    assert result["claims"]["zero_lost"] is True
+
+
+def test_single_shard_supervision_is_bit_identical(doc):
+    assert doc["claims"]["single_shard_bit_identical"] is True
+
+
+def test_every_cell_ran_every_arm(doc):
+    assert len(doc["cells"]) == len(doc["qps_points"]) * len(doc["kill_arms"])
+    for cell in doc["cells"]:
+        assert cell["completed"] > 0
+        assert cell["terminal"]["expected"] > 0
+
+
+def test_no_query_is_ever_lost(doc):
+    assert doc["claims"]["zero_lost"] is True
+    for cell in doc["cells"]:
+        assert cell["terminal"]["lost"] == 0
+        assert cell["terminal"]["lost_indices"] == []
+        assert cell["terminal"]["duplicates"] == 0
+        assert cell["terminal"]["recorded"] == cell["terminal"]["expected"]
+
+
+def test_kills_actually_fire_and_recover(doc):
+    assert doc["claims"]["kills_fired"] is True
+    for cell in doc["cells"]:
+        killed = cell["killed_shard"]
+        if cell["arm"] == "none":
+            assert killed["kills"] == 0
+            assert killed["incarnations"] == 1
+        else:
+            assert killed["kills"] == 1
+            assert killed["restarts"] == 1
+            assert killed["incarnations"] == 2
+            assert cell["recovery_events"] >= 2  # kill + restart, in order
+
+
+def test_bulkheads_bound_collateral_damage(doc):
+    assert doc["claims"]["max_nonkilled_p99_degradation"] < 0.10
+    bulkhead = doc["bulkhead"]
+    assert bulkhead["others_unaffected"] is True
+    assert bulkhead["router_shed"] > 0  # the cap actually bit
+    capped = bulkhead["capped_tenants"][bulkhead["capped_tenant"]]
+    uncapped = bulkhead["uncapped_tenants"][bulkhead["capped_tenant"]]
+    assert capped["shed"] > uncapped["shed"]
+
+
+def test_bit_identical_across_runs():
+    spec = smoke_shard_spec()
+    first = json.dumps(run_shard_serve_bench(**spec), sort_keys=True)
+    second = json.dumps(run_shard_serve_bench(**spec), sort_keys=True)
+    assert first == second
+
+
+def test_matches_committed_snapshot(doc):
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    regenerated = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    (OUTPUT_DIR / "BENCH_shard_serve.json").write_text(regenerated)
+    committed = EXPECTED_PATH.read_text()
+    assert regenerated == committed, (
+        "shard-serving trajectory moved; inspect benchmarks/output/"
+        "BENCH_shard_serve.json and refresh BENCH_shard_serve.json if intended"
+    )

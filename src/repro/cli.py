@@ -254,6 +254,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "(pinned scenario sizes; --qps/--requests/--no-warm are ignored)",
     )
     serve_p.add_argument(
+        "--shards",
+        action="store_true",
+        help="run the sharded-supervision kill x load sweep instead of "
+        "the QPS sweep (crash recovery + bulkhead isolation; pinned "
+        "scenario sizes; --requests/--no-warm are ignored)",
+    )
+    serve_p.add_argument(
         "--qps",
         type=float,
         action="append",
@@ -698,12 +705,30 @@ def _cmd_serve_bench(args) -> int:
     from .serve import (
         run_chaos_serve_bench,
         run_serve_bench,
+        run_shard_serve_bench,
         smoke_bench_spec,
         smoke_chaos_spec,
+        smoke_shard_spec,
     )
 
     try:
-        if args.chaos:
+        if args.chaos and args.shards:
+            print("error: pass --chaos or --shards, not both", file=sys.stderr)
+            return 1
+        if args.shards:
+            if args.smoke:
+                doc = run_shard_serve_bench(
+                    deadline=args.deadline,
+                    seed=args.seed,
+                    **smoke_shard_spec(),
+                )
+            else:
+                doc = run_shard_serve_bench(
+                    qps_points=args.qps,
+                    deadline=args.deadline,
+                    seed=args.seed,
+                )
+        elif args.chaos:
             if args.smoke:
                 doc = run_chaos_serve_bench(
                     deadline=args.deadline,

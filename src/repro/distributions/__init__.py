@@ -13,6 +13,7 @@ from .fitting import (
     CANDIDATE_FAMILIES,
     DEFAULT_PROBS,
     FitResult,
+    distribution_from_params,
     fit_distribution_type,
     fit_family,
     fit_samples,
@@ -47,6 +48,7 @@ __all__ = [
     "fit_family",
     "fit_distribution_type",
     "fit_samples",
+    "distribution_from_params",
     "DEFAULT_PROBS",
     "CANDIDATE_FAMILIES",
 ]

@@ -32,6 +32,7 @@ __all__ = [
     "fit_family",
     "fit_distribution_type",
     "fit_samples",
+    "distribution_from_params",
     "DEFAULT_PROBS",
     "CANDIDATE_FAMILIES",
 ]
@@ -210,6 +211,36 @@ def fit_distribution_type(
         raise FitError("no candidate family could fit the percentile data")
     results.sort()
     return results
+
+
+#: constructor per candidate family — every family's ``params()`` keys
+#: are exactly its constructor keywords, so ``cls(**params)`` rebuilds a
+#: fitted distribution bit-identically (floats survive a JSON round trip
+#: via the shortest-repr guarantee).
+_FAMILY_CLASSES: Mapping[str, Callable[..., Distribution]] = {
+    "lognormal": LogNormal,
+    "normal": Normal,
+    "exponential": Exponential,
+    "pareto": Pareto,
+    "weibull": Weibull,
+    "gamma": Gamma,
+    "uniform": Uniform,
+}
+
+
+def distribution_from_params(
+    family: str, params: Mapping[str, float]
+) -> Distribution:
+    """Rebuild a candidate-family distribution from its ``params()`` dict
+    (the inverse of fitting, used to deserialize checkpointed fits)."""
+    try:
+        cls = _FAMILY_CLASSES[family]
+    except KeyError as exc:
+        raise FitError(
+            f"unknown distribution family {family!r}; expected one of "
+            f"{sorted(_FAMILY_CLASSES)}"
+        ) from exc
+    return cls(**{str(k): float(v) for k, v in params.items()})
 
 
 def fit_samples(

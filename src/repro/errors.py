@@ -37,3 +37,9 @@ class SchedulerError(ReproError):
 
 class TraceError(ReproError):
     """A workload trace is malformed or cannot be generated."""
+
+
+class ShardError(ReproError):
+    """The shard supervisor reached an inconsistent state (a worker
+    failed outside the injected kill schedule, a checkpoint could not be
+    restored, or a query lost its terminal outcome)."""

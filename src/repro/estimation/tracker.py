@@ -14,11 +14,16 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence
 
 import numpy as np
 
-from ..distributions import Distribution, FitResult, fit_samples
+from ..distributions import (
+    Distribution,
+    FitResult,
+    distribution_from_params,
+    fit_samples,
+)
 from ..errors import EstimationError
 
 __all__ = ["DistributionTracker"]
@@ -139,3 +144,71 @@ class DistributionTracker:
             self._samples.clear()
             self._since_fit = 0
             self._current = None
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, object]:
+        """JSON-serializable full state, for crash-recovery checkpoints.
+
+        The current fit is serialized *as fitted* (family + params +
+        errors) rather than re-derived from the window on restore —
+        replaying observations would advance the refit counters and
+        diverge from the live tracker.
+        """
+        with self._lock:
+            fit: Optional[dict[str, object]] = None
+            if self._current is not None:
+                fit = {
+                    "family": self._current.family,
+                    "params": {
+                        str(k): float(v)
+                        for k, v in self._current.distribution.params().items()
+                    },
+                    "rel_rmse": self._current.rel_rmse,
+                    # JSON keys are strings; keep the float probabilities
+                    # exact by storing (prob, error) pairs instead.
+                    "per_point_rel_error": [
+                        [float(p), float(e)]
+                        for p, e in self._current.per_point_rel_error.items()
+                    ],
+                }
+            return {
+                "window": self.window,
+                "refit_every": self.refit_every,
+                "min_samples": self.min_samples,
+                "candidates": (
+                    list(self.candidates) if self.candidates is not None else None
+                ),
+                "samples": list(self._samples),
+                "since_fit": self._since_fit,
+                "refits": self._refits,
+                "fit": fit,
+            }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "DistributionTracker":
+        """Rebuild a tracker bit-identically from :meth:`state_dict`."""
+        candidates = state["candidates"]
+        tracker = cls(
+            window=int(state["window"]),
+            refit_every=int(state["refit_every"]),
+            min_samples=int(state["min_samples"]),
+            candidates=(
+                [str(c) for c in candidates] if candidates is not None else None
+            ),
+        )
+        tracker._samples.extend(float(v) for v in state["samples"])
+        tracker._since_fit = int(state["since_fit"])
+        tracker._refits = int(state["refits"])
+        fit = state["fit"]
+        if fit is not None:
+            tracker._current = FitResult(
+                family=str(fit["family"]),
+                distribution=distribution_from_params(
+                    str(fit["family"]), fit["params"]
+                ),
+                rel_rmse=float(fit["rel_rmse"]),
+                per_point_rel_error={
+                    float(p): float(e) for p, e in fit["per_point_rel_error"]
+                },
+            )
+        return tracker

@@ -22,6 +22,7 @@ from . import (
     fig17_gaussian,
     robustness,
     serving,
+    shard_serving,
 )
 from .common import ExperimentReport, pick
 from .store import ReportDiff, compare_reports, load_report, save_report
@@ -51,6 +52,7 @@ ALL = {
     "robustness": robustness.run,
     "serving": serving.run,
     "chaos-serving": chaos_serving.run,
+    "shard-serving": shard_serving.run,
 }
 
 __all__ = [

@@ -38,6 +38,9 @@ KNOWN_PROFILE_SITES = frozenset(
         "serve.degrade.decide",
         "serve.dispatch",
         "serve.hedge.query",
+        "serve.shard.checkpoint",
+        "serve.shard.merge",
+        "serve.shard.route",
         "serve.warmstart.observe",
     }
 )

@@ -81,10 +81,12 @@ KNOWN_SPAN_ATTRS = frozenset(
         "dropped_connections",
         "est_mu",
         "est_sigma",
+        "event",
         "failed_domains",
         "fault",
         "faulty",
         "hedge_wins",
+        "incarnation",
         "included",
         "included_outputs",
         "index",
@@ -94,6 +96,7 @@ KNOWN_SPAN_ATTRS = frozenset(
         "malformed_lines",
         "mode",
         "n_arrived",
+        "pending",
         "policy",
         "quality",
         "query_index",
@@ -102,6 +105,7 @@ KNOWN_SPAN_ATTRS = frozenset(
         "reissued",
         "retries",
         "root_verdict",
+        "shard",
         "shed_reason",
         "ship_arrival",
         "ship_failures",

@@ -34,6 +34,17 @@ paper's core threat model, plus outright faults):
 * :func:`run_chaos_serve_bench` — the fault x drift sweep behind
   ``cedar-repro serve-bench --chaos``.
 
+Sharded supervision (the serving *process* under crashes):
+
+* :class:`ShardSupervisor` — N ``CedarServer`` worker processes behind a
+  :class:`TenantRouter` (bulkhead isolation), heartbeated, restarted
+  from :class:`WarmStateCheckpoint` snapshots after injected
+  :class:`ShardKillSchedule` kills, re-dispatching in-flight queries
+  with their original seeds so every admitted query reaches exactly one
+  terminal outcome;
+* :func:`run_shard_serve_bench` — the kill x load sweep behind
+  ``cedar-repro serve-bench --shards``.
+
 Everything runs in virtual time: a serve run on a fixed seed is
 bit-identical across repeats, and at vanishing load it reproduces
 :func:`repro.simulation.simulate_query` exactly (asserted in the tests).
@@ -45,6 +56,7 @@ from .admission import (
     SHED_STALE,
     AdmissionController,
 )
+from .checkpoint import CHECKPOINT_VERSION, WarmStateCheckpoint
 from .bench import (
     pinned_config,
     pinned_workload,
@@ -79,6 +91,13 @@ from .hedging import (
 )
 from .loadgen import DriftSpec, FixedWorkload, LoadGenerator
 from .request import QueryOutcome, QueryRequest, ServeConfig
+from .router import (
+    SHED_FAIR_SHARE,
+    SHED_TENANT_BUDGET,
+    RoutingPlan,
+    TenantBudget,
+    TenantRouter,
+)
 from .server import (
     BackendResult,
     CedarServer,
@@ -87,6 +106,20 @@ from .server import (
     SimBackend,
     TcpBackend,
 )
+from .shard import (
+    SHED_SHARD_LOST,
+    ShardConfig,
+    ShardKill,
+    ShardKillSchedule,
+    ShardServeReport,
+    ShardSupervisor,
+)
+from .shardbench import (
+    pinned_shard_tenants,
+    run_shard_serve_bench,
+    smoke_shard_spec,
+)
+from .shardworker import ShardTask, run_incarnation, shard_worker_main
 from .slo import (
     SERVE_METRIC_NAMES,
     SERVE_PROFILE_SITES,
@@ -98,6 +131,7 @@ from .warmstart import CedarWarmPolicy, WarmStartStore
 __all__ = [
     "AdmissionController",
     "BackendResult",
+    "CHECKPOINT_VERSION",
     "CedarServer",
     "CedarWarmPolicy",
     "DegradeConfig",
@@ -119,29 +153,47 @@ __all__ = [
     "ModeTransition",
     "QueryOutcome",
     "QueryRequest",
+    "RoutingPlan",
     "SERVE_METRIC_NAMES",
     "SERVE_PROFILE_SITES",
     "SERVE_SPAN_ATTRS",
     "SHED_CIRCUIT_OPEN",
+    "SHED_FAIR_SHARE",
     "SHED_INFEASIBLE",
     "SHED_QUEUE_FULL",
+    "SHED_SHARD_LOST",
     "SHED_STALE",
+    "SHED_TENANT_BUDGET",
     "SLOAccountant",
     "ServeConfig",
     "ServeReport",
+    "ShardConfig",
+    "ShardKill",
+    "ShardKillSchedule",
+    "ShardServeReport",
+    "ShardSupervisor",
+    "ShardTask",
     "SimBackend",
     "TcpBackend",
+    "TenantBudget",
+    "TenantRouter",
     "WarmStartStore",
+    "WarmStateCheckpoint",
     "brownout_schedule",
     "pinned_config",
     "pinned_degrade_config",
     "pinned_drift",
     "pinned_fault_schedule",
     "pinned_hedging_config",
+    "pinned_shard_tenants",
     "pinned_workload",
     "run_chaos_serve_bench",
+    "run_incarnation",
     "run_serve_bench",
+    "run_shard_serve_bench",
+    "shard_worker_main",
     "simulate_query_hedged",
     "smoke_bench_spec",
     "smoke_chaos_spec",
+    "smoke_shard_spec",
 ]

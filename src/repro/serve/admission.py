@@ -102,6 +102,13 @@ class AdmissionController:
         """Current EWMA of observed service times (None before traffic)."""
         return self._service_est
 
+    def restore_service_estimate(self, estimate: Optional[float]) -> None:
+        """Seed the feasibility predictor from a checkpointed EWMA, so a
+        restarted shard sheds with the same learned estimate it died with."""
+        if estimate is not None and estimate < 0.0:
+            raise ConfigError(f"service estimate must be >= 0, got {estimate}")
+        self._service_est = float(estimate) if estimate is not None else None
+
     # ------------------------------------------------------------------
     def offer(self, request: QueryRequest, now: float) -> Optional[str]:
         """Admit ``request`` (returns None, request is queued) or shed it

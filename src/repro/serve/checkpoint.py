@@ -1,0 +1,99 @@
+"""Versioned warm-state checkpoints for crash recovery.
+
+A :class:`WarmStateCheckpoint` is everything a restarted shard worker
+needs to resume *as if it had never died*: the
+:class:`~repro.serve.WarmStartStore`'s per-key priors and tracker
+windows, the :class:`~repro.serve.SLOAccountant`'s per-tenant samples,
+and the admission controller's learned service-time EWMA. Workers
+snapshot periodically (``checkpoint_every`` virtual seconds) and stream
+the snapshot to the supervisor over the coordination queue; on a crash
+the supervisor rebuilds the worker from the last snapshot it holds.
+
+Checkpoints are plain JSON-serializable dicts. Every float survives the
+round trip bit-identically (Python's shortest-repr guarantee), which is
+what makes "restore then serve" indistinguishable from "never died" for
+the warm priors — asserted by ``tests/serve/test_checkpoint.py``.
+
+The format is versioned: :meth:`WarmStateCheckpoint.from_dict` refuses a
+checkpoint whose ``version`` it does not understand, so a rolling
+upgrade fails loudly instead of silently misreading state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping, Optional
+
+from ..errors import ShardError
+from .warmstart import WarmStartStore
+
+__all__ = ["CHECKPOINT_VERSION", "WarmStateCheckpoint"]
+
+#: current checkpoint format version.
+CHECKPOINT_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class WarmStateCheckpoint:
+    """One periodic snapshot of a shard worker's recoverable state."""
+
+    shard: int
+    incarnation: int
+    #: virtual time the snapshot was taken at.
+    taken_at: float
+    #: ``WarmStartStore.state_dict()`` (None when the shard runs cold).
+    warm: Optional[dict[str, object]]
+    #: ``SLOAccountant.state_dict()``.
+    slo: dict[str, object]
+    #: admission controller's learned service-time EWMA.
+    service_estimate: Optional[float]
+    version: int = CHECKPOINT_VERSION
+
+    def __post_init__(self) -> None:
+        if self.shard < 0:
+            raise ShardError(f"shard must be >= 0, got {self.shard}")
+        if self.incarnation < 0:
+            raise ShardError(
+                f"incarnation must be >= 0, got {self.incarnation}"
+            )
+        if self.taken_at < 0.0:
+            raise ShardError(f"taken_at must be >= 0, got {self.taken_at}")
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "version": self.version,
+            "shard": self.shard,
+            "incarnation": self.incarnation,
+            "taken_at": self.taken_at,
+            "warm": self.warm,
+            "slo": self.slo,
+            "service_estimate": self.service_estimate,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "WarmStateCheckpoint":
+        version = doc.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise ShardError(
+                f"unsupported checkpoint version {version!r} "
+                f"(this build reads version {CHECKPOINT_VERSION})"
+            )
+        est = doc["service_estimate"]
+        return cls(
+            shard=int(doc["shard"]),
+            incarnation=int(doc["incarnation"]),
+            taken_at=float(doc["taken_at"]),
+            warm=doc["warm"],
+            slo=doc["slo"],
+            service_estimate=float(est) if est is not None else None,
+            version=int(version),
+        )
+
+    # ------------------------------------------------------------------
+    def restore_store(self) -> Optional[WarmStartStore]:
+        """Rebuild the warm-start store bit-identically (None when the
+        checkpointed shard ran cold)."""
+        if self.warm is None:
+            return None
+        return WarmStartStore.from_state(self.warm)

@@ -378,6 +378,11 @@ class CedarServer:
             self.backend = SimBackend(agg_sample=self.config.agg_sample)
         self.tracer = tracer
         self.metrics = metrics
+        #: optional observer called with every terminal outcome and the
+        #: virtual time it was recorded — the shard worker streams
+        #: outcomes to its supervisor through this. None (the default)
+        #: leaves the run bit-identical to a server without the hook.
+        self.on_outcome: Optional[Callable[[QueryOutcome, float], None]] = None
         # per-run state, rebuilt by run()
         self._loop: EventLoop = EventLoop()
         self._admission: AdmissionController = self._new_admission()
@@ -401,6 +406,14 @@ class CedarServer:
     # ------------------------------------------------------------------
     def run(self, requests: Sequence[QueryRequest]) -> ServeReport:
         """Serve ``requests`` (an open-loop arrival stream) to completion."""
+        order = self._start_run(requests)
+        self._loop.run()
+        return self._build_report(order)
+
+    def _start_run(
+        self, requests: Sequence[QueryRequest]
+    ) -> list[QueryRequest]:
+        """Reset per-run state and schedule the arrival stream."""
         order = sorted(requests, key=lambda r: (r.arrival, r.index))
         self._loop = EventLoop()
         self._admission = self._new_admission()
@@ -417,13 +430,22 @@ class CedarServer:
         on_run_start = getattr(self.backend, "on_run_start", None)
         if callable(on_run_start):
             on_run_start()
+        self._schedule_arrivals(order)
+        return order
+
+    def _schedule_arrivals(self, order: Sequence[QueryRequest]) -> None:
+        """Schedule one arrival event per request (subclass hook: the
+        shard worker clamps pre-crash arrivals to its resume time)."""
         for request in order:
             self._loop.schedule_at(
                 request.arrival,
                 (lambda r: lambda: self._on_arrival(r))(request),
             )
-        self._loop.run()
-        return self._build_report(order)
+
+    def _record_outcome(self, outcome: QueryOutcome, now: float) -> None:
+        self._outcomes[outcome.index] = outcome
+        if self.on_outcome is not None:
+            self.on_outcome(outcome, now)
 
     # ------------------------------------------------------------------
     def _on_arrival(self, request: QueryRequest) -> None:
@@ -590,7 +612,7 @@ class CedarServer:
         self._slo.record_queue_depth(self._admission.queue_depth)
         if finish > self._last_finish:
             self._last_finish = finish
-        self._outcomes[request.index] = QueryOutcome(
+        outcome = QueryOutcome(
             index=request.index,
             tenant=request.tenant,
             workload_key=request.workload_key,
@@ -611,6 +633,7 @@ class CedarServer:
             reissued=result.reissued,
             hedge_wins=result.hedge_wins,
         )
+        self._record_outcome(outcome, finish)
         if self.tracer is not None:
             self.tracer.add_span(
                 "request",
@@ -709,7 +732,7 @@ class CedarServer:
                 )
             if now > self._last_finish:
                 self._last_finish = now
-            self._outcomes[request.index] = QueryOutcome(
+            outcome = QueryOutcome(
                 index=request.index,
                 tenant=request.tenant,
                 workload_key=request.workload_key,
@@ -730,6 +753,7 @@ class CedarServer:
                 reissued=result.reissued,
                 hedge_wins=result.hedge_wins,
             )
+            self._record_outcome(outcome, now)
             if self.tracer is not None:
                 self.tracer.add_span(
                     "request",
@@ -755,14 +779,17 @@ class CedarServer:
                 )
             return
         self._slo.record_shed(request.tenant, reason)
-        self._outcomes[request.index] = QueryOutcome(
-            index=request.index,
-            tenant=request.tenant,
-            workload_key=request.workload_key,
-            arrival=request.arrival,
-            deadline=request.deadline,
-            admitted=False,
-            shed_reason=reason,
+        self._record_outcome(
+            QueryOutcome(
+                index=request.index,
+                tenant=request.tenant,
+                workload_key=request.workload_key,
+                arrival=request.arrival,
+                deadline=request.deadline,
+                admitted=False,
+                shed_reason=reason,
+            ),
+            now,
         )
         if self.tracer is not None:
             self.tracer.add_span(

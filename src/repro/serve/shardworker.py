@@ -1,0 +1,277 @@
+"""Shard worker: one ``CedarServer`` incarnation in a child process.
+
+The supervisor (``repro.serve.shard``) hands each worker a fully
+materialised :class:`ShardTask` — the shard's request batch, the crash
+checkpoint to resume from (if any), and at most one injected kill — and
+the worker streams messages back over a per-shard ``mp.Queue`` in the
+runner idiom: a module-level entry point (spawn-safe), per-runner seeded
+inputs, and an explicit error sentinel instead of a silent death.
+
+Message protocol (all tuples, picklable, per-shard FIFO)::
+
+    ("hb",         shard, incarnation, vtime)            heartbeat tick
+    ("outcome",    shard, incarnation, vtime, outcome)   terminal outcome
+    ("checkpoint", shard, incarnation, checkpoint_doc)   periodic snapshot
+    ("killed",     shard, incarnation, vtime)            injected kill fired
+    ("report",     shard, incarnation, report_doc)       clean completion
+    ("error",      shard, incarnation, traceback_str)    unexpected failure
+
+Kills come in two flavours. The default *flush* kill stops the event
+loop at the scheduled virtual time, flushes the queue, and exits — every
+message emitted before the kill is delivered, which keeps recovery
+byte-deterministic. A *hard* kill exits with ``os._exit`` mid-flight, so
+messages still buffered in the queue's feeder thread are genuinely lost;
+the supervisor's exactly-one-terminal-outcome contract must (and does)
+survive it, but hard-kill runs are asserted on invariants only, never
+byte-compared. Inline (in-process) supervision cannot lose buffered
+messages, so there a hard kill degrades to a flush kill.
+
+The worker's clock is its own virtual :class:`~repro.simulation.EventLoop`
+starting at 0; arrivals that predate the incarnation's ``resume_at``
+(queries admitted before the crash) are scheduled *at* ``resume_at``
+while keeping their original arrival time for latency and staleness
+accounting — downtime honestly burns deadline budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+import traceback
+from typing import Any, Callable, Optional, Sequence
+
+from ..obs.profile import PROFILER
+from ..simulation.events import Event
+from .checkpoint import WarmStateCheckpoint
+from .request import QueryOutcome, QueryRequest, ServeConfig
+from .server import CedarServer, ServeReport
+
+__all__ = [
+    "KILL_EXIT_CODE",
+    "HARD_KILL_EXIT_CODE",
+    "ERROR_EXIT_CODE",
+    "ShardTask",
+    "ShardKilled",
+    "run_incarnation",
+    "shard_worker_main",
+]
+
+#: exit code of a worker that honoured a flush kill.
+KILL_EXIT_CODE = 73
+#: exit code of a worker that died by hard (``os._exit``) kill.
+HARD_KILL_EXIT_CODE = 74
+#: exit code of a worker that failed outside the kill schedule.
+ERROR_EXIT_CODE = 1
+
+_Emit = Callable[[tuple[Any, ...]], None]
+
+
+class ShardKilled(Exception):
+    """Raised inside the worker loop when the injected kill fires."""
+
+    def __init__(self, at: float, hard: bool) -> None:
+        super().__init__(f"shard killed at t={at} (hard={hard})")
+        self.at = at
+        self.hard = hard
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardTask:
+    """Everything one worker incarnation needs, fully materialised."""
+
+    shard: int
+    incarnation: int
+    #: virtual time this incarnation resumes at (0.0 for the first).
+    resume_at: float
+    offline_tree: Any
+    config: ServeConfig
+    #: the shard's request batch (original arrivals and seeds — a
+    #: re-dispatched query reruns with the seed it was admitted with).
+    requests: tuple[QueryRequest, ...]
+    #: at most one injected kill, ``(virtual_time, hard)``.
+    kill: Optional[tuple[float, bool]] = None
+    #: checkpoint document to restore warm/SLO/admission state from.
+    checkpoint: Optional[dict[str, object]] = None
+    checkpoint_every: float = 50.0
+    heartbeat_every: float = 25.0
+
+
+class _ShardServer(CedarServer):
+    """A ``CedarServer`` that streams outcomes, snapshots its warm state,
+    and dies on schedule.
+
+    With ``resume_at == 0``, no checkpoint, and no kill, every override
+    reduces to the parent behaviour (ticks only add cancelled-before-
+    effect events), so a single-shard no-kill supervised run stays
+    byte-identical to a plain server — asserted by the pinned benchmark.
+    """
+
+    def __init__(self, task: ShardTask, emit: _Emit) -> None:
+        restored = (
+            WarmStateCheckpoint.from_dict(task.checkpoint)
+            if task.checkpoint is not None
+            else None
+        )
+        super().__init__(
+            task.offline_tree,
+            task.config,
+            store=restored.restore_store() if restored is not None else None,
+        )
+        self._task = task
+        self._restored = restored
+        self._emit = emit
+        self._n_scheduled = 0
+        self._control_events: list[Event] = []
+        self.on_outcome = self._emit_outcome
+
+    # ------------------------------------------------------------------
+    def _schedule_arrivals(self, order: Sequence[QueryRequest]) -> None:
+        task = self._task
+        if self._restored is not None:
+            self._slo.restore_state(self._restored.slo)
+            self._admission.restore_service_estimate(
+                self._restored.service_estimate
+            )
+        self._n_scheduled = len(order)
+        self._control_events = []
+        for request in order:
+            # queries admitted before the crash arrive the moment the
+            # incarnation is up; their original arrival time still
+            # anchors latency and staleness, so downtime costs budget.
+            self._loop.schedule_at(
+                max(request.arrival, task.resume_at),
+                (lambda r: lambda: self._on_arrival(r))(request),
+            )
+        if not order:
+            return
+        if task.kill is not None:
+            at, hard = task.kill
+            self._control_events.append(
+                self._loop.schedule_at(at, lambda: self._fire_kill(at, hard))
+            )
+        if task.checkpoint_every > 0.0:
+            self._control_events.append(
+                self._loop.schedule_at(
+                    task.resume_at + task.checkpoint_every,
+                    self._tick_checkpoint,
+                )
+            )
+        if task.heartbeat_every > 0.0:
+            self._control_events.append(
+                self._loop.schedule_at(
+                    task.resume_at + task.heartbeat_every,
+                    self._tick_heartbeat,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def _done(self) -> bool:
+        return len(self._outcomes) >= self._n_scheduled
+
+    def _record_outcome(self, outcome: QueryOutcome, now: float) -> None:
+        super()._record_outcome(outcome, now)
+        if self._done():
+            # all work is terminal: cancel the kill/tick events so the
+            # loop drains and the incarnation reports instead of dying
+            # (or ticking) after the last answer.
+            for event in self._control_events:
+                event.cancel()
+
+    def _emit_outcome(self, outcome: QueryOutcome, now: float) -> None:
+        self._emit(
+            ("outcome", self._task.shard, self._task.incarnation, now, outcome)
+        )
+
+    # ------------------------------------------------------------------
+    def _fire_kill(self, at: float, hard: bool) -> None:
+        raise ShardKilled(at, hard)
+
+    def _tick_checkpoint(self) -> None:
+        if self._done():
+            return
+        checkpoint = self.capture_checkpoint()
+        self._emit(
+            (
+                "checkpoint",
+                self._task.shard,
+                self._task.incarnation,
+                checkpoint.to_dict(),
+            )
+        )
+        self._control_events.append(
+            self._loop.schedule(self._task.checkpoint_every, self._tick_checkpoint)
+        )
+
+    def _tick_heartbeat(self) -> None:
+        if self._done():
+            return
+        self._emit(
+            ("hb", self._task.shard, self._task.incarnation, self._loop.now)
+        )
+        self._control_events.append(
+            self._loop.schedule(self._task.heartbeat_every, self._tick_heartbeat)
+        )
+
+    def capture_checkpoint(self) -> WarmStateCheckpoint:
+        """Snapshot warm priors + SLO accounting + admission EWMA."""
+        tok = PROFILER.start()
+        checkpoint = WarmStateCheckpoint(
+            shard=self._task.shard,
+            incarnation=self._task.incarnation,
+            taken_at=self._loop.now,
+            warm=self.store.state_dict() if self.store is not None else None,
+            slo=self._slo.state_dict(),
+            service_estimate=self._admission.service_estimate,
+        )
+        PROFILER.stop("serve.shard.checkpoint", tok)
+        return checkpoint
+
+
+# ----------------------------------------------------------------------
+def run_incarnation(task: ShardTask, emit: _Emit) -> Optional[ServeReport]:
+    """Run one worker incarnation, streaming messages through ``emit``.
+
+    Returns the final report on clean completion, or None when the
+    injected flush kill fired (the "killed" message carries the time).
+    Hard kills propagate as :class:`ShardKilled` for the caller to turn
+    into an abrupt exit.
+    """
+    server = _ShardServer(task, emit)
+    try:
+        report = server.run(task.requests)
+    except ShardKilled as killed:
+        if killed.hard:
+            raise
+        emit(("killed", task.shard, task.incarnation, killed.at))
+        return None
+    emit(
+        (
+            "report",
+            task.shard,
+            task.incarnation,
+            report.to_dict(include_outcomes=True),
+        )
+    )
+    return report
+
+
+def shard_worker_main(task: ShardTask, queue: Any) -> None:
+    """Child-process entry point (module-level, spawn-safe)."""
+    try:
+        report = run_incarnation(task, queue.put)
+    except ShardKilled:
+        # hard kill: exit without flushing — messages buffered in the
+        # queue's feeder thread are genuinely lost, as in a real crash.
+        import os
+
+        os._exit(HARD_KILL_EXIT_CODE)
+    except BaseException:
+        queue.put(
+            ("error", task.shard, task.incarnation, traceback.format_exc())
+        )
+        queue.close()
+        queue.join_thread()
+        sys.exit(ERROR_EXIT_CODE)
+    queue.close()
+    queue.join_thread()
+    sys.exit(0 if report is not None else KILL_EXIT_CODE)

@@ -15,7 +15,7 @@ package.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Mapping, Optional
 
 import numpy as np
 
@@ -44,25 +44,37 @@ SERVE_METRIC_NAMES = frozenset(
         "serve_chaos_mode_transitions_total",
         "serve_chaos_hedge_reissued_total",
         "serve_chaos_hedge_wins_total",
+        "serve_shard_kills_total",
+        "serve_shard_restarts_total",
+        "serve_shard_checkpoints_total",
+        "serve_shard_heartbeats_total",
+        "serve_shard_redispatched_total",
+        "serve_shard_router_shed_total",
+        "serve_shard_orphaned_total",
     }
 )
 
-#: every span attribute repro.serve sets on its "request"/"degrade" spans.
+#: every span attribute repro.serve sets on its "request"/"degrade"/
+#: "supervisor" spans.
 SERVE_SPAN_ATTRS = frozenset(
     {
         "admitted",
         "brownout",
         "deadline",
         "degraded",
+        "event",
         "hedge_wins",
+        "incarnation",
         "latency",
         "mode",
+        "pending",
         "quality",
         "query_index",
         "queue_delay",
         "reason",
         "reissued",
         "retries",
+        "shard",
         "shed_reason",
         "slowdown",
         "tenant",
@@ -78,6 +90,9 @@ SERVE_PROFILE_SITES = frozenset(
         "serve.degrade.decide",
         "serve.dispatch",
         "serve.hedge.query",
+        "serve.shard.checkpoint",
+        "serve.shard.merge",
+        "serve.shard.route",
         "serve.warmstart.observe",
     }
 )
@@ -238,6 +253,119 @@ class SLOAccountant:
                 "serve_chaos_hedge_wins_total",
                 help="hedged duplicates that beat their original",
             ).inc(wins, tenant=tenant)
+
+    # -- shard supervision accounting ----------------------------------
+    def record_shard_kill(self, shard: int, hard: bool) -> None:
+        """One shard worker died (injected kill or real crash)."""
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter(
+                "serve_shard_kills_total",
+                help="shard worker deaths observed by the supervisor",
+            ).inc(shard=str(shard), hard="true" if hard else "false")
+
+    def record_shard_restart(self, shard: int, redispatched: int) -> None:
+        """A shard was restarted from its checkpoint; ``redispatched``
+        in-flight queries were re-sent with their original seeds."""
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter(
+                "serve_shard_restarts_total",
+                help="shard worker restarts from a warm-state checkpoint",
+            ).inc(shard=str(shard))
+            if redispatched:
+                metrics.counter(
+                    "serve_shard_redispatched_total",
+                    help="in-flight queries re-dispatched after a shard crash",
+                ).inc(redispatched, shard=str(shard))
+
+    def record_shard_checkpoint(self, shard: int) -> None:
+        """The supervisor received one periodic warm-state checkpoint."""
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter(
+                "serve_shard_checkpoints_total",
+                help="warm-state checkpoints received from shard workers",
+            ).inc(shard=str(shard))
+
+    def record_shard_heartbeat(self, shard: int) -> None:
+        """The supervisor received one shard heartbeat."""
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter(
+                "serve_shard_heartbeats_total",
+                help="heartbeats received from shard workers",
+            ).inc(shard=str(shard))
+
+    def record_shard_router_shed(self, tenant: str, reason: str) -> None:
+        """The tenant router shed a request before any shard saw it.
+
+        Metric-only: the per-tenant rollup state is fed uniformly from
+        the merged outcome stream, router sheds included.
+        """
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter(
+                "serve_shard_router_shed_total",
+                help="requests shed by the tenant router (bulkhead budgets)",
+            ).inc(tenant=tenant, reason=reason)
+
+    def record_shard_orphaned(self, shard: int, count: int) -> None:
+        """Admitted queries left without a terminal outcome — the
+        exactly-once contract demands this stays zero."""
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter(
+                "serve_shard_orphaned_total",
+                help="admitted queries that lost their terminal outcome "
+                "(must stay zero)",
+            ).inc(count, shard=str(shard))
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, object]:
+        """JSON-serializable per-tenant accounting, for checkpoints.
+
+        Metric counters are process-local and deliberately *not*
+        captured — a restarted worker re-emits into its own registry.
+        """
+        tenants: dict[str, dict[str, object]] = {}
+        for tenant in sorted(self._tenants):
+            state = self._tenants[tenant]
+            tenants[tenant] = {
+                "arrivals": state.arrivals,
+                "shed": state.shed,
+                "shed_reasons": {
+                    reason: state.shed_reasons[reason]
+                    for reason in sorted(state.shed_reasons)
+                },
+                "latencies": list(state.latencies),
+                "qualities": list(state.qualities),
+                "hits": state.hits,
+                "degraded": state.degraded,
+                "retries": state.retries,
+                "brownout": state.brownout,
+                "reissued": state.reissued,
+                "hedge_wins": state.hedge_wins,
+            }
+        return {"tenants": tenants}
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Reload per-tenant accounting captured by :meth:`state_dict`."""
+        for tenant, entry in state["tenants"].items():
+            ts = self._tenant(str(tenant))
+            ts.arrivals = int(entry["arrivals"])
+            ts.shed = int(entry["shed"])
+            ts.shed_reasons = {
+                str(k): int(v) for k, v in entry["shed_reasons"].items()
+            }
+            ts.latencies = [float(v) for v in entry["latencies"]]
+            ts.qualities = [float(v) for v in entry["qualities"]]
+            ts.hits = int(entry["hits"])
+            ts.degraded = int(entry["degraded"])
+            ts.retries = int(entry["retries"])
+            ts.brownout = int(entry["brownout"])
+            ts.reissued = int(entry["reissued"])
+            ts.hedge_wins = int(entry["hedge_wins"])
 
     # ------------------------------------------------------------------
     def rollup(self) -> dict[str, dict[str, object]]:

@@ -26,7 +26,7 @@ the cold deadline-sized timer and the noisy 2-sample estimates.
 from __future__ import annotations
 
 import math
-from typing import Callable, Optional
+from typing import Any, Callable, Mapping, Optional
 
 from ..core import QueryContext
 from ..core.aggregator import AdaptiveController, AggregatorController
@@ -180,6 +180,55 @@ class WarmStartStore:
     @property
     def total_resets(self) -> int:
         return sum(s.resets for s in self._states.values())
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, object]:
+        """JSON-serializable full state (priors, decay config, drift
+        counters, and each key's tracker window) for checkpoints."""
+        keys: dict[str, dict[str, object]] = {}
+        for key in sorted(self._states):
+            state = self._states[key]
+            keys[key] = {
+                "mu": state.mu,
+                "sigma": state.sigma,
+                "n_queries": state.n_queries,
+                "resets": state.resets,
+                "tracker": state.tracker.state_dict(),
+            }
+        return {
+            "decay": self.decay,
+            "drift_nsigmas": self.drift_nsigmas,
+            "sigma_floor": self.sigma_floor,
+            "tracker_args": list(self._tracker_args),
+            "keys": keys,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "WarmStartStore":
+        """Rebuild a store bit-identically from :meth:`state_dict`."""
+        window, refit_every, min_samples = (
+            int(v) for v in state["tracker_args"]
+        )
+        store = cls(
+            decay=float(state["decay"]),
+            drift_nsigmas=float(state["drift_nsigmas"]),
+            sigma_floor=float(state["sigma_floor"]),
+            tracker_window=window,
+            tracker_refit_every=refit_every,
+            tracker_min_samples=min_samples,
+        )
+        for key, entry in state["keys"].items():
+            key_state = _KeyState(
+                DistributionTracker.from_state(entry["tracker"])
+            )
+            mu = entry["mu"]
+            sigma = entry["sigma"]
+            key_state.mu = float(mu) if mu is not None else None
+            key_state.sigma = float(sigma) if sigma is not None else None
+            key_state.n_queries = int(entry["n_queries"])
+            key_state.resets = int(entry["resets"])
+            store._states[str(key)] = key_state
+        return store
 
 
 class _RecordingController(AggregatorController):

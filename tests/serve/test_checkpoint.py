@@ -1,0 +1,164 @@
+"""Warm-state checkpoints restore bit-identically.
+
+The crash-recovery contract rests on serialize -> restore being a
+no-op: a shard rebuilt from its checkpoint must hold exactly the warm
+priors, decay configuration, drift-reset counters, tracker windows, SLO
+samples, and admission estimate it died with — byte-for-byte, including
+every float (Python's shortest-repr JSON round trip is exact).
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ShardError
+from repro.estimation import DistributionTracker
+from repro.serve import (
+    CHECKPOINT_VERSION,
+    SLOAccountant,
+    WarmStartStore,
+    WarmStateCheckpoint,
+)
+
+
+def _warm_store() -> WarmStartStore:
+    store = WarmStartStore(decay=0.25, drift_nsigmas=2.5, sigma_floor=0.07)
+    store.observe_query(
+        "bing", [3.01, 2.97], [0.52, 0.48], durations=[17.2, 21.5, 19.9]
+    )
+    store.observe_query("bing", [3.1], [0.5], durations=[18.4, 20.0])
+    store.observe_query("cosmos", [5.2, 5.3, 5.1], [0.9, 1.0, 0.8])
+    return store
+
+
+def _drifted_store() -> WarmStartStore:
+    store = _warm_store()
+    # a >drift_nsigmas*sigma jump: prior is replaced and resets bumped.
+    store.observe_query("bing", [9.5], [0.4], durations=[900.0, 850.0])
+    assert store.total_resets == 1
+    return store
+
+
+def _json_roundtrip(doc: dict) -> dict:
+    return json.loads(json.dumps(doc))
+
+
+class TestStoreRoundTrip:
+    @pytest.mark.parametrize(
+        "build",
+        [WarmStartStore, _warm_store, _drifted_store],
+        ids=["empty", "warm", "mid-drift"],
+    )
+    def test_state_dict_roundtrip_bit_identical(self, build):
+        store = build()
+        state = _json_roundtrip(store.state_dict())
+        restored = WarmStartStore.from_state(state)
+        assert restored.state_dict() == store.state_dict()
+        assert restored.snapshot() == store.snapshot()
+        assert restored.decay == store.decay
+        assert restored.drift_nsigmas == store.drift_nsigmas
+        assert restored.sigma_floor == store.sigma_floor
+        assert restored.total_resets == store.total_resets
+
+    def test_priors_bit_identical(self):
+        store = _warm_store()
+        restored = WarmStartStore.from_state(
+            _json_roundtrip(store.state_dict())
+        )
+        for key in ("bing", "cosmos", "never-seen"):
+            a, b = store.prior(key), restored.prior(key)
+            if a is None:
+                assert b is None
+            else:
+                assert b is not None
+                assert a.params() == b.params()
+
+    def test_restored_store_evolves_identically(self):
+        # the real bar: serving *after* a restore must match serving
+        # without the crash — drift detection included.
+        original = _warm_store()
+        restored = WarmStartStore.from_state(
+            _json_roundtrip(original.state_dict())
+        )
+        for store in (original, restored):
+            store.observe_query("bing", [9.5], [0.4], durations=[900.0])
+            store.observe_query("fresh", [1.0], [0.3], durations=[2.0, 2.1])
+        assert restored.state_dict() == original.state_dict()
+        assert original.total_resets == restored.total_resets == 1
+
+    def test_tracker_roundtrip_preserves_fit(self):
+        tracker = DistributionTracker(
+            window=64, refit_every=8, min_samples=10, candidates=("lognormal",)
+        )
+        tracker.observe_many([float(2 + (i % 7)) for i in range(40)])
+        assert tracker.ready
+        restored = DistributionTracker.from_state(
+            _json_roundtrip(tracker.state_dict())
+        )
+        assert restored.state_dict() == tracker.state_dict()
+        assert restored.n_refits == tracker.n_refits
+        assert (
+            restored.current_distribution().params()
+            == tracker.current_distribution().params()
+        )
+
+
+class TestCheckpointDocument:
+    def _checkpoint(self, warm) -> WarmStateCheckpoint:
+        slo = SLOAccountant()
+        slo.record_arrival("t0")
+        slo.record_completion(
+            "t0", latency=12.5, deadline=60.0, quality=0.875, hit=True
+        )
+        slo.record_shed("t1", "queue_full")
+        return WarmStateCheckpoint(
+            shard=2,
+            incarnation=1,
+            taken_at=150.0,
+            warm=warm.state_dict() if warm is not None else None,
+            slo=slo.state_dict(),
+            service_estimate=14.25,
+        )
+
+    @pytest.mark.parametrize("cold", [False, True], ids=["warm", "cold"])
+    def test_to_from_dict_roundtrip(self, cold):
+        checkpoint = self._checkpoint(None if cold else _drifted_store())
+        doc = _json_roundtrip(checkpoint.to_dict())
+        restored = WarmStateCheckpoint.from_dict(doc)
+        assert restored == checkpoint
+        assert restored.to_dict() == checkpoint.to_dict()
+        store = restored.restore_store()
+        if cold:
+            assert store is None
+        else:
+            assert store is not None
+            assert store.state_dict() == _drifted_store().state_dict()
+
+    def test_slo_state_roundtrips_through_checkpoint(self):
+        checkpoint = self._checkpoint(None)
+        restored = SLOAccountant()
+        restored.restore_state(
+            WarmStateCheckpoint.from_dict(
+                _json_roundtrip(checkpoint.to_dict())
+            ).slo
+        )
+        assert restored.state_dict() == checkpoint.slo
+        assert restored.rollup()["t0"]["latency_p50"] == 12.5
+
+    def test_version_mismatch_rejected(self):
+        doc = self._checkpoint(None).to_dict()
+        doc["version"] = CHECKPOINT_VERSION + 1
+        with pytest.raises(ShardError, match="version"):
+            WarmStateCheckpoint.from_dict(doc)
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ShardError):
+            WarmStateCheckpoint(
+                shard=-1, incarnation=0, taken_at=0.0, warm=None,
+                slo={"tenants": {}}, service_estimate=None,
+            )
+        with pytest.raises(ShardError):
+            WarmStateCheckpoint(
+                shard=0, incarnation=0, taken_at=-1.0, warm=None,
+                slo={"tenants": {}}, service_estimate=None,
+            )

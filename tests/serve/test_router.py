@@ -1,0 +1,142 @@
+"""Tenant router: sticky assignment, budgets, weighted-fair bulkheads."""
+
+import zlib
+
+import pytest
+
+from repro.core import TreeSpec
+from repro.distributions import LogNormal
+from repro.errors import ConfigError
+from repro.serve import (
+    SHED_FAIR_SHARE,
+    SHED_TENANT_BUDGET,
+    QueryRequest,
+    TenantBudget,
+    TenantRouter,
+)
+
+TREE = TreeSpec.two_level(LogNormal(1.0, 0.5), 3, LogNormal(0.5, 0.3), 2)
+
+
+def _request(index, arrival, tenant):
+    return QueryRequest(
+        index=index,
+        arrival=arrival,
+        deadline=100.0,
+        tree=TREE,
+        seed=index,
+        tenant=tenant,
+    )
+
+
+def _stream(n, tenants, spacing=10.0):
+    return [
+        _request(i, i * spacing, tenants[i % len(tenants)]) for i in range(n)
+    ]
+
+
+class TestAssignment:
+    def test_hash_assignment_is_stable_across_routers(self):
+        a = TenantRouter(n_shards=4)
+        b = TenantRouter(n_shards=4)
+        for tenant in ("alpha", "beta", "gamma"):
+            expected = zlib.crc32(tenant.encode("utf-8")) % 4
+            assert a.shard_for(tenant) == b.shard_for(tenant) == expected
+
+    def test_pinned_assignment_wins(self):
+        router = TenantRouter(n_shards=2, assignments={"alpha": 1})
+        assert router.shard_for("alpha") == 1
+
+    def test_pin_out_of_range_rejected(self):
+        with pytest.raises(ConfigError, match="pinned"):
+            TenantRouter(n_shards=2, assignments={"alpha": 2})
+
+    def test_sticky_within_one_plan(self):
+        router = TenantRouter(n_shards=3)
+        plan = router.route(_stream(12, ("a", "b", "c")))
+        for shard, batch in enumerate(plan.per_shard):
+            for request in batch:
+                assert plan.assignments[request.tenant] == shard
+
+
+class TestPureForwarding:
+    def test_no_budgets_forwards_everything_in_arrival_order(self):
+        router = TenantRouter(n_shards=2, assignments={"a": 0, "b": 1})
+        requests = _stream(10, ("a", "b"), spacing=0.5)
+        plan = router.route(requests)
+        assert plan.shed == ()
+        assert [r.index for r in plan.per_shard[0]] == [0, 2, 4, 6, 8]
+        assert [r.index for r in plan.per_shard[1]] == [1, 3, 5, 7, 9]
+
+
+class TestBudgets:
+    def test_tenant_qps_cap_sheds_with_reason(self):
+        router = TenantRouter(
+            n_shards=1, budgets={"a": TenantBudget(qps=0.01, burst=1.0)}
+        )
+        # burst of 1 at qps 0.01: the second arrival 1 unit later is
+        # over budget, the one 100 units later has refilled.
+        plan = router.route(
+            [_request(0, 0.0, "a"), _request(1, 1.0, "a"), _request(2, 101.0, "a")]
+        )
+        assert [r.index for r in plan.per_shard[0]] == [0, 2]
+        assert [o.index for o in plan.shed] == [1]
+        assert plan.shed[0].shed_reason == SHED_TENANT_BUDGET
+
+    def test_default_budget_applies_to_unlisted_tenants(self):
+        router = TenantRouter(
+            n_shards=1, default_budget=TenantBudget(qps=0.01, burst=1.0)
+        )
+        plan = router.route([_request(0, 0.0, "x"), _request(1, 1.0, "x")])
+        assert len(plan.shed) == 1
+
+    def test_fair_share_guarantee_survives_noisy_neighbour(self):
+        # both tenants on one shard, equal weights, shard rate-limited.
+        # tenant "noisy" floods; tenant "quiet" sends at half the shard
+        # rate — inside its guaranteed share, so nothing of quiet's sheds.
+        router = TenantRouter(
+            n_shards=1,
+            shard_qps=0.1,
+            shard_burst=2.0,
+            budgets={
+                "noisy": TenantBudget(weight=1.0),
+                "quiet": TenantBudget(weight=1.0),
+            },
+        )
+        requests = []
+        index = 0
+        for step in range(30):
+            t = step * 20.0
+            # quiet: one query per 20 units = 0.05 qps = its exact share
+            requests.append(_request(index, t, "quiet"))
+            index += 1
+            for burst in range(5):  # noisy: 5 per 20 units, far over
+                requests.append(_request(index, t + 0.1 + burst * 0.1, "noisy"))
+                index += 1
+        plan = router.route(requests)
+        quiet_shed = [o for o in plan.shed if o.tenant == "quiet"]
+        noisy_shed = [o for o in plan.shed if o.tenant == "noisy"]
+        assert quiet_shed == []
+        assert len(noisy_shed) > 0
+        assert all(o.shed_reason == SHED_FAIR_SHARE for o in noisy_shed)
+
+    def test_describe_is_deterministic(self):
+        router = TenantRouter(
+            n_shards=2, default_budget=TenantBudget(qps=0.01, burst=1.0)
+        )
+        requests = _stream(8, ("b", "a"), spacing=1.0)
+        assert router.route(requests).describe() == router.route(
+            requests
+        ).describe()
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ConfigError):
+            TenantBudget(weight=0.0)
+        with pytest.raises(ConfigError):
+            TenantBudget(qps=-1.0)
+        with pytest.raises(ConfigError):
+            TenantBudget(burst=0.5)
+        with pytest.raises(ConfigError):
+            TenantRouter(n_shards=0)
+        with pytest.raises(ConfigError):
+            TenantRouter(n_shards=1, shard_qps=0.0)

@@ -1,0 +1,161 @@
+"""Hypothesis properties for the shard supervisor.
+
+Under *any* injected kill schedule (any shard, any time, flush or hard,
+repeated kills included) the supervised serving path must uphold:
+
+* **exactly one terminal outcome** — every request routed into the
+  system ends completed, degraded, or shed-with-reason, exactly once;
+  nothing is lost and nothing is answered twice;
+* **budget caps survive crashes** — per-query retry attempts stay under
+  ``max_attempts``, each incarnation's per-tenant retry spend stays
+  under ``retry_budget`` (a restart starts a fresh incarnation, so the
+  lifetime spend of a tenant is bounded by budget x incarnations), and
+  the simulator backend never hedges.
+
+These extend the single-process admission/degrade budget properties to
+the multi-shard recovery path, using inline supervision — the identical
+worker code, minus process spawn — so hundreds of schedules run in
+seconds.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TreeSpec
+from repro.distributions import LogNormal
+from repro.faults import FaultModel
+from repro.serve import (
+    DegradeConfig,
+    FaultSchedule,
+    QueryRequest,
+    ServeConfig,
+    ShardConfig,
+    ShardKill,
+    ShardKillSchedule,
+    ShardSupervisor,
+)
+
+TREE = TreeSpec.two_level(LogNormal(1.0, 0.5), 3, LogNormal(0.5, 0.3), 2)
+OFFLINE = TREE
+N_SHARDS = 2
+TENANTS = ("t0", "t1", "t2")
+
+_RETRY_CFG = DegradeConfig(retry_budget=2, max_attempts=3, retry_quality_floor=0.9)
+_FAULTY = FaultSchedule(
+    base=FaultModel(worker_crash_prob=0.4, ship_loss_prob=0.3)
+)
+
+
+def _serve_config(with_faults: bool) -> ServeConfig:
+    return ServeConfig(
+        max_concurrent=2,
+        max_queue=4,
+        min_deadline_fraction=0.2,
+        grid_points=24,
+        faults=_FAULTY if with_faults else None,
+        degrade=_RETRY_CFG if with_faults else None,
+    )
+
+
+kills_strategy = st.lists(
+    st.builds(
+        ShardKill,
+        shard=st.integers(min_value=0, max_value=N_SHARDS - 1),
+        at=st.floats(
+            min_value=1.0, max_value=400.0, allow_nan=False, allow_infinity=False
+        ),
+        hard=st.booleans(),
+    ),
+    max_size=4,
+)
+
+requests_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=300.0, allow_nan=False),
+        st.floats(min_value=5.0, max_value=80.0, allow_nan=False),
+        st.integers(min_value=0, max_value=len(TENANTS) - 1),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+def _materialise(raw) -> list[QueryRequest]:
+    return [
+        QueryRequest(
+            index=i,
+            arrival=arrival,
+            deadline=deadline,
+            tree=TREE,
+            seed=seed,
+            tenant=TENANTS[tenant_i],
+        )
+        for i, (arrival, deadline, tenant_i, seed) in enumerate(raw)
+    ]
+
+
+def _run(raw, kills, with_faults=False):
+    requests = _materialise(raw)
+    config = ShardConfig(
+        n_shards=N_SHARDS,
+        serve=_serve_config(with_faults),
+        kills=ShardKillSchedule(kills=tuple(kills)),
+        checkpoint_every=30.0,
+        heartbeat_every=15.0,
+        restart_delay=2.0,
+        inline=True,
+    )
+    return ShardSupervisor(OFFLINE, config).run(requests), requests
+
+
+@given(raw=requests_strategy, kills=kills_strategy)
+@settings(max_examples=40, deadline=None)
+def test_exactly_one_terminal_outcome_under_any_kill_schedule(raw, kills):
+    report, requests = _run(raw, kills)
+    terminal = report.terminal
+    assert terminal["expected"] == len(requests)
+    assert terminal["recorded"] == len(requests)
+    assert terminal["lost"] == 0
+    indices = [o.index for o in report.outcomes]
+    assert sorted(indices) == sorted(r.index for r in requests)
+    assert len(set(indices)) == len(indices)
+    for outcome in report.outcomes:
+        if not outcome.admitted:
+            assert outcome.shed_reason is not None
+
+
+@given(raw=requests_strategy, kills=kills_strategy)
+@settings(max_examples=25, deadline=None)
+def test_budgets_never_exceeded_across_restarts(raw, kills):
+    report, requests = _run(raw, kills, with_faults=True)
+    assert report.terminal["lost"] == 0
+    # per-query cap: attempts <= max_attempts, i.e. retries <= 2.
+    for outcome in report.outcomes:
+        assert outcome.retries <= _RETRY_CFG.max_attempts - 1
+        assert outcome.reissued == 0  # the sim backend never hedges
+    # per-tenant cap: each incarnation holds a fresh retry_budget, so a
+    # tenant's lifetime retries are bounded by budget x incarnations of
+    # its shard (== budget when no kill ever fired there).
+    incarnations = {
+        shard: summary["incarnations"]
+        for shard, summary in report.shards.items()
+    }
+    spent: dict[str, int] = {}
+    shard_of: dict[str, str] = {}
+    for outcome in report.outcomes:
+        if outcome.admitted:
+            spent[outcome.tenant] = spent.get(outcome.tenant, 0) + outcome.retries
+    for tenant, shard in report.router["assignments"].items():
+        shard_of[tenant] = str(shard)
+    for tenant, used in spent.items():
+        bound = _RETRY_CFG.retry_budget * incarnations[shard_of[tenant]]
+        assert used <= bound, (tenant, used, bound)
+
+
+@given(raw=requests_strategy, kills=kills_strategy)
+@settings(max_examples=15, deadline=None)
+def test_supervised_runs_are_deterministic(raw, kills):
+    a, _ = _run(raw, kills)
+    b, _ = _run(raw, kills)
+    assert a.to_json(include_outcomes=True) == b.to_json(include_outcomes=True)

@@ -75,6 +75,19 @@ class TestEmittedMatchesDeclared:
         slo.record_brownout("t")
         slo.record_mode_transition("brownout", "sustained_faults")
         slo.record_hedge("t", reissued=2, wins=1)
+        slo.record_shard_kill(0, hard=False)
+        slo.record_shard_restart(0, redispatched=2)
+        slo.record_shard_checkpoint(0)
+        slo.record_shard_heartbeat(0)
+        slo.record_shard_router_shed("t", "tenant_budget")
+        slo.record_shard_orphaned(0, 1)
         doc = json.loads(metrics.render_json())
         emitted = {name.removeprefix("cedar_") for name in doc}
         assert emitted == SERVE_METRIC_NAMES
+
+    def test_restart_without_redispatch_skips_redispatched_family(self):
+        metrics = MetricsRegistry()
+        SLOAccountant(metrics).record_shard_restart(3, redispatched=0)
+        doc = json.loads(metrics.render_json())
+        assert "cedar_serve_shard_restarts_total" in doc
+        assert "cedar_serve_shard_redispatched_total" not in doc
