@@ -4,16 +4,26 @@
 distributions" — the table answers a lookup in ~1 µs vs ~40 µs for the
 vectorized sweep, at negligible quality cost (see
 tests/core/test_wait_table.py for the policy-level parity check).
+
+Both precomputation schemes are held to the same error budget here:
+the offline interpolating :class:`~repro.core.WaitTable` and the online
+quantized :class:`~repro.core.WaitTableCache` must answer within 5% of
+the deadline of the exact sweep over the same parameter box — the bound
+is asserted, not just the timings.
 """
 
 import pytest
 
-from repro.core import Stage, WaitOptimizer, WaitTable
+from repro.core import Stage, WaitOptimizer, WaitTable, WaitTableCache
 from repro.distributions import LogNormal
 
 TAIL = [Stage(LogNormal(4.7, 0.5), 50)]
 DEADLINE = 1000.0
 K = 50
+MU_RANGE = (3.0, 9.0)
+SIGMA_RANGE = (0.3, 2.0)
+#: shared accuracy budget: any precomputed answer within 5% of D.
+MAX_ERR = 0.05 * DEADLINE
 
 
 @pytest.fixture(scope="module")
@@ -22,8 +32,8 @@ def table():
         TAIL,
         DEADLINE,
         K,
-        mu_range=(3.0, 9.0),
-        sigma_range=(0.3, 2.0),
+        mu_range=MU_RANGE,
+        sigma_range=SIGMA_RANGE,
         n_mu=48,
         n_sigma=16,
         grid_points=512,
@@ -41,8 +51,8 @@ def test_table_build_cost(benchmark):
             TAIL,
             DEADLINE,
             K,
-            mu_range=(3.0, 9.0),
-            sigma_range=(0.3, 2.0),
+            mu_range=MU_RANGE,
+            sigma_range=SIGMA_RANGE,
             n_mu=24,
             n_sigma=8,
             grid_points=256,
@@ -57,7 +67,23 @@ def test_table_lookup_latency(benchmark, table, optimizer):
     assert 0.0 <= wait <= DEADLINE
     # lookup agrees with the live sweep within a small fraction of D
     err = table.max_abs_error_vs(optimizer, probe_points=32)
-    assert err <= 0.05 * DEADLINE
+    assert err <= MAX_ERR
+
+
+def test_cache_lookup_latency_and_error_bound(benchmark, optimizer):
+    """The online quantized cache meets the same budget as the offline
+    table: the worst |cached - exact| wait over the probe box stays
+    within 5% of the deadline, and a hot lookup is a dict probe."""
+    cache = WaitTableCache()
+    dist = LogNormal(6.1, 0.9)
+    cache.wait_for(TAIL, DEADLINE, dist, K, 512)  # populate the bucket
+    wait = benchmark(lambda: cache.wait_for(TAIL, DEADLINE, dist, K, 512))
+    assert 0.0 <= wait <= cache.deadline_representative(DEADLINE)
+    err = cache.max_abs_error_vs(
+        optimizer, K, mu_range=MU_RANGE, sigma_range=SIGMA_RANGE,
+        probe_points=32,
+    )
+    assert err <= MAX_ERR
 
 
 def test_live_sweep_latency(benchmark, optimizer):

@@ -1,0 +1,109 @@
+"""Wait-path bench: the batched-solver / wait-cache planner-cost claims.
+
+Regenerates the pinned ``run_waitpath_bench()`` document (diurnal 4x8
+workload, seed 2608, qps 0.08) and asserts the claims the cache is sold
+on:
+
+* steady state, the cache multiplies planner throughput by >= 10x —
+  measured exactly ``grid_points`` (96x): the warm baseline pays one
+  full-grid sweep per arrival forever, the saturated cache answers
+  every arrival with a dict probe;
+* equivalence is free — the cached server's warm mean quality is within
+  0.02 of the exact server's, every cached wait is within 5% of the
+  deadline of the exact optimum over the workload's parameter box, and
+  the prewarm pass plus a fresh-server rerun are bit-identical;
+* the regenerated document is byte-identical to the committed
+  ``benchmarks/BENCH_waitpath.json`` (refresh it deliberately with
+  ``cedar-repro serve-bench --waitpath --out
+  benchmarks/BENCH_waitpath.json``).
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.serve import run_waitpath_bench, smoke_waitpath_spec
+
+from .conftest import OUTPUT_DIR, run_once
+
+EXPECTED_PATH = pathlib.Path(__file__).parent / "BENCH_waitpath.json"
+
+#: pinned floor for the steady-state planner-work multiple. Measured
+#: exactly 96.0 (= grid_points) at the pinned seed: warm baseline =
+#: 360 sweeps x 96 cells, warm cached = 360 hits x 1.
+MIN_WARM_REDUCTION_X = 10.0
+
+#: the quantized cache may shift individual waits; the workload-level
+#: quality it produces must stay within this of the exact planner.
+MAX_QUALITY_DELTA = 0.02
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return run_waitpath_bench()
+
+
+def test_waitpath_bench(benchmark):
+    """Time the CI-sized smoke run (the full run happens in the fixture)."""
+    result = run_once(
+        benchmark, lambda: run_waitpath_bench(**smoke_waitpath_spec())
+    )
+    assert set(result["arms"]) == {
+        "baseline_cold",
+        "baseline_warm",
+        "cached_cold",
+        "cached_warm",
+    }
+
+
+def test_warm_planner_work_reduction(doc):
+    claims = doc["claims"]
+    assert claims["warm_planner_work_reduction_x"] >= MIN_WARM_REDUCTION_X
+    # the cold build-out is also a (smaller) net win, not a regression
+    assert claims["cold_planner_work_reduction_x"] > 1.0
+    # steady state the cache answers everything: no misses, no solves
+    warm = doc["arms"]["cached_warm"]
+    assert warm["sweeps"] == 0
+    assert warm["tail_builds"] == 0
+    assert warm["wait_cache"]["misses"] == 0
+    assert warm["wait_cache"]["batch_solves"] == 0
+    assert claims["cache_hit_rate_warm"] == 1.0
+
+
+def test_cache_equivalence_claims(doc):
+    claims = doc["claims"]
+    assert abs(claims["warm_mean_quality_delta"]) <= MAX_QUALITY_DELTA
+    assert abs(claims["cold_mean_quality_delta"]) <= MAX_QUALITY_DELTA
+    assert (
+        claims["max_wait_error_vs_exact"] <= 0.05 * doc["deadline"]
+    )
+    assert claims["max_wait_error_fraction_of_deadline"] <= 0.05
+    assert claims["cache_rerun_bit_identical"] is True
+    assert claims["prewarm_off_bit_identical"] is True
+
+
+def test_every_arm_keeps_its_promises(doc):
+    for name, arm in doc["arms"].items():
+        assert arm["deadline_hit_rate"] == 1.0, name
+        assert arm["mean_quality"] > 0.5, name
+        assert arm["admitted"] == doc["arms"]["baseline_cold"]["admitted"], name
+
+
+def test_bit_identical_across_runs():
+    spec = smoke_waitpath_spec()
+    first = json.dumps(run_waitpath_bench(**spec), sort_keys=True)
+    second = json.dumps(run_waitpath_bench(**spec), sort_keys=True)
+    assert first == second
+
+
+def test_matches_committed_snapshot(doc):
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    regenerated = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    (OUTPUT_DIR / "BENCH_waitpath.json").write_text(regenerated)
+    committed = EXPECTED_PATH.read_text()
+    assert regenerated == committed, (
+        "wait-path planner-cost trajectory moved; inspect benchmarks/"
+        "output/BENCH_waitpath.json and refresh BENCH_waitpath.json if "
+        "intended"
+    )

@@ -22,6 +22,7 @@ Examples::
     cedar-repro serve-bench --smoke --out serve_smoke.json
     cedar-repro serve-bench --qps 0.05 --qps 0.2 --requests 100 --seed 7
     cedar-repro serve-bench --chaos --out chaos_serve.json
+    cedar-repro serve-bench --waitpath --out waitpath.json
     cedar-repro chaos --serve --deadline 60 --mu1 3.0 --sigma1 0.8 \
         --mu2 2.2 --sigma2 0.35 --k1 4 --k2 8 --kill 0.1 --drop 0.05
 """
@@ -259,6 +260,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run the sharded-supervision kill x load sweep instead of "
         "the QPS sweep (crash recovery + bulkhead isolation; pinned "
         "scenario sizes; --requests/--no-warm are ignored)",
+    )
+    serve_p.add_argument(
+        "--waitpath",
+        action="store_true",
+        help="run the batched-wait-solver / wait-cache planner-cost "
+        "comparison instead of the QPS sweep (deterministic work-unit "
+        "model; --qps/--no-warm are ignored)",
     )
     serve_p.add_argument(
         "--qps",
@@ -706,16 +714,35 @@ def _cmd_serve_bench(args) -> int:
         run_chaos_serve_bench,
         run_serve_bench,
         run_shard_serve_bench,
+        run_waitpath_bench,
         smoke_bench_spec,
         smoke_chaos_spec,
         smoke_shard_spec,
+        smoke_waitpath_spec,
     )
 
     try:
-        if args.chaos and args.shards:
-            print("error: pass --chaos or --shards, not both", file=sys.stderr)
+        exclusive = [args.chaos, args.shards, args.waitpath]
+        if sum(1 for flag in exclusive if flag) > 1:
+            print(
+                "error: pass at most one of --chaos, --shards, --waitpath",
+                file=sys.stderr,
+            )
             return 1
-        if args.shards:
+        if args.waitpath:
+            if args.smoke:
+                doc = run_waitpath_bench(
+                    deadline=args.deadline,
+                    seed=args.seed,
+                    **smoke_waitpath_spec(),
+                )
+            else:
+                doc = run_waitpath_bench(
+                    n_requests=args.requests,
+                    deadline=args.deadline,
+                    seed=args.seed,
+                )
+        elif args.shards:
             if args.smoke:
                 doc = run_shard_serve_bench(
                     deadline=args.deadline,

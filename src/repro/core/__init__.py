@@ -39,6 +39,12 @@ from .wait import (
     wait_schedule,
 )
 from .wait_table import CedarTabulatedPolicy, TabulatedController, WaitTable
+from .waitbatch import (
+    BatchWaitSolver,
+    CachedWaitOptimizer,
+    WaitCacheConfig,
+    WaitTableCache,
+)
 
 __all__ = [
     "DualResult",
@@ -53,6 +59,10 @@ __all__ = [
     "WaitTable",
     "TabulatedController",
     "CedarTabulatedPolicy",
+    "BatchWaitSolver",
+    "CachedWaitOptimizer",
+    "WaitCacheConfig",
+    "WaitTableCache",
     "Stage",
     "TreeSpec",
     "QualityGrid",

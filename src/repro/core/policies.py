@@ -41,6 +41,7 @@ from .wait import (
     WaitSchedule,
     wait_schedule,
 )
+from .waitbatch import CachedWaitOptimizer, WaitCacheLike, as_wait_cache
 
 __all__ = [
     "QueryContext",
@@ -239,6 +240,13 @@ class CedarPolicy(WaitPolicy):
     levels use the offline-distribution schedule (the paper learns upper
     stage distributions offline because they vary little across queries,
     §4.1).
+
+    ``wait_cache`` (a :class:`~repro.core.waitbatch.WaitTableCache`, a
+    :class:`~repro.core.waitbatch.WaitCacheConfig`, or ``None``) switches
+    the per-arrival re-optimization and the upper static schedules to the
+    shared quantized-bucket cache, so concurrent queries with similar
+    regimes reuse each other's solves instead of each paying the full
+    sweep. ``None`` (the default) keeps the exact per-policy caches.
     """
 
     name = "cedar"
@@ -249,6 +257,7 @@ class CedarPolicy(WaitPolicy):
         grid_points: int = DEFAULT_GRID_POINTS,
         min_samples: int = 2,
         reoptimize_every: int = 1,
+        wait_cache: WaitCacheLike = None,
     ):
         self._estimator_factory = estimator_factory or (
             lambda: OrderStatisticEstimator(family="lognormal")
@@ -256,6 +265,7 @@ class CedarPolicy(WaitPolicy):
         self.grid_points = int(grid_points)
         self.min_samples = int(min_samples)
         self.reoptimize_every = int(reoptimize_every)
+        self.wait_cache = as_wait_cache(wait_cache)
         self._schedules = _ScheduleCache(grid_points)
         self._optimizers: dict[tuple, WaitOptimizer] = {}
 
@@ -263,11 +273,26 @@ class CedarPolicy(WaitPolicy):
         key = (ctx.offline_tree.stages[1:], round(ctx.deadline, 12))
         found = self._optimizers.get(key)
         if found is None:
-            found = WaitOptimizer(
-                ctx.offline_tree.stages[1:], ctx.deadline, self.grid_points
-            )
+            if self.wait_cache is not None:
+                found = CachedWaitOptimizer(
+                    ctx.offline_tree.stages[1:],
+                    ctx.deadline,
+                    self.grid_points,
+                    cache=self.wait_cache,
+                )
+            else:
+                found = WaitOptimizer(
+                    ctx.offline_tree.stages[1:], ctx.deadline, self.grid_points
+                )
             self._optimizers[key] = found
         return found
+
+    def _schedule(self, tree: TreeSpec, deadline: float) -> WaitSchedule:
+        """Upper-level static schedule — from the shared quantized cache
+        when one is wired, exact (per-policy memo) otherwise."""
+        if self.wait_cache is not None:
+            return self.wait_cache.schedule_for(tree, deadline, self.grid_points)
+        return self._schedules.schedule(tree, deadline)
 
     def controller(self, ctx: QueryContext, level: int) -> AggregatorController:
         _check_level(ctx, level)
@@ -280,7 +305,7 @@ class CedarPolicy(WaitPolicy):
                 min_samples=self.min_samples,
                 reoptimize_every=self.reoptimize_every,
             )
-        sched = self._schedules.schedule(ctx.offline_tree, ctx.deadline)
+        sched = self._schedule(ctx.offline_tree, ctx.deadline)
         return StaticController(min(sched.stop_for_level(level), ctx.deadline))
 
 
@@ -448,7 +473,7 @@ class CedarFailureAwarePolicy(CedarPolicy):
                 min_samples=self.min_samples,
                 reoptimize_every=self.reoptimize_every,
             )
-        sched = self._schedules.schedule(
+        sched = self._schedule(
             self._deflated_tree(ctx.offline_tree), ctx.deadline
         )
         return StaticController(min(sched.stop_for_level(level), ctx.deadline))

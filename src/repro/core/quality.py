@@ -27,6 +27,7 @@ import numpy as np
 
 from ..distributions import Distribution
 from ..errors import ConfigError
+from ..obs.profile import PROFILER
 from .config import Stage, TreeSpec
 
 __all__ = [
@@ -210,12 +211,14 @@ def tail_quality_grid(
         raise ConfigError(f"grid_points must be >= 2, got {grid_points}")
     if len(stages) == 0:
         raise ConfigError("need at least one stage")
+    tok = PROFILER.start()
     m = int(grid_points)
     eps = deadline / m
     q = _base_grid(stages[-1].duration, m, eps)
     # fold in lower stages one at a time, bottom-most last
     for stage in reversed(list(stages)[:-1]):
         q = _fold_stage(stage, q)
+    PROFILER.stop("core.quality.tail_grid", tok)
     return q
 
 

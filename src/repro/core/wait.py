@@ -110,12 +110,27 @@ class WaitOptimizer:
     ):
         if deadline <= 0.0:
             raise ConfigError(f"deadline must be positive, got {deadline}")
-        self.deadline = float(deadline)
         self.tail_stages = tuple(tail_stages)
+        if len(self.tail_stages) == 0:
+            raise ConfigError("need at least one stage")
+        self.deadline = float(deadline)
         self.grid_points = int(grid_points)
-        self.tail: QualityGrid = tail_quality_grid(
-            self.tail_stages, self.deadline, self.grid_points
-        )
+        self._tail: Optional[QualityGrid] = None
+
+    @property
+    def tail(self) -> QualityGrid:
+        """Upper-subtree quality grid ``q_{n-1}``, built on first use.
+
+        Lazy so that wrappers answering from a shared cache (see
+        :class:`~repro.core.waitbatch.CachedWaitOptimizer`) never pay the
+        ``O(levels * grid_points^2)`` recursion for deadlines they only
+        ever serve from quantized buckets.
+        """
+        if self._tail is None:
+            self._tail = tail_quality_grid(
+                self.tail_stages, self.deadline, self.grid_points
+            )
+        return self._tail
 
     @property
     def epsilon(self) -> float:

@@ -14,19 +14,25 @@ and :class:`CedarTabulatedPolicy` is the drop-in policy.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 from ..distributions import Distribution, LogNormal
 from ..errors import ConfigError
-from ..estimation import Estimator, OrderStatisticEstimator, StreamingEstimator
+from ..estimation import (
+    Estimator,
+    OrderStatisticEstimator,
+    ParameterEstimate,
+    StreamingEstimator,
+)
 from ..obs.profile import PROFILER
 from .aggregator import AggregatorController
 from .config import Stage
 from .policies import CedarPolicy, QueryContext, WaitPolicy, _check_level
 from .quality import DEFAULT_GRID_POINTS
 from .wait import WaitOptimizer
+from .waitbatch import WaitCacheLike, WaitTableCache, as_wait_cache
 
 __all__ = ["WaitTable", "TabulatedController", "CedarTabulatedPolicy"]
 
@@ -117,15 +123,25 @@ class WaitTable:
 
 
 class TabulatedController(AggregatorController):
-    """Pseudocode 1 with table lookups instead of per-arrival sweeps."""
+    """Pseudocode 1 with memoized lookups instead of per-arrival sweeps.
+
+    Two interchangeable lookup backends: a dense per-configuration
+    :class:`WaitTable` (``table=``) or the process-wide quantized
+    :class:`~repro.core.waitbatch.WaitTableCache` (``cache=``, which also
+    needs the ``tail_stages`` the cache keys on). Exactly one must be
+    given.
+    """
 
     def __init__(
         self,
         estimator: Estimator,
-        table: WaitTable,
-        k: int,
-        deadline: float,
+        table: Optional[WaitTable] = None,
+        k: int = 1,
+        deadline: float = 1.0,
         min_samples: int = 2,
+        cache: Optional[WaitTableCache] = None,
+        tail_stages: Optional[Sequence[Stage]] = None,
+        grid_points: int = DEFAULT_GRID_POINTS,
     ):
         if deadline <= 0.0:
             raise ConfigError(f"deadline must be positive, got {deadline}")
@@ -134,8 +150,17 @@ class TabulatedController(AggregatorController):
                 f"min_samples {min_samples} below estimator requirement "
                 f"{estimator.min_samples}"
             )
+        if (table is None) == (cache is None):
+            raise ConfigError(
+                "TabulatedController needs exactly one of table= or cache="
+            )
+        if cache is not None and tail_stages is None:
+            raise ConfigError("cache= lookups require tail_stages=")
         self._stream = StreamingEstimator(estimator, k)
         self._table = table
+        self._cache = cache
+        self._tail_stages = tuple(tail_stages) if tail_stages is not None else ()
+        self._grid_points = int(grid_points)
         self._k = int(k)
         self._deadline = float(deadline)
         self._min_samples = int(min_samples)
@@ -149,6 +174,18 @@ class TabulatedController(AggregatorController):
     def n_received(self) -> int:
         return self._stream.n_observed
 
+    def _lookup(self, est: ParameterEstimate) -> float:
+        if self._cache is not None:
+            return self._cache.wait_for(
+                self._tail_stages,
+                self._deadline,
+                LogNormal(est.mu, est.sigma),
+                self._k,
+                self._grid_points,
+            )
+        assert self._table is not None  # enforced in __init__
+        return self._table.lookup(est.mu, est.sigma)
+
     def on_arrival(self, t: float) -> None:
         self._stream.observe(t)
         n = self._stream.n_observed
@@ -158,7 +195,7 @@ class TabulatedController(AggregatorController):
         if n < self._min_samples:
             return
         est = self._stream.estimate()
-        wait = self._table.lookup(est.mu, est.sigma)
+        wait = self._lookup(est)
         self._stop = min(max(wait, t), self._deadline)
 
 
@@ -169,6 +206,13 @@ class CedarTabulatedPolicy(WaitPolicy):
     parameter box around the offline fit: ``mu`` within
     ``+-mu_halfwidth`` of the offline ``mu`` and ``sigma`` in
     ``sigma_box`` times the offline ``sigma``.
+
+    With ``wait_cache`` set, no dense tables are built at all: bottom
+    controllers answer arrivals from the shared quantized
+    :class:`~repro.core.waitbatch.WaitTableCache` (which grows on demand
+    and is shared with the upper-level schedules), so cold-start cost
+    drops from a full ``n_mu x n_sigma`` sweep to the buckets actually
+    visited.
     """
 
     name = "cedar-tabulated"
@@ -182,6 +226,7 @@ class CedarTabulatedPolicy(WaitPolicy):
         n_mu: int = 48,
         n_sigma: int = 16,
         min_samples: int = 2,
+        wait_cache: WaitCacheLike = None,
     ):
         self._estimator_factory = estimator_factory or (
             lambda: OrderStatisticEstimator(family="lognormal")
@@ -192,8 +237,11 @@ class CedarTabulatedPolicy(WaitPolicy):
         self.n_mu = int(n_mu)
         self.n_sigma = int(n_sigma)
         self.min_samples = int(min_samples)
+        self.wait_cache = as_wait_cache(wait_cache)
         self._tables: dict[tuple, WaitTable] = {}
-        self._upper = CedarPolicy(grid_points=grid_points)
+        self._upper = CedarPolicy(
+            grid_points=grid_points, wait_cache=self.wait_cache
+        )
 
     def _table(self, ctx: QueryContext) -> WaitTable:
         key = (ctx.offline_tree.stages, round(ctx.deadline, 12))
@@ -228,6 +276,16 @@ class CedarTabulatedPolicy(WaitPolicy):
     def controller(self, ctx: QueryContext, level: int) -> AggregatorController:
         _check_level(ctx, level)
         if level == 1:
+            if self.wait_cache is not None:
+                return TabulatedController(
+                    estimator=self._estimator_factory(),
+                    k=ctx.offline_tree.stages[0].fanout,
+                    deadline=ctx.deadline,
+                    min_samples=self.min_samples,
+                    cache=self.wait_cache,
+                    tail_stages=ctx.offline_tree.stages[1:],
+                    grid_points=self.grid_points,
+                )
             return TabulatedController(
                 estimator=self._estimator_factory(),
                 table=self._table(ctx),

@@ -30,9 +30,12 @@ __all__ = ["Profiler", "ProfileStat", "PROFILER", "KNOWN_PROFILE_SITES"]
 #: in the same change that instruments them.
 KNOWN_PROFILE_SITES = frozenset(
     {
+        "core.quality.tail_grid",
         "core.wait.calculate_wait",
         "core.wait.sweep",
         "core.wait_table.lookup",
+        "core.waitbatch.lookup",
+        "core.waitbatch.solve",
         "estimation.streaming.estimate",
         "serve.admission.offer",
         "serve.degrade.decide",
@@ -41,6 +44,7 @@ KNOWN_PROFILE_SITES = frozenset(
         "serve.shard.checkpoint",
         "serve.shard.merge",
         "serve.shard.route",
+        "serve.waitcache.prewarm",
         "serve.warmstart.observe",
     }
 )

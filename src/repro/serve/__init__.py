@@ -20,7 +20,10 @@ that layer:
   modulated by a :class:`~repro.traces.DiurnalWorkload` cycle, with
   optional mid-run regime shifts (:class:`DriftSpec`);
 * :func:`run_serve_bench` — the QPS sweep behind
-  ``cedar-repro serve-bench``.
+  ``cedar-repro serve-bench``;
+* :func:`run_waitpath_bench` — the batched-wait-solver / wait-cache
+  planner-cost comparison behind ``cedar-repro serve-bench --waitpath``
+  (see :mod:`repro.core.waitbatch`).
 
 Chaos hardening (the serve path under performance variations, the
 paper's core threat model, plus outright faults):
@@ -126,6 +129,7 @@ from .slo import (
     SERVE_SPAN_ATTRS,
     SLOAccountant,
 )
+from .waitbench import run_waitpath_bench, smoke_waitpath_spec
 from .warmstart import CedarWarmPolicy, WarmStartStore
 
 __all__ = [
@@ -191,9 +195,11 @@ __all__ = [
     "run_incarnation",
     "run_serve_bench",
     "run_shard_serve_bench",
+    "run_waitpath_bench",
     "shard_worker_main",
     "simulate_query_hedged",
     "smoke_bench_spec",
     "smoke_chaos_spec",
     "smoke_shard_spec",
+    "smoke_waitpath_spec",
 ]

@@ -97,6 +97,11 @@ class AdmissionController:
         """Admitted requests waiting for a slot."""
         return len(self._queue)
 
+    def pending(self) -> tuple[QueryRequest, ...]:
+        """Snapshot of the queued requests, in dispatch order (read-only
+        — the wait-cache prewarm pass peeks without dequeueing)."""
+        return tuple(self._queue)
+
     @property
     def service_estimate(self) -> Optional[float]:
         """Current EWMA of observed service times (None before traffic)."""

@@ -15,6 +15,7 @@ import dataclasses
 from typing import TYPE_CHECKING, Any, Optional
 
 from ..core import TreeSpec
+from ..core.waitbatch import WaitCacheConfig
 from ..errors import ConfigError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -131,6 +132,12 @@ class ServeConfig:
     #: brownout); None disables it. With no faults firing the controller
     #: never acts, so enabling it is also bit-neutral.
     degrade: Optional["DegradeConfig"] = None
+    #: cross-query wait-table cache: when set, the server builds one
+    #: :class:`~repro.core.waitbatch.WaitTableCache` with these
+    #: quantization steps and wires it through the Cedar policies, so
+    #: concurrent queries share wait solves instead of each re-sweeping.
+    #: None (the default) keeps the exact per-policy optimizers.
+    wait_cache: Optional[WaitCacheConfig] = None
 
     def __post_init__(self) -> None:
         if self.max_concurrent < 1:

@@ -37,6 +37,7 @@ import numpy as np
 
 from ..core import QueryContext, WaitPolicy
 from ..core.policies import CedarPolicy
+from ..core.waitbatch import WaitTableCache
 from ..distributions import Scaled
 from ..errors import ConfigError
 from ..obs.metrics import MetricsRegistry
@@ -298,6 +299,10 @@ class ServeReport:
     #: fired and no degrade controller acted).
     chaos: dict[str, object]
     outcomes: tuple[QueryOutcome, ...]
+    #: wait-table-cache traffic for this run ({} when no cache is wired;
+    #: omitted from the JSON in that case so cache-less reports stay
+    #: byte-identical to those of earlier builds).
+    wait_cache: dict[str, int] = dataclasses.field(default_factory=dict)
 
     def to_dict(self, include_outcomes: bool = False) -> dict[str, object]:
         doc: dict[str, object] = {
@@ -319,6 +324,8 @@ class ServeReport:
             "warm": self.warm,
             "chaos": self.chaos,
         }
+        if self.wait_cache:
+            doc["wait_cache"] = self.wait_cache
         if include_outcomes:
             doc["outcomes"] = [o.as_dict() for o in self.outcomes]
         return doc
@@ -346,6 +353,16 @@ class CedarServer:
     ):
         self.config = config if config is not None else ServeConfig()
         self.offline_tree = offline_tree
+        #: process-wide quantized wait cache (None when not configured);
+        #: persists across run() calls like the warm-start store does.
+        self.wait_cache: Optional[WaitTableCache] = None
+        if self.config.wait_cache is not None:
+            if policy is not None:
+                raise ConfigError(
+                    "pass either an explicit policy or config.wait_cache, "
+                    "not both"
+                )
+            self.wait_cache = WaitTableCache(self.config.wait_cache)
         self.store: Optional[WarmStartStore]
         if policy is not None:
             self.policy = policy
@@ -356,10 +373,14 @@ class CedarServer:
                 store=self.store,
                 grid_points=self.config.grid_points,
                 warm_min_samples=self.config.warm_min_samples,
+                wait_cache=self.wait_cache,
             )
         else:
             self.store = None
-            self.policy = CedarPolicy(grid_points=self.config.grid_points)
+            self.policy = CedarPolicy(
+                grid_points=self.config.grid_points,
+                wait_cache=self.wait_cache,
+            )
         self.backend: QueryBackend
         if backend is not None:
             if self.config.faults is not None:
@@ -392,6 +413,7 @@ class CedarServer:
         self._degrade: Optional[DegradeController] = None
         self._retrying: dict[int, _RetryState] = {}
         self._transitions: list[ModeTransition] = []
+        self._wait_cache_stats_start: dict[str, int] = {}
 
     def _new_admission(self) -> AdmissionController:
         cfg = self.config
@@ -427,6 +449,10 @@ class CedarServer:
         )
         self._retrying = {}
         self._transitions = []
+        # the cache outlives runs; report per-run deltas of its counters
+        self._wait_cache_stats_start = (
+            self.wait_cache.stats() if self.wait_cache is not None else {}
+        )
         on_run_start = getattr(self.backend, "on_run_start", None)
         if callable(on_run_start):
             on_run_start()
@@ -494,8 +520,48 @@ class CedarServer:
             self._admission.deadline_scale = 1.0
             self._admission.floor_scale = 1.0
 
+    def _prewarm_wait_cache(self) -> None:
+        """Batch-solve the wait buckets of every queued request.
+
+        One vectorized solve replaces the scalar sweeps those queries
+        would otherwise each pay on dispatch. Values land in the shared
+        cache exactly as on-demand misses would compute them, so this
+        pass shifts CPU cost only — a prewarm-off run is byte-identical
+        (asserted in ``tests/serve/test_waitpath_identity.py``).
+        """
+        cache = self.wait_cache
+        if cache is None or not cache.config.prewarm:
+            return
+        pending = self._admission.pending()
+        if not pending:
+            return
+        tok = PROFILER.start()
+        now = self._loop.now
+        tail = self.offline_tree.stages[1:]
+        k = self.offline_tree.stages[0].fanout
+        grid_points = self.config.grid_points
+        entries = []
+        for request in pending:
+            eff_deadline = request.deadline * self._admission.deadline_scale
+            remaining = request.arrival + eff_deadline - now
+            if remaining <= 0.0:
+                continue
+            # the regime the bottom controller will first optimize with:
+            # the workload's warm prior when one exists, else the offline
+            # population fit.
+            dist = None
+            if isinstance(self.policy, CedarWarmPolicy):
+                dist = self.policy.store.prior(request.workload_key)
+            if dist is None:
+                dist = self.offline_tree.stages[0].duration
+            entries.append((tail, remaining, dist, k, grid_points))
+        if entries:
+            cache.prewarm(entries)
+        PROFILER.stop("serve.waitcache.prewarm", tok)
+
     def _pump(self) -> None:
         """Dispatch queued requests while capacity slots are free."""
+        self._prewarm_wait_cache()
         while True:
             request = self._admission.pop_ready()
             if request is None:
@@ -850,6 +916,32 @@ class CedarServer:
             ),
         }
 
+        wait_cache_doc: dict[str, int] = {}
+        if self.wait_cache is not None:
+            stats = self.wait_cache.stats()
+            start = self._wait_cache_stats_start
+            counters = {
+                "batch_solves",
+                "hits",
+                "misses",
+                "solved_rows",
+                "uncached",
+            }
+            wait_cache_doc = {
+                key: (
+                    stats[key] - start.get(key, 0)
+                    if key in counters
+                    else stats[key]
+                )
+                for key in sorted(stats)
+            }
+            self._slo.record_wait_cache(
+                hits=wait_cache_doc["hits"],
+                misses=wait_cache_doc["misses"],
+                batch_solves=wait_cache_doc["batch_solves"],
+                entries=stats["wait_entries"] + stats["schedule_entries"],
+            )
+
         return ServeReport(
             n_requests=n,
             admitted=len(admitted),
@@ -871,4 +963,5 @@ class CedarServer:
             warm=self.store.snapshot() if self.store is not None else {},
             chaos=chaos,
             outcomes=outcomes,
+            wait_cache=wait_cache_doc,
         )

@@ -51,6 +51,10 @@ SERVE_METRIC_NAMES = frozenset(
         "serve_shard_redispatched_total",
         "serve_shard_router_shed_total",
         "serve_shard_orphaned_total",
+        "serve_wait_cache_hits_total",
+        "serve_wait_cache_misses_total",
+        "serve_wait_cache_batch_solves_total",
+        "serve_wait_cache_entries",
     }
 )
 
@@ -93,6 +97,7 @@ SERVE_PROFILE_SITES = frozenset(
         "serve.shard.checkpoint",
         "serve.shard.merge",
         "serve.shard.route",
+        "serve.waitcache.prewarm",
         "serve.warmstart.observe",
     }
 )
@@ -320,6 +325,38 @@ class SLOAccountant:
                 help="admitted queries that lost their terminal outcome "
                 "(must stay zero)",
             ).inc(count, shard=str(shard))
+
+    # -- wait-cache accounting -----------------------------------------
+    def record_wait_cache(
+        self, hits: int, misses: int, batch_solves: int, entries: int
+    ) -> None:
+        """One run's wait-table-cache traffic (emitted at report time).
+
+        ``entries`` is the cache's current size (a gauge); the other
+        three are per-run deltas — the cache itself outlives runs.
+        """
+        metrics = self._metrics
+        if metrics is None:
+            return
+        if hits:
+            metrics.counter(
+                "serve_wait_cache_hits_total",
+                help="wait lookups answered from a cached bucket",
+            ).inc(hits)
+        if misses:
+            metrics.counter(
+                "serve_wait_cache_misses_total",
+                help="wait lookups that solved a new bucket",
+            ).inc(misses)
+        if batch_solves:
+            metrics.counter(
+                "serve_wait_cache_batch_solves_total",
+                help="vectorized multi-bucket solves issued by prewarm",
+            ).inc(batch_solves)
+        metrics.gauge(
+            "serve_wait_cache_entries",
+            help="buckets currently held by the wait-table cache",
+        ).set(float(entries))
 
     # ------------------------------------------------------------------
     def state_dict(self) -> dict[str, object]:

@@ -32,6 +32,7 @@ from ..core import QueryContext
 from ..core.aggregator import AdaptiveController, AggregatorController
 from ..core.policies import CedarPolicy
 from ..core.quality import DEFAULT_GRID_POINTS
+from ..core.waitbatch import WaitCacheLike
 from ..distributions import Distribution, LogNormal
 from ..errors import ConfigError
 from ..estimation import DistributionTracker, Estimator
@@ -284,12 +285,14 @@ class CedarWarmPolicy(CedarPolicy):
         min_samples: int = 2,
         warm_min_samples: int = 5,
         reoptimize_every: int = 1,
+        wait_cache: WaitCacheLike = None,
     ):
         super().__init__(
             estimator_factory=estimator_factory,
             grid_points=grid_points,
             min_samples=min_samples,
             reoptimize_every=reoptimize_every,
+            wait_cache=wait_cache,
         )
         if warm_min_samples < 2:
             raise ConfigError(

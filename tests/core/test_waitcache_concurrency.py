@@ -1,0 +1,148 @@
+"""Thread-safety of the shared :class:`~repro.core.waitbatch.WaitTableCache`.
+
+One cache instance is shared by every in-flight query in a serving
+process, so it is hammered here the way the server would: many threads
+interleaving ``wait_for`` lookups and batched ``prewarm`` passes over
+overlapping parameter regimes. Asserted:
+
+* every threaded answer is bit-identical to the single-threaded
+  reference (no torn reads, no order-dependent values — a cached wait is
+  a pure function of its bucket);
+* the stats ledger stays consistent under contention (every log-normal
+  lookup is exactly one hit or one miss, entries never exceed misses);
+* the module itself carries no unlocked shared mutation: cedarlint's
+  CDR004 (and every other rule) reports zero findings on
+  ``repro/core/waitbatch.py``.
+"""
+
+import threading
+
+import repro.core.waitbatch as waitbatch_module
+from repro.checks import lint_paths
+from repro.core import Stage
+from repro.core.waitbatch import WaitCacheConfig, WaitTableCache
+from repro.distributions import LogNormal
+
+GRID = 48
+TAIL = (Stage(duration=LogNormal(2.2, 0.35), fanout=8),)
+N_THREADS = 8
+ROUNDS = 4
+
+#: overlapping parameter regimes: many collapse into shared buckets, so
+#: threads race to solve the same key — the interesting contention case.
+PARAMS = [
+    (3.0 + 0.03 * (i % 11), 0.8 + 0.02 * (i % 7), 40.0 + 0.4 * (i % 13), 4)
+    for i in range(64)
+]
+
+
+def _lookup_all(cache, params):
+    return [
+        cache.wait_for(TAIL, d, LogNormal(mu, sigma), k, GRID)
+        for mu, sigma, d, k in params
+    ]
+
+
+def _reference_values():
+    return _lookup_all(WaitTableCache(), PARAMS)
+
+
+def test_threaded_lookups_bit_identical_to_sequential():
+    reference = _reference_values()
+    cache = WaitTableCache()
+    results = {}
+    errors = []
+    barrier = threading.Barrier(N_THREADS)
+
+    def worker(tid):
+        try:
+            barrier.wait()
+            # each thread walks the params from a different offset so the
+            # first toucher of any bucket varies across threads
+            rotated = PARAMS[tid::N_THREADS] + PARAMS
+            values = {
+                p: cache.wait_for(TAIL, p[2], LogNormal(p[0], p[1]), p[3], GRID)
+                for p in rotated
+            }
+            results[tid] = values
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(tid,)) for tid in range(N_THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    expected = dict(zip(PARAMS, reference))
+    for tid, values in results.items():
+        for param, value in values.items():
+            assert value == expected[param], (tid, param)
+
+
+def test_threaded_prewarm_and_lookup_interleaving():
+    """Prewarm racing lookups never changes any answer, only who solves."""
+    reference = _reference_values()
+    cache = WaitTableCache(WaitCacheConfig(prewarm=True))
+    entries = [
+        (TAIL, d, LogNormal(mu, sigma), k, GRID) for mu, sigma, d, k in PARAMS
+    ]
+    errors = []
+    barrier = threading.Barrier(N_THREADS)
+
+    def worker(tid):
+        try:
+            barrier.wait()
+            for _ in range(ROUNDS):
+                if tid % 2 == 0:
+                    cache.prewarm(entries)
+                values = _lookup_all(cache, PARAMS)
+                assert values == reference
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(tid,)) for tid in range(N_THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+
+
+def test_stats_ledger_consistent_under_contention():
+    cache = WaitTableCache()
+    barrier = threading.Barrier(N_THREADS)
+
+    def worker(tid):
+        barrier.wait()
+        for _ in range(ROUNDS):
+            _lookup_all(cache, PARAMS[tid::2] if tid % 2 else PARAMS)
+
+    threads = [
+        threading.Thread(target=worker, args=(tid,)) for tid in range(N_THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    stats = cache.stats()
+    lookups = sum(
+        len(PARAMS[tid::2]) if tid % 2 else len(PARAMS)
+        for tid in range(N_THREADS)
+    ) * ROUNDS
+    # every log-normal lookup is exactly one hit or one miss
+    assert stats["hits"] + stats["misses"] == lookups
+    assert stats["uncached"] == 0
+    # each distinct bucket missed exactly once, everything else hit
+    assert stats["wait_entries"] == stats["misses"]
+    assert stats["solved_rows"] == stats["misses"]
+
+
+def test_waitbatch_module_lints_clean():
+    """CDR004 (unlocked shared mutation) and friends: zero findings."""
+    findings = lint_paths([waitbatch_module.__file__])
+    assert findings == [], [str(f) for f in findings]
