@@ -16,9 +16,14 @@ Public surface:
   or directory trees, returning :class:`~repro.checks.engine.Finding`
   objects.
 * :data:`repro.checks.rules.ALL_RULES` — the registered rule classes
-  (CDR001..CDR008).
+  (CDR001..CDR011; CDR009-011 are the cross-module *flow* rules built
+  on :class:`repro.checks.flow.ProjectIndex`).
 * :func:`repro.checks.cli.run_lint` — the ``cedar-repro lint``
   entry point (non-zero exit on new findings).
+* :func:`repro.checks.sanitizer.run_sanitizer` — the runtime
+  determinism sanitizer behind ``cedar-repro lint --sanitize``: replays
+  the smoke benches with tracked generators and traced locks and
+  cross-checks the observations against the static verdicts.
 
 Suppress a finding inline with a trailing (or immediately preceding)
 comment::
@@ -34,15 +39,20 @@ from __future__ import annotations
 
 from .baseline import Baseline
 from .engine import Finding, LintConfig, Rule, lint_paths, lint_source
+from .flow import ProjectIndex, infer_lock_discipline
 from .rules import ALL_RULES, rule_catalog
+from .sanitizer import run_sanitizer
 
 __all__ = [
     "ALL_RULES",
     "Baseline",
     "Finding",
     "LintConfig",
+    "ProjectIndex",
     "Rule",
+    "infer_lock_discipline",
     "lint_paths",
     "lint_source",
     "rule_catalog",
+    "run_sanitizer",
 ]

@@ -21,11 +21,49 @@ from typing import Iterable, Mapping
 from ..errors import ConfigError
 from .engine import Finding, fingerprint_findings
 
-__all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "DEFAULT_BASELINE_PATH",
+    "resolve_baseline_path",
+]
 
 DEFAULT_BASELINE_NAME = "cedarlint-baseline.json"
 
+#: the baseline lives with the linter package, not in the repo root —
+#: the root stays artifact-free and the file travels with the code
+#: that interprets it.
+DEFAULT_BASELINE_PATH = os.path.join(
+    "src", "repro", "checks", DEFAULT_BASELINE_NAME
+)
+
+#: pre-relocation location (repo root), still honored with a warning.
+LEGACY_BASELINE_PATH = DEFAULT_BASELINE_NAME
+
 _VERSION = 1
+
+
+def resolve_baseline_path(path: str) -> tuple[str, str | None]:
+    """Resolve the baseline location, honoring the legacy root file.
+
+    When the caller asked for the default and it does not exist but the
+    pre-relocation root-level file does, return the legacy path plus a
+    deprecation note so ``cedar-repro lint`` keeps working on checkouts
+    (or wrappers) that still carry the old layout.
+    """
+    if (
+        path == DEFAULT_BASELINE_PATH
+        and not os.path.exists(path)
+        and os.path.exists(LEGACY_BASELINE_PATH)
+    ):
+        return (
+            LEGACY_BASELINE_PATH,
+            f"cedarlint: note: reading legacy baseline "
+            f"{LEGACY_BASELINE_PATH!r}; move it to "
+            f"{DEFAULT_BASELINE_PATH!r} (the root location is "
+            f"deprecated)",
+        )
+    return path, None
 
 
 class Baseline:

@@ -12,7 +12,11 @@ import sys
 from typing import Optional, Sequence, TextIO
 
 from ..errors import ConfigError
-from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .baseline import (
+    DEFAULT_BASELINE_PATH,
+    Baseline,
+    resolve_baseline_path,
+)
 from .engine import LintConfig, iter_python_files, lint_paths
 from .report import render_json, render_rule_list, render_text
 from .rules import default_rules
@@ -36,9 +40,9 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--baseline",
-        default=DEFAULT_BASELINE_NAME,
+        default=DEFAULT_BASELINE_PATH,
         help=f"baseline file of grandfathered findings "
-        f"(default: {DEFAULT_BASELINE_NAME}; missing file = empty)",
+        f"(default: {DEFAULT_BASELINE_PATH}; missing file = empty)",
     )
     parser.add_argument(
         "--no-baseline",
@@ -64,6 +68,19 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="after linting, run the smoke benches under the runtime "
+        "determinism sanitizer and fail on any static/runtime "
+        "disagreement (see repro.checks.sanitizer)",
+    )
+    parser.add_argument(
+        "--sanitize-out",
+        default="",
+        metavar="PATH",
+        help="write the sanitizer agreement report (JSON) to PATH",
     )
 
 
@@ -95,16 +112,37 @@ def run_lint(
                 file=out,
             )
             return 0
-        baseline = (
-            Baseline() if args.no_baseline else Baseline.load(args.baseline)
-        )
+        if args.no_baseline:
+            baseline = Baseline()
+        else:
+            baseline_path, note = resolve_baseline_path(args.baseline)
+            if note is not None:
+                print(note, file=sys.stderr)
+            baseline = Baseline.load(baseline_path)
     except ConfigError as exc:
         print(f"cedarlint: error: {exc}", file=sys.stderr)
         return 2
     new, grandfathered = baseline.split(findings)
     renderer = render_json if args.format == "json" else render_text
     print(renderer(new, grandfathered, files_checked), file=out)
-    return 1 if new else 0
+    code = 1 if new else 0
+    if args.sanitize:
+        code = max(code, _run_sanitize(args, out))
+    return code
+
+
+def _run_sanitize(args: argparse.Namespace, out: TextIO) -> int:
+    from .sanitizer import render_report, run_sanitizer, write_report
+
+    report = run_sanitizer(paths=list(args.paths))
+    print(render_report(report), file=out)
+    if args.sanitize_out:
+        write_report(report, args.sanitize_out)
+        print(
+            f"cedarlint: wrote sanitizer report -> {args.sanitize_out}",
+            file=out,
+        )
+    return 0 if report["agreed"] else 1
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

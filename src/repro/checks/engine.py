@@ -16,7 +16,10 @@ import dataclasses
 import hashlib
 import os
 import re
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .flow import ProjectIndex
 
 __all__ = [
     "Finding",
@@ -83,6 +86,10 @@ class FileContext:
     source: str
     tree: ast.Module
     lines: list[str]
+    #: project-wide symbol table when linting a whole tree; ``None`` for
+    #: standalone ``lint_source`` calls (flow rules then build a
+    #: single-file index on the fly).
+    project: Optional["ProjectIndex"] = None
 
     def line_text(self, lineno: int) -> str:
         """1-based source line (empty string when out of range)."""
@@ -254,6 +261,7 @@ def lint_source(
     rules: Optional[Sequence[Rule]] = None,
     config: Optional[LintConfig] = None,
     module: Optional[str] = None,
+    project: Optional["ProjectIndex"] = None,
 ) -> list[Finding]:
     """Lint one in-memory source blob (test and fixture entry point)."""
     config = config or LintConfig()
@@ -280,6 +288,7 @@ def lint_source(
         source=source,
         tree=tree,
         lines=lines,
+        project=project,
     )
     per_line, whole_file = _parse_suppressions(lines)
     findings: list[Finding] = []
@@ -300,13 +309,19 @@ def lint_paths(
     rules: Optional[Sequence[Rule]] = None,
     config: Optional[LintConfig] = None,
 ) -> list[Finding]:
-    """Lint every Python file under ``paths``; findings sorted by location."""
+    """Lint every Python file under ``paths``; findings sorted by location.
+
+    All files are parsed up front into a shared
+    :class:`~repro.checks.flow.ProjectIndex`, so flow rules see symbols
+    across every module in the run — not just the file being checked.
+    """
     config = config or LintConfig()
     findings: list[Finding] = []
+    sources: list[tuple[str, str]] = []
     for path in iter_python_files(paths, config):
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                source = handle.read()
+                sources.append((path, handle.read()))
         except OSError as exc:
             findings.append(
                 Finding(
@@ -317,9 +332,22 @@ def lint_paths(
                     message=f"file is unreadable: {exc}",
                 )
             )
-            continue
+    from .flow import ProjectIndex
+
+    parsed: list[tuple[str, str, ast.Module]] = []
+    for path, source in sources:
+        try:
+            parsed.append(
+                (module_name_for(path), path, ast.parse(source, filename=path))
+            )
+        except SyntaxError:
+            continue  # lint_source reports the parse error per file
+    project = ProjectIndex.build(parsed)
+    for path, source in sources:
         findings.extend(
-            lint_source(source, path=path, rules=rules, config=config)
+            lint_source(
+                source, path=path, rules=rules, config=config, project=project
+            )
         )
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     return findings

@@ -1,0 +1,1137 @@
+"""Project-wide flow layer for cedarlint: symbol table + call graph.
+
+The per-file rules (CDR001..CDR008) are deliberately local — they see
+one module at a time and match syntax. The invariants behind the repo's
+headline claims are *not* local: whether a ``numpy.random.Generator``
+crosses a worker boundary depends on where it was created (often another
+module), and whether an attribute access needs a lock depends on how the
+rest of the class accesses it. :class:`ProjectIndex` gives rules that
+context: it parses every file in the lint run once, resolves imports
+across ``src/repro`` (absolute and relative), records which functions
+*return* generators (a fixpoint over the call graph), which class
+attributes *hold* generators, and which class attributes are guarded by
+which lock.
+
+What the interprocedural tracking resolves — and what it does not — is
+documented in ``docs/static-analysis.md``; the short version is that
+values are tracked through assignments, direct calls, ``self`` attribute
+stores, and one level of container (list-of-generators, wall-clock
+dicts), but not through arbitrary data structures, ``**kwargs``, or
+dynamic dispatch. Rules built on the index (CDR009..CDR011) therefore
+favour precision over recall: everything they flag is derivable from the
+source, and the runtime sanitizer (:mod:`repro.checks.sanitizer`)
+cross-validates the verdicts during the smoke benches.
+
+When a file is linted standalone (fixtures, ``lint_source``), the index
+is built over just that file; unresolved imports fall back to their
+spelled names, so ``from repro.rng import spawn`` still resolves to
+``repro.rng.spawn`` without the target module present.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Iterator, Optional, Sequence
+
+from .engine import FileContext, Finding, Rule
+
+__all__ = [
+    "ProjectIndex",
+    "ImportResolver",
+    "LockDiscipline",
+    "SeedLineageRule",
+    "LockDisciplineRule",
+    "ClockUnitRule",
+    "GENERATOR_PRODUCERS",
+    "GENERATOR_LIST_PRODUCERS",
+    "DRAW_METHODS",
+]
+
+# ----------------------------------------------------------------------
+# known vocabulary
+
+#: qualified callables whose return value is a numpy Generator.
+GENERATOR_PRODUCERS = frozenset(
+    {
+        "repro.rng.resolve_rng",
+        "repro.rng.fork",
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+    }
+)
+
+#: qualified callables returning a *sequence* of generators.
+GENERATOR_LIST_PRODUCERS = frozenset({"repro.rng.spawn"})
+
+#: numpy.random.Generator methods that consume draws from the stream.
+DRAW_METHODS = frozenset(
+    {
+        "beta",
+        "binomial",
+        "bytes",
+        "chisquare",
+        "choice",
+        "dirichlet",
+        "exponential",
+        "f",
+        "gamma",
+        "geometric",
+        "gumbel",
+        "hypergeometric",
+        "integers",
+        "laplace",
+        "logistic",
+        "lognormal",
+        "logseries",
+        "multinomial",
+        "multivariate_normal",
+        "negative_binomial",
+        "noncentral_chisquare",
+        "noncentral_f",
+        "normal",
+        "pareto",
+        "permutation",
+        "permuted",
+        "poisson",
+        "power",
+        "random",
+        "rayleigh",
+        "shuffle",
+        "standard_cauchy",
+        "standard_exponential",
+        "standard_gamma",
+        "standard_normal",
+        "standard_t",
+        "triangular",
+        "uniform",
+        "vonmises",
+        "wald",
+        "weibull",
+        "zipf",
+    }
+)
+
+#: constructors/dispatchers that hand work to another thread or process.
+_WORKER_SPAWNERS = frozenset(
+    {
+        "threading.Thread",
+        "threading.Timer",
+        "concurrent.futures.ThreadPoolExecutor",
+        "concurrent.futures.ProcessPoolExecutor",
+        "multiprocessing.Process",
+    }
+)
+_DISPATCH_METHODS = frozenset({"submit", "apply_async", "map_async"})
+
+_LOCK_FACTORIES = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+#: variable / attribute names that carry *virtual* time instants by
+#: repo convention (the simulation clock, arrivals, deadlines).
+_VIRTUAL_NAMES = frozenset(
+    {
+        "arrival",
+        "deadline",
+        "killed_at",
+        "resume_at",
+        "taken_at",
+        "vtime",
+        "virtual_now",
+    }
+)
+
+#: wall-clock sources (the only sanctioned one outside Clock is
+#: perf_counter; the others are CDR002 findings anyway, but the unit
+#: analysis should not depend on CDR002 having been fixed first).
+_WALL_SOURCES = frozenset(
+    {
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.time",
+    }
+)
+
+
+# ----------------------------------------------------------------------
+# import resolution (absolute + relative)
+
+
+class ImportResolver:
+    """Resolve local names to qualified dotted paths for one module.
+
+    Unlike the per-file ``_ImportMap`` in :mod:`repro.checks.rules`,
+    this resolver handles *relative* imports using the module's own
+    dotted name: ``from ..rng import spawn`` inside ``repro.serve.x``
+    binds ``spawn`` to ``repro.rng.spawn``.
+    """
+
+    def __init__(self, tree: ast.Module, module: str):
+        self.module = module
+        self.modules: dict[str, str] = {}
+        self.members: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.modules[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".")[0]
+                        self.modules[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_base(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.members[local] = f"{base}.{alias.name}"
+
+    def _resolve_base(self, node: ast.ImportFrom) -> Optional[str]:
+        if not node.level:
+            return node.module
+        parts = self.module.split(".")
+        # ``from . import x`` in a module drops one trailing component
+        # per level (packages would drop level-1, but the linter only
+        # sees modules, and ``__init__`` modules already lost the
+        # trailing component in ``module_name_for``).
+        if node.level > len(parts):
+            return node.module
+        base_parts = parts[: len(parts) - node.level]
+        if node.module:
+            base_parts.append(node.module)
+        return ".".join(base_parts) if base_parts else node.module
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Qualified dotted path for a Name/Attribute chain, or None."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = node.id
+        if root in self.members:
+            return ".".join([self.members[root]] + list(reversed(parts)))
+        base = self.modules.get(root)
+        if base is None:
+            return None
+        return ".".join([base] + list(reversed(parts)))
+
+
+# ----------------------------------------------------------------------
+# per-module and project-wide summaries
+
+
+@dataclasses.dataclass
+class ModuleInfo:
+    """One parsed module inside the index."""
+
+    module: str
+    path: str
+    tree: ast.Module
+    resolver: ImportResolver
+
+
+@dataclasses.dataclass
+class FunctionSummary:
+    """One top-level function (or method) the call graph knows about."""
+
+    qualname: str
+    module: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    #: qualified names of callees resolvable from this function's body.
+    callees: tuple[str, ...]
+    #: whether every return statement yields a generator expression.
+    returns_generator: bool = False
+
+
+@dataclasses.dataclass
+class LockDiscipline:
+    """Inferred guard verdict for one class.
+
+    ``guarded_attrs`` maps attribute name -> (lock attr, guarded count,
+    total count) for attributes whose post-``__init__`` accesses are
+    majority lock-guarded — the contract the runtime sanitizer checks.
+    """
+
+    qualname: str
+    lock_attrs: tuple[str, ...]
+    guarded_attrs: dict[str, tuple[str, int, int]]
+    #: (node, attr, lock, guarded, total, kind) for minority accesses.
+    violations: list[tuple[ast.AST, str, str, int, int, str]]
+
+
+class ProjectIndex:
+    """Symbol table + call graph over every module in one lint run."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionSummary] = {}
+        #: qualified functions returning a Generator (fixpoint closure
+        #: over the call graph, seeded with GENERATOR_PRODUCERS).
+        self.generator_returning: set[str] = set(GENERATOR_PRODUCERS)
+        #: qualified functions returning a sequence of Generators.
+        self.generator_list_returning: set[str] = set(
+            GENERATOR_LIST_PRODUCERS
+        )
+        #: ``module.Class.attr`` self-attributes holding generators.
+        self.generator_attrs: set[str] = set()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls, sources: Sequence[tuple[str, str, ast.Module]]
+    ) -> "ProjectIndex":
+        """Index ``(module, path, tree)`` triples (already parsed)."""
+        index = cls()
+        for module, path, tree in sources:
+            resolver = ImportResolver(tree, module)
+            index.modules[module] = ModuleInfo(
+                module=module, path=path, tree=tree, resolver=resolver
+            )
+        index._collect_functions()
+        index._close_generator_returns()
+        index._collect_generator_attrs()
+        return index
+
+    @classmethod
+    def for_context(cls, ctx: FileContext) -> "ProjectIndex":
+        """Single-file index (standalone ``lint_source`` fallback)."""
+        return cls.build([(ctx.module, ctx.path, ctx.tree)])
+
+    # ------------------------------------------------------------------
+    def resolver_for(self, ctx: FileContext) -> ImportResolver:
+        info = self.modules.get(ctx.module)
+        if info is not None and info.path == ctx.path:
+            return info.resolver
+        return ImportResolver(ctx.tree, ctx.module)
+
+    def resolve_call(
+        self, resolver: ImportResolver, node: ast.AST
+    ) -> Optional[str]:
+        """Resolve a callee to a qualified name, following one alias
+        level through the index (``from .rng import fork as f``)."""
+        return resolver.resolve(node)
+
+    # -- construction passes -------------------------------------------
+    def _collect_functions(self) -> None:
+        for info in self.modules.values():
+            for node in info.tree.body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self._add_function(info, node, prefix=info.module)
+                elif isinstance(node, ast.ClassDef):
+                    for item in node.body:
+                        if isinstance(
+                            item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                        ):
+                            self._add_function(
+                                info, item, prefix=f"{info.module}.{node.name}"
+                            )
+
+    def _add_function(
+        self,
+        info: ModuleInfo,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        prefix: str,
+    ) -> None:
+        callees: list[str] = []
+        for call in ast.walk(node):
+            if isinstance(call, ast.Call):
+                resolved = info.resolver.resolve(call.func)
+                if resolved is None and isinstance(call.func, ast.Name):
+                    # unqualified call to a sibling in the same module
+                    resolved = f"{info.module}.{call.func.id}"
+                if resolved is not None:
+                    callees.append(resolved)
+        self.functions[f"{prefix}.{node.name}"] = FunctionSummary(
+            qualname=f"{prefix}.{node.name}",
+            module=info.module,
+            node=node,
+            callees=tuple(callees),
+        )
+
+    def _close_generator_returns(self) -> None:
+        """Fixpoint: f returns a generator if every ``return`` returns a
+        call to a generator-returning callable (or a known producer)."""
+        changed = True
+        while changed:
+            changed = False
+            for summary in self.functions.values():
+                if summary.qualname in self.generator_returning:
+                    continue
+                info = self.modules[summary.module]
+                returns = [
+                    n
+                    for n in ast.walk(summary.node)
+                    if isinstance(n, ast.Return) and n.value is not None
+                ]
+                if not returns:
+                    continue
+                if all(
+                    self._is_generator_expr(info.resolver, r.value)
+                    for r in returns
+                ):
+                    self.generator_returning.add(summary.qualname)
+                    summary.returns_generator = True
+                    changed = True
+
+    def _is_generator_expr(
+        self, resolver: ImportResolver, node: ast.expr
+    ) -> bool:
+        """Whether ``node`` evaluates to a Generator, using only the
+        producer closure (no local variable tracking)."""
+        if isinstance(node, ast.Call):
+            resolved = resolver.resolve(node.func)
+            if resolved is None and isinstance(node.func, ast.Name):
+                resolved = f"{resolver.module}.{node.func.id}"
+            if resolved in self.generator_returning:
+                return True
+            return False
+        if isinstance(node, ast.Subscript):
+            if isinstance(node.value, ast.Call):
+                resolved = resolver.resolve(node.value.func)
+                return resolved in self.generator_list_returning
+        return False
+
+    def _collect_generator_attrs(self) -> None:
+        for info in self.modules.values():
+            for cls in info.tree.body:
+                if not isinstance(cls, ast.ClassDef):
+                    continue
+                for node in ast.walk(cls):
+                    if not isinstance(node, ast.Assign):
+                        continue
+                    if not self._is_generator_expr(info.resolver, node.value):
+                        continue
+                    for target in node.targets:
+                        attr = _self_attr(target)
+                        if attr is not None:
+                            self.generator_attrs.add(
+                                f"{info.module}.{cls.name}.{attr}"
+                            )
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+# ----------------------------------------------------------------------
+# shared per-function generator tracking
+
+
+class _GeneratorScope:
+    """Which local names hold generators (or lists of them) in one
+    function body, tracked through assignments in source order."""
+
+    def __init__(self, index: ProjectIndex, resolver: ImportResolver):
+        self.index = index
+        self.resolver = resolver
+        self.gens: set[str] = set()
+        self.gen_lists: set[str] = set()
+        #: name -> lineno of the first draw consumed from it.
+        self.first_draw: dict[str, int] = {}
+
+    def classify(self, node: ast.expr) -> Optional[str]:
+        """'gen', 'genlist', or None for an expression."""
+        if isinstance(node, ast.Name):
+            if node.id in self.gens:
+                return "gen"
+            if node.id in self.gen_lists:
+                return "genlist"
+            return None
+        if isinstance(node, ast.Call):
+            resolved = self.resolver.resolve(node.func)
+            if resolved is None and isinstance(node.func, ast.Name):
+                resolved = f"{self.resolver.module}.{node.func.id}"
+            if resolved in self.index.generator_returning:
+                return "gen"
+            if resolved in self.index.generator_list_returning:
+                return "genlist"
+            return None
+        if isinstance(node, ast.Subscript):
+            if self.classify(node.value) == "genlist":
+                return "gen"
+            return None
+        if isinstance(node, ast.Attribute):
+            attr = _self_attr(node)
+            if attr is not None:
+                suffix = f".{attr}"
+                if any(
+                    q.endswith(suffix) for q in self.index.generator_attrs
+                ):
+                    return "gen"
+        return None
+
+    def visit_function(
+        self, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        """Seed from annotated parameters, then process assignments."""
+        args = func.args
+        for arg in list(args.posonlyargs) + list(args.args) + list(
+            args.kwonlyargs
+        ):
+            if arg.annotation is not None:
+                resolved = self.resolver.resolve(arg.annotation)
+                if resolved in (
+                    "numpy.random.Generator",
+                    "np.random.Generator",
+                ):
+                    self.gens.add(arg.arg)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                kind = self.classify(node.value)
+                if kind is None:
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        (self.gens if kind == "gen" else self.gen_lists).add(
+                            target.id
+                        )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                kind = self.classify(node.iter)
+                if kind == "genlist" and isinstance(node.target, ast.Name):
+                    self.gens.add(node.target.id)
+                elif (
+                    kind == "genlist"
+                    and isinstance(node.target, ast.Tuple)
+                ):
+                    for elt in node.target.elts:
+                        if isinstance(elt, ast.Name):
+                            self.gens.add(elt.id)
+                elif isinstance(node.iter, ast.Call):
+                    # enumerate(spawn(...)) / zip(spawn(...), xs)
+                    callee = node.iter.func
+                    if (
+                        isinstance(callee, ast.Name)
+                        and callee.id in ("enumerate", "zip")
+                        and node.iter.args
+                    ):
+                        for pos, arg in enumerate(node.iter.args):
+                            if self.classify(arg) != "genlist":
+                                continue
+                            target = node.target
+                            if isinstance(target, ast.Tuple):
+                                offset = (
+                                    pos + 1
+                                    if callee.id == "enumerate"
+                                    else pos
+                                )
+                                if offset < len(target.elts) and isinstance(
+                                    target.elts[offset], ast.Name
+                                ):
+                                    self.gens.add(target.elts[offset].id)
+
+    def record_draws(
+        self, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        """Note the first draw-consuming call per generator name."""
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in DRAW_METHODS:
+                continue
+            base = node.func.value
+            if isinstance(base, ast.Name) and base.id in self.gens:
+                line = int(node.lineno)
+                prev = self.first_draw.get(base.id)
+                if prev is None or line < prev:
+                    self.first_draw[base.id] = line
+
+
+# ----------------------------------------------------------------------
+# CDR009 — seed lineage
+
+
+class SeedLineageRule(Rule):
+    """Generators must be spawned/forked *before* they are consumed, and
+    must never cross a worker boundary or live on worker-shared state.
+
+    Three hazards, all of which silently break seed parity rather than
+    crashing:
+
+    a. draws consumed from a parent generator that is *later* passed to
+       ``repro.rng.spawn``/``fork`` (or ``.bit_generator.seed_seq
+       .spawn``): the children's seeds then depend on how many draws the
+       parent happened to consume, so any upstream change reshuffles
+       every downstream stream;
+    b. a generator passed into a thread/process boundary
+       (``threading.Thread``, ``multiprocessing.Process``, executor
+       ``submit``/``apply_async``): concurrent consumption makes the
+       draw interleaving scheduler-dependent — ship integer seeds (or
+       ``SeedSequence`` children) across the boundary and re-derive;
+    c. a generator stored as an attribute of a class that spawns
+       workers: every worker reaches the same stream through ``self``.
+    """
+
+    rule_id = "CDR009"
+    title = "seed-lineage hazard"
+    rationale = (
+        "generator streams must be derived before consumption and never "
+        "shared across workers; otherwise same-seed runs diverge"
+    )
+    exempt_modules = ("repro.rng",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        index = ctx.project or ProjectIndex.for_context(ctx)
+        resolver = index.resolver_for(ctx)
+        for func in self._functions(ctx.tree):
+            scope = _GeneratorScope(index, resolver)
+            scope.visit_function(func)
+            scope.record_draws(func)
+            yield from self._check_draw_then_spawn(ctx, resolver, func, scope)
+            yield from self._check_worker_boundary(ctx, resolver, func, scope)
+        yield from self._check_shared_attrs(ctx, index, resolver)
+
+    # ------------------------------------------------------------------
+    def _functions(
+        self, tree: ast.Module
+    ) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def _spawn_parent(
+        self, resolver: ImportResolver, node: ast.Call
+    ) -> Optional[ast.expr]:
+        """The parent-generator argument of a spawn/fork call, if any."""
+        resolved = resolver.resolve(node.func)
+        if resolved in ("repro.rng.spawn", "repro.rng.fork") and node.args:
+            return node.args[0]
+        # rng.bit_generator.seed_seq.spawn(n)
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "spawn"
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "seed_seq"
+            and isinstance(func.value.value, ast.Attribute)
+            and func.value.value.attr == "bit_generator"
+        ):
+            return func.value.value.value
+        return None
+
+    def _check_draw_then_spawn(
+        self,
+        ctx: FileContext,
+        resolver: ImportResolver,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        scope: _GeneratorScope,
+    ) -> Iterator[Finding]:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            parent = self._spawn_parent(resolver, node)
+            if parent is None or not isinstance(parent, ast.Name):
+                continue
+            drawn_at = scope.first_draw.get(parent.id)
+            if drawn_at is not None and drawn_at < int(node.lineno):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"generator {parent.id!r} is spawned/forked after "
+                    f"consuming draws (first draw at line {drawn_at}); "
+                    f"derive child streams before drawing, or the "
+                    f"children's seeds depend on upstream draw counts",
+                )
+
+    def _check_worker_boundary(
+        self,
+        ctx: FileContext,
+        resolver: ImportResolver,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        scope: _GeneratorScope,
+    ) -> Iterator[Finding]:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = resolver.resolve(node.func)
+            passed: list[ast.expr] = []
+            if resolved in _WORKER_SPAWNERS:
+                for keyword in node.keywords:
+                    if keyword.arg == "args" and isinstance(
+                        keyword.value, (ast.Tuple, ast.List)
+                    ):
+                        passed.extend(keyword.value.elts)
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _DISPATCH_METHODS
+            ):
+                passed.extend(node.args[1:])
+                passed.extend(k.value for k in node.keywords if k.value)
+            for arg in passed:
+                if scope.classify(arg) == "gen":
+                    label = (
+                        arg.id
+                        if isinstance(arg, ast.Name)
+                        else ast.unparse(arg)
+                    )
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"generator {label!r} crosses a thread/process "
+                        f"boundary without re-derivation; pass an integer "
+                        f"seed (repro.rng.seeds_for) or a spawned child "
+                        f"instead",
+                    )
+
+    def _check_shared_attrs(
+        self, ctx: FileContext, index: ProjectIndex, resolver: ImportResolver
+    ) -> Iterator[Finding]:
+        for cls in ctx.tree.body:
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            if not self._spawns_workers(cls, resolver):
+                continue
+            for node in ast.walk(cls):
+                if not isinstance(node, ast.Assign):
+                    continue
+                scope = _GeneratorScope(index, resolver)
+                if scope.classify(node.value) != "gen":
+                    continue
+                for target in node.targets:
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        yield self.finding(
+                            ctx,
+                            target,
+                            f"generator stored on self.{attr} of "
+                            f"{cls.name}, which dispatches work to "
+                            f"threads/processes: every worker reaches "
+                            f"the same stream; store per-worker seeds "
+                            f"and re-derive instead",
+                        )
+
+    def _spawns_workers(
+        self, cls: ast.ClassDef, resolver: ImportResolver
+    ) -> bool:
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Call):
+                resolved = resolver.resolve(node.func)
+                if resolved in _WORKER_SPAWNERS:
+                    return True
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "Process"
+                ):
+                    # mp.get_context(...).Process(...) — the receiver is
+                    # a context object no resolver can name.
+                    return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# CDR010 — inferred lock discipline
+
+
+def infer_lock_discipline(
+    tree: ast.Module, module: str, resolver: ImportResolver
+) -> list[LockDiscipline]:
+    """Infer which lock guards which attribute for each class in ``tree``.
+
+    For every class that constructs a ``threading`` lock, each
+    ``self.<attr>`` access outside ``__init__`` is classified as guarded
+    (lexically under ``with self.<lock>:``, or inside a method that is
+    provably entered with the lock held — ``*_locked`` suffix, or every
+    intra-class call site is itself guarded, computed to fixpoint) or
+    unguarded. Attributes written at least once outside ``__init__``
+    whose accesses are *majority* guarded are inferred to be disciplined
+    by that lock; the minority unguarded accesses are the violations.
+
+    Attributes only ever written during construction are exempt —
+    immutable state needs no lock to read.
+    """
+    out: list[LockDiscipline] = []
+    for cls in tree.body:
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        locks = _class_lock_attrs(cls, resolver)
+        if not locks:
+            continue
+        methods = {
+            item.name: item
+            for item in cls.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        held_on_entry = _held_on_entry(methods, locks)
+        # (node, attr, guarded, kind) for every post-init access
+        accesses: list[tuple[ast.AST, str, bool, str]] = []
+        for name, method in methods.items():
+            if name in ("__init__", "__post_init__", "__del__"):
+                continue
+            base_held = name in held_on_entry
+            _collect_accesses(
+                method, locks, base_held, accesses, set()
+            )
+        per_attr: dict[str, list[tuple[ast.AST, bool, str]]] = {}
+        written_outside_init: set[str] = set()
+        for node, attr, guarded, kind in accesses:
+            if attr in locks:
+                continue
+            per_attr.setdefault(attr, []).append((node, guarded, kind))
+            if kind == "write":
+                written_outside_init.add(attr)
+        lock_name = sorted(locks)[0]
+        guarded_attrs: dict[str, tuple[str, int, int]] = {}
+        violations: list[tuple[ast.AST, str, str, int, int, str]] = []
+        for attr in sorted(per_attr):
+            if attr not in written_outside_init:
+                continue
+            entries = per_attr[attr]
+            n_guarded = sum(1 for _, g, _ in entries if g)
+            total = len(entries)
+            if n_guarded < 2 or n_guarded * 2 <= total:
+                continue  # no majority evidence of a discipline
+            guarded_attrs[attr] = (lock_name, n_guarded, total)
+            for node, guarded, kind in entries:
+                if not guarded:
+                    violations.append(
+                        (node, attr, lock_name, n_guarded, total, kind)
+                    )
+        out.append(
+            LockDiscipline(
+                qualname=f"{module}.{cls.name}",
+                lock_attrs=tuple(sorted(locks)),
+                guarded_attrs=guarded_attrs,
+                violations=violations,
+            )
+        )
+    return out
+
+
+def _class_lock_attrs(cls: ast.ClassDef, resolver: ImportResolver) -> set[str]:
+    locks: set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not isinstance(node.value, ast.Call):
+            continue
+        resolved = resolver.resolve(node.value.func) or ""
+        name = resolved.rpartition(".")[2]
+        if not name and isinstance(node.value.func, ast.Name):
+            name = node.value.func.id
+        if name not in _LOCK_FACTORIES:
+            continue
+        for target in node.targets:
+            attr = _self_attr(target)
+            if attr is not None:
+                locks.add(attr)
+    return locks
+
+
+def _held_on_entry(
+    methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef],
+    locks: set[str],
+) -> set[str]:
+    """Methods provably entered with the lock held.
+
+    Seeded with the ``*_locked`` naming convention, then closed over the
+    intra-class call graph: a method joins when it has at least one
+    intra-class call site and *every* call site is lexically guarded or
+    inside an already-held method.
+    """
+    held = {name for name in methods if name.endswith("_locked")}
+    # call sites: callee -> list of (caller, lexically_guarded)
+    sites: dict[str, list[tuple[str, bool]]] = {}
+    for caller, method in methods.items():
+        for node, guarded in _walk_with_held(method, locks, False):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and _self_attr(node.func) is not None
+            ):
+                callee = node.func.attr
+                if callee in methods:
+                    sites.setdefault(callee, []).append((caller, guarded))
+    changed = True
+    while changed:
+        changed = False
+        for callee, callers in sites.items():
+            if callee in held or callee in ("__init__", "__post_init__"):
+                continue
+            if all(g or c in held for c, g in callers):
+                held.add(callee)
+                changed = True
+    return held
+
+
+def _walk_with_held(
+    node: ast.AST, locks: set[str], held: bool
+) -> Iterator[tuple[ast.AST, bool]]:
+    """Yield (descendant, lock-held) pairs below ``node``.
+
+    Nested function/class definitions are *not* descended into: their
+    bodies execute later, outside the lexical lock region.
+    """
+    for child in ast.iter_child_nodes(node):
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        child_held = held
+        if isinstance(child, ast.With):
+            if any(
+                _self_attr(item.context_expr) in locks
+                for item in child.items
+            ):
+                child_held = True
+        yield child, child_held
+        yield from _walk_with_held(child, locks, child_held)
+
+
+def _collect_accesses(
+    method: ast.FunctionDef | ast.AsyncFunctionDef,
+    locks: set[str],
+    base_held: bool,
+    out: list[tuple[ast.AST, str, bool, str]],
+    _seen: set[int],
+) -> None:
+    for node, held in _walk_with_held(method, locks, base_held):
+        if id(node) in _seen:
+            continue
+        _seen.add(id(node))
+        if isinstance(node, ast.Attribute):
+            attr = _self_attr(node)
+            if attr is None:
+                continue
+            kind = (
+                "write"
+                if isinstance(node.ctx, (ast.Store, ast.Del))
+                else "read"
+            )
+            out.append((node, attr, held, kind))
+
+
+class LockDisciplineRule(Rule):
+    """Minority unguarded accesses to majority-guarded attributes.
+
+    Upgrades CDR004 from "class spawns threads" syntax matching to
+    evidence-based inference: the class's own guarded accesses define
+    the discipline, so helper classes that are *used* from threads
+    (trackers, caches, stores) are covered even though they never spawn
+    a thread themselves — and the lock that should have been held is
+    named in the finding. See :func:`infer_lock_discipline`.
+    """
+
+    rule_id = "CDR010"
+    title = "inferred lock-discipline violation"
+    rationale = (
+        "an attribute guarded by a lock in the majority of accesses "
+        "must be guarded in all of them; the minority is a data race"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        index = ctx.project or ProjectIndex.for_context(ctx)
+        resolver = index.resolver_for(ctx)
+        for discipline in infer_lock_discipline(
+            ctx.tree, ctx.module, resolver
+        ):
+            for (
+                node,
+                attr,
+                lock,
+                n_guarded,
+                total,
+                kind,
+            ) in discipline.violations:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"self.{attr} {kind} without holding self.{lock} "
+                    f"(inferred guard: {n_guarded} of {total} accesses "
+                    f"in {discipline.qualname.rsplit('.', 1)[1]} are "
+                    f"under the lock)",
+                )
+
+
+# ----------------------------------------------------------------------
+# CDR011 — clock-unit discipline
+
+
+class ClockUnitRule(Rule):
+    """Arithmetic mixing virtual-time and wall-clock values.
+
+    The simulation/serving stack runs in *virtual* time (event-loop
+    ``now``, arrivals, deadlines); ``time.perf_counter`` is sanctioned
+    for *reporting* elapsed real intervals. The two scales are related
+    by an arbitrary ``time_scale``, so adding or comparing across them
+    is a unit error that type checkers cannot see — both sides are
+    ``float``. Wall-ness propagates through assignments and container
+    stores; virtual-ness comes from ``.now`` reads and the conventional
+    instant names (``deadline``, ``arrival``, ``resume_at``, ...).
+    """
+
+    rule_id = "CDR011"
+    title = "clock-unit mixing"
+    rationale = (
+        "virtual-time instants and perf_counter readings share a type "
+        "but not a unit; arithmetic across them is meaningless"
+    )
+    exempt_modules = ("repro.service.clock",)
+
+    _MIX_OPS = (ast.Add, ast.Sub)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        index = ctx.project or ProjectIndex.for_context(ctx)
+        resolver = index.resolver_for(ctx)
+        # class-wide attribute domains: self.x = perf_counter() makes
+        # self.x wall everywhere in the class.
+        attr_domains = self._attr_domains(ctx.tree, resolver)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(
+                    ctx, resolver, node, attr_domains
+                )
+
+    # ------------------------------------------------------------------
+    def _attr_domains(
+        self, tree: ast.Module, resolver: ImportResolver
+    ) -> dict[str, str]:
+        domains: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            domain = self._source_domain(resolver, node.value, {}, {})
+            if domain is None:
+                continue
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    domains[attr] = domain
+        return domains
+
+    def _source_domain(
+        self,
+        resolver: ImportResolver,
+        node: ast.expr,
+        local: dict[str, str],
+        containers: dict[str, str],
+    ) -> Optional[str]:
+        """'wall', 'virtual', or None for an expression."""
+        if isinstance(node, ast.Call):
+            resolved = resolver.resolve(node.func)
+            if resolved in _WALL_SOURCES:
+                return "wall"
+            return None
+        if isinstance(node, ast.Name):
+            if node.id in local:
+                return local[node.id]
+            if node.id in _VIRTUAL_NAMES:
+                return "virtual"
+            return None
+        if isinstance(node, ast.Attribute):
+            if node.attr == "now":
+                return "virtual"
+            if node.attr in _VIRTUAL_NAMES:
+                return "virtual"
+            return None
+        if isinstance(node, ast.Subscript):
+            if isinstance(node.value, ast.Name):
+                return containers.get(node.value.id)
+            return None
+        if isinstance(node, ast.BinOp) and isinstance(node.op, self._MIX_OPS):
+            left = self._source_domain(resolver, node.left, local, containers)
+            right = self._source_domain(
+                resolver, node.right, local, containers
+            )
+            return left or right
+        if isinstance(node, ast.Call):
+            return None
+        return None
+
+    def _check_function(
+        self,
+        ctx: FileContext,
+        resolver: ImportResolver,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        attr_domains: dict[str, str],
+    ) -> Iterator[Finding]:
+        local: dict[str, str] = {}
+        containers: dict[str, str] = {}
+
+        def domain(node: ast.expr) -> Optional[str]:
+            if isinstance(node, ast.Attribute):
+                attr = _self_attr(node)
+                if attr is not None and attr in attr_domains:
+                    return attr_domains[attr]
+            return self._source_domain(resolver, node, local, containers)
+
+        for node in _statements_in_order(func):
+            if isinstance(node, ast.Assign):
+                value_domain = domain(node.value)
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if value_domain is None:
+                            local.pop(target.id, None)
+                        else:
+                            local[target.id] = value_domain
+                    elif (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and value_domain is not None
+                    ):
+                        containers[target.value.id] = value_domain
+            for expr in ast.walk(node):
+                if isinstance(expr, ast.BinOp) and isinstance(
+                    expr.op, self._MIX_OPS
+                ):
+                    left = domain(expr.left)
+                    right = domain(expr.right)
+                    if {left, right} == {"wall", "virtual"}:
+                        yield self._mix_finding(ctx, expr, left, right)
+                elif isinstance(expr, ast.Compare):
+                    operands = [expr.left] + list(expr.comparators)
+                    domains = [domain(op) for op in operands]
+                    for i in range(len(domains) - 1):
+                        if {domains[i], domains[i + 1]} == {
+                            "wall",
+                            "virtual",
+                        }:
+                            yield self._mix_finding(
+                                ctx, expr, domains[i], domains[i + 1]
+                            )
+                            break
+
+    def _mix_finding(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        left: Optional[str],
+        right: Optional[str],
+    ) -> Finding:
+        return self.finding(
+            ctx,
+            node,
+            f"arithmetic mixes a {left}-clock value with a {right}-clock "
+            f"value; convert through repro.service.clock.Clock (or keep "
+            f"the comparison within one time base)",
+        )
+
+
+def _statements_in_order(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.stmt]:
+    """Statements of ``func`` in source order, skipping nested defs."""
+    stack: list[ast.stmt] = list(reversed(func.body))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield node
+        children: list[ast.stmt] = []
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                children.append(child)
+            elif isinstance(child, ast.ExceptHandler):
+                children.extend(child.body)
+        stack.extend(reversed(children))

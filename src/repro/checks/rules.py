@@ -1,9 +1,13 @@
-"""cedarlint rules CDR001..CDR008.
+"""cedarlint rules CDR001..CDR008 (plus the flow registry glue).
 
 Each rule encodes one invariant the repo's correctness story actually
 depends on (see ``docs/static-analysis.md`` for the catalog with
-rationale). Rules are purely syntactic — they resolve imports within the
-file being linted but never execute or import it.
+rationale). Rules CDR001..CDR008 are purely syntactic — they resolve
+imports within the file being linted but never execute or import it.
+The flow rules (CDR009..CDR011, defined in :mod:`repro.checks.flow`)
+additionally consult the project-wide symbol table built by
+``lint_paths``; they are registered here so ``default_rules`` stays the
+single source of truth for what a lint run checks.
 """
 
 from __future__ import annotations
@@ -814,6 +818,12 @@ class OverbroadExceptRule(Rule):
 # ----------------------------------------------------------------------
 # registry
 
+from .flow import (  # noqa: E402  (flow imports engine, not rules)
+    ClockUnitRule,
+    LockDisciplineRule,
+    SeedLineageRule,
+)
+
 ALL_RULES: tuple[type[Rule], ...] = (
     UnseededRandomnessRule,
     WallClockRule,
@@ -823,6 +833,9 @@ ALL_RULES: tuple[type[Rule], ...] = (
     ObsVocabularyRule,
     SetIterationRule,
     OverbroadExceptRule,
+    SeedLineageRule,
+    LockDisciplineRule,
+    ClockUnitRule,
 )
 
 

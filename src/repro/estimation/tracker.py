@@ -196,19 +196,25 @@ class DistributionTracker:
                 [str(c) for c in candidates] if candidates is not None else None
             ),
         )
-        tracker._samples.extend(float(v) for v in state["samples"])
-        tracker._since_fit = int(state["since_fit"])
-        tracker._refits = int(state["refits"])
-        fit = state["fit"]
-        if fit is not None:
-            tracker._current = FitResult(
-                family=str(fit["family"]),
-                distribution=distribution_from_params(
-                    str(fit["family"]), fit["params"]
-                ),
-                rel_rmse=float(fit["rel_rmse"]),
-                per_point_rel_error={
-                    float(p): float(e) for p, e in fit["per_point_rel_error"]
-                },
-            )
+        # restore under the lock: a checkpoint can be loaded into a
+        # tracker already reachable from the serving frontend (the
+        # warm-start store hands trackers out before restore completes),
+        # and the fit-state fields must never be visible half-written.
+        with tracker._lock:
+            tracker._samples.extend(float(v) for v in state["samples"])
+            tracker._since_fit = int(state["since_fit"])
+            tracker._refits = int(state["refits"])
+            fit = state["fit"]
+            if fit is not None:
+                tracker._current = FitResult(
+                    family=str(fit["family"]),
+                    distribution=distribution_from_params(
+                        str(fit["family"]), fit["params"]
+                    ),
+                    rel_rmse=float(fit["rel_rmse"]),
+                    per_point_rel_error={
+                        float(p): float(e)
+                        for p, e in fit["per_point_rel_error"]
+                    },
+                )
         return tracker

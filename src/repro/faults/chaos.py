@@ -45,7 +45,7 @@ class ChaosTransport:
         worker_delay: float = 0.0,
         corrupt_prob: float = 0.0,
         seed: SeedLike = None,
-    ):
+    ) -> None:
         for name, p in (
             ("worker_kill_prob", worker_kill_prob),
             ("ship_drop_prob", ship_drop_prob),

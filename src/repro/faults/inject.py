@@ -23,6 +23,7 @@ Failure semantics:
 from __future__ import annotations
 
 import dataclasses
+from typing import TYPE_CHECKING, Any, Optional
 
 import numpy as np
 
@@ -31,6 +32,9 @@ from ..errors import SimulationError
 from ..rng import SeedLike, resolve_rng
 from ..simulation.query import _estimate_params, _run_aggregator
 from .model import FaultDraws, FaultModel, draw_faults
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import MetricsRegistry, Span, SpanTracer
 
 __all__ = ["FaultyQueryResult", "simulate_query_with_faults"]
 
@@ -76,9 +80,9 @@ def simulate_query_with_faults(
     policy: WaitPolicy,
     faults: FaultModel,
     seed: SeedLike = None,
-    tracer=None,
-    metrics=None,
-    span_attrs=None,
+    tracer: Optional["SpanTracer"] = None,
+    metrics: Optional["MetricsRegistry"] = None,
+    span_attrs: Optional[dict[str, Any]] = None,
 ) -> FaultyQueryResult:
     """Simulate one n-level query end-to-end under ``faults``.
 
@@ -150,8 +154,8 @@ def simulate_query_with_faults(
     mean_stops: list[float] = []
 
     # ---- spans: pre-build the tree skeleton top-down ------------------
-    query_span = None
-    level_spans: list[list] = []
+    query_span: Optional["Span"] = None
+    level_spans: list[list["Span"]] = []
     if tracer is not None:
         from ..obs.span import (
             CAUSE_AGG_CRASHED,
@@ -185,7 +189,7 @@ def simulate_query_with_faults(
                     tracer.begin_span("aggregator", level, parent, 0.0, index=a)
                 )
 
-    def _fault_cause(level_idx: int, a: int):
+    def _fault_cause(level_idx: int, a: int) -> Optional[str]:
         """The fault that destroyed this aggregator's shipment, if any."""
         if draws.agg_crashes[level_idx][a]:
             return CAUSE_AGG_CRASHED
@@ -197,7 +201,7 @@ def simulate_query_with_faults(
 
     # ---- level 1: processes -> bottom aggregators ---------------------
     shipments: list[_Shipment] = []
-    span_row: list = []
+    span_row: list["Span"] = []
     stops_acc = 0.0
     k1_crashed_per_agg = np.count_nonzero(draws.worker_crashes, axis=1)
     for a in range(n_bottom):
@@ -268,7 +272,7 @@ def simulate_query_with_faults(
             )
         ship_durations = ship_durations_by_level[level - 1]
         next_shipments: list[_Shipment] = []
-        next_span_row: list = []
+        next_span_row: list["Span"] = []
         stops_acc = 0.0
         for a in range(n_aggs):
             batch = shipments[a * group : (a + 1) * group]
@@ -348,6 +352,7 @@ def simulate_query_with_faults(
     total = tree.total_processes
     quality = included / total if total else 0.0
     if tracer is not None:
+        assert query_span is not None  # set in the tracer branch above
         query_span.end = deadline
         query_span.attrs.update(
             quality=quality,

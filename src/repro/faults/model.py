@@ -40,9 +40,12 @@ and tests both go through it.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cluster.machine import Cluster
 
 from ..errors import SimulationError
 
@@ -117,7 +120,7 @@ class FaultDomainMap:
         )
 
 
-def domains_for_cluster(cluster, n_aggregators: int) -> FaultDomainMap:
+def domains_for_cluster(cluster: "Cluster", n_aggregators: int) -> FaultDomainMap:
     """Fault domains induced by a :class:`repro.cluster.Cluster`.
 
     Aggregators are placed round-robin over the cluster's machines (the

@@ -35,7 +35,7 @@ class OrderStatistic(Distribution):
 
     family = "orderstat"
 
-    def __init__(self, parent: Distribution, i: int, k: int):
+    def __init__(self, parent: Distribution, i: int, k: int) -> None:
         if k < 1:
             raise DistributionError(f"sample size k must be >= 1, got {k}")
         if not 1 <= i <= k:
@@ -50,19 +50,19 @@ class OrderStatistic(Distribution):
         out["k"] = float(self.k)
         return out
 
-    def cdf(self, x):
+    def cdf(self, x: float | np.ndarray) -> float | np.ndarray:
         u = np.asarray(self.parent.cdf(x), dtype=float)
         out = special.betainc(self.i, self.k - self.i + 1, np.clip(u, 0.0, 1.0))
         return float(out) if np.ndim(out) == 0 else out
 
-    def pdf(self, x):
+    def pdf(self, x: float | np.ndarray) -> float | np.ndarray:
         u = np.asarray(self.parent.cdf(x), dtype=float)
         fu = np.asarray(self.parent.pdf(x), dtype=float)
         beta_pdf = stats.beta.pdf(np.clip(u, 0.0, 1.0), self.i, self.k - self.i + 1)
         out = beta_pdf * fu
         return float(out) if np.ndim(out) == 0 else out
 
-    def quantile(self, p):
+    def quantile(self, p: float | np.ndarray) -> float | np.ndarray:
         p = np.asarray(p, dtype=float)
         if np.any((p < 0.0) | (p > 1.0)):
             raise DistributionError("quantile probability out of [0,1]")
@@ -70,7 +70,9 @@ class OrderStatistic(Distribution):
         out = self.parent.quantile(u)
         return float(out) if np.ndim(out) == 0 else np.asarray(out)
 
-    def sample(self, size=1, seed: SeedLike = None):
+    def sample(
+        self, size: int | tuple[int, ...] = 1, seed: SeedLike = None
+    ) -> np.ndarray:
         """Sample via the Beta representation: U ~ Beta(i, k-i+1), X = Q(U)."""
         rng = resolve_rng(seed)
         u = rng.beta(self.i, self.k - self.i + 1, size=size)

@@ -22,6 +22,7 @@ import numpy as np
 from scipy import integrate, special
 
 from ..errors import DistributionError
+from ..rng import SeedLike
 
 __all__ = [
     "exact_normal_score",
@@ -99,7 +100,9 @@ def blom_normal_scores(k: int, alpha: float = 0.375) -> np.ndarray:
     return special.ndtri((i - alpha) / (k - 2.0 * alpha + 1.0))
 
 
-def simulated_normal_scores(k: int, trials: int = 20000, seed=None) -> np.ndarray:
+def simulated_normal_scores(
+    k: int, trials: int = 20000, seed: SeedLike = None
+) -> np.ndarray:
     """Monte-Carlo estimate of all k normal scores."""
     from ..rng import resolve_rng
 

@@ -113,7 +113,7 @@ class LogNormalWorkload:
         history_queries: int = 300,
         history_samples_per_query: int = 40,
         offline_seed: SeedLike = None,
-    ):
+    ) -> None:
         if len(specs) < 2:
             raise TraceError("workload needs >= 2 stages")
         self.specs = tuple(specs)
@@ -204,7 +204,9 @@ class GaussianStageSpec:
 class GaussianWorkload:
     """Workload with truncated-normal stages (paper §5.7)."""
 
-    def __init__(self, specs: Sequence[GaussianStageSpec], name: str = "gaussian"):
+    def __init__(
+        self, specs: Sequence[GaussianStageSpec], name: str = "gaussian"
+    ) -> None:
         if len(specs) < 2:
             raise TraceError("workload needs >= 2 stages")
         self.specs = tuple(specs)
@@ -238,7 +240,7 @@ class ReplayWorkload:
         jobs: Sequence[Sequence["Distribution"]],
         fanouts: Sequence[int],
         name: str = "replay",
-    ):
+    ) -> None:
         if not jobs:
             raise TraceError("need at least one job to replay")
         n_stages = len(fanouts)

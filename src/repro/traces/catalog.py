@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from typing import Any, Callable, Mapping
 
 from ..errors import TraceError
 from .base import LogNormalStageSpec
@@ -34,7 +34,7 @@ def diurnal_workload(
     )
 
 
-WORKLOADS: Mapping[str, Callable] = {
+WORKLOADS: Mapping[str, Callable[..., Any]] = {
     "facebook": facebook_workload,
     "facebook-3level": facebook_three_level_workload,
     "bing-bing": bing_workload,
@@ -46,8 +46,14 @@ WORKLOADS: Mapping[str, Callable] = {
 }
 
 
-def make_workload(name: str, **kwargs):
-    """Instantiate a registered workload by name."""
+def make_workload(name: str, **kwargs: Any) -> Any:
+    """Instantiate a registered workload by name.
+
+    Returns whichever workload type the named factory builds (the
+    registry is heterogeneous, hence the ``Any``); every entry
+    satisfies the implicit workload protocol (``sample_query`` /
+    ``offline_tree``).
+    """
     try:
         factory = WORKLOADS[name]
     except KeyError as exc:

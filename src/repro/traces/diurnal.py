@@ -34,7 +34,7 @@ class DiurnalWorkload:
         amplitude: float = 0.8,
         period: int = 200,
         name: str = "diurnal",
-    ):
+    ) -> None:
         if amplitude < 0.0:
             raise TraceError(f"amplitude must be >= 0, got {amplitude}")
         if period < 2:

@@ -12,7 +12,7 @@ from __future__ import annotations
 import csv
 import json
 import pathlib
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -104,7 +104,7 @@ def export_trace_csv(path: str | pathlib.Path, workload: ReplayWorkload) -> None
 
 
 def record_trace(
-    workload,
+    workload: Any,
     n_jobs: int,
     samples_per_stage: int,
     seed: SeedLike = None,

@@ -1,0 +1,29 @@
+"""True negative for CDR009: derive before drawing, ship seeds not
+streams, keep per-worker state out of shared objects."""
+
+import threading
+
+from repro.rng import resolve_rng, seeds_for, spawn
+
+
+def spawn_then_draw(seed):
+    rng = resolve_rng(seed)
+    children = spawn(rng, 4)  # derived before any draw
+    noise = rng.normal()
+    return children, noise
+
+
+def seeds_across_boundary(seed, work):
+    worker_seed = seeds_for(seed, 1)[0]
+    worker = threading.Thread(target=work, args=(worker_seed,))
+    worker.start()
+    return worker
+
+
+class PerWorkerSeeds:
+    def __init__(self, seed, work):
+        self.seeds = seeds_for(seed, 4)  # integers, not streams
+        self._work = work
+
+    def start(self):
+        threading.Thread(target=self._work, args=(self.seeds[0],)).start()

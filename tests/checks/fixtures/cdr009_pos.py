@@ -1,0 +1,28 @@
+"""True positive for CDR009: all three seed-lineage hazards."""
+
+import threading
+
+from repro.rng import resolve_rng, spawn
+
+
+def draw_then_spawn(seed):
+    rng = resolve_rng(seed)
+    noise = rng.normal()
+    children = spawn(rng, 4)  # children's seeds now depend on the draw
+    return children, noise
+
+
+def generator_across_boundary(seed, work):
+    rng = resolve_rng(seed)
+    worker = threading.Thread(target=work, args=(rng,))
+    worker.start()
+    return worker
+
+
+class SharedStream:
+    def __init__(self, seed, work):
+        self.rng = resolve_rng(seed)
+        self._work = work
+
+    def start(self):
+        threading.Thread(target=self._work).start()

@@ -1,0 +1,28 @@
+"""True negative for CDR010: lock-held helper methods (``*_locked``
+suffix and call-graph inference) and construction-only attributes."""
+
+import threading
+
+
+class Tracker:
+    def __init__(self, window):
+        self._lock = threading.RLock()
+        self.window = window  # written only here: immutable, no guard
+        self._samples = []
+
+    def observe(self, value):
+        with self._lock:
+            self._observe_locked(value)
+
+    def _observe_locked(self, value):
+        self._samples.append(value)
+        if len(self._samples) > self.window:
+            self._trim()
+
+    def _trim(self):
+        # only called from _observe_locked, so the lock is held here
+        self._samples = self._samples[-self.window :]
+
+    def snapshot(self):
+        with self._lock:
+            return list(self._samples)

@@ -1,0 +1,23 @@
+"""True positive for CDR010: minority unguarded read of an attribute
+the rest of the class consistently guards with its lock."""
+
+import threading
+
+
+class Tracker:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._samples = []
+
+    def observe(self, value):
+        with self._lock:
+            self._samples.append(value)
+            if len(self._samples) > 64:
+                self._samples = self._samples[-32:]
+
+    def snapshot(self):
+        with self._lock:
+            return list(self._samples)
+
+    def peek(self):
+        return len(self._samples)  # races with observe()'s reassignment

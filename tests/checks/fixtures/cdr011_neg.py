@@ -1,0 +1,21 @@
+"""True negative for CDR011: each time base stays on its own side —
+perf_counter intervals for reporting, virtual instants for decisions."""
+
+import time
+
+
+def wait_budget(request, clock):
+    due = clock.now + 1.0
+    remaining = request.deadline - due  # virtual - virtual
+    return remaining
+
+
+def hang_watchdog(shards, hang_timeout):
+    last_sign = {}
+    for shard in shards:
+        last_sign[shard] = time.perf_counter()
+    stale = []
+    for shard in shards:
+        if time.perf_counter() - last_sign[shard] > hang_timeout:
+            stale.append(shard)  # wall - wall vs unitless timeout
+    return stale

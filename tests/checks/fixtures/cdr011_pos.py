@@ -1,0 +1,12 @@
+"""True positive for CDR011: wall-clock reading compared against and
+added to virtual-time instants."""
+
+import time
+
+
+def wait_budget(request, clock):
+    started = time.perf_counter()
+    if started > request.deadline:  # wall instant vs virtual deadline
+        return 0.0
+    due = clock.now + 1.0
+    return due - started  # virtual minus wall

@@ -57,9 +57,23 @@ def test_wrong_version_rejected(tmp_path):
 
 
 def test_shipped_baseline_is_empty_for_determinism_packages():
-    """Acceptance: the committed baseline grandfathers nothing."""
+    """Acceptance: the committed baseline grandfathers nothing.
+
+    In particular the flow rules (CDR009..CDR011) ship with an empty
+    baseline: no seed-lineage, lock-discipline, or clock-unit finding
+    is grandfathered anywhere in ``src``.
+    """
     import pathlib
 
-    shipped = pathlib.Path(__file__).parents[2] / "cedarlint-baseline.json"
+    shipped = (
+        pathlib.Path(__file__).parents[2]
+        / "src"
+        / "repro"
+        / "checks"
+        / "cedarlint-baseline.json"
+    )
     doc = json.loads(shipped.read_text())
     assert doc["entries"] == {}
+    assert not (
+        pathlib.Path(__file__).parents[2] / "cedarlint-baseline.json"
+    ).exists(), "legacy root-level baseline should be gone"

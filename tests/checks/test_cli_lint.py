@@ -37,7 +37,7 @@ def test_self_lint_src_is_clean_at_head(capsys):
     code = run_lint(
         str(REPO_ROOT / "src"),
         "--baseline",
-        str(REPO_ROOT / "cedarlint-baseline.json"),
+        str(REPO_ROOT / "src" / "repro" / "checks" / "cedarlint-baseline.json"),
     )
     assert code == 0
     assert "clean" in capsys.readouterr().out
@@ -84,6 +84,24 @@ def test_lint_tests_tree_is_clean_at_head(capsys):
     code = run_lint(
         str(REPO_ROOT / "tests" / "checks"),
         "--baseline",
-        str(REPO_ROOT / "cedarlint-baseline.json"),
+        str(REPO_ROOT / "src" / "repro" / "checks" / "cedarlint-baseline.json"),
     )
     assert code == 0
+
+
+def test_legacy_root_baseline_still_honored(tmp_path, capsys, monkeypatch):
+    """The pre-relocation root-level baseline loads with a deprecation
+    note when the packaged default is absent (back-compat contract)."""
+    from repro.checks.baseline import Baseline
+    from repro.checks.engine import lint_paths
+
+    fixture = FIXTURES / "cdr001_pos.py"
+    (tmp_path / "src").mkdir()
+    legacy = tmp_path / "cedarlint-baseline.json"
+    Baseline.from_findings(lint_paths([str(fixture)])).write(str(legacy))
+    monkeypatch.chdir(tmp_path)
+    code = run_lint(str(fixture))
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "grandfathered" in captured.out
+    assert "deprecated" in captured.err

@@ -118,3 +118,67 @@ def test_lint_paths_orders_findings_deterministically(tmp_path):
     (tmp_path / "a.py").write_text(DIRTY)
     findings = lint_paths([str(tmp_path)])
     assert [pathlib.Path(f.path).name for f in findings] == ["a.py", "b.py"]
+
+
+# ----------------------------------------------------------------------
+# edge cases the flow layer depends on (ISSUE 9 satellite)
+
+
+def test_multi_rule_disable_pragma_suppresses_all_listed():
+    source = (
+        "import random, time\n"
+        "# cedarlint: disable=CDR001, CDR002 -- fixture\n"
+        "value = random.random() + time.time()\n"
+    )
+    assert lint_source(source) == []
+
+
+def test_multi_rule_disable_pragma_leaves_unlisted_rules_armed():
+    source = (
+        "import random, time\n"
+        "# cedarlint: disable=CDR002, CDR003 -- fixture\n"
+        "value = random.random() + time.time()\n"
+    )
+    assert [f.rule_id for f in lint_source(source)] == ["CDR001"]
+
+
+def test_fingerprint_survives_pure_whitespace_line_moves():
+    """Blank-line insertion and re-indentation must not churn the
+    baseline: fingerprints hash the *stripped* line text, not numbers."""
+    before = "import random\nvalue = random.random()\n"
+    after = "import random\n\n\nif True:\n    value = random.random()\n"
+    fp_before = [
+        fp for fp, _ in fingerprint_findings(lint_source(before))
+    ]
+    fp_after = [fp for fp, _ in fingerprint_findings(lint_source(after))]
+    assert fp_before == fp_after
+
+
+def test_relative_imports_resolve_against_module_name():
+    """``from ..rng import spawn`` inside repro.serve.x binds
+    repro.rng.spawn — the per-file _ImportMap ignores these, so the
+    flow resolver must not."""
+    from repro.checks.flow import ImportResolver
+    import ast as ast_mod
+
+    tree = ast_mod.parse(
+        "from ..rng import spawn\n"
+        "from . import loadgen\n"
+        "from .server import CedarServer\n"
+    )
+    resolver = ImportResolver(tree, "repro.serve.bench")
+    assert resolver.members["spawn"] == "repro.rng.spawn"
+    assert resolver.members["loadgen"] == "repro.serve.loadgen"
+    assert resolver.members["CedarServer"] == "repro.serve.server.CedarServer"
+
+
+def test_relative_import_detects_flow_hazard_cross_module():
+    source = (
+        "from ..rng import resolve_rng, spawn\n"
+        "def bad(seed):\n"
+        "    rng = resolve_rng(seed)\n"
+        "    noise = rng.normal()\n"
+        "    return spawn(rng, 2), noise\n"
+    )
+    findings = lint_source(source, module="repro.serve.demo")
+    assert "CDR009" in {f.rule_id for f in findings}
