@@ -1,0 +1,114 @@
+"""Learned-policy bench: the O(1)-serving and quality claims.
+
+Regenerates the pinned ``run_learned_bench()`` document (full training
+catalog, held-out seed 0xE7A1) and asserts the claims the learned table
+is sold on:
+
+* in-envelope wait decisions cost at most a wait-cache *hit* (1 work
+  unit) on a cold, never-warmed policy — zero CALCULATEWAIT sweeps, zero
+  tail-grid builds;
+* held-out quality stays within 1% of exact Cedar on the log-normal
+  scenario and strictly beats it on at least one non-log-normal one;
+* the fallback guard fires on under 5% of decisions over the training
+  catalog;
+* retraining at the pinned seed reproduces the shipped artifact byte
+  for byte, evaluation and serve runs repeat exactly, and a server with
+  the learned path disabled emits byte-identical reports with no
+  ``learned`` key;
+* the regenerated document is byte-identical to the committed
+  ``benchmarks/BENCH_learned_policy.json`` (refresh it deliberately with
+  ``cedar-repro serve-bench --learned --out
+  benchmarks/BENCH_learned_policy.json``).
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.learn import run_learned_bench, smoke_learned_spec
+
+from .conftest import OUTPUT_DIR, run_once
+
+EXPECTED_PATH = pathlib.Path(__file__).parent / "BENCH_learned_policy.json"
+
+#: held-out log-normal quality may give up at most this much — Cedar's
+#: sweep is provably right there, the table only has to keep up.
+MAX_LOGNORMAL_LOSS = 0.01
+
+#: ceiling on the guard's firing rate over the training catalog.
+MAX_FALLBACK_RATE = 0.05
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return run_learned_bench()
+
+
+def test_learned_bench(benchmark):
+    """Time the CI-sized smoke run (the full run happens in the fixture)."""
+    result = run_once(
+        benchmark, lambda: run_learned_bench(**smoke_learned_spec())
+    )
+    assert {"cedar", "cached_cold", "cached_warm", "learned_cold",
+            "learned_warm", "learned_envelope"} <= set(result["arms"])
+
+
+def test_envelope_decisions_are_o1(doc):
+    claims = doc["claims"]
+    assert claims["envelope_at_most_cache_hit_cost"] is True
+    assert claims["envelope_per_decision_work"] <= claims["cache_hit_cost"]
+    assert claims["envelope_sweeps"] == 0
+    assert claims["envelope_tail_builds"] == 0
+    assert claims["envelope_fallback_decisions"] == 0
+
+
+def test_full_catalog_work_stays_far_below_exact(doc):
+    claims = doc["claims"]
+    # even paying the fallback guard, the learned path is an order of
+    # magnitude cheaper per decision than the exact planner.
+    assert claims["cedar_over_learned_work_x"] >= 10.0
+    assert (
+        claims["per_decision_work_learned_cold"]
+        < claims["per_decision_work_cedar"]
+    )
+
+
+def test_heldout_quality(doc):
+    claims = doc["claims"]
+    assert claims["min_lognormal_delta"] >= -MAX_LOGNORMAL_LOSS
+    assert claims["non_lognormal_wins"] >= 1
+
+
+def test_fallback_guard_stays_quiet(doc):
+    assert doc["claims"]["fallback_rate"] < MAX_FALLBACK_RATE
+    # provenance records the training-time rate for the shipped table
+    assert doc["table_provenance"]["fallback_rate"] < MAX_FALLBACK_RATE
+
+
+def test_determinism_claims(doc):
+    claims = doc["claims"]
+    assert claims["retrain_bit_identical"] is True
+    assert claims["eval_rerun_identical"] is True
+    assert claims["serve_learned_rerun_identical"] is True
+    assert claims["serve_disabled_rerun_identical"] is True
+    assert claims["serve_disabled_has_no_learned_key"] is True
+
+
+def test_bit_identical_across_runs():
+    spec = smoke_learned_spec()
+    first = json.dumps(run_learned_bench(**spec), sort_keys=True)
+    second = json.dumps(run_learned_bench(**spec), sort_keys=True)
+    assert first == second
+
+
+def test_matches_committed_snapshot(doc):
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    regenerated = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    (OUTPUT_DIR / "BENCH_learned_policy.json").write_text(regenerated)
+    committed = EXPECTED_PATH.read_text()
+    assert regenerated == committed, (
+        "learned-policy claim trajectory moved; inspect benchmarks/"
+        "output/BENCH_learned_policy.json and refresh "
+        "BENCH_learned_policy.json if intended"
+    )

@@ -23,6 +23,9 @@ Examples::
     cedar-repro serve-bench --qps 0.05 --qps 0.2 --requests 100 --seed 7
     cedar-repro serve-bench --chaos --out chaos_serve.json
     cedar-repro serve-bench --waitpath --out waitpath.json
+    cedar-repro serve-bench --learned --out learned.json
+    cedar-repro learn train --smoke --out table.json
+    cedar-repro learn eval
     cedar-repro chaos --serve --deadline 60 --mu1 3.0 --sigma1 0.8 \
         --mu2 2.2 --sigma2 0.35 --k1 4 --k2 8 --kill 0.1 --drop 0.05
 """
@@ -269,6 +272,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "model; --qps/--no-warm are ignored)",
     )
     serve_p.add_argument(
+        "--learned",
+        action="store_true",
+        help="run the learned-wait-table claim suite instead of the QPS "
+        "sweep (O(1) serving cost, held-out quality, byte-determinism; "
+        "--qps/--requests/--no-warm are ignored)",
+    )
+    serve_p.add_argument(
         "--qps",
         type=float,
         action="append",
@@ -293,6 +303,67 @@ def _build_parser() -> argparse.ArgumentParser:
         type=pathlib.Path,
         default=None,
         help="write the JSON report here instead of stdout",
+    )
+
+    learn_p = sub.add_parser(
+        "learn",
+        help="learned wait-policy tables: offline training and evaluation",
+    )
+    learn_sub = learn_p.add_subparsers(dest="learn_command", required=True)
+    train_p = learn_sub.add_parser(
+        "train",
+        help="train a wait table against the scenario catalog "
+        "(byte-deterministic from --seed)",
+    )
+    train_p.add_argument(
+        "--out", type=pathlib.Path, required=True, help="artifact path (JSON)"
+    )
+    train_p.add_argument(
+        "--seed", type=int, default=None, help="training seed (default: pinned)"
+    )
+    train_p.add_argument("--iterations", type=int, default=None)
+    train_p.add_argument("--population", type=int, default=None)
+    train_p.add_argument(
+        "--queries", type=int, default=None, help="training queries per scenario"
+    )
+    train_p.add_argument(
+        "--optimizer",
+        choices=("cem", "nevergrad"),
+        default=None,
+        help="refinement loop: the numpy-only CEM default, or nevergrad's "
+        "CMA when the optional 'learn' extra is installed",
+    )
+    train_p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny train on the two-scenario smoke catalog (CI; seconds)",
+    )
+    eval_p = learn_sub.add_parser(
+        "eval",
+        help="evaluate a trained table against exact Cedar on held-out seeds",
+    )
+    eval_p.add_argument(
+        "--table",
+        type=pathlib.Path,
+        default=None,
+        help="artifact path (default: the shipped pinned table)",
+    )
+    eval_p.add_argument(
+        "--seed", type=int, default=None, help="held-out eval seed"
+    )
+    eval_p.add_argument(
+        "--queries", type=int, default=24, help="eval queries per scenario"
+    )
+    eval_p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="evaluate on the two-scenario smoke catalog only",
+    )
+    eval_p.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="also write the comparison document here (JSON)",
     )
 
     metrics_p = sub.add_parser(
@@ -722,14 +793,29 @@ def _cmd_serve_bench(args) -> int:
     )
 
     try:
-        exclusive = [args.chaos, args.shards, args.waitpath]
+        exclusive = [args.chaos, args.shards, args.waitpath, args.learned]
         if sum(1 for flag in exclusive if flag) > 1:
             print(
-                "error: pass at most one of --chaos, --shards, --waitpath",
+                "error: pass at most one of --chaos, --shards, --waitpath, "
+                "--learned",
                 file=sys.stderr,
             )
             return 1
-        if args.waitpath:
+        if args.learned:
+            from .learn import run_learned_bench, smoke_learned_spec
+
+            if args.smoke:
+                doc = run_learned_bench(
+                    serve_deadline=args.deadline,
+                    serve_seed=args.seed,
+                    **smoke_learned_spec(),
+                )
+            else:
+                doc = run_learned_bench(
+                    serve_deadline=args.deadline,
+                    serve_seed=args.seed,
+                )
+        elif args.waitpath:
             if args.smoke:
                 doc = run_waitpath_bench(
                     deadline=args.deadline,
@@ -799,6 +885,126 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_learn_train(args) -> int:
+    import dataclasses as _dc
+
+    from .learn import (
+        DEFAULT_CATALOG,
+        PINNED_TRAIN_CONFIG,
+        TrainConfig,
+        smoke_catalog,
+        train_table,
+    )
+
+    if args.smoke:
+        catalog = smoke_catalog()
+        config = TrainConfig(
+            iterations=2,
+            population=4,
+            elites=2,
+            queries_per_scenario=4,
+            grid_points=32,
+        )
+    else:
+        catalog = DEFAULT_CATALOG
+        config = PINNED_TRAIN_CONFIG
+    overrides = {
+        key: value
+        for key, value in (
+            ("seed", args.seed),
+            ("iterations", args.iterations),
+            ("population", args.population),
+            ("queries_per_scenario", args.queries),
+            ("optimizer", args.optimizer),
+        )
+        if value is not None
+    }
+    if overrides:
+        config = _dc.replace(config, **overrides)
+    table = train_table(catalog, config)
+    table.save(args.out)
+    prov = table.provenance
+    print(f"trained {table.space.n_states}-state table -> {args.out}")
+    print(
+        f"seed={prov['seed']} iterations={prov['iterations']} "
+        f"best_score={prov['best_score']} fallback_rate={prov['fallback_rate']}"
+    )
+    print("per-scenario quality (vs Cedar baseline at the training seed):")
+    scores = prov["scores"]
+    baseline = prov["baseline"]
+    for name in sorted(scores):
+        delta = scores[name] - baseline[name]
+        print(f"  {name:<16} {scores[name]:.4f}  ({delta:+.4f})")
+    return 0
+
+
+def _cmd_learn_eval(args) -> int:
+    import json
+
+    from .core.policies import CedarPolicy
+    from .learn import (
+        DEFAULT_CATALOG,
+        EVAL_SEED,
+        LearnedWaitPolicy,
+        PINNED_TRAIN_CONFIG,
+        evaluate_policy,
+        load_table,
+        smoke_catalog,
+    )
+    from .serve.warmstart import WarmStartStore
+
+    table = load_table(args.table)
+    catalog = smoke_catalog() if args.smoke else DEFAULT_CATALOG
+    seed = args.seed if args.seed is not None else EVAL_SEED
+    grid_points = PINNED_TRAIN_CONFIG.grid_points
+    policy = LearnedWaitPolicy(
+        table, store=WarmStartStore(), grid_points=grid_points
+    )
+    learned = evaluate_policy(policy, catalog, args.queries, seed)
+    cedar = evaluate_policy(
+        CedarPolicy(grid_points=grid_points), catalog, args.queries, seed
+    )
+    print(
+        f"held-out eval: seed={seed} queries_per_scenario={args.queries} "
+        f"states={table.space.n_states}"
+    )
+    print(f"{'scenario':<16} {'cedar':>8} {'learned':>8} {'delta':>9}")
+    for name in sorted(learned):
+        print(
+            f"{name:<16} {cedar[name]:>8.4f} {learned[name]:>8.4f} "
+            f"{learned[name] - cedar[name]:>+9.4f}"
+        )
+    print(f"fallback_rate={policy.stats.fallback_rate:.6f}")
+    if args.out is not None:
+        doc = {
+            "seed": seed,
+            "queries_per_scenario": args.queries,
+            "cedar": {name: cedar[name] for name in sorted(cedar)},
+            "learned": {name: learned[name] for name in sorted(learned)},
+            "deltas": {
+                name: learned[name] - cedar[name] for name in sorted(learned)
+            },
+            "fallback_rate": policy.stats.fallback_rate,
+            "table_provenance": dict(table.provenance),
+        }
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote eval -> {args.out}")
+    return 0
+
+
+def _cmd_learn(args) -> int:
+    from .errors import ConfigError
+
+    try:
+        if args.learn_command == "train":
+            return _cmd_learn_train(args)
+        return _cmd_learn_eval(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def _cmd_trace(args) -> int:
     if args.trace_command == "sim":
         return _cmd_trace_sim(args)
@@ -841,6 +1047,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_metrics(args)
     if args.command == "serve-bench":
         return _cmd_serve_bench(args)
+    if args.command == "learn":
+        return _cmd_learn(args)
     if args.command == "lint":
         from .checks.cli import run_lint
 

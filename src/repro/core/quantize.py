@@ -1,0 +1,90 @@
+"""Shared parameter-quantization helpers.
+
+The cross-query :class:`~repro.core.waitbatch.WaitTableCache` and the
+learned wait-policy table (:mod:`repro.learn`) both collapse continuous
+``(mu, sigma, deadline)`` parameters onto integer bucket grids so that
+nearby regimes share one solved (or trained) answer. The bucket
+arithmetic must be *identical* on both sides — a learned table trained at
+the cache's representatives but served at different ones would silently
+re-introduce the quantization error the buckets were sized to bound — so
+it lives here, in one place, and both consumers delegate to it.
+
+Conventions (unchanged from the original in-cache implementation, and
+bit-identical to it — asserted by ``tests/core/test_quantize.py``):
+
+* ``mu`` buckets are absolute steps in log-duration space:
+  ``round(mu / step)``, representative ``bucket * step``.
+* ``sigma`` buckets are the same, floored at bucket 1 so a representative
+  sigma can never collapse to a degenerate 0.
+* deadlines bucket *multiplicatively*: two deadlines within a factor of
+  ``1 + rel_step`` of each other share a bucket
+  (``round(log(deadline) / log1p(rel_step))``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..distributions import LogNormal
+from ..errors import ConfigError
+
+__all__ = [
+    "value_bucket",
+    "positive_bucket",
+    "bucket_value",
+    "deadline_bucket",
+    "deadline_representative",
+    "lognormal_bucket",
+    "lognormal_representative",
+]
+
+
+def value_bucket(value: float, step: float) -> int:
+    """Integer bucket of an unconstrained parameter (``mu``)."""
+    return int(round(value / step))
+
+
+def positive_bucket(value: float, step: float) -> int:
+    """Integer bucket of a strictly-positive parameter (``sigma``).
+
+    Values under half a step round *up* to the first bucket instead of
+    down to a degenerate representative of 0.
+    """
+    return max(1, int(round(value / step)))
+
+
+def bucket_value(bucket: int, step: float) -> float:
+    """The representative parameter value of ``bucket``."""
+    return bucket * step
+
+
+def deadline_bucket(deadline: float, rel_step: float) -> int:
+    """Multiplicative deadline bucket: log-scale with step ``log1p(rel_step)``."""
+    step = math.log1p(rel_step)
+    return int(round(math.log(deadline) / step))
+
+
+def deadline_representative(deadline: float, rel_step: float) -> float:
+    """The deadline actually solved for ``deadline``'s bucket."""
+    if deadline <= 0.0:
+        raise ConfigError(f"deadline must be positive, got {deadline}")
+    step = math.log1p(rel_step)
+    return math.exp(deadline_bucket(deadline, rel_step) * step)
+
+
+def lognormal_bucket(
+    dist: LogNormal, mu_step: float, sigma_step: float
+) -> tuple[int, int]:
+    """``(mu, sigma)`` bucket pair of a log-normal distribution."""
+    return (
+        value_bucket(dist.mu, mu_step),
+        positive_bucket(dist.sigma, sigma_step),
+    )
+
+
+def lognormal_representative(
+    dist: LogNormal, mu_step: float, sigma_step: float
+) -> LogNormal:
+    """The bucket-representative distribution solved/trained for ``dist``."""
+    mu_b, sigma_b = lognormal_bucket(dist, mu_step, sigma_step)
+    return LogNormal(bucket_value(mu_b, mu_step), bucket_value(sigma_b, sigma_step))

@@ -41,6 +41,7 @@ from scipy import special
 from ..distributions import Distribution, LogNormal
 from ..errors import ConfigError
 from ..obs.profile import PROFILER
+from . import quantize
 from .config import Stage, TreeSpec
 from .quality import DEFAULT_GRID_POINTS, QualityGrid, tail_quality_grid
 from .wait import WaitOptimizer, WaitSchedule, wait_schedule
@@ -249,30 +250,26 @@ class WaitTableCache:
         self._solvers: dict[tuple, BatchWaitSolver] = {}
         self._stats = _CacheStats()
 
-    # -- quantization --------------------------------------------------
+    # -- quantization (shared arithmetic: repro.core.quantize) ---------
     def _deadline_bucket(self, deadline: float) -> int:
-        step = math.log1p(self.config.deadline_rel_step)
-        return int(round(math.log(deadline) / step))
+        return quantize.deadline_bucket(deadline, self.config.deadline_rel_step)
 
     def deadline_representative(self, deadline: float) -> float:
         """The deadline the cache actually solves at for ``deadline``."""
-        if deadline <= 0.0:
-            raise ConfigError(f"deadline must be positive, got {deadline}")
-        step = math.log1p(self.config.deadline_rel_step)
-        return math.exp(self._deadline_bucket(deadline) * step)
+        return quantize.deadline_representative(
+            deadline, self.config.deadline_rel_step
+        )
 
     def _bucket(self, dist: LogNormal) -> tuple[str, int, int]:
-        mu_b = int(round(dist.mu / self.config.mu_step))
-        # sigma must stay positive: parameters under half a step round up
-        # to the first bucket instead of down to a degenerate sigma of 0.
-        sigma_b = max(1, int(round(dist.sigma / self.config.sigma_step)))
+        mu_b, sigma_b = quantize.lognormal_bucket(
+            dist, self.config.mu_step, self.config.sigma_step
+        )
         return (_LOGNORMAL, mu_b, sigma_b)
 
     def representative(self, dist: LogNormal) -> LogNormal:
         """The bucket-representative distribution solved for ``dist``."""
-        _, mu_b, sigma_b = self._bucket(dist)
-        return LogNormal(
-            mu_b * self.config.mu_step, sigma_b * self.config.sigma_step
+        return quantize.lognormal_representative(
+            dist, self.config.mu_step, self.config.sigma_step
         )
 
     # -- solver pool ---------------------------------------------------

@@ -64,7 +64,21 @@ POLICY_FACTORIES = {
         grid_points=gp,
     ),
     "ideal": lambda gp: IdealPolicy(grid_points=gp),
+    "cedar-learned": lambda gp: _learned_policy(gp),
 }
+
+
+def _learned_policy(grid_points: int):
+    """Serve wait decisions from the shipped pinned table (lazy import:
+    repro.learn pulls in the serving layer, which sweeps don't need
+    unless this policy is actually requested)."""
+    from ..learn.policy import LearnedWaitPolicy
+    from ..learn.table import load_table
+    from ..serve.warmstart import WarmStartStore
+
+    return LearnedWaitPolicy(
+        load_table(), store=WarmStartStore(), grid_points=grid_points
+    )
 
 _REQUIRED = ("workload", "policies", "deadlines")
 

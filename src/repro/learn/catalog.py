@@ -1,0 +1,244 @@
+"""Training/evaluation workload catalog for the learned wait policy.
+
+A :class:`Scenario` is one workload regime the table must serve well:
+the *offline* tree a policy is allowed to consult (always the log-normal
+population fit, as in the paper), the *true* per-query bottom-stage
+distribution the simulator draws from (log-normal, Weibull, mixture, or
+a mid-catalog drift step — the regimes of §4.2.1 where the log-normal
+assumption is exact, mildly wrong, tail-wrong, and non-stationary), and
+the tree shape/deadline.
+
+Scenarios are pure value objects built from primitive floats so the
+catalog has a canonical hash (:func:`catalog_hash`) recorded in trained
+artifacts' provenance: a table is only comparable to a baseline trained
+against the same catalog bytes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Iterable, Optional
+
+from ..core import QueryContext, TreeSpec
+from ..distributions import Distribution, LogNormal, Mixture, Weibull
+from ..errors import ConfigError
+from .features import FeatureConfig, StateSpace
+
+__all__ = [
+    "KINDS",
+    "Scenario",
+    "DEFAULT_CATALOG",
+    "smoke_catalog",
+    "catalog_hash",
+    "envelope_space",
+]
+
+#: the true-bottom-distribution families a scenario can exercise.
+KINDS = ("lognormal", "weibull", "mixture", "drift")
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """One workload regime: offline model + true per-query distribution."""
+
+    name: str
+    kind: str
+    deadline: float
+    k1: int
+    k2: int
+    offline_mu: float
+    offline_sigma: float
+    upper_mu: float
+    upper_sigma: float
+    #: kind-specific parameters as sorted (name, value) pairs, so the
+    #: scenario stays hashable and canonically serializable.
+    params: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigError(f"unknown scenario kind {self.kind!r}")
+        if self.deadline <= 0.0:
+            raise ConfigError(f"deadline must be positive, got {self.deadline}")
+        if self.k1 < 2 or self.k2 < 1:
+            raise ConfigError(f"bad tree shape k1={self.k1} k2={self.k2}")
+        if tuple(sorted(self.params)) != self.params:
+            raise ConfigError("scenario params must be sorted by name")
+
+    def param(self, name: str, default: Optional[float] = None) -> float:
+        for key, value in self.params:
+            if key == name:
+                return value
+        if default is None:
+            raise ConfigError(f"scenario {self.name!r} missing param {name!r}")
+        return default
+
+    # ------------------------------------------------------------------
+    def offline_tree(self) -> TreeSpec:
+        """The population model every policy may consult (log-normal fit)."""
+        return TreeSpec.two_level(
+            LogNormal(self.offline_mu, self.offline_sigma),
+            self.k1,
+            LogNormal(self.upper_mu, self.upper_sigma),
+            self.k2,
+        )
+
+    def true_bottom(self, query_index: int, n_queries: int) -> Distribution:
+        """This query's actual bottom-stage distribution."""
+        if self.kind == "lognormal":
+            return LogNormal(self.offline_mu, self.offline_sigma)
+        if self.kind == "weibull":
+            return Weibull(self.param("shape"), self.param("scale"))
+        if self.kind == "mixture":
+            tail_w = self.param("tail_weight")
+            return Mixture(
+                [
+                    LogNormal(self.param("body_mu"), self.param("body_sigma")),
+                    LogNormal(self.param("tail_mu"), self.param("tail_sigma")),
+                ],
+                [1.0 - tail_w, tail_w],
+            )
+        # drift: a regime step halfway through the query stream.
+        shifted = query_index >= n_queries // 2
+        mu = self.offline_mu + (self.param("mu_shift") if shifted else 0.0)
+        sigma = self.offline_sigma * (
+            self.param("sigma_factor", 1.0) if shifted else 1.0
+        )
+        return LogNormal(mu, sigma)
+
+    def context(self, query_index: int, n_queries: int) -> QueryContext:
+        """The :class:`QueryContext` for query ``query_index`` of a
+        ``n_queries``-query stream over this scenario."""
+        offline = self.offline_tree()
+        return QueryContext(
+            deadline=self.deadline,
+            offline_tree=offline,
+            true_tree=offline.with_bottom(
+                self.true_bottom(query_index, n_queries)
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def to_doc(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "deadline": self.deadline,
+            "k1": self.k1,
+            "k2": self.k2,
+            "offline_mu": self.offline_mu,
+            "offline_sigma": self.offline_sigma,
+            "upper_mu": self.upper_mu,
+            "upper_sigma": self.upper_sigma,
+            "params": [list(p) for p in self.params],
+        }
+
+
+def catalog_hash(scenarios: Iterable[Scenario]) -> str:
+    """Canonical hash of a scenario list — artifact provenance."""
+    doc = json.dumps(
+        [s.to_doc() for s in scenarios], sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(doc.encode("utf-8")).hexdigest()[:16]
+
+
+#: the standard training catalog: the log-normal home regime, a
+#: heavy-tailed Weibull the log-normal sweep mis-models, a two-mode
+#: mixture with a straggler tail, and a non-stationary drift step.
+DEFAULT_CATALOG: tuple[Scenario, ...] = (
+    Scenario(
+        name="lognormal-base",
+        kind="lognormal",
+        deadline=60.0,
+        k1=6,
+        k2=4,
+        offline_mu=3.0,
+        offline_sigma=0.8,
+        upper_mu=2.2,
+        upper_sigma=0.35,
+    ),
+    Scenario(
+        name="weibull-heavy",
+        kind="weibull",
+        deadline=60.0,
+        k1=6,
+        k2=4,
+        offline_mu=3.0,
+        offline_sigma=0.8,
+        upper_mu=2.2,
+        upper_sigma=0.35,
+        params=(("scale", 22.0), ("shape", 0.9)),
+    ),
+    Scenario(
+        name="mixture-tail",
+        kind="mixture",
+        deadline=60.0,
+        k1=6,
+        k2=4,
+        offline_mu=3.0,
+        offline_sigma=0.8,
+        upper_mu=2.2,
+        upper_sigma=0.35,
+        params=(
+            ("body_mu", 2.9),
+            ("body_sigma", 0.55),
+            ("tail_mu", 3.9),
+            ("tail_sigma", 0.4),
+            ("tail_weight", 0.15),
+        ),
+    ),
+    Scenario(
+        name="drift-step",
+        kind="drift",
+        deadline=60.0,
+        k1=6,
+        k2=4,
+        offline_mu=3.0,
+        offline_sigma=0.8,
+        upper_mu=2.2,
+        upper_sigma=0.35,
+        params=(("mu_shift", 0.5), ("sigma_factor", 1.0)),
+    ),
+)
+
+
+def smoke_catalog() -> tuple[Scenario, ...]:
+    """A two-scenario subset for CI smoke training (one in-model, one
+    off-model regime)."""
+    return (DEFAULT_CATALOG[0], DEFAULT_CATALOG[1])
+
+
+def envelope_space(
+    scenarios: Iterable[Scenario],
+    config: Optional[FeatureConfig] = None,
+    mu_margin: float = 0.6,
+    sigma_margin: float = 0.6,
+    pad_buckets: int = 2,
+) -> StateSpace:
+    """The state space covering a catalog's regimes.
+
+    The box spans every scenario's offline parameters plus its drift
+    shift, widened by ``mu_margin``/``sigma_margin`` (online estimates
+    are noisy around the truth) and then ``pad_buckets`` whole buckets —
+    states outside this envelope are exactly the ones the serving policy
+    refuses to answer from the table.
+    """
+    scenario_list = list(scenarios)
+    if not scenario_list:
+        raise ConfigError("envelope needs at least one scenario")
+    mus: list[float] = []
+    sigmas: list[float] = []
+    for s in scenario_list:
+        mus.append(s.offline_mu)
+        sigmas.append(s.offline_sigma)
+        if s.kind == "drift":
+            mus.append(s.offline_mu + s.param("mu_shift"))
+            sigmas.append(s.offline_sigma * s.param("sigma_factor", 1.0))
+    cfg = config if config is not None else FeatureConfig()
+    return StateSpace.from_envelope(
+        cfg,
+        (min(mus) - mu_margin, max(mus) + mu_margin),
+        (max(0.05, min(sigmas) - sigma_margin), max(sigmas) + sigma_margin),
+        pad_buckets=pad_buckets,
+    )

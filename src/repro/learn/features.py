@@ -1,0 +1,215 @@
+"""State featurizer: a live query decision point → one table index.
+
+A wait decision is taken by a bottom-level aggregator every time an
+output arrives (and once up front, before any arrival). The featurizer
+compresses everything the controller legitimately knows at that moment
+into a discretized state with four axes:
+
+* **prior bucket** — the ``mu`` of the regime the controller is currently
+  planning under (the warm-start prior when one exists, the offline
+  population fit before warm-up, the online estimate after), on the same
+  absolute ``mu_step`` grid as the wait cache
+  (:func:`repro.core.quantize.value_bucket`);
+* **sigma regime** — the matching ``sigma`` on the
+  :func:`~repro.core.quantize.positive_bucket` grid;
+* **arrivals bucket** — the fraction of the fan-in received so far,
+  in ``arrival_buckets`` equal bins (fraction rather than count keeps
+  the table workload-agnostic across fan-ins);
+* **elapsed bucket** — elapsed time as a fraction of the deadline, in
+  ``elapsed_buckets`` equal bins.
+
+The trained envelope is the explicit list of ``(mu, sigma)`` buckets the
+table covers: :meth:`StateFeaturizer.state_index` returns ``None`` for
+any regime outside it, which is the out-of-distribution signal the
+serving policy turns into a guarded fallback to the exact Cedar
+controller.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping, Optional
+
+from ..core import quantize
+from ..errors import ConfigError
+
+__all__ = ["FeatureConfig", "StateSpace", "StateFeaturizer"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FeatureConfig:
+    """Resolution of the four state axes."""
+
+    mu_step: float = 0.5
+    sigma_step: float = 0.5
+    arrival_buckets: int = 4
+    elapsed_buckets: int = 4
+
+    def __post_init__(self) -> None:
+        if self.mu_step <= 0.0:
+            raise ConfigError(f"mu_step must be positive, got {self.mu_step}")
+        if self.sigma_step <= 0.0:
+            raise ConfigError(
+                f"sigma_step must be positive, got {self.sigma_step}"
+            )
+        if self.arrival_buckets < 1:
+            raise ConfigError(
+                f"arrival_buckets must be >= 1, got {self.arrival_buckets}"
+            )
+        if self.elapsed_buckets < 1:
+            raise ConfigError(
+                f"elapsed_buckets must be >= 1, got {self.elapsed_buckets}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class StateSpace:
+    """The trained envelope: which buckets exist on each axis.
+
+    ``mu_buckets``/``sigma_buckets`` are the sorted integer bucket ids the
+    table covers; arrival/elapsed axes are dense ``0..n-1`` ranges. The
+    flat table index is row-major over
+    ``(mu, sigma, arrivals, elapsed)``.
+    """
+
+    config: FeatureConfig
+    mu_buckets: tuple[int, ...]
+    sigma_buckets: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.mu_buckets:
+            raise ConfigError("state space needs at least one mu bucket")
+        if not self.sigma_buckets:
+            raise ConfigError("state space needs at least one sigma bucket")
+        if tuple(sorted(set(self.mu_buckets))) != self.mu_buckets:
+            raise ConfigError("mu_buckets must be sorted and unique")
+        if tuple(sorted(set(self.sigma_buckets))) != self.sigma_buckets:
+            raise ConfigError("sigma_buckets must be sorted and unique")
+        if min(self.sigma_buckets) < 1:
+            raise ConfigError("sigma buckets start at 1 (sigma > 0)")
+
+    @property
+    def n_states(self) -> int:
+        return (
+            len(self.mu_buckets)
+            * len(self.sigma_buckets)
+            * self.config.arrival_buckets
+            * self.config.elapsed_buckets
+        )
+
+    @classmethod
+    def from_envelope(
+        cls,
+        config: FeatureConfig,
+        mu_range: tuple[float, float],
+        sigma_range: tuple[float, float],
+        pad_buckets: int = 1,
+    ) -> "StateSpace":
+        """Enumerate the buckets covering a parameter box, padded by
+        ``pad_buckets`` on each side (the envelope should extend a little
+        past the exact training regimes, so near-boundary online
+        estimates do not thrash the fallback)."""
+        if not mu_range[0] <= mu_range[1]:
+            raise ConfigError(f"bad mu_range {mu_range}")
+        if not 0.0 < sigma_range[0] <= sigma_range[1]:
+            raise ConfigError(f"bad sigma_range {sigma_range}")
+        if pad_buckets < 0:
+            raise ConfigError(f"pad_buckets must be >= 0, got {pad_buckets}")
+        mu_lo = quantize.value_bucket(mu_range[0], config.mu_step) - pad_buckets
+        mu_hi = quantize.value_bucket(mu_range[1], config.mu_step) + pad_buckets
+        sig_lo = max(
+            1,
+            quantize.positive_bucket(sigma_range[0], config.sigma_step)
+            - pad_buckets,
+        )
+        sig_hi = (
+            quantize.positive_bucket(sigma_range[1], config.sigma_step)
+            + pad_buckets
+        )
+        return cls(
+            config=config,
+            mu_buckets=tuple(range(mu_lo, mu_hi + 1)),
+            sigma_buckets=tuple(range(sig_lo, sig_hi + 1)),
+        )
+
+    # -- artifact (de)serialization ------------------------------------
+    def to_doc(self) -> dict[str, Any]:
+        return {
+            "mu_step": self.config.mu_step,
+            "sigma_step": self.config.sigma_step,
+            "arrival_buckets": self.config.arrival_buckets,
+            "elapsed_buckets": self.config.elapsed_buckets,
+            "mu_buckets": list(self.mu_buckets),
+            "sigma_buckets": list(self.sigma_buckets),
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Mapping[str, Any]) -> "StateSpace":
+        return cls(
+            config=FeatureConfig(
+                mu_step=float(doc["mu_step"]),
+                sigma_step=float(doc["sigma_step"]),
+                arrival_buckets=int(doc["arrival_buckets"]),
+                elapsed_buckets=int(doc["elapsed_buckets"]),
+            ),
+            mu_buckets=tuple(int(b) for b in doc["mu_buckets"]),
+            sigma_buckets=tuple(int(b) for b in doc["sigma_buckets"]),
+        )
+
+
+class StateFeaturizer:
+    """Maps a decision point onto the flat table index (or ``None`` = OOD)."""
+
+    def __init__(self, space: StateSpace):
+        self.space = space
+        self._mu_pos = {b: i for i, b in enumerate(space.mu_buckets)}
+        self._sigma_pos = {b: i for i, b in enumerate(space.sigma_buckets)}
+
+    def state_index(
+        self,
+        mu: float,
+        sigma: float,
+        n_received: int,
+        k: int,
+        elapsed: float,
+        deadline: float,
+    ) -> Optional[int]:
+        """Flat index of the state, ``None`` when the regime leaves the
+        trained envelope (out-of-distribution bucket)."""
+        cfg = self.space.config
+        mu_i = self._mu_pos.get(quantize.value_bucket(mu, cfg.mu_step))
+        if mu_i is None:
+            return None
+        sigma_i = self._sigma_pos.get(
+            quantize.positive_bucket(sigma, cfg.sigma_step)
+        )
+        if sigma_i is None:
+            return None
+        if k < 1 or deadline <= 0.0:
+            return None
+        frac_a = max(0, n_received) / k
+        a_i = min(cfg.arrival_buckets - 1, int(frac_a * cfg.arrival_buckets))
+        frac_e = max(0.0, elapsed) / deadline
+        e_i = min(cfg.elapsed_buckets - 1, int(frac_e * cfg.elapsed_buckets))
+        return (
+            (mu_i * len(self.space.sigma_buckets) + sigma_i)
+            * cfg.arrival_buckets
+            + a_i
+        ) * cfg.elapsed_buckets + e_i
+
+    def representative(self, index: int) -> tuple[float, float]:
+        """The ``(mu, sigma)`` representative of a flat state index —
+        what the trainer's distillation init solves at."""
+        cfg = self.space.config
+        per_mu = (
+            len(self.space.sigma_buckets)
+            * cfg.arrival_buckets
+            * cfg.elapsed_buckets
+        )
+        per_sigma = cfg.arrival_buckets * cfg.elapsed_buckets
+        mu_b = self.space.mu_buckets[index // per_mu]
+        sigma_b = self.space.sigma_buckets[(index % per_mu) // per_sigma]
+        return (
+            quantize.bucket_value(mu_b, cfg.mu_step),
+            quantize.bucket_value(sigma_b, cfg.sigma_step),
+        )

@@ -1,0 +1,98 @@
+"""Versioned learned wait-table artifact.
+
+A trained table is a dense ``state index → wait fraction`` array plus the
+:class:`~repro.learn.features.StateSpace` it indexes and the provenance
+needed to reproduce it bit-for-bit (seed, catalog hash, optimizer
+settings, iteration count). The on-disk form is JSON — canonical key
+order, ``repr``-roundtripped floats — precisely so that retraining with
+the same seed produces a **byte-identical** file; the determinism gate in
+CI literally ``cmp``'s two independently trained artifacts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any, Mapping, Optional, Union
+
+from ..errors import ConfigError
+from .features import StateFeaturizer, StateSpace
+
+__all__ = ["ARTIFACT_FORMAT", "ARTIFACT_VERSION", "LearnedWaitTable", "load_table"]
+
+ARTIFACT_FORMAT = "cedar-learn-table"
+ARTIFACT_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class LearnedWaitTable:
+    """A trained state → wait-fraction table with provenance.
+
+    ``values[i]`` is the wait budget for state ``i`` as a fraction of the
+    query deadline, clamped to ``[0, 1]`` at training time. Serving turns
+    it into a stop time with ``min(max(fraction * deadline, now), deadline)``.
+    """
+
+    space: StateSpace
+    values: tuple[float, ...]
+    provenance: Mapping[str, Any]
+
+    def __post_init__(self) -> None:
+        if len(self.values) != self.space.n_states:
+            raise ConfigError(
+                f"table has {len(self.values)} values for "
+                f"{self.space.n_states} states"
+            )
+        for v in self.values:
+            if not 0.0 <= v <= 1.0:
+                raise ConfigError(f"wait fraction {v} outside [0, 1]")
+
+    def featurizer(self) -> StateFeaturizer:
+        return StateFeaturizer(self.space)
+
+    def wait_fraction(self, index: int) -> float:
+        return self.values[index]
+
+    # -- serialization -------------------------------------------------
+    def to_doc(self) -> dict[str, Any]:
+        return {
+            "format": ARTIFACT_FORMAT,
+            "version": ARTIFACT_VERSION,
+            "space": self.space.to_doc(),
+            "values": list(self.values),
+            "provenance": dict(sorted(self.provenance.items())),
+        }
+
+    def to_json(self) -> str:
+        """Canonical byte-stable encoding (same table → same bytes)."""
+        return json.dumps(self.to_doc(), sort_keys=True, indent=2) + "\n"
+
+    def save(self, path: Union[str, pathlib.Path]) -> None:
+        pathlib.Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def from_doc(cls, doc: Mapping[str, Any]) -> "LearnedWaitTable":
+        if doc.get("format") != ARTIFACT_FORMAT:
+            raise ConfigError(
+                f"not a {ARTIFACT_FORMAT} artifact: format={doc.get('format')!r}"
+            )
+        if doc.get("version") != ARTIFACT_VERSION:
+            raise ConfigError(
+                f"unsupported {ARTIFACT_FORMAT} version {doc.get('version')!r} "
+                f"(expected {ARTIFACT_VERSION})"
+            )
+        return cls(
+            space=StateSpace.from_doc(doc["space"]),
+            values=tuple(float(v) for v in doc["values"]),
+            provenance=dict(doc.get("provenance", {})),
+        )
+
+
+def load_table(path: Optional[Union[str, pathlib.Path]] = None) -> LearnedWaitTable:
+    """Load a table artifact; with no path, the pinned default table
+    shipped with the package (``repro/learn/data/default_table.json``)."""
+    if path is None:
+        path = pathlib.Path(__file__).parent / "data" / "default_table.json"
+    text = pathlib.Path(path).read_text(encoding="utf-8")
+    return LearnedWaitTable.from_doc(json.loads(text))

@@ -1,0 +1,399 @@
+"""Offline trainer: optimize the wait table against the simulator.
+
+Training is distillation plus refinement:
+
+1. **Distillation init** — every state's wait fraction starts from what
+   Cedar's CALCULATEWAIT sweep would answer at that state's ``(mu,
+   sigma)`` representative. At iteration zero the table *is* a quantized
+   Cedar, so quality starts at the baseline instead of at noise.
+2. **Cross-entropy refinement** — a seeded, numpy-only CEM loop perturbs
+   the table, scores each candidate by mean response quality across the
+   whole catalog (log-normal, Weibull, mixture, drift — the regimes
+   where the analytic sweep is exact, mildly wrong, tail-wrong, and
+   stale), and re-fits the sampling distribution to the elites. A hinge
+   penalty guards the log-normal scenarios: a candidate that buys
+   off-model quality by regressing the home regime scores below the
+   baseline it started from.
+
+Everything is deterministic from ``TrainConfig.seed``: same seed, same
+catalog → byte-identical artifact (CI ``cmp``'s two independent runs).
+``optimizer="nevergrad"`` swaps the refinement loop for nevergrad's CMA
+when the optional dependency is installed; it is never required and its
+absence raises a clean :class:`~repro.errors.ConfigError`.
+
+Per-iteration telemetry flows through :mod:`repro.obs`: the
+``learn_*`` metric families, one ``learn-iteration`` span per CEM
+round, and the ``learn.train.iteration`` profiler site.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core import CedarPolicy, WaitOptimizer, WaitPolicy
+from ..core.waitbatch import WaitTableCache
+from ..distributions import LogNormal
+from ..errors import ConfigError
+from ..obs.metrics import MetricsRegistry
+from ..obs.profile import PROFILER
+from ..obs.span import SpanTracer
+from ..rng import fork, seeds_for
+from ..serve.warmstart import CedarWarmPolicy, WarmStartStore
+from ..simulation import simulate_query
+from .catalog import DEFAULT_CATALOG, Scenario, catalog_hash, envelope_space
+from .features import FeatureConfig, StateFeaturizer
+from .policy import LearnedWaitPolicy
+from .table import LearnedWaitTable
+
+__all__ = [
+    "TrainConfig",
+    "PINNED_TRAIN_CONFIG",
+    "train_table",
+    "train_pinned",
+    "evaluate_policy",
+]
+
+#: decimal places table values are rounded to in the artifact (keeps the
+#: JSON compact and the bytes reproducible; 1e-6 of a deadline is far
+#: below the simulator's quality resolution).
+_VALUE_DECIMALS = 6
+
+
+@dataclasses.dataclass(frozen=True)
+class TrainConfig:
+    """Hyperparameters of one training run (all part of provenance)."""
+
+    seed: int = 0x1EA2
+    iterations: int = 10
+    population: int = 16
+    elites: int = 5
+    queries_per_scenario: int = 16
+    grid_points: int = 48
+    init_noise: float = 0.03
+    noise_floor: float = 0.01
+    lognormal_guard: float = 25.0
+    optimizer: str = "cem"
+    features: FeatureConfig = FeatureConfig()
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ConfigError(f"iterations must be >= 1, got {self.iterations}")
+        if self.population < 2:
+            raise ConfigError(f"population must be >= 2, got {self.population}")
+        if not 1 <= self.elites <= self.population:
+            raise ConfigError(
+                f"elites must be in [1, population={self.population}], "
+                f"got {self.elites}"
+            )
+        if self.queries_per_scenario < 1:
+            raise ConfigError(
+                "queries_per_scenario must be >= 1, got "
+                f"{self.queries_per_scenario}"
+            )
+        if self.grid_points < 8:
+            raise ConfigError(f"grid_points must be >= 8, got {self.grid_points}")
+        if self.init_noise <= 0.0 or self.noise_floor <= 0.0:
+            raise ConfigError("init_noise and noise_floor must be positive")
+        if self.lognormal_guard < 0.0:
+            raise ConfigError(
+                f"lognormal_guard must be >= 0, got {self.lognormal_guard}"
+            )
+        if self.optimizer not in ("cem", "nevergrad"):
+            raise ConfigError(f"unknown optimizer {self.optimizer!r}")
+
+
+#: the configuration behind the shipped default table — retraining with
+#: it must reproduce ``repro/learn/data/default_table.json`` byte for
+#: byte (asserted by the learned-policy benchmark).
+PINNED_TRAIN_CONFIG = TrainConfig()
+
+
+# ----------------------------------------------------------------------
+def evaluate_policy(
+    policy: WaitPolicy,
+    catalog: Sequence[Scenario],
+    queries_per_scenario: int,
+    seed: int,
+) -> dict[str, float]:
+    """Mean response quality per scenario for one policy.
+
+    Query seeds derive from ``(seed, scenario name)`` only — every policy
+    evaluated at the same ``seed`` sees the *same* arrival realizations,
+    so per-scenario deltas are paired comparisons, not noise.
+    """
+    out: dict[str, float] = {}
+    for scenario in catalog:
+        scen_seeds = seeds_for(
+            fork(seed, f"learn-eval-{scenario.name}"), queries_per_scenario
+        )
+        total = 0.0
+        for qi in range(queries_per_scenario):
+            ctx = scenario.context(qi, queries_per_scenario)
+            if isinstance(policy, CedarWarmPolicy):
+                policy.current_key = scenario.name
+            result = simulate_query(ctx, policy, seed=scen_seeds[qi])
+            if isinstance(policy, CedarWarmPolicy):
+                policy.harvest()
+            total += result.quality
+        out[scenario.name] = total / queries_per_scenario
+    return out
+
+
+def _distillation_init(
+    featurizer: StateFeaturizer,
+    scenarios: Sequence[Scenario],
+    grid_points: int,
+) -> np.ndarray:
+    """Initial table: Cedar's sweep answer at each state's representative."""
+    base = scenarios[0]
+    tree = base.offline_tree()
+    optimizer = WaitOptimizer(tree.stages[1:], base.deadline, grid_points)
+    space = featurizer.space
+    init = np.empty(space.n_states, dtype=float)
+    cache: dict[tuple[float, float], float] = {}
+    for index in range(space.n_states):
+        mu, sigma = featurizer.representative(index)
+        fraction = cache.get((mu, sigma))
+        if fraction is None:
+            wait = optimizer.optimize(LogNormal(mu, sigma), base.k1)
+            fraction = min(max(wait / base.deadline, 0.0), 1.0)
+            cache[(mu, sigma)] = fraction
+        init[index] = fraction
+    return init
+
+
+def _clip_values(values: np.ndarray) -> tuple[float, ...]:
+    return tuple(float(v) for v in np.clip(values, 0.0, 1.0))
+
+
+def _round_values(values: np.ndarray) -> tuple[float, ...]:
+    return tuple(
+        float(round(min(max(float(v), 0.0), 1.0), _VALUE_DECIMALS))
+        for v in values
+    )
+
+
+class _Scorer:
+    """Scores candidate tables; shares one wait cache across all of them
+    so fallback sweeps and upper static schedules are solved once."""
+
+    def __init__(
+        self,
+        featurizer: StateFeaturizer,
+        scenarios: Sequence[Scenario],
+        config: TrainConfig,
+    ):
+        self._featurizer = featurizer
+        self._scenarios = scenarios
+        self._config = config
+        self._wait_cache = WaitTableCache()
+        baseline_policy = CedarPolicy(
+            grid_points=config.grid_points, wait_cache=self._wait_cache
+        )
+        self.baseline = evaluate_policy(
+            baseline_policy,
+            scenarios,
+            config.queries_per_scenario,
+            config.seed,
+        )
+        self.evaluations = 0
+
+    def score(
+        self, values: np.ndarray
+    ) -> tuple[float, dict[str, float], float]:
+        """(score, per-scenario quality, fallback rate) of one candidate."""
+        table = LearnedWaitTable(
+            space=self._featurizer.space,
+            values=_clip_values(values),
+            provenance={},
+        )
+        policy = LearnedWaitPolicy(
+            table,
+            store=WarmStartStore(),
+            grid_points=self._config.grid_points,
+            wait_cache=self._wait_cache,
+        )
+        scores = evaluate_policy(
+            policy,
+            self._scenarios,
+            self._config.queries_per_scenario,
+            self._config.seed,
+        )
+        self.evaluations += 1
+        mean = sum(scores.values()) / len(scores)
+        penalty = 0.0
+        for scenario in self._scenarios:
+            if scenario.kind == "lognormal":
+                penalty += max(
+                    0.0, self.baseline[scenario.name] - scores[scenario.name]
+                )
+        return (
+            mean - self._config.lognormal_guard * penalty,
+            scores,
+            policy.stats.fallback_rate,
+        )
+
+
+def _cem_optimize(
+    scorer: _Scorer,
+    init: np.ndarray,
+    config: TrainConfig,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[SpanTracer] = None,
+) -> np.ndarray:
+    """Seeded numpy-only cross-entropy refinement of the init table."""
+    rng = fork(config.seed, "learn-train")
+    mean = init.copy()
+    sigma = np.full(init.shape, config.init_noise)
+    best = init.copy()
+    best_score = -np.inf
+    for iteration in range(config.iterations):
+        tok = PROFILER.start()
+        population = [mean.copy()]
+        for _ in range(config.population):
+            population.append(
+                np.clip(rng.normal(mean, sigma), 0.0, 1.0)
+            )
+        scored: list[tuple[float, int]] = []
+        iter_rates: list[float] = []
+        for ci, candidate in enumerate(population):
+            score, _, rate = scorer.score(candidate)
+            scored.append((score, ci))
+            iter_rates.append(rate)
+        # sort by score descending, candidate index ascending (stable
+        # tie-break keeps elite selection deterministic).
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        elite_rows = np.stack(
+            [population[ci] for _, ci in scored[: config.elites]]
+        )
+        mean = elite_rows.mean(axis=0)
+        sigma = np.maximum(elite_rows.std(axis=0), config.noise_floor)
+        iter_best_score, iter_best_ci = scored[0]
+        if iter_best_score > best_score:
+            best_score = iter_best_score
+            best = population[iter_best_ci].copy()
+        iter_mean_score = sum(s for s, _ in scored) / len(scored)
+        if metrics is not None:
+            metrics.counter(
+                "learn_iterations_total", help="CEM training iterations"
+            ).inc()
+            metrics.counter(
+                "learn_evaluations_total",
+                help="candidate table evaluations (full catalog passes)",
+            ).inc(len(population))
+            metrics.gauge(
+                "learn_best_score", help="best candidate score so far"
+            ).set(best_score)
+            metrics.gauge(
+                "learn_mean_score", help="mean candidate score this iteration"
+            ).set(iter_mean_score)
+            metrics.gauge(
+                "learn_fallback_rate",
+                help="fallback-decision rate of the iteration's best candidate",
+            ).set(iter_rates[iter_best_ci])
+        if tracer is not None:
+            tracer.add_span(
+                "learn-iteration",
+                0,
+                None,
+                float(iteration),
+                float(iteration + 1),
+                iteration=iteration,
+                best_score=best_score,
+                mean_score=iter_mean_score,
+            )
+        PROFILER.stop("learn.train.iteration", tok)
+    return best
+
+
+def _nevergrad_optimize(
+    scorer: _Scorer, init: np.ndarray, config: TrainConfig
+) -> np.ndarray:
+    """Refine with nevergrad's CMA — optional, never required."""
+    try:
+        import nevergrad as ng
+    except ImportError as exc:  # pragma: no cover - depends on extras
+        raise ConfigError(
+            "optimizer='nevergrad' needs the optional dependency: "
+            "install the 'learn' extra (pip install repro[learn]); "
+            "the default 'cem' optimizer has no extra requirements"
+        ) from exc
+    param = ng.p.Array(init=init.copy(), lower=0.0, upper=1.0)
+    param.random_state.seed(config.seed & 0xFFFFFFFF)
+    opt = ng.optimizers.CMA(
+        parametrization=param,
+        budget=config.iterations * config.population,
+        num_workers=1,
+    )
+    for _ in range(opt.budget):
+        candidate = opt.ask()
+        score, _, _ = scorer.score(np.asarray(candidate.value, dtype=float))
+        opt.tell(candidate, -score)
+    recommendation = opt.provide_recommendation()
+    return np.asarray(recommendation.value, dtype=float)
+
+
+# ----------------------------------------------------------------------
+def train_table(
+    catalog: Sequence[Scenario] = DEFAULT_CATALOG,
+    config: TrainConfig = PINNED_TRAIN_CONFIG,
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[SpanTracer] = None,
+) -> LearnedWaitTable:
+    """Train a :class:`~repro.learn.table.LearnedWaitTable` on ``catalog``.
+
+    Deterministic from ``config.seed`` — the returned table (and its
+    canonical JSON) is byte-identical across runs, machines, and the
+    presence/absence of observability sinks.
+    """
+    scenarios = tuple(catalog)
+    if not scenarios:
+        raise ConfigError("training needs at least one scenario")
+    space = envelope_space(scenarios, config.features)
+    featurizer = StateFeaturizer(space)
+    init = _distillation_init(featurizer, scenarios, config.grid_points)
+    scorer = _Scorer(featurizer, scenarios, config)
+    if config.optimizer == "nevergrad":
+        best = _nevergrad_optimize(scorer, init, config)
+    else:
+        best = _cem_optimize(scorer, init, config, metrics=metrics, tracer=tracer)
+    values = _round_values(np.asarray(best, dtype=float))
+    # provenance records the *shipped* (rounded) table's quality, so the
+    # numbers in the artifact are exactly reproducible from the file.
+    final_score, final_scores, final_rate = scorer.score(
+        np.asarray(values, dtype=float)
+    )
+    provenance = {
+        "catalog": catalog_hash(scenarios),
+        "n_scenarios": len(scenarios),
+        "seed": config.seed,
+        "iterations": config.iterations,
+        "population": config.population,
+        "elites": config.elites,
+        "queries_per_scenario": config.queries_per_scenario,
+        "grid_points": config.grid_points,
+        "optimizer": config.optimizer,
+        "best_score": round(final_score, 6),
+        "fallback_rate": round(final_rate, 6),
+        "baseline": {
+            name: round(scorer.baseline[name], 6)
+            for name in sorted(scorer.baseline)
+        },
+        "scores": {
+            name: round(final_scores[name], 6) for name in sorted(final_scores)
+        },
+    }
+    return LearnedWaitTable(space=space, values=values, provenance=provenance)
+
+
+def train_pinned(
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[SpanTracer] = None,
+) -> LearnedWaitTable:
+    """The shipped default table: pinned config over the full catalog."""
+    return train_table(
+        DEFAULT_CATALOG, PINNED_TRAIN_CONFIG, metrics=metrics, tracer=tracer
+    )

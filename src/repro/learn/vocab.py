@@ -1,0 +1,39 @@
+"""The learn subsystem's complete observability vocabulary.
+
+Mirrors the ``SERVE_*`` constants in :mod:`repro.serve.slo`: a sync test
+(``tests/learn/test_vocab_sync.py``) asserts these names are registered
+with cedarlint's ``KNOWN_*`` sets, actually used in this package, and
+exactly the families the trainer emits.
+"""
+
+from __future__ import annotations
+
+__all__ = ["LEARN_METRIC_NAMES", "LEARN_PROFILE_SITES", "LEARN_SPAN_ATTRS"]
+
+#: every metric family name repro.learn emits (without the namespace).
+LEARN_METRIC_NAMES = frozenset(
+    {
+        "learn_iterations_total",
+        "learn_evaluations_total",
+        "learn_best_score",
+        "learn_mean_score",
+        "learn_fallback_rate",
+    }
+)
+
+#: every profiler site repro.learn instruments.
+LEARN_PROFILE_SITES = frozenset(
+    {
+        "learn.policy.lookup",
+        "learn.train.iteration",
+    }
+)
+
+#: every span attribute repro.learn sets on its "learn-iteration" spans.
+LEARN_SPAN_ATTRS = frozenset(
+    {
+        "iteration",
+        "best_score",
+        "mean_score",
+    }
+)

@@ -37,6 +37,8 @@ KNOWN_PROFILE_SITES = frozenset(
         "core.waitbatch.lookup",
         "core.waitbatch.solve",
         "estimation.streaming.estimate",
+        "learn.policy.lookup",
+        "learn.train.iteration",
         "serve.admission.offer",
         "serve.degrade.decide",
         "serve.dispatch",

@@ -69,6 +69,7 @@ CAUSE_NEVER_ARRIVED = "never_arrived"
 KNOWN_SPAN_ATTRS = frozenset(
     {
         "admitted",
+        "best_score",
         "brownout",
         "cause",
         "collected",
@@ -90,10 +91,12 @@ KNOWN_SPAN_ATTRS = frozenset(
         "included",
         "included_outputs",
         "index",
+        "iteration",
         "late_at_root",
         "latency",
         "lost_shipments",
         "malformed_lines",
+        "mean_score",
         "mode",
         "n_arrived",
         "pending",

@@ -138,6 +138,13 @@ class ServeConfig:
     #: concurrent queries share wait solves instead of each re-sweeping.
     #: None (the default) keeps the exact per-policy optimizers.
     wait_cache: Optional[WaitCacheConfig] = None
+    #: serve bottom-level wait decisions from a trained
+    #: :class:`~repro.learn.table.LearnedWaitTable` (O(1) lookups with a
+    #: guarded fallback to exact Cedar) instead of the per-arrival sweep.
+    learned: bool = False
+    #: path to the learned-table artifact; None = the pinned default
+    #: table shipped with the package. Only meaningful with ``learned``.
+    learned_table: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_concurrent < 1:
@@ -163,6 +170,8 @@ class ServeConfig:
             raise ConfigError(
                 f"warm_min_samples must be >= 2, got {self.warm_min_samples}"
             )
+        if self.learned_table is not None and not self.learned:
+            raise ConfigError("learned_table requires learned=True")
 
     @classmethod
     def for_deployment(

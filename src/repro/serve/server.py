@@ -303,6 +303,10 @@ class ServeReport:
     #: omitted from the JSON in that case so cache-less reports stay
     #: byte-identical to those of earlier builds).
     wait_cache: dict[str, int] = dataclasses.field(default_factory=dict)
+    #: learned-policy decision accounting for this run ({} unless the
+    #: server serves from a learned table; omitted from the JSON in that
+    #: case so learned-off reports stay byte-identical to earlier builds).
+    learned: dict[str, object] = dataclasses.field(default_factory=dict)
 
     def to_dict(self, include_outcomes: bool = False) -> dict[str, object]:
         doc: dict[str, object] = {
@@ -326,6 +330,8 @@ class ServeReport:
         }
         if self.wait_cache:
             doc["wait_cache"] = self.wait_cache
+        if self.learned:
+            doc["learned"] = self.learned
         if include_outcomes:
             doc["outcomes"] = [o.as_dict() for o in self.outcomes]
         return doc
@@ -365,8 +371,26 @@ class CedarServer:
             self.wait_cache = WaitTableCache(self.config.wait_cache)
         self.store: Optional[WarmStartStore]
         if policy is not None:
+            if self.config.learned:
+                raise ConfigError(
+                    "pass either an explicit policy or config.learned, "
+                    "not both"
+                )
             self.policy = policy
             self.store = store
+        elif self.config.learned:
+            # local import: repro.learn imports this package
+            from ..learn.policy import LearnedWaitPolicy
+            from ..learn.table import load_table
+
+            self.store = store if store is not None else WarmStartStore()
+            self.policy = LearnedWaitPolicy(
+                load_table(self.config.learned_table),
+                store=self.store,
+                grid_points=self.config.grid_points,
+                warm_min_samples=self.config.warm_min_samples,
+                wait_cache=self.wait_cache,
+            )
         elif self.config.warm_start:
             self.store = store if store is not None else WarmStartStore()
             self.policy = CedarWarmPolicy(
@@ -414,6 +438,7 @@ class CedarServer:
         self._retrying: dict[int, _RetryState] = {}
         self._transitions: list[ModeTransition] = []
         self._wait_cache_stats_start: dict[str, int] = {}
+        self._learned_stats_start: dict[str, int] = {}
 
     def _new_admission(self) -> AdmissionController:
         cfg = self.config
@@ -453,11 +478,36 @@ class CedarServer:
         self._wait_cache_stats_start = (
             self.wait_cache.stats() if self.wait_cache is not None else {}
         )
+        # likewise for the learned policy's decision counters
+        self._learned_stats_start = self._learned_snapshot()
         on_run_start = getattr(self.backend, "on_run_start", None)
         if callable(on_run_start):
             on_run_start()
         self._schedule_arrivals(order)
         return order
+
+    def _learned_snapshot(self) -> dict[str, int]:
+        """Flat integer snapshot of the learned policy's decision
+        counters ({} for every other policy) — per-run report deltas are
+        computed against the snapshot taken at run start."""
+        stats = getattr(self.policy, "stats", None)
+        if stats is None:
+            return {}
+        # local import: repro.learn imports this package; only learned
+        # servers ever reach this line, so plain servers never pay it.
+        from ..learn.policy import LearnedPolicyStats
+
+        if not isinstance(stats, LearnedPolicyStats):
+            return {}
+        snap = {
+            "decisions": stats.decisions,
+            "lookups": stats.lookups,
+            "fallbacks": stats.fallbacks,
+            "fallback_decisions": stats.fallback_decisions,
+        }
+        for reason in sorted(stats.reasons):
+            snap[f"reason:{reason}"] = stats.reasons[reason]
+        return snap
 
     def _schedule_arrivals(self, order: Sequence[QueryRequest]) -> None:
         """Schedule one arrival event per request (subclass hook: the
@@ -942,6 +992,28 @@ class CedarServer:
                 entries=stats["wait_entries"] + stats["schedule_entries"],
             )
 
+        learned_doc: dict[str, object] = {}
+        snap = self._learned_snapshot()
+        if snap:
+            start = self._learned_stats_start
+            delta = {key: snap[key] - start.get(key, 0) for key in snap}
+            decisions = delta["decisions"]
+            learned_doc = {
+                "decisions": decisions,
+                "lookups": delta["lookups"],
+                "fallbacks": delta["fallbacks"],
+                "fallback_decisions": delta["fallback_decisions"],
+                "fallback_rate": (
+                    delta["fallback_decisions"] / decisions if decisions else 0.0
+                ),
+                "reasons": {
+                    key.split(":", 1)[1]: count
+                    for key, count in sorted(delta.items())
+                    if key.startswith("reason:") and count
+                },
+            }
+            self._slo.record_learned(delta["lookups"], delta["fallbacks"])
+
         return ServeReport(
             n_requests=n,
             admitted=len(admitted),
@@ -964,4 +1036,5 @@ class CedarServer:
             chaos=chaos,
             outcomes=outcomes,
             wait_cache=wait_cache_doc,
+            learned=learned_doc,
         )

@@ -55,6 +55,8 @@ SERVE_METRIC_NAMES = frozenset(
         "serve_wait_cache_misses_total",
         "serve_wait_cache_batch_solves_total",
         "serve_wait_cache_entries",
+        "serve_learned_lookups_total",
+        "serve_learned_fallbacks_total",
     }
 )
 
@@ -357,6 +359,25 @@ class SLOAccountant:
             "serve_wait_cache_entries",
             help="buckets currently held by the wait-table cache",
         ).set(float(entries))
+
+    # -- learned-policy accounting -------------------------------------
+    def record_learned(self, lookups: int, fallbacks: int) -> None:
+        """One run's learned-table decision traffic (emitted at report
+        time; both values are per-run deltas — the policy outlives runs).
+        """
+        metrics = self._metrics
+        if metrics is None:
+            return
+        if lookups:
+            metrics.counter(
+                "serve_learned_lookups_total",
+                help="wait decisions answered by the learned table",
+            ).inc(lookups)
+        if fallbacks:
+            metrics.counter(
+                "serve_learned_fallbacks_total",
+                help="learned controllers that fell back to exact Cedar",
+            ).inc(fallbacks)
 
     # ------------------------------------------------------------------
     def state_dict(self) -> dict[str, object]:

@@ -174,6 +174,17 @@ class WarmStartStore:
             }
         return out
 
+    def resets_for(self, key: str) -> int:
+        """Drift resets recorded for ``key`` so far (0 = never seen).
+
+        The learned policy polls this per query: a freshly incremented
+        counter means the regime just jumped, and the next query is served
+        by the exact Cedar fallback instead of the (now stale-keyed)
+        table lookup.
+        """
+        state = self._states.get(key)
+        return 0 if state is None else state.resets
+
     @property
     def n_keys(self) -> int:
         return len(self._states)

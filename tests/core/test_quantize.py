@@ -1,0 +1,122 @@
+"""The shared quantization helpers are bit-identical to the arithmetic
+they were extracted from.
+
+``repro.core.quantize`` centralises the bucket math that used to live
+inline in :class:`~repro.core.waitbatch.WaitTableCache` and is now also
+the basis of the learned policy's state featurizer. These tests pin the
+extraction: every helper must reproduce the original inline formula
+exactly (no tolerance — the wait cache's committed bench trajectory
+depends on the buckets not moving), and the cache must actually
+delegate to the shared helpers.
+"""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import quantize
+from repro.core.waitbatch import WaitCacheConfig, WaitTableCache
+from repro.distributions import LogNormal
+from repro.errors import ConfigError
+
+FINITE = dict(allow_nan=False, allow_infinity=False)
+
+
+class TestBitIdentityVsInlineFormulas:
+    """Each helper vs the formula it replaced, over wide float ranges."""
+
+    @given(
+        value=st.floats(min_value=-50.0, max_value=50.0, **FINITE),
+        step=st.floats(min_value=1e-3, max_value=10.0, **FINITE),
+    )
+    def test_value_bucket(self, value, step):
+        assert quantize.value_bucket(value, step) == int(round(value / step))
+
+    @given(
+        value=st.floats(min_value=1e-6, max_value=50.0, **FINITE),
+        step=st.floats(min_value=1e-3, max_value=10.0, **FINITE),
+    )
+    def test_positive_bucket(self, value, step):
+        assert quantize.positive_bucket(value, step) == max(
+            1, int(round(value / step))
+        )
+
+    @given(
+        bucket=st.integers(min_value=-1000, max_value=1000),
+        step=st.floats(min_value=1e-3, max_value=10.0, **FINITE),
+    )
+    def test_bucket_value(self, bucket, step):
+        assert quantize.bucket_value(bucket, step) == bucket * step
+
+    @given(
+        deadline=st.floats(min_value=1e-3, max_value=1e6, **FINITE),
+        rel_step=st.floats(min_value=1e-3, max_value=1.0, **FINITE),
+    )
+    def test_deadline_bucket_and_representative(self, deadline, rel_step):
+        step = math.log1p(rel_step)
+        bucket = int(round(math.log(deadline) / step))
+        assert quantize.deadline_bucket(deadline, rel_step) == bucket
+        assert quantize.deadline_representative(
+            deadline, rel_step
+        ) == math.exp(bucket * step)
+
+    def test_deadline_representative_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            quantize.deadline_representative(0.0, 0.05)
+        with pytest.raises(ConfigError):
+            quantize.deadline_representative(-1.0, 0.05)
+
+    @given(
+        mu=st.floats(min_value=-10.0, max_value=10.0, **FINITE),
+        sigma=st.floats(min_value=1e-3, max_value=5.0, **FINITE),
+    )
+    def test_lognormal_bucket_and_representative(self, mu, sigma):
+        dist = LogNormal(mu, sigma)
+        mu_b, sigma_b = quantize.lognormal_bucket(dist, 0.25, 0.25)
+        assert mu_b == int(round(mu / 0.25))
+        assert sigma_b == max(1, int(round(sigma / 0.25)))
+        rep = quantize.lognormal_representative(dist, 0.25, 0.25)
+        assert rep.mu == mu_b * 0.25
+        assert rep.sigma == sigma_b * 0.25
+
+
+class TestCacheDelegation:
+    """WaitTableCache's buckets are exactly the shared helpers'."""
+
+    @given(
+        mu=st.floats(min_value=-5.0, max_value=5.0, **FINITE),
+        sigma=st.floats(min_value=0.05, max_value=3.0, **FINITE),
+        deadline=st.floats(min_value=1.0, max_value=600.0, **FINITE),
+    )
+    def test_cache_buckets_match_helpers(self, mu, sigma, deadline):
+        cfg = WaitCacheConfig()
+        cache = WaitTableCache(cfg)
+        dist = LogNormal(mu, sigma)
+        kind, mu_b, sigma_b = cache._bucket(dist)
+        assert (mu_b, sigma_b) == quantize.lognormal_bucket(
+            dist, cfg.mu_step, cfg.sigma_step
+        )
+        assert cache._deadline_bucket(deadline) == quantize.deadline_bucket(
+            deadline, cfg.deadline_rel_step
+        )
+        rep = cache.representative(dist)
+        expected = quantize.lognormal_representative(
+            dist, cfg.mu_step, cfg.sigma_step
+        )
+        assert rep.mu == expected.mu
+        assert rep.sigma == expected.sigma
+
+    def test_representative_is_idempotent(self):
+        # a bucket's representative quantizes back onto itself, so a
+        # lookup at the representative hits the same cache entry.
+        cfg = WaitCacheConfig()
+        dist = LogNormal(3.17, 0.83)
+        rep = quantize.lognormal_representative(
+            dist, cfg.mu_step, cfg.sigma_step
+        )
+        again = quantize.lognormal_representative(
+            rep, cfg.mu_step, cfg.sigma_step
+        )
+        assert (again.mu, again.sigma) == (rep.mu, rep.sigma)

@@ -1,0 +1,170 @@
+"""Training catalog: scenario semantics, canonical hashing, envelope."""
+
+import dataclasses
+
+import pytest
+
+from repro.distributions import LogNormal, Mixture, Weibull
+from repro.errors import ConfigError
+from repro.learn.catalog import (
+    DEFAULT_CATALOG,
+    KINDS,
+    Scenario,
+    catalog_hash,
+    envelope_space,
+    smoke_catalog,
+)
+from repro.learn.features import StateFeaturizer
+
+
+def base_scenario(**overrides):
+    kwargs = dict(
+        name="s",
+        kind="lognormal",
+        deadline=60.0,
+        k1=6,
+        k2=4,
+        offline_mu=3.0,
+        offline_sigma=0.8,
+        upper_mu=2.2,
+        upper_sigma=0.35,
+    )
+    kwargs.update(overrides)
+    return Scenario(**kwargs)
+
+
+class TestScenarioValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            base_scenario(kind="gaussian")
+
+    def test_rejects_nonpositive_deadline(self):
+        with pytest.raises(ConfigError):
+            base_scenario(deadline=0.0)
+
+    def test_rejects_degenerate_tree(self):
+        with pytest.raises(ConfigError):
+            base_scenario(k1=1)
+        with pytest.raises(ConfigError):
+            base_scenario(k2=0)
+
+    def test_params_must_be_sorted(self):
+        with pytest.raises(ConfigError):
+            base_scenario(params=(("b", 1.0), ("a", 2.0)))
+
+    def test_param_lookup_and_default(self):
+        s = base_scenario(params=(("shape", 0.9),))
+        assert s.param("shape") == 0.9
+        assert s.param("missing", 1.5) == 1.5
+        with pytest.raises(ConfigError):
+            s.param("missing")
+
+
+class TestTrueBottom:
+    def test_lognormal_matches_offline_model(self):
+        dist = base_scenario().true_bottom(0, 10)
+        assert isinstance(dist, LogNormal)
+        assert (dist.mu, dist.sigma) == (3.0, 0.8)
+
+    def test_weibull_uses_params(self):
+        s = base_scenario(
+            kind="weibull", params=(("scale", 22.0), ("shape", 0.9))
+        )
+        dist = s.true_bottom(0, 10)
+        assert isinstance(dist, Weibull)
+
+    def test_mixture_uses_params(self):
+        s = base_scenario(
+            kind="mixture",
+            params=(
+                ("body_mu", 2.9),
+                ("body_sigma", 0.55),
+                ("tail_mu", 3.9),
+                ("tail_sigma", 0.4),
+                ("tail_weight", 0.15),
+            ),
+        )
+        assert isinstance(s.true_bottom(0, 10), Mixture)
+
+    def test_drift_steps_at_the_stream_midpoint(self):
+        s = base_scenario(
+            kind="drift", params=(("mu_shift", 0.5), ("sigma_factor", 1.25))
+        )
+        n = 10
+        before = s.true_bottom(n // 2 - 1, n)
+        after = s.true_bottom(n // 2, n)
+        assert (before.mu, before.sigma) == (3.0, 0.8)
+        assert after.mu == pytest.approx(3.5)
+        assert after.sigma == pytest.approx(0.8 * 1.25)
+
+    def test_context_carries_the_true_bottom(self):
+        s = base_scenario(kind="drift", params=(("mu_shift", 0.5),))
+        ctx = s.context(9, 10)
+        assert ctx.deadline == 60.0
+        assert ctx.offline_tree.stages[0].duration.mu == 3.0
+        assert ctx.true_tree.stages[0].duration.mu == pytest.approx(3.5)
+
+
+class TestCatalogHash:
+    def test_stable_across_calls(self):
+        assert catalog_hash(DEFAULT_CATALOG) == catalog_hash(DEFAULT_CATALOG)
+
+    def test_sensitive_to_any_field(self):
+        base = catalog_hash(DEFAULT_CATALOG)
+        tweaked = (
+            dataclasses.replace(DEFAULT_CATALOG[0], deadline=61.0),
+        ) + DEFAULT_CATALOG[1:]
+        assert catalog_hash(tweaked) != base
+        assert catalog_hash(DEFAULT_CATALOG[:-1]) != base
+        assert catalog_hash(tuple(reversed(DEFAULT_CATALOG))) != base
+
+
+class TestDefaultCatalog:
+    def test_covers_every_kind(self):
+        assert {s.kind for s in DEFAULT_CATALOG} == set(KINDS)
+
+    def test_names_are_unique(self):
+        names = [s.name for s in DEFAULT_CATALOG]
+        assert len(set(names)) == len(names)
+
+    def test_smoke_catalog_is_a_small_subset(self):
+        smoke = smoke_catalog()
+        assert len(smoke) < len(DEFAULT_CATALOG)
+        assert all(s in DEFAULT_CATALOG for s in smoke)
+        kinds = {s.kind for s in smoke}
+        assert "lognormal" in kinds  # one in-model regime...
+        assert kinds != {"lognormal"}  # ...and one off-model
+
+
+class TestEnvelopeSpace:
+    def test_needs_scenarios(self):
+        with pytest.raises(ConfigError):
+            envelope_space([])
+
+    def test_covers_every_regime_including_drift_target(self):
+        space = envelope_space(DEFAULT_CATALOG)
+        feat = StateFeaturizer(space)
+        for s in DEFAULT_CATALOG:
+            assert (
+                feat.state_index(
+                    s.offline_mu, s.offline_sigma, 0, s.k1, 0.0, s.deadline
+                )
+                is not None
+            ), f"{s.name} offline regime outside its own envelope"
+            if s.kind == "drift":
+                mu = s.offline_mu + s.param("mu_shift")
+                sigma = s.offline_sigma * s.param("sigma_factor", 1.0)
+                assert (
+                    feat.state_index(mu, sigma, 0, s.k1, 0.0, s.deadline)
+                    is not None
+                ), f"{s.name} post-drift regime outside the envelope"
+
+    def test_margins_widen_the_envelope(self):
+        tight = envelope_space(DEFAULT_CATALOG, mu_margin=0.0, pad_buckets=0)
+        wide = envelope_space(DEFAULT_CATALOG, mu_margin=2.0, pad_buckets=0)
+        assert set(tight.mu_buckets) < set(wide.mu_buckets)
+
+    def test_far_regimes_stay_outside(self):
+        feat = StateFeaturizer(envelope_space(DEFAULT_CATALOG))
+        assert feat.state_index(30.0, 0.8, 0, 6, 0.0, 60.0) is None
+        assert feat.state_index(3.0, 30.0, 0, 6, 0.0, 60.0) is None

@@ -1,0 +1,151 @@
+"""State featurizer: discretization, envelope boundaries, round trips."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.learn.features import FeatureConfig, StateFeaturizer, StateSpace
+
+
+def small_space(**kwargs):
+    cfg = FeatureConfig(**kwargs)
+    return StateSpace.from_envelope(cfg, (2.0, 4.0), (0.4, 1.2), pad_buckets=1)
+
+
+class TestFeatureConfigValidation:
+    def test_defaults_are_valid(self):
+        FeatureConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mu_step": 0.0},
+            {"mu_step": -0.5},
+            {"sigma_step": 0.0},
+            {"arrival_buckets": 0},
+            {"elapsed_buckets": 0},
+        ],
+    )
+    def test_rejects_bad_axes(self, kwargs):
+        with pytest.raises(ConfigError):
+            FeatureConfig(**kwargs)
+
+
+class TestStateSpaceValidation:
+    def test_needs_buckets_on_both_axes(self):
+        cfg = FeatureConfig()
+        with pytest.raises(ConfigError):
+            StateSpace(config=cfg, mu_buckets=(), sigma_buckets=(1,))
+        with pytest.raises(ConfigError):
+            StateSpace(config=cfg, mu_buckets=(0,), sigma_buckets=())
+
+    def test_buckets_must_be_sorted_and_unique(self):
+        cfg = FeatureConfig()
+        with pytest.raises(ConfigError):
+            StateSpace(config=cfg, mu_buckets=(2, 1), sigma_buckets=(1,))
+        with pytest.raises(ConfigError):
+            StateSpace(config=cfg, mu_buckets=(1, 1), sigma_buckets=(1,))
+
+    def test_sigma_buckets_start_at_one(self):
+        with pytest.raises(ConfigError):
+            StateSpace(
+                config=FeatureConfig(), mu_buckets=(0,), sigma_buckets=(0, 1)
+            )
+
+    def test_n_states_is_the_axis_product(self):
+        space = small_space(arrival_buckets=3, elapsed_buckets=5)
+        assert space.n_states == (
+            len(space.mu_buckets) * len(space.sigma_buckets) * 3 * 5
+        )
+
+
+class TestFromEnvelope:
+    def test_rejects_bad_ranges(self):
+        cfg = FeatureConfig()
+        with pytest.raises(ConfigError):
+            StateSpace.from_envelope(cfg, (4.0, 2.0), (0.4, 1.2))
+        with pytest.raises(ConfigError):
+            StateSpace.from_envelope(cfg, (2.0, 4.0), (0.0, 1.2))
+        with pytest.raises(ConfigError):
+            StateSpace.from_envelope(cfg, (2.0, 4.0), (1.2, 0.4))
+        with pytest.raises(ConfigError):
+            StateSpace.from_envelope(cfg, (2.0, 4.0), (0.4, 1.2), pad_buckets=-1)
+
+    def test_padding_widens_the_box(self):
+        cfg = FeatureConfig()
+        tight = StateSpace.from_envelope(cfg, (2.0, 4.0), (0.4, 1.2), 0)
+        padded = StateSpace.from_envelope(cfg, (2.0, 4.0), (0.4, 1.2), 2)
+        assert set(tight.mu_buckets) < set(padded.mu_buckets)
+        assert set(tight.sigma_buckets) < set(padded.sigma_buckets)
+        assert min(padded.sigma_buckets) >= 1  # clamped, never nonpositive
+
+    def test_covers_the_requested_box(self):
+        space = small_space()
+        feat = StateFeaturizer(space)
+        for mu in (2.0, 3.0, 4.0):
+            for sigma in (0.4, 0.8, 1.2):
+                assert feat.state_index(mu, sigma, 0, 8, 0.0, 60.0) is not None
+
+
+class TestStateIndex:
+    def test_out_of_envelope_mu_is_none(self):
+        feat = StateFeaturizer(small_space())
+        assert feat.state_index(50.0, 0.8, 0, 8, 0.0, 60.0) is None
+        assert feat.state_index(-50.0, 0.8, 0, 8, 0.0, 60.0) is None
+
+    def test_out_of_envelope_sigma_is_none(self):
+        feat = StateFeaturizer(small_space())
+        assert feat.state_index(3.0, 40.0, 0, 8, 0.0, 60.0) is None
+
+    def test_degenerate_query_is_none(self):
+        feat = StateFeaturizer(small_space())
+        assert feat.state_index(3.0, 0.8, 0, 0, 0.0, 60.0) is None
+        assert feat.state_index(3.0, 0.8, 0, 8, 0.0, 0.0) is None
+
+    def test_indices_stay_in_range(self):
+        space = small_space(arrival_buckets=3, elapsed_buckets=4)
+        feat = StateFeaturizer(space)
+        seen = set()
+        for mu in (2.0, 2.5, 3.0, 3.5, 4.0):
+            for sigma in (0.4, 0.8, 1.2):
+                for received in range(9):
+                    for elapsed in (0.0, 15.0, 30.0, 59.9):
+                        idx = feat.state_index(
+                            mu, sigma, received, 8, elapsed, 60.0
+                        )
+                        assert idx is not None
+                        assert 0 <= idx < space.n_states
+                        seen.add(idx)
+        assert len(seen) > 1
+
+    def test_fraction_axes_clamp_at_the_last_bucket(self):
+        space = small_space(arrival_buckets=4, elapsed_buckets=4)
+        feat = StateFeaturizer(space)
+        # all arrivals received / elapsed past the deadline land in the
+        # final bucket instead of indexing out of the table.
+        full = feat.state_index(3.0, 0.8, 8, 8, 120.0, 60.0)
+        inside = feat.state_index(3.0, 0.8, 7, 8, 59.0, 60.0)
+        assert full is not None and inside is not None
+        assert full == inside
+
+    def test_representative_inverts_to_the_same_block(self):
+        space = small_space(arrival_buckets=3, elapsed_buckets=2)
+        feat = StateFeaturizer(space)
+        block = space.config.arrival_buckets * space.config.elapsed_buckets
+        for base in range(0, space.n_states, block):
+            mu, sigma = feat.representative(base)
+            # the representative's own state (0 arrivals, t=0) is the
+            # first index of its (mu, sigma) block.
+            assert feat.state_index(mu, sigma, 0, 8, 0.0, 60.0) == base
+
+
+class TestDocRoundtrip:
+    def test_to_doc_from_doc_is_identity(self):
+        space = small_space(arrival_buckets=3, elapsed_buckets=5)
+        again = StateSpace.from_doc(space.to_doc())
+        assert again == space
+
+    def test_doc_is_json_primitive_only(self):
+        import json
+
+        doc = small_space().to_doc()
+        assert json.loads(json.dumps(doc)) == doc

@@ -1,0 +1,97 @@
+"""Property-based guarantees of the learned policy (Hypothesis).
+
+Three invariants the subsystem stakes its claims on:
+
+* **quality floor** — on every catalog scenario, at any evaluation seed,
+  the shipped table's mean quality stays within a calibrated epsilon of
+  the exact Cedar policy's (paired realizations, so the comparison is
+  noise-free up to the per-query quality granularity);
+* **guarded envelope** — a regime outside the trained envelope is never
+  answered from the table: the featurizer refuses the state and the
+  controller delegates to exact Cedar;
+* the fallback controller really is Cedar (stop-time parity is asserted
+  in ``test_policy``; here the property is that the guard *always*
+  engages).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CedarPolicy, QueryContext, TreeSpec
+from repro.distributions import LogNormal
+from repro.learn.catalog import DEFAULT_CATALOG
+from repro.learn.policy import LearnedWaitPolicy
+from repro.learn.table import load_table
+from repro.learn.trainer import evaluate_policy
+from repro.serve.warmstart import WarmStartStore
+
+#: one query of quality 1.0 lost out of QPS is delta 1/QPS = 0.125; the
+#: observed worst case over a 25-seed sweep was exactly half that, so
+#: this epsilon has 2x headroom over measured noise while still failing
+#: loudly if the table regresses a whole query per scenario.
+QPS = 8
+EPSILON = 0.125
+
+TABLE = load_table()
+FEATURIZER = TABLE.featurizer()
+ENVELOPE_MU = {b * TABLE.space.config.mu_step for b in TABLE.space.mu_buckets}
+MU_LO = min(ENVELOPE_MU)
+MU_HI = max(ENVELOPE_MU)
+
+
+class TestQualityFloor:
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_learned_within_epsilon_of_cedar_on_every_scenario(self, seed):
+        learned = LearnedWaitPolicy(
+            TABLE, store=WarmStartStore(), grid_points=48
+        )
+        cedar = CedarPolicy(grid_points=48)
+        learned_scores = evaluate_policy(learned, DEFAULT_CATALOG, QPS, seed)
+        cedar_scores = evaluate_policy(cedar, DEFAULT_CATALOG, QPS, seed)
+        for scenario in DEFAULT_CATALOG:
+            delta = learned_scores[scenario.name] - cedar_scores[scenario.name]
+            assert delta >= -EPSILON, (
+                f"{scenario.name}: learned {learned_scores[scenario.name]:.4f} "
+                f"vs cedar {cedar_scores[scenario.name]:.4f} at seed {seed}"
+            )
+
+
+class TestGuardedEnvelope:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        offset=st.floats(
+            min_value=1.0, max_value=50.0, allow_nan=False, allow_infinity=False
+        ),
+        above=st.booleans(),
+        sigma=st.floats(
+            min_value=0.1, max_value=2.0, allow_nan=False, allow_infinity=False
+        ),
+    )
+    def test_out_of_envelope_mu_is_never_a_table_state(
+        self, offset, above, sigma
+    ):
+        mu = (MU_HI + offset) if above else (MU_LO - offset)
+        assert FEATURIZER.state_index(mu, sigma, 0, 6, 0.0, 60.0) is None
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        offset=st.floats(
+            min_value=1.0, max_value=30.0, allow_nan=False, allow_infinity=False
+        ),
+        above=st.booleans(),
+    )
+    def test_ood_query_always_engages_the_fallback(self, offset, above):
+        mu = (MU_HI + offset) if above else (MU_LO - offset)
+        tree = TreeSpec.two_level(
+            LogNormal(mu, 0.8), 6, LogNormal(2.2, 0.35), 4
+        )
+        ctx = QueryContext(deadline=60.0, offline_tree=tree, true_tree=tree)
+        policy = LearnedWaitPolicy(
+            TABLE, store=WarmStartStore(), grid_points=48
+        )
+        policy.begin_query(ctx)
+        controller = policy.controller(ctx, 1)
+        assert controller.fell_back
+        assert policy.stats.lookups == 0
+        assert policy.stats.reasons.get("ood") == 1

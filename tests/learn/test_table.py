@@ -1,0 +1,121 @@
+"""Learned-table artifact: validation, round trips, byte stability."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.learn.features import FeatureConfig, StateSpace
+from repro.learn.table import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
+    LearnedWaitTable,
+    load_table,
+)
+
+
+def tiny_table():
+    space = StateSpace(
+        config=FeatureConfig(arrival_buckets=2, elapsed_buckets=2),
+        mu_buckets=(5, 6),
+        sigma_buckets=(1, 2),
+    )
+    values = tuple(i / (space.n_states - 1) for i in range(space.n_states))
+    return LearnedWaitTable(
+        space=space, values=values, provenance={"seed": 7, "catalog": "abc"}
+    )
+
+
+class TestValidation:
+    def test_value_count_must_match_state_count(self):
+        table = tiny_table()
+        with pytest.raises(ConfigError):
+            LearnedWaitTable(
+                space=table.space, values=table.values[:-1], provenance={}
+            )
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01])
+    def test_values_must_be_fractions(self, bad):
+        table = tiny_table()
+        values = (bad,) + table.values[1:]
+        with pytest.raises(ConfigError):
+            LearnedWaitTable(space=table.space, values=values, provenance={})
+
+    def test_wait_fraction_reads_the_value(self):
+        table = tiny_table()
+        for i, v in enumerate(table.values):
+            assert table.wait_fraction(i) == v
+
+
+class TestSerialization:
+    def test_doc_roundtrip_is_identity(self):
+        table = tiny_table()
+        again = LearnedWaitTable.from_doc(table.to_doc())
+        assert again.space == table.space
+        assert again.values == table.values
+        assert dict(again.provenance) == dict(table.provenance)
+
+    def test_to_json_is_byte_stable(self):
+        assert tiny_table().to_json() == tiny_table().to_json()
+        # canonical encoding survives a parse→re-encode cycle
+        doc = json.loads(tiny_table().to_json())
+        assert LearnedWaitTable.from_doc(doc).to_json() == tiny_table().to_json()
+
+    def test_save_then_load(self, tmp_path):
+        table = tiny_table()
+        path = tmp_path / "table.json"
+        table.save(path)
+        again = load_table(path)
+        assert again.to_json() == table.to_json()
+
+    def test_rejects_foreign_format(self):
+        doc = tiny_table().to_doc()
+        doc["format"] = "not-a-table"
+        with pytest.raises(ConfigError, match="format"):
+            LearnedWaitTable.from_doc(doc)
+
+    def test_rejects_unknown_version(self):
+        doc = tiny_table().to_doc()
+        doc["version"] = ARTIFACT_VERSION + 1
+        with pytest.raises(ConfigError, match="version"):
+            LearnedWaitTable.from_doc(doc)
+
+
+class TestShippedDefaultTable:
+    def test_load_table_default_path(self):
+        table = load_table()
+        assert len(table.values) == table.space.n_states
+        assert all(0.0 <= v <= 1.0 for v in table.values)
+
+    def test_default_table_has_reproduction_provenance(self):
+        prov = load_table().provenance
+        for field in (
+            "catalog",
+            "seed",
+            "iterations",
+            "population",
+            "optimizer",
+            "best_score",
+            "baseline",
+            "scores",
+        ):
+            assert field in prov, f"provenance missing {field!r}"
+        assert prov["optimizer"] == "cem"
+
+    def test_default_table_doc_is_canonical(self):
+        table = load_table()
+        doc = table.to_doc()
+        assert doc["format"] == ARTIFACT_FORMAT
+        assert doc["version"] == ARTIFACT_VERSION
+        # the shipped file is exactly the canonical encoding — anyone
+        # regenerating it with to_json() writes identical bytes.
+        import pathlib
+
+        import repro.learn.table as table_mod
+
+        shipped = (
+            pathlib.Path(table_mod.__file__).parent
+            / "data"
+            / "default_table.json"
+        )
+        assert shipped.read_text(encoding="utf-8") == table.to_json()

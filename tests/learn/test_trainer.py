@@ -1,0 +1,108 @@
+"""Offline trainer: determinism, provenance, config validation, extras."""
+
+import sys
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.learn.catalog import catalog_hash, smoke_catalog
+from repro.learn.trainer import (
+    PINNED_TRAIN_CONFIG,
+    TrainConfig,
+    train_table,
+)
+
+#: smallest legal run: one CEM round, two candidates, one query per
+#: scenario — seconds, not minutes, but exercises the whole loop.
+TINY = TrainConfig(
+    seed=11,
+    iterations=1,
+    population=2,
+    elites=1,
+    queries_per_scenario=1,
+    grid_points=8,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_table():
+    return train_table(smoke_catalog(), TINY)
+
+
+class TestTrainConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"iterations": 0},
+            {"population": 1},
+            {"elites": 0},
+            {"elites": 17},  # > population default of 16
+            {"queries_per_scenario": 0},
+            {"grid_points": 7},
+            {"init_noise": 0.0},
+            {"noise_floor": 0.0},
+            {"lognormal_guard": -1.0},
+            {"optimizer": "sgd"},
+        ],
+    )
+    def test_rejects_bad_hyperparameters(self, kwargs):
+        with pytest.raises(ConfigError):
+            TrainConfig(**kwargs)
+
+    def test_pinned_config_is_the_default(self):
+        assert PINNED_TRAIN_CONFIG == TrainConfig()
+        assert PINNED_TRAIN_CONFIG.optimizer == "cem"
+
+
+class TestTrainedArtifact:
+    def test_needs_at_least_one_scenario(self):
+        with pytest.raises(ConfigError):
+            train_table((), TINY)
+
+    def test_values_are_rounded_fractions(self, tiny_table):
+        assert len(tiny_table.values) == tiny_table.space.n_states
+        for v in tiny_table.values:
+            assert 0.0 <= v <= 1.0
+            assert round(v, 6) == v  # artifact-compact rounding applied
+
+    def test_provenance_reproduces_the_run(self, tiny_table):
+        prov = tiny_table.provenance
+        assert prov["catalog"] == catalog_hash(smoke_catalog())
+        assert prov["n_scenarios"] == len(smoke_catalog())
+        assert prov["seed"] == TINY.seed
+        assert prov["iterations"] == TINY.iterations
+        assert prov["population"] == TINY.population
+        assert prov["elites"] == TINY.elites
+        assert prov["queries_per_scenario"] == TINY.queries_per_scenario
+        assert prov["grid_points"] == TINY.grid_points
+        assert prov["optimizer"] == "cem"
+        assert set(prov["baseline"]) == {s.name for s in smoke_catalog()}
+        assert set(prov["scores"]) == {s.name for s in smoke_catalog()}
+        assert 0.0 <= prov["fallback_rate"] <= 1.0
+
+    def test_same_seed_is_byte_identical(self, tiny_table):
+        again = train_table(smoke_catalog(), TINY)
+        assert again.to_json() == tiny_table.to_json()
+
+    def test_different_seed_is_a_different_artifact(self, tiny_table):
+        import dataclasses
+
+        other = train_table(
+            smoke_catalog(), dataclasses.replace(TINY, seed=TINY.seed + 1)
+        )
+        assert other.to_json() != tiny_table.to_json()
+
+
+class TestNevergradExtra:
+    def test_missing_extra_fails_with_install_hint(self, monkeypatch):
+        # force the import to fail whether or not nevergrad is installed
+        monkeypatch.setitem(sys.modules, "nevergrad", None)
+        import dataclasses
+
+        config = dataclasses.replace(TINY, optimizer="nevergrad")
+        with pytest.raises(ConfigError, match="learn"):
+            train_table(smoke_catalog(), config)
+
+    def test_default_optimizer_never_imports_nevergrad(self, monkeypatch):
+        monkeypatch.setitem(sys.modules, "nevergrad", None)
+        train_table(smoke_catalog(), TINY)  # must not raise

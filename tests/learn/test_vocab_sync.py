@@ -1,0 +1,89 @@
+"""The learn subsystem's observability vocabulary cannot drift from
+cedarlint (mirror of ``tests/serve/test_vocab_sync.py``).
+
+* every name ``repro.learn`` declares is known to the linter;
+* every declared name is actually used somewhere in the package;
+* the trainer emits exactly the declared metric families and span
+  attributes — nothing more, nothing less;
+* linting the package source itself produces zero findings.
+"""
+
+import json
+import pathlib
+
+import repro.learn
+from repro.checks import lint_paths
+from repro.learn import (
+    LEARN_METRIC_NAMES,
+    LEARN_PROFILE_SITES,
+    LEARN_SPAN_ATTRS,
+)
+from repro.learn.catalog import smoke_catalog
+from repro.learn.trainer import TrainConfig, train_table
+from repro.obs import MetricsRegistry, SpanTracer
+from repro.obs.profile import KNOWN_PROFILE_SITES
+from repro.obs.span import KNOWN_SPAN_ATTRS
+
+LEARN_DIR = pathlib.Path(repro.learn.__file__).parent
+LEARN_SOURCES = sorted(LEARN_DIR.glob("*.py"))
+
+TINY = TrainConfig(
+    seed=13,
+    iterations=2,
+    population=2,
+    elites=1,
+    queries_per_scenario=1,
+    grid_points=8,
+)
+
+
+def _full_source():
+    return "\n".join(path.read_text() for path in LEARN_SOURCES)
+
+
+class TestLinterKnowsLearn:
+    def test_span_attrs_registered(self):
+        assert LEARN_SPAN_ATTRS <= KNOWN_SPAN_ATTRS
+
+    def test_profile_sites_registered(self):
+        assert LEARN_PROFILE_SITES <= KNOWN_PROFILE_SITES
+
+    def test_learn_package_lints_clean(self):
+        findings = lint_paths([str(LEARN_DIR)])
+        assert findings == [], [str(f) for f in findings]
+
+
+class TestDeclaredNamesAreUsed:
+    def test_span_attrs_appear_in_source(self):
+        source = _full_source()
+        for attr in sorted(LEARN_SPAN_ATTRS):
+            assert attr in source, f"declared span attr {attr!r} never used"
+
+    def test_profile_sites_appear_in_source(self):
+        source = _full_source()
+        for site in sorted(LEARN_PROFILE_SITES):
+            assert f'"{site}"' in source, f"declared site {site!r} never used"
+
+    def test_metric_names_appear_in_source(self):
+        source = _full_source()
+        for name in sorted(LEARN_METRIC_NAMES):
+            assert f'"{name}"' in source, f"declared metric {name!r} never used"
+
+
+class TestEmittedMatchesDeclared:
+    def test_trainer_emits_exactly_the_declared_families(self):
+        metrics = MetricsRegistry()
+        train_table(smoke_catalog(), TINY, metrics=metrics)
+        doc = json.loads(metrics.render_json())
+        emitted = {name.removeprefix("cedar_") for name in doc}
+        assert emitted == LEARN_METRIC_NAMES
+
+    def test_trainer_spans_use_only_declared_attrs(self):
+        tracer = SpanTracer()
+        train_table(smoke_catalog(), TINY, tracer=tracer)
+        iteration_spans = [
+            s for s in tracer.spans if s.kind == "learn-iteration"
+        ]
+        assert len(iteration_spans) == TINY.iterations
+        for span in iteration_spans:
+            assert set(span.attrs) == LEARN_SPAN_ATTRS

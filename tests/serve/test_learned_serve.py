@@ -1,0 +1,105 @@
+"""CedarServer with the learned wait policy: wiring, reports, identity."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.learn.table import load_table
+from repro.serve import CedarServer, LoadGenerator, ServeConfig, pinned_workload
+
+
+def _pinned_requests(n=20, qps=0.05, seed=2608):
+    workload = pinned_workload()
+    generator = LoadGenerator(
+        workload=workload,
+        qps=qps,
+        n_requests=n,
+        deadline=60.0,
+        seed=seed,
+        rate_amplitude=0.5,
+    )
+    return workload.offline_tree(), generator.generate()
+
+
+class TestWiring:
+    def test_explicit_policy_conflicts_with_learned(self):
+        from repro.core.policies import CedarPolicy
+
+        offline, _ = _pinned_requests(n=1)
+        with pytest.raises(ConfigError, match="learned"):
+            CedarServer(
+                offline_tree=offline,
+                config=ServeConfig(learned=True),
+                policy=CedarPolicy(),
+            )
+
+    def test_learned_table_requires_learned(self):
+        with pytest.raises(ConfigError, match="learned"):
+            ServeConfig(learned_table="somewhere.json")
+
+    def test_explicit_table_path_is_honored(self, tmp_path):
+        path = tmp_path / "table.json"
+        load_table().save(path)
+        offline, requests = _pinned_requests(n=5)
+        cfg = ServeConfig(learned=True, learned_table=str(path))
+        report = CedarServer(offline_tree=offline, config=cfg).run(requests)
+        assert report.learned["decisions"] > 0
+
+
+class TestLearnedReport:
+    def test_report_carries_decision_accounting(self):
+        offline, requests = _pinned_requests()
+        cfg = ServeConfig(learned=True)
+        report = CedarServer(offline_tree=offline, config=cfg).run(requests)
+        doc = report.learned
+        assert doc["decisions"] > 0
+        assert doc["lookups"] > 0
+        assert (
+            doc["lookups"] + doc["fallback_decisions"] <= doc["decisions"]
+        )
+        assert 0.0 <= doc["fallback_rate"] <= 1.0
+        assert "learned" in json.loads(report.to_json())
+
+    def test_counters_are_per_run_deltas(self):
+        offline, requests = _pinned_requests()
+        server = CedarServer(offline_tree=offline, config=ServeConfig(learned=True))
+        first = server.run(requests)
+        second = server.run(requests)
+        # the policy object outlives runs; each report must still count
+        # only its own run's decisions.
+        assert second.learned["decisions"] == first.learned["decisions"]
+
+    def test_learned_metrics_are_emitted(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        offline, requests = _pinned_requests()
+        server = CedarServer(
+            offline_tree=offline,
+            config=ServeConfig(learned=True),
+            metrics=metrics,
+        )
+        server.run(requests)
+        doc = json.loads(metrics.render_json())
+        assert "cedar_serve_learned_lookups_total" in doc
+
+
+class TestIdentity:
+    def test_learned_run_is_bit_identical(self):
+        offline, requests = _pinned_requests()
+        cfg = ServeConfig(learned=True)
+        first = CedarServer(offline_tree=offline, config=cfg).run(requests)
+        second = CedarServer(offline_tree=offline, config=cfg).run(requests)
+        assert first.to_json(include_outcomes=True) == second.to_json(
+            include_outcomes=True
+        )
+
+    def test_disabled_path_has_no_learned_surface(self):
+        offline, requests = _pinned_requests()
+        cfg = ServeConfig()
+        first = CedarServer(offline_tree=offline, config=cfg).run(requests)
+        second = CedarServer(offline_tree=offline, config=cfg).run(requests)
+        text = first.to_json(include_outcomes=True)
+        assert '"learned"' not in text
+        assert text == second.to_json(include_outcomes=True)

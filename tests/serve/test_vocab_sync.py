@@ -82,6 +82,7 @@ class TestEmittedMatchesDeclared:
         slo.record_shard_router_shed("t", "tenant_budget")
         slo.record_shard_orphaned(0, 1)
         slo.record_wait_cache(hits=3, misses=2, batch_solves=1, entries=2)
+        slo.record_learned(lookups=5, fallbacks=1)
         doc = json.loads(metrics.render_json())
         emitted = {name.removeprefix("cedar_") for name in doc}
         assert emitted == SERVE_METRIC_NAMES

@@ -25,6 +25,7 @@ class TestTopLevelExports:
         import repro.core
         import repro.estimation
         import repro.experiments
+        import repro.learn
         import repro.obs
         import repro.orderstats
         import repro.serve
@@ -38,6 +39,7 @@ class TestTopLevelExports:
             repro.core,
             repro.estimation,
             repro.experiments,
+            repro.learn,
             repro.obs,
             repro.orderstats,
             repro.serve,
